@@ -1,0 +1,180 @@
+//! Analysis-pipeline benchmarks: the §4.1 heuristic, name matching, the
+//! suffix pipeline and group construction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rdns_core::dynamicity::{identify_dynamic, DynamicityParams};
+use rdns_core::names::match_given_names;
+use rdns_core::suffix::{identify_leaking_suffixes, LeakParams};
+use rdns_core::timing::build_groups;
+use rdns_model::{Date, Hostname, SimDuration, SimTime, Slash24};
+use rdns_scan::{RdnsOutcome, ScanLog};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+fn synthetic_matrix(blocks: usize, days: usize, seed: u64) -> HashMap<Slash24, Vec<u32>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..blocks)
+        .map(|i| {
+            let base: u32 = rng.gen_range(0..120);
+            let churny = rng.gen_bool(0.1);
+            let counts = (0..days)
+                .map(|d| {
+                    if churny {
+                        base + rng.gen_range(0..40) + if d % 7 < 5 { 30 } else { 0 }
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            (Slash24::from_octets((i >> 8) as u8, (i & 0xFF) as u8, 0), counts)
+        })
+        .collect()
+}
+
+fn bench_dynamicity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamicity");
+    for blocks in [1_000usize, 10_000] {
+        let matrix = synthetic_matrix(blocks, 90, 1);
+        g.throughput(Throughput::Elements(blocks as u64));
+        g.bench_function(format!("identify_{blocks}_blocks_90d"), |b| {
+            b.iter(|| identify_dynamic(black_box(&matrix), &DynamicityParams::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_name_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("name_matching");
+    let hostnames: Vec<Hostname> = [
+        "brians-iphone.resnet.example.edu",
+        "emmas-galaxy-note9.pool.someisp.net",
+        "host-10-1-2-3.dynamic.example.org",
+        "core-north1.backbone.bigisp.net",
+        "jacksonville.edge.bigisp.net",
+        "desktop-4j2k9qf.corp.acme.com",
+    ]
+    .iter()
+    .map(|s| Hostname::new(s))
+    .collect();
+    g.throughput(Throughput::Elements(hostnames.len() as u64));
+    g.bench_function("match_given_names_6_hosts", |b| {
+        b.iter(|| {
+            for h in &hostnames {
+                black_box(match_given_names(black_box(h)));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_suffix_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("suffix_pipeline");
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let names = ["jacob", "emma", "noah", "olivia", "liam", "brian", "kevin"];
+    let kinds = ["iphone", "ipad", "mbp", "laptop", "galaxy"];
+    let observations: Vec<(Ipv4Addr, Hostname)> = (0..20_000u32)
+        .map(|i| {
+            let addr = Ipv4Addr::from(0x0A000000 | (i % 4096) << 4 | (i % 13));
+            let name = names[rng.gen_range(0..names.len())];
+            let kind = kinds[rng.gen_range(0..kinds.len())];
+            let org = i % 40;
+            (
+                addr,
+                Hostname::new(&format!("{name}s-{kind}.dyn.u{org}.edu")),
+            )
+        })
+        .collect();
+    let dynamic: HashSet<Slash24> = observations
+        .iter()
+        .map(|(a, _)| Slash24::containing(*a))
+        .collect();
+    g.throughput(Throughput::Elements(observations.len() as u64));
+    g.bench_function("identify_20k_observations", |b| {
+        b.iter(|| {
+            identify_leaking_suffixes(
+                observations.iter().map(|(a, h)| (*a, h)),
+                black_box(&dynamic),
+                &LeakParams::scaled(5),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_group_building(c: &mut Criterion) {
+    let mut g = c.benchmark_group("timing_groups");
+    // Synthesize a log with 2 000 lifecycles.
+    let mut log = ScanLog::new();
+    let t0 = SimTime::from_date(Date::from_ymd(2021, 11, 1));
+    for i in 0..2_000u32 {
+        let addr = Ipv4Addr::from(0x0A000000 | i);
+        let start = t0 + SimDuration::mins((i % 700) as u64 * 5);
+        log.push_rdns(
+            start,
+            addr,
+            RdnsOutcome::Ptr(Hostname::new(&format!("host{i}.example.edu"))),
+        );
+        for k in 0..8u64 {
+            log.push_icmp(start + SimDuration::mins(k * 5), addr, true);
+        }
+        log.push_icmp(start + SimDuration::mins(45), addr, false);
+        log.push_rdns(
+            start + SimDuration::mins(50 + (i % 11) as u64 * 5),
+            addr,
+            RdnsOutcome::NxDomain,
+        );
+    }
+    g.throughput(Throughput::Elements(2_000));
+    g.bench_function("build_groups_2k_lifecycles", |b| {
+        b.iter(|| build_groups(black_box(&log)))
+    });
+    g.finish();
+}
+
+fn bench_cached_vs_direct_lookup(c: &mut Criterion) {
+    use rdns_dns::{CachedPtrView, ZoneStore};
+    let mut g = c.benchmark_group("lookup_vantage");
+    let store = ZoneStore::new();
+    let addr: Ipv4Addr = "10.0.7.7".parse().unwrap();
+    store.ensure_reverse_zone(addr);
+    store.set_ptr(addr, "brians-air.example.edu".parse().unwrap(), 300);
+    g.bench_function("direct_authoritative", |b| {
+        b.iter(|| store.get_ptr(black_box(addr)))
+    });
+    let mut cached = CachedPtrView::new(store.clone());
+    let now = SimTime::from_date(Date::from_ymd(2021, 11, 1));
+    cached.get_ptr(addr, now); // warm
+    g.bench_function("through_recursive_cache", |b| {
+        b.iter(|| cached.get_ptr(black_box(addr), now))
+    });
+    g.finish();
+}
+
+fn bench_sweep_permutation(c: &mut Criterion) {
+    use rdns_scan::Permutation;
+    let mut g = c.benchmark_group("permutation");
+    g.throughput(Throughput::Elements(65_536));
+    g.bench_function("walk_one_slash16", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in Permutation::new(65_536, black_box(7)) {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dynamicity,
+    bench_name_matching,
+    bench_suffix_pipeline,
+    bench_group_building,
+    bench_cached_vs_direct_lookup,
+    bench_sweep_permutation
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Scanner benchmarks: the reactive engine over a scripted prober, plus the
+//! rate-limiter and back-off primitives.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rdns_model::{Date, Hostname, SimDuration, SimTime};
+use rdns_scan::{
+    BackoffSchedule, FnProber, RdnsOutcome, ReactiveConfig, ReactiveScanner, TokenBucket,
+};
+use std::net::Ipv4Addr;
+
+fn t0() -> SimTime {
+    SimTime::from_date(Date::from_ymd(2021, 11, 1))
+}
+
+fn bench_reactive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reactive_engine");
+    g.sample_size(10);
+    // A /22 where a third of hosts follow a 2-hour on / off pattern.
+    let host = Hostname::new("device.example.edu");
+    g.bench_function("one_day_over_1024_addresses", |b| {
+        b.iter_batched(
+            || {
+                ReactiveScanner::new(
+                    ReactiveConfig::standard(vec!["10.0.0.0/22".parse().unwrap()]),
+                    t0(),
+                )
+            },
+            |mut scanner| {
+                let mut now = t0();
+                let end = t0() + SimDuration::days(1);
+                while now < end {
+                    let mut prober = FnProber::new(
+                        |addr: Ipv4Addr| {
+                            let o = addr.octets();
+                            o[3].is_multiple_of(3)
+                                && ((now.as_secs() / 7200) + i64::from(o[2])) % 2 == 0
+                        },
+                        |addr: Ipv4Addr| {
+                            let o = addr.octets();
+                            if o[3].is_multiple_of(3) {
+                                RdnsOutcome::Ptr(host.clone())
+                            } else {
+                                RdnsOutcome::NxDomain
+                            }
+                        },
+                    );
+                    scanner.run_due(now, &mut prober);
+                    now += SimDuration::mins(5);
+                }
+                black_box(scanner.stats())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_primitives");
+    let schedule = BackoffSchedule::standard();
+    g.bench_function("backoff_delay_after", |b| {
+        b.iter(|| {
+            for i in 0..64u32 {
+                black_box(schedule.delay_after(black_box(i)));
+            }
+        })
+    });
+    g.bench_function("token_bucket_take", |b| {
+        b.iter_batched(
+            || TokenBucket::new(10_000.0, 1_000, t0()),
+            |mut bucket| {
+                let mut granted = 0u32;
+                for s in 0..100u64 {
+                    if bucket.try_take(t0() + SimDuration::secs(s)) {
+                        granted += 1;
+                    }
+                }
+                black_box(granted)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_reactive, bench_primitives);
+criterion_main!(benches);

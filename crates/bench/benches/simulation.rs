@@ -1,0 +1,106 @@
+//! Simulator benchmarks: world construction, simulated-day throughput, and
+//! the DHCP⇄IPAM⇄DNS hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use rdns_dhcp::{acquire, ClientIdentity, DhcpServer, MacAddr, ServerConfig};
+use rdns_dns::ZoneStore;
+use rdns_ipam::{Ipam, IpamConfig};
+use rdns_model::{Date, SimDuration, SimTime};
+use rdns_netsim::spec::presets;
+use rdns_netsim::{World, WorldConfig};
+use std::net::Ipv4Addr;
+
+fn bench_world(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    let start = Date::from_ymd(2021, 11, 1);
+
+    g.bench_function("build_academic_a_scale_0.2", |b| {
+        b.iter(|| {
+            World::new(WorldConfig {
+                seed: 7,
+                start,
+                networks: vec![presets::academic_a(0.2)],
+            })
+        })
+    });
+
+    g.bench_function("simulate_one_day_academic_a", |b| {
+        b.iter_batched(
+            || {
+                World::new(WorldConfig {
+                    seed: 7,
+                    start,
+                    networks: vec![presets::academic_a(0.2)],
+                })
+            },
+            |mut world| {
+                world.step_until(SimTime::from_date(start) + SimDuration::days(1));
+                black_box(world.ptr_count())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    g.bench_function("simulate_one_day_all_nine_networks", |b| {
+        b.iter_batched(
+            || {
+                World::new(WorldConfig {
+                    seed: 7,
+                    start,
+                    networks: presets::table4_networks(0.2),
+                })
+            },
+            |mut world| {
+                world.step_until(SimTime::from_date(start) + SimDuration::days(1));
+                black_box(world.online_count())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_dhcp_ipam_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dhcp_ipam_hot_path");
+    let now = SimTime::from_date(Date::from_ymd(2021, 11, 1));
+    g.bench_function("acquire_release_with_dns_update", |b| {
+        b.iter_batched(
+            || {
+                let store = ZoneStore::new();
+                store.ensure_reverse_zone(Ipv4Addr::new(10, 0, 0, 1));
+                let server = DhcpServer::new(
+                    ServerConfig::new(Ipv4Addr::new(10, 0, 0, 1)),
+                    (2..250u8).map(|i| Ipv4Addr::new(10, 0, 0, i)),
+                );
+                let ipam = Ipam::new(IpamConfig::carry_over("resnet.example.edu"), store);
+                (server, ipam)
+            },
+            |(mut server, mut ipam)| {
+                for i in 0..100u64 {
+                    let id = ClientIdentity::standard(
+                        MacAddr::from_seed(i),
+                        format!("device-{i}"),
+                    );
+                    let (addr, events) = acquire(&mut server, &id, i as u32, now).unwrap();
+                    for e in &events {
+                        ipam.apply(e);
+                    }
+                    ipam.flush(now);
+                    let rel = id.release(i as u32, addr, Ipv4Addr::new(10, 0, 0, 1));
+                    let (_, events) = server.handle(&rel, now + SimDuration::mins(30));
+                    for e in &events {
+                        ipam.apply(e);
+                    }
+                    ipam.flush(now + SimDuration::mins(30));
+                }
+                black_box(ipam.stats())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_world, bench_dhcp_ipam_path);
+criterion_main!(benches);

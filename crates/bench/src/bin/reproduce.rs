@@ -1,0 +1,186 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p rdns-bench --release --bin reproduce -- [tiny|small|paper] [experiment ...]
+//! ```
+//!
+//! With no experiment arguments, everything runs. Experiment names:
+//! `table1 fig1 fig2 fig3 fig4 validation table2 table3 table4 table5
+//! fig6 fig7a fig7b fig8 fig9 fig10 fig11 ablation claims`.
+
+use rdns_bench::parse_scale;
+use rdns_core::experiments::{
+    check_claims, fig1, fig10, fig11, fig2, fig3, fig4, fig6, fig7, fig8, fig9, lease_ablation,
+    release_ablation, table1, table2, table3, table4, table5, validation, Scale,
+};
+use rdns_core::experiments::section5::LeakStudy;
+use rdns_core::experiments::section6::SupplementalStudy;
+use rdns_model::Date;
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn wanted(selected: &HashSet<String>, name: &str) -> bool {
+    selected.is_empty() || selected.contains(name)
+}
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = parse_scale(args.first().map(String::as_str));
+    let selected: HashSet<String> = args
+        .iter()
+        .skip(if args.first().is_some_and(|a| {
+            ["tiny", "small", "paper"].contains(&a.as_str())
+        }) {
+            1
+        } else {
+            0
+        })
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
+    println!("# rdns-privacy reproduction — scale {scale:?}");
+    let t0 = Instant::now();
+
+    // §4/§5 study feeds Table 1 and Figs. 1–4.
+    let leak_names = ["table1", "fig1", "fig2", "fig3", "fig4"];
+    if leak_names.iter().any(|n| wanted(&selected, n)) {
+        let started = Instant::now();
+        let study = LeakStudy::run(&scale);
+        eprintln!("[leak study: {:?}]", started.elapsed());
+        if wanted(&selected, "table1") {
+            banner("Table 1 — dataset statistics");
+            print!("{}", table1(&study).render());
+        }
+        if wanted(&selected, "fig1") {
+            banner("Figure 1 — dynamic /24 fraction per announced prefix size");
+            print!("{}", fig1(&study).render());
+        }
+        if wanted(&selected, "fig2") {
+            banner("Figure 2 — given names in rDNS (all vs filtered)");
+            print!("{}", fig2(&study).render());
+        }
+        if wanted(&selected, "fig3") {
+            banner("Figure 3 — device terms alongside given names");
+            print!("{}", fig3(&study).render());
+        }
+        if wanted(&selected, "fig4") {
+            banner("Figure 4 — identified networks by type");
+            let b = fig4(&study);
+            for (class, count, pct) in b.rows() {
+                println!("{:<12} {:>4}  {:>5.1}%", class.label(), count, pct);
+            }
+            println!("total identified: {}", b.total());
+        }
+    }
+
+    if wanted(&selected, "validation") {
+        banner("§4.1 validation — campus ground truth");
+        print!("{}", validation(&scale).render());
+    }
+
+    if wanted(&selected, "table2") {
+        banner("Table 2 — reactive back-off schedule");
+        print!("{}", table2());
+    }
+
+    // §6 study feeds Tables 3–5 and Figs. 6–7.
+    let supp_names = ["table3", "table4", "table5", "fig6", "fig7a", "fig7b"];
+    if supp_names.iter().any(|n| wanted(&selected, n)) {
+        let started = Instant::now();
+        let study = SupplementalStudy::run(&scale);
+        eprintln!("[supplemental study: {:?}]", started.elapsed());
+        if wanted(&selected, "table3") {
+            banner("Table 3 — supplemental measurement statistics");
+            print!("{}", table3(&study));
+        }
+        if wanted(&selected, "table4") {
+            banner("Table 4 — targeted networks and ICMP observability");
+            print!("{}", table4(&study));
+        }
+        if wanted(&selected, "table5") {
+            banner("Table 5 — group funnel");
+            print!("{}", table5(&study));
+        }
+        if wanted(&selected, "fig6") {
+            banner("Figure 6 — DNS errors per day");
+            let f6 = fig6(&study);
+            print!("{}", f6.render());
+            println!("error fraction: {:.2}%", f6.error_fraction() * 100.0);
+        }
+        if wanted(&selected, "fig7a") || wanted(&selected, "fig7b") {
+            banner("Figure 7 — PTR removal timing");
+            print!("{}", fig7(&study).render());
+        }
+    }
+
+    if wanted(&selected, "fig8") {
+        banner("Figure 8 — six weeks in the Life of Brian(s)");
+        print!("{}", fig8(&scale).render());
+    }
+
+    if wanted(&selected, "fig9") {
+        banner("Figure 9 — longitudinal presence around COVID-19");
+        // Paper window: early 2020 through end of 2021. Tiny/small scales
+        // shorten the window to keep runtimes sane.
+        let (from, to) = match scale {
+            s if s == Scale::paper() => (Date::from_ymd(2020, 2, 17), Date::from_ymd(2021, 12, 1)),
+            s if s == Scale::small() => (Date::from_ymd(2020, 2, 17), Date::from_ymd(2020, 12, 31)),
+            _ => (Date::from_ymd(2020, 2, 17), Date::from_ymd(2020, 6, 30)),
+        };
+        print!("{}", fig9(&scale, from, to).render());
+    }
+
+    if wanted(&selected, "fig10") {
+        banner("Figure 10 — Academic-C education vs housing");
+        let (weekly_from, daily_from, to) = match scale {
+            s if s == Scale::paper() => (
+                Date::from_ymd(2019, 10, 1),
+                Date::from_ymd(2020, 2, 17),
+                Date::from_ymd(2021, 1, 31),
+            ),
+            _ => (
+                Date::from_ymd(2020, 1, 6),
+                Date::from_ymd(2020, 2, 17),
+                Date::from_ymd(2020, 6, 30),
+            ),
+        };
+        let f10 = fig10(&scale, weekly_from, daily_from, to);
+        print!("{}", f10.render());
+        if let Some(lead) = f10.housing_leads_on(Date::from_ymd(2020, 4, 15)) {
+            println!("housing leads education on 2020-04-15: {lead}");
+        }
+    }
+
+    if wanted(&selected, "fig11") {
+        banner("Figure 11 — when to stage a heist");
+        print!("{}", fig11(&scale).render());
+    }
+
+    if wanted(&selected, "claims") {
+        banner("Contribution checklist (paper §1)");
+        let report = check_claims(&scale);
+        print!("{}", report.render());
+        println!(
+            "\nverdict: {}",
+            if report.all_passed() {
+                "all five contributions reproduced"
+            } else {
+                "SOME CLAIMS FAILED — inspect evidence above"
+            }
+        );
+    }
+
+    if wanted(&selected, "ablation") {
+        banner("Ablation — does withholding DHCP RELEASE defend? (§10)");
+        print!("{}", release_ablation(&scale).render());
+        banner("Ablation — lease time vs record lingering (§6.2)");
+        print!("{}", lease_ablation(&scale).render());
+    }
+
+    eprintln!("\n[total: {:?}]", t0.elapsed());
+}

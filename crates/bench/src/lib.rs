@@ -1,0 +1,35 @@
+//! # rdns-bench
+//!
+//! Benchmarks and the reproduction harness for the `rdns-privacy`
+//! workspace.
+//!
+//! * `cargo bench -p rdns-bench` — Criterion micro/meso benchmarks of the
+//!   DNS wire codec, the analysis pipelines, the discrete-event simulator
+//!   and the reactive scanner.
+//! * `cargo run -p rdns-bench --release --bin reproduce [tiny|small|paper] [exp..]`
+//!   — regenerate every table and figure of the paper (see EXPERIMENTS.md).
+
+use rdns_core::experiments::Scale;
+
+/// Parse a scale name; defaults to `small`.
+pub fn parse_scale(name: Option<&str>) -> Scale {
+    match name.unwrap_or("small") {
+        "tiny" => Scale::tiny(),
+        "paper" => Scale::paper(),
+        _ => Scale::small(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(parse_scale(Some("tiny")), Scale::tiny());
+        assert_eq!(parse_scale(Some("paper")), Scale::paper());
+        assert_eq!(parse_scale(Some("small")), Scale::small());
+        assert_eq!(parse_scale(None), Scale::small());
+        assert_eq!(parse_scale(Some("bogus")), Scale::small());
+    }
+}

@@ -1,0 +1,227 @@
+//! §7.1 — Life of Brian(s).
+//!
+//! From supplemental rDNS data, select PTR observations whose *host label*
+//! contains a target given name, and lay them out as a device × day presence
+//! matrix like Fig. 8. The paper's insight: anyone able to issue frequent
+//! PTR lookups can build this picture; no ICMP needed.
+
+use rdns_model::{Date, SimTime};
+use rdns_scan::ScanLog;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+/// Presence matrix for the devices of one (or more) name-sharing persons.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTimeline {
+    /// Host labels observed (e.g. `brians-air`), sorted.
+    pub hosts: Vec<String>,
+    /// `(host, date) → hours of day with at least one sighting`.
+    presence: BTreeMap<(String, Date), BTreeSet<u8>>,
+    /// `(host, date) → addresses used` (Fig. 8 colour-codes addresses).
+    addresses: BTreeMap<(String, Date), BTreeSet<Ipv4Addr>>,
+}
+
+impl DeviceTimeline {
+    /// Whether `host` was seen on `date`.
+    pub fn present(&self, host: &str, date: Date) -> bool {
+        self.presence.contains_key(&(host.to_string(), date))
+    }
+
+    /// Hours of day `host` was seen on `date`.
+    pub fn hours(&self, host: &str, date: Date) -> Vec<u8> {
+        self.presence
+            .get(&(host.to_string(), date))
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Addresses `host` used on `date`.
+    pub fn addresses(&self, host: &str, date: Date) -> Vec<Ipv4Addr> {
+        self.addresses
+            .get(&(host.to_string(), date))
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Days on which `host` appeared at all.
+    pub fn active_days(&self, host: &str) -> Vec<Date> {
+        self.presence
+            .keys()
+            .filter(|(h, _)| h == host)
+            .map(|(_, d)| *d)
+            .collect()
+    }
+
+    /// All distinct addresses a host used — device↔address stability is what
+    /// makes longitudinal tracking easy.
+    pub fn all_addresses(&self, host: &str) -> BTreeSet<Ipv4Addr> {
+        self.addresses
+            .iter()
+            .filter(|((h, _), _)| h == host)
+            .flat_map(|(_, set)| set.iter().copied())
+            .collect()
+    }
+
+    /// Render a Fig. 8-style matrix: one row per host, one column per day
+    /// in `[from, to]`; `#` marks presence, `.` absence, weekend columns are
+    /// marked in the header.
+    pub fn render(&self, from: Date, to: Date) -> String {
+        let width = self.hosts.iter().map(|h| h.len()).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        // Header: weekday initials.
+        out.push_str(&format!("{:width$}  ", "", width = width));
+        for d in from.iter_to(to) {
+            out.push(match d.weekday() {
+                w if w.is_weekend() => 'w',
+                _ => d.weekday().short().chars().next().unwrap_or('?'),
+            });
+        }
+        out.push('\n');
+        for host in &self.hosts {
+            out.push_str(&format!("{:width$}  ", host, width = width));
+            for d in from.iter_to(to) {
+                out.push(if self.present(host, d) { '#' } else { '.' });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Build a timeline from supplemental rDNS data: keep PTR observations whose
+/// host label contains `needle` (case-insensitive).
+pub fn track_devices(log: &ScanLog, needle: &str) -> DeviceTimeline {
+    let needle = needle.to_ascii_lowercase();
+    let mut timeline = DeviceTimeline::default();
+    let mut hosts: BTreeSet<String> = BTreeSet::new();
+    for r in &log.rdns {
+        let Some(hostname) = r.outcome.hostname() else {
+            continue;
+        };
+        let Some(label) = hostname.host_label() else {
+            continue;
+        };
+        if !label.contains(&needle) {
+            continue;
+        }
+        hosts.insert(label.to_string());
+        let date = r.ts.date();
+        let hour = SimTime::hour(&r.ts);
+        timeline
+            .presence
+            .entry((label.to_string(), date))
+            .or_default()
+            .insert(hour);
+        timeline
+            .addresses
+            .entry((label.to_string(), date))
+            .or_default()
+            .insert(r.addr);
+    }
+    timeline.hosts = hosts.into_iter().collect();
+    timeline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_model::{Hostname, SimDuration};
+    use rdns_scan::RdnsOutcome;
+
+    fn t(date: Date, h: u8) -> SimTime {
+        SimTime::from_date_hms(date, h, 7, 0)
+    }
+
+    fn log_with_brians() -> ScanLog {
+        let mut log = ScanLog::new();
+        let monday = Date::from_ymd(2021, 11, 22);
+        let addr: Ipv4Addr = "10.1.1.5".parse().unwrap();
+        for h in [11, 12, 13] {
+            log.push_rdns(
+                t(monday, h),
+                addr,
+                RdnsOutcome::Ptr(Hostname::new("brians-mbp.campus.example.edu")),
+            );
+        }
+        log.push_rdns(
+            t(monday, 19),
+            "10.1.2.9".parse().unwrap(),
+            RdnsOutcome::Ptr(Hostname::new("brians-phone.resnet.example.edu")),
+        );
+        // An unrelated device must not appear.
+        log.push_rdns(
+            t(monday, 12),
+            "10.1.1.6".parse().unwrap(),
+            RdnsOutcome::Ptr(Hostname::new("emmas-ipad.campus.example.edu")),
+        );
+        // Errors never contribute.
+        log.push_rdns(t(monday, 12), addr, RdnsOutcome::NxDomain);
+        log
+    }
+
+    #[test]
+    fn tracks_only_matching_hosts() {
+        let tl = track_devices(&log_with_brians(), "brian");
+        assert_eq!(tl.hosts, vec!["brians-mbp", "brians-phone"]);
+        let monday = Date::from_ymd(2021, 11, 22);
+        assert!(tl.present("brians-mbp", monday));
+        assert!(!tl.present("emmas-ipad", monday));
+        assert_eq!(tl.hours("brians-mbp", monday), vec![11, 12, 13]);
+        assert_eq!(tl.hours("brians-phone", monday), vec![19]);
+    }
+
+    #[test]
+    fn addresses_recorded() {
+        let tl = track_devices(&log_with_brians(), "brian");
+        let monday = Date::from_ymd(2021, 11, 22);
+        assert_eq!(
+            tl.addresses("brians-mbp", monday),
+            vec!["10.1.1.5".parse::<Ipv4Addr>().unwrap()]
+        );
+        assert_eq!(tl.all_addresses("brians-phone").len(), 1);
+    }
+
+    #[test]
+    fn multi_day_presence() {
+        let mut log = log_with_brians();
+        let tuesday = Date::from_ymd(2021, 11, 23);
+        log.push_rdns(
+            t(tuesday, 12),
+            "10.1.1.5".parse().unwrap(),
+            RdnsOutcome::Ptr(Hostname::new("brians-mbp.campus.example.edu")),
+        );
+        let tl = track_devices(&log, "brian");
+        assert_eq!(tl.active_days("brians-mbp").len(), 2);
+    }
+
+    #[test]
+    fn render_grid_shape() {
+        let tl = track_devices(&log_with_brians(), "brian");
+        let from = Date::from_ymd(2021, 11, 22);
+        let to = Date::from_ymd(2021, 11, 28);
+        let grid = tl.render(from, to);
+        let lines: Vec<&str> = grid.lines().collect();
+        assert_eq!(lines.len(), 3); // header + 2 hosts
+        // Monday present for mbp: first day column is '#'.
+        let mbp_line = lines.iter().find(|l| l.contains("brians-mbp")).unwrap();
+        assert!(mbp_line.trim_end().ends_with("#......"));
+        // Header marks the weekend.
+        assert!(lines[0].contains('w'));
+    }
+
+    #[test]
+    fn case_insensitive_needle() {
+        let tl = track_devices(&log_with_brians(), "BRIAN");
+        assert_eq!(tl.hosts.len(), 2);
+    }
+
+    #[test]
+    fn empty_log() {
+        let tl = track_devices(&ScanLog::new(), "brian");
+        assert!(tl.hosts.is_empty());
+        let grid = tl.render(Date::from_ymd(2021, 11, 1), Date::from_ymd(2021, 11, 7));
+        assert_eq!(grid.lines().count(), 1); // header only
+        let _ = SimDuration::secs(0);
+    }
+}

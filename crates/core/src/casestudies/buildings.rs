@@ -1,0 +1,239 @@
+//! Building-level geotemporal tracking (§8 discussion).
+//!
+//! The paper observes that if one knows (or infers, per Zhang et al.) which
+//! IP subnets map to which buildings, rDNS-based presence becomes *location*
+//! tracking: "one could track, from virtually anywhere on the Internet, a
+//! Brian around campus as he goes from lecture to lecture." Given a subnet →
+//! building map, [`movement_traces`] turns supplemental rDNS observations of
+//! one device into a movement trace across buildings.
+
+use rdns_model::{Ipv4Net, SimTime};
+use rdns_scan::ScanLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// A subnet → building association, the a-posteriori knowledge of §7.1/§8.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildingMap {
+    entries: Vec<(Ipv4Net, String)>,
+}
+
+impl BuildingMap {
+    /// Build from `(prefix, building)` pairs.
+    pub fn new<I, S>(entries: I) -> BuildingMap
+    where
+        I: IntoIterator<Item = (Ipv4Net, S)>,
+        S: Into<String>,
+    {
+        BuildingMap {
+            entries: entries.into_iter().map(|(p, b)| (p, b.into())).collect(),
+        }
+    }
+
+    /// The building an address belongs to (most-specific match).
+    pub fn building_of(&self, addr: Ipv4Addr) -> Option<&str> {
+        self.entries
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, b)| b.as_str())
+    }
+
+    /// Number of mapped prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One sighting of a device in a building.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sighting {
+    /// First observation in this building (for this visit).
+    pub from: SimTime,
+    /// Last observation of the visit.
+    pub to: SimTime,
+    /// Building label.
+    pub building: String,
+}
+
+/// The movement trace of one device host label.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MovementTrace {
+    /// The device's host label (e.g. `brians-mbp`).
+    pub host: String,
+    /// Chronological visits; consecutive sightings in the same building are
+    /// merged into one visit.
+    pub visits: Vec<Sighting>,
+}
+
+impl MovementTrace {
+    /// Number of building-to-building transitions.
+    pub fn transitions(&self) -> usize {
+        self.visits
+            .windows(2)
+            .filter(|w| w[0].building != w[1].building)
+            .count()
+    }
+
+    /// Distinct buildings visited.
+    pub fn buildings(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.visits.iter().map(|v| v.building.as_str()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Render the trace as one line per visit.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}:\n", self.host);
+        for v in &self.visits {
+            out.push_str(&format!("  {} .. {}  {}\n", v.from, v.to, v.building));
+        }
+        out
+    }
+}
+
+/// Extract movement traces for every device whose host label contains
+/// `needle`, using the given building map.
+pub fn movement_traces(log: &ScanLog, needle: &str, map: &BuildingMap) -> Vec<MovementTrace> {
+    let needle = needle.to_ascii_lowercase();
+    // host label → chronological (ts, building).
+    let mut sightings: BTreeMap<String, Vec<(SimTime, String)>> = BTreeMap::new();
+    for r in &log.rdns {
+        let Some(host) = r.outcome.hostname() else {
+            continue;
+        };
+        let Some(label) = host.host_label() else {
+            continue;
+        };
+        if !label.contains(&needle) {
+            continue;
+        }
+        let Some(building) = map.building_of(r.addr) else {
+            continue;
+        };
+        sightings
+            .entry(label.to_string())
+            .or_default()
+            .push((r.ts, building.to_string()));
+    }
+
+    sightings
+        .into_iter()
+        .map(|(host, mut obs)| {
+            obs.sort_by_key(|(ts, _)| *ts);
+            let mut visits: Vec<Sighting> = Vec::new();
+            for (ts, building) in obs {
+                match visits.last_mut() {
+                    Some(last) if last.building == building => last.to = ts,
+                    _ => visits.push(Sighting {
+                        from: ts,
+                        to: ts,
+                        building,
+                    }),
+                }
+            }
+            MovementTrace { host, visits }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_model::{Date, Hostname, SimDuration};
+    use rdns_scan::RdnsOutcome;
+
+    fn map() -> BuildingMap {
+        BuildingMap::new([
+            ("10.0.1.0/24".parse::<Ipv4Net>().unwrap(), "library"),
+            ("10.0.2.0/24".parse().unwrap(), "physics-hall"),
+            ("10.0.3.0/24".parse().unwrap(), "dorm-west"),
+        ])
+    }
+
+    fn t(h: u8, m: u8) -> SimTime {
+        SimTime::from_date_hms(Date::from_ymd(2021, 11, 22), h, m, 0)
+    }
+
+    fn sample_log() -> ScanLog {
+        let mut log = ScanLog::new();
+        let host = RdnsOutcome::Ptr(Hostname::new("brians-mbp.campus.example.edu"));
+        // Morning in the library (two sightings merge into one visit)...
+        log.push_rdns(t(9, 0), "10.0.1.50".parse().unwrap(), host.clone());
+        log.push_rdns(t(9, 30), "10.0.1.50".parse().unwrap(), host.clone());
+        // ...lecture in physics hall...
+        log.push_rdns(t(11, 0), "10.0.2.17".parse().unwrap(), host.clone());
+        // ...evening in the dorm.
+        log.push_rdns(t(19, 0), "10.0.3.9".parse().unwrap(), host.clone());
+        // An unrelated device never appears in brian traces.
+        log.push_rdns(
+            t(12, 0),
+            "10.0.1.51".parse().unwrap(),
+            RdnsOutcome::Ptr(Hostname::new("emmas-ipad.campus.example.edu")),
+        );
+        log
+    }
+
+    #[test]
+    fn building_map_lookup() {
+        let m = map();
+        assert_eq!(m.building_of("10.0.2.200".parse().unwrap()), Some("physics-hall"));
+        assert_eq!(m.building_of("192.0.2.1".parse().unwrap()), None);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn most_specific_prefix_wins() {
+        let m = BuildingMap::new([
+            ("10.0.0.0/16".parse::<Ipv4Net>().unwrap(), "campus"),
+            ("10.0.2.0/24".parse().unwrap(), "physics-hall"),
+        ]);
+        assert_eq!(m.building_of("10.0.2.1".parse().unwrap()), Some("physics-hall"));
+        assert_eq!(m.building_of("10.0.9.1".parse().unwrap()), Some("campus"));
+    }
+
+    #[test]
+    fn trace_follows_brian_across_campus() {
+        let traces = movement_traces(&sample_log(), "brian", &map());
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.host, "brians-mbp");
+        assert_eq!(trace.visits.len(), 3);
+        assert_eq!(
+            trace.buildings(),
+            vec!["dorm-west", "library", "physics-hall"]
+        );
+        assert_eq!(trace.transitions(), 2);
+        // Consecutive library sightings merged.
+        assert_eq!(trace.visits[0].building, "library");
+        assert_eq!(trace.visits[0].to.since_sat(trace.visits[0].from), SimDuration::mins(30));
+        assert!(trace.render().contains("physics-hall"));
+    }
+
+    #[test]
+    fn unmapped_addresses_ignored() {
+        let mut log = sample_log();
+        log.push_rdns(
+            t(20, 0),
+            "172.16.0.1".parse().unwrap(),
+            RdnsOutcome::Ptr(Hostname::new("brians-mbp.campus.example.edu")),
+        );
+        let traces = movement_traces(&log, "brian", &map());
+        assert_eq!(traces[0].visits.len(), 3, "unmapped sighting must not appear");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(movement_traces(&ScanLog::new(), "brian", &map()).is_empty());
+        let traces = movement_traces(&sample_log(), "zebediah", &map());
+        assert!(traces.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Cross-network client tracking (§1, §2.2).
+//!
+//! The DHCP-privacy literature worried about tracking clients *between*
+//! networks via stable identifiers; RFC 7844 exists precisely because
+//! device names survive MAC randomization. When two networks both carry the
+//! Host Name into rDNS, the same device label (`brians-galaxy-note9`)
+//! surfaces under two suffixes — an outside observer can follow the device
+//! from a campus to a home ISP. [`cross_network_appearances`] finds such
+//! labels in supplemental measurement data.
+
+use rdns_model::Date;
+use rdns_scan::ScanLog;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One device label seen under multiple network suffixes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrossNetworkAppearance {
+    /// The host-specific label (the carried-over device name).
+    pub host_label: String,
+    /// Per-suffix days of appearance, sorted by suffix.
+    pub networks: Vec<(String, Vec<Date>)>,
+}
+
+impl CrossNetworkAppearance {
+    /// Number of distinct networks the label appeared in.
+    pub fn network_count(&self) -> usize {
+        self.networks.len()
+    }
+
+    /// Days on which the label was visible in more than one network —
+    /// e.g. phone on campus by day, home ISP by night.
+    pub fn overlapping_days(&self) -> Vec<Date> {
+        let mut counts: BTreeMap<Date, usize> = BTreeMap::new();
+        for (_, days) in &self.networks {
+            for d in days {
+                *counts.entry(*d).or_insert(0) += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .filter(|(_, n)| *n > 1)
+            .map(|(d, _)| d)
+            .collect()
+    }
+}
+
+/// Find host labels appearing under at least `min_networks` distinct
+/// suffixes (TLD+1). Labels shorter than 6 characters are skipped — short
+/// generic labels (`host1`, `pc2`) collide across unrelated networks.
+pub fn cross_network_appearances(
+    log: &ScanLog,
+    min_networks: usize,
+) -> Vec<CrossNetworkAppearance> {
+    // label → suffix → days
+    let mut seen: BTreeMap<String, BTreeMap<String, BTreeSet<Date>>> = BTreeMap::new();
+    for r in &log.rdns {
+        let Some(host) = r.outcome.hostname() else {
+            continue;
+        };
+        let Some(label) = host.host_label() else {
+            continue;
+        };
+        if label.len() < 6 {
+            continue;
+        }
+        let Some(suffix) = host.tld_plus_one() else {
+            continue;
+        };
+        seen.entry(label.to_string())
+            .or_default()
+            .entry(suffix)
+            .or_default()
+            .insert(r.ts.date());
+    }
+    seen.into_iter()
+        .filter(|(_, nets)| nets.len() >= min_networks)
+        .map(|(host_label, nets)| CrossNetworkAppearance {
+            host_label,
+            networks: nets
+                .into_iter()
+                .map(|(suffix, days)| (suffix, days.into_iter().collect()))
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_model::{Hostname, SimTime};
+    use rdns_scan::RdnsOutcome;
+    use std::net::Ipv4Addr;
+
+    fn push(log: &mut ScanLog, date: Date, hour: u8, addr: &str, host: &str) {
+        log.push_rdns(
+            SimTime::from_date_hms(date, hour, 0, 0),
+            addr.parse::<Ipv4Addr>().unwrap(),
+            RdnsOutcome::Ptr(Hostname::new(host)),
+        );
+    }
+
+    fn sample_log() -> ScanLog {
+        let mut log = ScanLog::new();
+        let mon = Date::from_ymd(2021, 11, 22);
+        let tue = Date::from_ymd(2021, 11, 23);
+        // The phone follows its owner: campus by day, home ISP by night.
+        push(&mut log, mon, 13, "100.64.10.5", "brians-galaxy-note9.campus.midwest-state.edu");
+        push(&mut log, mon, 20, "100.128.10.9", "brians-galaxy-note9.pool.fastpipe.net");
+        push(&mut log, tue, 12, "100.64.10.5", "brians-galaxy-note9.campus.midwest-state.edu");
+        // Single-network devices are not cross-network hits.
+        push(&mut log, mon, 12, "100.64.10.6", "emmas-ipad.campus.midwest-state.edu");
+        // Short generic labels are excluded even when they collide.
+        push(&mut log, mon, 12, "100.64.10.7", "host1.campus.midwest-state.edu");
+        push(&mut log, mon, 12, "100.128.10.8", "host1.pool.fastpipe.net");
+        log
+    }
+
+    #[test]
+    fn finds_the_phone_across_networks() {
+        let hits = cross_network_appearances(&sample_log(), 2);
+        assert_eq!(hits.len(), 1);
+        let hit = &hits[0];
+        assert_eq!(hit.host_label, "brians-galaxy-note9");
+        assert_eq!(hit.network_count(), 2);
+        let suffixes: Vec<&str> = hit.networks.iter().map(|(s, _)| s.as_str()).collect();
+        assert_eq!(suffixes, vec!["fastpipe.net", "midwest-state.edu"]);
+    }
+
+    #[test]
+    fn overlap_days_show_same_day_movement() {
+        let hits = cross_network_appearances(&sample_log(), 2);
+        // Monday: campus at 13:00 AND home ISP at 20:00.
+        assert_eq!(
+            hits[0].overlapping_days(),
+            vec![Date::from_ymd(2021, 11, 22)]
+        );
+    }
+
+    #[test]
+    fn min_networks_threshold() {
+        let hits = cross_network_appearances(&sample_log(), 1);
+        // With threshold 1, single-network devices appear too (but not the
+        // short generic label).
+        let labels: Vec<&str> = hits.iter().map(|h| h.host_label.as_str()).collect();
+        assert!(labels.contains(&"emmas-ipad"));
+        assert!(!labels.contains(&"host1"));
+        let hits3 = cross_network_appearances(&sample_log(), 3);
+        assert!(hits3.is_empty());
+    }
+
+    #[test]
+    fn errors_and_empty_logs_ignored() {
+        let mut log = ScanLog::new();
+        log.push_rdns(
+            SimTime::from_date_hms(Date::from_ymd(2021, 11, 22), 12, 0, 0),
+            "10.0.0.1".parse().unwrap(),
+            RdnsOutcome::NxDomain,
+        );
+        assert!(cross_network_appearances(&log, 2).is_empty());
+        assert!(cross_network_appearances(&ScanLog::new(), 1).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! §7.3 — When to stage a heist?
+//!
+//! Hourly activity profiles from supplemental data: the number of rDNS
+//! measurements seeing a PTR and the number of ICMP responses per hour
+//! (Fig. 11). The diurnal low — early morning — is "a good time".
+
+use rdns_model::{Date, SimDuration, SimTime};
+use rdns_scan::ScanLog;
+use serde::{Deserialize, Serialize};
+
+/// Hourly activity counts over a date range.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HourlyActivity {
+    /// `(hour start, ICMP-alive samples, rDNS PTR samples)` per hour.
+    pub hours: Vec<(SimTime, usize, usize)>,
+}
+
+impl HourlyActivity {
+    /// Aggregate by hour of day across all days: `[ (icmp, rdns); 24 ]`.
+    pub fn by_hour_of_day(&self) -> [(usize, usize); 24] {
+        let mut out = [(0usize, 0usize); 24];
+        for (ts, icmp, rdns) in &self.hours {
+            let h = ts.hour() as usize;
+            out[h].0 += icmp;
+            out[h].1 += rdns;
+        }
+        out
+    }
+
+    /// Peak combined activity in any hour (for plotting scales).
+    pub fn max_counts(&self) -> (usize, usize) {
+        (
+            self.hours.iter().map(|(_, i, _)| *i).max().unwrap_or(0),
+            self.hours.iter().map(|(_, _, r)| *r).max().unwrap_or(0),
+        )
+    }
+}
+
+/// Count per-hour activity in `[from, from + days)`.
+pub fn hourly_activity(log: &ScanLog, from: Date, days: u32) -> HourlyActivity {
+    let start = SimTime::from_date(from);
+    let end = start + SimDuration::days(days as u64);
+    let n_hours = (days * 24) as usize;
+    let mut icmp = vec![0usize; n_hours];
+    let mut rdns = vec![0usize; n_hours];
+    let idx = |ts: SimTime| -> Option<usize> {
+        if ts >= start && ts < end {
+            Some((ts.since_sat(start).as_secs() / 3600) as usize)
+        } else {
+            None
+        }
+    };
+    for r in &log.icmp {
+        if r.alive {
+            if let Some(i) = idx(r.ts) {
+                icmp[i] += 1;
+            }
+        }
+    }
+    for r in &log.rdns {
+        if r.outcome.hostname().is_some() {
+            if let Some(i) = idx(r.ts) {
+                rdns[i] += 1;
+            }
+        }
+    }
+    HourlyActivity {
+        hours: (0..n_hours)
+            .map(|i| {
+                (
+                    start + SimDuration::hours(i as u64),
+                    icmp[i],
+                    rdns[i],
+                )
+            })
+            .collect(),
+    }
+}
+
+/// The robber's answer: the hour of day with the least rDNS-observed
+/// activity (ties broken toward the earliest hour), computed from rDNS data
+/// alone — no ICMP required.
+pub fn quietest_hour(activity: &HourlyActivity) -> u8 {
+    let by_hour = activity.by_hour_of_day();
+    by_hour
+        .iter()
+        .enumerate()
+        .min_by_key(|(h, (_, rdns))| (*rdns, *h))
+        .map(|(h, _)| h as u8)
+        .expect("24 hours always present")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_model::Hostname;
+    use rdns_scan::RdnsOutcome;
+    use std::net::Ipv4Addr;
+
+    fn log_with_diurnal_pattern(days: u32) -> ScanLog {
+        let mut log = ScanLog::new();
+        let from = Date::from_ymd(2021, 11, 1);
+        let addr: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        for day in 0..days {
+            let base = SimTime::from_date(from.plus_days(day as i64));
+            for hour in 0..24u64 {
+                // Busy 9-22, quiet at night, dead quiet at 6.
+                let samples = match hour {
+                    6 => 0,
+                    0..=8 => 2,
+                    9..=21 => 10,
+                    _ => 4,
+                };
+                for s in 0..samples {
+                    let ts = base + SimDuration::hours(hour) + SimDuration::mins(s * 5);
+                    log.push_icmp(ts, addr, true);
+                    log.push_rdns(ts, addr, RdnsOutcome::Ptr(Hostname::new("x.example.edu")));
+                }
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn hourly_counting() {
+        let log = log_with_diurnal_pattern(1);
+        let act = hourly_activity(&log, Date::from_ymd(2021, 11, 1), 1);
+        assert_eq!(act.hours.len(), 24);
+        let (_, icmp_noon, rdns_noon) = act.hours[12];
+        assert_eq!(icmp_noon, 10);
+        assert_eq!(rdns_noon, 10);
+        let (_, icmp_6, rdns_6) = act.hours[6];
+        assert_eq!(icmp_6, 0);
+        assert_eq!(rdns_6, 0);
+    }
+
+    #[test]
+    fn quietest_hour_is_six_am() {
+        let log = log_with_diurnal_pattern(7);
+        let act = hourly_activity(&log, Date::from_ymd(2021, 11, 1), 7);
+        assert_eq!(quietest_hour(&act), 6);
+    }
+
+    #[test]
+    fn out_of_range_samples_ignored() {
+        let mut log = log_with_diurnal_pattern(1);
+        // Sample a week later must not land anywhere.
+        log.push_icmp(
+            SimTime::from_date(Date::from_ymd(2021, 11, 20)),
+            "10.0.0.1".parse().unwrap(),
+            true,
+        );
+        let act = hourly_activity(&log, Date::from_ymd(2021, 11, 1), 1);
+        let total: usize = act.hours.iter().map(|(_, i, _)| i).sum();
+        let expected: usize = (0..24)
+            .map(|h| match h {
+                6 => 0,
+                0..=8 => 2,
+                9..=21 => 10,
+                _ => 4,
+            })
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn dead_probes_and_errors_not_counted() {
+        let mut log = ScanLog::new();
+        let ts = SimTime::from_date_hms(Date::from_ymd(2021, 11, 1), 12, 0, 0);
+        log.push_icmp(ts, "10.0.0.1".parse().unwrap(), false);
+        log.push_rdns(ts, "10.0.0.1".parse().unwrap(), RdnsOutcome::NxDomain);
+        let act = hourly_activity(&log, Date::from_ymd(2021, 11, 1), 1);
+        assert_eq!(act.hours[12], (ts.truncate(3600), 0, 0));
+    }
+
+    #[test]
+    fn aggregation_by_hour_of_day() {
+        let log = log_with_diurnal_pattern(3);
+        let act = hourly_activity(&log, Date::from_ymd(2021, 11, 1), 3);
+        let by_hour = act.by_hour_of_day();
+        assert_eq!(by_hour[12].0, 30); // 10 per day × 3 days
+        assert_eq!(by_hour[6].1, 0);
+        let (icmp_max, rdns_max) = act.max_counts();
+        assert_eq!(icmp_max, 10);
+        assert_eq!(rdns_max, 10);
+    }
+}

@@ -1,0 +1,24 @@
+//! The §7 case studies.
+//!
+//! * [`brian`] — §7.1 *Life of Brian(s)*: track devices whose hostnames
+//!   carry a given name across weeks of supplemental data (Fig. 8),
+//! * [`wfh`] — §7.2 *Working from Home*: longitudinal percent-of-max PTR
+//!   counts revealing COVID-19 work patterns (Figs. 9–10),
+//! * [`heist`] — §7.3 *When to stage a heist?*: diurnal activity profiles
+//!   from rDNS alone (Fig. 11),
+//! * [`buildings`] — the §8 escalation: with a subnet→building map, presence
+//!   tracking becomes geotemporal movement tracking,
+//! * [`crossnet`] — the §1 escalation: stable device names let an observer
+//!   follow one client across different networks.
+
+pub mod brian;
+pub mod buildings;
+pub mod crossnet;
+pub mod heist;
+pub mod wfh;
+
+pub use brian::{track_devices, DeviceTimeline};
+pub use buildings::{movement_traces, BuildingMap, MovementTrace};
+pub use crossnet::{cross_network_appearances, CrossNetworkAppearance};
+pub use heist::{hourly_activity, quietest_hour, HourlyActivity};
+pub use wfh::{percent_of_max, NormalizedSeries};

@@ -1,0 +1,180 @@
+//! Network-type classification (§5.2, Fig. 4).
+//!
+//! The paper classifies identified networks by hostname suffix: regular
+//! expressions for `.edu` / `.ac.*` (academic) and `.gov` (government), plus
+//! manual inspection for ISPs and enterprises. The manual step is encoded
+//! here as keyword heuristics so the whole pipeline runs unattended.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The Fig. 4 categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NetworkClass {
+    /// Schools, universities, research institutes.
+    Academic,
+    /// Internet service providers.
+    Isp,
+    /// Companies.
+    Enterprise,
+    /// Government bodies.
+    Government,
+    /// Everything else.
+    Other,
+}
+
+impl NetworkClass {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkClass::Academic => "Academic",
+            NetworkClass::Isp => "ISP",
+            NetworkClass::Enterprise => "Enterprise",
+            NetworkClass::Government => "Government",
+            NetworkClass::Other => "Other",
+        }
+    }
+}
+
+/// Tokens strongly indicating ISP suffixes (stand-in for the paper's manual
+/// inspection).
+const ISP_HINTS: [&str; 12] = [
+    "isp", "telecom", "broadband", "cable", "dsl", "fiber", "fibre", "net", "pipe", "surf",
+    "wireless", "telco",
+];
+
+/// Tokens indicating academic use beyond the TLD rules.
+const ACADEMIC_HINTS: [&str; 6] = ["university", "college", "school", "campus", "institute", "acad"];
+
+/// Classify a network suffix (TLD+1 or deeper).
+pub fn classify_suffix(suffix: &str) -> NetworkClass {
+    let s = suffix.to_ascii_lowercase();
+    let labels: Vec<&str> = s.split('.').filter(|l| !l.is_empty()).collect();
+    let tld = labels.last().copied().unwrap_or("");
+    if labels.len() < 2 {
+        return NetworkClass::Other; // a bare TLD names no network
+    }
+
+    // Regex-equivalent rules from the paper: `.edu` / `.ac.*`, `.gov`.
+    if tld == "edu" || labels.iter().rev().take(2).any(|l| *l == "ac") {
+        return NetworkClass::Academic;
+    }
+    if tld == "gov" {
+        return NetworkClass::Government;
+    }
+    let body = labels[..labels.len().saturating_sub(1)].join(".");
+    if ACADEMIC_HINTS.iter().any(|h| body.contains(h)) {
+        return NetworkClass::Academic;
+    }
+    if tld == "net" || ISP_HINTS.iter().any(|h| body.contains(h)) {
+        return NetworkClass::Isp;
+    }
+    if tld == "com" || tld == "io" || body.contains("corp") {
+        return NetworkClass::Enterprise;
+    }
+    NetworkClass::Other
+}
+
+/// A Fig. 4-shaped breakdown.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TypeBreakdown {
+    counts: BTreeMap<NetworkClass, usize>,
+    total: usize,
+}
+
+impl TypeBreakdown {
+    /// Classify a set of suffixes.
+    pub fn from_suffixes<'a, I: IntoIterator<Item = &'a str>>(suffixes: I) -> TypeBreakdown {
+        let mut b = TypeBreakdown::default();
+        for s in suffixes {
+            *b.counts.entry(classify_suffix(s)).or_insert(0) += 1;
+            b.total += 1;
+        }
+        b
+    }
+
+    /// Total networks.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Count for one class.
+    pub fn count(&self, class: NetworkClass) -> usize {
+        self.counts.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Percentage for one class.
+    pub fn percentage(&self, class: NetworkClass) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / self.total as f64 * 100.0
+        }
+    }
+
+    /// `(class, count, percentage)` rows, largest first.
+    pub fn rows(&self) -> Vec<(NetworkClass, usize, f64)> {
+        let mut rows: Vec<(NetworkClass, usize, f64)> = self
+            .counts
+            .iter()
+            .map(|(c, n)| (*c, *n, self.percentage(*c)))
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_regex_rules() {
+        assert_eq!(classify_suffix("midwest-state.edu"), NetworkClass::Academic);
+        assert_eq!(classify_suffix("cam.ac.uk"), NetworkClass::Academic);
+        assert_eq!(classify_suffix("ox.ac.uk"), NetworkClass::Academic);
+        assert_eq!(classify_suffix("treasury.gov"), NetworkClass::Government);
+    }
+
+    #[test]
+    fn heuristic_rules() {
+        assert_eq!(classify_suffix("fastpipe.net"), NetworkClass::Isp);
+        assert_eq!(classify_suffix("maxicable.net"), NetworkClass::Isp);
+        assert_eq!(classify_suffix("acme-corp.com"), NetworkClass::Enterprise);
+        assert_eq!(classify_suffix("globex.com"), NetworkClass::Enterprise);
+        assert_eq!(classify_suffix("university-of-somewhere.org"), NetworkClass::Academic);
+        assert_eq!(classify_suffix("random-site.org"), NetworkClass::Other);
+        assert_eq!(classify_suffix("polder-tech.nl"), NetworkClass::Other);
+    }
+
+    #[test]
+    fn edge_inputs() {
+        assert_eq!(classify_suffix(""), NetworkClass::Other);
+        assert_eq!(classify_suffix("EDU"), NetworkClass::Other); // bare TLD, no body
+        assert_eq!(classify_suffix("X.EDU"), NetworkClass::Academic); // case-insensitive
+    }
+
+    #[test]
+    fn breakdown_percentages() {
+        let suffixes = [
+            "a.edu", "b.edu", "c.edu", "d.ac.jp", "isp1.net", "corp.com", "thing.org",
+        ];
+        let b = TypeBreakdown::from_suffixes(suffixes.iter().copied());
+        assert_eq!(b.total(), 7);
+        assert_eq!(b.count(NetworkClass::Academic), 4);
+        assert_eq!(b.count(NetworkClass::Isp), 1);
+        assert_eq!(b.count(NetworkClass::Enterprise), 1);
+        assert_eq!(b.count(NetworkClass::Other), 1);
+        assert!((b.percentage(NetworkClass::Academic) - 400.0 / 7.0).abs() < 1e-9);
+        // Rows sorted by count, academic first.
+        assert_eq!(b.rows()[0].0, NetworkClass::Academic);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = TypeBreakdown::from_suffixes(std::iter::empty());
+        assert_eq!(b.total(), 0);
+        assert_eq!(b.percentage(NetworkClass::Academic), 0.0);
+        assert!(b.rows().is_empty());
+    }
+}

@@ -1,0 +1,425 @@
+//! The §4.1 dynamicity heuristic.
+//!
+//! Three steps over a daily per-/24 PTR-count matrix:
+//!
+//! 1. discard /24s never exceeding `min_daily_addrs` addresses a day; record
+//!    each survivor's maximum daily count,
+//! 2. compute day-by-day absolute count differences and turn them into a
+//!    *change percentage* of that maximum,
+//! 3. label a /24 dynamic when the change percentage exceeds `change_pct` on
+//!    at least `min_days` days.
+//!
+//! Defaults are the paper's: X = 10 %, Y = 7 days, 10-address floor.
+
+use rdns_model::{Ipv4Net, Slash24};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Heuristic thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DynamicityParams {
+    /// Step 1: a /24 must exceed this many addresses on at least one day.
+    pub min_daily_addrs: u32,
+    /// Step 3: X — change percentage a day must exceed to count.
+    pub change_pct: f64,
+    /// Step 3: Y — number of qualifying days required.
+    pub min_days: u32,
+}
+
+impl Default for DynamicityParams {
+    fn default() -> Self {
+        DynamicityParams {
+            min_daily_addrs: 10,
+            change_pct: 10.0,
+            min_days: 7,
+        }
+    }
+}
+
+/// Outcome of the heuristic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DynamicityResult {
+    /// /24s labelled dynamic.
+    pub dynamic: HashSet<Slash24>,
+    /// /24s that survived step 1 (the "considered" population).
+    pub considered: usize,
+    /// All /24s with any PTR in the window.
+    pub total: usize,
+}
+
+impl DynamicityResult {
+    /// Whether a block was labelled dynamic.
+    pub fn is_dynamic(&self, block: Slash24) -> bool {
+        self.dynamic.contains(&block)
+    }
+}
+
+/// Run the heuristic over a `block → daily counts` matrix (aligned columns).
+///
+/// ```
+/// use rdns_core::dynamicity::{identify_dynamic, DynamicityParams};
+/// use rdns_model::Slash24;
+/// use std::collections::HashMap;
+///
+/// let mut matrix = HashMap::new();
+/// // Weekday/weekend churn: detected as dynamic.
+/// let churny: Vec<u32> = (0..30).map(|d| if d % 7 < 5 { 60 } else { 20 }).collect();
+/// matrix.insert(Slash24::from_octets(10, 0, 1), churny);
+/// // A static server block: never flagged.
+/// matrix.insert(Slash24::from_octets(10, 0, 2), vec![40; 30]);
+///
+/// let result = identify_dynamic(&matrix, &DynamicityParams::default());
+/// assert!(result.is_dynamic(Slash24::from_octets(10, 0, 1)));
+/// assert!(!result.is_dynamic(Slash24::from_octets(10, 0, 2)));
+/// ```
+pub fn identify_dynamic(
+    matrix: &HashMap<Slash24, Vec<u32>>,
+    params: &DynamicityParams,
+) -> DynamicityResult {
+    let mut result = DynamicityResult {
+        total: matrix.len(),
+        ..Default::default()
+    };
+    for (block, counts) in matrix {
+        // Step 1: floor on the maximum daily address count.
+        let max = counts.iter().copied().max().unwrap_or(0);
+        if max <= params.min_daily_addrs {
+            continue;
+        }
+        result.considered += 1;
+        // Steps 2–3: day-by-day change percentage against the maximum.
+        let mut qualifying_days = 0u32;
+        for w in counts.windows(2) {
+            let diff = w[1].abs_diff(w[0]);
+            let pct = diff as f64 / max as f64 * 100.0;
+            if pct > params.change_pct {
+                qualifying_days += 1;
+            }
+        }
+        if qualifying_days >= params.min_days {
+            result.dynamic.insert(*block);
+        }
+    }
+    result
+}
+
+/// Fig. 1 ingredient: for one announced prefix, the fraction of its /24s
+/// labelled dynamic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefixDynamicity {
+    /// The announced prefix.
+    pub prefix: Ipv4Net,
+    /// Number of /24 subprefixes labelled dynamic.
+    pub dynamic_24s: u32,
+    /// Total /24 subprefixes.
+    pub total_24s: u32,
+}
+
+impl PrefixDynamicity {
+    /// Fraction of the prefix's /24s that are dynamic, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total_24s == 0 {
+            0.0
+        } else {
+            self.dynamic_24s as f64 / self.total_24s as f64
+        }
+    }
+}
+
+/// Map dynamic /24s back to their most-specific covering announced prefix
+/// (§4.2) and compute per-prefix dynamic fractions. Prefixes with no dynamic
+/// /24 at all are omitted, mirroring the paper's Fig. 1 population.
+pub fn prefix_dynamicity(
+    dynamic: &HashSet<Slash24>,
+    announced: &[Ipv4Net],
+) -> Vec<PrefixDynamicity> {
+    let mut per_prefix: HashMap<Ipv4Net, u32> = HashMap::new();
+    for block in dynamic {
+        // Most-specific announced prefix covering this /24.
+        let candidate = announced
+            .iter()
+            .filter(|p| p.len() <= 24 && p.contains(block.network()))
+            .max_by_key(|p| p.len());
+        if let Some(p) = candidate {
+            *per_prefix.entry(*p).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<PrefixDynamicity> = per_prefix
+        .into_iter()
+        .map(|(prefix, dynamic_24s)| PrefixDynamicity {
+            prefix,
+            dynamic_24s,
+            total_24s: prefix.slash24_count(),
+        })
+        .collect();
+    out.sort_by_key(|p| (p.prefix.len(), p.prefix.network()));
+    out
+}
+
+/// Distribution summary per announced-prefix length (the ticks of Fig. 1:
+/// min / median / max dynamic fraction).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionSummary {
+    /// Prefix length this row summarizes.
+    pub prefix_len: u8,
+    /// Number of prefixes of this length with dynamic /24s.
+    pub prefixes: usize,
+    /// Minimum dynamic fraction.
+    pub min: f64,
+    /// Median dynamic fraction.
+    pub median: f64,
+    /// Maximum dynamic fraction.
+    pub max: f64,
+}
+
+/// Group [`PrefixDynamicity`] rows by announced-prefix length.
+pub fn summarize_fractions(rows: &[PrefixDynamicity]) -> Vec<FractionSummary> {
+    let mut by_len: HashMap<u8, Vec<f64>> = HashMap::new();
+    for r in rows {
+        by_len.entry(r.prefix.len()).or_default().push(r.fraction());
+    }
+    let mut out: Vec<FractionSummary> = by_len
+        .into_iter()
+        .map(|(len, mut fractions)| {
+            fractions.sort_by(|a, b| a.partial_cmp(b).expect("fractions are finite"));
+            let median = fractions[fractions.len() / 2];
+            FractionSummary {
+                prefix_len: len,
+                prefixes: fractions.len(),
+                min: fractions[0],
+                median,
+                max: *fractions.last().expect("non-empty by construction"),
+            }
+        })
+        .collect();
+    out.sort_by_key(|s| s.prefix_len);
+    out
+}
+
+/// Validation against ground truth (§4.1's campus check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// Predicted dynamic, truly dynamic-rDNS.
+    pub true_positives: usize,
+    /// Predicted dynamic, actually static.
+    pub false_positives: usize,
+    /// Predicted static, truly dynamic-rDNS.
+    pub false_negatives: usize,
+    /// Predicted static, actually static.
+    pub true_negatives: usize,
+}
+
+impl ConfusionMatrix {
+    /// Compare a prediction against truth over a universe of blocks.
+    pub fn compute(
+        universe: &HashSet<Slash24>,
+        predicted: &HashSet<Slash24>,
+        truth: &HashSet<Slash24>,
+    ) -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::default();
+        for b in universe {
+            match (predicted.contains(b), truth.contains(b)) {
+                (true, true) => m.true_positives += 1,
+                (true, false) => m.false_positives += 1,
+                (false, true) => m.false_negatives += 1,
+                (false, false) => m.true_negatives += 1,
+            }
+        }
+        m
+    }
+
+    /// Precision of the dynamic label.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall of the dynamic label.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn block(i: u8) -> Slash24 {
+        Slash24::from_octets(10, 0, i)
+    }
+
+    fn matrix(entries: &[(u8, Vec<u32>)]) -> HashMap<Slash24, Vec<u32>> {
+        entries
+            .iter()
+            .map(|(i, counts)| (block(*i), counts.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn small_blocks_discarded_in_step1() {
+        // Oscillates wildly but never above 10 addresses.
+        let m = matrix(&[(1, vec![1, 9, 1, 9, 1, 9, 1, 9, 1, 9])]);
+        let r = identify_dynamic(&m, &DynamicityParams::default());
+        assert_eq!(r.total, 1);
+        assert_eq!(r.considered, 0);
+        assert!(r.dynamic.is_empty());
+    }
+
+    #[test]
+    fn static_blocks_not_dynamic() {
+        let m = matrix(&[(1, vec![50; 90])]);
+        let r = identify_dynamic(&m, &DynamicityParams::default());
+        assert_eq!(r.considered, 1);
+        assert!(r.dynamic.is_empty());
+    }
+
+    #[test]
+    fn churny_blocks_detected() {
+        // Weekday/weekend churn: 60 on weekdays, 20 on weekends → many days
+        // exceed 10% of max (60).
+        let mut counts = Vec::new();
+        for week in 0..4 {
+            let _ = week;
+            counts.extend([60, 58, 61, 59, 60]); // Mon-Fri
+            counts.extend([20, 18]); // weekend
+        }
+        let m = matrix(&[(1, counts)]);
+        let r = identify_dynamic(&m, &DynamicityParams::default());
+        assert!(r.is_dynamic(block(1)));
+    }
+
+    #[test]
+    fn threshold_y_days_boundary() {
+        // Exactly 6 qualifying transitions: below Y=7 → static.
+        let mut counts = vec![100; 30];
+        for i in 0..6 {
+            counts[2 * i + 1] = 50; // six dips, each creating TWO transitions
+        }
+        // each dip creates 2 qualifying transitions (down+up) = 12 → dynamic
+        let m = matrix(&[(1, counts.clone())]);
+        let r = identify_dynamic(&m, &DynamicityParams::default());
+        assert!(r.is_dynamic(block(1)));
+
+        // Three dips → 6 transitions → not dynamic at Y=7.
+        let mut counts = vec![100; 30];
+        for i in 0..3 {
+            counts[2 * i + 1] = 50;
+        }
+        let m = matrix(&[(1, counts)]);
+        let r = identify_dynamic(&m, &DynamicityParams::default());
+        assert!(!r.is_dynamic(block(1)));
+    }
+
+    #[test]
+    fn change_pct_is_relative_to_max() {
+        // Max 200; daily swings of 15 are only 7.5% → static.
+        let counts: Vec<u32> = (0..60).map(|i| if i % 2 == 0 { 200 } else { 185 }).collect();
+        let m = matrix(&[(1, counts)]);
+        let r = identify_dynamic(&m, &DynamicityParams::default());
+        assert!(!r.is_dynamic(block(1)));
+        // Same absolute swings on a max of 100 are 15% → dynamic.
+        let counts: Vec<u32> = (0..60).map(|i| if i % 2 == 0 { 100 } else { 85 }).collect();
+        let m = matrix(&[(1, counts)]);
+        let r = identify_dynamic(&m, &DynamicityParams::default());
+        assert!(r.is_dynamic(block(1)));
+    }
+
+    #[test]
+    fn prefix_mapping_most_specific() {
+        let announced: Vec<Ipv4Net> = vec![
+            "10.0.0.0/8".parse().unwrap(),
+            "10.0.0.0/16".parse().unwrap(),
+        ];
+        let mut dynamic = HashSet::new();
+        dynamic.insert(block(1)); // 10.0.1.0/24 → covered by both; /16 wins
+        dynamic.insert(Slash24::from_octets(10, 200, 1)); // only /8
+        let rows = prefix_dynamicity(&dynamic, &announced);
+        assert_eq!(rows.len(), 2);
+        let by_len: HashMap<u8, u32> = rows.iter().map(|r| (r.prefix.len(), r.dynamic_24s)).collect();
+        assert_eq!(by_len[&16], 1);
+        assert_eq!(by_len[&8], 1);
+    }
+
+    #[test]
+    fn fraction_summaries() {
+        let rows = vec![
+            PrefixDynamicity {
+                prefix: "10.0.0.0/16".parse().unwrap(),
+                dynamic_24s: 32,
+                total_24s: 256,
+            },
+            PrefixDynamicity {
+                prefix: "10.1.0.0/16".parse().unwrap(),
+                dynamic_24s: 128,
+                total_24s: 256,
+            },
+            PrefixDynamicity {
+                prefix: "192.0.2.0/24".parse().unwrap(),
+                dynamic_24s: 1,
+                total_24s: 1,
+            },
+        ];
+        let summary = summarize_fractions(&rows);
+        assert_eq!(summary.len(), 2);
+        let s16 = summary.iter().find(|s| s.prefix_len == 16).unwrap();
+        assert_eq!(s16.prefixes, 2);
+        assert!((s16.min - 0.125).abs() < 1e-9);
+        assert!((s16.max - 0.5).abs() < 1e-9);
+        let s24 = summary.iter().find(|s| s.prefix_len == 24).unwrap();
+        assert!((s24.median - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confusion_matrix_and_rates() {
+        let universe: HashSet<Slash24> = (0..10).map(block).collect();
+        let predicted: HashSet<Slash24> = (0..4).map(block).collect();
+        let truth: HashSet<Slash24> = (2..6).map(block).collect();
+        let m = ConfusionMatrix::compute(&universe, &predicted, &truth);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.false_positives, 2);
+        assert_eq!(m.false_negatives, 2);
+        assert_eq!(m.true_negatives, 4);
+        assert!((m.precision() - 0.5).abs() < 1e-9);
+        assert!((m.recall() - 0.5).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dynamic_is_subset_of_considered(counts in proptest::collection::vec(
+            proptest::collection::vec(0u32..100, 10..40), 1..10)) {
+            let m: HashMap<Slash24, Vec<u32>> = counts
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (block(i as u8), c))
+                .collect();
+            let r = identify_dynamic(&m, &DynamicityParams::default());
+            prop_assert!(r.dynamic.len() <= r.considered);
+            prop_assert!(r.considered <= r.total);
+        }
+
+        #[test]
+        fn prop_constant_series_never_dynamic(v in 0u32..1000, days in 2usize..60) {
+            let m = matrix(&[(1, vec![v; days])]);
+            let r = identify_dynamic(&m, &DynamicityParams::default());
+            prop_assert!(r.dynamic.is_empty());
+        }
+
+        #[test]
+        fn prop_stricter_params_find_fewer(counts in proptest::collection::vec(0u32..200, 20..60)) {
+            let m = matrix(&[(1, counts)]);
+            let lax = identify_dynamic(&m, &DynamicityParams { min_daily_addrs: 5, change_pct: 5.0, min_days: 3 });
+            let strict = identify_dynamic(&m, &DynamicityParams { min_daily_addrs: 20, change_pct: 20.0, min_days: 10 });
+            prop_assert!(strict.dynamic.len() <= lax.dynamic.len());
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Ablations of the design choices behind the timing results (§6.2, §10).
+//!
+//! * [`release_ablation`] — the paper's future-work question: clients that
+//!   send DHCP RELEASE get their PTR pulled within minutes; silent leavers
+//!   linger until lease expiry. Sweeping the clean-release probability
+//!   quantifies how much *not releasing* acts as a defence.
+//! * [`lease_ablation`] — §6.2 attributes Academic-B's lingering records to
+//!   longer leases; sweeping the lease time makes that dependency explicit.
+
+use crate::experiments::harness::{run_supplemental, FaultMix};
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::timing::{build_groups, RemovalDelays};
+use rdns_model::{Date, SimDuration};
+use rdns_netsim::spec::presets;
+use rdns_netsim::{World, WorldConfig};
+
+/// One ablation row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// The swept parameter value (probability or hours).
+    pub value: f64,
+    /// Reliable delay samples gathered.
+    pub samples: usize,
+    /// Fraction of removals within 15 minutes.
+    pub within_15m: f64,
+    /// Fraction within 60 minutes.
+    pub within_60m: f64,
+}
+
+/// A parameter sweep result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ablation {
+    /// Swept parameter name.
+    pub parameter: &'static str,
+    /// Rows in sweep order.
+    pub rows: Vec<AblationRow>,
+}
+
+impl Ablation {
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new([
+            self.parameter,
+            "delay samples",
+            "removed <=15 min",
+            "removed <=60 min",
+        ]);
+        for r in &self.rows {
+            t.row([
+                format!("{:.2}", r.value),
+                r.samples.to_string(),
+                format!("{:.1}%", r.within_15m * 100.0),
+                format!("{:.1}%", r.within_60m * 100.0),
+            ]);
+        }
+        t.render()
+    }
+}
+
+fn measure(scale: &Scale, mutate: impl Fn(&mut rdns_netsim::NetworkSpec)) -> (usize, f64, f64) {
+    let from = Date::from_ymd(2021, 11, 1);
+    let mut spec = presets::academic_a(scale.focus_scale);
+    spec.seed_persons.clear();
+    mutate(&mut spec);
+    let mut world = World::new(WorldConfig {
+        seed: scale.seed,
+        start: from,
+        networks: vec![spec],
+    });
+    let run = run_supplemental(
+        &mut world,
+        &["Academic-A"],
+        from,
+        scale.supplemental_days.max(2),
+        FaultMix::none(),
+        scale.seed,
+    );
+    let groups = build_groups(&run.log);
+    let delays = RemovalDelays::from_groups(&groups);
+    (delays.len(), delays.cdf_at(15.0), delays.cdf_at(60.0))
+}
+
+/// Sweep the probability that departing clients send DHCP RELEASE.
+pub fn release_ablation(scale: &Scale) -> Ablation {
+    let rows = [0.0, 0.35, 0.7, 1.0]
+        .into_iter()
+        .map(|p| {
+            let (samples, w15, w60) = measure(scale, |spec| {
+                spec.clean_release_prob = p;
+            });
+            AblationRow {
+                value: p,
+                samples,
+                within_15m: w15,
+                within_60m: w60,
+            }
+        })
+        .collect();
+    Ablation {
+        parameter: "P(RELEASE on leave)",
+        rows,
+    }
+}
+
+/// Sweep the DHCP lease time.
+pub fn lease_ablation(scale: &Scale) -> Ablation {
+    let rows = [1u64, 2, 4]
+        .into_iter()
+        .map(|hours| {
+            let (samples, w15, w60) = measure(scale, |spec| {
+                spec.lease_time = SimDuration::hours(hours);
+            });
+            AblationRow {
+                value: hours as f64,
+                samples,
+                within_15m: w15,
+                within_60m: w60,
+            }
+        })
+        .collect();
+    Ablation {
+        parameter: "lease time (hours)",
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn releases_accelerate_removal() {
+        let a = release_ablation(&Scale::tiny());
+        assert_eq!(a.rows.len(), 4);
+        for r in &a.rows {
+            assert!(r.samples > 0, "row {:?} has no samples", r);
+            assert!(r.within_15m <= r.within_60m + f64::EPSILON);
+        }
+        // Monotone-ish: all-release removes far faster than never-release.
+        let never = &a.rows[0];
+        let always = &a.rows[3];
+        assert!(
+            always.within_15m > never.within_15m + 0.3,
+            "releases must accelerate removal: never={:.2} always={:.2}",
+            never.within_15m,
+            always.within_15m
+        );
+        // Silence as a defence: without releases, very few removals within
+        // 15 minutes (only the T1/lease mechanics).
+        assert!(never.within_15m < 0.4, "never={:.2}", never.within_15m);
+        assert!(a.render().contains("RELEASE"));
+    }
+
+    #[test]
+    fn longer_leases_linger_longer() {
+        let a = lease_ablation(&Scale::tiny());
+        assert_eq!(a.rows.len(), 3);
+        let one_hour = &a.rows[0];
+        let four_hours = &a.rows[2];
+        assert!(
+            one_hour.within_60m > four_hours.within_60m + 0.15,
+            "1h lease {:.2} vs 4h lease {:.2}",
+            one_hour.within_60m,
+            four_hours.within_60m
+        );
+        assert!(a.render().contains("lease time"));
+    }
+}

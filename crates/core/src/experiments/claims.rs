@@ -1,0 +1,204 @@
+//! The paper's contribution checklist (§1), verified programmatically.
+//!
+//! The paper claims five contributions. [`check_claims`] re-derives each
+//! one from freshly simulated data and reports pass/fail — the reproduction
+//! equivalent of an artifact-evaluation checklist.
+
+use crate::casestudies::brian::track_devices;
+use crate::classify::NetworkClass;
+use crate::experiments::harness::{run_supplemental, FaultMix};
+use crate::experiments::section5::{fig4, LeakStudy};
+use crate::experiments::section6::SupplementalStudy;
+use crate::experiments::Scale;
+use crate::names::match_given_names;
+use crate::report::TextTable;
+use crate::terms::{extract_terms, DEVICE_TERMS};
+use crate::timing::RemovalDelays;
+use rdns_model::Date;
+use rdns_netsim::{spec::presets, World, WorldConfig};
+
+/// One verified claim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimCheck {
+    /// Claim number from §1.
+    pub id: u8,
+    /// The claim, paraphrased.
+    pub claim: &'static str,
+    /// Whether the reproduction supports it.
+    pub passed: bool,
+    /// Supporting numbers.
+    pub evidence: String,
+}
+
+/// The full checklist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimsReport {
+    /// One entry per §1 contribution.
+    pub checks: Vec<ClaimCheck>,
+}
+
+impl ClaimsReport {
+    /// Whether every claim passed.
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["#", "claim", "verdict", "evidence"]);
+        for c in &self.checks {
+            t.row([
+                c.id.to_string(),
+                c.claim.to_string(),
+                if c.passed { "PASS" } else { "FAIL" }.to_string(),
+                c.evidence.clone(),
+            ]);
+        }
+        t.render()
+    }
+}
+
+/// Re-derive the paper's five §1 contributions at the given scale.
+pub fn check_claims(scale: &Scale) -> ClaimsReport {
+    let mut checks = Vec::new();
+
+    // Shared studies.
+    let leak = LeakStudy::run(scale);
+    let supplemental = SupplementalStudy::run(scale);
+
+    // Claim 1: DNS records contain unique identifiers in practice —
+    // including device types and owner names.
+    {
+        let mut named = 0usize;
+        let mut named_with_device_term = 0usize;
+        for (_, host) in leak.observations() {
+            if match_given_names(host).is_empty() {
+                continue;
+            }
+            named += 1;
+            let terms = extract_terms(host);
+            if terms.iter().any(|t| DEVICE_TERMS.contains(&t.as_str())) {
+                named_with_device_term += 1;
+            }
+        }
+        checks.push(ClaimCheck {
+            id: 1,
+            claim: "records carry owner names and device models",
+            passed: named > 0 && named_with_device_term > 0,
+            evidence: format!(
+                "{named} name-bearing records, {named_with_device_term} also naming a device model"
+            ),
+        });
+    }
+
+    // Claim 2: networks of varying types expose such information.
+    {
+        let breakdown = fig4(&leak);
+        let classes_with_hits = [
+            NetworkClass::Academic,
+            NetworkClass::Isp,
+            NetworkClass::Enterprise,
+            NetworkClass::Government,
+            NetworkClass::Other,
+        ]
+        .iter()
+        .filter(|c| breakdown.count(**c) > 0)
+        .count();
+        checks.push(ClaimCheck {
+            id: 2,
+            claim: "academic, enterprise and ISP networks all expose it",
+            passed: classes_with_hits >= 3,
+            evidence: format!(
+                "{} identified networks across {classes_with_hits} classes",
+                breakdown.total()
+            ),
+        });
+    }
+
+    // Claim 3: record presence tracks client presence (≈1 h lingering).
+    {
+        let delays = RemovalDelays::from_groups(&supplemental.groups);
+        let within = delays.cdf_at(65.0);
+        checks.push(ClaimCheck {
+            id: 3,
+            claim: "records linger at most ~an hour after departure",
+            passed: delays.len() > 10 && within > 0.75,
+            evidence: format!(
+                "{} reliable groups, {:.1}% removed within ~an hour",
+                delays.len(),
+                within * 100.0
+            ),
+        });
+    }
+
+    // Claim 4: outsiders can track specific clients and learn dynamics.
+    {
+        let from = Date::from_ymd(2021, 11, 15);
+        let mut world = World::new(WorldConfig {
+            seed: scale.seed,
+            start: from,
+            networks: vec![presets::academic_a(scale.focus_scale)],
+        });
+        let run = run_supplemental(
+            &mut world,
+            &["Academic-A"],
+            from,
+            7,
+            FaultMix::realistic(),
+            scale.seed,
+        );
+        let timeline = track_devices(&run.log, "brian");
+        let tracked_days: usize = timeline
+            .hosts
+            .iter()
+            .map(|h| timeline.active_days(h).len())
+            .sum();
+        checks.push(ClaimCheck {
+            id: 4,
+            claim: "specific clients are trackable from outside",
+            passed: !timeline.hosts.is_empty() && tracked_days >= 5,
+            evidence: format!(
+                "{} brian-named devices tracked over {tracked_days} device-days",
+                timeline.hosts.len()
+            ),
+        });
+    }
+
+    // Claim 5: causes identified and mitigations available — hashed labels
+    // defeat name matching on otherwise identical infrastructure.
+    {
+        let hashed = rdns_ipam::hashed_label(rdns_dhcp::MacAddr::from_seed(1), scale.seed);
+        let sanitized = rdns_ipam::sanitize_label("Brian's iPhone");
+        let leak_defeated = !hashed.contains("brian")
+            && sanitized.as_deref() == Some("brians-iphone");
+        checks.push(ClaimCheck {
+            id: 5,
+            claim: "cause is Host-Name carry-over; hashing mitigates",
+            passed: leak_defeated,
+            evidence: format!(
+                "carry-over yields {:?}, hashed policy yields {hashed:?}",
+                sanitized.unwrap_or_default()
+            ),
+        });
+    }
+
+    ClaimsReport { checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_claims_hold_at_tiny_scale() {
+        let report = check_claims(&Scale::tiny());
+        assert_eq!(report.checks.len(), 5);
+        for c in &report.checks {
+            assert!(c.passed, "claim {} failed: {}", c.id, c.evidence);
+        }
+        assert!(report.all_passed());
+        let rendered = report.render();
+        assert!(rendered.contains("PASS"));
+        assert!(!rendered.contains("FAIL"));
+    }
+}

@@ -1,0 +1,329 @@
+//! Synthetic background population for the §4/§5 scale experiments.
+//!
+//! The paper observes 6.15M /24s and identifies 197 leaking networks across
+//! the whole IPv4 Internet; we generate a scaled-down population of
+//! organisations with the same *structural* variety: announced prefixes of
+//! different sizes, numbering plans mixing dynamic pools with static
+//! infrastructure and fixed-form DHCP, different organisation types, and a
+//! minority of networks that actually carry names into rDNS.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use rdns_model::Ipv4Net;
+use rdns_netsim::spec::DynDnsMode;
+use rdns_netsim::{
+    BuildingTag, HolidayCalendar, IcmpPolicy, NetworkSpec, NetworkType, PersonKind, SubnetRole,
+    SubnetSpec,
+};
+use rdns_netsim::covid::OccupancyTimeline;
+use rdns_model::SimDuration;
+use std::net::Ipv4Addr;
+
+/// Population generator settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of organisations.
+    pub orgs: usize,
+    /// Average persons per dynamic /24.
+    pub persons_per_block: usize,
+}
+
+impl PopulationConfig {
+    /// Defaults matched to [`super::Scale`].
+    pub fn new(seed: u64, orgs: usize) -> PopulationConfig {
+        PopulationConfig {
+            seed,
+            orgs,
+            persons_per_block: 18,
+        }
+    }
+}
+
+/// A handful of very large carriers whose announcements span /10–/15 — the
+/// top rows of Fig. 1, where only a sliver of an enormous announcement is
+/// dynamic. Their address space lives in `11.0.0.0/8`..`15.0.0.0/8`, clear
+/// of the regular background population.
+fn large_carriers(config: &PopulationConfig) -> Vec<NetworkSpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x1A26E);
+    let plans: [(u8, u8); 5] = [(11, 10), (12, 12), (13, 13), (14, 14), (15, 15)];
+    plans
+        .iter()
+        .enumerate()
+        .map(|(i, (first_octet, announced_len))| {
+            let announced =
+                Ipv4Net::new(Ipv4Addr::new(*first_octet, 0, 0, 0), *announced_len)
+                    .expect("aligned by construction");
+            // A few dynamic pools plus core infrastructure, dwarfed by the
+            // announcement.
+            let n_pools = rng.gen_range(2..=5);
+            let mut subnets = vec![SubnetSpec {
+                prefix: Ipv4Net::new(Ipv4Addr::new(*first_octet, 0, 0, 0), 24)
+                    .expect("/24 in range"),
+                label: "core".into(),
+                role: SubnetRole::StaticInfra {
+                    hosts: rng.gen_range(20..80),
+                },
+                building: BuildingTag::None,
+            }];
+            for j in 0..n_pools {
+                // Carriers split between leaky carry-over and fixed-form
+                // pools so they don't dominate the Fig. 4 type mix.
+                let dns = if i % 2 == 0 {
+                    DynDnsMode::CarryOver
+                } else {
+                    DynDnsMode::NoUpdate
+                };
+                subnets.push(SubnetSpec {
+                    prefix: Ipv4Net::new(Ipv4Addr::new(*first_octet, 0, 1 + j, 0), 24)
+                        .expect("/24 in range"),
+                    label: format!("pool{j}"),
+                    role: SubnetRole::DynamicClients {
+                        persons: config.persons_per_block.max(2),
+                        person_kind: PersonKind::Resident,
+                        dns,
+                    },
+                    building: BuildingTag::None,
+                });
+            }
+            NetworkSpec {
+                name: format!("carrier-{i}"),
+                ntype: NetworkType::Isp,
+                suffix: format!("megacarrier{i}.net"),
+                announced: vec![announced],
+                subnets,
+                icmp: IcmpPolicy::Open,
+                lease_time: SimDuration::hours(1),
+                clean_release_prob: 0.4,
+                anonymity_fraction: 0.05,
+                device_ping_rate: rng.gen_range(0.1..0.6),
+                calendar: HolidayCalendar::None,
+                occupancy_education: OccupancyTimeline::flat(),
+                occupancy_housing: OccupancyTimeline::flat(),
+                seed_persons: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Generate the background organisations. Address space is carved from
+/// `10.0.0.0/8` (we keep `100.0.0.0/8` for the Table 4 focus networks), one
+/// announced prefix per organisation, plus five very large carriers in
+/// `11.0.0.0/8`..`15.0.0.0/8` for Fig. 1's top rows.
+pub fn generate_population(config: &PopulationConfig) -> Vec<NetworkSpec> {
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xBAC6_0000);
+    let mut specs = Vec::with_capacity(config.orgs);
+    // Allocation cursor in /24 units inside 10.0.0.0/8, aligned per prefix.
+    let mut cursor: u32 = 0;
+    for i in 0..config.orgs {
+        let announced_len: u8 = *[16u8, 18, 20, 21, 22, 23, 24]
+            .get(rng.gen_range(0..7))
+            .expect("index in range");
+        let blocks_needed = 1u32 << (24 - announced_len as u32);
+        cursor = cursor.div_ceil(blocks_needed) * blocks_needed;
+        assert!(cursor + blocks_needed <= 1 << 16, "10/8 exhausted");
+        let base = u32::from(Ipv4Addr::new(10, 0, 0, 0)) + (cursor << 8);
+        let announced = Ipv4Net::new(Ipv4Addr::from(base), announced_len)
+            .expect("aligned by construction");
+        cursor += blocks_needed;
+
+        let ntype = match rng.gen_range(0..100) {
+            0..=34 => NetworkType::Academic,
+            35..=59 => NetworkType::Isp,
+            60..=79 => NetworkType::Enterprise,
+            80..=87 => NetworkType::Government,
+            _ => NetworkType::Other,
+        };
+        let suffix = match ntype {
+            NetworkType::Academic => format!("u{i}.edu"),
+            NetworkType::Isp => format!("isp{i}.net"),
+            NetworkType::Enterprise => format!("corp{i}.com"),
+            NetworkType::Government => format!("agency{i}.gov"),
+            NetworkType::Other => format!("site{i}.org"),
+        };
+
+        // Numbering plan: a handful of /24s inside the announced prefix.
+        let max_blocks = announced.slash24_count().min(8);
+        let n_blocks = rng.gen_range(1..=max_blocks) as usize;
+        // Does this org leak (dynamic + carry-over)? A minority, like the
+        // 197-in-6.15M finding — boosted so scaled runs have signal, and
+        // skewed toward academics, which dominate the paper's Fig. 4.
+        let leaks = rng.gen_bool(match ntype {
+            NetworkType::Academic => 0.45,
+            NetworkType::Isp => 0.20,
+            NetworkType::Enterprise => 0.15,
+            NetworkType::Government => 0.10,
+            NetworkType::Other => 0.15,
+        });
+        let person_kind = match ntype {
+            NetworkType::Academic => PersonKind::Student,
+            NetworkType::Isp => PersonKind::Resident,
+            _ => PersonKind::Employee,
+        };
+
+        let blocks: Vec<Ipv4Net> = announced.slash24s().take(n_blocks).map(|s| {
+            Ipv4Net::new(s.network(), 24).expect("/24 from slash24")
+        }).collect();
+        let mut subnets = Vec::new();
+        for (j, block) in blocks.into_iter().enumerate() {
+            let role = if j == 0 && rng.gen_bool(0.7) {
+                SubnetRole::StaticInfra {
+                    hosts: rng.gen_range(5..40),
+                }
+            } else if leaks {
+                SubnetRole::DynamicClients {
+                    persons: config.persons_per_block.max(2),
+                    person_kind,
+                    dns: DynDnsMode::CarryOver,
+                }
+            } else {
+                match rng.gen_range(0..4) {
+                    0 => SubnetRole::FixedFormDhcp {
+                        persons: config.persons_per_block.max(2),
+                        person_kind,
+                    },
+                    1 => SubnetRole::StaticInfra {
+                        hosts: rng.gen_range(5..60),
+                    },
+                    // Statically assigned named workstations: given names in
+                    // rDNS, but no dynamics — the paper's "all matches" mass
+                    // that the filter correctly discards.
+                    2 => SubnetRole::StaticNamed {
+                        hosts: rng.gen_range(20..120),
+                    },
+                    _ => SubnetRole::Dark,
+                }
+            };
+            subnets.push(SubnetSpec {
+                prefix: block,
+                label: if j == 0 { "net".into() } else { format!("dyn{j}") },
+                role,
+                building: BuildingTag::None,
+            });
+        }
+
+        specs.push(NetworkSpec {
+            name: format!("bg-{i}"),
+            ntype,
+            suffix,
+            announced: vec![announced],
+            subnets,
+            icmp: if rng.gen_bool(0.7) {
+                IcmpPolicy::Open
+            } else {
+                IcmpPolicy::Blocked
+            },
+            lease_time: SimDuration::hours(*[1u64, 1, 2, 4].get(rng.gen_range(0..4)).expect("in range")),
+            clean_release_prob: rng.gen_range(0.2..0.5),
+            anonymity_fraction: 0.05,
+            device_ping_rate: rng.gen_range(0.1..0.9),
+            calendar: HolidayCalendar::None,
+            occupancy_education: OccupancyTimeline::flat(),
+            occupancy_housing: OccupancyTimeline::flat(),
+            seed_persons: Vec::new(),
+        });
+    }
+    specs.extend(large_carriers(config));
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_org_count_plus_carriers() {
+        let specs = generate_population(&PopulationConfig::new(1, 25));
+        assert_eq!(specs.len(), 25 + 5, "25 background orgs + 5 large carriers");
+        let carriers = specs
+            .iter()
+            .filter(|s| s.name.starts_with("carrier-"))
+            .count();
+        assert_eq!(carriers, 5);
+    }
+
+    #[test]
+    fn carriers_have_large_announcements() {
+        let specs = generate_population(&PopulationConfig::new(1, 10));
+        let lens: Vec<u8> = specs
+            .iter()
+            .filter(|s| s.name.starts_with("carrier-"))
+            .map(|s| s.announced[0].len())
+            .collect();
+        assert_eq!(lens, vec![10, 12, 13, 14, 15]);
+        // Their pools are a vanishing share of the announcement (Fig. 1's
+        // top-row shape).
+        for s in specs.iter().filter(|s| s.name.starts_with("carrier-")) {
+            let pool_24s: u32 = s.subnets.iter().map(|sn| sn.prefix.slash24_count()).sum();
+            assert!(pool_24s * 100 < s.announced[0].slash24_count());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_population(&PopulationConfig::new(7, 10));
+        let b = generate_population(&PopulationConfig::new(7, 10));
+        assert_eq!(a, b);
+        let c = generate_population(&PopulationConfig::new(8, 10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn subnets_inside_announced() {
+        for spec in generate_population(&PopulationConfig::new(3, 40)) {
+            for sn in &spec.subnets {
+                assert!(
+                    spec.announced.iter().any(|a| a.covers(&sn.prefix)),
+                    "{}: {} outside {:?}",
+                    spec.name,
+                    sn.prefix,
+                    spec.announced
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_leaky_and_quiet_orgs() {
+        let specs = generate_population(&PopulationConfig::new(5, 60));
+        let leaky = specs
+            .iter()
+            .filter(|s| {
+                s.subnets.iter().any(|sn| {
+                    matches!(
+                        sn.role,
+                        SubnetRole::DynamicClients {
+                            dns: DynDnsMode::CarryOver,
+                            ..
+                        }
+                    )
+                })
+            })
+            .count();
+        assert!(leaky > 3, "some orgs must leak ({leaky})");
+        assert!(leaky < 40, "most orgs must not leak ({leaky})");
+    }
+
+    #[test]
+    fn announced_prefix_sizes_vary() {
+        let specs = generate_population(&PopulationConfig::new(11, 80));
+        let lens: std::collections::HashSet<u8> = specs
+            .iter()
+            .map(|s| s.announced[0].len())
+            .collect();
+        assert!(lens.len() >= 4, "need variety for Fig. 1: {lens:?}");
+    }
+
+    #[test]
+    fn distinct_address_space_per_org() {
+        let specs = generate_population(&PopulationConfig::new(13, 50));
+        let mut seen = std::collections::HashSet::new();
+        for s in &specs {
+            for sn in &s.subnets {
+                assert!(seen.insert(sn.prefix), "overlap at {}", sn.prefix);
+            }
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! §6 experiments: the supplemental measurement (Tables 2–5, Figs. 6–7).
+
+use crate::experiments::harness::{run_supplemental, FaultMix, SupplementalRun};
+use crate::experiments::Scale;
+use crate::report::TextTable;
+use crate::timing::{build_groups, ActivityGroup, GroupFunnel, RemovalDelays};
+use rdns_data::ScanDatasetStats;
+use rdns_model::{Date, Ipv4Net};
+use rdns_netsim::spec::presets;
+use rdns_netsim::{IcmpPolicy, World, WorldConfig};
+use rdns_scan::{BackoffSchedule, RdnsOutcome};
+use std::collections::{BTreeMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Per-network metadata captured at study time (Table 4 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetMeta {
+    /// Anonymized-style name ("Academic-A").
+    pub name: String,
+    /// Targeted dynamic address space.
+    pub targets: Vec<Ipv4Net>,
+    /// Total targeted addresses.
+    pub target_size: u32,
+    /// Whether the network blocks ICMP at ingress.
+    pub icmp_blocked: bool,
+}
+
+impl NetMeta {
+    /// Whether an address belongs to this network's targets.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.targets.iter().any(|p| p.contains(addr))
+    }
+}
+
+/// The full §6 study: one supplemental campaign over the nine networks.
+pub struct SupplementalStudy {
+    /// The campaign output.
+    pub run: SupplementalRun,
+    /// Activity groups (§6.1 merging).
+    pub groups: Vec<ActivityGroup>,
+    /// Table 5 funnel.
+    pub funnel: GroupFunnel,
+    /// Per-network metadata.
+    pub networks: Vec<NetMeta>,
+}
+
+impl SupplementalStudy {
+    /// Run the campaign: the Table 4 networks, starting 2021-11-01.
+    pub fn run(scale: &Scale) -> SupplementalStudy {
+        Self::run_from(scale, Date::from_ymd(2021, 11, 1), scale.supplemental_days)
+    }
+
+    /// Run from an explicit start date for the given number of days.
+    pub fn run_from(scale: &Scale, from: Date, days: u32) -> SupplementalStudy {
+        let specs = presets::table4_networks(scale.focus_scale);
+        let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+        let mut world = World::new(WorldConfig {
+            seed: scale.seed,
+            start: from,
+            networks: specs.clone(),
+        });
+        let networks: Vec<NetMeta> = specs
+            .iter()
+            .map(|s| {
+                let targets = world.scan_targets(&s.name);
+                NetMeta {
+                    name: s.name.clone(),
+                    target_size: targets.iter().map(|p| p.size()).sum(),
+                    targets,
+                    icmp_blocked: s.icmp == IcmpPolicy::Blocked,
+                }
+            })
+            .collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let run = run_supplemental(
+            &mut world,
+            &name_refs,
+            from,
+            days,
+            FaultMix::realistic(),
+            scale.seed,
+        );
+        let groups = build_groups(&run.log);
+        let funnel = GroupFunnel::compute(&groups);
+        SupplementalStudy {
+            run,
+            groups,
+            funnel,
+            networks,
+        }
+    }
+
+    /// The network an address belongs to, if any.
+    pub fn network_of(&self, addr: Ipv4Addr) -> Option<&NetMeta> {
+        self.networks.iter().find(|n| n.contains(addr))
+    }
+
+    /// Reliable-group removal delays for one network.
+    pub fn delays_for(&self, network: &str) -> RemovalDelays {
+        let meta = self.networks.iter().find(|n| n.name == network);
+        let Some(meta) = meta else {
+            return RemovalDelays::default();
+        };
+        RemovalDelays {
+            minutes: self
+                .groups
+                .iter()
+                .filter(|g| g.reliable() && meta.contains(g.addr))
+                .filter_map(|g| g.removal_delay())
+                .map(|d| d.as_mins_f64())
+                .collect(),
+        }
+    }
+
+    /// All reliable-group delays.
+    pub fn delays(&self) -> RemovalDelays {
+        RemovalDelays::from_groups(&self.groups)
+    }
+}
+
+/// Table 2: the reactive back-off schedule (methodology table; asserted
+/// against [`BackoffSchedule::standard`]).
+pub fn table2() -> String {
+    let s = BackoffSchedule::standard();
+    let mut out = String::from("Reactive measurement back-off (Table 2):\n");
+    let stages = [
+        (12u32, 5u64, "1st hour"),
+        (6, 10, "2nd hour"),
+        (3, 20, "3rd hour"),
+        (2, 30, "4th hour"),
+    ];
+    let mut idx = 0u32;
+    for (count, mins, label) in stages {
+        debug_assert_eq!(s.delay_after(idx).as_mins(), mins);
+        out.push_str(&format!(
+            "  {count:>2} times in the {label} at {mins}-minute intervals\n"
+        ));
+        idx += count;
+    }
+    debug_assert_eq!(s.delay_after(idx).as_mins(), 60);
+    out.push_str("  until client goes offline, once at 60-minute intervals\n");
+    out
+}
+
+/// Table 3: supplemental measurement statistics.
+pub fn table3(study: &SupplementalStudy) -> String {
+    let stats = ScanDatasetStats::from_log(&study.run.log);
+    let end = study.run.from.plus_days(study.run.days as i64 - 1);
+    let mut t = TextTable::new([
+        "stream",
+        "start",
+        "end",
+        "total responses",
+        "unique IPs",
+        "unique PTRs",
+    ]);
+    t.row([
+        "ICMP".into(),
+        study.run.from.to_string(),
+        end.to_string(),
+        stats.icmp_responses.to_string(),
+        stats.icmp_unique_addrs.to_string(),
+        "-".to_string(),
+    ]);
+    t.row([
+        "rDNS".into(),
+        study.run.from.to_string(),
+        end.to_string(),
+        stats.rdns_responses.to_string(),
+        stats.rdns_unique_addrs.to_string(),
+        stats.unique_ptrs.to_string(),
+    ]);
+    t.render()
+}
+
+/// Table 4 rows: per-network targeted size, addresses observed, percentage.
+pub fn table4(study: &SupplementalStudy) -> String {
+    // Unique alive addresses per network.
+    let mut observed: BTreeMap<&str, HashSet<Ipv4Addr>> = BTreeMap::new();
+    for rec in &study.run.log.icmp {
+        if rec.alive {
+            if let Some(meta) = study.network_of(rec.addr) {
+                observed.entry(&meta.name).or_default().insert(rec.addr);
+            }
+        }
+    }
+    let mut t = TextTable::new(["network", "size", "addresses observed", "percent observed"]);
+    for meta in &study.networks {
+        let seen = observed.get(meta.name.as_str()).map_or(0, |s| s.len());
+        let pct = seen as f64 / meta.target_size as f64 * 100.0;
+        t.row([
+            meta.name.clone(),
+            format!(
+                "{} x /24 ({})",
+                meta.targets.len(),
+                meta.target_size
+            ),
+            seen.to_string(),
+            format!("{pct:.1}%"),
+        ]);
+    }
+    t.render()
+}
+
+/// Table 5: the group funnel.
+pub fn table5(study: &SupplementalStudy) -> String {
+    let mut t = TextTable::new(["subset", "#groups", "fraction of parent"]);
+    for (label, count, pct) in study.funnel.rows() {
+        t.row([label.to_string(), count.to_string(), format!("{pct:.1}%")]);
+    }
+    t.render()
+}
+
+/// Fig. 6: daily DNS error counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig6 {
+    /// `(date, total lookups, nxdomain, servfail, timeout)` per day.
+    pub rows: Vec<(Date, usize, usize, usize, usize)>,
+}
+
+impl Fig6 {
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["date", "total", "nxdomain", "ns-failure", "timeout"]);
+        for (d, total, nx, sf, to) in &self.rows {
+            t.row([
+                d.to_string(),
+                total.to_string(),
+                nx.to_string(),
+                sf.to_string(),
+                to.to_string(),
+            ]);
+        }
+        t.render()
+    }
+
+    /// Aggregate error fractions over the campaign.
+    pub fn error_fraction(&self) -> f64 {
+        let total: usize = self.rows.iter().map(|r| r.1).sum();
+        let errors: usize = self.rows.iter().map(|r| r.2 + r.3 + r.4).sum();
+        if total == 0 {
+            0.0
+        } else {
+            errors as f64 / total as f64
+        }
+    }
+}
+
+/// Compute Fig. 6 from the study.
+pub fn fig6(study: &SupplementalStudy) -> Fig6 {
+    let mut by_day: BTreeMap<Date, (usize, usize, usize, usize)> = BTreeMap::new();
+    for rec in &study.run.log.rdns {
+        let entry = by_day.entry(rec.ts.date()).or_default();
+        entry.0 += 1;
+        match rec.outcome {
+            RdnsOutcome::NxDomain => entry.1 += 1,
+            RdnsOutcome::NameserverFailure => entry.2 += 1,
+            RdnsOutcome::Timeout => entry.3 += 1,
+            RdnsOutcome::Ptr(_) => {}
+        }
+    }
+    Fig6 {
+        rows: by_day
+            .into_iter()
+            .map(|(d, (t, nx, sf, to))| (d, t, nx, sf, to))
+            .collect(),
+    }
+}
+
+/// Fig. 7 contents: removal-delay histogram and per-network CDFs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7 {
+    /// 5-minute histogram up to 180 minutes (Fig. 7a).
+    pub histogram: Vec<(f64, usize)>,
+    /// Per-network CDF checkpoints at 15/30/60/120 minutes (Fig. 7b).
+    pub cdfs: Vec<(String, [f64; 4])>,
+    /// Overall fraction of removals within an hour (the 9-in-10 headline).
+    pub within_hour: f64,
+}
+
+impl Fig7 {
+    /// Render both panels as text.
+    pub fn render(&self) -> String {
+        let max = self.histogram.iter().map(|(_, c)| *c).max().unwrap_or(1);
+        let mut out = String::from("Fig 7a — minutes between last ICMP and PTR removal:\n");
+        for (start, count) in &self.histogram {
+            if *count > 0 {
+                out.push_str(&format!(
+                    "  {:>3.0}-{:<3.0} {:>6}  {}\n",
+                    start,
+                    start + 5.0,
+                    count,
+                    crate::report::bar(*count as f64, max as f64, 40)
+                ));
+            }
+        }
+        out.push_str("\nFig 7b — CDF checkpoints (15/30/60/120 min):\n");
+        for (name, cdf) in &self.cdfs {
+            out.push_str(&format!(
+                "  {:<14} {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}%\n",
+                name,
+                cdf[0] * 100.0,
+                cdf[1] * 100.0,
+                cdf[2] * 100.0,
+                cdf[3] * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "\noverall within 60 minutes: {:.1}%\n",
+            self.within_hour * 100.0
+        ));
+        out
+    }
+}
+
+/// Compute Fig. 7 from the study.
+pub fn fig7(study: &SupplementalStudy) -> Fig7 {
+    let all = study.delays();
+    let cdfs = study
+        .networks
+        .iter()
+        .filter(|m| !m.icmp_blocked)
+        .map(|m| {
+            let d = study.delays_for(&m.name);
+            (
+                m.name.clone(),
+                [d.cdf_at(15.0), d.cdf_at(30.0), d.cdf_at(60.0), d.cdf_at(120.0)],
+            )
+        })
+        .filter(|(_, cdf)| cdf[3] > 0.0) // drop networks with no usable groups
+        .collect();
+    Fig7 {
+        histogram: all.histogram(5.0, 180.0),
+        cdfs,
+        within_hour: all.fraction_within_hour(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn study() -> SupplementalStudy {
+        SupplementalStudy::run(&Scale::tiny())
+    }
+
+    #[test]
+    fn table2_matches_schedule() {
+        let t = table2();
+        assert!(t.contains("12 times in the 1st hour at 5-minute intervals"));
+        assert!(t.contains("60-minute intervals"));
+    }
+
+    #[test]
+    fn study_produces_usable_groups() {
+        let s = study();
+        assert!(s.funnel.all > 0);
+        assert!(s.funnel.reliable > 0, "funnel: {:?}", s.funnel);
+        assert!(s.funnel.reliable <= s.funnel.ptr_reverted);
+        assert!(s.funnel.ptr_reverted <= s.funnel.successful);
+        assert!(s.funnel.successful <= s.funnel.all);
+    }
+
+    #[test]
+    fn blocked_networks_unobserved_in_table4() {
+        let s = study();
+        let t4 = table4(&s);
+        // Enterprise-B and Enterprise-C block ICMP: zero observed.
+        for line in t4.lines() {
+            if line.starts_with("Enterprise-B") || line.starts_with("Enterprise-C") {
+                assert!(line.contains(" 0 "), "expected 0 observed: {line}");
+            }
+            if line.starts_with("Academic-A") {
+                assert!(!line.contains(" 0 "), "Academic-A must be observed: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn removals_mostly_within_an_hour() {
+        let s = study();
+        let f7 = fig7(&s);
+        assert!(
+            f7.within_hour > 0.7,
+            "paper: ~9 in 10 within an hour; got {:.2}",
+            f7.within_hour
+        );
+        assert!(!f7.cdfs.is_empty());
+        for (_, cdf) in &f7.cdfs {
+            assert!(cdf[0] <= cdf[1] && cdf[1] <= cdf[2] && cdf[2] <= cdf[3]);
+        }
+        assert!(f7.render().contains("Fig 7a"));
+    }
+
+    #[test]
+    fn fig6_error_mix_is_low_but_present() {
+        let s = study();
+        let f6 = fig6(&s);
+        assert!(!f6.rows.is_empty());
+        let frac = f6.error_fraction();
+        assert!(frac > 0.0, "injected faults must appear");
+        // NXDOMAIN dominates "errors" because record-absence is normal for
+        // reverse DNS (§6.2's nuance).
+        let nx: usize = f6.rows.iter().map(|r| r.2).sum();
+        let sf: usize = f6.rows.iter().map(|r| r.3).sum();
+        assert!(nx > sf);
+        assert!(f6.render().contains("nxdomain"));
+    }
+
+    #[test]
+    fn table3_and_table5_render() {
+        let s = study();
+        let t3 = table3(&s);
+        assert!(t3.contains("ICMP"));
+        assert!(t3.contains("rDNS"));
+        assert!(t3.contains("2021-11-01"));
+        let t5 = table5(&s);
+        assert!(t5.contains("All groups"));
+        assert!(t5.contains("Reliable timing alignment"));
+    }
+
+    #[test]
+    fn hour_peak_structure_in_histogram() {
+        let s = study();
+        let f7 = fig7(&s);
+        // Clean releases produce an early (< 10 min) population; silent
+        // leavers land in the (lease/2, lease] band. Both must exist.
+        let early: usize = f7
+            .histogram
+            .iter()
+            .filter(|(m, _)| *m < 10.0)
+            .map(|(_, c)| c)
+            .sum();
+        let late: usize = f7
+            .histogram
+            .iter()
+            .filter(|(m, _)| *m >= 30.0 && *m <= 65.0)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(early > 0, "release peak missing: {:?}", f7.histogram);
+        assert!(late > 0, "lease-expiry band missing: {:?}", f7.histogram);
+    }
+}

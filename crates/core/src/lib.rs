@@ -1,0 +1,35 @@
+//! # rdns-core
+//!
+//! The primary contribution of *"Saving Brian's Privacy"* (IMC 2022) as a
+//! reusable library: given reverse-DNS observations — longitudinal snapshots
+//! and/or fine-grained reactive measurements — detect networks that expose
+//! client dynamics, identify privacy leaks in their records, quantify how
+//! tightly PTR lifetime tracks client presence, and run the paper's case
+//! studies.
+//!
+//! Pipeline map (paper section → module):
+//!
+//! * §4.1 dynamicity heuristic → [`dynamicity`]
+//! * §5.1 common terms / given names / suffix statistics → [`terms`],
+//!   [`names`], [`suffix`]
+//! * §5.2 network-type classification → [`classify`]
+//! * §6.1–6.2 activity groups and PTR-removal timing → [`timing`]
+//! * §7 case studies → [`casestudies`]
+//! * every table & figure of the evaluation → [`experiments`]
+
+pub mod casestudies;
+pub mod classify;
+pub mod dynamicity;
+pub mod experiments;
+pub mod names;
+pub mod report;
+pub mod suffix;
+pub mod terms;
+pub mod timing;
+
+pub use classify::{classify_suffix, NetworkClass, TypeBreakdown};
+pub use dynamicity::{DynamicityParams, DynamicityResult, PrefixDynamicity};
+pub use names::{match_given_names, MATCH_GIVEN_NAMES};
+pub use suffix::{identify_leaking_suffixes, LeakParams, SuffixStats};
+pub use terms::{extract_terms, is_router_level, TermCounts, DEVICE_TERMS, GENERIC_TERMS};
+pub use timing::{build_groups, ActivityGroup, GroupFunnel, RemovalDelays};

@@ -1,0 +1,116 @@
+//! Given-name matching (§5.1).
+//!
+//! The paper selects the 50 most popular US given names for newborns
+//! 2000–2020 (SSA data) and matches PTR records against them. The list here
+//! is the one visible in Fig. 2 (48 names) completed with `ava` and `mia`
+//! from the same SSA ranking. Note that `brian` — the case-study name — is
+//! deliberately *not* a matcher name, exactly as in the paper.
+
+use rdns_model::Hostname;
+
+/// The top-50 matcher list, in Fig. 2 order.
+pub const MATCH_GIVEN_NAMES: [&str; 50] = [
+    "jacob", "michael", "emma", "william", "ethan", "olivia", "matthew", "emily", "daniel",
+    "noah", "joshua", "isabella", "alexander", "joseph", "james", "andrew", "sophia",
+    "christopher", "anthony", "david", "madison", "logan", "benjamin", "ryan", "abigail",
+    "john", "elijah", "mason", "samuel", "dylan", "nicholas", "jayden", "liam", "elizabeth",
+    "christian", "gabriel", "tyler", "jonathan", "nathan", "jordan", "hannah", "aiden",
+    "jackson", "alexis", "caleb", "lucas", "angel", "brandon", "ava", "mia",
+];
+
+/// Names from the matcher list appearing as substrings of the record, with
+/// shadowed sub-matches removed: a record matching `christopher` should not
+/// additionally match `christian`-style submatches of other names it only
+/// contains *because* of the longer name. Plain substring matching is kept
+/// otherwise — the city-name collisions it causes (Jackson/Jacksonville) are
+/// the ones the paper's ratio thresholds are designed to survive.
+pub fn match_given_names(hostname: &Hostname) -> Vec<&'static str> {
+    let text = hostname.as_str();
+    let mut matches: Vec<(&'static str, usize)> = Vec::new();
+    for name in MATCH_GIVEN_NAMES {
+        if let Some(pos) = text.find(name) {
+            matches.push((name, pos));
+        }
+    }
+    // Drop any match fully contained within another match's span.
+    let spans: Vec<(usize, usize)> = matches.iter().map(|(n, p)| (*p, p + n.len())).collect();
+    matches
+        .iter()
+        .enumerate()
+        .filter(|(i, (_, p))| {
+            let (s, e) = spans[*i];
+            let _ = p;
+            !spans
+                .iter()
+                .enumerate()
+                .any(|(j, (s2, e2))| j != *i && *s2 <= s && e <= *e2 && (*s2, *e2) != (s, e))
+        })
+        .map(|(_, (n, _))| *n)
+        .collect()
+}
+
+/// Whether the record matches at least one name.
+pub fn has_given_name(hostname: &Hostname) -> bool {
+    !match_given_names(hostname).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_fifty_lowercase() {
+        assert_eq!(MATCH_GIVEN_NAMES.len(), 50);
+        for n in MATCH_GIVEN_NAMES {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        assert!(!MATCH_GIVEN_NAMES.contains(&"brian"));
+    }
+
+    #[test]
+    fn basic_matches() {
+        assert_eq!(
+            match_given_names(&Hostname::new("jacobs-iphone.resnet.example.edu")),
+            vec!["jacob"]
+        );
+        assert!(has_given_name(&Hostname::new("emmas-galaxy.example.edu")));
+        assert!(!has_given_name(&Hostname::new("host-10-1-2-3.example.edu")));
+        // Brian does not match: the case-study name is not in the list.
+        assert!(!has_given_name(&Hostname::new("brians-mbp.example.edu")));
+    }
+
+    #[test]
+    fn city_collision_still_matches() {
+        // Router-level city names DO match (Jacksonville contains jackson);
+        // the pipeline relies on ratio thresholds to filter these networks.
+        let m = match_given_names(&Hostname::new("jacksonville.core.isp.net"));
+        assert_eq!(m, vec!["jackson"]);
+    }
+
+    #[test]
+    fn shadowed_submatches_removed() {
+        // "christopher" contains no other list name, but "alexander"
+        // contains "alexa"? Not in list. Use constructed case: a hostname
+        // containing "elizabeth" also contains "liza"? Not in list either.
+        // Actual overlap in the list: "alexis"/"alexander" share a prefix
+        // but neither contains the other; "christian"/"christopher" share
+        // "christ". Test containment logic with "ava" inside "java".
+        let m = match_given_names(&Hostname::new("javascript-host.example.org"));
+        assert_eq!(m, vec!["ava"], "ava matches inside 'java' (substring semantics)");
+        // And a name containing another list name entirely: "liam" ⊂ "william".
+        let m = match_given_names(&Hostname::new("williams-pc.example.org"));
+        assert_eq!(m, vec!["william"], "liam inside william must be shadowed");
+    }
+
+    #[test]
+    fn multiple_distinct_names() {
+        let mut m = match_given_names(&Hostname::new("emma-and-noah.example.org"));
+        m.sort();
+        assert_eq!(m, vec!["emma", "noah"]);
+    }
+
+    #[test]
+    fn case_insensitive_through_hostname_normalization() {
+        assert!(has_given_name(&Hostname::new("EMMAS-IPAD.Example.EDU")));
+    }
+}

@@ -1,0 +1,156 @@
+//! Plain-text rendering of tables and figures.
+//!
+//! The bench harness regenerates every table and figure of the paper as
+//! text; these helpers keep the formatting consistent.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create with column headers.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(headers: I) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (short rows are padded).
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<width$}  "));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        if !self.headers.is_empty() {
+            out.push_str(&render_row(&self.headers));
+            out.push('\n');
+            out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A proportional bar for text figures.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// A log-scaled proportional bar (for Fig. 2/3's logarithmic axes).
+pub fn log_bar(value: f64, max: f64, width: usize) -> String {
+    if value < 1.0 || max < 1.0 {
+        return String::new();
+    }
+    let n = ((value.ln_1p() / max.ln_1p()) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["name", "count"]);
+        t.row(["a", "1"]);
+        t.row(["longer-name", "12345"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns aligned: "count" header starts at same offset as values.
+        let header_off = lines[0].find("count").unwrap();
+        let value_off = lines[3].find("12345").unwrap();
+        assert_eq!(header_off, value_off);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        let s = t.render();
+        assert!(s.contains('x'));
+    }
+
+    #[test]
+    fn bars() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(5.0, 0.0, 10), "");
+        assert_eq!(bar(100.0, 10.0, 10), "##########", "clamped to width");
+    }
+
+    #[test]
+    fn log_bars_compress() {
+        let lin = bar(10.0, 10_000.0, 40);
+        let log = log_bar(10.0, 10_000.0, 40);
+        assert!(log.len() > lin.len(), "log scale lifts small values");
+        assert_eq!(log_bar(10_000.0, 10_000.0, 40).len(), 40);
+        assert_eq!(log_bar(0.5, 100.0, 40), "");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.619), "61.9%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+}

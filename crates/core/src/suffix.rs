@@ -1,0 +1,296 @@
+//! Suffix statistics and leaking-network identification (§5.1.1).
+//!
+//! The pipeline over records from *dynamic* /24s:
+//!
+//! 1. exclude records with generic router-level terms,
+//! 2. match the remainder against the given-name list,
+//! 3. index by hostname suffix (TLD+1) and compute per suffix the record
+//!    count, the number of uniquely matched names, and their ratio,
+//! 4. keep suffixes with ≥ `min_unique_names` unique matches (paper: 50)
+//!    and a ratio of at least `min_ratio` (paper: 0.1).
+
+use crate::names::match_given_names;
+use crate::terms::is_router_level;
+use rdns_model::{Hostname, Slash24};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Selection thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LeakParams {
+    /// Minimum number of uniquely matched given names per suffix.
+    pub min_unique_names: usize,
+    /// Minimum ratio of unique names to records.
+    pub min_ratio: f64,
+}
+
+impl Default for LeakParams {
+    fn default() -> Self {
+        LeakParams {
+            min_unique_names: 50,
+            min_ratio: 0.1,
+        }
+    }
+}
+
+impl LeakParams {
+    /// Thresholds scaled for reduced-population simulations; the ratio test
+    /// is kept at the paper's value.
+    pub fn scaled(min_unique_names: usize) -> LeakParams {
+        LeakParams {
+            min_unique_names,
+            min_ratio: 0.1,
+        }
+    }
+}
+
+/// Per-suffix aggregation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SuffixStats {
+    /// The TLD+1 suffix identifying the network.
+    pub suffix: String,
+    /// Records observed under this suffix (within dynamic blocks, after
+    /// router-level exclusion).
+    pub records: usize,
+    /// Records that matched at least one given name.
+    pub name_matched_records: usize,
+    /// The distinct given names matched.
+    pub unique_names: Vec<&'static str>,
+}
+
+impl SuffixStats {
+    /// Unique-names-to-records ratio (the §5.1.1 criterion 6).
+    pub fn ratio(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.unique_names.len() as f64 / self.records as f64
+        }
+    }
+
+    /// Whether this suffix passes the thresholds.
+    pub fn passes(&self, params: &LeakParams) -> bool {
+        self.unique_names.len() >= params.min_unique_names && self.ratio() >= params.min_ratio
+    }
+}
+
+/// Run the suffix pipeline over `(address, hostname)` observations,
+/// restricted to the given dynamic blocks. Returns per-suffix statistics
+/// for *all* suffixes (callers can inspect near-misses) plus the selected
+/// ("identified") suffixes.
+pub fn identify_leaking_suffixes<'a, I>(
+    observations: I,
+    dynamic: &HashSet<Slash24>,
+    params: &LeakParams,
+) -> (Vec<SuffixStats>, Vec<String>)
+where
+    I: IntoIterator<Item = (Ipv4Addr, &'a Hostname)>,
+{
+    struct Acc {
+        records: usize,
+        matched: usize,
+        names: HashSet<&'static str>,
+    }
+    let mut by_suffix: BTreeMap<String, Acc> = BTreeMap::new();
+    let mut seen: HashSet<(Ipv4Addr, &Hostname)> = HashSet::new();
+
+    for (addr, hostname) in observations {
+        // Step 0: only dynamic blocks can expose temporal client patterns.
+        if !dynamic.contains(&Slash24::containing(addr)) {
+            continue;
+        }
+        // Deduplicate repeated sightings of the same record.
+        if !seen.insert((addr, hostname)) {
+            continue;
+        }
+        // Step 2 of §5.1.1: drop router-level records.
+        if is_router_level(hostname) {
+            continue;
+        }
+        let Some(suffix) = hostname.tld_plus_one() else {
+            continue;
+        };
+        let acc = by_suffix.entry(suffix).or_insert(Acc {
+            records: 0,
+            matched: 0,
+            names: HashSet::new(),
+        });
+        acc.records += 1;
+        let names = match_given_names(hostname);
+        if !names.is_empty() {
+            acc.matched += 1;
+            acc.names.extend(names);
+        }
+    }
+
+    let stats: Vec<SuffixStats> = by_suffix
+        .into_iter()
+        .map(|(suffix, acc)| {
+            let mut unique_names: Vec<&'static str> = acc.names.into_iter().collect();
+            unique_names.sort();
+            SuffixStats {
+                suffix,
+                records: acc.records,
+                name_matched_records: acc.matched,
+                unique_names,
+            }
+        })
+        .collect();
+    let identified = stats
+        .iter()
+        .filter(|s| s.passes(params))
+        .map(|s| s.suffix.clone())
+        .collect();
+    (stats, identified)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dynamic_blocks(blocks: &[(u8, u8, u8)]) -> HashSet<Slash24> {
+        blocks
+            .iter()
+            .map(|(a, b, c)| Slash24::from_octets(*a, *b, *c))
+            .collect()
+    }
+
+    fn obs(entries: &[(&str, &str)]) -> Vec<(Ipv4Addr, Hostname)> {
+        entries
+            .iter()
+            .map(|(a, h)| (a.parse().unwrap(), Hostname::new(h)))
+            .collect()
+    }
+
+    fn run(
+        entries: &[(&str, &str)],
+        dynamic: &HashSet<Slash24>,
+        params: &LeakParams,
+    ) -> (Vec<SuffixStats>, Vec<String>) {
+        let observations = obs(entries);
+        identify_leaking_suffixes(
+            observations.iter().map(|(a, h)| (*a, h)),
+            dynamic,
+            params,
+        )
+    }
+
+    #[test]
+    fn identifies_leaky_campus() {
+        let dynamic = dynamic_blocks(&[(10, 0, 1)]);
+        let entries = [
+            ("10.0.1.1", "jacobs-iphone.resnet.campus.edu"),
+            ("10.0.1.2", "emmas-ipad.resnet.campus.edu"),
+            ("10.0.1.3", "noahs-mbp.resnet.campus.edu"),
+            ("10.0.1.4", "olivias-dell.resnet.campus.edu"),
+            ("10.0.1.5", "desktop-4f2a.resnet.campus.edu"),
+        ];
+        let (stats, identified) = run(&entries, &dynamic, &LeakParams::scaled(4));
+        assert_eq!(identified, vec!["campus.edu".to_string()]);
+        let s = &stats[0];
+        assert_eq!(s.records, 5);
+        assert_eq!(s.name_matched_records, 4);
+        assert_eq!(s.unique_names, vec!["emma", "jacob", "noah", "olivia"]);
+        assert!((s.ratio() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_blocks_excluded() {
+        let dynamic = dynamic_blocks(&[]); // nothing dynamic
+        let entries = [("10.0.1.1", "jacobs-iphone.resnet.campus.edu")];
+        let (stats, identified) = run(&entries, &dynamic, &LeakParams::scaled(1));
+        assert!(stats.is_empty());
+        assert!(identified.is_empty());
+    }
+
+    #[test]
+    fn router_records_excluded() {
+        let dynamic = dynamic_blocks(&[(10, 0, 1)]);
+        let entries = [
+            ("10.0.1.1", "jackson.core.someisp.net"),
+            ("10.0.1.2", "madison.edge.someisp.net"),
+        ];
+        let (stats, _) = run(&entries, &dynamic, &LeakParams::scaled(1));
+        assert!(stats.is_empty(), "router-level records must be dropped");
+    }
+
+    #[test]
+    fn city_name_isp_fails_ratio() {
+        // An ISP whose *pool* hostnames embed one city name across hundreds
+        // of records: passes substring matching, fails ratio/unique tests.
+        let dynamic = dynamic_blocks(&[(10, 0, 1)]);
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for i in 1..=200u32 {
+            entries.push((
+                format!("10.0.1.{}", (i % 250) + 1),
+                format!("cust{i}.jacksonville.someisp.net"),
+            ));
+        }
+        let owned: Vec<(&str, &str)> = entries
+            .iter()
+            .map(|(a, h)| (a.as_str(), h.as_str()))
+            .collect();
+        let (stats, identified) = run(&owned, &dynamic, &LeakParams::scaled(5));
+        assert!(identified.is_empty());
+        // Only one unique name (jackson) despite many records.
+        let s = stats.iter().find(|s| s.suffix == "someisp.net").unwrap();
+        assert_eq!(s.unique_names, vec!["jackson"]);
+        assert!(s.ratio() < 0.1);
+    }
+
+    #[test]
+    fn duplicate_observations_counted_once() {
+        let dynamic = dynamic_blocks(&[(10, 0, 1)]);
+        let entries = [
+            ("10.0.1.1", "emmas-iphone.campus.edu"),
+            ("10.0.1.1", "emmas-iphone.campus.edu"),
+            ("10.0.1.1", "emmas-iphone.campus.edu"),
+        ];
+        let (stats, _) = run(&entries, &dynamic, &LeakParams::default());
+        assert_eq!(stats[0].records, 1);
+    }
+
+    #[test]
+    fn same_hostname_on_new_address_is_a_new_record() {
+        let dynamic = dynamic_blocks(&[(10, 0, 1)]);
+        let entries = [
+            ("10.0.1.1", "emmas-iphone.campus.edu"),
+            ("10.0.1.2", "emmas-iphone.campus.edu"),
+        ];
+        let (stats, _) = run(&entries, &dynamic, &LeakParams::default());
+        assert_eq!(stats[0].records, 2);
+    }
+
+    #[test]
+    fn paper_default_thresholds() {
+        let p = LeakParams::default();
+        assert_eq!(p.min_unique_names, 50);
+        assert!((p.min_ratio - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_threshold_enforced() {
+        let dynamic = dynamic_blocks(&[(10, 0, 1)]);
+        // 3 unique names across 40 records: ratio 0.075 < 0.1.
+        let mut entries: Vec<(String, String)> = Vec::new();
+        for i in 0..37u32 {
+            entries.push((
+                format!("10.0.1.{}", i + 1),
+                format!("host-{i}.pool.bigisp.net"),
+            ));
+        }
+        entries.push(("10.0.1.240".into(), "emmas-phone.pool.bigisp.net".into()));
+        entries.push(("10.0.1.241".into(), "noahs-phone.pool.bigisp.net".into()));
+        entries.push(("10.0.1.242".into(), "liams-phone.pool.bigisp.net".into()));
+        let owned: Vec<(&str, &str)> = entries
+            .iter()
+            .map(|(a, h)| (a.as_str(), h.as_str()))
+            .collect();
+        let (stats, identified) = run(&owned, &dynamic, &LeakParams::scaled(3));
+        let s = stats.iter().find(|s| s.suffix == "bigisp.net").unwrap();
+        assert_eq!(s.unique_names.len(), 3);
+        assert!(s.ratio() < 0.1);
+        assert!(identified.is_empty());
+    }
+}

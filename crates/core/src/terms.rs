@@ -1,0 +1,219 @@
+//! Term extraction and filtering (§5.1).
+//!
+//! The paper extracts alphabetic words from PTR records, identifies suffix
+//! keywords and generic router-level terms, and tracks the device-indicating
+//! terms of Fig. 3 that co-appear with given names.
+
+use rdns_model::Hostname;
+use std::collections::HashMap;
+
+/// Generic terms that convey location or router-level information (§5.1);
+/// records containing them are excluded from the client-leak pipeline.
+pub const GENERIC_TERMS: [&str; 20] = [
+    "north", "south", "east", "west", "core", "edge", "border", "uplink", "transit", "peer",
+    "gateway", "router", "switch", "vlan", "static", "mgmt", "infra", "dsl", "pon", "pop",
+];
+
+/// The device-indicating terms of Fig. 3.
+pub const DEVICE_TERMS: [&str; 14] = [
+    "ipad", "air", "laptop", "phone", "dell", "desktop", "iphone", "mbp", "android", "macbook",
+    "galaxy", "lenovo", "chrome", "roku",
+];
+
+/// Extract lower-case alphabetic words of three or more characters from a
+/// hostname (§5.2 notes that shorter terms add too much noise).
+pub fn extract_terms(hostname: &Hostname) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in hostname.as_str().chars() {
+        if ch.is_ascii_alphabetic() {
+            current.push(ch.to_ascii_lowercase());
+        } else if !current.is_empty() {
+            if current.len() >= 3 {
+                out.push(std::mem::take(&mut current));
+            } else {
+                current.clear();
+            }
+        }
+    }
+    if current.len() >= 3 {
+        out.push(current);
+    }
+    out
+}
+
+/// Whether a record looks router-level: its *host-specific* labels (i.e.
+/// everything left of the TLD+1 suffix) contain a generic term.
+pub fn is_router_level(hostname: &Hostname) -> bool {
+    let labels: Vec<&str> = hostname.labels().collect();
+    if labels.len() <= 2 {
+        return false;
+    }
+    let host_part = &labels[..labels.len() - 2];
+    host_part.iter().any(|label| {
+        let label_terms = extract_terms(&Hostname::new(label));
+        label_terms.iter().any(|t| GENERIC_TERMS.contains(&t.as_str()))
+    })
+}
+
+/// Frequency table of terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TermCounts {
+    counts: HashMap<String, u64>,
+}
+
+impl TermCounts {
+    /// An empty table.
+    pub fn new() -> TermCounts {
+        TermCounts::default()
+    }
+
+    /// Count every term of `hostname` once per record occurrence.
+    pub fn observe(&mut self, hostname: &Hostname) {
+        for term in extract_terms(hostname) {
+            *self.counts.entry(term).or_insert(0) += 1;
+        }
+    }
+
+    /// Occurrences of one term.
+    pub fn count(&self, term: &str) -> u64 {
+        self.counts.get(term).copied().unwrap_or(0)
+    }
+
+    /// Total distinct terms.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The Fig. 3 rows: counts for each device term, plus the total.
+    pub fn device_term_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut rows: Vec<(&'static str, u64)> = DEVICE_TERMS
+            .iter()
+            .map(|t| (*t, self.count(t)))
+            .collect();
+        rows.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        rows
+    }
+
+    /// Sum over device terms (the `total` column of Fig. 3).
+    pub fn device_term_total(&self) -> u64 {
+        DEVICE_TERMS.iter().map(|t| self.count(t)).sum()
+    }
+
+    /// Terms occurring at least `n` times, most frequent first.
+    pub fn frequent(&self, n: u64) -> Vec<(&str, u64)> {
+        let mut rows: Vec<(&str, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, c)| **c >= n)
+            .map(|(t, c)| (t.as_str(), *c))
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn extracts_words_of_three_plus() {
+        let h = Hostname::new("brians-iphone.resnet.example.edu");
+        let terms = extract_terms(&h);
+        assert!(terms.contains(&"brians".to_string()));
+        assert!(terms.contains(&"iphone".to_string()));
+        assert!(terms.contains(&"resnet".to_string()));
+        assert!(terms.contains(&"edu".to_string()));
+    }
+
+    #[test]
+    fn short_fragments_dropped() {
+        // The paper's `hp` example: two-character terms are noise.
+        let h = Hostname::new("hp-12.gw1.example.com");
+        let terms = extract_terms(&h);
+        assert!(!terms.contains(&"hp".to_string()));
+        assert!(!terms.contains(&"gw".to_string()));
+        assert!(terms.contains(&"example".to_string()));
+    }
+
+    #[test]
+    fn digits_split_terms() {
+        let h = Hostname::new("host123name.example.org");
+        let terms = extract_terms(&h);
+        assert!(terms.contains(&"host".to_string()));
+        assert!(terms.contains(&"name".to_string()));
+        assert!(!terms.contains(&"host123name".to_string()));
+    }
+
+    #[test]
+    fn router_level_detection() {
+        assert!(is_router_level(&Hostname::new("core-north1.net.someisp.com")));
+        assert!(is_router_level(&Hostname::new("gi0-1.edge.someisp.com")));
+        assert!(!is_router_level(&Hostname::new(
+            "brians-iphone.resnet.example.edu"
+        )));
+        // Generic term inside the suffix itself does not count.
+        assert!(!is_router_level(&Hostname::new("brians-ipad.static.example")));
+        // Too-short names can't be router-level.
+        assert!(!is_router_level(&Hostname::new("example.com")));
+    }
+
+    #[test]
+    fn term_counting_and_device_rows() {
+        let mut tc = TermCounts::new();
+        tc.observe(&Hostname::new("brians-iphone.example.edu"));
+        tc.observe(&Hostname::new("emmas-iphone.example.edu"));
+        tc.observe(&Hostname::new("emmas-ipad.example.edu"));
+        assert_eq!(tc.count("iphone"), 2);
+        assert_eq!(tc.count("ipad"), 1);
+        assert_eq!(tc.count("galaxy"), 0);
+        assert_eq!(tc.device_term_total(), 3);
+        let rows = tc.device_term_counts();
+        assert_eq!(rows[0], ("iphone", 2));
+        assert_eq!(rows.len(), DEVICE_TERMS.len());
+    }
+
+    #[test]
+    fn frequent_terms_sorted() {
+        let mut tc = TermCounts::new();
+        for _ in 0..5 {
+            tc.observe(&Hostname::new("alpha.example.org"));
+        }
+        tc.observe(&Hostname::new("beta.example.org"));
+        let rows = tc.frequent(2);
+        // "example" and "org" appear 6x (both hostnames), "alpha" 5x.
+        assert_eq!(rows[0].0, "example");
+        assert_eq!(rows[0].1, 6);
+        assert!(rows.iter().any(|(t, c)| *t == "alpha" && *c == 5));
+        assert!(!rows.iter().any(|(t, _)| *t == "beta"));
+    }
+
+    #[test]
+    fn device_terms_match_figure3() {
+        assert_eq!(DEVICE_TERMS.len(), 14);
+        for t in ["iphone", "galaxy", "mbp", "roku", "chrome"] {
+            assert!(DEVICE_TERMS.contains(&t));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_terms_are_lowercase_alpha(s in "[A-Za-z0-9.-]{0,40}") {
+            for t in extract_terms(&Hostname::new(&s)) {
+                prop_assert!(t.len() >= 3);
+                prop_assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        #[test]
+        fn prop_observe_never_decreases(s in "[a-z.-]{0,30}") {
+            let mut tc = TermCounts::new();
+            tc.observe(&Hostname::new("fixed-term.example.org"));
+            let before = tc.count("fixed");
+            tc.observe(&Hostname::new(&s));
+            prop_assert!(tc.count("fixed") >= before);
+        }
+    }
+}

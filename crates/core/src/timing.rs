@@ -1,0 +1,479 @@
+//! Activity groups and PTR-removal timing (§6.1–§6.2).
+//!
+//! Supplemental-measurement data points are merged per IP address on
+//! 5-minute truncated timestamps; each contiguous activity period of an
+//! address becomes an [`ActivityGroup`]. Groups flow through the Table 5
+//! funnel (all → successful responses → PTR reverted → reliable timing) and
+//! reliable groups yield the removal-delay distribution of Fig. 7.
+
+use rdns_model::{GroupId, Hostname, SimDuration, SimTime};
+use rdns_scan::{RdnsOutcome, ScanLog};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The paper's merge bin: five minutes.
+pub const MERGE_BIN_SECS: u64 = 300;
+
+/// One contiguous activity period of one address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityGroup {
+    /// Group identifier.
+    pub id: GroupId,
+    /// The address.
+    pub addr: Ipv4Addr,
+    /// First alive ICMP sample (5-minute truncated).
+    pub first_alive: SimTime,
+    /// Last alive ICMP sample.
+    pub last_alive: SimTime,
+    /// The first unanswered ICMP probe after `last_alive`, when observed.
+    pub death_ts: Option<SimTime>,
+    /// First successful PTR observation within the group window.
+    pub first_ptr: Option<(SimTime, Hostname)>,
+    /// First NXDOMAIN at/after client disappearance — the observed record
+    /// removal.
+    pub removal_ts: Option<SimTime>,
+    /// Whether any lookup in the window failed (SERVFAIL/timeout).
+    pub had_error: bool,
+}
+
+impl ActivityGroup {
+    /// Phase 3 observed: the client was seen leaving.
+    pub fn terminated(&self) -> bool {
+        self.death_ts.is_some()
+    }
+
+    /// Table 5 "Successful responses": ICMP and rDNS succeeded for both the
+    /// join and the leave phases, with no resolution errors in between.
+    pub fn successful(&self) -> bool {
+        self.terminated() && self.first_ptr.is_some() && !self.had_error
+    }
+
+    /// Table 5 "PTR reverted": the record demonstrably disappeared after the
+    /// client left.
+    pub fn ptr_reverted(&self) -> bool {
+        self.successful() && self.removal_ts.is_some()
+    }
+
+    /// Table 5 "Reliable timing alignment": the leave moment is pinned
+    /// tightly enough by the ICMP probes. Departures caught while the
+    /// back-off was still probing every 5–10 minutes qualify; later stages
+    /// probe too sparsely to date the departure (§6.2's exclusion of groups
+    /// whose "timing mechanics of the ICMP probes … make the results less
+    /// reliable").
+    pub fn reliable(&self) -> bool {
+        match self.death_ts {
+            Some(death) if self.ptr_reverted() => {
+                death.since_sat(self.last_alive) <= SimDuration::secs(3 * MERGE_BIN_SECS)
+            }
+            _ => false,
+        }
+    }
+
+    /// Minutes between the last alive ICMP sample and the observed PTR
+    /// removal — the x-axis of Fig. 7.
+    pub fn removal_delay(&self) -> Option<SimDuration> {
+        let removal = self.removal_ts?;
+        Some(removal.since_sat(self.last_alive))
+    }
+}
+
+/// Build groups from a scan log (both record streams merged per address on
+/// truncated timestamps).
+pub fn build_groups(log: &ScanLog) -> Vec<ActivityGroup> {
+    // Collect per-address events.
+    let mut icmp: BTreeMap<Ipv4Addr, Vec<(SimTime, bool)>> = BTreeMap::new();
+    for r in &log.icmp {
+        icmp.entry(r.addr)
+            .or_default()
+            .push((r.ts.truncate(MERGE_BIN_SECS), r.alive));
+    }
+    let mut rdns: BTreeMap<Ipv4Addr, Vec<(SimTime, RdnsOutcome)>> = BTreeMap::new();
+    for r in &log.rdns {
+        rdns.entry(r.addr)
+            .or_default()
+            .push((r.ts.truncate(MERGE_BIN_SECS), r.outcome.clone()));
+    }
+
+    let mut groups = Vec::new();
+    let mut next_id = 0u64;
+    for (addr, mut samples) in icmp {
+        samples.sort_by_key(|(ts, _)| *ts);
+        let lookups = rdns.get(&addr).cloned().unwrap_or_default();
+
+        // Split into alive runs terminated by dead probes.
+        let mut runs: Vec<(SimTime, SimTime, Option<SimTime>)> = Vec::new();
+        let mut current: Option<(SimTime, SimTime)> = None;
+        for (ts, alive) in samples {
+            match (&mut current, alive) {
+                (None, true) => current = Some((ts, ts)),
+                (None, false) => {} // dead probe without preceding run
+                (Some((_, last)), true) => *last = ts,
+                (Some((first, last)), false) => {
+                    runs.push((*first, *last, Some(ts)));
+                    current = None;
+                }
+            }
+        }
+        if let Some((first, last)) = current {
+            runs.push((first, last, None)); // unterminated at log end
+        }
+
+        let next_starts: Vec<Option<SimTime>> = (0..runs.len())
+            .map(|i| runs.get(i + 1).map(|(first, _, _)| *first))
+            .collect();
+        for (i, (first_alive, last_alive, death_ts)) in runs.into_iter().enumerate() {
+            // Window: from just before this run's start until the next run
+            // begins (the rDNS watch after a departure may span hours).
+            let window_end = next_starts[i];
+            let in_window = |ts: SimTime| -> bool {
+                if ts < first_alive - SimDuration::secs(MERGE_BIN_SECS) {
+                    return false;
+                }
+                match (death_ts, window_end) {
+                    (Some(_), Some(end)) => ts < end,
+                    (Some(_), None) => true,
+                    (None, _) => ts <= last_alive,
+                }
+            };
+
+            let mut first_ptr: Option<(SimTime, Hostname)> = None;
+            let mut removal_ts: Option<SimTime> = None;
+            let mut had_error = false;
+            for (ts, outcome) in &lookups {
+                if !in_window(*ts) {
+                    continue;
+                }
+                // Stop scanning once the post-death removal was found.
+                if let Some(removal) = removal_ts {
+                    if *ts > removal {
+                        continue;
+                    }
+                }
+                match outcome {
+                    RdnsOutcome::Ptr(h) => {
+                        if first_ptr.is_none() && *ts <= death_ts.unwrap_or(*ts) {
+                            first_ptr = Some((*ts, h.clone()));
+                        }
+                    }
+                    RdnsOutcome::NxDomain => {
+                        if let Some(death) = death_ts {
+                            if *ts >= death && removal_ts.is_none() {
+                                removal_ts = Some(*ts);
+                            }
+                        }
+                    }
+                    RdnsOutcome::NameserverFailure | RdnsOutcome::Timeout => {
+                        had_error = true;
+                    }
+                }
+            }
+
+            groups.push(ActivityGroup {
+                id: GroupId(next_id),
+                addr,
+                first_alive,
+                last_alive,
+                death_ts,
+                first_ptr,
+                removal_ts,
+                had_error,
+            });
+            next_id += 1;
+        }
+    }
+    groups
+}
+
+/// The Table 5 funnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct GroupFunnel {
+    /// All groups.
+    pub all: usize,
+    /// Successful responses.
+    pub successful: usize,
+    /// PTR reverted.
+    pub ptr_reverted: usize,
+    /// Reliable timing alignment.
+    pub reliable: usize,
+}
+
+impl GroupFunnel {
+    /// Compute from groups.
+    pub fn compute(groups: &[ActivityGroup]) -> GroupFunnel {
+        GroupFunnel {
+            all: groups.len(),
+            successful: groups.iter().filter(|g| g.successful()).count(),
+            ptr_reverted: groups.iter().filter(|g| g.ptr_reverted()).count(),
+            reliable: groups.iter().filter(|g| g.reliable()).count(),
+        }
+    }
+
+    /// Rows as `(label, count, fraction of parent)` — Table 5's shape.
+    pub fn rows(&self) -> Vec<(&'static str, usize, f64)> {
+        let frac = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64 * 100.0
+            }
+        };
+        vec![
+            ("All groups", self.all, 100.0),
+            ("Successful responses", self.successful, frac(self.successful, self.all)),
+            ("PTR reverted", self.ptr_reverted, frac(self.ptr_reverted, self.successful)),
+            (
+                "Reliable timing alignment",
+                self.reliable,
+                frac(self.reliable, self.ptr_reverted),
+            ),
+        ]
+    }
+}
+
+/// The removal-delay distribution of Fig. 7.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RemovalDelays {
+    /// Delays in minutes, unsorted.
+    pub minutes: Vec<f64>,
+}
+
+impl RemovalDelays {
+    /// Extract delays from the *reliable* groups.
+    pub fn from_groups(groups: &[ActivityGroup]) -> RemovalDelays {
+        RemovalDelays {
+            minutes: groups
+                .iter()
+                .filter(|g| g.reliable())
+                .filter_map(|g| g.removal_delay())
+                .map(|d| d.as_mins_f64())
+                .collect(),
+        }
+    }
+
+    /// Number of delays.
+    pub fn len(&self) -> usize {
+        self.minutes.len()
+    }
+
+    /// Whether there are no delays.
+    pub fn is_empty(&self) -> bool {
+        self.minutes.is_empty()
+    }
+
+    /// Histogram with `bin_mins`-minute bins up to `max_mins` (Fig. 7a).
+    pub fn histogram(&self, bin_mins: f64, max_mins: f64) -> Vec<(f64, usize)> {
+        let bins = (max_mins / bin_mins).ceil() as usize;
+        let mut counts = vec![0usize; bins];
+        for &m in &self.minutes {
+            if m < max_mins {
+                counts[(m / bin_mins) as usize] += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (i as f64 * bin_mins, c))
+            .collect()
+    }
+
+    /// Empirical CDF value at `mins` (Fig. 7b).
+    pub fn cdf_at(&self, mins: f64) -> f64 {
+        if self.minutes.is_empty() {
+            return 0.0;
+        }
+        let within = self.minutes.iter().filter(|&&m| m <= mins).count();
+        within as f64 / self.minutes.len() as f64
+    }
+
+    /// The headline number: fraction of removals within one hour.
+    pub fn fraction_within_hour(&self) -> f64 {
+        self.cdf_at(60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_model::Date;
+
+    fn t(mins: u64) -> SimTime {
+        SimTime::from_date(Date::from_ymd(2021, 11, 1)) + SimDuration::mins(mins)
+    }
+
+    fn a(i: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, i)
+    }
+
+    /// A canonical lifecycle log: discover at 60, alive until 100, dead at
+    /// 105, PTR present from discovery, removed at 145.
+    fn lifecycle_log() -> ScanLog {
+        let mut log = ScanLog::new();
+        log.push_rdns(t(60), a(1), RdnsOutcome::Ptr(Hostname::new("brians-air.example.edu")));
+        for m in [60, 65, 70, 75, 80, 85, 90, 95, 100] {
+            log.push_icmp(t(m), a(1), true);
+        }
+        log.push_icmp(t(105), a(1), false);
+        for m in [105, 110, 115, 120, 125, 130, 135, 140] {
+            log.push_rdns(t(m), a(1), RdnsOutcome::Ptr(Hostname::new("brians-air.example.edu")));
+        }
+        log.push_rdns(t(145), a(1), RdnsOutcome::NxDomain);
+        log
+    }
+
+    #[test]
+    fn lifecycle_group_construction() {
+        let groups = build_groups(&lifecycle_log());
+        assert_eq!(groups.len(), 1);
+        let g = &groups[0];
+        assert_eq!(g.addr, a(1));
+        assert_eq!(g.first_alive, t(60));
+        assert_eq!(g.last_alive, t(100));
+        assert_eq!(g.death_ts, Some(t(105)));
+        assert_eq!(g.removal_ts, Some(t(145)));
+        assert_eq!(
+            g.first_ptr.as_ref().unwrap().1,
+            Hostname::new("brians-air.example.edu")
+        );
+        assert!(!g.had_error);
+        assert!(g.successful());
+        assert!(g.ptr_reverted());
+        assert!(g.reliable());
+        // Delay: 145 - 100 = 45 minutes.
+        assert_eq!(g.removal_delay(), Some(SimDuration::mins(45)));
+    }
+
+    #[test]
+    fn funnel_counts() {
+        let groups = build_groups(&lifecycle_log());
+        let funnel = GroupFunnel::compute(&groups);
+        assert_eq!(funnel.all, 1);
+        assert_eq!(funnel.successful, 1);
+        assert_eq!(funnel.ptr_reverted, 1);
+        assert_eq!(funnel.reliable, 1);
+        let rows = funnel.rows();
+        assert_eq!(rows[0].0, "All groups");
+        assert!((rows[1].2 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unterminated_run_is_unsuccessful() {
+        let mut log = ScanLog::new();
+        log.push_rdns(t(0), a(1), RdnsOutcome::Ptr(Hostname::new("x.example")));
+        log.push_icmp(t(0), a(1), true);
+        log.push_icmp(t(5), a(1), true);
+        let groups = build_groups(&log);
+        assert_eq!(groups.len(), 1);
+        assert!(!groups[0].terminated());
+        assert!(!groups[0].successful());
+        let funnel = GroupFunnel::compute(&groups);
+        assert_eq!(funnel.all, 1);
+        assert_eq!(funnel.successful, 0);
+    }
+
+    #[test]
+    fn errors_disqualify_from_successful() {
+        let mut log = lifecycle_log();
+        log.push_rdns(t(120), a(1), RdnsOutcome::Timeout);
+        let groups = build_groups(&log);
+        assert!(groups[0].had_error);
+        assert!(!groups[0].successful());
+        assert!(!groups[0].reliable());
+    }
+
+    #[test]
+    fn missing_first_ptr_disqualifies() {
+        let mut log = ScanLog::new();
+        // Device alive but NXDOMAIN at discovery (no PTR published).
+        log.push_rdns(t(60), a(1), RdnsOutcome::NxDomain);
+        for m in [60, 65, 70] {
+            log.push_icmp(t(m), a(1), true);
+        }
+        log.push_icmp(t(75), a(1), false);
+        log.push_rdns(t(75), a(1), RdnsOutcome::NxDomain);
+        let groups = build_groups(&log);
+        assert_eq!(groups.len(), 1);
+        assert!(!groups[0].successful());
+    }
+
+    #[test]
+    fn two_sessions_two_groups() {
+        let mut log = lifecycle_log();
+        // Second session later the same day.
+        log.push_rdns(t(300), a(1), RdnsOutcome::Ptr(Hostname::new("x.example")));
+        log.push_icmp(t(300), a(1), true);
+        log.push_icmp(t(305), a(1), true);
+        log.push_icmp(t(310), a(1), false);
+        log.push_rdns(t(315), a(1), RdnsOutcome::NxDomain);
+        let groups = build_groups(&log);
+        assert_eq!(groups.len(), 2);
+        assert_ne!(groups[0].id, groups[1].id);
+        assert!(groups.iter().all(|g| g.ptr_reverted()));
+        // Second group's removal is its own NXDOMAIN, not the first's.
+        assert_eq!(groups[1].removal_ts, Some(t(315)));
+    }
+
+    #[test]
+    fn late_backoff_departure_is_unreliable() {
+        let mut log = ScanLog::new();
+        log.push_rdns(t(0), a(1), RdnsOutcome::Ptr(Hostname::new("x.example")));
+        // Alive at 0 and 60 (hourly tail), dead at 120: 60-minute gap.
+        log.push_icmp(t(0), a(1), true);
+        log.push_icmp(t(60), a(1), true);
+        log.push_icmp(t(120), a(1), false);
+        log.push_rdns(t(125), a(1), RdnsOutcome::NxDomain);
+        let groups = build_groups(&log);
+        assert!(groups[0].ptr_reverted());
+        assert!(!groups[0].reliable(), "60-minute death gap is unreliable");
+    }
+
+    #[test]
+    fn delays_histogram_and_cdf() {
+        let d = RemovalDelays {
+            minutes: vec![5.0, 5.0, 45.0, 55.0, 60.0, 125.0],
+        };
+        let hist = d.histogram(5.0, 180.0);
+        assert_eq!(hist.len(), 36);
+        assert_eq!(hist[1], (5.0, 2)); // [5,10)
+        assert_eq!(hist[9], (45.0, 1));
+        assert_eq!(hist[25], (125.0, 1));
+        assert!((d.cdf_at(60.0) - 5.0 / 6.0).abs() < 1e-9);
+        assert!((d.fraction_within_hour() - 5.0 / 6.0).abs() < 1e-9);
+        assert_eq!(d.cdf_at(1000.0), 1.0);
+    }
+
+    #[test]
+    fn delays_extracted_only_from_reliable_groups() {
+        let mut log = lifecycle_log();
+        // Add an unreliable group on another address.
+        log.push_rdns(t(0), a(2), RdnsOutcome::Ptr(Hostname::new("y.example")));
+        log.push_icmp(t(0), a(2), true);
+        log.push_icmp(t(90), a(2), false);
+        log.push_rdns(t(95), a(2), RdnsOutcome::NxDomain);
+        let groups = build_groups(&log);
+        let delays = RemovalDelays::from_groups(&groups);
+        assert_eq!(delays.len(), 1);
+        assert!((delays.minutes[0] - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_log_yields_nothing() {
+        let groups = build_groups(&ScanLog::new());
+        assert!(groups.is_empty());
+        let funnel = GroupFunnel::compute(&groups);
+        assert_eq!(funnel.all, 0);
+        let delays = RemovalDelays::from_groups(&groups);
+        assert!(delays.is_empty());
+        assert_eq!(delays.cdf_at(60.0), 0.0);
+    }
+
+    #[test]
+    fn timestamps_are_truncated_to_bins() {
+        let mut log = ScanLog::new();
+        log.push_icmp(t(60) + SimDuration::secs(42), a(1), true);
+        log.push_icmp(t(65) + SimDuration::secs(7), a(1), false);
+        let groups = build_groups(&log);
+        assert_eq!(groups[0].first_alive, t(60));
+        assert_eq!(groups[0].death_ts, Some(t(65)));
+    }
+}

@@ -1,0 +1,21 @@
+//! # rdns-data
+//!
+//! The dataset layer: stand-ins for the three data sources of §3.
+//!
+//! * [`snapshot`] — full-address-space rDNS snapshots. A [`Snapshotter`]
+//!   plays the role of OpenINTEL (daily cadence) or Rapid7 Project Sonar
+//!   (weekly cadence) by dumping all PTR records from the shared
+//!   [`ZoneStore`](rdns_dns::ZoneStore); a [`SnapshotSeries`] is the
+//!   longitudinal dataset the §4/§5/§7.2 analyses consume.
+//! * [`stats`] — summary statistics in the shape of Table 1 and Table 3.
+//! * [`persist`] — on-disk storage: series as JSON, scan logs as CSV pairs.
+//!
+//! Snapshots serialize to JSON for offline reuse.
+
+pub mod persist;
+pub mod snapshot;
+pub mod stats;
+
+pub use persist::{load_scan_log, load_series, save_scan_log, save_series, PersistError};
+pub use snapshot::{Cadence, DailySnapshot, Snapshotter, SnapshotSeries};
+pub use stats::{ScanDatasetStats, SnapshotDatasetStats};

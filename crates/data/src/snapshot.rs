@@ -1,0 +1,296 @@
+//! rDNS snapshots and snapshot series.
+
+use rdns_dns::ZoneStore;
+use rdns_model::{Date, Hostname, Slash24};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Measurement cadence of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cadence {
+    /// One snapshot per day (OpenINTEL).
+    Daily,
+    /// One snapshot per week (Rapid7 Sonar, "a single weekday every week").
+    Weekly,
+}
+
+impl Cadence {
+    /// Days between snapshots.
+    pub fn interval_days(&self) -> i64 {
+        match self {
+            Cadence::Daily => 1,
+            Cadence::Weekly => 7,
+        }
+    }
+}
+
+/// All PTR records visible on one date.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DailySnapshot {
+    /// Snapshot date.
+    pub date: Date,
+    /// `address → hostname` for every PTR present.
+    pub records: BTreeMap<Ipv4Addr, Hostname>,
+}
+
+impl DailySnapshot {
+    /// Number of PTR records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Unique addresses-with-PTR per /24 block.
+    pub fn counts_by_slash24(&self) -> HashMap<Slash24, u32> {
+        let mut out: HashMap<Slash24, u32> = HashMap::new();
+        for addr in self.records.keys() {
+            *out.entry(Slash24::containing(*addr)).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Records within a predicate over addresses (e.g. one subnet).
+    pub fn count_where<F: Fn(Ipv4Addr) -> bool>(&self, pred: F) -> usize {
+        self.records.keys().filter(|a| pred(**a)).count()
+    }
+}
+
+/// Takes snapshots of a zone store.
+#[derive(Debug, Clone)]
+pub struct Snapshotter {
+    store: ZoneStore,
+}
+
+impl Snapshotter {
+    /// Observe `store`.
+    pub fn new(store: ZoneStore) -> Snapshotter {
+        Snapshotter { store }
+    }
+
+    /// Take a full snapshot dated `date`.
+    pub fn take(&self, date: Date) -> DailySnapshot {
+        let mut records = BTreeMap::new();
+        self.store.for_each_ptr(|addr, name| {
+            records.insert(addr, name.to_hostname());
+        });
+        DailySnapshot { date, records }
+    }
+}
+
+/// A longitudinal series of snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotSeries {
+    /// Cadence of collection.
+    pub cadence: Cadence,
+    /// Snapshots in date order.
+    pub snapshots: Vec<DailySnapshot>,
+}
+
+impl SnapshotSeries {
+    /// An empty series.
+    pub fn new(cadence: Cadence) -> SnapshotSeries {
+        SnapshotSeries {
+            cadence,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Append a snapshot, keeping date order.
+    pub fn push(&mut self, snapshot: DailySnapshot) {
+        debug_assert!(self
+            .snapshots
+            .last()
+            .is_none_or(|s| s.date < snapshot.date));
+        self.snapshots.push(snapshot);
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// First snapshot date.
+    pub fn start_date(&self) -> Option<Date> {
+        self.snapshots.first().map(|s| s.date)
+    }
+
+    /// Last snapshot date.
+    pub fn end_date(&self) -> Option<Date> {
+        self.snapshots.last().map(|s| s.date)
+    }
+
+    /// Total PTR responses across snapshots (Table 1's "Total # responses").
+    pub fn total_responses(&self) -> u64 {
+        self.snapshots.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Unique PTR hostnames across the whole series.
+    pub fn unique_ptrs(&self) -> usize {
+        let mut set: HashSet<&Hostname> = HashSet::new();
+        for s in &self.snapshots {
+            set.extend(s.records.values());
+        }
+        set.len()
+    }
+
+    /// Unique /24 blocks with at least one PTR anywhere in the series.
+    pub fn unique_slash24s(&self) -> usize {
+        let mut set: HashSet<Slash24> = HashSet::new();
+        for s in &self.snapshots {
+            set.extend(s.records.keys().map(|a| Slash24::containing(*a)));
+        }
+        set.len()
+    }
+
+    /// Per-/24 daily count matrix: for each block seen anywhere, a vector of
+    /// counts aligned with `self.snapshots` — the input of the §4.1
+    /// dynamicity heuristic.
+    pub fn counts_matrix(&self) -> HashMap<Slash24, Vec<u32>> {
+        let days = self.snapshots.len();
+        let mut out: HashMap<Slash24, Vec<u32>> = HashMap::new();
+        for (i, snap) in self.snapshots.iter().enumerate() {
+            for (block, count) in snap.counts_by_slash24() {
+                out.entry(block).or_insert_with(|| vec![0; days])[i] = count;
+            }
+        }
+        out
+    }
+
+    /// Daily totals filtered by an address predicate (Fig. 9/10 series).
+    pub fn daily_totals_where<F: Fn(Ipv4Addr) -> bool>(&self, pred: F) -> Vec<(Date, usize)> {
+        self.snapshots
+            .iter()
+            .map(|s| (s.date, s.count_where(&pred)))
+            .collect()
+    }
+
+    /// Serialize the series to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Load a series from JSON.
+    pub fn from_json(text: &str) -> serde_json::Result<SnapshotSeries> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(records: &[(&str, &str)]) -> ZoneStore {
+        let store = ZoneStore::new();
+        for (addr, host) in records {
+            let a: Ipv4Addr = addr.parse().unwrap();
+            store.ensure_reverse_zone(a);
+            store.set_ptr(a, host.parse().unwrap(), 300);
+        }
+        store
+    }
+
+    #[test]
+    fn snapshot_captures_store_state() {
+        let store = store_with(&[
+            ("192.0.2.1", "a.example.edu"),
+            ("192.0.2.2", "b.example.edu"),
+            ("198.51.100.9", "c.example.org"),
+        ]);
+        let snap = Snapshotter::new(store.clone()).take(Date::from_ymd(2021, 1, 1));
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.records[&"192.0.2.1".parse::<Ipv4Addr>().unwrap()],
+            Hostname::new("a.example.edu")
+        );
+        // Mutating the store afterwards must not affect the snapshot.
+        store.remove_ptr("192.0.2.1".parse().unwrap());
+        assert_eq!(snap.len(), 3);
+    }
+
+    #[test]
+    fn counts_by_slash24() {
+        let store = store_with(&[
+            ("192.0.2.1", "a.example"),
+            ("192.0.2.2", "b.example"),
+            ("198.51.100.9", "c.example"),
+        ]);
+        let snap = Snapshotter::new(store).take(Date::from_ymd(2021, 1, 1));
+        let counts = snap.counts_by_slash24();
+        assert_eq!(counts[&Slash24::from_octets(192, 0, 2)], 2);
+        assert_eq!(counts[&Slash24::from_octets(198, 51, 100)], 1);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let store = store_with(&[("192.0.2.1", "a.example"), ("192.0.2.2", "b.example")]);
+        let snapper = Snapshotter::new(store.clone());
+        let mut series = SnapshotSeries::new(Cadence::Daily);
+        series.push(snapper.take(Date::from_ymd(2021, 1, 1)));
+        store.set_ptr("192.0.2.3".parse().unwrap(), "c.example".parse().unwrap(), 300);
+        series.push(snapper.take(Date::from_ymd(2021, 1, 2)));
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.total_responses(), 2 + 3);
+        assert_eq!(series.unique_ptrs(), 3);
+        assert_eq!(series.unique_slash24s(), 1);
+        assert_eq!(series.start_date(), Some(Date::from_ymd(2021, 1, 1)));
+        assert_eq!(series.end_date(), Some(Date::from_ymd(2021, 1, 2)));
+    }
+
+    #[test]
+    fn counts_matrix_alignment() {
+        let store = store_with(&[("192.0.2.1", "a.example")]);
+        let snapper = Snapshotter::new(store.clone());
+        let mut series = SnapshotSeries::new(Cadence::Daily);
+        series.push(snapper.take(Date::from_ymd(2021, 1, 1)));
+        // Day 2: record gone; a different block appears.
+        store.remove_ptr("192.0.2.1".parse().unwrap());
+        store.ensure_reverse_zone("198.51.100.1".parse().unwrap());
+        store.set_ptr("198.51.100.1".parse().unwrap(), "x.example".parse().unwrap(), 300);
+        series.push(snapper.take(Date::from_ymd(2021, 1, 2)));
+
+        let matrix = series.counts_matrix();
+        assert_eq!(matrix[&Slash24::from_octets(192, 0, 2)], vec![1, 0]);
+        assert_eq!(matrix[&Slash24::from_octets(198, 51, 100)], vec![0, 1]);
+    }
+
+    #[test]
+    fn daily_totals_with_predicate() {
+        let store = store_with(&[
+            ("192.0.2.1", "a.example"),
+            ("198.51.100.1", "b.example"),
+        ]);
+        let snapper = Snapshotter::new(store);
+        let mut series = SnapshotSeries::new(Cadence::Daily);
+        series.push(snapper.take(Date::from_ymd(2021, 1, 1)));
+        let net: rdns_model::Ipv4Net = "192.0.2.0/24".parse().unwrap();
+        let totals = series.daily_totals_where(|a| net.contains(a));
+        assert_eq!(totals, vec![(Date::from_ymd(2021, 1, 1), 1)]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let store = store_with(&[("192.0.2.1", "a.example")]);
+        let mut series = SnapshotSeries::new(Cadence::Weekly);
+        series.push(Snapshotter::new(store).take(Date::from_ymd(2021, 1, 1)));
+        let json = series.to_json().unwrap();
+        let back = SnapshotSeries::from_json(&json).unwrap();
+        assert_eq!(series, back);
+        assert_eq!(back.cadence.interval_days(), 7);
+    }
+
+    #[test]
+    fn cadence_intervals() {
+        assert_eq!(Cadence::Daily.interval_days(), 1);
+        assert_eq!(Cadence::Weekly.interval_days(), 7);
+    }
+}

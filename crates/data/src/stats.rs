@@ -1,0 +1,146 @@
+//! Dataset summary statistics (Table 1 and Table 3 shapes).
+
+use crate::snapshot::SnapshotSeries;
+use rdns_scan::ScanLog;
+use rdns_model::Date;
+use serde::{Deserialize, Serialize};
+
+/// Table-1-shaped statistics for a snapshot series.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotDatasetStats {
+    /// Dataset label (e.g. "OpenINTEL-like daily").
+    pub label: String,
+    /// First snapshot date.
+    pub start: Option<Date>,
+    /// Last snapshot date.
+    pub end: Option<Date>,
+    /// Total PTR responses across all snapshots.
+    pub total_responses: u64,
+    /// Unique PTR hostnames.
+    pub unique_ptrs: usize,
+}
+
+impl SnapshotDatasetStats {
+    /// Compute from a series.
+    pub fn from_series(label: &str, series: &SnapshotSeries) -> SnapshotDatasetStats {
+        SnapshotDatasetStats {
+            label: label.to_string(),
+            start: series.start_date(),
+            end: series.end_date(),
+            total_responses: series.total_responses(),
+            unique_ptrs: series.unique_ptrs(),
+        }
+    }
+
+    /// One row of a Table-1-style report.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<24} {:>10} {:>10} {:>14} {:>12}",
+            self.label,
+            self.start.map_or("-".into(), |d| d.to_string()),
+            self.end.map_or("-".into(), |d| d.to_string()),
+            self.total_responses,
+            self.unique_ptrs
+        )
+    }
+}
+
+/// Table-3-shaped statistics for a supplemental measurement log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScanDatasetStats {
+    /// ICMP responses recorded.
+    pub icmp_responses: u64,
+    /// Unique addresses in ICMP data.
+    pub icmp_unique_addrs: usize,
+    /// rDNS responses recorded.
+    pub rdns_responses: u64,
+    /// Unique addresses in rDNS data.
+    pub rdns_unique_addrs: usize,
+    /// Unique PTR values observed.
+    pub unique_ptrs: usize,
+}
+
+impl ScanDatasetStats {
+    /// Compute from a scan log.
+    pub fn from_log(log: &ScanLog) -> ScanDatasetStats {
+        ScanDatasetStats {
+            icmp_responses: log.icmp.len() as u64,
+            icmp_unique_addrs: log.unique_icmp_addrs(),
+            rdns_responses: log.rdns.len() as u64,
+            rdns_unique_addrs: log.unique_rdns_addrs(),
+            unique_ptrs: log.unique_ptrs(),
+        }
+    }
+
+    /// Two rows of a Table-3-style report.
+    pub fn rows(&self) -> Vec<String> {
+        vec![
+            format!(
+                "ICMP {:>14} responses {:>10} unique addrs {:>10}",
+                self.icmp_responses, self.icmp_unique_addrs, "-"
+            ),
+            format!(
+                "rDNS {:>14} responses {:>10} unique addrs {:>10} unique PTRs",
+                self.rdns_responses, self.rdns_unique_addrs, self.unique_ptrs
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Cadence, DailySnapshot};
+    use rdns_model::Hostname;
+    use rdns_model::SimTime;
+    use rdns_scan::RdnsOutcome;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn snapshot_stats() {
+        let mut series = SnapshotSeries::new(Cadence::Daily);
+        let mut records = BTreeMap::new();
+        records.insert("192.0.2.1".parse().unwrap(), Hostname::new("a.example"));
+        series.push(DailySnapshot {
+            date: Date::from_ymd(2020, 2, 17),
+            records: records.clone(),
+        });
+        records.insert("192.0.2.2".parse().unwrap(), Hostname::new("b.example"));
+        series.push(DailySnapshot {
+            date: Date::from_ymd(2020, 2, 18),
+            records,
+        });
+        let stats = SnapshotDatasetStats::from_series("OpenINTEL-like", &series);
+        assert_eq!(stats.start, Some(Date::from_ymd(2020, 2, 17)));
+        assert_eq!(stats.end, Some(Date::from_ymd(2020, 2, 18)));
+        assert_eq!(stats.total_responses, 3);
+        assert_eq!(stats.unique_ptrs, 2);
+        assert!(stats.row().contains("OpenINTEL-like"));
+    }
+
+    #[test]
+    fn empty_series_stats() {
+        let series = SnapshotSeries::new(Cadence::Weekly);
+        let stats = SnapshotDatasetStats::from_series("empty", &series);
+        assert_eq!(stats.start, None);
+        assert_eq!(stats.total_responses, 0);
+        assert!(stats.row().contains('-'));
+    }
+
+    #[test]
+    fn scan_stats() {
+        let mut log = ScanLog::new();
+        let t = SimTime::from_date(Date::from_ymd(2021, 10, 27));
+        log.push_icmp(t, "10.0.0.1".parse().unwrap(), true);
+        log.push_icmp(t, "10.0.0.2".parse().unwrap(), true);
+        log.push_rdns(t, "10.0.0.1".parse().unwrap(), RdnsOutcome::Ptr(Hostname::new("x.example")));
+        log.push_rdns(t, "10.0.0.1".parse().unwrap(), RdnsOutcome::NxDomain);
+        let stats = ScanDatasetStats::from_log(&log);
+        assert_eq!(stats.icmp_responses, 2);
+        assert_eq!(stats.icmp_unique_addrs, 2);
+        assert_eq!(stats.rdns_responses, 2);
+        assert_eq!(stats.rdns_unique_addrs, 1);
+        assert_eq!(stats.unique_ptrs, 1);
+        assert_eq!(stats.rows().len(), 2);
+    }
+}

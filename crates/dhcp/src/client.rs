@@ -1,0 +1,241 @@
+//! DHCP client identities and message construction.
+//!
+//! Real devices differ in which identifying options they volunteer: phones
+//! and laptops typically send their device name (`Brians-iPhone`) in the Host
+//! Name option; some send a Client FQDN; RFC 7844 *anonymity profiles*
+//! suppress both. [`ClientIdentity`] captures that spectrum so the simulator
+//! can populate networks with realistic mixes and the mitigation experiments
+//! can flip devices to the anonymity profile.
+
+use crate::message::{DhcpMessage, MessageType};
+use crate::options::{DhcpOption, FqdnFlags};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// A locally-administered MAC derived from a 64-bit seed (stable per
+    /// device across simulation runs).
+    pub fn from_seed(seed: u64) -> MacAddr {
+        let b = seed.to_be_bytes();
+        // Set the locally-administered bit, clear multicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// The standard client-identifier encoding: hardware type 1 + MAC.
+    pub fn to_client_id(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(7);
+        v.push(1);
+        v.extend_from_slice(&self.0);
+        v
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// How much identifying information the client volunteers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnonymityMode {
+    /// Default stacks: send Host Name (and FQDN when configured).
+    Standard,
+    /// RFC 7844 anonymity profile: no Host Name, no FQDN, minimal options.
+    Rfc7844,
+}
+
+/// The identity a DHCP client presents to servers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientIdentity {
+    /// Hardware address.
+    pub mac: MacAddr,
+    /// Device name as the OS would send it (option 12), e.g. `Brians-iPhone`.
+    pub host_name: Option<String>,
+    /// Optional client FQDN (option 81) and whether the client asks the
+    /// server to refrain from DNS updates (the `N` bit).
+    pub fqdn: Option<(String, bool)>,
+    /// Privacy posture.
+    pub anonymity: AnonymityMode,
+}
+
+impl ClientIdentity {
+    /// A standard client that sends its device name.
+    pub fn standard(mac: MacAddr, host_name: impl Into<String>) -> ClientIdentity {
+        ClientIdentity {
+            mac,
+            host_name: Some(host_name.into()),
+            fqdn: None,
+            anonymity: AnonymityMode::Standard,
+        }
+    }
+
+    /// An RFC 7844 anonymity-profile client.
+    pub fn anonymous(mac: MacAddr) -> ClientIdentity {
+        ClientIdentity {
+            mac,
+            host_name: None,
+            fqdn: None,
+            anonymity: AnonymityMode::Rfc7844,
+        }
+    }
+
+    /// Whether identifying options will be present on the wire.
+    pub fn leaks_identity(&self) -> bool {
+        self.anonymity == AnonymityMode::Standard
+            && (self.host_name.is_some() || self.fqdn.is_some())
+    }
+
+    fn identity_options(&self, options: &mut Vec<DhcpOption>) {
+        if self.anonymity == AnonymityMode::Rfc7844 {
+            // §3 of RFC 7844: do not send Host Name, FQDN, or a stable
+            // client identifier beyond the (ideally randomized) MAC.
+            return;
+        }
+        options.push(DhcpOption::ClientId(self.mac.to_client_id()));
+        if let Some(h) = &self.host_name {
+            options.push(DhcpOption::HostName(h.clone()));
+        }
+        if let Some((name, no_updates)) = &self.fqdn {
+            options.push(DhcpOption::ClientFqdn {
+                flags: FqdnFlags {
+                    server_updates: !no_updates,
+                    no_updates: *no_updates,
+                    encoded: true,
+                },
+                name: name.clone(),
+            });
+        }
+    }
+
+    /// Build a DISCOVER message.
+    pub fn discover(&self, xid: u32) -> DhcpMessage {
+        let mut msg = DhcpMessage::request_template(xid, self.mac);
+        msg.options
+            .push(DhcpOption::MessageType(MessageType::Discover.to_u8()));
+        self.identity_options(&mut msg.options);
+        msg
+    }
+
+    /// Build a REQUEST for an offered address.
+    pub fn request(&self, xid: u32, offered: Ipv4Addr, server: Ipv4Addr) -> DhcpMessage {
+        let mut msg = DhcpMessage::request_template(xid, self.mac);
+        msg.options
+            .push(DhcpOption::MessageType(MessageType::Request.to_u8()));
+        msg.options.push(DhcpOption::RequestedIp(offered));
+        msg.options.push(DhcpOption::ServerId(server));
+        self.identity_options(&mut msg.options);
+        msg
+    }
+
+    /// Build a renewal REQUEST (unicast, `ciaddr` set).
+    pub fn renew(&self, xid: u32, current: Ipv4Addr) -> DhcpMessage {
+        let mut msg = DhcpMessage::request_template(xid, self.mac);
+        msg.ciaddr = current;
+        msg.options
+            .push(DhcpOption::MessageType(MessageType::Request.to_u8()));
+        self.identity_options(&mut msg.options);
+        msg
+    }
+
+    /// Build a RELEASE message.
+    pub fn release(&self, xid: u32, current: Ipv4Addr, server: Ipv4Addr) -> DhcpMessage {
+        let mut msg = DhcpMessage::request_template(xid, self.mac);
+        msg.ciaddr = current;
+        msg.options
+            .push(DhcpOption::MessageType(MessageType::Release.to_u8()));
+        msg.options.push(DhcpOption::ServerId(server));
+        // RFC 7844 note: even anonymity profiles must identify the binding
+        // being released; the MAC in chaddr suffices.
+        msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_formatting_and_seed() {
+        let m = MacAddr::from_seed(0x1122334455667788);
+        assert_eq!(m.to_string(), "02:44:55:66:77:88");
+        // Deterministic.
+        assert_eq!(MacAddr::from_seed(42), MacAddr::from_seed(42));
+        assert_ne!(MacAddr::from_seed(42), MacAddr::from_seed(43));
+        // Locally administered, not multicast.
+        assert_eq!(m.0[0] & 0x01, 0);
+        assert_eq!(m.0[0] & 0x02, 0x02);
+    }
+
+    #[test]
+    fn client_id_encoding() {
+        let m = MacAddr([1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.to_client_id(), vec![1, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn standard_client_sends_host_name() {
+        let id = ClientIdentity::standard(MacAddr::from_seed(1), "Brians-iPhone");
+        assert!(id.leaks_identity());
+        let d = id.discover(99);
+        assert_eq!(d.message_type(), Some(MessageType::Discover));
+        assert_eq!(d.host_name(), Some("Brians-iPhone"));
+        let r = id.request(100, "10.0.0.5".parse().unwrap(), "10.0.0.1".parse().unwrap());
+        assert_eq!(r.host_name(), Some("Brians-iPhone"));
+        assert_eq!(r.requested_ip(), Some("10.0.0.5".parse().unwrap()));
+    }
+
+    #[test]
+    fn anonymous_client_sends_nothing_identifying() {
+        let id = ClientIdentity::anonymous(MacAddr::from_seed(2));
+        assert!(!id.leaks_identity());
+        let d = id.discover(1);
+        assert_eq!(d.host_name(), None);
+        assert_eq!(d.client_fqdn(), None);
+        assert!(!d
+            .options
+            .iter()
+            .any(|o| matches!(o, DhcpOption::ClientId(_))));
+    }
+
+    #[test]
+    fn fqdn_client_can_request_no_updates() {
+        let mut id = ClientIdentity::standard(MacAddr::from_seed(3), "quiet-laptop");
+        id.fqdn = Some(("quiet-laptop.example.org".into(), true));
+        let d = id.discover(5);
+        assert_eq!(d.client_fqdn(), Some((true, "quiet-laptop.example.org")));
+    }
+
+    #[test]
+    fn release_identifies_binding_only() {
+        let id = ClientIdentity::standard(MacAddr::from_seed(4), "Brians-MBP");
+        let rel = id.release(7, "10.0.0.9".parse().unwrap(), "10.0.0.1".parse().unwrap());
+        assert_eq!(rel.message_type(), Some(MessageType::Release));
+        assert_eq!(rel.ciaddr, "10.0.0.9".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(rel.host_name(), None, "release need not repeat the name");
+    }
+
+    #[test]
+    fn renew_sets_ciaddr() {
+        let id = ClientIdentity::standard(MacAddr::from_seed(5), "emmas-ipad");
+        let msg = id.renew(8, "10.0.0.77".parse().unwrap());
+        assert_eq!(msg.ciaddr, "10.0.0.77".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(msg.message_type(), Some(MessageType::Request));
+    }
+}

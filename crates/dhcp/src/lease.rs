@@ -1,0 +1,427 @@
+//! The lease database.
+//!
+//! Faithful to the behaviour the paper leans on (§2.1): leases have a fixed
+//! duration; clients may renew before expiry; clients that leave cleanly send
+//! RELEASE (prompt PTR removal — the ~5-minute peak of Fig. 7a), while
+//! clients that vanish hold their lease until expiry (the on-the-hour peaks).
+//! Re-joining clients prefer their previous address ("sticky" allocation),
+//! which keeps device↔address mappings stable enough to track.
+
+use crate::client::MacAddr;
+use rdns_model::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Lifecycle state of a lease record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LeaseState {
+    /// Currently bound to a client.
+    Active,
+    /// Client sent RELEASE.
+    Released,
+    /// Lease time ran out without renewal.
+    Expired,
+}
+
+/// One address binding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lease {
+    /// The bound address.
+    pub addr: Ipv4Addr,
+    /// The client's hardware address.
+    pub mac: MacAddr,
+    /// Host Name option carried by the client, if any.
+    pub host_name: Option<String>,
+    /// When the binding began.
+    pub start: SimTime,
+    /// When the binding lapses unless renewed.
+    pub expires: SimTime,
+    /// Current state.
+    pub state: LeaseState,
+}
+
+/// Errors from lease operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseError {
+    /// No free addresses remain in the pool.
+    PoolExhausted,
+    /// The client has no active binding.
+    NoBinding(MacAddr),
+}
+
+impl fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeaseError::PoolExhausted => write!(f, "address pool exhausted"),
+            LeaseError::NoBinding(m) => write!(f, "no active binding for {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+/// The server-side lease table over a fixed address pool.
+#[derive(Debug, Clone)]
+pub struct LeaseDb {
+    active: HashMap<MacAddr, Lease>,
+    by_addr: HashMap<Ipv4Addr, MacAddr>,
+    free: BTreeSet<Ipv4Addr>,
+    /// Last address each client held, for sticky reallocation.
+    last_binding: HashMap<MacAddr, Ipv4Addr>,
+    pool_size: usize,
+}
+
+impl LeaseDb {
+    /// Create a database over the given allocatable addresses.
+    pub fn new<I: IntoIterator<Item = Ipv4Addr>>(pool: I) -> LeaseDb {
+        let free: BTreeSet<Ipv4Addr> = pool.into_iter().collect();
+        let pool_size = free.len();
+        LeaseDb {
+            active: HashMap::new(),
+            by_addr: HashMap::new(),
+            free,
+            last_binding: HashMap::new(),
+            pool_size,
+        }
+    }
+
+    /// Number of currently active leases.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    /// Free addresses remaining.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The address that would be offered to `mac` right now (sticky when
+    /// possible), without committing anything.
+    pub fn peek_offer(&self, mac: MacAddr) -> Option<Ipv4Addr> {
+        if let Some(lease) = self.active.get(&mac) {
+            return Some(lease.addr);
+        }
+        if let Some(prev) = self.last_binding.get(&mac) {
+            if self.free.contains(prev) {
+                return Some(*prev);
+            }
+        }
+        // Prefer addresses that are not some other client's sticky binding,
+        // like real servers that hand out least-recently-used addresses.
+        let reserved: std::collections::HashSet<Ipv4Addr> =
+            self.last_binding.values().copied().collect();
+        self.free
+            .iter()
+            .find(|a| !reserved.contains(a))
+            .or_else(|| self.free.iter().next())
+            .copied()
+    }
+
+    /// Allocate (or re-confirm) a binding for `mac`.
+    pub fn allocate(
+        &mut self,
+        mac: MacAddr,
+        host_name: Option<String>,
+        now: SimTime,
+        lease_time: SimDuration,
+    ) -> Result<&Lease, LeaseError> {
+        if let Some(existing) = self.active.get(&mac) {
+            let addr = existing.addr;
+            let lease = self.active.get_mut(&mac).expect("binding just checked");
+            lease.expires = now + lease_time;
+            lease.host_name = host_name;
+            debug_assert_eq!(lease.addr, addr);
+            return Ok(self.active.get(&mac).expect("binding just updated"));
+        }
+        let addr = self.peek_offer(mac).ok_or(LeaseError::PoolExhausted)?;
+        debug_assert!(self.free.contains(&addr));
+        self.free.remove(&addr);
+        self.by_addr.insert(addr, mac);
+        self.last_binding.insert(mac, addr);
+        self.active.insert(
+            mac,
+            Lease {
+                addr,
+                mac,
+                host_name,
+                start: now,
+                expires: now + lease_time,
+                state: LeaseState::Active,
+            },
+        );
+        Ok(self.active.get(&mac).expect("binding just inserted"))
+    }
+
+    /// Renew an active binding.
+    pub fn renew(
+        &mut self,
+        mac: MacAddr,
+        now: SimTime,
+        lease_time: SimDuration,
+    ) -> Result<&Lease, LeaseError> {
+        match self.active.get_mut(&mac) {
+            Some(lease) => {
+                lease.expires = now + lease_time;
+                Ok(&*lease)
+            }
+            None => Err(LeaseError::NoBinding(mac)),
+        }
+    }
+
+    /// Release an active binding (clean departure). Returns the final lease.
+    pub fn release(&mut self, mac: MacAddr) -> Result<Lease, LeaseError> {
+        let mut lease = self
+            .active
+            .remove(&mac)
+            .ok_or(LeaseError::NoBinding(mac))?;
+        lease.state = LeaseState::Released;
+        self.by_addr.remove(&lease.addr);
+        self.free.insert(lease.addr);
+        Ok(lease)
+    }
+
+    /// Quarantine an address reported in-conflict (DHCPDECLINE, RFC 2131
+    /// §4.4.4): drop any binding on it and remove it from the allocatable
+    /// pool until an operator intervenes. Returns whether the address was
+    /// part of this pool.
+    pub fn quarantine(&mut self, addr: Ipv4Addr) -> bool {
+        let was_bound = if let Some(mac) = self.by_addr.remove(&addr) {
+            self.active.remove(&mac);
+            self.last_binding.remove(&mac);
+            true
+        } else {
+            false
+        };
+        let was_free = self.free.remove(&addr);
+        if was_bound || was_free {
+            self.pool_size = self.pool_size.saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Expire all bindings whose lease time has passed at `now`. Returns the
+    /// expired leases (state set to [`LeaseState::Expired`]).
+    pub fn expire_before(&mut self, now: SimTime) -> Vec<Lease> {
+        let due: Vec<MacAddr> = self
+            .active
+            .values()
+            .filter(|l| l.expires <= now)
+            .map(|l| l.mac)
+            .collect();
+        let mut out = Vec::with_capacity(due.len());
+        for mac in due {
+            let mut lease = self.active.remove(&mac).expect("listed as due");
+            lease.state = LeaseState::Expired;
+            self.by_addr.remove(&lease.addr);
+            self.free.insert(lease.addr);
+            out.push(lease);
+        }
+        out.sort_by_key(|l| l.addr);
+        out
+    }
+
+    /// The earliest pending expiry among active leases.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.active.values().map(|l| l.expires).min()
+    }
+
+    /// Active lease for an address.
+    pub fn lease_at(&self, addr: Ipv4Addr) -> Option<&Lease> {
+        self.by_addr.get(&addr).and_then(|mac| self.active.get(mac))
+    }
+
+    /// Active lease for a client.
+    pub fn lease_of(&self, mac: MacAddr) -> Option<&Lease> {
+        self.active.get(&mac)
+    }
+
+    /// Iterate active leases (unordered).
+    pub fn iter_active(&self) -> impl Iterator<Item = &Lease> {
+        self.active.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_model::Date;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::from_ymd(2021, 11, 1))
+    }
+
+    fn pool3() -> LeaseDb {
+        LeaseDb::new((1..=3u8).map(|i| Ipv4Addr::new(10, 0, 0, i)))
+    }
+
+    #[test]
+    fn allocate_release_cycle() {
+        let mut db = pool3();
+        let mac = MacAddr::from_seed(1);
+        let lease = db
+            .allocate(mac, Some("brians-iphone".into()), t0(), SimDuration::hours(1))
+            .unwrap()
+            .clone();
+        assert_eq!(lease.state, LeaseState::Active);
+        assert_eq!(lease.expires, t0() + SimDuration::hours(1));
+        assert_eq!(db.active_count(), 1);
+        assert_eq!(db.free_count(), 2);
+        assert_eq!(db.lease_at(lease.addr).unwrap().mac, mac);
+
+        let released = db.release(mac).unwrap();
+        assert_eq!(released.state, LeaseState::Released);
+        assert_eq!(db.active_count(), 0);
+        assert_eq!(db.free_count(), 3);
+        assert!(db.release(mac).is_err());
+    }
+
+    #[test]
+    fn sticky_reallocation() {
+        let mut db = pool3();
+        let mac = MacAddr::from_seed(7);
+        let first = db
+            .allocate(mac, None, t0(), SimDuration::hours(1))
+            .unwrap()
+            .addr;
+        db.release(mac).unwrap();
+        // Another client takes a different address meanwhile.
+        let other = MacAddr::from_seed(8);
+        db.allocate(other, None, t0(), SimDuration::hours(1)).unwrap();
+        let again = db
+            .allocate(mac, None, t0() + SimDuration::mins(30), SimDuration::hours(1))
+            .unwrap()
+            .addr;
+        assert_eq!(first, again, "returning client gets its old address");
+    }
+
+    #[test]
+    fn pool_exhaustion() {
+        let mut db = pool3();
+        for i in 0..3 {
+            db.allocate(MacAddr::from_seed(i), None, t0(), SimDuration::hours(1))
+                .unwrap();
+        }
+        assert_eq!(
+            db.allocate(MacAddr::from_seed(99), None, t0(), SimDuration::hours(1))
+                .unwrap_err(),
+            LeaseError::PoolExhausted
+        );
+        // Releasing one frees capacity again.
+        db.release(MacAddr::from_seed(0)).unwrap();
+        assert!(db
+            .allocate(MacAddr::from_seed(99), None, t0(), SimDuration::hours(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn renewal_extends_expiry() {
+        let mut db = pool3();
+        let mac = MacAddr::from_seed(1);
+        db.allocate(mac, None, t0(), SimDuration::hours(1)).unwrap();
+        let mid = t0() + SimDuration::mins(50);
+        let lease = db.renew(mac, mid, SimDuration::hours(1)).unwrap();
+        assert_eq!(lease.expires, mid + SimDuration::hours(1));
+        assert!(db.renew(MacAddr::from_seed(9), mid, SimDuration::hours(1)).is_err());
+    }
+
+    #[test]
+    fn expiry_sweep() {
+        let mut db = pool3();
+        let a = MacAddr::from_seed(1);
+        let b = MacAddr::from_seed(2);
+        db.allocate(a, Some("a".into()), t0(), SimDuration::hours(1)).unwrap();
+        db.allocate(b, Some("b".into()), t0(), SimDuration::hours(2)).unwrap();
+        assert_eq!(db.next_expiry(), Some(t0() + SimDuration::hours(1)));
+
+        let none = db.expire_before(t0() + SimDuration::mins(59));
+        assert!(none.is_empty());
+
+        let expired = db.expire_before(t0() + SimDuration::hours(1));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].mac, a);
+        assert_eq!(expired[0].state, LeaseState::Expired);
+        assert_eq!(db.active_count(), 1);
+
+        let rest = db.expire_before(t0() + SimDuration::days(1));
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].mac, b);
+        assert_eq!(db.active_count(), 0);
+        assert_eq!(db.free_count(), 3);
+        assert_eq!(db.next_expiry(), None);
+    }
+
+    #[test]
+    fn quarantine_removes_address_from_circulation() {
+        let mut db = pool3();
+        let mac = MacAddr::from_seed(1);
+        let addr = db
+            .allocate(mac, None, t0(), SimDuration::hours(1))
+            .unwrap()
+            .addr;
+        assert!(db.quarantine(addr));
+        assert_eq!(db.active_count(), 0);
+        assert_eq!(db.pool_size(), 2);
+        // The quarantined address is never handed out again.
+        for i in 10..12u64 {
+            let got = db
+                .allocate(MacAddr::from_seed(i), None, t0(), SimDuration::hours(1))
+                .unwrap()
+                .addr;
+            assert_ne!(got, addr);
+        }
+        // Free-address quarantine also shrinks the pool.
+        let mut db = pool3();
+        assert!(db.quarantine(Ipv4Addr::new(10, 0, 0, 2)));
+        assert_eq!(db.pool_size(), 2);
+        assert_eq!(db.free_count(), 2);
+        // Foreign addresses are rejected.
+        assert!(!db.quarantine(Ipv4Addr::new(192, 0, 2, 1)));
+        assert_eq!(db.pool_size(), 2);
+    }
+
+    #[test]
+    fn reallocate_while_active_refreshes() {
+        // A client re-DISCOVERing while bound must keep its address.
+        let mut db = pool3();
+        let mac = MacAddr::from_seed(1);
+        let first = db
+            .allocate(mac, Some("old-name".into()), t0(), SimDuration::hours(1))
+            .unwrap()
+            .addr;
+        let again = db
+            .allocate(
+                mac,
+                Some("new-name".into()),
+                t0() + SimDuration::mins(10),
+                SimDuration::hours(1),
+            )
+            .unwrap()
+            .clone();
+        assert_eq!(again.addr, first);
+        assert_eq!(again.host_name.as_deref(), Some("new-name"));
+        assert_eq!(db.active_count(), 1);
+    }
+
+    #[test]
+    fn expired_sorted_by_addr() {
+        let mut db = LeaseDb::new((1..=10u8).map(|i| Ipv4Addr::new(10, 0, 0, i)));
+        for i in (0..5).rev() {
+            db.allocate(MacAddr::from_seed(i), None, t0(), SimDuration::hours(1))
+                .unwrap();
+        }
+        let expired = db.expire_before(t0() + SimDuration::days(1));
+        let addrs: Vec<_> = expired.iter().map(|l| l.addr).collect();
+        let mut sorted = addrs.clone();
+        sorted.sort();
+        assert_eq!(addrs, sorted);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rdns-dhcp
+//!
+//! The DHCP substrate of the `rdns-privacy` workspace.
+//!
+//! The paper's root cause is the interplay between DHCP and DNS (§2.1): DHCP
+//! clients volunteer identifying parameters — the *Host Name* option
+//! (RFC 2132 option 12, e.g. `Brians-iPhone`) or the *Client FQDN* option
+//! (RFC 4702 option 81) — and servers or IPAM systems carry those over into
+//! globally visible PTR records. This crate implements that machinery from
+//! scratch:
+//!
+//! * [`options`] — DHCP options with wire encoding, including options 12,
+//!   50, 51, 53, 54, 61 and 81,
+//! * [`message`] — RFC 2131 fixed-format messages (BOOTP framing, magic
+//!   cookie) with full encode/decode,
+//! * [`lease`] — the lease database with allocation, renewal, release and
+//!   expiry on the simulation clock,
+//! * [`server`] — a DHCP server state machine emitting [`LeaseEvent`]s that
+//!   the IPAM layer (`rdns-ipam`) turns into DNS updates,
+//! * [`client`] — client-side identity profiles, including the RFC 7844
+//!   anonymity profile that suppresses identifying options,
+//! * [`wire`] — a tokio UDP front serving the state machine over real
+//!   sockets, with an async client running the full four-way handshake.
+
+pub mod client;
+pub mod lease;
+pub mod message;
+pub mod options;
+pub mod server;
+pub mod wire;
+
+pub use client::{AnonymityMode, ClientIdentity, MacAddr};
+pub use lease::{Lease, LeaseDb, LeaseError, LeaseState};
+pub use message::{DhcpMessage, MessageType, OpCode};
+pub use options::{DhcpOption, FqdnFlags, OptionCode};
+pub use server::{acquire, DhcpServer, LeaseEvent, ServerConfig};
+pub use wire::{WireDhcpClient, WireDhcpServer};

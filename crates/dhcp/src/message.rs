@@ -1,0 +1,375 @@
+//! RFC 2131 DHCP message framing.
+//!
+//! Fixed-format BOOTP header (op, htype, xid, addresses, chaddr, sname,
+//! file), the magic cookie, and the variable options area.
+
+use crate::client::MacAddr;
+use crate::options::{parse_options, DhcpOption, OptionCode, OptionParseError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// The RFC 1497 magic cookie that precedes the options area.
+pub const MAGIC_COOKIE: [u8; 4] = [99, 130, 83, 99];
+
+/// BOOTP op field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpCode {
+    /// Client-to-server.
+    BootRequest,
+    /// Server-to-client.
+    BootReply,
+}
+
+/// DHCP message type (option 53 values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageType {
+    /// Client looks for servers.
+    Discover,
+    /// Server offers an address.
+    Offer,
+    /// Client requests/confirms an address.
+    Request,
+    /// Client declines an offered address.
+    Decline,
+    /// Server acknowledges a binding.
+    Ack,
+    /// Server refuses a binding.
+    Nak,
+    /// Client relinquishes its lease early — the paper ties the ~5-minute
+    /// PTR-removal peak of Fig. 7a to these messages.
+    Release,
+    /// Client asks for configuration only.
+    Inform,
+}
+
+impl MessageType {
+    /// Option 53 wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            MessageType::Discover => 1,
+            MessageType::Offer => 2,
+            MessageType::Request => 3,
+            MessageType::Decline => 4,
+            MessageType::Ack => 5,
+            MessageType::Nak => 6,
+            MessageType::Release => 7,
+            MessageType::Inform => 8,
+        }
+    }
+
+    /// From the option 53 wire value.
+    pub fn from_u8(v: u8) -> Option<MessageType> {
+        Some(match v {
+            1 => MessageType::Discover,
+            2 => MessageType::Offer,
+            3 => MessageType::Request,
+            4 => MessageType::Decline,
+            5 => MessageType::Ack,
+            6 => MessageType::Nak,
+            7 => MessageType::Release,
+            8 => MessageType::Inform,
+            _ => return None,
+        })
+    }
+}
+
+/// Errors decoding a DHCP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DhcpParseError {
+    /// Shorter than the 236-octet fixed header plus cookie.
+    TooShort(usize),
+    /// Bad op field.
+    BadOp(u8),
+    /// Missing/incorrect magic cookie.
+    BadCookie([u8; 4]),
+    /// Options area malformed.
+    BadOptions(OptionParseError),
+    /// No message-type option present.
+    MissingMessageType,
+}
+
+impl fmt::Display for DhcpParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhcpParseError::TooShort(n) => write!(f, "datagram of {n} octets is too short"),
+            DhcpParseError::BadOp(v) => write!(f, "invalid BOOTP op {v}"),
+            DhcpParseError::BadCookie(c) => write!(f, "bad magic cookie {c:?}"),
+            DhcpParseError::BadOptions(e) => write!(f, "options area: {e}"),
+            DhcpParseError::MissingMessageType => write!(f, "option 53 missing"),
+        }
+    }
+}
+
+impl std::error::Error for DhcpParseError {}
+
+/// A DHCP message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DhcpMessage {
+    /// Request or reply.
+    pub op: OpCode,
+    /// Transaction ID chosen by the client.
+    pub xid: u32,
+    /// Seconds since the client began acquisition.
+    pub secs: u16,
+    /// Broadcast flag.
+    pub broadcast: bool,
+    /// Client's current IP (renewals), else unspecified.
+    pub ciaddr: Ipv4Addr,
+    /// "Your" address being offered/assigned.
+    pub yiaddr: Ipv4Addr,
+    /// Next-server address.
+    pub siaddr: Ipv4Addr,
+    /// Relay agent address.
+    pub giaddr: Ipv4Addr,
+    /// Client hardware address.
+    pub chaddr: MacAddr,
+    /// Options, in order.
+    pub options: Vec<DhcpOption>,
+}
+
+impl DhcpMessage {
+    /// A blank request with the given transaction ID and MAC.
+    pub fn request_template(xid: u32, chaddr: MacAddr) -> DhcpMessage {
+        DhcpMessage {
+            op: OpCode::BootRequest,
+            xid,
+            secs: 0,
+            broadcast: false,
+            ciaddr: Ipv4Addr::UNSPECIFIED,
+            yiaddr: Ipv4Addr::UNSPECIFIED,
+            siaddr: Ipv4Addr::UNSPECIFIED,
+            giaddr: Ipv4Addr::UNSPECIFIED,
+            chaddr,
+            options: Vec::new(),
+        }
+    }
+
+    /// The message type from option 53, if present.
+    pub fn message_type(&self) -> Option<MessageType> {
+        self.options.iter().find_map(|o| match o {
+            DhcpOption::MessageType(v) => MessageType::from_u8(*v),
+            _ => None,
+        })
+    }
+
+    /// The Host Name option (12), if present.
+    pub fn host_name(&self) -> Option<&str> {
+        self.options.iter().find_map(|o| match o {
+            DhcpOption::HostName(s) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The Client FQDN option (81), if present: `(no_updates, name)`.
+    pub fn client_fqdn(&self) -> Option<(bool, &str)> {
+        self.options.iter().find_map(|o| match o {
+            DhcpOption::ClientFqdn { flags, name } => Some((flags.no_updates, name.as_str())),
+            _ => None,
+        })
+    }
+
+    /// The requested IP (option 50), if present.
+    pub fn requested_ip(&self) -> Option<Ipv4Addr> {
+        self.options.iter().find_map(|o| match o {
+            DhcpOption::RequestedIp(a) => Some(*a),
+            _ => None,
+        })
+    }
+
+    /// The lease time (option 51), if present.
+    pub fn lease_time(&self) -> Option<u32> {
+        self.options.iter().find_map(|o| match o {
+            DhcpOption::LeaseTime(t) => Some(*t),
+            _ => None,
+        })
+    }
+
+    /// Serialize to wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(300);
+        out.push(match self.op {
+            OpCode::BootRequest => 1,
+            OpCode::BootReply => 2,
+        });
+        out.push(1); // htype: Ethernet
+        out.push(6); // hlen
+        out.push(0); // hops
+        out.extend_from_slice(&self.xid.to_be_bytes());
+        out.extend_from_slice(&self.secs.to_be_bytes());
+        out.extend_from_slice(&if self.broadcast { 0x8000u16 } else { 0 }.to_be_bytes());
+        out.extend_from_slice(&self.ciaddr.octets());
+        out.extend_from_slice(&self.yiaddr.octets());
+        out.extend_from_slice(&self.siaddr.octets());
+        out.extend_from_slice(&self.giaddr.octets());
+        out.extend_from_slice(&self.chaddr.0);
+        out.extend_from_slice(&[0u8; 10]); // chaddr padding to 16
+        out.extend_from_slice(&[0u8; 64]); // sname
+        out.extend_from_slice(&[0u8; 128]); // file
+        out.extend_from_slice(&MAGIC_COOKIE);
+        for o in &self.options {
+            o.encode(&mut out);
+        }
+        out.push(OptionCode::End.to_u8());
+        out
+    }
+
+    /// Parse from wire format.
+    pub fn decode(bytes: &[u8]) -> Result<DhcpMessage, DhcpParseError> {
+        const FIXED: usize = 236;
+        if bytes.len() < FIXED + 4 {
+            return Err(DhcpParseError::TooShort(bytes.len()));
+        }
+        let op = match bytes[0] {
+            1 => OpCode::BootRequest,
+            2 => OpCode::BootReply,
+            other => return Err(DhcpParseError::BadOp(other)),
+        };
+        let xid = u32::from_be_bytes(bytes[4..8].try_into().expect("slice is 4 bytes"));
+        let secs = u16::from_be_bytes(bytes[8..10].try_into().expect("slice is 2 bytes"));
+        let flags = u16::from_be_bytes(bytes[10..12].try_into().expect("slice is 2 bytes"));
+        let ip_at = |off: usize| -> Ipv4Addr {
+            let arr: [u8; 4] = bytes[off..off + 4].try_into().expect("slice is 4 bytes");
+            Ipv4Addr::from(arr)
+        };
+        let mut mac = [0u8; 6];
+        mac.copy_from_slice(&bytes[28..34]);
+        let cookie: [u8; 4] = bytes[FIXED..FIXED + 4].try_into().expect("slice is 4 bytes");
+        if cookie != MAGIC_COOKIE {
+            return Err(DhcpParseError::BadCookie(cookie));
+        }
+        let options = parse_options(&bytes[FIXED + 4..]).map_err(DhcpParseError::BadOptions)?;
+        Ok(DhcpMessage {
+            op,
+            xid,
+            secs,
+            broadcast: flags & 0x8000 != 0,
+            ciaddr: ip_at(12),
+            yiaddr: ip_at(16),
+            siaddr: ip_at(20),
+            giaddr: ip_at(24),
+            chaddr: MacAddr(mac),
+            options,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::FqdnFlags;
+    use proptest::prelude::*;
+
+    fn mac() -> MacAddr {
+        MacAddr([0x02, 0x00, 0x5E, 0x10, 0x20, 0x30])
+    }
+
+    #[test]
+    fn discover_roundtrip() {
+        let mut msg = DhcpMessage::request_template(0xDEADBEEF, mac());
+        msg.options.push(DhcpOption::MessageType(MessageType::Discover.to_u8()));
+        msg.options.push(DhcpOption::HostName("Brians-iPhone".into()));
+        let decoded = DhcpMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.message_type(), Some(MessageType::Discover));
+        assert_eq!(decoded.host_name(), Some("Brians-iPhone"));
+        assert_eq!(decoded.chaddr, mac());
+        assert_eq!(decoded.xid, 0xDEADBEEF);
+    }
+
+    #[test]
+    fn reply_roundtrip() {
+        let mut msg = DhcpMessage::request_template(7, mac());
+        msg.op = OpCode::BootReply;
+        msg.yiaddr = "10.20.30.40".parse().unwrap();
+        msg.broadcast = true;
+        msg.options.push(DhcpOption::MessageType(MessageType::Ack.to_u8()));
+        msg.options.push(DhcpOption::LeaseTime(3600));
+        msg.options.push(DhcpOption::ServerId("10.20.30.1".parse().unwrap()));
+        let decoded = DhcpMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+        assert!(decoded.broadcast);
+        assert_eq!(decoded.lease_time(), Some(3600));
+    }
+
+    #[test]
+    fn accessors() {
+        let mut msg = DhcpMessage::request_template(1, mac());
+        msg.options.push(DhcpOption::MessageType(MessageType::Request.to_u8()));
+        msg.options.push(DhcpOption::RequestedIp("192.0.2.9".parse().unwrap()));
+        msg.options.push(DhcpOption::ClientFqdn {
+            flags: FqdnFlags {
+                no_updates: true,
+                server_updates: false,
+                encoded: true,
+            },
+            name: "quiet.example.org".into(),
+        });
+        assert_eq!(msg.requested_ip(), Some("192.0.2.9".parse().unwrap()));
+        assert_eq!(msg.client_fqdn(), Some((true, "quiet.example.org")));
+        assert_eq!(msg.host_name(), None);
+    }
+
+    #[test]
+    fn wire_length_is_bootp_compatible() {
+        let mut msg = DhcpMessage::request_template(1, mac());
+        msg.options.push(DhcpOption::MessageType(MessageType::Discover.to_u8()));
+        let bytes = msg.encode();
+        assert!(bytes.len() >= 240, "fixed header + cookie = 240 octets");
+        assert_eq!(&bytes[236..240], &MAGIC_COOKIE);
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(matches!(
+            DhcpMessage::decode(&[0u8; 10]),
+            Err(DhcpParseError::TooShort(_))
+        ));
+        let mut msg = DhcpMessage::request_template(1, mac()).encode();
+        msg[0] = 9;
+        assert!(matches!(
+            DhcpMessage::decode(&msg),
+            Err(DhcpParseError::BadOp(9))
+        ));
+        let mut msg2 = DhcpMessage::request_template(1, mac()).encode();
+        msg2[238] = 0;
+        assert!(matches!(
+            DhcpMessage::decode(&msg2),
+            Err(DhcpParseError::BadCookie(_))
+        ));
+    }
+
+    #[test]
+    fn message_type_mapping() {
+        for t in [
+            MessageType::Discover,
+            MessageType::Offer,
+            MessageType::Request,
+            MessageType::Decline,
+            MessageType::Ack,
+            MessageType::Nak,
+            MessageType::Release,
+            MessageType::Inform,
+        ] {
+            assert_eq!(MessageType::from_u8(t.to_u8()), Some(t));
+        }
+        assert_eq!(MessageType::from_u8(0), None);
+        assert_eq!(MessageType::from_u8(9), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let _ = DhcpMessage::decode(&bytes);
+        }
+
+        #[test]
+        fn prop_roundtrip(xid in any::<u32>(), secs in any::<u16>(), host in "[a-zA-Z0-9-]{1,30}") {
+            let mut msg = DhcpMessage::request_template(xid, mac());
+            msg.secs = secs;
+            msg.options.push(DhcpOption::MessageType(MessageType::Request.to_u8()));
+            msg.options.push(DhcpOption::HostName(host));
+            prop_assert_eq!(DhcpMessage::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! DHCP options (RFC 2132) and the Client FQDN option (RFC 4702).
+//!
+//! Only the options the reproduction exercises are typed; everything else
+//! round-trips as opaque bytes so captured traffic never breaks parsing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Well-known option codes used in this workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptionCode {
+    /// Pad (0), skipped on parse.
+    Pad,
+    /// 12 — Host Name: the option that leaks `Brians-iPhone`.
+    HostName,
+    /// 50 — Requested IP address.
+    RequestedIp,
+    /// 51 — IP address lease time.
+    LeaseTime,
+    /// 53 — DHCP message type.
+    MessageType,
+    /// 54 — Server identifier.
+    ServerId,
+    /// 61 — Client identifier.
+    ClientId,
+    /// 81 — Client FQDN (RFC 4702).
+    ClientFqdn,
+    /// 255 — End.
+    End,
+    /// Any other code.
+    Other(u8),
+}
+
+impl OptionCode {
+    /// Numeric code.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            OptionCode::Pad => 0,
+            OptionCode::HostName => 12,
+            OptionCode::RequestedIp => 50,
+            OptionCode::LeaseTime => 51,
+            OptionCode::MessageType => 53,
+            OptionCode::ServerId => 54,
+            OptionCode::ClientId => 61,
+            OptionCode::ClientFqdn => 81,
+            OptionCode::End => 255,
+            OptionCode::Other(v) => v,
+        }
+    }
+
+    /// From the numeric code.
+    pub fn from_u8(v: u8) -> OptionCode {
+        match v {
+            0 => OptionCode::Pad,
+            12 => OptionCode::HostName,
+            50 => OptionCode::RequestedIp,
+            51 => OptionCode::LeaseTime,
+            53 => OptionCode::MessageType,
+            54 => OptionCode::ServerId,
+            61 => OptionCode::ClientId,
+            81 => OptionCode::ClientFqdn,
+            255 => OptionCode::End,
+            other => OptionCode::Other(other),
+        }
+    }
+}
+
+/// RFC 4702 §2.1 FQDN option flags.
+///
+/// The `S` bit asks the server to perform the forward (A) update; the `N`
+/// bit asks the server to perform *no* DNS updates at all. The paper's
+/// future-work section asks whether servers honour client-signalled desires —
+/// our IPAM layer can be configured either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FqdnFlags {
+    /// Server SHOULD perform the A-record update.
+    pub server_updates: bool,
+    /// Client requests that the server perform NO DNS updates.
+    pub no_updates: bool,
+    /// Encoding is canonical wire format (always set by modern clients).
+    pub encoded: bool,
+}
+
+impl FqdnFlags {
+    fn to_u8(self) -> u8 {
+        let mut v = 0u8;
+        if self.server_updates {
+            v |= 0x01; // S
+        }
+        // O (0x02) is server-only on replies; not modelled on requests.
+        if self.encoded {
+            v |= 0x04; // E
+        }
+        if self.no_updates {
+            v |= 0x08; // N
+        }
+        v
+    }
+
+    fn from_u8(v: u8) -> FqdnFlags {
+        FqdnFlags {
+            server_updates: v & 0x01 != 0,
+            encoded: v & 0x04 != 0,
+            no_updates: v & 0x08 != 0,
+        }
+    }
+}
+
+/// A single DHCP option.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DhcpOption {
+    /// Option 12. Sent by clients to identify themselves; the primary
+    /// carry-over vector studied by the paper.
+    HostName(String),
+    /// Option 50.
+    RequestedIp(Ipv4Addr),
+    /// Option 51, seconds.
+    LeaseTime(u32),
+    /// Option 53.
+    MessageType(u8),
+    /// Option 54.
+    ServerId(Ipv4Addr),
+    /// Option 61, opaque client identifier (often the MAC).
+    ClientId(Vec<u8>),
+    /// Option 81: flags, RCODE1/RCODE2 (deprecated, zero) and domain name.
+    ClientFqdn {
+        /// Update-control flags.
+        flags: FqdnFlags,
+        /// The client's suggested FQDN, presentation form.
+        name: String,
+    },
+    /// Anything else, carried opaquely.
+    Other(u8, Vec<u8>),
+}
+
+impl DhcpOption {
+    /// The option code.
+    pub fn code(&self) -> OptionCode {
+        match self {
+            DhcpOption::HostName(_) => OptionCode::HostName,
+            DhcpOption::RequestedIp(_) => OptionCode::RequestedIp,
+            DhcpOption::LeaseTime(_) => OptionCode::LeaseTime,
+            DhcpOption::MessageType(_) => OptionCode::MessageType,
+            DhcpOption::ServerId(_) => OptionCode::ServerId,
+            DhcpOption::ClientId(_) => OptionCode::ClientId,
+            DhcpOption::ClientFqdn { .. } => OptionCode::ClientFqdn,
+            DhcpOption::Other(c, _) => OptionCode::from_u8(*c),
+        }
+    }
+
+    /// Serialize into `out` as TLV.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            DhcpOption::HostName(s) => {
+                let b = s.as_bytes();
+                let n = b.len().min(255);
+                out.push(OptionCode::HostName.to_u8());
+                out.push(n as u8);
+                out.extend_from_slice(&b[..n]);
+            }
+            DhcpOption::RequestedIp(a) => {
+                out.push(OptionCode::RequestedIp.to_u8());
+                out.push(4);
+                out.extend_from_slice(&a.octets());
+            }
+            DhcpOption::LeaseTime(t) => {
+                out.push(OptionCode::LeaseTime.to_u8());
+                out.push(4);
+                out.extend_from_slice(&t.to_be_bytes());
+            }
+            DhcpOption::MessageType(t) => {
+                out.push(OptionCode::MessageType.to_u8());
+                out.push(1);
+                out.push(*t);
+            }
+            DhcpOption::ServerId(a) => {
+                out.push(OptionCode::ServerId.to_u8());
+                out.push(4);
+                out.extend_from_slice(&a.octets());
+            }
+            DhcpOption::ClientId(id) => {
+                let n = id.len().min(255);
+                out.push(OptionCode::ClientId.to_u8());
+                out.push(n as u8);
+                out.extend_from_slice(&id[..n]);
+            }
+            DhcpOption::ClientFqdn { flags, name } => {
+                let b = name.as_bytes();
+                let n = b.len().min(252);
+                out.push(OptionCode::ClientFqdn.to_u8());
+                out.push((n + 3) as u8);
+                out.push(flags.to_u8());
+                out.push(0); // RCODE1 (deprecated)
+                out.push(0); // RCODE2 (deprecated)
+                out.extend_from_slice(&b[..n]);
+            }
+            DhcpOption::Other(c, data) => {
+                let n = data.len().min(255);
+                out.push(*c);
+                out.push(n as u8);
+                out.extend_from_slice(&data[..n]);
+            }
+        }
+    }
+}
+
+/// Errors parsing the options area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptionParseError {
+    /// The buffer ended inside an option.
+    Truncated,
+    /// An option had an impossible length for its type.
+    BadLength(OptionCode, usize),
+    /// Text payload was not valid UTF-8.
+    BadText(OptionCode),
+}
+
+impl fmt::Display for OptionParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionParseError::Truncated => write!(f, "options area truncated"),
+            OptionParseError::BadLength(c, n) => write!(f, "option {c:?} has bad length {n}"),
+            OptionParseError::BadText(c) => write!(f, "option {c:?} payload is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for OptionParseError {}
+
+/// Parse the options area (after the magic cookie) until `End` or exhaustion.
+pub fn parse_options(mut buf: &[u8]) -> Result<Vec<DhcpOption>, OptionParseError> {
+    let mut out = Vec::new();
+    loop {
+        let Some((&code, rest)) = buf.split_first() else {
+            return Ok(out); // no explicit End: tolerated
+        };
+        buf = rest;
+        match OptionCode::from_u8(code) {
+            OptionCode::Pad => continue,
+            OptionCode::End => return Ok(out),
+            oc => {
+                let Some((&len, rest)) = buf.split_first() else {
+                    return Err(OptionParseError::Truncated);
+                };
+                buf = rest;
+                let len = len as usize;
+                if buf.len() < len {
+                    return Err(OptionParseError::Truncated);
+                }
+                let (data, rest) = buf.split_at(len);
+                buf = rest;
+                out.push(parse_one(oc, data)?);
+            }
+        }
+    }
+}
+
+fn parse_one(code: OptionCode, data: &[u8]) -> Result<DhcpOption, OptionParseError> {
+    let ipv4 = |data: &[u8]| -> Result<Ipv4Addr, OptionParseError> {
+        let arr: [u8; 4] = data
+            .try_into()
+            .map_err(|_| OptionParseError::BadLength(code, data.len()))?;
+        Ok(Ipv4Addr::from(arr))
+    };
+    Ok(match code {
+        OptionCode::HostName => DhcpOption::HostName(
+            std::str::from_utf8(data)
+                .map_err(|_| OptionParseError::BadText(code))?
+                .to_string(),
+        ),
+        OptionCode::RequestedIp => DhcpOption::RequestedIp(ipv4(data)?),
+        OptionCode::LeaseTime => {
+            let arr: [u8; 4] = data
+                .try_into()
+                .map_err(|_| OptionParseError::BadLength(code, data.len()))?;
+            DhcpOption::LeaseTime(u32::from_be_bytes(arr))
+        }
+        OptionCode::MessageType => {
+            if data.len() != 1 {
+                return Err(OptionParseError::BadLength(code, data.len()));
+            }
+            DhcpOption::MessageType(data[0])
+        }
+        OptionCode::ServerId => DhcpOption::ServerId(ipv4(data)?),
+        OptionCode::ClientId => DhcpOption::ClientId(data.to_vec()),
+        OptionCode::ClientFqdn => {
+            if data.len() < 3 {
+                return Err(OptionParseError::BadLength(code, data.len()));
+            }
+            DhcpOption::ClientFqdn {
+                flags: FqdnFlags::from_u8(data[0]),
+                name: std::str::from_utf8(&data[3..])
+                    .map_err(|_| OptionParseError::BadText(code))?
+                    .to_string(),
+            }
+        }
+        other => DhcpOption::Other(other.to_u8(), data.to_vec()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(opts: &[DhcpOption]) -> Vec<DhcpOption> {
+        let mut buf = Vec::new();
+        for o in opts {
+            o.encode(&mut buf);
+        }
+        buf.push(OptionCode::End.to_u8());
+        parse_options(&buf).unwrap()
+    }
+
+    #[test]
+    fn host_name_roundtrip() {
+        let opts = vec![DhcpOption::HostName("Brians-iPhone".into())];
+        assert_eq!(roundtrip(&opts), opts);
+    }
+
+    #[test]
+    fn full_request_roundtrip() {
+        let opts = vec![
+            DhcpOption::MessageType(3),
+            DhcpOption::RequestedIp("10.1.2.3".parse().unwrap()),
+            DhcpOption::LeaseTime(3600),
+            DhcpOption::ServerId("10.1.2.1".parse().unwrap()),
+            DhcpOption::ClientId(vec![1, 0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF]),
+            DhcpOption::HostName("brians-mbp".into()),
+            DhcpOption::ClientFqdn {
+                flags: FqdnFlags {
+                    server_updates: true,
+                    no_updates: false,
+                    encoded: true,
+                },
+                name: "brians-mbp.example.edu.".into(),
+            },
+        ];
+        assert_eq!(roundtrip(&opts), opts);
+    }
+
+    #[test]
+    fn fqdn_no_update_flag() {
+        let opt = DhcpOption::ClientFqdn {
+            flags: FqdnFlags {
+                server_updates: false,
+                no_updates: true,
+                encoded: true,
+            },
+            name: "private-host".into(),
+        };
+        let got = roundtrip(std::slice::from_ref(&opt));
+        assert_eq!(got, vec![opt.clone()]);
+        match &got[0] {
+            DhcpOption::ClientFqdn { flags, .. } => assert!(flags.no_updates),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pads_skipped_and_end_stops() {
+        let mut buf = vec![0u8, 0, 0];
+        DhcpOption::MessageType(1).encode(&mut buf);
+        buf.push(255);
+        buf.push(12); // junk after End is ignored
+        let opts = parse_options(&buf).unwrap();
+        assert_eq!(opts, vec![DhcpOption::MessageType(1)]);
+    }
+
+    #[test]
+    fn unknown_option_preserved() {
+        let opts = vec![DhcpOption::Other(43, vec![9, 9, 9])];
+        assert_eq!(roundtrip(&opts), opts);
+    }
+
+    #[test]
+    fn truncated_detected() {
+        assert_eq!(parse_options(&[12]), Err(OptionParseError::Truncated));
+        assert_eq!(parse_options(&[12, 5, b'a']), Err(OptionParseError::Truncated));
+    }
+
+    #[test]
+    fn bad_lengths_detected() {
+        // MessageType with length 2.
+        assert!(matches!(
+            parse_options(&[53, 2, 1, 1, 255]),
+            Err(OptionParseError::BadLength(OptionCode::MessageType, 2))
+        ));
+        // RequestedIp with 3 octets.
+        assert!(matches!(
+            parse_options(&[50, 3, 10, 0, 0, 255]),
+            Err(OptionParseError::BadLength(OptionCode::RequestedIp, 3))
+        ));
+        // FQDN shorter than its fixed fields.
+        assert!(matches!(
+            parse_options(&[81, 2, 0, 0, 255]),
+            Err(OptionParseError::BadLength(OptionCode::ClientFqdn, 2))
+        ));
+    }
+
+    #[test]
+    fn code_mapping_roundtrip() {
+        for v in 0u8..=255 {
+            assert_eq!(OptionCode::from_u8(v).to_u8(), v);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hostname_roundtrip(name in "[a-zA-Z0-9-]{1,60}") {
+            let opts = vec![DhcpOption::HostName(name)];
+            prop_assert_eq!(roundtrip(&opts), opts);
+        }
+
+        #[test]
+        fn prop_parse_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+            let _ = parse_options(&bytes);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The DHCP server state machine.
+//!
+//! [`DhcpServer::handle`] consumes a client message and produces the protocol
+//! reply plus zero or more [`LeaseEvent`]s; [`DhcpServer::tick`] advances the
+//! clock and emits expiry events. The IPAM layer subscribes to these events
+//! to drive DNS updates — exactly the coupling the paper investigates.
+
+use crate::lease::{Lease, LeaseDb, LeaseError};
+use crate::message::{DhcpMessage, MessageType, OpCode};
+use crate::options::DhcpOption;
+use rdns_model::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The server's own identifier (option 54 value).
+    pub server_id: Ipv4Addr,
+    /// Lease duration granted to clients. The paper observes that one hour
+    /// is a common choice for fast turnover (§6.2).
+    pub lease_time: SimDuration,
+}
+
+impl ServerConfig {
+    /// A server with the given identity and a one-hour lease time.
+    pub fn new(server_id: Ipv4Addr) -> ServerConfig {
+        ServerConfig {
+            server_id,
+            lease_time: SimDuration::hours(1),
+        }
+    }
+}
+
+/// Events of interest to the IPAM/DNS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseEvent {
+    /// A new binding was committed (DISCOVER/REQUEST → ACK).
+    Allocated {
+        /// The committed lease.
+        lease: Lease,
+        /// Client FQDN info `(no_updates, name)` if the client sent option 81.
+        client_fqdn: Option<(bool, String)>,
+        /// When it happened.
+        at: SimTime,
+    },
+    /// An existing binding was renewed.
+    Renewed {
+        /// The refreshed lease.
+        lease: Lease,
+        /// When it happened.
+        at: SimTime,
+    },
+    /// The client released its address (clean departure).
+    Released {
+        /// The final lease record.
+        lease: Lease,
+        /// When it happened.
+        at: SimTime,
+    },
+    /// The lease timed out (client vanished).
+    Expired {
+        /// The final lease record.
+        lease: Lease,
+        /// When the expiry was processed.
+        at: SimTime,
+    },
+}
+
+impl LeaseEvent {
+    /// The address this event concerns.
+    pub fn addr(&self) -> Ipv4Addr {
+        match self {
+            LeaseEvent::Allocated { lease, .. }
+            | LeaseEvent::Renewed { lease, .. }
+            | LeaseEvent::Released { lease, .. }
+            | LeaseEvent::Expired { lease, .. } => lease.addr,
+        }
+    }
+}
+
+/// A DHCP server over one address pool.
+#[derive(Debug, Clone)]
+pub struct DhcpServer {
+    config: ServerConfig,
+    leases: LeaseDb,
+}
+
+impl DhcpServer {
+    /// Create a server over a pool of allocatable addresses.
+    pub fn new<I: IntoIterator<Item = Ipv4Addr>>(config: ServerConfig, pool: I) -> DhcpServer {
+        DhcpServer {
+            config,
+            leases: LeaseDb::new(pool),
+        }
+    }
+
+    /// Immutable access to the lease table.
+    pub fn leases(&self) -> &LeaseDb {
+        &self.leases
+    }
+
+    /// The configured lease time.
+    pub fn lease_time(&self) -> SimDuration {
+        self.config.lease_time
+    }
+
+    /// Process one client message at simulated time `now`.
+    ///
+    /// Returns the protocol reply (if one is due) and the lease events it
+    /// caused.
+    pub fn handle(
+        &mut self,
+        msg: &DhcpMessage,
+        now: SimTime,
+    ) -> (Option<DhcpMessage>, Vec<LeaseEvent>) {
+        if msg.op != OpCode::BootRequest {
+            return (None, Vec::new());
+        }
+        match msg.message_type() {
+            Some(MessageType::Discover) => (self.offer(msg), Vec::new()),
+            Some(MessageType::Request) => self.commit(msg, now),
+            Some(MessageType::Release) => {
+                let events = match self.leases.release(msg.chaddr) {
+                    Ok(lease) => vec![LeaseEvent::Released { lease, at: now }],
+                    Err(_) => Vec::new(),
+                };
+                (None, events) // RELEASE gets no reply (RFC 2131 §4.4.6)
+            }
+            Some(MessageType::Decline) => {
+                // The client detected an address conflict (RFC 2131 §4.4.4):
+                // pull the address out of circulation; no reply is sent. The
+                // DNS side is cleaned up like a release so no stale PTR
+                // outlives the quarantined address.
+                let events = match self.leases.release(msg.chaddr) {
+                    Ok(lease) => {
+                        self.leases.quarantine(lease.addr);
+                        vec![LeaseEvent::Released { lease, at: now }]
+                    }
+                    Err(_) => {
+                        if let Some(addr) = msg.requested_ip() {
+                            self.leases.quarantine(addr);
+                        }
+                        Vec::new()
+                    }
+                };
+                (None, events)
+            }
+            _ => (None, Vec::new()),
+        }
+    }
+
+    /// Advance time: expire overdue leases and report them.
+    pub fn tick(&mut self, now: SimTime) -> Vec<LeaseEvent> {
+        self.leases
+            .expire_before(now)
+            .into_iter()
+            .map(|lease| LeaseEvent::Expired { lease, at: now })
+            .collect()
+    }
+
+    /// The next instant at which [`DhcpServer::tick`] would do work.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.leases.next_expiry()
+    }
+
+    fn offer(&mut self, msg: &DhcpMessage) -> Option<DhcpMessage> {
+        let addr = self.leases.peek_offer(msg.chaddr)?;
+        Some(self.reply(msg, MessageType::Offer, addr))
+    }
+
+    fn commit(&mut self, msg: &DhcpMessage, now: SimTime) -> (Option<DhcpMessage>, Vec<LeaseEvent>) {
+        let renewing = msg.ciaddr != Ipv4Addr::UNSPECIFIED && msg.requested_ip().is_none();
+        if renewing {
+            return match self.leases.renew(msg.chaddr, now, self.config.lease_time) {
+                Ok(lease) => {
+                    let lease = lease.clone();
+                    let reply = self.reply(msg, MessageType::Ack, lease.addr);
+                    (Some(reply), vec![LeaseEvent::Renewed { lease, at: now }])
+                }
+                Err(LeaseError::NoBinding(_)) => (Some(self.nak(msg)), Vec::new()),
+                Err(LeaseError::PoolExhausted) => (Some(self.nak(msg)), Vec::new()),
+            };
+        }
+        let host_name = msg.host_name().map(|s| s.to_string());
+        match self
+            .leases
+            .allocate(msg.chaddr, host_name, now, self.config.lease_time)
+        {
+            Ok(lease) => {
+                let lease = lease.clone();
+                // Honour the requested address only when it matches what we
+                // allocate; otherwise NAK so the client restarts.
+                if let Some(wanted) = msg.requested_ip() {
+                    if wanted != lease.addr {
+                        let _ = self.leases.release(msg.chaddr);
+                        return (Some(self.nak(msg)), Vec::new());
+                    }
+                }
+                let client_fqdn = msg
+                    .client_fqdn()
+                    .map(|(no_updates, name)| (no_updates, name.to_string()));
+                let reply = self.reply(msg, MessageType::Ack, lease.addr);
+                (
+                    Some(reply),
+                    vec![LeaseEvent::Allocated {
+                        lease,
+                        client_fqdn,
+                        at: now,
+                    }],
+                )
+            }
+            Err(_) => (Some(self.nak(msg)), Vec::new()),
+        }
+    }
+
+    fn reply(&self, msg: &DhcpMessage, mtype: MessageType, yiaddr: Ipv4Addr) -> DhcpMessage {
+        let mut reply = DhcpMessage::request_template(msg.xid, msg.chaddr);
+        reply.op = OpCode::BootReply;
+        reply.yiaddr = yiaddr;
+        reply.broadcast = msg.broadcast;
+        reply
+            .options
+            .push(DhcpOption::MessageType(mtype.to_u8()));
+        reply
+            .options
+            .push(DhcpOption::ServerId(self.config.server_id));
+        reply
+            .options
+            .push(DhcpOption::LeaseTime(self.config.lease_time.as_secs() as u32));
+        reply
+    }
+
+    fn nak(&self, msg: &DhcpMessage) -> DhcpMessage {
+        let mut reply = DhcpMessage::request_template(msg.xid, msg.chaddr);
+        reply.op = OpCode::BootReply;
+        reply
+            .options
+            .push(DhcpOption::MessageType(MessageType::Nak.to_u8()));
+        reply
+            .options
+            .push(DhcpOption::ServerId(self.config.server_id));
+        reply
+    }
+}
+
+/// Run the full four-way handshake for `identity` against `server`,
+/// returning the acknowledged lease events. Convenience for the simulator
+/// and tests.
+pub fn acquire(
+    server: &mut DhcpServer,
+    identity: &crate::client::ClientIdentity,
+    xid: u32,
+    now: SimTime,
+) -> Result<(Ipv4Addr, Vec<LeaseEvent>), LeaseError> {
+    let discover = identity.discover(xid);
+    let (offer, _) = server.handle(&discover, now);
+    let offer = offer.ok_or(LeaseError::PoolExhausted)?;
+    if offer.message_type() != Some(MessageType::Offer) {
+        return Err(LeaseError::PoolExhausted);
+    }
+    let server_id = offer
+        .options
+        .iter()
+        .find_map(|o| match o {
+            DhcpOption::ServerId(a) => Some(*a),
+            _ => None,
+        })
+        .expect("offers always carry a server id");
+    let request = identity.request(xid, offer.yiaddr, server_id);
+    let (ack, events) = server.handle(&request, now);
+    match ack.and_then(|m| m.message_type()) {
+        Some(MessageType::Ack) => Ok((offer.yiaddr, events)),
+        _ => Err(LeaseError::PoolExhausted),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientIdentity, MacAddr};
+    use rdns_model::Date;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::from_ymd(2021, 11, 1))
+    }
+
+    fn server() -> DhcpServer {
+        DhcpServer::new(
+            ServerConfig::new("10.0.0.1".parse().unwrap()),
+            (10..=12u8).map(|i| Ipv4Addr::new(10, 0, 0, i)),
+        )
+    }
+
+    #[test]
+    fn four_way_handshake_allocates_and_reports() {
+        let mut s = server();
+        let id = ClientIdentity::standard(MacAddr::from_seed(1), "Brians-iPhone");
+        let (addr, events) = acquire(&mut s, &id, 1, t0()).unwrap();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            LeaseEvent::Allocated { lease, client_fqdn, at } => {
+                assert_eq!(lease.addr, addr);
+                assert_eq!(lease.host_name.as_deref(), Some("Brians-iPhone"));
+                assert_eq!(*client_fqdn, None);
+                assert_eq!(*at, t0());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        assert_eq!(s.leases().active_count(), 1);
+    }
+
+    #[test]
+    fn release_emits_event_without_reply() {
+        let mut s = server();
+        let id = ClientIdentity::standard(MacAddr::from_seed(1), "laptop");
+        let (addr, _) = acquire(&mut s, &id, 1, t0()).unwrap();
+        let rel = id.release(2, addr, "10.0.0.1".parse().unwrap());
+        let (reply, events) = s.handle(&rel, t0() + SimDuration::mins(30));
+        assert!(reply.is_none());
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], LeaseEvent::Released { .. }));
+        assert_eq!(s.leases().active_count(), 0);
+    }
+
+    #[test]
+    fn renewal_via_ciaddr() {
+        let mut s = server();
+        let id = ClientIdentity::standard(MacAddr::from_seed(1), "phone");
+        let (addr, _) = acquire(&mut s, &id, 1, t0()).unwrap();
+        let renew = id.renew(3, addr);
+        let mid = t0() + SimDuration::mins(45);
+        let (reply, events) = s.handle(&renew, mid);
+        assert_eq!(reply.unwrap().message_type(), Some(MessageType::Ack));
+        match &events[0] {
+            LeaseEvent::Renewed { lease, .. } => {
+                assert_eq!(lease.expires, mid + SimDuration::hours(1));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renewal_without_binding_naks() {
+        let mut s = server();
+        let id = ClientIdentity::standard(MacAddr::from_seed(9), "stranger");
+        let renew = id.renew(3, "10.0.0.10".parse().unwrap());
+        let (reply, events) = s.handle(&renew, t0());
+        assert_eq!(reply.unwrap().message_type(), Some(MessageType::Nak));
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn expiry_via_tick() {
+        let mut s = server();
+        let id = ClientIdentity::standard(MacAddr::from_seed(1), "ghost");
+        acquire(&mut s, &id, 1, t0()).unwrap();
+        assert_eq!(s.next_expiry(), Some(t0() + SimDuration::hours(1)));
+        assert!(s.tick(t0() + SimDuration::mins(59)).is_empty());
+        let events = s.tick(t0() + SimDuration::hours(1));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], LeaseEvent::Expired { .. }));
+        assert_eq!(s.leases().active_count(), 0);
+    }
+
+    #[test]
+    fn pool_exhaustion_naks_fourth_client() {
+        let mut s = server();
+        for i in 0..3 {
+            let id = ClientIdentity::standard(MacAddr::from_seed(i), format!("dev{i}"));
+            acquire(&mut s, &id, i as u32, t0()).unwrap();
+        }
+        let id = ClientIdentity::standard(MacAddr::from_seed(99), "late");
+        assert!(acquire(&mut s, &id, 99, t0()).is_err());
+    }
+
+    #[test]
+    fn anonymous_client_allocates_without_name() {
+        let mut s = server();
+        let id = ClientIdentity::anonymous(MacAddr::from_seed(5));
+        let (_, events) = acquire(&mut s, &id, 5, t0()).unwrap();
+        match &events[0] {
+            LeaseEvent::Allocated { lease, .. } => assert_eq!(lease.host_name, None),
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fqdn_no_update_wish_propagates() {
+        let mut s = server();
+        let mut id = ClientIdentity::standard(MacAddr::from_seed(6), "quiet");
+        id.fqdn = Some(("quiet.example.org".into(), true));
+        let (_, events) = acquire(&mut s, &id, 6, t0()).unwrap();
+        match &events[0] {
+            LeaseEvent::Allocated { client_fqdn, .. } => {
+                assert!(client_fqdn.as_ref().unwrap().0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decline_quarantines_the_conflicted_address() {
+        let mut s = server();
+        let id = ClientIdentity::standard(MacAddr::from_seed(1), "conflicted");
+        let (addr, _) = acquire(&mut s, &id, 1, t0()).unwrap();
+
+        // Client detects a conflict and declines.
+        let mut msg = crate::message::DhcpMessage::request_template(2, MacAddr::from_seed(1));
+        msg.options
+            .push(crate::options::DhcpOption::MessageType(MessageType::Decline.to_u8()));
+        msg.options.push(crate::options::DhcpOption::RequestedIp(addr));
+        let (reply, events) = s.handle(&msg, t0());
+        assert!(reply.is_none(), "DECLINE gets no reply");
+        assert_eq!(events.len(), 1, "DNS cleanup event expected");
+
+        // The address never comes back; the pool shrank by one.
+        assert_eq!(s.leases().pool_size(), 2);
+        for i in 10..12u64 {
+            let id = ClientIdentity::standard(MacAddr::from_seed(i), format!("d{i}"));
+            let (got, _) = acquire(&mut s, &id, i as u32, t0()).unwrap();
+            assert_ne!(got, addr);
+        }
+    }
+
+    #[test]
+    fn sticky_address_across_sessions() {
+        let mut s = server();
+        let id = ClientIdentity::standard(MacAddr::from_seed(1), "phone");
+        let (first, _) = acquire(&mut s, &id, 1, t0()).unwrap();
+        let rel = id.release(2, first, "10.0.0.1".parse().unwrap());
+        s.handle(&rel, t0() + SimDuration::hours(2));
+        let (second, _) = acquire(&mut s, &id, 3, t0() + SimDuration::hours(5)).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn event_addr_accessor() {
+        let mut s = server();
+        let id = ClientIdentity::standard(MacAddr::from_seed(1), "x");
+        let (addr, events) = acquire(&mut s, &id, 1, t0()).unwrap();
+        assert_eq!(events[0].addr(), addr);
+    }
+}

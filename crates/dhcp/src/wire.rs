@@ -1,0 +1,322 @@
+//! DHCP over real UDP sockets.
+//!
+//! Production DHCP speaks UDP 67/68 with broadcast; this lab front binds
+//! loopback ephemeral ports and answers by unicast, which is exactly what a
+//! relay-assisted exchange looks like. The server wraps the
+//! [`DhcpServer`] state machine and forwards every
+//! [`LeaseEvent`] over a channel so an IPAM consumer (e.g. `rdns-ipam`) can
+//! drive DNS updates from real packet exchanges.
+
+use crate::client::ClientIdentity;
+use crate::message::{DhcpMessage, MessageType};
+use crate::options::DhcpOption;
+use crate::server::{DhcpServer, LeaseEvent};
+use rdns_model::SimTime;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tokio::net::UdpSocket;
+use tokio::sync::{mpsc, watch};
+use tokio::time::timeout;
+
+/// A clock callback: the wire front timestamps exchanges with simulated
+/// time supplied by the embedding harness.
+pub type Clock = Arc<dyn Fn() -> SimTime + Send + Sync>;
+
+/// The UDP front for a DHCP server.
+pub struct WireDhcpServer {
+    socket: Arc<UdpSocket>,
+    inner: Arc<Mutex<DhcpServer>>,
+    clock: Clock,
+    events_tx: mpsc::UnboundedSender<LeaseEvent>,
+    shutdown_tx: watch::Sender<bool>,
+    shutdown_rx: watch::Receiver<bool>,
+}
+
+impl WireDhcpServer {
+    /// Bind to `addr`; returns the front plus the lease-event stream.
+    pub async fn bind(
+        addr: SocketAddr,
+        server: DhcpServer,
+        clock: Clock,
+    ) -> io::Result<(WireDhcpServer, mpsc::UnboundedReceiver<LeaseEvent>)> {
+        let socket = UdpSocket::bind(addr).await?;
+        let (events_tx, events_rx) = mpsc::unbounded_channel();
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        Ok((
+            WireDhcpServer {
+                socket: Arc::new(socket),
+                inner: Arc::new(Mutex::new(server)),
+                clock,
+                events_tx,
+                shutdown_tx,
+                shutdown_rx,
+            },
+            events_rx,
+        ))
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Shared handle to the wrapped state machine (e.g. for expiry ticks).
+    pub fn state(&self) -> Arc<Mutex<DhcpServer>> {
+        Arc::clone(&self.inner)
+    }
+
+    /// Stop handle.
+    pub fn shutdown_handle(&self) -> watch::Sender<bool> {
+        self.shutdown_tx.clone()
+    }
+
+    /// Serve requests until shut down.
+    pub async fn run(self) -> io::Result<()> {
+        let mut buf = vec![0u8; 1500];
+        let mut shutdown_rx = self.shutdown_rx.clone();
+        loop {
+            tokio::select! {
+                _ = shutdown_rx.changed() => {
+                    if *shutdown_rx.borrow() {
+                        return Ok(());
+                    }
+                }
+                recv = self.socket.recv_from(&mut buf) => {
+                    let (n, peer) = recv?;
+                    let Ok(msg) = DhcpMessage::decode(&buf[..n]) else {
+                        continue; // malformed datagrams are dropped silently
+                    };
+                    let now = (self.clock)();
+                    let (reply, events) = {
+                        let mut server = self.inner.lock().expect("dhcp state poisoned");
+                        server.handle(&msg, now)
+                    };
+                    for e in events {
+                        let _ = self.events_tx.send(e);
+                    }
+                    if let Some(reply) = reply {
+                        let _ = self.socket.send_to(&reply.encode(), peer).await;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An async DHCP client speaking to a [`WireDhcpServer`].
+pub struct WireDhcpClient {
+    socket: UdpSocket,
+    server: SocketAddr,
+    identity: ClientIdentity,
+    timeout: Duration,
+    next_xid: u32,
+}
+
+impl WireDhcpClient {
+    /// Bind an ephemeral socket for `identity` talking to `server`.
+    pub async fn new(server: SocketAddr, identity: ClientIdentity) -> io::Result<WireDhcpClient> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        Ok(WireDhcpClient {
+            socket,
+            server,
+            identity,
+            timeout: Duration::from_millis(500),
+            next_xid: 1,
+        })
+    }
+
+    fn xid(&mut self) -> u32 {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        x
+    }
+
+    async fn exchange(&self, msg: &DhcpMessage) -> io::Result<Option<DhcpMessage>> {
+        self.socket.send_to(&msg.encode(), self.server).await?;
+        let mut buf = vec![0u8; 1500];
+        loop {
+            match timeout(self.timeout, self.socket.recv_from(&mut buf)).await {
+                Ok(Ok((n, peer))) => {
+                    if peer != self.server {
+                        continue;
+                    }
+                    match DhcpMessage::decode(&buf[..n]) {
+                        Ok(reply) if reply.xid == msg.xid => return Ok(Some(reply)),
+                        _ => continue,
+                    }
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+
+    /// Run the four-way handshake; returns the acquired address.
+    pub async fn acquire(&mut self) -> io::Result<Option<Ipv4Addr>> {
+        let xid = self.xid();
+        let Some(offer) = self.exchange(&self.identity.discover(xid)).await? else {
+            return Ok(None);
+        };
+        if offer.message_type() != Some(MessageType::Offer) {
+            return Ok(None);
+        }
+        let Some(server_id) = offer.options.iter().find_map(|o| match o {
+            DhcpOption::ServerId(a) => Some(*a),
+            _ => None,
+        }) else {
+            return Ok(None);
+        };
+        let Some(ack) = self
+            .exchange(&self.identity.request(xid, offer.yiaddr, server_id))
+            .await?
+        else {
+            return Ok(None);
+        };
+        if ack.message_type() == Some(MessageType::Ack) {
+            Ok(Some(offer.yiaddr))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Send a RELEASE for `addr` (no reply expected per RFC 2131 §4.4.6).
+    pub async fn release(&mut self, addr: Ipv4Addr, server_id: Ipv4Addr) -> io::Result<()> {
+        let xid = self.xid();
+        let msg = self.identity.release(xid, addr, server_id);
+        self.socket.send_to(&msg.encode(), self.server).await?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::MacAddr;
+    use crate::server::ServerConfig;
+    use rdns_model::Date;
+
+    fn clock() -> Clock {
+        Arc::new(|| SimTime::from_date(Date::from_ymd(2021, 11, 1)))
+    }
+
+    fn state_machine() -> DhcpServer {
+        DhcpServer::new(
+            ServerConfig::new("10.5.5.1".parse().unwrap()),
+            (10..=12u8).map(|i| Ipv4Addr::new(10, 5, 5, i)),
+        )
+    }
+
+    #[tokio::test]
+    async fn four_way_handshake_over_udp() {
+        let (server, mut events) = WireDhcpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            state_machine(),
+            clock(),
+        )
+        .await
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+
+        let identity = ClientIdentity::standard(MacAddr::from_seed(1), "Brian's iPhone");
+        let mut client = WireDhcpClient::new(addr, identity).await.unwrap();
+        let leased = client.acquire().await.unwrap().expect("lease granted");
+        assert_eq!(leased, Ipv4Addr::new(10, 5, 5, 10));
+
+        // The lease event carries the Host Name for the IPAM layer.
+        let event = events.recv().await.expect("event stream");
+        match event {
+            LeaseEvent::Allocated { lease, .. } => {
+                assert_eq!(lease.addr, leased);
+                assert_eq!(lease.host_name.as_deref(), Some("Brian's iPhone"));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        let _ = shutdown.send(true);
+    }
+
+    #[tokio::test]
+    async fn release_over_udp_emits_event() {
+        let (server, mut events) = WireDhcpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            state_machine(),
+            clock(),
+        )
+        .await
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+
+        let identity = ClientIdentity::standard(MacAddr::from_seed(2), "laptop");
+        let mut client = WireDhcpClient::new(addr, identity).await.unwrap();
+        let leased = client.acquire().await.unwrap().unwrap();
+        let _ = events.recv().await; // Allocated
+        client
+            .release(leased, "10.5.5.1".parse().unwrap())
+            .await
+            .unwrap();
+        let event = tokio::time::timeout(Duration::from_millis(500), events.recv())
+            .await
+            .expect("release event in time")
+            .expect("channel open");
+        assert!(matches!(event, LeaseEvent::Released { .. }));
+        let _ = shutdown.send(true);
+    }
+
+    #[tokio::test]
+    async fn concurrent_clients_get_distinct_addresses() {
+        let (server, _events) = WireDhcpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            state_machine(),
+            clock(),
+        )
+        .await
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+
+        let mut addrs = Vec::new();
+        for i in 0..3u64 {
+            let identity =
+                ClientIdentity::standard(MacAddr::from_seed(100 + i), format!("dev{i}"));
+            let mut client = WireDhcpClient::new(addr, identity).await.unwrap();
+            addrs.push(client.acquire().await.unwrap().unwrap());
+        }
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 3, "pool must hand out distinct addresses");
+
+        // Pool exhausted: the fourth client gets no lease.
+        let identity = ClientIdentity::standard(MacAddr::from_seed(999), "late");
+        let mut late = WireDhcpClient::new(addr, identity).await.unwrap();
+        assert_eq!(late.acquire().await.unwrap(), None);
+        let _ = shutdown.send(true);
+    }
+
+    #[tokio::test]
+    async fn garbage_datagrams_ignored() {
+        let (server, _events) = WireDhcpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            state_machine(),
+            clock(),
+        )
+        .await
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        sock.send_to(&[1, 2, 3], addr).await.unwrap();
+        // Server must still answer a real client afterwards.
+        let identity = ClientIdentity::standard(MacAddr::from_seed(5), "ok");
+        let mut client = WireDhcpClient::new(addr, identity).await.unwrap();
+        assert!(client.acquire().await.unwrap().is_some());
+        let _ = shutdown.send(true);
+    }
+}

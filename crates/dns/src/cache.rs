@@ -1,0 +1,325 @@
+//! A TTL-honouring DNS cache, and why the paper bypasses it.
+//!
+//! §6.1: *"We query the authoritative name server for the IP address in
+//! question directly, to make sure we get a fresh answer (i.e., not from a
+//! cache)."* [`DnsCache`] implements what a recursive resolver would do —
+//! positive answers cached for their record TTL, negative answers for the
+//! SOA `minimum` (RFC 2308) — so tests and experiments can quantify how
+//! badly cached vantage points smear PTR-removal timing.
+
+use crate::message::{RecordData, ResourceRecord};
+use crate::name::DnsName;
+use crate::message::RecordType;
+use rdns_model::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A cached entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Entry {
+    /// Records plus their expiry.
+    Positive(Vec<ResourceRecord>),
+    /// Cached NXDOMAIN/NoData.
+    Negative,
+}
+
+/// Cache outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheLookup {
+    /// Fresh-enough positive answer.
+    Hit(Vec<ResourceRecord>),
+    /// Fresh-enough negative answer.
+    NegativeHit,
+    /// Nothing usable; ask upstream.
+    Miss,
+}
+
+/// A TTL-based cache keyed by `(name, type)`, driven by the simulation
+/// clock so staleness experiments run in virtual time.
+#[derive(Debug, Default)]
+pub struct DnsCache {
+    entries: HashMap<(DnsName, u16), (SimTime, Entry)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DnsCache {
+    /// An empty cache.
+    pub fn new() -> DnsCache {
+        DnsCache::default()
+    }
+
+    /// Look up `(name, rtype)` at time `now`.
+    pub fn lookup(&mut self, name: &DnsName, rtype: RecordType, now: SimTime) -> CacheLookup {
+        match self.entries.get(&(name.clone(), rtype.to_u16())) {
+            Some((expires, entry)) if *expires > now => {
+                self.hits += 1;
+                match entry {
+                    Entry::Positive(rrs) => CacheLookup::Hit(rrs.clone()),
+                    Entry::Negative => CacheLookup::NegativeHit,
+                }
+            }
+            _ => {
+                self.misses += 1;
+                CacheLookup::Miss
+            }
+        }
+    }
+
+    /// Store a positive answer; expiry follows the minimum record TTL.
+    pub fn store_positive(
+        &mut self,
+        name: &DnsName,
+        rtype: RecordType,
+        records: Vec<ResourceRecord>,
+        now: SimTime,
+    ) {
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0);
+        self.entries.insert(
+            (name.clone(), rtype.to_u16()),
+            (now + SimDuration::secs(ttl as u64), Entry::Positive(records)),
+        );
+    }
+
+    /// Store a negative answer; expiry follows the SOA `minimum` (RFC 2308),
+    /// defaulting to 300 s when no SOA was provided.
+    pub fn store_negative(
+        &mut self,
+        name: &DnsName,
+        rtype: RecordType,
+        soa: Option<&ResourceRecord>,
+        now: SimTime,
+    ) {
+        let ttl = soa
+            .and_then(|rr| match &rr.data {
+                RecordData::Soa { minimum, .. } => Some((*minimum).min(rr.ttl)),
+                _ => None,
+            })
+            .unwrap_or(300);
+        self.entries.insert(
+            (name.clone(), rtype.to_u16()),
+            (now + SimDuration::secs(ttl as u64), Entry::Negative),
+        );
+    }
+
+    /// Drop expired entries (periodic housekeeping).
+    pub fn evict_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, (expires, _)| *expires > now);
+        before - self.entries.len()
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// A cached view over an in-process zone store — the "recursive resolver"
+/// vantage point an outside observer *without* direct authoritative access
+/// would have. Used by tests/experiments to quantify timing smear.
+#[derive(Debug)]
+pub struct CachedPtrView {
+    store: crate::zone::ZoneStore,
+    cache: DnsCache,
+}
+
+impl CachedPtrView {
+    /// Wrap a store.
+    pub fn new(store: crate::zone::ZoneStore) -> CachedPtrView {
+        CachedPtrView {
+            store,
+            cache: DnsCache::new(),
+        }
+    }
+
+    /// PTR lookup through the cache at virtual time `now`.
+    pub fn get_ptr(&mut self, addr: std::net::Ipv4Addr, now: SimTime) -> Option<DnsName> {
+        let name = DnsName::reverse_v4(addr);
+        match self.cache.lookup(&name, RecordType::PTR, now) {
+            CacheLookup::Hit(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
+                RecordData::Ptr(t) => Some(t),
+                _ => None,
+            }),
+            CacheLookup::NegativeHit => None,
+            CacheLookup::Miss => {
+                match self.store.lookup(&name, RecordType::PTR) {
+                    crate::zone::LookupResult::Answer(rrs) => {
+                        self.cache
+                            .store_positive(&name, RecordType::PTR, rrs.clone(), now);
+                        rrs.into_iter().find_map(|rr| match rr.data {
+                            RecordData::Ptr(t) => Some(t),
+                            _ => None,
+                        })
+                    }
+                    crate::zone::LookupResult::NxDomain { soa }
+                    | crate::zone::LookupResult::NoData { soa } => {
+                        self.cache
+                            .store_negative(&name, RecordType::PTR, Some(&soa), now);
+                        None
+                    }
+                    crate::zone::LookupResult::NotAuthoritative => None,
+                }
+            }
+        }
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::ZoneStore;
+    use rdns_model::Date;
+    use std::net::Ipv4Addr;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::from_ymd(2021, 11, 1))
+    }
+
+    fn name() -> DnsName {
+        DnsName::reverse_v4("192.0.2.34".parse().unwrap())
+    }
+
+    fn ptr_record(ttl: u32) -> ResourceRecord {
+        ResourceRecord::ptr(
+            "192.0.2.34".parse().unwrap(),
+            "brians-air.example.edu".parse().unwrap(),
+            ttl,
+        )
+    }
+
+    #[test]
+    fn positive_caching_honours_ttl() {
+        let mut c = DnsCache::new();
+        assert_eq!(c.lookup(&name(), RecordType::PTR, t0()), CacheLookup::Miss);
+        c.store_positive(&name(), RecordType::PTR, vec![ptr_record(300)], t0());
+        assert!(matches!(
+            c.lookup(&name(), RecordType::PTR, t0() + SimDuration::secs(299)),
+            CacheLookup::Hit(_)
+        ));
+        assert_eq!(
+            c.lookup(&name(), RecordType::PTR, t0() + SimDuration::secs(300)),
+            CacheLookup::Miss
+        );
+    }
+
+    #[test]
+    fn negative_caching_uses_soa_minimum() {
+        let mut c = DnsCache::new();
+        let soa = ResourceRecord::new(
+            "2.0.192.in-addr.arpa".parse().unwrap(),
+            3600,
+            RecordData::Soa {
+                mname: "ns1.example".parse().unwrap(),
+                rname: "host.example".parse().unwrap(),
+                serial: 1,
+                refresh: 1,
+                retry: 1,
+                expire: 1,
+                minimum: 60,
+            },
+        );
+        c.store_negative(&name(), RecordType::PTR, Some(&soa), t0());
+        assert_eq!(
+            c.lookup(&name(), RecordType::PTR, t0() + SimDuration::secs(59)),
+            CacheLookup::NegativeHit
+        );
+        assert_eq!(
+            c.lookup(&name(), RecordType::PTR, t0() + SimDuration::secs(60)),
+            CacheLookup::Miss
+        );
+    }
+
+    #[test]
+    fn eviction_and_counters() {
+        let mut c = DnsCache::new();
+        c.store_positive(&name(), RecordType::PTR, vec![ptr_record(10)], t0());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.evict_expired(t0() + SimDuration::secs(5)), 0);
+        assert_eq!(c.evict_expired(t0() + SimDuration::secs(11)), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (0, 0), "stores and evictions are not lookups");
+        // An expired entry counts as a miss when looked up.
+        c.store_positive(&name(), RecordType::PTR, vec![ptr_record(10)], t0());
+        assert_eq!(
+            c.lookup(&name(), RecordType::PTR, t0() + SimDuration::secs(20)),
+            CacheLookup::Miss
+        );
+        assert_eq!(c.stats(), (0, 1));
+    }
+
+    #[test]
+    fn cached_view_smears_removal_timing() {
+        // The §6.1 rationale made concrete: through a cache, a removed PTR
+        // stays visible for up to its TTL.
+        let store = ZoneStore::new();
+        let addr: Ipv4Addr = "192.0.2.34".parse().unwrap();
+        store.ensure_reverse_zone(addr);
+        store.set_ptr(addr, "brians-air.example.edu".parse().unwrap(), 300);
+
+        let mut cached = CachedPtrView::new(store.clone());
+        assert!(cached.get_ptr(addr, t0()).is_some());
+
+        // The record is removed at t0 + 60 s...
+        store.remove_ptr(addr);
+        // ...the direct (authoritative) view sees it instantly:
+        assert!(store.get_ptr(addr).is_none());
+        // ...but the cached view still answers until the TTL runs out.
+        assert!(
+            cached.get_ptr(addr, t0() + SimDuration::secs(60)).is_some(),
+            "cache must serve the stale record"
+        );
+        assert!(
+            cached.get_ptr(addr, t0() + SimDuration::secs(301)).is_none(),
+            "after TTL expiry the removal becomes visible"
+        );
+        let (hits, misses) = cached.cache_stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 2);
+    }
+
+    #[test]
+    fn cached_view_negative_caching_delays_appearance() {
+        // Negative caching also delays *appearance* visibility: a fresh
+        // device can stay invisible for the negative TTL.
+        let store = ZoneStore::new();
+        let addr: Ipv4Addr = "192.0.2.77".parse().unwrap();
+        store.ensure_reverse_zone(addr);
+        let mut cached = CachedPtrView::new(store.clone());
+        assert!(cached.get_ptr(addr, t0()).is_none()); // caches NXDOMAIN (minimum=300)
+
+        store.set_ptr(addr, "new-device.example.edu".parse().unwrap(), 300);
+        assert!(
+            cached.get_ptr(addr, t0() + SimDuration::secs(100)).is_none(),
+            "negative cache hides the new record"
+        );
+        assert!(cached
+            .get_ptr(addr, t0() + SimDuration::secs(301))
+            .is_some());
+    }
+
+    #[test]
+    fn distinct_types_cached_separately() {
+        let mut c = DnsCache::new();
+        c.store_positive(&name(), RecordType::PTR, vec![ptr_record(300)], t0());
+        assert_eq!(c.lookup(&name(), RecordType::TXT, t0()), CacheLookup::Miss);
+        assert!(matches!(
+            c.lookup(&name(), RecordType::PTR, t0()),
+            CacheLookup::Hit(_)
+        ));
+    }
+}

@@ -1,0 +1,366 @@
+//! Async stub resolver.
+//!
+//! The paper's reactive measurement queries the authoritative server for an
+//! IP address *directly* to avoid stale caches (§6.1). [`Resolver`] is that
+//! client: it sends a query over UDP, waits with a timeout, retries a
+//! configurable number of times, and classifies the outcome into the same
+//! buckets the paper reports in Fig. 6 — answer, NXDOMAIN, name-server
+//! failure, timeout.
+
+use crate::message::{Message, Question, Rcode, RecordType, ResourceRecord};
+use crate::name::DnsName;
+use rand::Rng;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::Duration;
+use tokio::net::UdpSocket;
+use tokio::time::timeout;
+
+/// Classified result of a lookup, mirroring the paper's error taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Records returned.
+    Answer(Vec<ResourceRecord>),
+    /// Authoritative denial: the name does not exist.
+    NxDomain,
+    /// The name exists but carries no record of the queried type.
+    NoData,
+    /// The server answered SERVFAIL (or another error rcode).
+    ServerFailure(Rcode),
+    /// No response within the timeout across all retries.
+    Timeout,
+}
+
+impl LookupOutcome {
+    /// The first PTR target, when the outcome is an answer containing one.
+    pub fn ptr_target(&self) -> Option<&DnsName> {
+        match self {
+            LookupOutcome::Answer(rrs) => rrs.iter().find_map(|rr| match &rr.data {
+                crate::message::RecordData::Ptr(t) => Some(t),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether this outcome is a resolution error (Fig. 6 categories).
+    pub fn is_error(&self) -> bool {
+        matches!(
+            self,
+            LookupOutcome::NxDomain
+                | LookupOutcome::ServerFailure(_)
+                | LookupOutcome::Timeout
+        )
+    }
+}
+
+/// Resolver tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// The authoritative server to query.
+    pub server: SocketAddr,
+    /// Per-attempt response timeout.
+    pub timeout: Duration,
+    /// Total attempts (first try + retries).
+    pub attempts: u32,
+    /// Retry over TCP when a UDP response arrives truncated (TC set).
+    pub tcp_fallback: bool,
+}
+
+impl ResolverConfig {
+    /// Sensible defaults for loopback measurement: 500 ms timeout, 2 attempts.
+    pub fn new(server: SocketAddr) -> ResolverConfig {
+        ResolverConfig {
+            server,
+            timeout: Duration::from_millis(500),
+            attempts: 2,
+            tcp_fallback: true,
+        }
+    }
+}
+
+/// Counters kept by a resolver across its lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Queries issued (including retries).
+    pub queries_sent: u64,
+    /// Answers received (any rcode).
+    pub responses: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Responses discarded due to ID mismatch.
+    pub id_mismatches: u64,
+    /// Truncated UDP responses retried over TCP.
+    pub tcp_retries: u64,
+}
+
+/// An async DNS stub resolver over UDP.
+pub struct Resolver {
+    socket: UdpSocket,
+    config: ResolverConfig,
+    stats: ResolverStats,
+}
+
+impl Resolver {
+    /// Bind an ephemeral local socket for querying `config.server`.
+    pub async fn new(config: ResolverConfig) -> io::Result<Resolver> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        Ok(Resolver {
+            socket,
+            config,
+            stats: ResolverStats::default(),
+        })
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Issue a query and classify the outcome.
+    pub async fn query(&mut self, qname: &DnsName, qtype: RecordType) -> io::Result<LookupOutcome> {
+        let mut buf = vec![0u8; 1500];
+        for _attempt in 0..self.config.attempts.max(1) {
+            let id: u16 = rand::thread_rng().gen();
+            let msg = Message::query(id, Question::new(qname.clone(), qtype));
+            self.socket
+                .send_to(&msg.encode(), self.config.server)
+                .await?;
+            self.stats.queries_sent += 1;
+
+            match timeout(self.config.timeout, self.recv_matching(id, &mut buf)).await {
+                Ok(Ok(resp)) => {
+                    self.stats.responses += 1;
+                    if resp.header.truncated && self.config.tcp_fallback {
+                        // RFC 1035: retry the query over TCP.
+                        self.stats.tcp_retries += 1;
+                        match timeout(self.config.timeout, self.query_tcp(&msg)).await {
+                            Ok(Ok(Some(full))) => return Ok(classify(full)),
+                            Ok(Ok(None)) | Ok(Err(_)) | Err(_) => {
+                                // TCP front unavailable: fall back to the
+                                // truncated (answerless) response.
+                                return Ok(classify(resp));
+                            }
+                        }
+                    }
+                    return Ok(classify(resp));
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(_elapsed) => {
+                    self.stats.timeouts += 1;
+                    continue;
+                }
+            }
+        }
+        Ok(LookupOutcome::Timeout)
+    }
+
+    /// Reverse-lookup convenience: PTR for `addr`.
+    pub async fn reverse(&mut self, addr: Ipv4Addr) -> io::Result<LookupOutcome> {
+        self.query(&DnsName::reverse_v4(addr), RecordType::PTR).await
+    }
+
+    /// One query over TCP (RFC 1035 §4.2.2 framing). Returns `None` when no
+    /// TCP front answers at the server address.
+    async fn query_tcp(&self, msg: &Message) -> io::Result<Option<Message>> {
+        use tokio::io::{AsyncReadExt, AsyncWriteExt};
+        let Ok(mut stream) = tokio::net::TcpStream::connect(self.config.server).await else {
+            return Ok(None);
+        };
+        let bytes = msg.encode();
+        stream.write_all(&(bytes.len() as u16).to_be_bytes()).await?;
+        stream.write_all(&bytes).await?;
+        let mut len_buf = [0u8; 2];
+        stream.read_exact(&mut len_buf).await?;
+        let len = u16::from_be_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        stream.read_exact(&mut buf).await?;
+        match Message::decode(&buf) {
+            Ok(resp) if resp.header.id == msg.header.id && resp.header.response => {
+                Ok(Some(resp))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Receive until a decodable response with the expected ID arrives.
+    async fn recv_matching(&mut self, id: u16, buf: &mut [u8]) -> io::Result<Message> {
+        loop {
+            let (n, peer) = self.socket.recv_from(buf).await?;
+            if peer != self.config.server {
+                continue; // spoofed / stray datagram
+            }
+            match Message::decode(&buf[..n]) {
+                Ok(m) if m.header.id == id && m.header.response => return Ok(m),
+                Ok(_) => {
+                    self.stats.id_mismatches += 1;
+                    continue;
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+fn classify(resp: Message) -> LookupOutcome {
+    match resp.header.rcode {
+        Rcode::NoError => {
+            if resp.answers.is_empty() {
+                LookupOutcome::NoData
+            } else {
+                LookupOutcome::Answer(resp.answers)
+            }
+        }
+        Rcode::NxDomain => LookupOutcome::NxDomain,
+        other => LookupOutcome::ServerFailure(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{FaultConfig, UdpServer};
+    use crate::zone::ZoneStore;
+
+    async fn setup(faults: FaultConfig) -> (Resolver, crate::server::ShutdownHandle, ZoneStore) {
+        let store = ZoneStore::new();
+        let a: Ipv4Addr = "198.51.100.7".parse().unwrap();
+        store.ensure_reverse_zone(a);
+        store.set_ptr(a, "emmas-galaxy.campus.example.edu".parse().unwrap(), 300);
+        let server = UdpServer::bind("127.0.0.1:0".parse().unwrap(), store.clone(), faults)
+            .await
+            .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+        let mut cfg = ResolverConfig::new(addr);
+        cfg.timeout = Duration::from_millis(200);
+        let resolver = Resolver::new(cfg).await.unwrap();
+        (resolver, shutdown, store)
+    }
+
+    #[tokio::test]
+    async fn resolves_ptr() {
+        let (mut resolver, shutdown, _store) = setup(FaultConfig::default()).await;
+        let out = resolver.reverse("198.51.100.7".parse().unwrap()).await.unwrap();
+        assert_eq!(
+            out.ptr_target().unwrap().to_string(),
+            "emmas-galaxy.campus.example.edu."
+        );
+        assert!(!out.is_error());
+        assert_eq!(resolver.stats().queries_sent, 1);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn classifies_nxdomain() {
+        let (mut resolver, shutdown, _store) = setup(FaultConfig::default()).await;
+        let out = resolver.reverse("198.51.100.8".parse().unwrap()).await.unwrap();
+        assert_eq!(out, LookupOutcome::NxDomain);
+        assert!(out.is_error());
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn classifies_servfail() {
+        let faults = FaultConfig {
+            servfail_probability: 1.0,
+            ..Default::default()
+        };
+        let (mut resolver, shutdown, _store) = setup(faults).await;
+        let out = resolver.reverse("198.51.100.7".parse().unwrap()).await.unwrap();
+        assert_eq!(out, LookupOutcome::ServerFailure(Rcode::ServFail));
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn times_out_after_retries() {
+        let faults = FaultConfig {
+            drop_probability: 1.0,
+            ..Default::default()
+        };
+        let (mut resolver, shutdown, _store) = setup(faults).await;
+        let out = resolver.reverse("198.51.100.7".parse().unwrap()).await.unwrap();
+        assert_eq!(out, LookupOutcome::Timeout);
+        assert_eq!(resolver.stats().queries_sent, 2); // both attempts used
+        assert_eq!(resolver.stats().timeouts, 2);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn observes_record_removal() {
+        let (mut resolver, shutdown, store) = setup(FaultConfig::default()).await;
+        let a: Ipv4Addr = "198.51.100.7".parse().unwrap();
+        assert!(!resolver.reverse(a).await.unwrap().is_error());
+        store.remove_ptr(a);
+        assert_eq!(resolver.reverse(a).await.unwrap(), LookupOutcome::NxDomain);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn truncated_udp_falls_back_to_tcp() {
+        use crate::message::{RecordData, ResourceRecord};
+        use crate::server::TcpServer;
+        use crate::zone::Zone;
+
+        let store = ZoneStore::new();
+        let name: DnsName = "big.100.51.198.in-addr.arpa".parse().unwrap();
+        let mut zone = Zone::new("100.51.198.in-addr.arpa".parse().unwrap());
+        zone.upsert(ResourceRecord::new(
+            name.clone(),
+            300,
+            RecordData::Txt(vec!["x".repeat(255), "y".repeat(255), "z".repeat(200)]),
+        ));
+        store.add_zone(zone);
+
+        let udp = UdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            store.clone(),
+            FaultConfig::default(),
+        )
+        .await
+        .unwrap();
+        let addr = udp.local_addr().unwrap();
+        let udp_shutdown = udp.shutdown_handle();
+        tokio::spawn(udp.run());
+        // TCP front on the same port number.
+        let tcp = TcpServer::bind(addr, store).await.unwrap();
+        let tcp_shutdown = tcp.shutdown_handle();
+        tokio::spawn(tcp.run());
+
+        let mut cfg = ResolverConfig::new(addr);
+        cfg.timeout = Duration::from_millis(400);
+        let mut resolver = Resolver::new(cfg).await.unwrap();
+        let out = resolver
+            .query(&name, RecordType::TXT)
+            .await
+            .unwrap();
+        match &out {
+            LookupOutcome::Answer(rrs) => {
+                assert_eq!(rrs.len(), 1);
+                assert!(matches!(&rrs[0].data, crate::message::RecordData::Txt(s) if s.len() == 3));
+            }
+            other => panic!("expected full answer over TCP, got {other:?}"),
+        }
+        assert_eq!(resolver.stats().tcp_retries, 1);
+
+        // With fallback disabled, the truncated (empty) response surfaces.
+        let mut cfg = ResolverConfig::new(addr);
+        cfg.timeout = Duration::from_millis(400);
+        cfg.tcp_fallback = false;
+        let mut plain = Resolver::new(cfg).await.unwrap();
+        let out = plain.query(&name, RecordType::TXT).await.unwrap();
+        assert_eq!(out, LookupOutcome::NoData);
+        udp_shutdown.shutdown();
+        tcp_shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn nodata_for_wrong_type() {
+        let (mut resolver, shutdown, _store) = setup(FaultConfig::default()).await;
+        let name = DnsName::reverse_v4("198.51.100.7".parse().unwrap());
+        let out = resolver.query(&name, RecordType::TXT).await.unwrap();
+        assert_eq!(out, LookupOutcome::NoData);
+        shutdown.shutdown();
+    }
+}

@@ -1,0 +1,37 @@
+//! # rdns-dns
+//!
+//! The DNS substrate of the `rdns-privacy` workspace: everything the paper's
+//! measurement needs from the Domain Name System, built from scratch.
+//!
+//! * [`name`] — domain names in wire form, with IPv4 reverse-zone helpers
+//!   (`34.216.184.93.in-addr.arpa.` for `93.184.216.34`, Example 1 of the
+//!   paper),
+//! * [`wire`] — RFC 1035 message encoding/decoding including compression
+//!   pointers,
+//! * [`message`] — headers, questions, resource records and full messages,
+//! * [`zone`] — authoritative zone data with dynamic-update semantics (the
+//!   DHCP/IPAM side adds and removes PTR records at runtime),
+//! * [`server`] — a tokio-based authoritative UDP server with configurable
+//!   fault injection (SERVFAIL, drops, latency) reproducing the error modes
+//!   of Fig. 6,
+//! * [`client`] — an async stub resolver with retry/timeout handling and
+//!   DNS-over-TCP fallback that classifies outcomes the way the supplemental
+//!   measurement does (answer / NXDOMAIN / name-server failure / timeout),
+//! * [`cache`] — the TTL cache a recursive vantage point would impose,
+//!   quantifying why the paper queries authoritative servers directly.
+
+pub mod cache;
+pub mod client;
+pub mod message;
+pub mod name;
+pub mod server;
+pub mod wire;
+pub mod zone;
+
+pub use cache::{CacheLookup, CachedPtrView, DnsCache};
+pub use client::{LookupOutcome, Resolver, ResolverConfig};
+pub use message::{Message, Opcode, Question, Rcode, RecordClass, RecordData, RecordType, ResourceRecord};
+pub use name::{DnsName, NameError};
+pub use server::{answer_from_store, FaultConfig, ServerStats, TcpServer, UdpServer};
+pub use wire::{WireError, WireReader, WireWriter};
+pub use zone::{LookupResult, Zone, ZoneSet, ZoneStore};

@@ -1,0 +1,406 @@
+//! Domain names in wire form.
+//!
+//! [`DnsName`] stores a validated sequence of labels. It converts to and from
+//! the presentation format ([`rdns_model::Hostname`]) and provides the
+//! reverse-DNS mapping for IPv4 addresses used throughout the paper:
+//! `93.184.216.34` ⇄ `34.216.184.93.in-addr.arpa.`.
+
+use rdns_model::Hostname;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// Maximum length of a single label in octets (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a name in wire octets (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Errors constructing a [`DnsName`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty or longer than 63 octets.
+    BadLabel(String),
+    /// The whole name exceeds 255 wire octets.
+    TooLong(usize),
+    /// The name is not a valid IPv4 reverse name.
+    NotReverse(String),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::BadLabel(l) => write!(f, "invalid DNS label {l:?}"),
+            NameError::TooLong(n) => write!(f, "name wire length {n} exceeds {MAX_NAME_LEN}"),
+            NameError::NotReverse(s) => write!(f, "{s:?} is not an in-addr.arpa name"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// A validated, case-normalized domain name.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DnsName {
+    labels: Vec<String>,
+}
+
+impl DnsName {
+    /// The root name (zero labels).
+    pub fn root() -> DnsName {
+        DnsName { labels: Vec::new() }
+    }
+
+    /// Build from labels, validating lengths.
+    pub fn from_labels<I, S>(labels: I) -> Result<DnsName, NameError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = Vec::new();
+        let mut wire_len = 1; // terminating zero octet
+        for l in labels {
+            let l = l.as_ref().to_ascii_lowercase();
+            if l.is_empty() || l.len() > MAX_LABEL_LEN {
+                return Err(NameError::BadLabel(l));
+            }
+            wire_len += 1 + l.len();
+            out.push(l);
+        }
+        if wire_len > MAX_NAME_LEN {
+            return Err(NameError::TooLong(wire_len));
+        }
+        Ok(DnsName { labels: out })
+    }
+
+    /// Parse presentation format (`a.b.c` or `a.b.c.`).
+    pub fn parse(text: &str) -> Result<DnsName, NameError> {
+        let trimmed = text.trim_end_matches('.');
+        if trimmed.is_empty() {
+            return Ok(DnsName::root());
+        }
+        DnsName::from_labels(trimmed.split('.'))
+    }
+
+    /// The labels, left to right.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Wire-encoded length in octets (uncompressed).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// Whether `self` equals `other` or is a subdomain of it. The root is an
+    /// ancestor of every name.
+    pub fn is_subdomain_of(&self, other: &DnsName) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// The parent name (one label removed); root's parent is root.
+    pub fn parent(&self) -> DnsName {
+        if self.labels.is_empty() {
+            return DnsName::root();
+        }
+        DnsName {
+            labels: self.labels[1..].to_vec(),
+        }
+    }
+
+    /// Prepend a label.
+    pub fn child(&self, label: &str) -> Result<DnsName, NameError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_string());
+        labels.extend(self.labels.iter().cloned());
+        DnsName::from_labels(labels)
+    }
+
+    /// The reverse name for an IPv4 address: `d.c.b.a.in-addr.arpa.`.
+    ///
+    /// The paper's Example 1:
+    ///
+    /// ```
+    /// use rdns_dns::DnsName;
+    /// let rev = DnsName::reverse_v4("93.184.216.34".parse().unwrap());
+    /// assert_eq!(rev.to_string(), "34.216.184.93.in-addr.arpa.");
+    /// ```
+    pub fn reverse_v4(addr: Ipv4Addr) -> DnsName {
+        let o = addr.octets();
+        DnsName::from_labels([
+            o[3].to_string(),
+            o[2].to_string(),
+            o[1].to_string(),
+            o[0].to_string(),
+            "in-addr".to_string(),
+            "arpa".to_string(),
+        ])
+        .expect("reverse v4 names are always valid")
+    }
+
+    /// The reverse-zone apex for a /24 block: `c.b.a.in-addr.arpa.`.
+    pub fn reverse_v4_zone24(block: rdns_model::Slash24) -> DnsName {
+        let o = block.network().octets();
+        DnsName::from_labels([
+            o[2].to_string(),
+            o[1].to_string(),
+            o[0].to_string(),
+            "in-addr".to_string(),
+            "arpa".to_string(),
+        ])
+        .expect("reverse v4 zone names are always valid")
+    }
+
+    /// The reverse name for an IPv6 address: 32 nibbles under `ip6.arpa.`
+    /// (RFC 3596 §2.5). The paper focuses on IPv4 because IPv6 cannot be
+    /// exhaustively scanned, but notes (§8) that targeted IPv6 rDNS
+    /// measurement is feasible; this supports such targeted lookups.
+    pub fn reverse_v6(addr: std::net::Ipv6Addr) -> DnsName {
+        let mut labels: Vec<String> = Vec::with_capacity(34);
+        for byte in addr.octets().iter().rev() {
+            labels.push(format!("{:x}", byte & 0x0F));
+            labels.push(format!("{:x}", byte >> 4));
+        }
+        labels.push("ip6".to_string());
+        labels.push("arpa".to_string());
+        DnsName::from_labels(labels).expect("reverse v6 names are always valid")
+    }
+
+    /// If this is a full IPv6 reverse name, recover the address.
+    pub fn parse_reverse_v6(&self) -> Result<std::net::Ipv6Addr, NameError> {
+        let err = || NameError::NotReverse(self.to_string());
+        if self.labels.len() != 34 || self.labels[32] != "ip6" || self.labels[33] != "arpa" {
+            return Err(err());
+        }
+        let mut octets = [0u8; 16];
+        for i in 0..16 {
+            let lo = &self.labels[2 * i];
+            let hi = &self.labels[2 * i + 1];
+            if lo.len() != 1 || hi.len() != 1 {
+                return Err(err());
+            }
+            let lo = u8::from_str_radix(lo, 16).map_err(|_| err())?;
+            let hi = u8::from_str_radix(hi, 16).map_err(|_| err())?;
+            octets[15 - i] = (hi << 4) | lo;
+        }
+        Ok(std::net::Ipv6Addr::from(octets))
+    }
+
+    /// If this is a full IPv4 reverse name, recover the address.
+    pub fn parse_reverse_v4(&self) -> Result<Ipv4Addr, NameError> {
+        let err = || NameError::NotReverse(self.to_string());
+        if self.labels.len() != 6 || self.labels[4] != "in-addr" || self.labels[5] != "arpa" {
+            return Err(err());
+        }
+        let mut octets = [0u8; 4];
+        for (i, label) in self.labels[..4].iter().enumerate() {
+            // Reject non-canonical numeric labels such as "01".
+            if label.len() > 1 && label.starts_with('0') {
+                return Err(err());
+            }
+            octets[3 - i] = label.parse::<u8>().map_err(|_| err())?;
+        }
+        Ok(Ipv4Addr::from(octets))
+    }
+
+    /// Presentation form as a [`Hostname`].
+    pub fn to_hostname(&self) -> Hostname {
+        Hostname::from_labels(&self.labels)
+    }
+}
+
+impl fmt::Debug for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for l in &self.labels {
+            write!(f, "{l}.")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for DnsName {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnsName::parse(s)
+    }
+}
+
+impl From<&Hostname> for DnsName {
+    fn from(h: &Hostname) -> DnsName {
+        // Hostname labels obey the same 63-octet limit only if the source
+        // was valid; clamp defensively by truncating overlong labels.
+        DnsName::from_labels(h.labels().map(|l| {
+            if l.len() > MAX_LABEL_LEN {
+                &l[..MAX_LABEL_LEN]
+            } else {
+                l
+            }
+        }))
+        .unwrap_or_else(|_| DnsName::root())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rdns_model::Slash24;
+
+    #[test]
+    fn paper_example_1() {
+        // IP 93.184.216.34 -> 34.216.184.93.in-addr.arpa.
+        let rev = DnsName::reverse_v4("93.184.216.34".parse().unwrap());
+        assert_eq!(rev.to_string(), "34.216.184.93.in-addr.arpa.");
+        assert_eq!(
+            rev.parse_reverse_v4().unwrap(),
+            "93.184.216.34".parse::<Ipv4Addr>().unwrap()
+        );
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let n: DnsName = "Brians-iPhone.Example.EDU.".parse().unwrap();
+        assert_eq!(n.to_string(), "brians-iphone.example.edu.");
+        assert_eq!(n.label_count(), 3);
+        let root: DnsName = ".".parse().unwrap();
+        assert!(root.is_root());
+        assert_eq!(root.to_string(), ".");
+    }
+
+    #[test]
+    fn label_validation() {
+        assert!(DnsName::parse(&format!("{}.com", "x".repeat(64))).is_err());
+        assert!(DnsName::parse("a..b").is_err());
+        let many = vec!["abcdefghijklmnop"; 16].join("."); // 16*17+1 = 273 > 255
+        assert!(DnsName::parse(&many).is_err());
+    }
+
+    #[test]
+    fn subdomain_relationships() {
+        let zone: DnsName = "2.0.192.in-addr.arpa".parse().unwrap();
+        let rec: DnsName = "34.2.0.192.in-addr.arpa".parse().unwrap();
+        assert!(rec.is_subdomain_of(&zone));
+        assert!(rec.is_subdomain_of(&rec));
+        assert!(!zone.is_subdomain_of(&rec));
+        assert!(rec.is_subdomain_of(&DnsName::root()));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let n: DnsName = "a.b.c".parse().unwrap();
+        assert_eq!(n.parent().to_string(), "b.c.");
+        assert_eq!(DnsName::root().parent(), DnsName::root());
+        let c = n.child("x").unwrap();
+        assert_eq!(c.to_string(), "x.a.b.c.");
+        assert!(n.child("").is_err());
+    }
+
+    #[test]
+    fn reverse_zone24() {
+        let z = DnsName::reverse_v4_zone24(Slash24::from_octets(192, 0, 2));
+        assert_eq!(z.to_string(), "2.0.192.in-addr.arpa.");
+        let full = DnsName::reverse_v4("192.0.2.34".parse().unwrap());
+        assert!(full.is_subdomain_of(&z));
+    }
+
+    #[test]
+    fn parse_reverse_rejects_noncanonical() {
+        let bogus: DnsName = "01.2.0.192.in-addr.arpa".parse().unwrap();
+        assert!(bogus.parse_reverse_v4().is_err());
+        let wrong_suffix: DnsName = "1.2.0.192.ip6.arpa".parse().unwrap();
+        assert!(wrong_suffix.parse_reverse_v4().is_err());
+        let too_short: DnsName = "0.192.in-addr.arpa".parse().unwrap();
+        assert!(too_short.parse_reverse_v4().is_err());
+        let overflow: DnsName = "256.2.0.192.in-addr.arpa".parse().unwrap();
+        assert!(overflow.parse_reverse_v4().is_err());
+    }
+
+    #[test]
+    fn hostname_conversion() {
+        let h = Hostname::new("Client1.SomeISP.com");
+        let n = DnsName::from(&h);
+        assert_eq!(n.to_string(), "client1.someisp.com.");
+        assert_eq!(n.to_hostname(), h);
+    }
+
+    #[test]
+    fn wire_len() {
+        // "a.bc." = 1+1 + 1+2 + 1 = 6
+        let n: DnsName = "a.bc".parse().unwrap();
+        assert_eq!(n.wire_len(), 6);
+        assert_eq!(DnsName::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn reverse_v6_rfc3596_example() {
+        // RFC 3596 §2.5 example: 4321:0:1:2:3:4:567:89ab.
+        let addr: std::net::Ipv6Addr = "4321:0:1:2:3:4:567:89ab".parse().unwrap();
+        let rev = DnsName::reverse_v6(addr);
+        assert_eq!(
+            rev.to_string(),
+            "b.a.9.8.7.6.5.0.4.0.0.0.3.0.0.0.2.0.0.0.1.0.0.0.0.0.0.0.1.2.3.4.ip6.arpa."
+        );
+        assert_eq!(rev.parse_reverse_v6().unwrap(), addr);
+    }
+
+    #[test]
+    fn parse_reverse_v6_rejects_malformed() {
+        let v4: DnsName = "1.2.0.192.in-addr.arpa".parse().unwrap();
+        assert!(v4.parse_reverse_v6().is_err());
+        let short: DnsName = "b.a.ip6.arpa".parse().unwrap();
+        assert!(short.parse_reverse_v6().is_err());
+        // A 34-label name with a non-nibble label.
+        let mut labels: Vec<String> = (0..32).map(|_| "zz".to_string()).collect();
+        labels.push("ip6".into());
+        labels.push("arpa".into());
+        let bogus = DnsName::from_labels(labels).unwrap();
+        assert!(bogus.parse_reverse_v6().is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reverse_roundtrip(a in any::<u32>()) {
+            let addr = Ipv4Addr::from(a);
+            let name = DnsName::reverse_v4(addr);
+            prop_assert_eq!(name.parse_reverse_v4().unwrap(), addr);
+        }
+
+        #[test]
+        fn prop_reverse_v6_roundtrip(bytes in any::<[u8; 16]>()) {
+            let addr = std::net::Ipv6Addr::from(bytes);
+            let name = DnsName::reverse_v6(addr);
+            prop_assert_eq!(name.parse_reverse_v6().unwrap(), addr);
+            prop_assert_eq!(name.label_count(), 34);
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(labels in proptest::collection::vec("[a-z0-9-]{1,10}", 0..6)) {
+            let n = DnsName::from_labels(&labels).unwrap();
+            let re: DnsName = n.to_string().parse().unwrap();
+            prop_assert_eq!(n, re);
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! Async authoritative UDP DNS server.
+//!
+//! The simulated networks publish their reverse zones through this server so
+//! that the scanner exercises a real resolver code path over real sockets.
+//! Fault injection reproduces the error classes of the paper's Fig. 6:
+//! dropped datagrams become client-side *timeouts*, injected SERVFAILs are
+//! *name-server failures*, and missing names are genuine *NXDOMAIN*s.
+
+use crate::message::{Message, Opcode, Rcode};
+use crate::zone::{LookupResult, ZoneStore};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::watch;
+
+/// Maximum UDP payload we accept (we are tolerant on receive).
+const MAX_DATAGRAM: usize = 1500;
+
+/// Classic DNS-over-UDP response limit without EDNS (RFC 1035 §4.2.1):
+/// larger responses are truncated with TC set, prompting TCP retry.
+pub const UDP_PAYLOAD_LIMIT: usize = 512;
+
+/// Probabilistic fault injection, sampled per query.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability of silently dropping the query (client sees a timeout).
+    pub drop_probability: f64,
+    /// Probability of answering SERVFAIL regardless of zone contents.
+    pub servfail_probability: f64,
+    /// Seed for the fault RNG, for reproducible experiments.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_probability: 0.0,
+            servfail_probability: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Counters exposed by the server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Datagrams received.
+    pub received: AtomicU64,
+    /// Datagrams that failed to parse.
+    pub malformed: AtomicU64,
+    /// Responses with at least one answer record.
+    pub answered: AtomicU64,
+    /// NXDOMAIN responses.
+    pub nxdomain: AtomicU64,
+    /// NoError/NoData responses.
+    pub nodata: AtomicU64,
+    /// SERVFAIL responses (injected faults).
+    pub servfail: AtomicU64,
+    /// REFUSED responses (out-of-bailiwick queries).
+    pub refused: AtomicU64,
+    /// Queries dropped by fault injection.
+    pub dropped: AtomicU64,
+}
+
+impl ServerStats {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot all counters as plain values.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            received: self.received.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            nxdomain: self.nxdomain.load(Ordering::Relaxed),
+            nodata: self.nodata.load(Ordering::Relaxed),
+            servfail: self.servfail.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value view of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Datagrams received.
+    pub received: u64,
+    /// Datagrams that failed to parse.
+    pub malformed: u64,
+    /// Responses with at least one answer record.
+    pub answered: u64,
+    /// NXDOMAIN responses.
+    pub nxdomain: u64,
+    /// NoError/NoData responses.
+    pub nodata: u64,
+    /// SERVFAIL responses.
+    pub servfail: u64,
+    /// REFUSED responses.
+    pub refused: u64,
+    /// Fault-dropped queries.
+    pub dropped: u64,
+}
+
+/// An authoritative UDP server bound to a local address.
+pub struct UdpServer {
+    socket: Arc<UdpSocket>,
+    store: ZoneStore,
+    faults: FaultConfig,
+    stats: Arc<ServerStats>,
+    shutdown_tx: watch::Sender<bool>,
+    shutdown_rx: watch::Receiver<bool>,
+}
+
+impl UdpServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) serving `store`.
+    pub async fn bind(
+        addr: SocketAddr,
+        store: ZoneStore,
+        faults: FaultConfig,
+    ) -> io::Result<UdpServer> {
+        let socket = UdpSocket::bind(addr).await?;
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        Ok(UdpServer {
+            socket: Arc::new(socket),
+            store,
+            faults,
+            stats: Arc::new(ServerStats::default()),
+            shutdown_tx,
+            shutdown_rx,
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// A handle that stops the serve loop when invoked.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            tx: self.shutdown_tx.clone(),
+        }
+    }
+
+    /// Serve until shut down. Typically run via `tokio::spawn`.
+    pub async fn run(self) -> io::Result<()> {
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut rng = SmallRng::seed_from_u64(self.faults.seed);
+        let mut shutdown_rx = self.shutdown_rx.clone();
+        loop {
+            tokio::select! {
+                _ = shutdown_rx.changed() => {
+                    if *shutdown_rx.borrow() {
+                        return Ok(());
+                    }
+                }
+                recv = self.socket.recv_from(&mut buf) => {
+                    let (len, peer) = recv?;
+                    ServerStats::bump(&self.stats.received);
+                    if let Some(reply) =
+                        self.handle_datagram(&buf[..len], &mut rng)
+                    {
+                        // Best-effort send; a full socket buffer is the
+                        // client's timeout problem, mirroring real servers.
+                        let _ = self.socket.send_to(&reply, peer).await;
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_datagram(&self, datagram: &[u8], rng: &mut SmallRng) -> Option<Vec<u8>> {
+        let query = match Message::decode(datagram) {
+            Ok(m) => m,
+            Err(_) => {
+                ServerStats::bump(&self.stats.malformed);
+                return None;
+            }
+        };
+        if query.header.response {
+            // Not a query at all; ignore silently like BIND does.
+            ServerStats::bump(&self.stats.malformed);
+            return None;
+        }
+
+        if self.faults.drop_probability > 0.0 && rng.gen::<f64>() < self.faults.drop_probability {
+            ServerStats::bump(&self.stats.dropped);
+            return None;
+        }
+
+        let response = self.answer(&query, rng);
+        let bytes = response.encode();
+        if bytes.len() <= UDP_PAYLOAD_LIMIT {
+            return Some(bytes);
+        }
+        // RFC 1035 §4.2.1: truncate over-limit responses and set TC so the
+        // client retries over TCP.
+        let mut truncated = response;
+        truncated.answers.clear();
+        truncated.authorities.clear();
+        truncated.additionals.clear();
+        truncated.header.truncated = true;
+        Some(truncated.encode())
+    }
+
+    /// Build the authoritative answer for `query` (pure; used by tests too).
+    pub fn answer(&self, query: &Message, rng: &mut SmallRng) -> Message {
+        if query.header.opcode != Opcode::Query || query.questions.len() != 1 {
+            ServerStats::bump(&self.stats.malformed);
+            return Message::response_to(query, Rcode::NotImp);
+        }
+        if self.faults.servfail_probability > 0.0
+            && rng.gen::<f64>() < self.faults.servfail_probability
+        {
+            ServerStats::bump(&self.stats.servfail);
+            return Message::response_to(query, Rcode::ServFail);
+        }
+        let resp = answer_from_store(&self.store, query);
+        let counter = match (resp.header.rcode, resp.answers.is_empty()) {
+            (Rcode::NoError, false) => &self.stats.answered,
+            (Rcode::NoError, true) => &self.stats.nodata,
+            (Rcode::NxDomain, _) => &self.stats.nxdomain,
+            (Rcode::Refused, _) => &self.stats.refused,
+            _ => &self.stats.malformed,
+        };
+        ServerStats::bump(counter);
+        resp
+    }
+}
+
+/// The pure authoritative-answer logic shared by the UDP and TCP fronts.
+pub fn answer_from_store(store: &ZoneStore, query: &Message) -> Message {
+    if query.header.opcode != Opcode::Query || query.questions.len() != 1 {
+        return Message::response_to(query, Rcode::NotImp);
+    }
+    let q = &query.questions[0];
+    match store.lookup(&q.qname, q.qtype) {
+        LookupResult::Answer(rrs) => {
+            let mut resp = Message::response_to(query, Rcode::NoError);
+            resp.answers = rrs;
+            resp
+        }
+        LookupResult::NoData { soa } => {
+            let mut resp = Message::response_to(query, Rcode::NoError);
+            resp.authorities.push(soa);
+            resp
+        }
+        LookupResult::NxDomain { soa } => {
+            let mut resp = Message::response_to(query, Rcode::NxDomain);
+            resp.authorities.push(soa);
+            resp
+        }
+        LookupResult::NotAuthoritative => Message::response_to(query, Rcode::Refused),
+    }
+}
+
+/// DNS-over-TCP front (RFC 1035 §4.2.2): two-octet length-prefixed messages.
+/// Serves the same zone store as the UDP front; clients retry here when a
+/// UDP response came back truncated.
+pub struct TcpServer {
+    listener: tokio::net::TcpListener,
+    store: ZoneStore,
+    shutdown_tx: watch::Sender<bool>,
+    shutdown_rx: watch::Receiver<bool>,
+}
+
+impl TcpServer {
+    /// Bind to `addr` (port 0 for ephemeral).
+    pub async fn bind(addr: SocketAddr, store: ZoneStore) -> io::Result<TcpServer> {
+        let listener = tokio::net::TcpListener::bind(addr).await?;
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        Ok(TcpServer {
+            listener,
+            store,
+            shutdown_tx,
+            shutdown_rx,
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the accept loop.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            tx: self.shutdown_tx.clone(),
+        }
+    }
+
+    /// Accept and serve connections until shut down.
+    pub async fn run(self) -> io::Result<()> {
+        let mut shutdown_rx = self.shutdown_rx.clone();
+        loop {
+            tokio::select! {
+                _ = shutdown_rx.changed() => {
+                    if *shutdown_rx.borrow() {
+                        return Ok(());
+                    }
+                }
+                accepted = self.listener.accept() => {
+                    let (stream, _) = accepted?;
+                    let store = self.store.clone();
+                    tokio::spawn(async move {
+                        let _ = Self::serve_connection(stream, store).await;
+                    });
+                }
+            }
+        }
+    }
+
+    async fn serve_connection(
+        mut stream: tokio::net::TcpStream,
+        store: ZoneStore,
+    ) -> io::Result<()> {
+        use tokio::io::{AsyncReadExt, AsyncWriteExt};
+        loop {
+            let mut len_buf = [0u8; 2];
+            if stream.read_exact(&mut len_buf).await.is_err() {
+                return Ok(()); // peer closed
+            }
+            let len = u16::from_be_bytes(len_buf) as usize;
+            let mut buf = vec![0u8; len];
+            stream.read_exact(&mut buf).await?;
+            let Ok(query) = Message::decode(&buf) else {
+                return Ok(()); // drop the connection on garbage
+            };
+            let resp = answer_from_store(&store, &query).encode();
+            stream.write_all(&(resp.len() as u16).to_be_bytes()).await?;
+            stream.write_all(&resp).await?;
+        }
+    }
+}
+
+/// Stops a running [`UdpServer`].
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    tx: watch::Sender<bool>,
+}
+
+impl ShutdownHandle {
+    /// Request shutdown; the serve loop exits at its next iteration.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Question, RecordType};
+    use crate::name::DnsName;
+    use std::net::Ipv4Addr;
+
+    fn test_store() -> ZoneStore {
+        let store = ZoneStore::new();
+        let a: Ipv4Addr = "192.0.2.34".parse().unwrap();
+        store.ensure_reverse_zone(a);
+        store.set_ptr(a, "brians-iphone.example.edu".parse().unwrap(), 300);
+        store
+    }
+
+    async fn spawn_server(faults: FaultConfig) -> (SocketAddr, ShutdownHandle, Arc<ServerStats>) {
+        let server = UdpServer::bind("127.0.0.1:0".parse().unwrap(), test_store(), faults)
+            .await
+            .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        let stats = server.stats();
+        tokio::spawn(server.run());
+        (addr, shutdown, stats)
+    }
+
+    async fn raw_query(addr: SocketAddr, msg: &Message) -> Message {
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        sock.send_to(&msg.encode(), addr).await.unwrap();
+        let mut buf = vec![0u8; 1500];
+        let (n, _) = sock.recv_from(&mut buf).await.unwrap();
+        Message::decode(&buf[..n]).unwrap()
+    }
+
+    #[tokio::test]
+    async fn serves_ptr_answer() {
+        let (addr, shutdown, stats) = spawn_server(FaultConfig::default()).await;
+        let q = Message::query(7, Question::ptr_for("192.0.2.34".parse().unwrap()));
+        let resp = raw_query(addr, &q).await;
+        assert_eq!(resp.header.rcode, Rcode::NoError);
+        assert_eq!(resp.header.id, 7);
+        assert!(resp.header.authoritative);
+        assert_eq!(
+            resp.first_ptr().unwrap().to_string(),
+            "brians-iphone.example.edu."
+        );
+        assert_eq!(stats.snapshot().answered, 1);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn serves_nxdomain_with_soa() {
+        let (addr, shutdown, stats) = spawn_server(FaultConfig::default()).await;
+        let q = Message::query(8, Question::ptr_for("192.0.2.35".parse().unwrap()));
+        let resp = raw_query(addr, &q).await;
+        assert_eq!(resp.header.rcode, Rcode::NxDomain);
+        assert_eq!(resp.answers.len(), 0);
+        assert_eq!(resp.authorities.len(), 1);
+        assert_eq!(stats.snapshot().nxdomain, 1);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn refuses_foreign_names() {
+        let (addr, shutdown, stats) = spawn_server(FaultConfig::default()).await;
+        let q = Message::query(
+            9,
+            Question::new("www.example.com".parse().unwrap(), RecordType::A),
+        );
+        let resp = raw_query(addr, &q).await;
+        assert_eq!(resp.header.rcode, Rcode::Refused);
+        assert_eq!(stats.snapshot().refused, 1);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn injected_servfail() {
+        let faults = FaultConfig {
+            servfail_probability: 1.0,
+            ..Default::default()
+        };
+        let (addr, shutdown, stats) = spawn_server(faults).await;
+        let q = Message::query(1, Question::ptr_for("192.0.2.34".parse().unwrap()));
+        let resp = raw_query(addr, &q).await;
+        assert_eq!(resp.header.rcode, Rcode::ServFail);
+        assert_eq!(stats.snapshot().servfail, 1);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn drops_are_silent() {
+        let faults = FaultConfig {
+            drop_probability: 1.0,
+            ..Default::default()
+        };
+        let (addr, shutdown, stats) = spawn_server(faults).await;
+        let q = Message::query(2, Question::ptr_for("192.0.2.34".parse().unwrap()));
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        sock.send_to(&q.encode(), addr).await.unwrap();
+        let mut buf = [0u8; 512];
+        let got = tokio::time::timeout(
+            std::time::Duration::from_millis(200),
+            sock.recv_from(&mut buf),
+        )
+        .await;
+        assert!(got.is_err(), "drop faults must yield client timeouts");
+        // Stats may race slightly with the recv; poll briefly.
+        for _ in 0..50 {
+            if stats.snapshot().dropped == 1 {
+                break;
+            }
+            tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+        }
+        assert_eq!(stats.snapshot().dropped, 1);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn malformed_datagrams_ignored() {
+        let (addr, shutdown, stats) = spawn_server(FaultConfig::default()).await;
+        let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        sock.send_to(&[1, 2, 3], addr).await.unwrap();
+        // Follow with a valid query to prove the server survived.
+        let q = Message::query(3, Question::ptr_for("192.0.2.34".parse().unwrap()));
+        sock.send_to(&q.encode(), addr).await.unwrap();
+        let mut buf = vec![0u8; 1500];
+        let (n, _) = sock.recv_from(&mut buf).await.unwrap();
+        let resp = Message::decode(&buf[..n]).unwrap();
+        assert_eq!(resp.header.id, 3);
+        assert_eq!(stats.snapshot().malformed, 1);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn oversized_responses_truncated_on_udp() {
+        use crate::message::RecordData;
+        let store = test_store();
+        // A TXT record fat enough to blow the 512-octet UDP limit.
+        let name: crate::name::DnsName = "big.2.0.192.in-addr.arpa".parse().unwrap();
+        let mut zone = crate::zone::Zone::new("2.0.192.in-addr.arpa".parse().unwrap());
+        zone.upsert(crate::message::ResourceRecord::new(
+            name.clone(),
+            300,
+            RecordData::Txt(vec!["x".repeat(255), "y".repeat(255), "z".repeat(200)]),
+        ));
+        store.add_zone(zone);
+        let server = UdpServer::bind("127.0.0.1:0".parse().unwrap(), store, FaultConfig::default())
+            .await
+            .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+
+        let q = Message::query(5, Question::new(name, RecordType::TXT));
+        let resp = raw_query(addr, &q).await;
+        assert!(resp.header.truncated, "TC must be set");
+        assert!(resp.answers.is_empty(), "truncated responses carry no answers");
+        assert!(resp.encode().len() <= UDP_PAYLOAD_LIMIT);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn tcp_front_serves_full_responses() {
+        use tokio::io::{AsyncReadExt, AsyncWriteExt};
+        let store = test_store();
+        let tcp = TcpServer::bind("127.0.0.1:0".parse().unwrap(), store)
+            .await
+            .unwrap();
+        let addr = tcp.local_addr().unwrap();
+        let shutdown = tcp.shutdown_handle();
+        tokio::spawn(tcp.run());
+
+        let q = Message::query(9, Question::ptr_for("192.0.2.34".parse().unwrap()));
+        let bytes = q.encode();
+        let mut stream = tokio::net::TcpStream::connect(addr).await.unwrap();
+        stream
+            .write_all(&(bytes.len() as u16).to_be_bytes())
+            .await
+            .unwrap();
+        stream.write_all(&bytes).await.unwrap();
+        let mut len_buf = [0u8; 2];
+        stream.read_exact(&mut len_buf).await.unwrap();
+        let mut buf = vec![0u8; u16::from_be_bytes(len_buf) as usize];
+        stream.read_exact(&mut buf).await.unwrap();
+        let resp = Message::decode(&buf).unwrap();
+        assert_eq!(resp.header.id, 9);
+        assert_eq!(
+            resp.first_ptr().unwrap().to_string(),
+            "brians-iphone.example.edu."
+        );
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn reflects_live_zone_updates() {
+        let store = test_store();
+        let server = UdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            store.clone(),
+            FaultConfig::default(),
+        )
+        .await
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+
+        let target: Ipv4Addr = "192.0.2.99".parse().unwrap();
+        let q = Message::query(4, Question::ptr_for(target));
+        let before = raw_query(addr, &q).await;
+        assert_eq!(before.header.rcode, Rcode::NxDomain);
+
+        store.set_ptr(target, "new-device.example.edu".parse().unwrap(), 300);
+        let after = raw_query(addr, &q).await;
+        assert_eq!(after.header.rcode, Rcode::NoError);
+        assert_eq!(
+            after.first_ptr().unwrap(),
+            &"new-device.example.edu".parse::<DnsName>().unwrap()
+        );
+
+        store.remove_ptr(target);
+        let gone = raw_query(addr, &q).await;
+        assert_eq!(gone.header.rcode, Rcode::NxDomain);
+        shutdown.shutdown();
+    }
+}

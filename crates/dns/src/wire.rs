@@ -1,0 +1,442 @@
+//! RFC 1035 wire-format primitives.
+//!
+//! [`WireWriter`] serializes messages with name compression (§4.1.4 of RFC
+//! 1035); [`WireReader`] parses with full compression-pointer support,
+//! including loop protection, so the server stays robust against malformed
+//! or hostile queries.
+
+use crate::name::DnsName;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors while reading a DNS message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The message ended before the expected field.
+    Truncated { at: usize, need: usize },
+    /// A compression pointer pointed forward or formed a loop.
+    BadPointer(usize),
+    /// A label had the reserved `10`/`01` prefix bits.
+    BadLabelType(u8),
+    /// The decompressed name exceeded the 255-octet limit.
+    NameTooLong,
+    /// An RDATA length disagreed with its content.
+    BadRdata(&'static str),
+    /// An unknown record type/class where a known one is required.
+    Unsupported(&'static str, u16),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { at, need } => {
+                write!(f, "message truncated at offset {at} (needed {need} more octets)")
+            }
+            WireError::BadPointer(o) => write!(f, "invalid compression pointer at offset {o}"),
+            WireError::BadLabelType(b) => write!(f, "reserved label type octet {b:#04x}"),
+            WireError::NameTooLong => write!(f, "decompressed name exceeds 255 octets"),
+            WireError::BadRdata(what) => write!(f, "malformed RDATA: {what}"),
+            WireError::Unsupported(what, v) => write!(f, "unsupported {what}: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A cursor over a received datagram.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Start reading at offset zero.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current read offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Remaining unread octets.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.remaining() < n {
+            Err(WireError::Truncated {
+                at: self.pos,
+                need: n - self.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one octet.
+    pub fn read_u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Read a big-endian u16.
+    pub fn read_u16(&mut self) -> Result<u16, WireError> {
+        self.need(2)?;
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Read a big-endian u32.
+    pub fn read_u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        let v = u32::from_be_bytes([
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+            self.buf[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Read `n` raw octets.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.need(n)?;
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a (possibly compressed) domain name starting at the cursor. The
+    /// cursor advances past the in-place representation only; pointer
+    /// targets are followed without moving the cursor.
+    pub fn read_name(&mut self) -> Result<DnsName, WireError> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut total_len = 1usize;
+        let mut jumped = false;
+        let mut pos = self.pos;
+        // Each followed pointer must strictly decrease, which bounds the
+        // number of jumps and rules out loops.
+        let mut last_pointer_target = usize::MAX;
+
+        loop {
+            let len = *self
+                .buf
+                .get(pos)
+                .ok_or(WireError::Truncated { at: pos, need: 1 })? as usize;
+            match len & 0xC0 {
+                0x00 => {
+                    if !jumped {
+                        self.pos = pos + 1 + len;
+                    }
+                    if len == 0 {
+                        if !jumped {
+                            self.pos = pos + 1;
+                        }
+                        break;
+                    }
+                    total_len += 1 + len;
+                    if total_len > crate::name::MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong);
+                    }
+                    let end = pos + 1 + len;
+                    let label = self
+                        .buf
+                        .get(pos + 1..end)
+                        .ok_or(WireError::Truncated { at: pos + 1, need: len })?;
+                    labels.push(String::from_utf8_lossy(label).to_ascii_lowercase());
+                    pos = end;
+                }
+                0xC0 => {
+                    let second = *self
+                        .buf
+                        .get(pos + 1)
+                        .ok_or(WireError::Truncated { at: pos + 1, need: 1 })?
+                        as usize;
+                    let target = ((len & 0x3F) << 8) | second;
+                    if target >= last_pointer_target || target >= pos {
+                        return Err(WireError::BadPointer(pos));
+                    }
+                    if !jumped {
+                        self.pos = pos + 2;
+                    }
+                    jumped = true;
+                    last_pointer_target = target;
+                    pos = target;
+                }
+                other => return Err(WireError::BadLabelType(other as u8)),
+            }
+        }
+
+        DnsName::from_labels(labels).map_err(|_| WireError::NameTooLong)
+    }
+}
+
+/// A growable buffer for serializing a message, with name compression.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// Offsets of previously written names (presentation form → offset),
+    /// including every tail suffix, so later names can point at them.
+    name_offsets: HashMap<String, usize>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The serialized bytes so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Finish and take the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current write offset.
+    pub fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Append one octet.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn write_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw octets.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Overwrite a previously written big-endian u16 (e.g. RDLENGTH patch).
+    pub fn patch_u16(&mut self, offset: usize, v: u16) {
+        self.buf[offset..offset + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a domain name, using a compression pointer when any suffix of
+    /// the name was written before within pointer range (first 16 KiB).
+    pub fn write_name(&mut self, name: &DnsName) {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix_key = labels[i..].join(".");
+            if let Some(&off) = self.name_offsets.get(&suffix_key) {
+                if off < 0x4000 {
+                    self.write_u16(0xC000 | off as u16);
+                    return;
+                }
+            }
+            let here = self.position();
+            if here < 0x4000 {
+                self.name_offsets.insert(suffix_key, here);
+            }
+            let label = labels[i].as_bytes();
+            debug_assert!(label.len() <= crate::name::MAX_LABEL_LEN);
+            self.write_u8(label.len() as u8);
+            self.write_bytes(label);
+        }
+        self.write_u8(0);
+    }
+
+    /// Append a name without compression (used inside RDATA for record types
+    /// whose RDATA may not be compressed, and for DHCP FQDN payloads).
+    pub fn write_name_uncompressed(&mut self, name: &DnsName) {
+        for label in name.labels() {
+            self.write_u8(label.len() as u8);
+            self.write_bytes(label.as_bytes());
+        }
+        self.write_u8(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut w = WireWriter::new();
+        w.write_u8(0xAB);
+        w.write_u16(0x1234);
+        w.write_u32(0xDEADBEEF);
+        w.write_bytes(b"xyz");
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        assert_eq!(r.read_u16().unwrap(), 0x1234);
+        assert_eq!(r.read_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.read_bytes(3).unwrap(), b"xyz");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.read_u8().is_err());
+    }
+
+    #[test]
+    fn name_roundtrip_simple() {
+        let n: DnsName = "brians-iphone.example.edu".parse().unwrap();
+        let mut w = WireWriter::new();
+        w.write_name(&n);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), n);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn name_compression_saves_space_and_roundtrips() {
+        let a: DnsName = "host1.example.edu".parse().unwrap();
+        let b: DnsName = "host2.example.edu".parse().unwrap();
+        let mut w = WireWriter::new();
+        w.write_name(&a);
+        let uncompressed_one = w.position();
+        w.write_name(&b);
+        let bytes = w.into_bytes();
+        // Second name must be shorter than the first thanks to the pointer.
+        assert!(bytes.len() - uncompressed_one < uncompressed_one);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), a);
+        assert_eq!(r.read_name().unwrap(), b);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn whole_name_pointer() {
+        let a: DnsName = "example.edu".parse().unwrap();
+        let mut w = WireWriter::new();
+        w.write_name(&a);
+        w.write_name(&a);
+        let bytes = w.into_bytes();
+        // Second occurrence is exactly one 2-octet pointer.
+        assert_eq!(bytes.len(), a.wire_len() + 2);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), a);
+        assert_eq!(r.read_name().unwrap(), a);
+    }
+
+    #[test]
+    fn pointer_loop_rejected() {
+        // A pointer at offset 0 pointing to itself.
+        let bytes = [0xC0, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.read_name(), Err(WireError::BadPointer(_))));
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Pointer to offset 4, beyond itself.
+        let bytes = [0xC0, 0x04, 0, 0, 1, b'a', 0];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.read_name(), Err(WireError::BadPointer(_))));
+    }
+
+    #[test]
+    fn mutual_pointer_loop_rejected() {
+        // name A at 0: pointer -> 2; name B at 2: pointer -> 0.
+        let bytes = [0xC0, 0x02, 0xC0, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert!(r.read_name().is_err());
+    }
+
+    #[test]
+    fn truncated_label_rejected() {
+        let bytes = [5, b'a', b'b']; // claims 5 octets, has 2
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.read_name(), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn reserved_label_bits_rejected() {
+        let bytes = [0x80, 0x01];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(r.read_name(), Err(WireError::BadLabelType(_))));
+    }
+
+    #[test]
+    fn root_name_roundtrip() {
+        let mut w = WireWriter::new();
+        w.write_name(&DnsName::root());
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0]);
+        let mut r = WireReader::new(&bytes);
+        assert!(r.read_name().unwrap().is_root());
+    }
+
+    #[test]
+    fn cursor_lands_after_pointer() {
+        let a: DnsName = "example.edu".parse().unwrap();
+        let mut w = WireWriter::new();
+        w.write_name(&a);
+        w.write_name(&a);
+        w.write_u16(0xBEEF);
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        r.read_name().unwrap();
+        r.read_name().unwrap();
+        assert_eq!(r.read_u16().unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn uncompressed_writer_never_points() {
+        let a: DnsName = "example.edu".parse().unwrap();
+        let mut w = WireWriter::new();
+        w.write_name(&a);
+        w.write_name_uncompressed(&a);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2 * a.wire_len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_name_roundtrip(labels in proptest::collection::vec("[a-z0-9-]{1,12}", 0..5)) {
+            let n = DnsName::from_labels(&labels).unwrap();
+            let mut w = WireWriter::new();
+            w.write_name(&n);
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            prop_assert_eq!(r.read_name().unwrap(), n);
+        }
+
+        #[test]
+        fn prop_many_names_roundtrip(names in proptest::collection::vec(
+            proptest::collection::vec("[a-z]{1,6}", 1..4), 1..6)) {
+            let parsed: Vec<DnsName> =
+                names.iter().map(|ls| DnsName::from_labels(ls).unwrap()).collect();
+            let mut w = WireWriter::new();
+            for n in &parsed {
+                w.write_name(n);
+            }
+            let bytes = w.into_bytes();
+            let mut r = WireReader::new(&bytes);
+            for n in &parsed {
+                prop_assert_eq!(&r.read_name().unwrap(), n);
+            }
+            prop_assert_eq!(r.remaining(), 0);
+        }
+
+        #[test]
+        fn prop_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let mut r = WireReader::new(&bytes);
+            let _ = r.read_name(); // must not panic or loop forever
+        }
+    }
+}

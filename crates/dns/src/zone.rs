@@ -1,0 +1,636 @@
+//! Authoritative zone data with dynamic-update semantics.
+//!
+//! The DHCP→DNS coupling studied by the paper manifests as runtime changes to
+//! reverse zones: PTR records appear when leases are allocated and disappear
+//! when leases are released or expire. [`Zone`] models one authoritative zone
+//! (typically `c.b.a.in-addr.arpa.` for a /24, or a broader reverse tree),
+//! [`ZoneSet`] routes queries to the closest enclosing zone, and
+//! [`ZoneStore`] wraps a `ZoneSet` for concurrent use by the simulator
+//! (writer) and the UDP server (reader).
+
+use crate::message::{RecordData, RecordType, ResourceRecord};
+use crate::name::DnsName;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Result of an authoritative lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Records found.
+    Answer(Vec<ResourceRecord>),
+    /// The name exists but has no records of the queried type.
+    NoData {
+        /// The zone's SOA, for the authority section.
+        soa: ResourceRecord,
+    },
+    /// The name does not exist in the zone.
+    NxDomain {
+        /// The zone's SOA, for the authority section.
+        soa: ResourceRecord,
+    },
+    /// No zone here is authoritative for the name.
+    NotAuthoritative,
+}
+
+/// One authoritative zone.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    apex: DnsName,
+    soa: ResourceRecord,
+    ns: Vec<ResourceRecord>,
+    /// Records by owner name, then by type.
+    records: BTreeMap<DnsName, Vec<ResourceRecord>>,
+    serial: u32,
+}
+
+impl Zone {
+    /// Create a zone with a default SOA.
+    pub fn new(apex: DnsName) -> Zone {
+        let mname: DnsName = "ns1.measurement.invalid"
+            .parse()
+            .expect("static name is valid");
+        let rname: DnsName = "hostmaster.measurement.invalid"
+            .parse()
+            .expect("static name is valid");
+        let serial = 1;
+        let soa = ResourceRecord::new(
+            apex.clone(),
+            3600,
+            RecordData::Soa {
+                mname: mname.clone(),
+                rname,
+                serial,
+                refresh: 7200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum: 300,
+            },
+        );
+        let ns = vec![ResourceRecord::new(apex.clone(), 3600, RecordData::Ns(mname))];
+        Zone {
+            apex,
+            soa,
+            ns,
+            records: BTreeMap::new(),
+            serial,
+        }
+    }
+
+    /// The zone apex name.
+    pub fn apex(&self) -> &DnsName {
+        &self.apex
+    }
+
+    /// Current SOA serial; increases with every mutation.
+    pub fn serial(&self) -> u32 {
+        self.serial
+    }
+
+    /// The SOA record (serial kept in sync).
+    pub fn soa(&self) -> &ResourceRecord {
+        &self.soa
+    }
+
+    /// Number of record owner names (excluding apex SOA/NS bookkeeping).
+    pub fn name_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Iterate all records (excluding apex SOA/NS).
+    pub fn iter_records(&self) -> impl Iterator<Item = &ResourceRecord> {
+        self.records.values().flatten()
+    }
+
+    fn bump_serial(&mut self) {
+        self.serial = self.serial.wrapping_add(1).max(1);
+        if let RecordData::Soa { serial, .. } = &mut self.soa.data {
+            *serial = self.serial;
+        }
+    }
+
+    /// Whether this zone is authoritative for `name`.
+    pub fn is_authoritative_for(&self, name: &DnsName) -> bool {
+        name.is_subdomain_of(&self.apex)
+    }
+
+    /// Add a record, replacing existing records of the same type on the same
+    /// owner name (last-writer-wins, matching dynamic-update semantics of
+    /// DHCP-driven IPAM systems).
+    pub fn upsert(&mut self, rr: ResourceRecord) {
+        debug_assert!(self.is_authoritative_for(&rr.name));
+        let rtype = rr.data.rtype();
+        let entry = self.records.entry(rr.name.clone()).or_default();
+        entry.retain(|existing| existing.data.rtype() != rtype);
+        entry.push(rr);
+        self.bump_serial();
+    }
+
+    /// Remove all records of `rtype` on `name`. Returns how many were removed.
+    pub fn remove(&mut self, name: &DnsName, rtype: RecordType) -> usize {
+        let mut removed = 0;
+        if let Some(entry) = self.records.get_mut(name) {
+            let before = entry.len();
+            entry.retain(|rr| rr.data.rtype() != rtype);
+            removed = before - entry.len();
+            if entry.is_empty() {
+                self.records.remove(name);
+            }
+        }
+        if removed > 0 {
+            self.bump_serial();
+        }
+        removed
+    }
+
+    /// Authoritative lookup inside this zone.
+    pub fn lookup(&self, qname: &DnsName, qtype: RecordType) -> LookupResult {
+        if !self.is_authoritative_for(qname) {
+            return LookupResult::NotAuthoritative;
+        }
+        if qname == &self.apex {
+            let mut out = Vec::new();
+            match qtype {
+                RecordType::SOA => out.push(self.soa.clone()),
+                RecordType::NS => out.extend(self.ns.iter().cloned()),
+                _ => {}
+            }
+            if out.is_empty() {
+                return LookupResult::NoData {
+                    soa: self.soa.clone(),
+                };
+            }
+            return LookupResult::Answer(out);
+        }
+        match self.records.get(qname) {
+            Some(rrs) => {
+                let matched: Vec<ResourceRecord> = rrs
+                    .iter()
+                    .filter(|rr| rr.data.rtype() == qtype)
+                    .cloned()
+                    .collect();
+                if matched.is_empty() {
+                    LookupResult::NoData {
+                        soa: self.soa.clone(),
+                    }
+                } else {
+                    LookupResult::Answer(matched)
+                }
+            }
+            None => LookupResult::NxDomain {
+                soa: self.soa.clone(),
+            },
+        }
+    }
+}
+
+/// A set of zones with longest-match routing.
+#[derive(Debug, Default, Clone)]
+pub struct ZoneSet {
+    /// Zones keyed by apex. BTreeMap for deterministic iteration.
+    zones: BTreeMap<DnsName, Zone>,
+}
+
+impl ZoneSet {
+    /// An empty set.
+    pub fn new() -> ZoneSet {
+        ZoneSet::default()
+    }
+
+    /// Insert (or replace) a zone.
+    pub fn insert(&mut self, zone: Zone) {
+        self.zones.insert(zone.apex().clone(), zone);
+    }
+
+    /// Number of zones.
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.zones.is_empty()
+    }
+
+    /// The zone with the longest apex that is an ancestor of `name`.
+    pub fn find_zone(&self, name: &DnsName) -> Option<&Zone> {
+        self.zones
+            .values()
+            .filter(|z| name.is_subdomain_of(z.apex()))
+            .max_by_key(|z| z.apex().label_count())
+    }
+
+    /// Mutable variant of [`ZoneSet::find_zone`].
+    pub fn find_zone_mut(&mut self, name: &DnsName) -> Option<&mut Zone> {
+        let apex = self.find_zone(name)?.apex().clone();
+        self.zones.get_mut(&apex)
+    }
+
+    /// Look up across zones.
+    pub fn lookup(&self, qname: &DnsName, qtype: RecordType) -> LookupResult {
+        match self.find_zone(qname) {
+            Some(zone) => zone.lookup(qname, qtype),
+            None => LookupResult::NotAuthoritative,
+        }
+    }
+
+    /// Iterate zones.
+    pub fn iter(&self) -> impl Iterator<Item = &Zone> {
+        self.zones.values()
+    }
+}
+
+/// Shared, concurrently-updatable zone data.
+///
+/// The simulator holds one of these and mutates PTR records as leases change;
+/// the UDP server answers queries from the same store. Cloning is cheap
+/// (reference-counted).
+#[derive(Debug, Clone, Default)]
+pub struct ZoneStore {
+    inner: Arc<RwLock<ZoneSet>>,
+}
+
+impl ZoneStore {
+    /// An empty store.
+    pub fn new() -> ZoneStore {
+        ZoneStore::default()
+    }
+
+    /// Add a zone.
+    pub fn add_zone(&self, zone: Zone) {
+        self.inner.write().insert(zone);
+    }
+
+    /// Ensure a reverse zone exists for the /24 containing `addr`.
+    pub fn ensure_reverse_zone(&self, addr: Ipv4Addr) {
+        let apex = DnsName::reverse_v4_zone24(addr.into());
+        self.ensure_zone(apex);
+    }
+
+    /// Ensure a zone with the given apex exists (used for forward zones
+    /// when the IPAM layer also maintains A records — §10 future work).
+    pub fn ensure_zone(&self, apex: DnsName) {
+        let mut set = self.inner.write();
+        if set.find_zone(&apex).map(|z| z.apex() == &apex) != Some(true) {
+            set.insert(Zone::new(apex));
+        }
+    }
+
+    /// Install or replace the A record for `name`.
+    pub fn set_a(&self, name: &DnsName, addr: Ipv4Addr, ttl: u32) -> bool {
+        let mut set = self.inner.write();
+        match set.find_zone_mut(name) {
+            Some(zone) => {
+                zone.upsert(ResourceRecord::new(
+                    name.clone(),
+                    ttl,
+                    RecordData::A(addr),
+                ));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove the A record for `name`. Returns whether one existed.
+    pub fn remove_a(&self, name: &DnsName) -> bool {
+        let mut set = self.inner.write();
+        match set.find_zone_mut(name) {
+            Some(zone) => zone.remove(name, RecordType::A) > 0,
+            None => false,
+        }
+    }
+
+    /// Direct A lookup (in-process fast path).
+    pub fn get_a(&self, name: &DnsName) -> Option<Ipv4Addr> {
+        let set = self.inner.read();
+        match set.lookup(name, RecordType::A) {
+            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
+                RecordData::A(a) => Some(a),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Install or replace the PTR record for `addr`.
+    pub fn set_ptr(&self, addr: Ipv4Addr, target: DnsName, ttl: u32) -> bool {
+        let name = DnsName::reverse_v4(addr);
+        let mut set = self.inner.write();
+        match set.find_zone_mut(&name) {
+            Some(zone) => {
+                zone.upsert(ResourceRecord::ptr(addr, target, ttl));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove the PTR record for `addr`. Returns whether one existed.
+    pub fn remove_ptr(&self, addr: Ipv4Addr) -> bool {
+        let name = DnsName::reverse_v4(addr);
+        let mut set = self.inner.write();
+        match set.find_zone_mut(&name) {
+            Some(zone) => zone.remove(&name, RecordType::PTR) > 0,
+            None => false,
+        }
+    }
+
+    /// Direct (in-process) PTR lookup: the fast path used by snapshotters.
+    pub fn get_ptr(&self, addr: Ipv4Addr) -> Option<DnsName> {
+        let name = DnsName::reverse_v4(addr);
+        let set = self.inner.read();
+        match set.lookup(&name, RecordType::PTR) {
+            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
+                RecordData::Ptr(t) => Some(t),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Install or replace the PTR record for an IPv6 address (the zone for
+    /// its `ip6.arpa` tree must exist; see [`ZoneStore::ensure_zone`]).
+    /// Targeted IPv6 measurement is the §8 escalation path.
+    pub fn set_ptr6(&self, addr: std::net::Ipv6Addr, target: DnsName, ttl: u32) -> bool {
+        let name = DnsName::reverse_v6(addr);
+        let mut set = self.inner.write();
+        match set.find_zone_mut(&name) {
+            Some(zone) => {
+                zone.upsert(ResourceRecord::new(name, ttl, RecordData::Ptr(target)));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Direct PTR lookup for an IPv6 address.
+    pub fn get_ptr6(&self, addr: std::net::Ipv6Addr) -> Option<DnsName> {
+        let name = DnsName::reverse_v6(addr);
+        let set = self.inner.read();
+        match set.lookup(&name, RecordType::PTR) {
+            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
+                RecordData::Ptr(t) => Some(t),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Remove the PTR record for an IPv6 address.
+    pub fn remove_ptr6(&self, addr: std::net::Ipv6Addr) -> bool {
+        let name = DnsName::reverse_v6(addr);
+        let mut set = self.inner.write();
+        match set.find_zone_mut(&name) {
+            Some(zone) => zone.remove(&name, RecordType::PTR) > 0,
+            None => false,
+        }
+    }
+
+    /// Full lookup with authoritative semantics (for the wire server).
+    pub fn lookup(&self, qname: &DnsName, qtype: RecordType) -> LookupResult {
+        self.inner.read().lookup(qname, qtype)
+    }
+
+    /// Total PTR record count across all zones (snapshot statistics).
+    pub fn ptr_count(&self) -> usize {
+        self.inner
+            .read()
+            .iter()
+            .flat_map(|z| z.iter_records())
+            .filter(|rr| rr.data.rtype() == RecordType::PTR)
+            .count()
+    }
+
+    /// Run `f` over every PTR record as `(addr, target)`.
+    pub fn for_each_ptr<F: FnMut(Ipv4Addr, &DnsName)>(&self, mut f: F) {
+        let set = self.inner.read();
+        for zone in set.iter() {
+            for rr in zone.iter_records() {
+                if let RecordData::Ptr(target) = &rr.data {
+                    if let Ok(addr) = rr.name.parse_reverse_v4() {
+                        f(addr, target);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zone_lookup_semantics() {
+        let apex: DnsName = "2.0.192.in-addr.arpa".parse().unwrap();
+        let mut zone = Zone::new(apex.clone());
+        let rec_name = DnsName::reverse_v4(addr("192.0.2.34"));
+        zone.upsert(ResourceRecord::ptr(
+            addr("192.0.2.34"),
+            "host.example.edu".parse().unwrap(),
+            300,
+        ));
+
+        // Existing name + type -> Answer.
+        match zone.lookup(&rec_name, RecordType::PTR) {
+            LookupResult::Answer(rrs) => assert_eq!(rrs.len(), 1),
+            other => panic!("expected answer, got {other:?}"),
+        }
+        // Existing name, absent type -> NoData with SOA.
+        assert!(matches!(
+            zone.lookup(&rec_name, RecordType::TXT),
+            LookupResult::NoData { .. }
+        ));
+        // Absent name -> NXDOMAIN with SOA.
+        let missing = DnsName::reverse_v4(addr("192.0.2.35"));
+        assert!(matches!(
+            zone.lookup(&missing, RecordType::PTR),
+            LookupResult::NxDomain { .. }
+        ));
+        // Outside zone -> NotAuthoritative.
+        let outside = DnsName::reverse_v4(addr("192.0.3.1"));
+        assert_eq!(
+            zone.lookup(&outside, RecordType::PTR),
+            LookupResult::NotAuthoritative
+        );
+    }
+
+    #[test]
+    fn apex_soa_and_ns() {
+        let apex: DnsName = "2.0.192.in-addr.arpa".parse().unwrap();
+        let zone = Zone::new(apex.clone());
+        assert!(matches!(
+            zone.lookup(&apex, RecordType::SOA),
+            LookupResult::Answer(_)
+        ));
+        assert!(matches!(
+            zone.lookup(&apex, RecordType::NS),
+            LookupResult::Answer(_)
+        ));
+        assert!(matches!(
+            zone.lookup(&apex, RecordType::A),
+            LookupResult::NoData { .. }
+        ));
+    }
+
+    #[test]
+    fn upsert_replaces_and_bumps_serial() {
+        let mut zone = Zone::new("2.0.192.in-addr.arpa".parse().unwrap());
+        let s0 = zone.serial();
+        zone.upsert(ResourceRecord::ptr(
+            addr("192.0.2.1"),
+            "a.example.org".parse().unwrap(),
+            300,
+        ));
+        let s1 = zone.serial();
+        assert!(s1 > s0);
+        zone.upsert(ResourceRecord::ptr(
+            addr("192.0.2.1"),
+            "b.example.org".parse().unwrap(),
+            300,
+        ));
+        assert!(zone.serial() > s1);
+        match zone.lookup(&DnsName::reverse_v4(addr("192.0.2.1")), RecordType::PTR) {
+            LookupResult::Answer(rrs) => {
+                assert_eq!(rrs.len(), 1);
+                assert!(matches!(&rrs[0].data, RecordData::Ptr(n) if n.to_string() == "b.example.org."));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remove_semantics() {
+        let mut zone = Zone::new("2.0.192.in-addr.arpa".parse().unwrap());
+        let name = DnsName::reverse_v4(addr("192.0.2.1"));
+        assert_eq!(zone.remove(&name, RecordType::PTR), 0);
+        zone.upsert(ResourceRecord::ptr(
+            addr("192.0.2.1"),
+            "a.example.org".parse().unwrap(),
+            300,
+        ));
+        assert_eq!(zone.remove(&name, RecordType::PTR), 1);
+        assert!(matches!(
+            zone.lookup(&name, RecordType::PTR),
+            LookupResult::NxDomain { .. }
+        ));
+        assert_eq!(zone.name_count(), 0);
+    }
+
+    #[test]
+    fn zoneset_longest_match() {
+        let mut set = ZoneSet::new();
+        set.insert(Zone::new("in-addr.arpa".parse().unwrap()));
+        set.insert(Zone::new("2.0.192.in-addr.arpa".parse().unwrap()));
+        let q = DnsName::reverse_v4(addr("192.0.2.1"));
+        let z = set.find_zone(&q).unwrap();
+        assert_eq!(z.apex().to_string(), "2.0.192.in-addr.arpa.");
+        let q2 = DnsName::reverse_v4(addr("10.0.0.1"));
+        let z2 = set.find_zone(&q2).unwrap();
+        assert_eq!(z2.apex().to_string(), "in-addr.arpa.");
+        let forward: DnsName = "www.example.com".parse().unwrap();
+        assert!(set.find_zone(&forward).is_none());
+        assert_eq!(
+            set.lookup(&forward, RecordType::A),
+            LookupResult::NotAuthoritative
+        );
+    }
+
+    #[test]
+    fn store_ptr_lifecycle() {
+        let store = ZoneStore::new();
+        let a = addr("192.0.2.34");
+        store.ensure_reverse_zone(a);
+        assert_eq!(store.get_ptr(a), None);
+        assert!(store.set_ptr(a, "brians-iphone.example.edu".parse().unwrap(), 300));
+        assert_eq!(
+            store.get_ptr(a).unwrap().to_string(),
+            "brians-iphone.example.edu."
+        );
+        assert_eq!(store.ptr_count(), 1);
+        assert!(store.remove_ptr(a));
+        assert!(!store.remove_ptr(a));
+        assert_eq!(store.get_ptr(a), None);
+        assert_eq!(store.ptr_count(), 0);
+    }
+
+    #[test]
+    fn store_rejects_unowned_space() {
+        let store = ZoneStore::new();
+        assert!(!store.set_ptr(addr("8.8.8.8"), "x.example".parse().unwrap(), 300));
+        assert!(!store.remove_ptr(addr("8.8.8.8")));
+    }
+
+    #[test]
+    fn store_for_each_ptr() {
+        let store = ZoneStore::new();
+        for i in 1..=5u8 {
+            let a = Ipv4Addr::new(192, 0, 2, i);
+            store.ensure_reverse_zone(a);
+            store.set_ptr(a, format!("h{i}.example.org").parse().unwrap(), 300);
+        }
+        let mut seen = Vec::new();
+        store.for_each_ptr(|ip, name| seen.push((ip, name.to_string())));
+        assert_eq!(seen.len(), 5);
+        assert!(seen.iter().any(|(ip, n)| *ip == addr("192.0.2.3") && n == "h3.example.org."));
+    }
+
+    #[test]
+    fn ipv6_ptr_lifecycle() {
+        let store = ZoneStore::new();
+        let addr: std::net::Ipv6Addr = "2001:db8::42".parse().unwrap();
+        // Delegate the documentation prefix's /32 reverse tree:
+        // 2001:db8::/32 → 8.b.d.0.1.0.0.2.ip6.arpa.
+        let apex: DnsName = "8.b.d.0.1.0.0.2.ip6.arpa".parse().unwrap();
+        store.ensure_zone(apex.clone());
+        // Sanity: the full reverse name sits under the apex.
+        assert!(DnsName::reverse_v6(addr).is_subdomain_of(&apex));
+        assert_eq!(store.get_ptr6(addr), None);
+        assert!(store.set_ptr6(addr, "brians-v6-laptop.example.edu".parse().unwrap(), 300));
+        assert_eq!(
+            store.get_ptr6(addr).unwrap().to_string(),
+            "brians-v6-laptop.example.edu."
+        );
+        assert!(store.remove_ptr6(addr));
+        assert!(!store.remove_ptr6(addr));
+        assert_eq!(store.get_ptr6(addr), None);
+        // Undelegated space is rejected.
+        let foreign: std::net::Ipv6Addr = "2001:db9::1".parse().unwrap();
+        assert!(!store.set_ptr6(foreign, "x.example".parse().unwrap(), 300));
+    }
+
+    #[test]
+    fn forward_zone_a_records() {
+        let store = ZoneStore::new();
+        store.ensure_zone("campus.example.edu".parse().unwrap());
+        let name: DnsName = "brians-iphone.campus.example.edu".parse().unwrap();
+        assert_eq!(store.get_a(&name), None);
+        assert!(store.set_a(&name, addr("10.0.0.5"), 300));
+        assert_eq!(store.get_a(&name), Some(addr("10.0.0.5")));
+        // Replace.
+        assert!(store.set_a(&name, addr("10.0.0.6"), 300));
+        assert_eq!(store.get_a(&name), Some(addr("10.0.0.6")));
+        assert!(store.remove_a(&name));
+        assert!(!store.remove_a(&name));
+        assert_eq!(store.get_a(&name), None);
+        // Out-of-bailiwick names rejected.
+        let foreign: DnsName = "x.elsewhere.org".parse().unwrap();
+        assert!(!store.set_a(&foreign, addr("10.0.0.1"), 300));
+    }
+
+    #[test]
+    fn ensure_reverse_zone_idempotent() {
+        let store = ZoneStore::new();
+        let a = addr("192.0.2.1");
+        store.ensure_reverse_zone(a);
+        store.set_ptr(a, "x.example.org".parse().unwrap(), 300);
+        store.ensure_reverse_zone(a); // must not wipe records
+        assert!(store.get_ptr(a).is_some());
+    }
+}

@@ -1,0 +1,58 @@
+//! # rdns-ipam
+//!
+//! The IP Address Management (IPAM) layer: the glue between DHCP and DNS
+//! whose default behaviour the paper identifies as the root of the privacy
+//! leak (§2.1, §8). Commercial IPAM products (Infoblox, Bluecat, EfficientIP,
+//! Men & Mice, SolarWinds) make it easy to update the global DNS on every
+//! lease event; this crate models that coupling with an explicit, auditable
+//! policy:
+//!
+//! * [`PtrPolicy::CarryOverHostName`] — the leaky default: the client's Host
+//!   Name option becomes the PTR target (`brians-iphone.resnet.example.edu`),
+//! * [`PtrPolicy::Hashed`] — the mitigation sketched in §8: a salted hash of
+//!   the client identity replaces the name; presence remains visible but the
+//!   identity does not,
+//! * [`PtrPolicy::FixedForm`] — static, IP-derived names for dynamic pools
+//!   (`host-10-1-2-3.dynamic.example.edu`), as the 83 validated campus
+//!   prefixes in §4.1: DHCP-dynamic but rDNS-static,
+//! * [`PtrPolicy::NoUpdate`] — no global-DNS updates at all.
+//!
+//! [`Ipam::apply`] consumes [`rdns_dhcp::LeaseEvent`]s and schedules
+//! [`DnsChange`]s; [`Ipam::flush`] commits due changes to the shared
+//! [`rdns_dns::ZoneStore`]. Every committed change lands in an audit trail.
+
+//! ## Example: the leak, end to end
+//!
+//! ```
+//! use rdns_dhcp::{acquire, ClientIdentity, DhcpServer, MacAddr, ServerConfig};
+//! use rdns_dns::ZoneStore;
+//! use rdns_ipam::{Ipam, IpamConfig};
+//! use rdns_model::{Date, SimTime};
+//! use std::net::Ipv4Addr;
+//!
+//! let store = ZoneStore::new();
+//! let mut dhcp = DhcpServer::new(
+//!     ServerConfig::new(Ipv4Addr::new(10, 0, 0, 1)),
+//!     (2..250u8).map(|i| Ipv4Addr::new(10, 0, 0, i)),
+//! );
+//! let mut ipam = Ipam::new(IpamConfig::carry_over("resnet.example.edu"), store.clone());
+//!
+//! // Brian's phone joins the network...
+//! let phone = ClientIdentity::standard(MacAddr::from_seed(1), "Brian's iPhone");
+//! let now = SimTime::from_date(Date::from_ymd(2021, 11, 1));
+//! let (addr, events) = acquire(&mut dhcp, &phone, 1, now).unwrap();
+//! for e in &events { ipam.apply(e); }
+//! ipam.flush(now);
+//!
+//! // ...and anyone on the Internet can now learn who owns it:
+//! assert_eq!(
+//!     store.get_ptr(addr).unwrap().to_string(),
+//!     "brians-iphone.resnet.example.edu."
+//! );
+//! ```
+
+mod naming;
+mod policy;
+
+pub use naming::{hashed_label, sanitize_label};
+pub use policy::{DnsChange, Ipam, IpamConfig, IpamStats, PtrPolicy};

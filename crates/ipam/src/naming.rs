@@ -1,0 +1,151 @@
+//! Hostname derivation: sanitizing client-provided names into DNS labels and
+//! building hashed replacement labels.
+
+use rdns_dhcp::MacAddr;
+
+/// Sanitize a client-provided device name into a single DNS label the way
+/// real DHCP/IPAM stacks do: lower-case, drop apostrophes (`Brian's iPhone`
+/// → `brians-iphone`), map every other non-alphanumeric run to a single
+/// hyphen, trim leading/trailing hyphens, cap at 63 octets.
+///
+/// Returns `None` when nothing survives (e.g. a name of only punctuation),
+/// in which case the IPAM layer publishes no PTR for the lease.
+pub fn sanitize_label(raw: &str) -> Option<String> {
+    let mut out = String::with_capacity(raw.len());
+    let mut pending_hyphen = false;
+    for ch in raw.chars() {
+        match ch {
+            '\'' | '\u{2019}' => {} // drop apostrophes entirely
+            c if c.is_ascii_alphanumeric() => {
+                if pending_hyphen && !out.is_empty() {
+                    out.push('-');
+                }
+                pending_hyphen = false;
+                out.push(c.to_ascii_lowercase());
+            }
+            _ => pending_hyphen = true,
+        }
+    }
+    let trimmed = out.trim_matches('-');
+    if trimmed.is_empty() {
+        return None;
+    }
+    let mut label = trimmed.to_string();
+    label.truncate(63);
+    let label = label.trim_end_matches('-').to_string();
+    if label.is_empty() {
+        None
+    } else {
+        Some(label)
+    }
+}
+
+/// A stable, salted, non-reversible label for a client identity — the §8
+/// "use some sort of hash" mitigation. FNV-1a over salt + MAC, rendered as
+/// `h-<12 hex digits>`.
+pub fn hashed_label(mac: MacAddr, salt: u64) -> String {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET;
+    for b in salt.to_be_bytes().iter().chain(mac.0.iter()) {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    format!("h-{:012x}", h & 0xFFFF_FFFF_FFFF)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn brians_iphone() {
+        assert_eq!(
+            sanitize_label("Brian's iPhone").as_deref(),
+            Some("brians-iphone")
+        );
+        assert_eq!(
+            sanitize_label("Brian\u{2019}s Galaxy Note9").as_deref(),
+            Some("brians-galaxy-note9")
+        );
+    }
+
+    #[test]
+    fn already_clean_names_pass_through() {
+        assert_eq!(sanitize_label("brians-mbp").as_deref(), Some("brians-mbp"));
+        assert_eq!(sanitize_label("DESKTOP-4J2K9").as_deref(), Some("desktop-4j2k9"));
+    }
+
+    #[test]
+    fn punctuation_runs_collapse() {
+        assert_eq!(sanitize_label("a .. b").as_deref(), Some("a-b"));
+        assert_eq!(sanitize_label("--edge--").as_deref(), Some("edge"));
+        assert_eq!(sanitize_label("__under__score__").as_deref(), Some("under-score"));
+    }
+
+    #[test]
+    fn empty_and_punct_only_rejected() {
+        assert_eq!(sanitize_label(""), None);
+        assert_eq!(sanitize_label("'''"), None);
+        assert_eq!(sanitize_label("!!! ???"), None);
+    }
+
+    #[test]
+    fn long_names_truncated_to_valid_label() {
+        let raw = "x".repeat(100);
+        let label = sanitize_label(&raw).unwrap();
+        assert_eq!(label.len(), 63);
+        // Truncation must not leave a trailing hyphen.
+        let tricky = format!("{}-{}", "a".repeat(62), "b".repeat(40));
+        let label = sanitize_label(&tricky).unwrap();
+        assert!(label.len() <= 63);
+        assert!(!label.ends_with('-'));
+    }
+
+    #[test]
+    fn hashed_label_is_stable_and_salted() {
+        let mac = MacAddr::from_seed(42);
+        let a = hashed_label(mac, 1);
+        let b = hashed_label(mac, 1);
+        let c = hashed_label(mac, 2);
+        let d = hashed_label(MacAddr::from_seed(43), 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert!(a.starts_with("h-"));
+        assert_eq!(a.len(), 2 + 12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sanitized_is_valid_label(raw in ".{0,80}") {
+            if let Some(label) = sanitize_label(&raw) {
+                prop_assert!(!label.is_empty());
+                prop_assert!(label.len() <= 63);
+                prop_assert!(!label.starts_with('-'));
+                prop_assert!(!label.ends_with('-'));
+                prop_assert!(label.chars().all(|c| c.is_ascii_lowercase()
+                    || c.is_ascii_digit()
+                    || c == '-'));
+            }
+        }
+
+        #[test]
+        fn prop_sanitize_idempotent(raw in "[a-zA-Z0-9 '_.-]{0,60}") {
+            if let Some(once) = sanitize_label(&raw) {
+                let twice = sanitize_label(&once);
+                prop_assert_eq!(twice.as_deref(), Some(once.as_str()));
+            }
+        }
+
+        #[test]
+        fn prop_hashed_label_valid(seed in any::<u64>(), salt in any::<u64>()) {
+            let label = hashed_label(MacAddr::from_seed(seed), salt);
+            prop_assert!(label.len() <= 63);
+            prop_assert!(label.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '-'));
+        }
+    }
+}

@@ -1,0 +1,625 @@
+//! The policy engine: lease events in, scheduled DNS changes out.
+
+use crate::naming::{hashed_label, sanitize_label};
+use rdns_dhcp::{LeaseEvent, MacAddr};
+use rdns_dns::{DnsName, ZoneStore};
+use rdns_model::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+/// How lease events translate into reverse-DNS state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PtrPolicy {
+    /// Publish the sanitized client Host Name under `suffix` and remove the
+    /// record when the lease ends — the configuration the paper observes in
+    /// the wild.
+    CarryOverHostName {
+        /// Zone suffix appended to the host label, e.g. `resnet.example.edu`.
+        suffix: String,
+    },
+    /// Publish a salted hash of the client identity instead of the name.
+    /// Presence dynamics remain observable; identity does not.
+    Hashed {
+        /// Zone suffix appended to the hash label.
+        suffix: String,
+        /// Hash salt; rotate to unlink longitudinal observations.
+        salt: u64,
+    },
+    /// Static IP-derived names (`host-a-b-c-d.dynamic.<suffix>`), provisioned
+    /// once and never changed by lease traffic.
+    FixedForm {
+        /// Zone suffix.
+        suffix: String,
+    },
+    /// Never touch the DNS.
+    NoUpdate,
+}
+
+/// A single reverse-DNS mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DnsChange {
+    /// Install/replace the PTR for `addr`.
+    AddPtr {
+        /// Address whose reverse name is updated.
+        addr: Ipv4Addr,
+        /// The PTR target.
+        target: DnsName,
+    },
+    /// Delete the PTR for `addr`.
+    RemovePtr {
+        /// Address whose reverse name is cleared.
+        addr: Ipv4Addr,
+    },
+}
+
+impl DnsChange {
+    /// The address the change concerns.
+    pub fn addr(&self) -> Ipv4Addr {
+        match self {
+            DnsChange::AddPtr { addr, .. } | DnsChange::RemovePtr { addr } => *addr,
+        }
+    }
+}
+
+/// IPAM configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpamConfig {
+    /// PTR derivation policy.
+    pub policy: PtrPolicy,
+    /// Whether the RFC 4702 `N` ("no server DNS updates") bit from the
+    /// client FQDN option is honoured. Paper §8 asks exactly this question
+    /// of real deployments.
+    pub honor_no_update_flag: bool,
+    /// Processing latency between a lease event and the DNS change landing.
+    pub update_delay: SimDuration,
+    /// TTL for published PTR records.
+    pub ttl: u32,
+    /// Also maintain the matching *forward* (A) records — the paper's §10
+    /// notes forward DNS can be dynamically updated by DHCP servers too and
+    /// deserves the same scrutiny.
+    pub maintain_forward: bool,
+}
+
+impl IpamConfig {
+    /// The leaky default: verbatim carry-over, no honouring of N, immediate
+    /// updates, 300 s TTL.
+    pub fn carry_over(suffix: impl Into<String>) -> IpamConfig {
+        IpamConfig {
+            policy: PtrPolicy::CarryOverHostName {
+                suffix: suffix.into(),
+            },
+            honor_no_update_flag: false,
+            update_delay: SimDuration::secs(0),
+            ttl: 300,
+            maintain_forward: false,
+        }
+    }
+}
+
+/// Counters of policy-engine activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpamStats {
+    /// PTR additions committed.
+    pub added: u64,
+    /// PTR removals committed.
+    pub removed: u64,
+    /// Lease events that produced no DNS change.
+    pub suppressed: u64,
+}
+
+/// An entry in the audit trail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// When the change was committed.
+    pub at: SimTime,
+    /// The committed change.
+    pub change: DnsChange,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    due: SimTime,
+    change: DnsChange,
+}
+
+/// The IPAM policy engine bound to a zone store.
+#[derive(Debug, Clone)]
+pub struct Ipam {
+    config: IpamConfig,
+    store: ZoneStore,
+    queue: VecDeque<Pending>,
+    stats: IpamStats,
+    audit: Vec<AuditEntry>,
+    audit_enabled: bool,
+}
+
+impl Ipam {
+    /// Create an engine writing to `store`.
+    pub fn new(config: IpamConfig, store: ZoneStore) -> Ipam {
+        Ipam {
+            config,
+            store,
+            queue: VecDeque::new(),
+            stats: IpamStats::default(),
+            audit: Vec::new(),
+            audit_enabled: false,
+        }
+    }
+
+    /// Keep an in-memory audit trail of committed changes (off by default;
+    /// long simulations would otherwise grow unboundedly).
+    pub fn enable_audit(&mut self) {
+        self.audit_enabled = true;
+    }
+
+    /// The audit trail (empty unless enabled).
+    pub fn audit(&self) -> &[AuditEntry] {
+        &self.audit
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> IpamStats {
+        self.stats
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> &IpamConfig {
+        &self.config
+    }
+
+    /// For [`PtrPolicy::FixedForm`]: provision static records for an entire
+    /// pool up front. Idempotent.
+    pub fn preprovision<I: IntoIterator<Item = Ipv4Addr>>(&mut self, addrs: I, now: SimTime) {
+        if let PtrPolicy::FixedForm { suffix } = &self.config.policy {
+            let suffix = suffix.clone();
+            for addr in addrs {
+                let target = fixed_form_name(addr, &suffix);
+                self.store.ensure_reverse_zone(addr);
+                self.commit(
+                    now,
+                    DnsChange::AddPtr {
+                        addr,
+                        target,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Translate a lease event into scheduled DNS changes.
+    pub fn apply(&mut self, event: &LeaseEvent) {
+        let (at, change) = match event {
+            LeaseEvent::Allocated {
+                lease,
+                client_fqdn,
+                at,
+            } => {
+                if self.config.honor_no_update_flag
+                    && client_fqdn.as_ref().is_some_and(|(n, _)| *n)
+                {
+                    self.stats.suppressed += 1;
+                    return;
+                }
+                match self.derive_target(lease.addr, lease.mac, lease.host_name.as_deref()) {
+                    Some(target) => (
+                        *at,
+                        DnsChange::AddPtr {
+                            addr: lease.addr,
+                            target,
+                        },
+                    ),
+                    None => {
+                        self.stats.suppressed += 1;
+                        return;
+                    }
+                }
+            }
+            LeaseEvent::Renewed { .. } => {
+                // Renewal keeps the binding; nothing to change.
+                self.stats.suppressed += 1;
+                return;
+            }
+            LeaseEvent::Released { lease, at } | LeaseEvent::Expired { lease, at } => {
+                match self.config.policy {
+                    PtrPolicy::CarryOverHostName { .. } | PtrPolicy::Hashed { .. } => {
+                        (*at, DnsChange::RemovePtr { addr: lease.addr })
+                    }
+                    PtrPolicy::FixedForm { .. } | PtrPolicy::NoUpdate => {
+                        self.stats.suppressed += 1;
+                        return;
+                    }
+                }
+            }
+        };
+        let due = at + self.config.update_delay;
+        self.queue.push_back(Pending { due, change });
+    }
+
+    /// Commit every scheduled change due at or before `now`. Returns the
+    /// changes committed in this call.
+    pub fn flush(&mut self, now: SimTime) -> Vec<DnsChange> {
+        let mut out = Vec::new();
+        // Queue is in insertion order; with a constant delay that is also
+        // due-time order.
+        while let Some(front) = self.queue.front() {
+            if front.due > now {
+                break;
+            }
+            let Pending { due, change } = self.queue.pop_front().expect("peeked non-empty");
+            self.commit(due, change.clone());
+            out.push(change);
+        }
+        out
+    }
+
+    /// Changes still scheduled.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn commit(&mut self, at: SimTime, change: DnsChange) {
+        match &change {
+            DnsChange::AddPtr { addr, target } => {
+                self.store.ensure_reverse_zone(*addr);
+                if self.config.maintain_forward {
+                    self.store.ensure_zone(target.parent());
+                    self.store.set_a(target, *addr, self.config.ttl);
+                }
+                self.store.set_ptr(*addr, target.clone(), self.config.ttl);
+                self.stats.added += 1;
+            }
+            DnsChange::RemovePtr { addr } => {
+                if self.config.maintain_forward {
+                    // The PTR still names the host; mirror its removal in
+                    // the forward tree before dropping it.
+                    if let Some(name) = self.store.get_ptr(*addr) {
+                        self.store.remove_a(&name);
+                    }
+                }
+                self.store.remove_ptr(*addr);
+                self.stats.removed += 1;
+            }
+        }
+        if self.audit_enabled {
+            self.audit.push(AuditEntry { at, change });
+        }
+    }
+
+    fn derive_target(
+        &self,
+        addr: Ipv4Addr,
+        mac: MacAddr,
+        host_name: Option<&str>,
+    ) -> Option<DnsName> {
+        match &self.config.policy {
+            PtrPolicy::CarryOverHostName { suffix } => {
+                let label = sanitize_label(host_name?)?;
+                DnsName::parse(&format!("{label}.{suffix}")).ok()
+            }
+            PtrPolicy::Hashed { suffix, salt } => {
+                let label = hashed_label(mac, *salt);
+                DnsName::parse(&format!("{label}.{suffix}")).ok()
+            }
+            PtrPolicy::FixedForm { suffix } => Some(fixed_form_name(addr, suffix)),
+            PtrPolicy::NoUpdate => None,
+        }
+    }
+}
+
+fn fixed_form_name(addr: Ipv4Addr, suffix: &str) -> DnsName {
+    let o = addr.octets();
+    DnsName::parse(&format!(
+        "host-{}-{}-{}-{}.dynamic.{suffix}",
+        o[0], o[1], o[2], o[3]
+    ))
+    .expect("fixed-form names are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_dhcp::{acquire, ClientIdentity, DhcpServer, ServerConfig};
+    use rdns_model::Date;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::from_ymd(2021, 11, 1))
+    }
+
+    fn setup(policy: PtrPolicy) -> (DhcpServer, Ipam, ZoneStore) {
+        let store = ZoneStore::new();
+        let config = IpamConfig {
+            policy,
+            honor_no_update_flag: false,
+            update_delay: SimDuration::secs(0),
+            ttl: 300,
+            maintain_forward: false,
+        };
+        let server = DhcpServer::new(
+            ServerConfig::new("10.0.0.1".parse().unwrap()),
+            (10..=20u8).map(|i| Ipv4Addr::new(10, 0, 0, i)),
+        );
+        (server, Ipam::new(config, store.clone()), store)
+    }
+
+    fn carry_over() -> PtrPolicy {
+        PtrPolicy::CarryOverHostName {
+            suffix: "resnet.example.edu".into(),
+        }
+    }
+
+    #[test]
+    fn allocation_publishes_ptr() {
+        let (mut server, mut ipam, store) = setup(carry_over());
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "Brian's iPhone");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        assert_eq!(
+            store.get_ptr(addr).unwrap().to_string(),
+            "brians-iphone.resnet.example.edu."
+        );
+        assert_eq!(ipam.stats().added, 1);
+    }
+
+    #[test]
+    fn release_removes_ptr() {
+        let (mut server, mut ipam, store) = setup(carry_over());
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "laptop");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        assert!(store.get_ptr(addr).is_some());
+
+        let leave = t0() + SimDuration::mins(42);
+        let rel = id.release(2, addr, "10.0.0.1".parse().unwrap());
+        let (_, events) = server.handle(&rel, leave);
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(leave);
+        assert!(store.get_ptr(addr).is_none());
+        assert_eq!(ipam.stats().removed, 1);
+    }
+
+    #[test]
+    fn expiry_removes_ptr() {
+        let (mut server, mut ipam, store) = setup(carry_over());
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "ghost-phone");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+
+        let when = t0() + SimDuration::hours(1);
+        for e in server.tick(when) {
+            ipam.apply(&e);
+        }
+        ipam.flush(when);
+        assert!(store.get_ptr(addr).is_none());
+    }
+
+    #[test]
+    fn update_delay_defers_commit() {
+        let store = ZoneStore::new();
+        let mut config = IpamConfig::carry_over("example.org");
+        config.update_delay = SimDuration::mins(2);
+        let mut ipam = Ipam::new(config, store.clone());
+        let mut server = DhcpServer::new(
+            ServerConfig::new("10.0.0.1".parse().unwrap()),
+            [Ipv4Addr::new(10, 0, 0, 10)],
+        );
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "slow");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        assert!(ipam.flush(t0()).is_empty());
+        assert_eq!(ipam.pending(), 1);
+        assert!(store.get_ptr(addr).is_none());
+        let committed = ipam.flush(t0() + SimDuration::mins(2));
+        assert_eq!(committed.len(), 1);
+        assert!(store.get_ptr(addr).is_some());
+    }
+
+    #[test]
+    fn hashed_policy_hides_identity_but_not_presence() {
+        let (mut server, mut ipam, store) = setup(PtrPolicy::Hashed {
+            suffix: "example.edu".into(),
+            salt: 99,
+        });
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "Brian's iPhone");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        let name = store.get_ptr(addr).unwrap().to_string();
+        assert!(!name.contains("brian"), "identity leaked: {name}");
+        assert!(name.starts_with("h-"));
+        // Presence dynamics still visible: removal on release.
+        let rel = id.release(2, addr, "10.0.0.1".parse().unwrap());
+        let leave = t0() + SimDuration::mins(5);
+        let (_, events) = server.handle(&rel, leave);
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(leave);
+        assert!(store.get_ptr(addr).is_none());
+    }
+
+    #[test]
+    fn fixed_form_is_static_through_churn() {
+        let (mut server, mut ipam, store) = setup(PtrPolicy::FixedForm {
+            suffix: "example.edu".into(),
+        });
+        let pool: Vec<Ipv4Addr> = (10..=20u8).map(|i| Ipv4Addr::new(10, 0, 0, i)).collect();
+        ipam.preprovision(pool.clone(), t0());
+        let before: Vec<_> = pool.iter().map(|a| store.get_ptr(*a)).collect();
+        assert!(before.iter().all(|p| p.is_some()));
+        assert_eq!(
+            store.get_ptr(pool[0]).unwrap().to_string(),
+            "host-10-0-0-10.dynamic.example.edu."
+        );
+
+        // Lease churn must not change any record.
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "Brian's iPhone");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        let rel = id.release(2, addr, "10.0.0.1".parse().unwrap());
+        let (_, events) = server.handle(&rel, t0() + SimDuration::mins(9));
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0() + SimDuration::hours(1));
+        let after: Vec<_> = pool.iter().map(|a| store.get_ptr(*a)).collect();
+        assert_eq!(before, after);
+        assert!(!store
+            .get_ptr(addr)
+            .unwrap()
+            .to_string()
+            .contains("brian"));
+    }
+
+    #[test]
+    fn no_update_policy_never_touches_dns() {
+        let (mut server, mut ipam, store) = setup(PtrPolicy::NoUpdate);
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "Brian's iPhone");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        assert!(store.get_ptr(addr).is_none());
+        assert_eq!(ipam.stats().added, 0);
+        assert_eq!(ipam.stats().suppressed, 1);
+    }
+
+    #[test]
+    fn honors_client_no_update_wish_when_configured() {
+        let store = ZoneStore::new();
+        let mut config = IpamConfig::carry_over("example.org");
+        config.honor_no_update_flag = true;
+        let mut ipam = Ipam::new(config, store.clone());
+        let mut server = DhcpServer::new(
+            ServerConfig::new("10.0.0.1".parse().unwrap()),
+            [Ipv4Addr::new(10, 0, 0, 10)],
+        );
+        let mut id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "quiet");
+        id.fqdn = Some(("quiet.example.org".into(), true));
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        assert!(store.get_ptr(addr).is_none());
+        assert_eq!(ipam.stats().suppressed, 1);
+    }
+
+    #[test]
+    fn anonymous_client_yields_no_record_under_carry_over() {
+        let (mut server, mut ipam, store) = setup(carry_over());
+        let id = ClientIdentity::anonymous(rdns_dhcp::MacAddr::from_seed(2));
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        assert!(store.get_ptr(addr).is_none(), "no Host Name → no PTR");
+    }
+
+    #[test]
+    fn renewals_do_not_churn_dns() {
+        let (mut server, mut ipam, _store) = setup(carry_over());
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "phone");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        let added_before = ipam.stats().added;
+        let renew = id.renew(2, addr);
+        let (_, events) = server.handle(&renew, t0() + SimDuration::mins(45));
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0() + SimDuration::mins(45));
+        assert_eq!(ipam.stats().added, added_before);
+    }
+
+    #[test]
+    fn forward_records_follow_the_lease_when_enabled() {
+        let store = ZoneStore::new();
+        let mut config = IpamConfig::carry_over("resnet.example.edu");
+        config.maintain_forward = true;
+        let mut ipam = Ipam::new(config, store.clone());
+        let mut server = DhcpServer::new(
+            ServerConfig::new("10.0.0.1".parse().unwrap()),
+            [Ipv4Addr::new(10, 0, 0, 10)],
+        );
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "Brian's iPhone");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        let fqdn: rdns_dns::DnsName = "brians-iphone.resnet.example.edu".parse().unwrap();
+        assert_eq!(store.get_a(&fqdn), Some(addr), "A record must mirror the PTR");
+
+        // Release: both directions disappear together.
+        let leave = t0() + SimDuration::mins(20);
+        let rel = id.release(2, addr, "10.0.0.1".parse().unwrap());
+        let (_, events) = server.handle(&rel, leave);
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(leave);
+        assert_eq!(store.get_a(&fqdn), None);
+        assert!(store.get_ptr(addr).is_none());
+    }
+
+    #[test]
+    fn forward_records_absent_by_default() {
+        let (mut server, mut ipam, store) = setup(carry_over());
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "Brian's iPhone");
+        let (_, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        let fqdn: rdns_dns::DnsName = "brians-iphone.resnet.example.edu".parse().unwrap();
+        assert_eq!(store.get_a(&fqdn), None);
+    }
+
+    #[test]
+    fn audit_trail_records_changes() {
+        let (mut server, mut ipam, _store) = setup(carry_over());
+        ipam.enable_audit();
+        let id = ClientIdentity::standard(rdns_dhcp::MacAddr::from_seed(1), "phone");
+        let (addr, events) = acquire(&mut server, &id, 1, t0()).unwrap();
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(t0());
+        let rel = id.release(2, addr, "10.0.0.1".parse().unwrap());
+        let leave = t0() + SimDuration::mins(10);
+        let (_, events) = server.handle(&rel, leave);
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(leave);
+        let audit = ipam.audit();
+        assert_eq!(audit.len(), 2);
+        assert!(matches!(audit[0].change, DnsChange::AddPtr { .. }));
+        assert!(matches!(audit[1].change, DnsChange::RemovePtr { .. }));
+        assert_eq!(audit[1].at, leave);
+        assert_eq!(audit[0].change.addr(), addr);
+    }
+}

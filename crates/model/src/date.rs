@@ -1,0 +1,413 @@
+//! Gregorian calendar arithmetic, implemented from first principles.
+//!
+//! The behavioural simulator needs weekdays, month lengths and movable
+//! holidays (Thanksgiving is "the fourth Thursday of November"); the analysis
+//! needs stable date keys for daily snapshots. We use Howard Hinnant's
+//! `days_from_civil` / `civil_from_days` algorithms, which are exact over the
+//! whole proleptic Gregorian calendar.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Day of the week. Discriminants follow ISO-8601 (`Monday = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Weekday {
+    Monday = 1,
+    Tuesday = 2,
+    Wednesday = 3,
+    Thursday = 4,
+    Friday = 5,
+    Saturday = 6,
+    Sunday = 7,
+}
+
+impl Weekday {
+    /// All weekdays in ISO order, Monday first.
+    pub const ALL: [Weekday; 7] = [
+        Weekday::Monday,
+        Weekday::Tuesday,
+        Weekday::Wednesday,
+        Weekday::Thursday,
+        Weekday::Friday,
+        Weekday::Saturday,
+        Weekday::Sunday,
+    ];
+
+    /// True for Saturday and Sunday.
+    pub fn is_weekend(&self) -> bool {
+        matches!(self, Weekday::Saturday | Weekday::Sunday)
+    }
+
+    /// Short English label (`Mon`, `Tue`, ...).
+    pub fn short(&self) -> &'static str {
+        match self {
+            Weekday::Monday => "Mon",
+            Weekday::Tuesday => "Tue",
+            Weekday::Wednesday => "Wed",
+            Weekday::Thursday => "Thu",
+            Weekday::Friday => "Fri",
+            Weekday::Saturday => "Sat",
+            Weekday::Sunday => "Sun",
+        }
+    }
+}
+
+/// Month of the year (`January = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Month {
+    January = 1,
+    February = 2,
+    March = 3,
+    April = 4,
+    May = 5,
+    June = 6,
+    July = 7,
+    August = 8,
+    September = 9,
+    October = 10,
+    November = 11,
+    December = 12,
+}
+
+impl Month {
+    /// Month from its 1-based number.
+    pub fn from_number(n: u8) -> Option<Month> {
+        use Month::*;
+        Some(match n {
+            1 => January,
+            2 => February,
+            3 => March,
+            4 => April,
+            5 => May,
+            6 => June,
+            7 => July,
+            8 => August,
+            9 => September,
+            10 => October,
+            11 => November,
+            12 => December,
+            _ => return None,
+        })
+    }
+
+    /// 1-based month number.
+    pub fn number(&self) -> u8 {
+        *self as u8
+    }
+}
+
+/// A Gregorian calendar date.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Date {
+    /// Days since the Unix epoch (1970-01-01); may be negative.
+    days: i64,
+}
+
+impl Date {
+    /// Construct from year, month (1-12) and day (1-31). Panics on invalid
+    /// combinations — use [`Date::try_from_ymd`] for fallible construction.
+    pub fn from_ymd(year: i32, month: u8, day: u8) -> Date {
+        Self::try_from_ymd(year, month, day)
+            .unwrap_or_else(|| panic!("invalid date {year:04}-{month:02}-{day:02}"))
+    }
+
+    /// Fallible construction from year/month/day.
+    pub fn try_from_ymd(year: i32, month: u8, day: u8) -> Option<Date> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date {
+            days: days_from_civil(year, month, day),
+        })
+    }
+
+    /// Construct from days since the Unix epoch.
+    pub fn from_epoch_days(days: i64) -> Date {
+        Date { days }
+    }
+
+    /// Days since the Unix epoch.
+    pub fn epoch_days(&self) -> i64 {
+        self.days
+    }
+
+    /// `(year, month, day)` components.
+    pub fn ymd(&self) -> (i32, u8, u8) {
+        civil_from_days(self.days)
+    }
+
+    /// The year.
+    pub fn year(&self) -> i32 {
+        self.ymd().0
+    }
+
+    /// 1-based month number.
+    pub fn month(&self) -> u8 {
+        self.ymd().1
+    }
+
+    /// Day of month.
+    pub fn day(&self) -> u8 {
+        self.ymd().2
+    }
+
+    /// Weekday of this date.
+    pub fn weekday(&self) -> Weekday {
+        // 1970-01-01 was a Thursday (ISO weekday 4).
+        let w = (self.days + 3).rem_euclid(7); // 0 = Monday
+        match w {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+
+    /// Date `n` days later (or earlier for negative `n`).
+    pub fn plus_days(&self, n: i64) -> Date {
+        Date { days: self.days + n }
+    }
+
+    /// Next calendar day.
+    pub fn succ(&self) -> Date {
+        self.plus_days(1)
+    }
+
+    /// Signed number of days from `other` to `self`.
+    pub fn days_since(&self, other: Date) -> i64 {
+        self.days - other.days
+    }
+
+    /// Iterate dates from `self` to `end` inclusive.
+    pub fn iter_to(self, end: Date) -> impl Iterator<Item = Date> {
+        (self.days..=end.days).map(Date::from_epoch_days)
+    }
+
+    /// The `n`-th (1-based) given weekday of a month, e.g. the 4th Thursday
+    /// of November (Thanksgiving).
+    pub fn nth_weekday_of_month(year: i32, month: u8, weekday: Weekday, n: u8) -> Option<Date> {
+        debug_assert!(n >= 1);
+        let first = Date::try_from_ymd(year, month, 1)?;
+        let first_w = first.weekday() as i64;
+        let target = weekday as i64;
+        let offset = (target - first_w).rem_euclid(7);
+        let day = 1 + offset + 7 * (n as i64 - 1);
+        Date::try_from_ymd(year, month, day as u8)
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// Errors produced when parsing a [`Date`] from `YYYY-MM-DD` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DateParseError(pub String);
+
+impl fmt::Display for DateParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed date literal: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for DateParseError {}
+
+impl FromStr for Date {
+    type Err = DateParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || DateParseError(s.to_string());
+        let mut it = s.split('-');
+        let y: i32 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let m: u8 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        let d: u8 = it.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+        if it.next().is_some() {
+            return Err(err());
+        }
+        Date::try_from_ymd(y, m, d).ok_or_else(err)
+    }
+}
+
+/// Whether `year` is a Gregorian leap year.
+pub fn is_leap_year(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+/// Number of days in the given month.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u8, d: u8) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let m = m as i64;
+    let d = d as i64;
+    let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date for days since 1970-01-01 (Hinnant's algorithm).
+fn civil_from_days(z: i64) -> (i32, u8, u8) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m as u8, d as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn epoch_is_thursday() {
+        let e = Date::from_ymd(1970, 1, 1);
+        assert_eq!(e.epoch_days(), 0);
+        assert_eq!(e.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_dates() {
+        // Paper landmarks.
+        assert_eq!(Date::from_ymd(2021, 11, 25).weekday(), Weekday::Thursday); // Thanksgiving '21
+        assert_eq!(Date::from_ymd(2020, 2, 17).weekday(), Weekday::Monday); // OpenINTEL start
+        assert_eq!(Date::from_ymd(2019, 10, 1).weekday(), Weekday::Tuesday); // Rapid7 start
+    }
+
+    #[test]
+    fn thanksgiving_rule() {
+        // Fourth Thursday of November.
+        assert_eq!(
+            Date::nth_weekday_of_month(2021, 11, Weekday::Thursday, 4).unwrap(),
+            Date::from_ymd(2021, 11, 25)
+        );
+        assert_eq!(
+            Date::nth_weekday_of_month(2020, 11, Weekday::Thursday, 4).unwrap(),
+            Date::from_ymd(2020, 11, 26)
+        );
+        assert_eq!(
+            Date::nth_weekday_of_month(2019, 11, Weekday::Thursday, 4).unwrap(),
+            Date::from_ymd(2019, 11, 28)
+        );
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(is_leap_year(2020));
+        assert!(!is_leap_year(2021));
+        assert!(is_leap_year(2000));
+        assert!(!is_leap_year(1900));
+        assert_eq!(days_in_month(2020, 2), 29);
+        assert_eq!(days_in_month(2021, 2), 28);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Date::try_from_ymd(2021, 2, 29).is_none());
+        assert!(Date::try_from_ymd(2021, 13, 1).is_none());
+        assert!(Date::try_from_ymd(2021, 0, 1).is_none());
+        assert!(Date::try_from_ymd(2021, 4, 31).is_none());
+        assert!(Date::try_from_ymd(2021, 4, 0).is_none());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let d: Date = "2021-11-25".parse().unwrap();
+        assert_eq!(d, Date::from_ymd(2021, 11, 25));
+        assert_eq!(d.to_string(), "2021-11-25");
+        assert!("2021-02-30".parse::<Date>().is_err());
+        assert!("2021-11".parse::<Date>().is_err());
+        assert!("hello".parse::<Date>().is_err());
+        assert!("2021-11-25-06".parse::<Date>().is_err());
+    }
+
+    #[test]
+    fn iteration_and_arithmetic() {
+        let start = Date::from_ymd(2021, 12, 30);
+        let end = Date::from_ymd(2022, 1, 2);
+        let days: Vec<String> = start.iter_to(end).map(|d| d.to_string()).collect();
+        assert_eq!(days, ["2021-12-30", "2021-12-31", "2022-01-01", "2022-01-02"]);
+        assert_eq!(end.days_since(start), 3);
+        assert_eq!(start.plus_days(3), end);
+        assert_eq!(start.succ(), Date::from_ymd(2021, 12, 31));
+    }
+
+    #[test]
+    fn weekend_detection() {
+        assert!(Date::from_ymd(2021, 11, 27).weekday().is_weekend()); // Saturday
+        assert!(Date::from_ymd(2021, 11, 28).weekday().is_weekend()); // Sunday
+        assert!(!Date::from_ymd(2021, 11, 26).weekday().is_weekend()); // Friday
+    }
+
+    #[test]
+    fn month_from_number() {
+        assert_eq!(Month::from_number(11), Some(Month::November));
+        assert_eq!(Month::from_number(0), None);
+        assert_eq!(Month::from_number(13), None);
+        assert_eq!(Month::November.number(), 11);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_days(days in -1_000_000i64..1_000_000) {
+            let d = Date::from_epoch_days(days);
+            let (y, m, dd) = d.ymd();
+            prop_assert_eq!(Date::from_ymd(y, m, dd).epoch_days(), days);
+        }
+
+        #[test]
+        fn prop_weekday_cycles(days in -100_000i64..100_000) {
+            let a = Date::from_epoch_days(days).weekday();
+            let b = Date::from_epoch_days(days + 7).weekday();
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn prop_succ_increases(days in -100_000i64..100_000) {
+            let d = Date::from_epoch_days(days);
+            prop_assert_eq!(d.succ().days_since(d), 1);
+            prop_assert!(d.succ() > d);
+        }
+
+        #[test]
+        fn prop_ymd_valid(days in -1_000_000i64..1_000_000) {
+            let (y, m, d) = Date::from_epoch_days(days).ymd();
+            prop_assert!((1..=12).contains(&m));
+            prop_assert!(d >= 1 && d <= days_in_month(y, m));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Normalized hostnames.
+//!
+//! A PTR record's RDATA is a domain name such as
+//! `brians-iphone.resnet.institute.edu.`. The leak-identification pipeline
+//! (§5.1) repeatedly needs the same decompositions: lower-cased label list,
+//! the host-specific leading label, and the registrable suffix ("TLD+1") used
+//! to index identified networks. [`Hostname`] caches the normalized text form
+//! and offers those views.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fully-qualified hostname, stored lower-case without the trailing dot.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Hostname(String);
+
+impl Hostname {
+    /// Normalize arbitrary text into a hostname: lower-case, strip trailing
+    /// dots. Empty input yields the DNS root, represented as `""`.
+    pub fn new(raw: &str) -> Hostname {
+        let trimmed = raw.trim_end_matches('.');
+        Hostname(trimmed.to_ascii_lowercase())
+    }
+
+    /// Build from labels, e.g. `["brians-iphone", "net", "example", "edu"]`.
+    pub fn from_labels<I, S>(labels: I) -> Hostname
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let joined = labels
+            .into_iter()
+            .map(|l| l.as_ref().to_ascii_lowercase())
+            .collect::<Vec<_>>()
+            .join(".");
+        Hostname(joined)
+    }
+
+    /// The normalized text form (no trailing dot).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The labels, left to right. The root name has no labels.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.').filter(|l| !l.is_empty())
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels().count()
+    }
+
+    /// The leftmost (host-specific) label, if any.
+    pub fn host_label(&self) -> Option<&str> {
+        self.labels().next()
+    }
+
+    /// The registrable suffix — the last `n` labels joined. `suffix(2)` is
+    /// the paper's "TLD+1" index key (e.g. `institute.edu`).
+    pub fn suffix(&self, n: usize) -> Option<String> {
+        let labels: Vec<&str> = self.labels().collect();
+        if labels.len() < n || n == 0 {
+            return None;
+        }
+        Some(labels[labels.len() - n..].join("."))
+    }
+
+    /// Convenience for `suffix(2)`.
+    pub fn tld_plus_one(&self) -> Option<String> {
+        self.suffix(2)
+    }
+
+    /// The last label (TLD), if any.
+    pub fn tld(&self) -> Option<&str> {
+        self.labels().last()
+    }
+
+    /// Whether this name ends with the given suffix on a label boundary.
+    /// `ends_with_suffix("institute.edu")` matches `a.institute.edu` and
+    /// `institute.edu` but not `badinstitute.edu`.
+    pub fn ends_with_suffix(&self, suffix: &str) -> bool {
+        let suffix = suffix.trim_end_matches('.').to_ascii_lowercase();
+        if suffix.is_empty() {
+            return true;
+        }
+        if self.0 == suffix {
+            return true;
+        }
+        self.0.ends_with(&suffix)
+            && self.0.as_bytes()[self.0.len() - suffix.len() - 1] == b'.'
+    }
+
+    /// Whether the name is syntactically valid per RFC 1035 length limits
+    /// (labels of 1..=63 octets, total presentation length <= 253).
+    pub fn is_valid_dns(&self) -> bool {
+        if self.0.is_empty() {
+            return true; // root
+        }
+        if self.0.len() > 253 {
+            return false;
+        }
+        self.0
+            .split('.')
+            .all(|l| !l.is_empty() && l.len() <= 63)
+    }
+}
+
+impl fmt::Debug for Hostname {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hostname({})", self.0)
+    }
+}
+
+impl fmt::Display for Hostname {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Hostname {
+    fn from(s: &str) -> Hostname {
+        Hostname::new(s)
+    }
+}
+
+impl From<String> for Hostname {
+    fn from(s: String) -> Hostname {
+        Hostname::new(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization() {
+        let h = Hostname::new("Brians-iPhone.ResNet.Institute.EDU.");
+        assert_eq!(h.as_str(), "brians-iphone.resnet.institute.edu");
+        assert_eq!(h, Hostname::new("brians-iphone.resnet.institute.edu"));
+    }
+
+    #[test]
+    fn labels_and_host_label() {
+        let h = Hostname::new("brians-iphone.resnet.institute.edu");
+        assert_eq!(
+            h.labels().collect::<Vec<_>>(),
+            vec!["brians-iphone", "resnet", "institute", "edu"]
+        );
+        assert_eq!(h.host_label(), Some("brians-iphone"));
+        assert_eq!(h.label_count(), 4);
+    }
+
+    #[test]
+    fn suffixes() {
+        let h = Hostname::new("client1.someisp.com");
+        assert_eq!(h.tld_plus_one().as_deref(), Some("someisp.com"));
+        assert_eq!(h.tld(), Some("com"));
+        assert_eq!(h.suffix(3).as_deref(), Some("client1.someisp.com"));
+        assert_eq!(h.suffix(4), None);
+        assert_eq!(h.suffix(0), None);
+    }
+
+    #[test]
+    fn ends_with_suffix_boundaries() {
+        let h = Hostname::new("a.institute.edu");
+        assert!(h.ends_with_suffix("institute.edu"));
+        assert!(h.ends_with_suffix("edu"));
+        assert!(h.ends_with_suffix("a.institute.edu"));
+        assert!(!h.ends_with_suffix("stitute.edu"));
+        assert!(!Hostname::new("badinstitute.edu").ends_with_suffix("institute.edu"));
+        assert!(h.ends_with_suffix("")); // root matches everything
+        assert!(h.ends_with_suffix("EDU.")); // case + trailing dot insensitive
+    }
+
+    #[test]
+    fn root_name() {
+        let r = Hostname::new(".");
+        assert_eq!(r.as_str(), "");
+        assert_eq!(r.label_count(), 0);
+        assert_eq!(r.host_label(), None);
+        assert!(r.is_valid_dns());
+    }
+
+    #[test]
+    fn from_labels_roundtrip() {
+        let h = Hostname::from_labels(["Brians-MBP", "example", "ORG"]);
+        assert_eq!(h.as_str(), "brians-mbp.example.org");
+    }
+
+    #[test]
+    fn validity_limits() {
+        assert!(Hostname::new("a.b.c").is_valid_dns());
+        let long_label = "x".repeat(64);
+        assert!(!Hostname::new(&format!("{long_label}.com")).is_valid_dns());
+        let ok_label = "x".repeat(63);
+        assert!(Hostname::new(&format!("{ok_label}.com")).is_valid_dns());
+        let too_long = vec!["abcdefgh"; 32].join("."); // 8*32+31 = 287 > 253
+        assert!(!Hostname::new(&too_long).is_valid_dns());
+        assert!(!Hostname::new("a..b").is_valid_dns());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_new_idempotent(s in "[A-Za-z0-9.-]{0,40}") {
+            let once = Hostname::new(&s);
+            let twice = Hostname::new(once.as_str());
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn prop_suffix_is_suffix(labels in proptest::collection::vec("[a-z0-9]{1,8}", 1..5), n in 1usize..5) {
+            let h = Hostname::from_labels(&labels);
+            if let Some(sfx) = h.suffix(n) {
+                prop_assert!(h.ends_with_suffix(&sfx));
+            }
+        }
+    }
+}

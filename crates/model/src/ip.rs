@@ -1,0 +1,324 @@
+//! IPv4 prefix arithmetic.
+//!
+//! The paper's dynamicity heuristic (§4.1) operates on `/24` blocks and maps
+//! them back to the most-specific announced covering prefix (§4.2, Fig. 1).
+//! [`Slash24`] and [`Ipv4Net`] provide exactly those two granularities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// A `/24` IPv4 block, identified by its 24 network bits.
+///
+/// Stored as the network address shifted right by 8 bits so the whole space
+/// fits in a `u32` with the top byte zero; ordering follows address order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Slash24(u32);
+
+impl Slash24 {
+    /// Block containing `addr`.
+    pub fn containing(addr: Ipv4Addr) -> Self {
+        Slash24(u32::from(addr) >> 8)
+    }
+
+    /// Construct from the three leading octets.
+    pub fn from_octets(a: u8, b: u8, c: u8) -> Self {
+        Slash24(((a as u32) << 16) | ((b as u32) << 8) | c as u32)
+    }
+
+    /// The network address (`x.y.z.0`).
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.0 << 8)
+    }
+
+    /// The host with the given final octet.
+    pub fn host(&self, last_octet: u8) -> Ipv4Addr {
+        Ipv4Addr::from((self.0 << 8) | last_octet as u32)
+    }
+
+    /// Iterate all 256 addresses in the block.
+    pub fn addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        let base = self.0 << 8;
+        (0u32..256).map(move |i| Ipv4Addr::from(base | i))
+    }
+
+    /// Raw 24-bit key (useful as a dense map key).
+    pub fn key(&self) -> u32 {
+        self.0
+    }
+}
+
+impl From<Ipv4Addr> for Slash24 {
+    fn from(a: Ipv4Addr) -> Self {
+        Slash24::containing(a)
+    }
+}
+
+impl fmt::Debug for Slash24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/24", self.network())
+    }
+}
+
+impl fmt::Display for Slash24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/24", self.network())
+    }
+}
+
+/// Errors produced when parsing or constructing [`Ipv4Net`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Prefix length above 32.
+    BadLength(u8),
+    /// Text did not parse as `a.b.c.d/len`.
+    BadSyntax(String),
+    /// Host bits were set in the network address.
+    HostBitsSet(Ipv4Addr, u8),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadLength(l) => write!(f, "prefix length {l} exceeds 32"),
+            NetError::BadSyntax(s) => write!(f, "malformed CIDR literal: {s:?}"),
+            NetError::HostBitsSet(a, l) => write!(f, "{a} has host bits set for /{l}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// An IPv4 CIDR prefix (`network/len`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Ipv4Net {
+    network: u32,
+    len: u8,
+}
+
+impl Ipv4Net {
+    /// Create a prefix, normalizing (zeroing) host bits.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self, NetError> {
+        if len > 32 {
+            return Err(NetError::BadLength(len));
+        }
+        let mask = Self::mask_for(len);
+        Ok(Ipv4Net {
+            network: u32::from(addr) & mask,
+            len,
+        })
+    }
+
+    /// Create a prefix, rejecting addresses with host bits set.
+    pub fn new_strict(addr: Ipv4Addr, len: u8) -> Result<Self, NetError> {
+        let net = Self::new(addr, len)?;
+        if net.network != u32::from(addr) {
+            return Err(NetError::HostBitsSet(addr, len));
+        }
+        Ok(net)
+    }
+
+    fn mask_for(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len as u32)
+        }
+    }
+
+    /// The network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network)
+    }
+
+    /// Prefix length in bits (`/len` in CIDR notation — not a container
+    /// length, hence no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Number of addresses covered (saturating at `u32::MAX` for `/0`).
+    pub fn size(&self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.len as u32)
+        }
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_for(self.len) == self.network
+    }
+
+    /// Whether `other` is fully covered by this prefix.
+    pub fn covers(&self, other: &Ipv4Net) -> bool {
+        self.len <= other.len && self.contains(other.network())
+    }
+
+    /// Number of `/24` blocks this prefix contains (1 for `/24`..`/32`).
+    pub fn slash24_count(&self) -> u32 {
+        if self.len >= 24 {
+            1
+        } else {
+            1u32 << (24 - self.len as u32)
+        }
+    }
+
+    /// Iterate the `/24` blocks covered by this prefix.
+    pub fn slash24s(&self) -> impl Iterator<Item = Slash24> + '_ {
+        let first = self.network >> 8;
+        let n = self.slash24_count();
+        (0..n).map(move |i| Slash24(first + i))
+    }
+
+    /// Iterate every address in the prefix. Use only for small prefixes.
+    pub fn addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        let first = self.network;
+        let n = self.size() as u64;
+        (0..n).map(move |i| Ipv4Addr::from(first.wrapping_add(i as u32)))
+    }
+}
+
+impl fmt::Debug for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl FromStr for Ipv4Net {
+    type Err = NetError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| NetError::BadSyntax(s.to_string()))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| NetError::BadSyntax(s.to_string()))?;
+        let len: u8 = len.parse().map_err(|_| NetError::BadSyntax(s.to_string()))?;
+        Ipv4Net::new_strict(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn slash24_roundtrip() {
+        let a: Ipv4Addr = "192.0.2.57".parse().unwrap();
+        let b = Slash24::containing(a);
+        assert_eq!(b.network(), "192.0.2.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(b.host(57), a);
+        assert_eq!(b.addrs().count(), 256);
+    }
+
+    #[test]
+    fn slash24_from_octets_matches_containing() {
+        assert_eq!(
+            Slash24::from_octets(10, 1, 2),
+            Slash24::containing("10.1.2.200".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn net_parse_display_roundtrip() {
+        for s in ["10.0.0.0/8", "192.0.2.0/24", "130.89.0.0/16", "0.0.0.0/0"] {
+            let n: Ipv4Net = s.parse().unwrap();
+            assert_eq!(n.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn net_strict_rejects_host_bits() {
+        assert!("10.0.0.1/8".parse::<Ipv4Net>().is_err());
+        assert!(Ipv4Net::new_strict("10.0.0.1".parse().unwrap(), 8).is_err());
+        // Non-strict normalizes instead.
+        let n = Ipv4Net::new("10.0.0.1".parse().unwrap(), 8).unwrap();
+        assert_eq!(n.network(), "10.0.0.0".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn net_rejects_bad_len() {
+        assert!(Ipv4Net::new("10.0.0.0".parse().unwrap(), 33).is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Net>().is_err());
+        assert!("10.0.0.0".parse::<Ipv4Net>().is_err());
+        assert!("banana/8".parse::<Ipv4Net>().is_err());
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let n: Ipv4Net = "130.89.0.0/16".parse().unwrap();
+        assert!(n.contains("130.89.12.1".parse().unwrap()));
+        assert!(!n.contains("130.90.0.1".parse().unwrap()));
+        let sub: Ipv4Net = "130.89.12.0/24".parse().unwrap();
+        assert!(n.covers(&sub));
+        assert!(!sub.covers(&n));
+        assert!(n.covers(&n));
+    }
+
+    #[test]
+    fn slash24_enumeration() {
+        let n: Ipv4Net = "192.0.2.0/23".parse().unwrap();
+        let blocks: Vec<_> = n.slash24s().collect();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].network(), "192.0.2.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(blocks[1].network(), "192.0.3.0".parse::<Ipv4Addr>().unwrap());
+        let single: Ipv4Net = "192.0.2.128/25".parse().unwrap();
+        assert_eq!(single.slash24_count(), 1);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!("10.0.0.0/24".parse::<Ipv4Net>().unwrap().size(), 256);
+        assert_eq!("10.0.0.0/16".parse::<Ipv4Net>().unwrap().size(), 65536);
+        assert_eq!("10.0.0.0/32".parse::<Ipv4Net>().unwrap().size(), 1);
+    }
+
+    #[test]
+    fn zero_len_prefix_contains_everything() {
+        let n: Ipv4Net = "0.0.0.0/0".parse().unwrap();
+        assert!(n.contains("255.255.255.255".parse().unwrap()));
+        assert!(n.contains("0.0.0.0".parse().unwrap()));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_slash24_contains_its_hosts(a in any::<u32>(), o in any::<u8>()) {
+            let block = Slash24::containing(Ipv4Addr::from(a));
+            let host = block.host(o);
+            prop_assert_eq!(Slash24::containing(host), block);
+        }
+
+        #[test]
+        fn prop_net_contains_network_addr(a in any::<u32>(), len in 0u8..=32) {
+            let n = Ipv4Net::new(Ipv4Addr::from(a), len).unwrap();
+            prop_assert!(n.contains(n.network()));
+        }
+
+        #[test]
+        fn prop_slash24s_covered(a in any::<u32>(), len in 8u8..=24) {
+            let n = Ipv4Net::new(Ipv4Addr::from(a), len).unwrap();
+            for b in n.slash24s().take(64) {
+                prop_assert!(n.contains(b.network()));
+            }
+        }
+
+        #[test]
+        fn prop_parse_roundtrip(a in any::<u32>(), len in 0u8..=32) {
+            let n = Ipv4Net::new(Ipv4Addr::from(a), len).unwrap();
+            let re: Ipv4Net = n.to_string().parse().unwrap();
+            prop_assert_eq!(n, re);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # rdns-model
+//!
+//! Shared substrate types for the `rdns-privacy` workspace, the Rust
+//! reproduction of *"Saving Brian's Privacy: the Perils of Privacy Exposure
+//! through Reverse DNS"* (IMC 2022).
+//!
+//! This crate intentionally has no I/O and no heavyweight dependencies. It
+//! provides the vocabulary every other crate speaks:
+//!
+//! * [`ip`] — IPv4 prefixes, `/24` blocks and address iteration,
+//! * [`time`] — simulation timestamps with civil-calendar conversions
+//!   (implemented from first principles; no `chrono`),
+//! * [`date`] — Gregorian dates, weekdays and US/Dutch holiday rules used by
+//!   the behavioural simulator,
+//! * [`hostname`] — normalized hostnames with label and suffix helpers,
+//! * [`ids`] — strongly-typed identifiers for persons, devices, networks and
+//!   measurement groups.
+
+pub mod date;
+pub mod hostname;
+pub mod ids;
+pub mod ip;
+pub mod time;
+
+pub use date::{Date, Month, Weekday};
+pub use hostname::Hostname;
+pub use ids::{DeviceId, GroupId, NetworkId, PersonId};
+pub use ip::{Ipv4Net, Slash24};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,264 @@
+//! Simulation time.
+//!
+//! Everything in the workspace is driven by a virtual clock: [`SimTime`] is
+//! seconds since the Unix epoch in the *simulated* world (local time of the
+//! observed networks, matching how the paper presents times). The paper's
+//! supplemental-measurement pipeline truncates timestamps to 5-minute bins
+//! before merging ICMP and rDNS data points (§6.1); [`SimTime::truncate`]
+//! implements that.
+
+use crate::date::Date;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in a minute.
+pub const MINUTE: u64 = 60;
+/// Seconds in an hour.
+pub const HOUR: u64 = 3_600;
+/// Seconds in a day.
+pub const DAY: u64 = 86_400;
+/// Seconds in a week.
+pub const WEEK: u64 = 7 * DAY;
+
+/// A duration on the simulation clock, in whole seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Duration of `n` seconds.
+    pub const fn secs(n: u64) -> Self {
+        SimDuration(n)
+    }
+
+    /// Duration of `n` minutes.
+    pub const fn mins(n: u64) -> Self {
+        SimDuration(n * MINUTE)
+    }
+
+    /// Duration of `n` hours.
+    pub const fn hours(n: u64) -> Self {
+        SimDuration(n * HOUR)
+    }
+
+    /// Duration of `n` days.
+    pub const fn days(n: u64) -> Self {
+        SimDuration(n * DAY)
+    }
+
+    /// Total seconds.
+    pub const fn as_secs(&self) -> u64 {
+        self.0
+    }
+
+    /// Total whole minutes (floor).
+    pub const fn as_mins(&self) -> u64 {
+        self.0 / MINUTE
+    }
+
+    /// Minutes as a float, for histograms/CDFs.
+    pub fn as_mins_f64(&self) -> f64 {
+        self.0 as f64 / MINUTE as f64
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (h, rem) = (self.0 / HOUR, self.0 % HOUR);
+        let (m, s) = (rem / MINUTE, rem % MINUTE);
+        write!(f, "{h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+/// An instant on the simulation clock: seconds since the Unix epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub i64);
+
+impl SimTime {
+    /// Midnight at the start of `date`.
+    pub fn from_date(date: Date) -> SimTime {
+        SimTime(date.epoch_days() * DAY as i64)
+    }
+
+    /// A specific wall-clock moment on `date`.
+    pub fn from_date_hms(date: Date, h: u8, m: u8, s: u8) -> SimTime {
+        debug_assert!(h < 24 && m < 60 && s < 60);
+        SimTime::from_date(date) + SimDuration(h as u64 * HOUR + m as u64 * MINUTE + s as u64)
+    }
+
+    /// Raw seconds since the epoch.
+    pub const fn as_secs(&self) -> i64 {
+        self.0
+    }
+
+    /// Calendar date containing this instant.
+    pub fn date(&self) -> Date {
+        Date::from_epoch_days(self.0.div_euclid(DAY as i64))
+    }
+
+    /// Seconds elapsed since the most recent midnight.
+    pub fn seconds_of_day(&self) -> u64 {
+        self.0.rem_euclid(DAY as i64) as u64
+    }
+
+    /// Hour of day, `0..24`.
+    pub fn hour(&self) -> u8 {
+        (self.seconds_of_day() / HOUR) as u8
+    }
+
+    /// Minute within the hour, `0..60`.
+    pub fn minute(&self) -> u8 {
+        ((self.seconds_of_day() % HOUR) / MINUTE) as u8
+    }
+
+    /// Truncate down to a multiple of `bin` seconds (e.g. 300 for the paper's
+    /// 5-minute merge bins).
+    pub fn truncate(&self, bin: u64) -> SimTime {
+        debug_assert!(bin > 0);
+        SimTime(self.0.div_euclid(bin as i64) * bin as i64)
+    }
+
+    /// Elapsed duration since `earlier`; `None` if `earlier` is in the future.
+    pub fn since(&self, earlier: SimTime) -> Option<SimDuration> {
+        if self.0 >= earlier.0 {
+            Some(SimDuration((self.0 - earlier.0) as u64))
+        } else {
+            None
+        }
+    }
+
+    /// Saturating elapsed duration since `earlier` (zero when negative).
+    pub fn since_sat(&self, earlier: SimTime) -> SimDuration {
+        self.since(earlier).unwrap_or(SimDuration(0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sod = self.seconds_of_day();
+        write!(
+            f,
+            "{} {:02}:{:02}:{:02}",
+            self.date(),
+            sod / HOUR,
+            (sod % HOUR) / MINUTE,
+            sod % MINUTE
+        )
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0 as i64)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0 as i64;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0 as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_components() {
+        let d = Date::from_ymd(2021, 11, 25);
+        let t = SimTime::from_date_hms(d, 13, 45, 10);
+        assert_eq!(t.date(), d);
+        assert_eq!(t.hour(), 13);
+        assert_eq!(t.minute(), 45);
+        assert_eq!(t.to_string(), "2021-11-25 13:45:10");
+    }
+
+    #[test]
+    fn truncate_five_minutes() {
+        let d = Date::from_ymd(2021, 11, 1);
+        let t = SimTime::from_date_hms(d, 9, 7, 31);
+        assert_eq!(t.truncate(300), SimTime::from_date_hms(d, 9, 5, 0));
+        // Already aligned stays put.
+        let a = SimTime::from_date_hms(d, 9, 5, 0);
+        assert_eq!(a.truncate(300), a);
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(SimDuration::hours(2).as_mins(), 120);
+        assert_eq!(SimDuration::days(1).as_secs(), 86_400);
+        assert_eq!(SimDuration::mins(90).to_string(), "01:30:00");
+        assert_eq!((SimDuration::mins(1) + SimDuration::secs(30)).as_secs(), 90);
+        assert!((SimDuration::secs(90).as_mins_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_ordering() {
+        let d = Date::from_ymd(2021, 11, 1);
+        let a = SimTime::from_date_hms(d, 9, 0, 0);
+        let b = SimTime::from_date_hms(d, 10, 30, 0);
+        assert_eq!(b.since(a), Some(SimDuration::mins(90)));
+        assert_eq!(a.since(b), None);
+        assert_eq!(a.since_sat(b), SimDuration(0));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let d = Date::from_ymd(2021, 11, 1);
+        let t = SimTime::from_date_hms(d, 23, 30, 0);
+        let t2 = t + SimDuration::hours(1);
+        assert_eq!(t2.date(), Date::from_ymd(2021, 11, 2));
+        assert_eq!(t2.hour(), 0);
+        assert_eq!(t2 - SimDuration::hours(1), t);
+        let mut m = t;
+        m += SimDuration::mins(15);
+        assert_eq!(m.minute(), 45);
+    }
+
+    #[test]
+    fn negative_times_before_epoch() {
+        let t = SimTime(-1); // 1969-12-31 23:59:59
+        assert_eq!(t.date(), Date::from_ymd(1969, 12, 31));
+        assert_eq!(t.hour(), 23);
+        assert_eq!(t.truncate(300).seconds_of_day(), 23 * HOUR + 55 * MINUTE);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_truncate_idempotent(secs in -10_000_000_000i64..10_000_000_000i64, bin in 1u64..100_000) {
+            let t = SimTime(secs).truncate(bin);
+            prop_assert_eq!(t.truncate(bin), t);
+            prop_assert!(t.0 <= secs);
+            prop_assert!(secs - t.0 < bin as i64);
+        }
+
+        #[test]
+        fn prop_date_hms_roundtrip(days in -100_000i64..100_000, h in 0u8..24, m in 0u8..60, s in 0u8..60) {
+            let d = Date::from_epoch_days(days);
+            let t = SimTime::from_date_hms(d, h, m, s);
+            prop_assert_eq!(t.date(), d);
+            prop_assert_eq!(t.hour(), h);
+            prop_assert_eq!(t.minute(), m);
+        }
+    }
+}

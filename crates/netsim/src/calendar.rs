@@ -1,0 +1,219 @@
+//! Holiday calendars.
+//!
+//! The case studies hinge on calendar structure: Thanksgiving empties a US
+//! campus (Fig. 8), Christmas breaks dent every network (Figs. 9–10), Dutch
+//! fall break and Carnaval dent Academic-C (Fig. 10). Carnaval floats with
+//! Easter, so we implement the computus.
+
+use rdns_model::{Date, Weekday};
+use serde::{Deserialize, Serialize};
+
+/// Which holiday tradition a network follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HolidayCalendar {
+    /// US academic calendar: Thanksgiving + Black Friday weekend, winter
+    /// break, spring break (mid March), summer slack.
+    UnitedStates,
+    /// Dutch academic calendar: autumn break (late October), Christmas
+    /// break, Carnaval (southern NL), summer slack.
+    Netherlands,
+    /// No holidays (e.g. ISP home networks — people are home *more* during
+    /// holidays).
+    None,
+}
+
+impl HolidayCalendar {
+    /// Whether `date` falls on an institutional holiday: a day on which the
+    /// site population is sharply reduced.
+    pub fn is_holiday(&self, date: Date) -> bool {
+        match self {
+            HolidayCalendar::UnitedStates => us_holiday(date),
+            HolidayCalendar::Netherlands => nl_holiday(date),
+            HolidayCalendar::None => false,
+        }
+    }
+
+    /// A presence multiplier in `[0, 1]`: 1.0 on ordinary days, reduced on
+    /// holidays (some people still show up).
+    pub fn presence_factor(&self, date: Date) -> f64 {
+        if self.is_holiday(date) {
+            0.15
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Thanksgiving: fourth Thursday of November.
+pub fn thanksgiving(year: i32) -> Date {
+    Date::nth_weekday_of_month(year, 11, Weekday::Thursday, 4)
+        .expect("November always has four Thursdays")
+}
+
+/// Black Friday: the day after Thanksgiving.
+pub fn black_friday(year: i32) -> Date {
+    thanksgiving(year).plus_days(1)
+}
+
+/// Cyber Monday: the Monday after Thanksgiving — when a Brian buys a Galaxy
+/// Note 9 (§7.1).
+pub fn cyber_monday(year: i32) -> Date {
+    thanksgiving(year).plus_days(4)
+}
+
+/// Western Easter Sunday via the Anonymous Gregorian computus.
+pub fn easter(year: i32) -> Date {
+    let a = year % 19;
+    let b = year / 100;
+    let c = year % 100;
+    let d = b / 4;
+    let e = b % 4;
+    let f = (b + 8) / 25;
+    let g = (b - f + 1) / 3;
+    let h = (19 * a + b - d - g + 15) % 30;
+    let i = c / 4;
+    let k = c % 4;
+    let l = (32 + 2 * e + 2 * i - h - k) % 7;
+    let m = (a + 11 * h + 22 * l) / 451;
+    let month = (h + l - 7 * m + 114) / 31;
+    let day = ((h + l - 7 * m + 114) % 31) + 1;
+    Date::from_ymd(year, month as u8, day as u8)
+}
+
+/// Carnaval Sunday: 49 days before Easter. Celebrations run Sunday–Tuesday.
+pub fn carnaval_sunday(year: i32) -> Date {
+    easter(year).plus_days(-49)
+}
+
+fn us_holiday(date: Date) -> bool {
+    let (y, m, d) = date.ymd();
+    // Thanksgiving through the following Sunday.
+    let tg = thanksgiving(y);
+    let off = date.days_since(tg);
+    if (0..=3).contains(&off) {
+        return true;
+    }
+    // Winter break: Dec 20 – Jan 3.
+    if (m == 12 && d >= 20) || (m == 1 && d <= 3) {
+        return true;
+    }
+    // Spring break: the full week containing March 15.
+    let anchor = Date::from_ymd(y, 3, 15);
+    let week_start = anchor.plus_days(-((anchor.weekday() as i64) - 1));
+    if (0..7).contains(&date.days_since(week_start)) {
+        return true;
+    }
+    // Independence Day.
+    m == 7 && d == 4
+}
+
+fn nl_holiday(date: Date) -> bool {
+    let (y, m, d) = date.ymd();
+    // Christmas break: Dec 24 – Jan 2.
+    if (m == 12 && d >= 24) || (m == 1 && d <= 2) {
+        return true;
+    }
+    // Autumn break: the full week containing October 20.
+    let anchor = Date::from_ymd(y, 10, 20);
+    let week_start = anchor.plus_days(-((anchor.weekday() as i64) - 1));
+    if (0..7).contains(&date.days_since(week_start)) {
+        return true;
+    }
+    // Carnaval: Sunday through Tuesday.
+    let cs = carnaval_sunday(y);
+    let off = date.days_since(cs);
+    (0..=2).contains(&off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thanksgiving_dates() {
+        assert_eq!(thanksgiving(2021), Date::from_ymd(2021, 11, 25));
+        assert_eq!(thanksgiving(2020), Date::from_ymd(2020, 11, 26));
+        assert_eq!(black_friday(2021), Date::from_ymd(2021, 11, 26));
+        assert_eq!(cyber_monday(2021), Date::from_ymd(2021, 11, 29));
+        assert_eq!(cyber_monday(2021).weekday(), Weekday::Monday);
+    }
+
+    #[test]
+    fn easter_dates_known_values() {
+        assert_eq!(easter(2020), Date::from_ymd(2020, 4, 12));
+        assert_eq!(easter(2021), Date::from_ymd(2021, 4, 4));
+        assert_eq!(easter(2022), Date::from_ymd(2022, 4, 17));
+        assert_eq!(easter(2019), Date::from_ymd(2019, 4, 21));
+    }
+
+    #[test]
+    fn carnaval_2020_late_february() {
+        // The drop the paper attributes to Carnaval, end of February 2020.
+        let cs = carnaval_sunday(2020);
+        assert_eq!(cs, Date::from_ymd(2020, 2, 23));
+        assert!(nl_holiday(Date::from_ymd(2020, 2, 24)));
+        assert!(nl_holiday(Date::from_ymd(2020, 2, 25)));
+        assert!(!nl_holiday(Date::from_ymd(2020, 2, 26)));
+    }
+
+    #[test]
+    fn us_calendar_matches_fig8_shading() {
+        let cal = HolidayCalendar::UnitedStates;
+        assert!(cal.is_holiday(Date::from_ymd(2021, 11, 25))); // Thanksgiving
+        assert!(cal.is_holiday(Date::from_ymd(2021, 11, 26))); // Black Friday
+        assert!(cal.is_holiday(Date::from_ymd(2021, 11, 28))); // Sunday after
+        assert!(!cal.is_holiday(Date::from_ymd(2021, 11, 29))); // Cyber Monday: back on campus
+        assert!(!cal.is_holiday(Date::from_ymd(2021, 11, 24))); // Wednesday before
+        assert!(cal.is_holiday(Date::from_ymd(2021, 12, 25)));
+        assert!(cal.is_holiday(Date::from_ymd(2022, 1, 1)));
+        assert!(!cal.is_holiday(Date::from_ymd(2021, 11, 1)));
+    }
+
+    #[test]
+    fn nl_calendar_breaks() {
+        let cal = HolidayCalendar::Netherlands;
+        assert!(cal.is_holiday(Date::from_ymd(2020, 12, 25)));
+        assert!(cal.is_holiday(Date::from_ymd(2021, 1, 1)));
+        // Autumn break 2020: week containing Oct 20 (Tue) => Oct 19-25.
+        assert!(cal.is_holiday(Date::from_ymd(2020, 10, 19)));
+        assert!(cal.is_holiday(Date::from_ymd(2020, 10, 25)));
+        assert!(!cal.is_holiday(Date::from_ymd(2020, 10, 26)));
+        assert!(!cal.is_holiday(Date::from_ymd(2020, 11, 4)));
+    }
+
+    #[test]
+    fn none_calendar_never_holidays() {
+        let cal = HolidayCalendar::None;
+        assert!(!cal.is_holiday(Date::from_ymd(2021, 12, 25)));
+        assert_eq!(cal.presence_factor(Date::from_ymd(2021, 12, 25)), 1.0);
+    }
+
+    #[test]
+    fn presence_factor_drops_on_holidays() {
+        let cal = HolidayCalendar::UnitedStates;
+        assert!(cal.presence_factor(thanksgiving(2021)) < 0.5);
+        assert_eq!(cal.presence_factor(Date::from_ymd(2021, 11, 1)), 1.0);
+    }
+
+    #[test]
+    fn easter_always_march_or_april() {
+        for year in 1990..2100 {
+            let e = easter(year);
+            let (_, m, _) = e.ymd();
+            assert!(m == 3 || m == 4, "easter({year}) = {e}");
+            assert_eq!(e.weekday(), Weekday::Sunday);
+        }
+    }
+
+    #[test]
+    fn spring_break_is_one_full_week() {
+        let cal = HolidayCalendar::UnitedStates;
+        let days: Vec<Date> = Date::from_ymd(2021, 3, 1)
+            .iter_to(Date::from_ymd(2021, 3, 31))
+            .filter(|d| cal.is_holiday(*d))
+            .collect();
+        assert_eq!(days.len(), 7);
+        assert_eq!(days[0].weekday(), Weekday::Monday);
+        assert_eq!(days[6].weekday(), Weekday::Sunday);
+    }
+}

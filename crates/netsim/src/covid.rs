@@ -1,0 +1,177 @@
+//! COVID-19 occupancy timelines.
+//!
+//! Fig. 9 and Fig. 10 show how lockdown measures reshaped daily PTR counts:
+//! sharp drops when campuses reported moderate/high risk, recoveries when
+//! restrictions loosened, and a March-2020 crossover between educational
+//! buildings and on-campus housing. [`OccupancyTimeline`] is a step function
+//! `Date → multiplier` applied on top of schedules and holidays; presets
+//! mirror the narratives in §7.2.
+
+use rdns_model::Date;
+use serde::{Deserialize, Serialize};
+
+/// A step function over dates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OccupancyTimeline {
+    /// `(effective_from, multiplier)` steps, sorted by date. The multiplier
+    /// before the first step is 1.0.
+    steps: Vec<(Date, f64)>,
+}
+
+impl Default for OccupancyTimeline {
+    fn default() -> Self {
+        OccupancyTimeline::flat()
+    }
+}
+
+impl OccupancyTimeline {
+    /// Always 1.0.
+    pub fn flat() -> OccupancyTimeline {
+        OccupancyTimeline { steps: Vec::new() }
+    }
+
+    /// Build from explicit steps (sorted internally).
+    pub fn from_steps(mut steps: Vec<(Date, f64)>) -> OccupancyTimeline {
+        steps.sort_by_key(|(d, _)| *d);
+        OccupancyTimeline { steps }
+    }
+
+    /// The multiplier in effect on `date`.
+    pub fn factor(&self, date: Date) -> f64 {
+        let mut f = 1.0;
+        for (from, mult) in &self.steps {
+            if *from <= date {
+                f = *mult;
+            } else {
+                break;
+            }
+        }
+        f
+    }
+
+    /// US campus educational/enterprise-style timeline (Academic-A flavour):
+    /// first-wave collapse March 2020, partial fall-2020 reopening with
+    /// risk-level oscillations, near-normal from fall 2021.
+    pub fn us_campus() -> OccupancyTimeline {
+        OccupancyTimeline::from_steps(vec![
+            (Date::from_ymd(2020, 3, 12), 0.35),
+            (Date::from_ymd(2020, 6, 1), 0.45),
+            (Date::from_ymd(2020, 8, 24), 0.75), // fall semester, hybrid
+            (Date::from_ymd(2020, 11, 20), 0.55), // high-risk report
+            (Date::from_ymd(2021, 1, 25), 0.70),
+            (Date::from_ymd(2021, 4, 5), 0.60),  // moderate-risk report
+            (Date::from_ymd(2021, 5, 17), 0.80),
+            (Date::from_ymd(2021, 8, 23), 0.95), // fall '21: ~normal
+        ])
+    }
+
+    /// Academic-B flavour: deep first dip, recovery to ~95% and full
+    /// recovery by September 2021 (§7.2).
+    pub fn academic_b() -> OccupancyTimeline {
+        OccupancyTimeline::from_steps(vec![
+            (Date::from_ymd(2020, 3, 16), 0.40),
+            (Date::from_ymd(2020, 9, 1), 0.82),
+            (Date::from_ymd(2021, 2, 1), 0.95),
+            (Date::from_ymd(2021, 9, 1), 1.0),
+        ])
+    }
+
+    /// Dutch campus *educational buildings* (Academic-C, Fig. 10): employees
+    /// sent home mid-March 2020, long plateau, slow recovery.
+    pub fn nl_education_buildings() -> OccupancyTimeline {
+        OccupancyTimeline::from_steps(vec![
+            (Date::from_ymd(2020, 3, 16), 0.45),
+            (Date::from_ymd(2020, 9, 1), 0.60),
+            (Date::from_ymd(2020, 12, 15), 0.50), // winter lockdown
+            (Date::from_ymd(2021, 6, 5), 0.70),
+            (Date::from_ymd(2021, 9, 6), 0.85),
+        ])
+    }
+
+    /// Dutch campus *student housing* (Fig. 10): students study from their
+    /// rooms — occupancy rises above baseline during lockdown (the
+    /// crossover), then normalizes.
+    pub fn nl_student_housing() -> OccupancyTimeline {
+        OccupancyTimeline::from_steps(vec![
+            (Date::from_ymd(2020, 3, 16), 1.25),
+            (Date::from_ymd(2020, 9, 1), 1.10),
+            (Date::from_ymd(2021, 9, 6), 1.0),
+        ])
+    }
+
+    /// Enterprise campuses B/C (Fig. 9): pronounced decrease March–April
+    /// 2021, Enterprise-B partially recovering around May 2021.
+    pub fn enterprise_late_lockdown(recovers: bool) -> OccupancyTimeline {
+        let mut steps = vec![
+            (Date::from_ymd(2020, 3, 16), 0.80), // some early WFH
+            (Date::from_ymd(2021, 3, 8), 0.60),
+            (Date::from_ymd(2021, 4, 5), 0.55),
+        ];
+        if recovers {
+            steps.push((Date::from_ymd(2021, 5, 10), 0.78));
+        }
+        OccupancyTimeline::from_steps(steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_is_one_everywhere() {
+        let t = OccupancyTimeline::flat();
+        assert_eq!(t.factor(Date::from_ymd(2020, 3, 20)), 1.0);
+        assert_eq!(t.factor(Date::from_ymd(2021, 12, 31)), 1.0);
+    }
+
+    #[test]
+    fn step_function_semantics() {
+        let t = OccupancyTimeline::from_steps(vec![
+            (Date::from_ymd(2020, 3, 12), 0.4),
+            (Date::from_ymd(2020, 9, 1), 0.8),
+        ]);
+        assert_eq!(t.factor(Date::from_ymd(2020, 3, 11)), 1.0);
+        assert_eq!(t.factor(Date::from_ymd(2020, 3, 12)), 0.4);
+        assert_eq!(t.factor(Date::from_ymd(2020, 8, 31)), 0.4);
+        assert_eq!(t.factor(Date::from_ymd(2020, 9, 1)), 0.8);
+        assert_eq!(t.factor(Date::from_ymd(2021, 9, 1)), 0.8);
+    }
+
+    #[test]
+    fn unsorted_steps_are_sorted() {
+        let t = OccupancyTimeline::from_steps(vec![
+            (Date::from_ymd(2021, 1, 1), 0.5),
+            (Date::from_ymd(2020, 1, 1), 0.9),
+        ]);
+        assert_eq!(t.factor(Date::from_ymd(2020, 6, 1)), 0.9);
+        assert_eq!(t.factor(Date::from_ymd(2021, 6, 1)), 0.5);
+    }
+
+    #[test]
+    fn crossover_exists_for_nl_campus() {
+        // The defining feature of Fig. 10: housing above education during
+        // the first lockdown, not before.
+        let edu = OccupancyTimeline::nl_education_buildings();
+        let housing = OccupancyTimeline::nl_student_housing();
+        let before = Date::from_ymd(2020, 2, 1);
+        let during = Date::from_ymd(2020, 4, 15);
+        assert!(edu.factor(before) >= housing.factor(before) - f64::EPSILON);
+        assert!(housing.factor(during) > edu.factor(during));
+    }
+
+    #[test]
+    fn enterprise_drop_is_in_spring_2021() {
+        let t = OccupancyTimeline::enterprise_late_lockdown(false);
+        assert!(t.factor(Date::from_ymd(2021, 2, 1)) > t.factor(Date::from_ymd(2021, 4, 15)));
+        let rec = OccupancyTimeline::enterprise_late_lockdown(true);
+        assert!(rec.factor(Date::from_ymd(2021, 6, 1)) > rec.factor(Date::from_ymd(2021, 4, 15)));
+    }
+
+    #[test]
+    fn us_campus_recovers_by_fall_2021() {
+        let t = OccupancyTimeline::us_campus();
+        assert!(t.factor(Date::from_ymd(2021, 10, 1)) > 0.9);
+        assert!(t.factor(Date::from_ymd(2020, 4, 1)) < 0.5);
+    }
+}

@@ -1,0 +1,486 @@
+//! Persons and their devices.
+//!
+//! Device names are generated the way real operating systems name devices:
+//! iOS derives `Brian's iPhone` from the owner's name, Windows generates
+//! `DESKTOP-4J2K9QF`, stock Android uses `android-<hex>`. This mix is what
+//! makes the paper's Fig. 2 (given names) and Fig. 3 (device terms) look the
+//! way they do — many, but not all, hostnames carry the owner's identity.
+
+use crate::schedule::{DailyPlan, WeeklySchedule};
+use rand::Rng;
+use rdns_dhcp::{AnonymityMode, ClientIdentity, MacAddr};
+use rdns_model::{Date, DeviceId, PersonId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Kinds of client devices, with realistic default naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// Apple iPhone — `Brian's iPhone`.
+    Iphone,
+    /// Apple iPad — `Brian's iPad`.
+    Ipad,
+    /// MacBook Air — `Brians-Air` / `Brian's MacBook Air`.
+    MacbookAir,
+    /// MacBook Pro — `Brians-MBP` / `Brian's MacBook Pro`.
+    MacbookPro,
+    /// Samsung Galaxy — `Brian's Galaxy Note9`.
+    GalaxyNote,
+    /// Stock Android — `android-3fa29c01` (no owner name).
+    AndroidPhone,
+    /// Dell laptop — `Brian-Dell` / `DELL-XPS13-4F2A`.
+    DellLaptop,
+    /// Lenovo laptop — `LENOVO-8A31` / `brians-lenovo`.
+    LenovoLaptop,
+    /// Chromebook — `brians-chromebook` / `chromebook-2b61`.
+    Chromebook,
+    /// Roku streaming box — `roku-5c11`, always on.
+    Roku,
+    /// Windows desktop — `DESKTOP-4J2K9QF` (no owner name), often always on.
+    WindowsDesktop,
+    /// A generically named laptop — `brians-laptop`.
+    GenericLaptop,
+    /// A generically named phone — `brians-phone`.
+    GenericPhone,
+}
+
+/// How a device participates in its owner's presence session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionStyle {
+    /// On the network for the whole session (phones).
+    Full,
+    /// Only part of the session, capped (laptops opened for a few hours).
+    Sub {
+        /// Maximum connected stretch in minutes.
+        max_minutes: u32,
+    },
+    /// Permanently connected regardless of the owner (desktops, Roku).
+    AlwaysOn,
+}
+
+impl DeviceKind {
+    /// All kinds, for enumeration in tests and generators.
+    pub const ALL: [DeviceKind; 13] = [
+        DeviceKind::Iphone,
+        DeviceKind::Ipad,
+        DeviceKind::MacbookAir,
+        DeviceKind::MacbookPro,
+        DeviceKind::GalaxyNote,
+        DeviceKind::AndroidPhone,
+        DeviceKind::DellLaptop,
+        DeviceKind::LenovoLaptop,
+        DeviceKind::Chromebook,
+        DeviceKind::Roku,
+        DeviceKind::WindowsDesktop,
+        DeviceKind::GenericLaptop,
+        DeviceKind::GenericPhone,
+    ];
+
+    /// The device-term keyword this kind contributes to Fig. 3, if its name
+    /// carries one.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            DeviceKind::Iphone => "iphone",
+            DeviceKind::Ipad => "ipad",
+            DeviceKind::MacbookAir => "air",
+            DeviceKind::MacbookPro => "mbp",
+            DeviceKind::GalaxyNote => "galaxy",
+            DeviceKind::AndroidPhone => "android",
+            DeviceKind::DellLaptop => "dell",
+            DeviceKind::LenovoLaptop => "lenovo",
+            DeviceKind::Chromebook => "chrome",
+            DeviceKind::Roku => "roku",
+            DeviceKind::WindowsDesktop => "desktop",
+            DeviceKind::GenericLaptop => "laptop",
+            DeviceKind::GenericPhone => "phone",
+        }
+    }
+
+    /// Whether this kind's default name embeds the owner's given name.
+    pub fn name_carries_owner(&self) -> bool {
+        !matches!(
+            self,
+            DeviceKind::AndroidPhone | DeviceKind::Roku | DeviceKind::WindowsDesktop
+        )
+    }
+
+    /// Session behaviour.
+    pub fn session_style(&self) -> SessionStyle {
+        match self {
+            DeviceKind::Iphone
+            | DeviceKind::GalaxyNote
+            | DeviceKind::AndroidPhone
+            | DeviceKind::GenericPhone => SessionStyle::Full,
+            DeviceKind::Ipad => SessionStyle::Sub { max_minutes: 240 },
+            DeviceKind::MacbookAir
+            | DeviceKind::MacbookPro
+            | DeviceKind::DellLaptop
+            | DeviceKind::LenovoLaptop
+            | DeviceKind::Chromebook
+            | DeviceKind::GenericLaptop => SessionStyle::Sub { max_minutes: 300 },
+            DeviceKind::Roku | DeviceKind::WindowsDesktop => SessionStyle::AlwaysOn,
+        }
+    }
+
+    /// The OS-default device name for `owner` (capitalized given name).
+    pub fn device_name<R: Rng + ?Sized>(&self, owner: &str, rng: &mut R) -> String {
+        let cap = capitalize(owner);
+        match self {
+            DeviceKind::Iphone => format!("{cap}'s iPhone"),
+            DeviceKind::Ipad => format!("{cap}'s iPad"),
+            DeviceKind::MacbookAir => {
+                if rng.gen_bool(0.5) {
+                    format!("{cap}s-Air")
+                } else {
+                    format!("{cap}'s MacBook Air")
+                }
+            }
+            DeviceKind::MacbookPro => {
+                if rng.gen_bool(0.5) {
+                    format!("{cap}s-MBP")
+                } else {
+                    format!("{cap}'s MacBook Pro")
+                }
+            }
+            DeviceKind::GalaxyNote => {
+                // Model variety, like the wild. `Note9` is reserved for the
+                // Fig. 8 case-study seed (pinned by the world builder) so
+                // the Cyber-Monday narrative stays identifiable.
+                let model = ["S10", "S21", "A52", "S9"][rng.gen_range(0..4)];
+                format!("{cap}'s Galaxy {model}")
+            }
+            DeviceKind::AndroidPhone => format!("android-{:08x}", rng.gen::<u32>()),
+            DeviceKind::DellLaptop => {
+                if rng.gen_bool(0.5) {
+                    format!("{cap}-Dell")
+                } else {
+                    format!("DELL-XPS13-{:04X}", rng.gen::<u16>())
+                }
+            }
+            DeviceKind::LenovoLaptop => {
+                if rng.gen_bool(0.5) {
+                    format!("{cap}s-lenovo")
+                } else {
+                    format!("LENOVO-{:04X}", rng.gen::<u16>())
+                }
+            }
+            DeviceKind::Chromebook => {
+                if rng.gen_bool(0.5) {
+                    format!("{cap}s-chromebook")
+                } else {
+                    format!("chromebook-{:04x}", rng.gen::<u16>())
+                }
+            }
+            DeviceKind::Roku => format!("roku-{:04x}", rng.gen::<u16>()),
+            DeviceKind::WindowsDesktop => format!("DESKTOP-{:07X}", rng.gen::<u32>() & 0xFFFFFFF),
+            DeviceKind::GenericLaptop => format!("{}s-laptop", owner.to_ascii_lowercase()),
+            DeviceKind::GenericPhone => format!("{}s-phone", owner.to_ascii_lowercase()),
+        }
+    }
+}
+
+fn capitalize(name: &str) -> String {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(first) => first.to_ascii_uppercase().to_string() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Broad behavioural class of a person.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PersonKind {
+    /// On-campus student: lecture-hour presence (education buildings) or
+    /// overnight presence (housing), decided by the subnet they live on.
+    Student,
+    /// Office worker: weekday office hours.
+    Employee,
+    /// Residential ISP subscriber: evenings and weekends.
+    Resident,
+}
+
+impl PersonKind {
+    /// The default weekly schedule for a person of this kind on a subnet
+    /// with the given housing flag.
+    pub fn schedule(&self, housing: bool) -> WeeklySchedule {
+        match (self, housing) {
+            (PersonKind::Student, true) => WeeklySchedule::student_housing(),
+            (PersonKind::Student, false) => WeeklySchedule::student_lectures(),
+            (PersonKind::Employee, _) => WeeklySchedule::employee(),
+            (PersonKind::Resident, _) => WeeklySchedule::resident_evenings(),
+        }
+    }
+}
+
+/// A person owning devices.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Person {
+    /// Unique ID.
+    pub id: PersonId,
+    /// Lower-case given name.
+    pub given_name: String,
+    /// Behavioural class.
+    pub kind: PersonKind,
+    /// Weekly presence schedule.
+    pub schedule: WeeklySchedule,
+}
+
+/// A client device.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Device {
+    /// Unique ID.
+    pub id: DeviceId,
+    /// Owner.
+    pub owner: PersonId,
+    /// Kind.
+    pub kind: DeviceKind,
+    /// The name the DHCP client sends (before sanitization).
+    pub device_name: String,
+    /// The DHCP identity presented on the wire.
+    pub identity: ClientIdentity,
+    /// Whether the device answers ICMP echo when online (host firewalls).
+    pub responds_to_ping: bool,
+    /// The device exists only from this date (Cyber-Monday purchases).
+    pub acquired: Option<Date>,
+    /// Probability the device sends DHCP RELEASE when leaving (vs silently
+    /// vanishing and holding the lease until expiry) — drives the two peak
+    /// families of Fig. 7a.
+    pub clean_release_prob: f64,
+}
+
+impl Device {
+    /// Build a device for `owner`, naming it per OS defaults.
+    pub fn generate<R: Rng + ?Sized>(
+        id: DeviceId,
+        owner: &Person,
+        kind: DeviceKind,
+        anonymity: AnonymityMode,
+        rng: &mut R,
+    ) -> Device {
+        let device_name = kind.device_name(&owner.given_name, rng);
+        let mac = MacAddr::from_seed(id.raw().wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1F);
+        let identity = match anonymity {
+            AnonymityMode::Standard => ClientIdentity::standard(mac, device_name.clone()),
+            AnonymityMode::Rfc7844 => ClientIdentity::anonymous(mac),
+        };
+        Device {
+            id,
+            owner: owner.id,
+            kind,
+            device_name,
+            identity,
+            responds_to_ping: rng.gen_bool(0.8),
+            acquired: None,
+            clean_release_prob: 0.35,
+        }
+    }
+
+    /// Whether the device exists on `date`.
+    pub fn exists_on(&self, date: Date) -> bool {
+        self.acquired.is_none_or(|a| date >= a)
+    }
+
+    /// Derive this device's concrete session from its owner's plan.
+    ///
+    /// Phones ride the whole session; laptops/tablets open a shorter window
+    /// inside it; always-on devices return `None` here (they are handled as
+    /// permanently connected by the world).
+    pub fn session_within<R: Rng + ?Sized>(
+        &self,
+        plan: &DailyPlan,
+        rng: &mut R,
+    ) -> Option<DailyPlan> {
+        match self.kind.session_style() {
+            SessionStyle::AlwaysOn => None,
+            SessionStyle::Full => Some(*plan),
+            SessionStyle::Sub { max_minutes } => {
+                let total = plan.duration().as_mins();
+                if total <= 10 {
+                    return Some(*plan);
+                }
+                let len = rng.gen_range(10..=total.min(max_minutes as u64));
+                let slack = total - len;
+                let offset = if slack == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=slack)
+                };
+                let join = plan.join + SimDuration::mins(offset);
+                Some(DailyPlan {
+                    join,
+                    leave: join + SimDuration::mins(len),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use rdns_model::SimTime;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    fn brian() -> Person {
+        Person {
+            id: PersonId(1),
+            given_name: "brian".into(),
+            kind: PersonKind::Student,
+            schedule: PersonKind::Student.schedule(true),
+        }
+    }
+
+    #[test]
+    fn iphone_naming_matches_paper_example() {
+        let mut r = rng();
+        let name = DeviceKind::Iphone.device_name("brian", &mut r);
+        assert_eq!(name, "Brian's iPhone");
+        let name = DeviceKind::GalaxyNote.device_name("brian", &mut r);
+        assert!(
+            name.starts_with("Brian's Galaxy "),
+            "unexpected galaxy name {name}"
+        );
+    }
+
+    #[test]
+    fn generic_names_are_lowercase() {
+        let mut r = rng();
+        assert_eq!(
+            DeviceKind::GenericLaptop.device_name("brian", &mut r),
+            "brians-laptop"
+        );
+        assert_eq!(
+            DeviceKind::GenericPhone.device_name("emma", &mut r),
+            "emmas-phone"
+        );
+    }
+
+    #[test]
+    fn anonymous_kinds_carry_no_owner() {
+        let mut r = rng();
+        for kind in [DeviceKind::AndroidPhone, DeviceKind::Roku, DeviceKind::WindowsDesktop] {
+            assert!(!kind.name_carries_owner());
+            let name = kind.device_name("brian", &mut r).to_ascii_lowercase();
+            assert!(!name.contains("brian"), "{name}");
+        }
+    }
+
+    #[test]
+    fn owner_carrying_kinds_do_carry() {
+        let mut r = rng();
+        for kind in DeviceKind::ALL {
+            if kind.name_carries_owner() {
+                // Some kinds have anonymous variants (DELL-XPS13-xxxx); try
+                // a few samples and require the owner to appear sometimes.
+                let hits = (0..20)
+                    .filter(|_| {
+                        kind.device_name("brian", &mut r)
+                            .to_ascii_lowercase()
+                            .contains("brian")
+                    })
+                    .count();
+                assert!(hits > 0, "{kind:?} never carries owner");
+            }
+        }
+    }
+
+    #[test]
+    fn keywords_cover_fig3_terms() {
+        let keywords: Vec<&str> = DeviceKind::ALL.iter().map(|k| k.keyword()).collect();
+        for term in [
+            "ipad", "air", "laptop", "phone", "dell", "desktop", "iphone", "mbp", "android",
+            "galaxy", "lenovo", "chrome", "roku",
+        ] {
+            assert!(keywords.contains(&term), "{term} missing");
+        }
+    }
+
+    #[test]
+    fn generated_device_identity_matches_mode() {
+        let mut r = rng();
+        let p = brian();
+        let d = Device::generate(DeviceId(7), &p, DeviceKind::Iphone, AnonymityMode::Standard, &mut r);
+        assert!(d.identity.leaks_identity());
+        assert_eq!(d.identity.host_name.as_deref(), Some("Brian's iPhone"));
+        let a = Device::generate(DeviceId(8), &p, DeviceKind::Iphone, AnonymityMode::Rfc7844, &mut r);
+        assert!(!a.identity.leaks_identity());
+        assert_ne!(d.identity.mac, a.identity.mac);
+    }
+
+    #[test]
+    fn acquisition_gate() {
+        let mut r = rng();
+        let p = brian();
+        let mut d = Device::generate(DeviceId(9), &p, DeviceKind::GalaxyNote, AnonymityMode::Standard, &mut r);
+        d.acquired = Some(Date::from_ymd(2021, 11, 29)); // Cyber Monday
+        assert!(!d.exists_on(Date::from_ymd(2021, 11, 28)));
+        assert!(d.exists_on(Date::from_ymd(2021, 11, 29)));
+        assert!(d.exists_on(Date::from_ymd(2021, 12, 1)));
+    }
+
+    #[test]
+    fn phone_rides_full_session() {
+        let mut r = rng();
+        let p = brian();
+        let d = Device::generate(DeviceId(1), &p, DeviceKind::Iphone, AnonymityMode::Standard, &mut r);
+        let base = SimTime::from_date(Date::from_ymd(2021, 11, 1));
+        let plan = DailyPlan {
+            join: base + SimDuration::hours(9),
+            leave: base + SimDuration::hours(17),
+        };
+        assert_eq!(d.session_within(&plan, &mut r), Some(plan));
+    }
+
+    #[test]
+    fn laptop_subsession_is_inside_and_capped() {
+        let mut r = rng();
+        let p = brian();
+        let d = Device::generate(DeviceId(2), &p, DeviceKind::MacbookPro, AnonymityMode::Standard, &mut r);
+        let base = SimTime::from_date(Date::from_ymd(2021, 11, 1));
+        let plan = DailyPlan {
+            join: base + SimDuration::hours(8),
+            leave: base + SimDuration::hours(20),
+        };
+        for _ in 0..50 {
+            let s = d.session_within(&plan, &mut r).unwrap();
+            assert!(s.join >= plan.join);
+            assert!(s.leave <= plan.leave);
+            assert!(s.duration() <= SimDuration::mins(300));
+            assert!(s.duration() >= SimDuration::mins(10));
+        }
+    }
+
+    #[test]
+    fn always_on_returns_none() {
+        let mut r = rng();
+        let p = brian();
+        let d = Device::generate(DeviceId(3), &p, DeviceKind::Roku, AnonymityMode::Standard, &mut r);
+        let base = SimTime::from_date(Date::from_ymd(2021, 11, 1));
+        let plan = DailyPlan {
+            join: base,
+            leave: base + SimDuration::hours(1),
+        };
+        assert_eq!(d.session_within(&plan, &mut r), None);
+    }
+
+    #[test]
+    fn schedules_by_person_kind() {
+        assert_eq!(
+            PersonKind::Student.schedule(true),
+            WeeklySchedule::student_housing()
+        );
+        assert_eq!(
+            PersonKind::Student.schedule(false),
+            WeeklySchedule::student_lectures()
+        );
+        assert_eq!(PersonKind::Employee.schedule(false), WeeklySchedule::employee());
+        assert_eq!(
+            PersonKind::Resident.schedule(false),
+            WeeklySchedule::resident_evenings()
+        );
+    }
+}

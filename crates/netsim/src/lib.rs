@@ -1,0 +1,51 @@
+//! # rdns-netsim
+//!
+//! The simulated Internet the measurement tooling observes: the substitute
+//! for the real networks the paper measured through OpenINTEL, Rapid7 and its
+//! own supplemental campaign (DESIGN.md documents the substitution).
+//!
+//! A [`world::World`] is built from [`spec::NetworkSpec`]s. Each network has
+//! subnets with a role (dynamic clients, static infrastructure, fixed-form
+//! DHCP), an IPAM policy, an ICMP ingress stance, and a population of
+//! [`device::Device`]s owned by [`device::Person`]s whose weekly behaviour is
+//! governed by [`schedule`], modulated by [`calendar`] holidays and
+//! [`covid`] occupancy phases. Every device presence change flows through
+//! the real `rdns-dhcp` server and `rdns-ipam` policy engine into the shared
+//! `rdns-dns` [`ZoneStore`](rdns_dns::ZoneStore) — so everything the scanner
+//! and analysis see was produced by the same protocol machinery the paper
+//! studies.
+
+//! ## Example
+//!
+//! ```
+//! use rdns_netsim::{spec::presets, World, WorldConfig};
+//! use rdns_model::{Date, SimTime};
+//!
+//! let start = Date::from_ymd(2021, 11, 1); // a Monday
+//! let mut world = World::new(WorldConfig {
+//!     seed: 1,
+//!     start,
+//!     networks: vec![presets::academic_a(0.05)],
+//! });
+//! // By noon, students are on campus and their PTR records are public.
+//! world.step_until(SimTime::from_date_hms(start, 12, 0, 0));
+//! assert!(world.online_count() > 0);
+//! assert!(world.ptr_count() > 0);
+//! world.check_invariants();
+//! ```
+
+pub mod calendar;
+pub mod covid;
+pub mod device;
+pub mod names;
+pub mod schedule;
+pub mod spec;
+pub mod world;
+
+pub use calendar::HolidayCalendar;
+pub use covid::OccupancyTimeline;
+pub use device::{Device, DeviceKind, Person, PersonKind};
+pub use names::{GivenNamePool, TOP50_GIVEN_NAMES};
+pub use schedule::{DailyPlan, WeeklySchedule};
+pub use spec::{BuildingTag, IcmpPolicy, NetworkSpec, NetworkType, SeedDevice, SeedPerson, SubnetRole, SubnetSpec};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,136 @@
+//! Given-name pools and device naming.
+//!
+//! The paper matches PTR records against the 50 most popular US given names
+//! for newborns 2000–2020 (SSA data, §5.1). [`TOP50_GIVEN_NAMES`] embeds that
+//! list (the 48 names visible in Fig. 2 plus `Ava` and `Mia` from the SSA
+//! ranking). The simulated population additionally draws from
+//! [`EXTRA_GIVEN_NAMES`] — including `Brian`, the paper's deliberately
+//! common case-study name that is *not* in the top-50 matcher list.
+
+use rand::Rng;
+
+/// The paper's top-50 given-name match list (lower-case).
+pub const TOP50_GIVEN_NAMES: [&str; 50] = [
+    "jacob", "michael", "emma", "william", "ethan", "olivia", "matthew", "emily", "daniel",
+    "noah", "joshua", "isabella", "alexander", "joseph", "james", "andrew", "sophia",
+    "christopher", "anthony", "david", "madison", "logan", "benjamin", "ryan", "abigail",
+    "john", "elijah", "mason", "samuel", "dylan", "nicholas", "jayden", "liam", "elizabeth",
+    "christian", "gabriel", "tyler", "jonathan", "nathan", "jordan", "hannah", "aiden",
+    "jackson", "alexis", "caleb", "lucas", "angel", "brandon", "ava", "mia",
+];
+
+/// Common given names that are *not* on the top-50 list; the population mixes
+/// these in so the matcher's recall is meaningfully below 100%, as in
+/// reality. `Brian` leads for the case studies.
+pub const EXTRA_GIVEN_NAMES: [&str; 30] = [
+    "brian", "kevin", "laura", "peter", "susan", "mark", "karen", "steve", "nancy", "paul",
+    "lisa", "gary", "carol", "frank", "diane", "scott", "julie", "greg", "donna", "keith",
+    "wendy", "craig", "sheila", "derek", "tanya", "roger", "paula", "todd", "gina", "wayne",
+];
+
+/// City names that collide with given names (the paper's `Jackson` vs
+/// `Jacksonville` concern, §5.1) — used to label router-level records in
+/// simulated ISP cores so the analysis has realistic false-positive bait.
+pub const CITY_NAMES: [&str; 12] = [
+    "jackson", "madison", "logan", "tyler", "jordan", "austin", "dallas", "charlotte",
+    "houston", "phoenix", "denver", "aurora",
+];
+
+/// A weighted sampler over given names.
+#[derive(Debug, Clone)]
+pub struct GivenNamePool {
+    /// Probability that a sampled person draws from the top-50 list (the
+    /// remainder draws from [`EXTRA_GIVEN_NAMES`]).
+    pub top50_weight: f64,
+}
+
+impl Default for GivenNamePool {
+    fn default() -> Self {
+        // Roughly matches SSA coverage: the top-50 names cover a large but
+        // not dominant share of the population.
+        GivenNamePool { top50_weight: 0.6 }
+    }
+}
+
+impl GivenNamePool {
+    /// Sample one given name.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
+        if rng.gen::<f64>() < self.top50_weight {
+            TOP50_GIVEN_NAMES[rng.gen_range(0..TOP50_GIVEN_NAMES.len())]
+        } else {
+            EXTRA_GIVEN_NAMES[rng.gen_range(0..EXTRA_GIVEN_NAMES.len())]
+        }
+    }
+}
+
+/// Generic, router-flavoured tokens that appear in infrastructure hostnames
+/// and must be excluded by the analysis (§5.1 "generic terms").
+pub const ROUTER_TERMS: [&str; 16] = [
+    "north", "south", "east", "west", "core", "edge", "border", "uplink", "transit", "peer",
+    "gateway", "router", "switch", "vlan", "static", "mgmt",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn list_sizes() {
+        assert_eq!(TOP50_GIVEN_NAMES.len(), 50);
+        assert_eq!(EXTRA_GIVEN_NAMES.len(), 30);
+    }
+
+    #[test]
+    fn brian_is_not_in_top50() {
+        assert!(!TOP50_GIVEN_NAMES.contains(&"brian"));
+        assert!(EXTRA_GIVEN_NAMES.contains(&"brian"));
+    }
+
+    #[test]
+    fn figure2_names_present() {
+        for name in ["jacob", "michael", "emma", "brandon", "angel", "lucas"] {
+            assert!(TOP50_GIVEN_NAMES.contains(&name), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn all_names_lowercase_ascii() {
+        for n in TOP50_GIVEN_NAMES.iter().chain(&EXTRA_GIVEN_NAMES).chain(&CITY_NAMES) {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase()), "{n}");
+        }
+    }
+
+    #[test]
+    fn city_collisions_exist() {
+        // The Fig-2-style city/name overlap the filter must survive.
+        for n in ["jackson", "madison", "logan"] {
+            assert!(CITY_NAMES.contains(&n));
+            assert!(TOP50_GIVEN_NAMES.contains(&n));
+        }
+    }
+
+    #[test]
+    fn sampler_respects_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let pool = GivenNamePool { top50_weight: 1.0 };
+        for _ in 0..200 {
+            assert!(TOP50_GIVEN_NAMES.contains(&pool.sample(&mut rng)));
+        }
+        let pool = GivenNamePool { top50_weight: 0.0 };
+        for _ in 0..200 {
+            assert!(EXTRA_GIVEN_NAMES.contains(&pool.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let pool = GivenNamePool::default();
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let xs: Vec<_> = (0..50).map(|_| pool.sample(&mut a)).collect();
+        let ys: Vec<_> = (0..50).map(|_| pool.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

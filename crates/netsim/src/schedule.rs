@@ -1,0 +1,283 @@
+//! Weekly behavioural schedules.
+//!
+//! The tracking results of §7 exist because people are creatures of habit:
+//! lectures around noon, office hours on weekdays, evenings at home. A
+//! [`WeeklySchedule`] holds a per-weekday presence pattern; [`WeeklySchedule::plan`]
+//! samples one concrete [`DailyPlan`] (join/leave instants with jitter),
+//! scaled by holiday and COVID factors.
+
+use rand::Rng;
+use rdns_model::{Date, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Presence pattern for one weekday.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DayPattern {
+    /// Probability the person shows up at all.
+    pub present_prob: f64,
+    /// Mean arrival, minutes after midnight.
+    pub arrive_min: u16,
+    /// Mean departure, minutes after midnight. When `depart_min <=
+    /// arrive_min` the session wraps past midnight into the next day
+    /// (student housing: present 18:00–08:00).
+    pub depart_min: u16,
+}
+
+/// One concrete presence session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DailyPlan {
+    /// When the person's devices start joining the network.
+    pub join: SimTime,
+    /// When they leave. Always after `join`.
+    pub leave: SimTime,
+}
+
+impl DailyPlan {
+    /// Session length.
+    pub fn duration(&self) -> SimDuration {
+        self.leave.since(self.join).expect("leave is after join")
+    }
+}
+
+/// A full week of patterns plus jitter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeeklySchedule {
+    /// Patterns indexed by ISO weekday − 1 (Monday = 0).
+    pub days: [Option<DayPattern>; 7],
+    /// Uniform jitter (± minutes) applied independently to both ends.
+    pub jitter_min: u16,
+}
+
+impl WeeklySchedule {
+    /// Office worker: weekdays roughly 08:30–17:30.
+    pub fn employee() -> WeeklySchedule {
+        let wd = Some(DayPattern {
+            present_prob: 0.90,
+            arrive_min: 8 * 60 + 30,
+            depart_min: 17 * 60 + 30,
+        });
+        WeeklySchedule {
+            days: [wd, wd, wd, wd, wd, None, None],
+            jitter_min: 45,
+        }
+    }
+
+    /// Student on campus for lectures: weekdays, shorter and later; the
+    /// "couple of hours around noon" pattern of `brians-mbp` in Fig. 8.
+    pub fn student_lectures() -> WeeklySchedule {
+        let wd = Some(DayPattern {
+            present_prob: 0.75,
+            arrive_min: 10 * 60 + 30,
+            depart_min: 15 * 60,
+        });
+        WeeklySchedule {
+            days: [wd, wd, wd, wd, wd, None, None],
+            jitter_min: 75,
+        }
+    }
+
+    /// Student housing: long evening-to-morning sessions every day, slightly
+    /// likelier on weekends.
+    pub fn student_housing() -> WeeklySchedule {
+        let wd = Some(DayPattern {
+            present_prob: 0.85,
+            arrive_min: 17 * 60,
+            depart_min: 8 * 60, // wraps to next morning
+        });
+        let we = Some(DayPattern {
+            present_prob: 0.92,
+            arrive_min: 14 * 60,
+            depart_min: 10 * 60, // wraps
+        });
+        WeeklySchedule {
+            days: [wd, wd, wd, wd, wd, we, we],
+            jitter_min: 90,
+        }
+    }
+
+    /// Residential ISP subscriber: weekday evenings, long weekend presence.
+    pub fn resident_evenings() -> WeeklySchedule {
+        let wd = Some(DayPattern {
+            present_prob: 0.85,
+            arrive_min: 18 * 60,
+            depart_min: 23 * 60 + 30,
+        });
+        let we = Some(DayPattern {
+            present_prob: 0.9,
+            arrive_min: 9 * 60 + 30,
+            depart_min: 23 * 60,
+        });
+        WeeklySchedule {
+            days: [wd, wd, wd, wd, wd, we, we],
+            jitter_min: 60,
+        }
+    }
+
+    /// Sample a concrete plan for `date`.
+    ///
+    /// `presence_factor` (holiday × COVID) scales the show-up probability.
+    /// Returns `None` when the person stays away.
+    pub fn plan<R: Rng + ?Sized>(
+        &self,
+        date: Date,
+        presence_factor: f64,
+        rng: &mut R,
+    ) -> Option<DailyPlan> {
+        let idx = (date.weekday() as usize) - 1;
+        let pattern = self.days[idx]?;
+        let p = (pattern.present_prob * presence_factor).clamp(0.0, 1.0);
+        if rng.gen::<f64>() >= p {
+            return None;
+        }
+        let jitter = |rng: &mut R, base: i64| -> i64 {
+            if self.jitter_min == 0 {
+                base
+            } else {
+                let j = self.jitter_min as i64;
+                base + rng.gen_range(-j..=j)
+            }
+        };
+        let arrive = jitter(rng, pattern.arrive_min as i64).clamp(0, 24 * 60 - 2);
+        let mut depart = jitter(rng, pattern.depart_min as i64).clamp(0, 24 * 60 - 1);
+        let wraps = pattern.depart_min <= pattern.arrive_min;
+        if wraps {
+            depart += 24 * 60; // next day
+        } else if depart <= arrive {
+            depart = arrive + 1; // jitter collapsed the window; keep ≥1 min
+        }
+        let midnight = SimTime::from_date(date);
+        Some(DailyPlan {
+            join: midnight + SimDuration::mins(arrive as u64),
+            leave: midnight + SimDuration::mins(depart as u64),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn employee_skips_weekends() {
+        let s = WeeklySchedule::employee();
+        let mut r = rng();
+        let saturday = Date::from_ymd(2021, 11, 6);
+        let sunday = Date::from_ymd(2021, 11, 7);
+        for _ in 0..50 {
+            assert!(s.plan(saturday, 1.0, &mut r).is_none());
+            assert!(s.plan(sunday, 1.0, &mut r).is_none());
+        }
+    }
+
+    #[test]
+    fn employee_weekday_sessions_sane() {
+        let s = WeeklySchedule::employee();
+        let mut r = rng();
+        let monday = Date::from_ymd(2021, 11, 1);
+        let mut seen = 0;
+        for _ in 0..100 {
+            if let Some(plan) = s.plan(monday, 1.0, &mut r) {
+                seen += 1;
+                assert!(plan.leave > plan.join);
+                assert_eq!(plan.join.date(), monday);
+                // Within a plausible office window.
+                assert!(plan.join.hour() >= 7 && plan.join.hour() <= 10);
+                assert!(plan.leave.hour() >= 16 || plan.leave.hour() <= 19);
+                assert!(plan.duration() > SimDuration::hours(6));
+            }
+        }
+        assert!(seen > 70, "expected ~90% presence, saw {seen}");
+    }
+
+    #[test]
+    fn zero_factor_means_absent() {
+        let s = WeeklySchedule::employee();
+        let mut r = rng();
+        let monday = Date::from_ymd(2021, 11, 1);
+        for _ in 0..50 {
+            assert!(s.plan(monday, 0.0, &mut r).is_none());
+        }
+    }
+
+    #[test]
+    fn factor_scales_presence() {
+        let s = WeeklySchedule::employee();
+        let mut r = rng();
+        let monday = Date::from_ymd(2021, 11, 1);
+        let full: usize = (0..400)
+            .filter(|_| s.plan(monday, 1.0, &mut r).is_some())
+            .count();
+        let half: usize = (0..400)
+            .filter(|_| s.plan(monday, 0.5, &mut r).is_some())
+            .count();
+        assert!(half < full, "half={half} full={full}");
+        assert!((half as f64) < full as f64 * 0.75);
+    }
+
+    #[test]
+    fn housing_sessions_wrap_past_midnight() {
+        let s = WeeklySchedule::student_housing();
+        let mut r = rng();
+        let monday = Date::from_ymd(2021, 11, 1);
+        let mut wrapped = 0;
+        for _ in 0..50 {
+            if let Some(plan) = s.plan(monday, 1.0, &mut r) {
+                assert!(plan.leave > plan.join);
+                if plan.leave.date() > monday {
+                    wrapped += 1;
+                }
+            }
+        }
+        assert!(wrapped > 30, "overnight sessions expected, saw {wrapped}");
+    }
+
+    #[test]
+    fn lecture_sessions_are_short_and_midday() {
+        let s = WeeklySchedule::student_lectures();
+        let mut r = rng();
+        let tuesday = Date::from_ymd(2021, 11, 2);
+        for _ in 0..50 {
+            if let Some(plan) = s.plan(tuesday, 1.0, &mut r) {
+                assert!(plan.duration() < SimDuration::hours(8));
+                assert!(plan.join.hour() >= 8 && plan.join.hour() <= 13);
+            }
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let s = WeeklySchedule::resident_evenings();
+        let d = Date::from_ymd(2021, 11, 3);
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        let a: Vec<_> = (0..20).map(|_| s.plan(d, 1.0, &mut r1)).collect();
+        let b: Vec<_> = (0..20).map(|_| s.plan(d, 1.0, &mut r2)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weekend_resident_sessions_longer() {
+        let s = WeeklySchedule::resident_evenings();
+        let mut r = rng();
+        let friday = Date::from_ymd(2021, 11, 5);
+        let saturday = Date::from_ymd(2021, 11, 6);
+        let avg = |date, r: &mut ChaCha8Rng| {
+            let mut total = 0u64;
+            let mut n = 0u64;
+            for _ in 0..200 {
+                if let Some(p) = s.plan(date, 1.0, r) {
+                    total += p.duration().as_secs();
+                    n += 1;
+                }
+            }
+            total as f64 / n as f64
+        };
+        assert!(avg(saturday, &mut r) > avg(friday, &mut r) * 1.5);
+    }
+}

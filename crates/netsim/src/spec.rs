@@ -1,0 +1,645 @@
+//! Network specifications.
+//!
+//! A [`NetworkSpec`] describes one organisation: its type, DNS suffix,
+//! announced prefixes and numbering plan (which subnets hold dynamic
+//! clients, static infrastructure, or fixed-form DHCP pools — the structure
+//! the paper's own campus validation revealed in §4.1), its ICMP ingress
+//! stance (§6.2: two of three enterprises drop pings), lease time, holiday
+//! calendar and COVID occupancy. [`presets`] builds the nine networks of
+//! Table 4.
+
+use crate::calendar::HolidayCalendar;
+use crate::covid::OccupancyTimeline;
+use crate::device::{DeviceKind, PersonKind};
+use rdns_model::{Date, Ipv4Net, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Organisation type (Fig. 4 categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkType {
+    /// Schools, universities, research institutes.
+    Academic,
+    /// Internet service providers.
+    Isp,
+    /// Companies.
+    Enterprise,
+    /// Government bodies.
+    Government,
+    /// Unclassifiable.
+    Other,
+}
+
+/// ICMP ingress stance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IcmpPolicy {
+    /// Echo requests reach hosts; online hosts may answer.
+    Open,
+    /// Echo requests are dropped at ingress (Enterprise-B/C in Table 4).
+    Blocked,
+}
+
+/// What a subnet is used for on campus (Fig. 10's education vs housing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BuildingTag {
+    /// Educational/office buildings.
+    Education,
+    /// On-campus student housing.
+    Housing,
+    /// Not building-specific (ISP pools, infrastructure).
+    None,
+}
+
+/// How reverse DNS is maintained for a dynamic pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DynDnsMode {
+    /// Carry the client Host Name into the PTR (the leak).
+    CarryOver,
+    /// Publish salted hashes instead of names.
+    Hashed,
+    /// No DNS updates for this pool.
+    NoUpdate,
+}
+
+/// The role of one subnet in the numbering plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SubnetRole {
+    /// DHCP pool for client devices with dynamic rDNS.
+    DynamicClients {
+        /// How many persons live/work on this subnet.
+        persons: usize,
+        /// Behavioural class of those persons.
+        person_kind: PersonKind,
+        /// rDNS maintenance mode.
+        dns: DynDnsMode,
+    },
+    /// DHCP pool whose rDNS is fixed-form (`host-a-b-c-d.dynamic...`):
+    /// dynamic addressing, static rDNS — §4.1's 83 validated prefixes.
+    FixedFormDhcp {
+        /// Persons on this pool.
+        persons: usize,
+        /// Behavioural class.
+        person_kind: PersonKind,
+    },
+    /// Statically addressed infrastructure with static router-style PTRs.
+    StaticInfra {
+        /// Number of records to install.
+        hosts: usize,
+    },
+    /// Statically assigned end hosts with *name-bearing* but never-changing
+    /// PTRs (lab machines, named workstations). These carry given names into
+    /// rDNS — part of the blue "all matches" population of Figs. 2–3 —
+    /// without ever passing the dynamicity filter.
+    StaticNamed {
+        /// Number of records to install.
+        hosts: usize,
+    },
+    /// Address space with no PTR records at all.
+    Dark,
+}
+
+/// One subnet of a network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubnetSpec {
+    /// The address block (usually a /24).
+    pub prefix: Ipv4Net,
+    /// DNS label for this subnet (`resnet`, `office`, ...).
+    pub label: String,
+    /// Role in the numbering plan.
+    pub role: SubnetRole,
+    /// Building association, for the Fig. 10 breakdown.
+    pub building: BuildingTag,
+}
+
+/// A device planted deterministically for a case study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeedDevice {
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// The device exists only from this date (Cyber-Monday Galaxy).
+    pub acquired: Option<Date>,
+}
+
+/// A person planted deterministically for a case study (the Brians of §7.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeedPerson {
+    /// Given name (lower-case).
+    pub given_name: String,
+    /// Behavioural class.
+    pub kind: PersonKind,
+    /// Index into [`NetworkSpec::subnets`] where the person lives.
+    pub subnet: usize,
+    /// Their devices.
+    pub devices: Vec<SeedDevice>,
+}
+
+/// One organisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSpec {
+    /// Display name (anonymized like the paper: "Academic-A").
+    pub name: String,
+    /// Organisation type.
+    pub ntype: NetworkType,
+    /// DNS suffix (TLD+1 or deeper), e.g. `midwest-state.edu`.
+    pub suffix: String,
+    /// Announced (BGP-visible) covering prefixes.
+    pub announced: Vec<Ipv4Net>,
+    /// The numbering plan.
+    pub subnets: Vec<SubnetSpec>,
+    /// ICMP ingress stance.
+    pub icmp: IcmpPolicy,
+    /// DHCP lease duration.
+    pub lease_time: SimDuration,
+    /// Probability that a departing device sends RELEASE.
+    pub clean_release_prob: f64,
+    /// Fraction of devices configured with the RFC 7844 anonymity profile.
+    pub anonymity_fraction: f64,
+    /// Probability that an individual online device answers ICMP echo
+    /// (host firewalls / CPE behaviour); Table 4's observation-rate spread.
+    pub device_ping_rate: f64,
+    /// Holiday calendar.
+    pub calendar: HolidayCalendar,
+    /// COVID occupancy for education/office buildings.
+    pub occupancy_education: OccupancyTimeline,
+    /// COVID occupancy for housing subnets.
+    pub occupancy_housing: OccupancyTimeline,
+    /// Deterministically planted persons.
+    pub seed_persons: Vec<SeedPerson>,
+}
+
+impl NetworkSpec {
+    /// Total persons across dynamic subnets (excluding seed persons).
+    pub fn population(&self) -> usize {
+        self.subnets
+            .iter()
+            .map(|s| match &s.role {
+                SubnetRole::DynamicClients { persons, .. }
+                | SubnetRole::FixedFormDhcp { persons, .. } => *persons,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The occupancy timeline that applies to a building tag.
+    pub fn occupancy_for(&self, building: BuildingTag) -> &OccupancyTimeline {
+        match building {
+            BuildingTag::Housing => &self.occupancy_housing,
+            _ => &self.occupancy_education,
+        }
+    }
+}
+
+/// Builders for the nine networks of Table 4, scaled down (DESIGN.md
+/// documents the scaling) but structurally faithful: sizes, ICMP stances,
+/// lease-time differences and occupancy narratives match the paper.
+pub mod presets {
+    use super::*;
+
+    fn net(a: u8, b: u8, c: u8, len: u8) -> Ipv4Net {
+        Ipv4Net::new(std::net::Ipv4Addr::new(a, b, c, 0), len).expect("preset prefixes are valid")
+    }
+
+    fn dyn24(
+        prefix: Ipv4Net,
+        label: &str,
+        persons: usize,
+        person_kind: PersonKind,
+        building: BuildingTag,
+    ) -> SubnetSpec {
+        SubnetSpec {
+            prefix,
+            label: label.to_string(),
+            role: SubnetRole::DynamicClients {
+                persons,
+                person_kind,
+                dns: DynDnsMode::CarryOver,
+            },
+            building,
+        }
+    }
+
+    /// Academic-A: US campus with housing, open ICMP, 1-hour leases. Hosts
+    /// the Brians of §7.1. `scale` multiplies per-subnet population.
+    pub fn academic_a(scale: f64) -> NetworkSpec {
+        let p = |n: usize| ((n as f64 * scale).round() as usize).max(2);
+        let mut subnets = Vec::new();
+        // Education buildings: 4 dynamic /24s of students at lectures.
+        for i in 0..4u8 {
+            subnets.push(dyn24(
+                net(100, 64, 10 + i, 24),
+                "campus",
+                p(60),
+                PersonKind::Student,
+                BuildingTag::Education,
+            ));
+        }
+        // Housing: 4 dynamic /24s of resident students.
+        for i in 0..4u8 {
+            subnets.push(dyn24(
+                net(100, 64, 20 + i, 24),
+                "resnet",
+                p(55),
+                PersonKind::Student,
+                BuildingTag::Housing,
+            ));
+        }
+        // Office staff.
+        subnets.push(dyn24(
+            net(100, 64, 30, 24),
+            "staff",
+            p(50),
+            PersonKind::Employee,
+            BuildingTag::Education,
+        ));
+        subnets.push(SubnetSpec {
+            prefix: net(100, 64, 1, 24),
+            label: "net".into(),
+            role: SubnetRole::StaticInfra { hosts: 40 },
+            building: BuildingTag::None,
+        });
+        NetworkSpec {
+            name: "Academic-A".into(),
+            ntype: NetworkType::Academic,
+            suffix: "midwest-state.edu".into(),
+            announced: vec![net(100, 64, 0, 16)],
+            subnets,
+            icmp: IcmpPolicy::Open,
+            lease_time: SimDuration::hours(1),
+            clean_release_prob: 0.35,
+            anonymity_fraction: 0.05,
+            device_ping_rate: 0.85,
+            calendar: HolidayCalendar::UnitedStates,
+            occupancy_education: OccupancyTimeline::us_campus(),
+            occupancy_housing: OccupancyTimeline::flat(),
+            seed_persons: brian_seed(),
+        }
+    }
+
+    /// The planted Brians: two-or-three people whose devices reproduce the
+    /// Fig. 8 hostname set (air, galaxy-note9, ipad, mbp, phone), with the
+    /// Galaxy Note 9 acquired on Cyber Monday 2021.
+    fn brian_seed() -> Vec<SeedPerson> {
+        let cyber_monday = crate::calendar::cyber_monday(2021);
+        vec![
+            SeedPerson {
+                given_name: "brian".into(),
+                kind: PersonKind::Student,
+                subnet: 4, // housing
+                devices: vec![
+                    SeedDevice { kind: DeviceKind::MacbookAir, acquired: None },
+                    SeedDevice { kind: DeviceKind::GenericPhone, acquired: None },
+                    SeedDevice {
+                        kind: DeviceKind::GalaxyNote,
+                        acquired: Some(cyber_monday),
+                    },
+                ],
+            },
+            SeedPerson {
+                given_name: "brian".into(),
+                kind: PersonKind::Student,
+                subnet: 0, // lectures
+                devices: vec![
+                    SeedDevice { kind: DeviceKind::MacbookPro, acquired: None },
+                    SeedDevice { kind: DeviceKind::Ipad, acquired: None },
+                ],
+            },
+        ]
+    }
+
+    /// Academic-B: open address space but almost nothing answers pings
+    /// (Table 4: 2 responsive hosts without PTRs); longer leases so records
+    /// linger (§6.2). Population is employee-style.
+    pub fn academic_b(scale: f64) -> NetworkSpec {
+        let p = |n: usize| ((n as f64 * scale).round() as usize).max(2);
+        let mut subnets: Vec<SubnetSpec> = (0..4u8)
+            .map(|i| {
+                let mut s = dyn24(
+                    net(100, 80, 10 + i, 24),
+                    "dyn",
+                    p(45),
+                    PersonKind::Employee,
+                    BuildingTag::Education,
+                );
+                s.building = BuildingTag::Education;
+                s
+            })
+            .collect();
+        subnets.push(SubnetSpec {
+            prefix: net(100, 80, 1, 24),
+            label: "infra".into(),
+            role: SubnetRole::StaticInfra { hosts: 20 },
+            building: BuildingTag::None,
+        });
+        NetworkSpec {
+            name: "Academic-B".into(),
+            ntype: NetworkType::Academic,
+            suffix: "coastal-u.edu".into(),
+            announced: vec![net(100, 80, 0, 16)],
+            subnets,
+            icmp: IcmpPolicy::Blocked,
+            lease_time: SimDuration::hours(4),
+            clean_release_prob: 0.15,
+            anonymity_fraction: 0.05,
+            device_ping_rate: 0.80,
+            calendar: HolidayCalendar::UnitedStates,
+            occupancy_education: OccupancyTimeline::academic_b(),
+            occupancy_housing: OccupancyTimeline::flat(),
+            seed_persons: Vec::new(),
+        }
+    }
+
+    /// Academic-C: the authors' (Dutch) campus — education buildings plus
+    /// student housing, fixed-form pools, open ICMP. Drives Fig. 10.
+    pub fn academic_c(scale: f64) -> NetworkSpec {
+        let p = |n: usize| ((n as f64 * scale).round() as usize).max(2);
+        let mut subnets = Vec::new();
+        for i in 0..3u8 {
+            subnets.push(dyn24(
+                net(100, 96, 10 + i, 24),
+                "eduroam",
+                p(55),
+                PersonKind::Employee,
+                BuildingTag::Education,
+            ));
+        }
+        for i in 0..3u8 {
+            subnets.push(dyn24(
+                net(100, 96, 40 + i, 24),
+                "campusnet",
+                p(50),
+                PersonKind::Student,
+                BuildingTag::Housing,
+            ));
+        }
+        // Fixed-form DHCP (dynamic addressing, static rDNS).
+        subnets.push(SubnetSpec {
+            prefix: net(100, 96, 60, 24),
+            label: "dhcp".into(),
+            role: SubnetRole::FixedFormDhcp {
+                persons: p(40),
+                person_kind: PersonKind::Student,
+            },
+            building: BuildingTag::Housing,
+        });
+        subnets.push(SubnetSpec {
+            prefix: net(100, 96, 1, 24),
+            label: "net".into(),
+            role: SubnetRole::StaticInfra { hosts: 60 },
+            building: BuildingTag::None,
+        });
+        NetworkSpec {
+            name: "Academic-C".into(),
+            ntype: NetworkType::Academic,
+            suffix: "polder-tech.nl".into(),
+            announced: vec![net(100, 96, 0, 16)],
+            subnets,
+            icmp: IcmpPolicy::Open,
+            lease_time: SimDuration::hours(1),
+            clean_release_prob: 0.35,
+            anonymity_fraction: 0.05,
+            device_ping_rate: 0.75,
+            calendar: HolidayCalendar::Netherlands,
+            occupancy_education: OccupancyTimeline::nl_education_buildings(),
+            occupancy_housing: OccupancyTimeline::nl_student_housing(),
+            seed_persons: Vec::new(),
+        }
+    }
+
+    /// Enterprise-A: answers pings (Table 4: 58.7% observed).
+    pub fn enterprise_a(scale: f64) -> NetworkSpec {
+        enterprise("Enterprise-A", "acme-corp.com", 112, IcmpPolicy::Open, true, scale)
+    }
+
+    /// Enterprise-B: blocks pings; drops hard in spring 2021, partial
+    /// May-2021 recovery (Fig. 9).
+    pub fn enterprise_b(scale: f64) -> NetworkSpec {
+        enterprise("Enterprise-B", "globex.com", 113, IcmpPolicy::Blocked, true, scale)
+    }
+
+    /// Enterprise-C: blocks pings; no recovery in the observation window.
+    pub fn enterprise_c(scale: f64) -> NetworkSpec {
+        enterprise("Enterprise-C", "initech.com", 114, IcmpPolicy::Blocked, false, scale)
+    }
+
+    fn enterprise(
+        name: &str,
+        suffix: &str,
+        second_octet: u8,
+        icmp: IcmpPolicy,
+        recovers: bool,
+        scale: f64,
+    ) -> NetworkSpec {
+        let p = |n: usize| ((n as f64 * scale).round() as usize).max(2);
+        let mut subnets: Vec<SubnetSpec> = (0..3u8)
+            .map(|i| {
+                dyn24(
+                    net(100, second_octet, 10 + i, 24),
+                    "corp",
+                    p(50),
+                    PersonKind::Employee,
+                    BuildingTag::Education,
+                )
+            })
+            .collect();
+        subnets.push(SubnetSpec {
+            prefix: net(100, second_octet, 1, 24),
+            label: "infra".into(),
+            role: SubnetRole::StaticInfra { hosts: 25 },
+            building: BuildingTag::None,
+        });
+        NetworkSpec {
+            name: name.into(),
+            ntype: NetworkType::Enterprise,
+            suffix: suffix.into(),
+            announced: vec![net(100, second_octet, 0, 17)],
+            subnets,
+            icmp,
+            lease_time: SimDuration::hours(1),
+            clean_release_prob: 0.30,
+            anonymity_fraction: 0.05,
+            device_ping_rate: 0.90,
+            calendar: HolidayCalendar::UnitedStates,
+            occupancy_education: OccupancyTimeline::enterprise_late_lockdown(recovers),
+            occupancy_housing: OccupancyTimeline::flat(),
+            seed_persons: Vec::new(),
+        }
+    }
+
+    /// ISP-A: small regional pools, fairly responsive (34.9% in Table 4).
+    pub fn isp_a(scale: f64) -> NetworkSpec {
+        isp("ISP-A", "fastpipe.net", 128, 3, 0.55, scale)
+    }
+
+    /// ISP-B: large space, very low responsiveness (0.3%).
+    pub fn isp_b(scale: f64) -> NetworkSpec {
+        isp("ISP-B", "maxicable.net", 129, 4, 0.05, scale)
+    }
+
+    /// ISP-C: /16 with low responsiveness (1.7%).
+    pub fn isp_c(scale: f64) -> NetworkSpec {
+        isp("ISP-C", "telesurf.net", 130, 4, 0.12, scale)
+    }
+
+    fn isp(
+        name: &str,
+        suffix: &str,
+        second_octet: u8,
+        dyn_blocks: u8,
+        ping_rate: f64,
+        scale: f64,
+    ) -> NetworkSpec {
+        let p = |n: usize| ((n as f64 * scale).round() as usize).max(2);
+        let mut subnets: Vec<SubnetSpec> = (0..dyn_blocks)
+            .map(|i| {
+                dyn24(
+                    net(100, second_octet, 10 + i, 24),
+                    "pool",
+                    p(45),
+                    PersonKind::Resident,
+                    BuildingTag::None,
+                )
+            })
+            .collect();
+        subnets.push(SubnetSpec {
+            prefix: net(100, second_octet, 1, 24),
+            label: "core".into(),
+            role: SubnetRole::StaticInfra { hosts: 50 },
+            building: BuildingTag::None,
+        });
+        NetworkSpec {
+            name: name.into(),
+            ntype: NetworkType::Isp,
+            suffix: suffix.into(),
+            announced: vec![net(100, second_octet, 0, 18)],
+            subnets,
+            icmp: IcmpPolicy::Open,
+            lease_time: SimDuration::hours(1),
+            clean_release_prob: 0.40,
+            anonymity_fraction: 0.05,
+            device_ping_rate: ping_rate,
+            calendar: HolidayCalendar::None,
+            occupancy_education: OccupancyTimeline::flat(),
+            occupancy_housing: OccupancyTimeline::flat(),
+            seed_persons: Vec::new(),
+        }
+    }
+
+    /// All nine Table-4 networks at the given population scale.
+    pub fn table4_networks(scale: f64) -> Vec<NetworkSpec> {
+        vec![
+            academic_a(scale),
+            academic_b(scale),
+            academic_c(scale),
+            enterprise_a(scale),
+            enterprise_b(scale),
+            enterprise_c(scale),
+            isp_a(scale),
+            isp_b(scale),
+            isp_c(scale),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_presets() {
+        let nets = presets::table4_networks(1.0);
+        assert_eq!(nets.len(), 9);
+        let names: Vec<&str> = nets.iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "Academic-A",
+                "Academic-B",
+                "Academic-C",
+                "Enterprise-A",
+                "Enterprise-B",
+                "Enterprise-C",
+                "ISP-A",
+                "ISP-B",
+                "ISP-C"
+            ]
+        );
+    }
+
+    #[test]
+    fn icmp_stances_match_table4() {
+        let nets = presets::table4_networks(1.0);
+        let by_name = |n: &str| nets.iter().find(|s| s.name == n).unwrap().icmp;
+        assert_eq!(by_name("Enterprise-B"), IcmpPolicy::Blocked);
+        assert_eq!(by_name("Enterprise-C"), IcmpPolicy::Blocked);
+        assert_eq!(by_name("Academic-B"), IcmpPolicy::Blocked);
+        assert_eq!(by_name("Academic-A"), IcmpPolicy::Open);
+        assert_eq!(by_name("ISP-A"), IcmpPolicy::Open);
+    }
+
+    #[test]
+    fn academic_b_has_longer_leases_than_a() {
+        // §6.2 explains Academic-B's lingering records by longer lease time.
+        let a = presets::academic_a(1.0);
+        let b = presets::academic_b(1.0);
+        assert!(b.lease_time > a.lease_time);
+        assert!(b.clean_release_prob < a.clean_release_prob);
+    }
+
+    #[test]
+    fn brian_seed_reproduces_fig8_device_set() {
+        let a = presets::academic_a(1.0);
+        assert_eq!(a.seed_persons.len(), 2);
+        let kinds: Vec<DeviceKind> = a
+            .seed_persons
+            .iter()
+            .flat_map(|p| p.devices.iter().map(|d| d.kind))
+            .collect();
+        for k in [
+            DeviceKind::MacbookAir,
+            DeviceKind::GalaxyNote,
+            DeviceKind::Ipad,
+            DeviceKind::MacbookPro,
+            DeviceKind::GenericPhone,
+        ] {
+            assert!(kinds.contains(&k), "{k:?} missing from Brian seed");
+        }
+        // The Galaxy appears on Cyber Monday 2021.
+        let galaxy = a
+            .seed_persons
+            .iter()
+            .flat_map(|p| &p.devices)
+            .find(|d| d.kind == DeviceKind::GalaxyNote)
+            .unwrap();
+        assert_eq!(galaxy.acquired, Some(Date::from_ymd(2021, 11, 29)));
+    }
+
+    #[test]
+    fn population_scales() {
+        let small = presets::academic_a(0.1);
+        let big = presets::academic_a(1.0);
+        assert!(big.population() > small.population() * 5);
+        assert!(small.population() > 0);
+    }
+
+    #[test]
+    fn subnets_covered_by_announcement() {
+        for netw in presets::table4_networks(0.2) {
+            for sn in &netw.subnets {
+                assert!(
+                    netw.announced.iter().any(|a| a.covers(&sn.prefix)),
+                    "{}: {} not covered",
+                    netw.name,
+                    sn.prefix
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_lookup_by_building() {
+        let c = presets::academic_c(1.0);
+        let edu = c.occupancy_for(BuildingTag::Education);
+        let housing = c.occupancy_for(BuildingTag::Housing);
+        let during = Date::from_ymd(2020, 4, 15);
+        assert!(housing.factor(during) > edu.factor(during));
+    }
+}

@@ -1,0 +1,152 @@
+//! The reactive back-off schedule of Table 2.
+//!
+//! > 12 times in the 1st hour at 5-minute intervals
+//! > → 6 times in the 2nd hour at 10-minute intervals
+//! > → 3 times in the 3rd hour at 20-minute intervals
+//! > → 2 times in the 4th hour at 30-minute intervals
+//! > → until client goes offline, once at 60-minute intervals
+
+use rdns_model::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One stage: `count` probes separated by `interval`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffStage {
+    /// Number of probes in this stage.
+    pub count: u32,
+    /// Interval between consecutive probes.
+    pub interval: SimDuration,
+}
+
+/// A staged back-off schedule with an open-ended tail interval.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffSchedule {
+    stages: Vec<BackoffStage>,
+    tail: SimDuration,
+}
+
+impl BackoffSchedule {
+    /// The paper's Table 2 schedule.
+    ///
+    /// ```
+    /// use rdns_scan::BackoffSchedule;
+    /// use rdns_model::SimDuration;
+    /// let s = BackoffSchedule::standard();
+    /// assert_eq!(s.delay_after(0), SimDuration::mins(5));   // 1st hour
+    /// assert_eq!(s.delay_after(12), SimDuration::mins(10)); // 2nd hour
+    /// assert_eq!(s.delay_after(30), SimDuration::mins(60)); // tail
+    /// ```
+    pub fn standard() -> BackoffSchedule {
+        BackoffSchedule {
+            stages: vec![
+                BackoffStage { count: 12, interval: SimDuration::mins(5) },
+                BackoffStage { count: 6, interval: SimDuration::mins(10) },
+                BackoffStage { count: 3, interval: SimDuration::mins(20) },
+                BackoffStage { count: 2, interval: SimDuration::mins(30) },
+            ],
+            tail: SimDuration::mins(60),
+        }
+    }
+
+    /// A custom schedule.
+    pub fn new(stages: Vec<BackoffStage>, tail: SimDuration) -> BackoffSchedule {
+        BackoffSchedule { stages, tail }
+    }
+
+    /// The delay between probe `i` and probe `i + 1` (0-indexed). Probe 0
+    /// fires immediately when the trigger condition is seen.
+    pub fn delay_after(&self, probe_index: u32) -> SimDuration {
+        let mut remaining = probe_index;
+        for stage in &self.stages {
+            if remaining < stage.count {
+                return stage.interval;
+            }
+            remaining -= stage.count;
+        }
+        self.tail
+    }
+
+    /// Total probes in the staged (non-tail) part.
+    pub fn staged_probes(&self) -> u32 {
+        self.stages.iter().map(|s| s.count).sum()
+    }
+
+    /// Offsets (from the trigger) of the first `n` probes.
+    pub fn offsets(&self, n: u32) -> Vec<SimDuration> {
+        let mut out = Vec::with_capacity(n as usize);
+        let mut t = SimDuration::secs(0);
+        for i in 0..n {
+            out.push(t);
+            t = t + self.delay_after(i);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_schedule_exact() {
+        let s = BackoffSchedule::standard();
+        // First hour: probes 0..11 at 5-minute spacing.
+        for i in 0..12 {
+            assert_eq!(s.delay_after(i), SimDuration::mins(5), "probe {i}");
+        }
+        // Second hour: 10-minute spacing.
+        for i in 12..18 {
+            assert_eq!(s.delay_after(i), SimDuration::mins(10), "probe {i}");
+        }
+        // Third hour: 20-minute spacing.
+        for i in 18..21 {
+            assert_eq!(s.delay_after(i), SimDuration::mins(20), "probe {i}");
+        }
+        // Fourth hour: 30-minute spacing.
+        for i in 21..23 {
+            assert_eq!(s.delay_after(i), SimDuration::mins(30), "probe {i}");
+        }
+        // Tail: hourly forever.
+        for i in 23..40 {
+            assert_eq!(s.delay_after(i), SimDuration::mins(60), "probe {i}");
+        }
+    }
+
+    #[test]
+    fn stage_hours_sum_to_table2() {
+        let s = BackoffSchedule::standard();
+        assert_eq!(s.staged_probes(), 12 + 6 + 3 + 2);
+        // The staged part spans exactly four hours up to the start of the
+        // tail: 12×5 + 6×10 + 3×20 + 2×30 = 240 minutes.
+        let offsets = s.offsets(s.staged_probes() + 1);
+        assert_eq!(*offsets.last().unwrap(), SimDuration::hours(4));
+    }
+
+    #[test]
+    fn offsets_are_monotone() {
+        let s = BackoffSchedule::standard();
+        let offs = s.offsets(30);
+        assert_eq!(offs[0], SimDuration::secs(0));
+        for w in offs.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Probe 12 (first of hour 2) is exactly at the one-hour mark.
+        assert_eq!(offs[12], SimDuration::hours(1));
+        // Probe 18 at the two-hour mark; 21 at three hours; 23 at four.
+        assert_eq!(offs[18], SimDuration::hours(2));
+        assert_eq!(offs[21], SimDuration::hours(3));
+        assert_eq!(offs[23], SimDuration::hours(4));
+    }
+
+    #[test]
+    fn custom_schedule() {
+        let s = BackoffSchedule::new(
+            vec![BackoffStage { count: 2, interval: SimDuration::mins(1) }],
+            SimDuration::mins(7),
+        );
+        assert_eq!(s.delay_after(0), SimDuration::mins(1));
+        assert_eq!(s.delay_after(1), SimDuration::mins(1));
+        assert_eq!(s.delay_after(2), SimDuration::mins(7));
+        assert_eq!(s.delay_after(100), SimDuration::mins(7));
+    }
+}

@@ -1,0 +1,96 @@
+//! Opt-out blocklisting.
+//!
+//! The paper's ethics setup (§9) requires that operators can opt out of the
+//! supplemental measurement; ZMap's blocklist capability implements it. The
+//! scanner consults a [`Blocklist`] before every probe.
+
+use rdns_model::Ipv4Net;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A set of excluded prefixes.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Blocklist {
+    prefixes: Vec<Ipv4Net>,
+}
+
+impl Blocklist {
+    /// An empty blocklist.
+    pub fn new() -> Blocklist {
+        Blocklist::default()
+    }
+
+    /// Add a prefix (an operator's opt-out request).
+    pub fn add(&mut self, prefix: Ipv4Net) {
+        if !self.prefixes.contains(&prefix) {
+            self.prefixes.push(prefix);
+        }
+    }
+
+    /// Parse and add a textual CIDR entry.
+    pub fn add_str(&mut self, cidr: &str) -> Result<(), rdns_model::ip::NetError> {
+        self.add(cidr.parse()?);
+        Ok(())
+    }
+
+    /// Whether probes to `addr` are forbidden.
+    pub fn blocks(&self, addr: Ipv4Addr) -> bool {
+        self.prefixes.iter().any(|p| p.contains(addr))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_contained_addresses() {
+        let mut b = Blocklist::new();
+        b.add_str("192.0.2.0/24").unwrap();
+        assert!(b.blocks("192.0.2.77".parse().unwrap()));
+        assert!(!b.blocks("192.0.3.77".parse().unwrap()));
+    }
+
+    #[test]
+    fn empty_blocks_nothing() {
+        let b = Blocklist::new();
+        assert!(b.is_empty());
+        assert!(!b.blocks("10.0.0.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn duplicate_entries_deduplicated() {
+        let mut b = Blocklist::new();
+        b.add_str("10.0.0.0/8").unwrap();
+        b.add_str("10.0.0.0/8").unwrap();
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn overlapping_prefixes_both_work() {
+        let mut b = Blocklist::new();
+        b.add_str("10.0.0.0/8").unwrap();
+        b.add_str("10.1.0.0/16").unwrap();
+        assert!(b.blocks("10.1.2.3".parse().unwrap()));
+        assert!(b.blocks("10.200.0.1".parse().unwrap()));
+        assert!(!b.blocks("11.0.0.1".parse().unwrap()));
+    }
+
+    #[test]
+    fn bad_cidr_is_an_error() {
+        let mut b = Blocklist::new();
+        assert!(b.add_str("not-a-cidr").is_err());
+        assert!(b.add_str("10.0.0.1/8").is_err()); // host bits set
+        assert!(b.is_empty());
+    }
+}

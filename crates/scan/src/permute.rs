@@ -1,0 +1,144 @@
+//! ZMap-style address-space permutation.
+//!
+//! ZMap probes targets in a pseudo-random order so that no destination
+//! network receives a burst of consecutive probes. The classic construction
+//! iterates a multiplicative/affine cycle over a modulus just above the
+//! target count; [`Permutation`] implements the affine variant: a full-cycle
+//! walk `x → (a·x + c) mod m` with `m` a power of two (full period by the
+//! Hull–Dobell theorem), skipping indices beyond the target count.
+
+use serde::{Deserialize, Serialize};
+
+/// A full-cycle pseudo-random permutation of `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    n: u64,
+    modulus: u64,
+    multiplier: u64,
+    increment: u64,
+    state: u64,
+    emitted: u64,
+}
+
+impl Permutation {
+    /// Permutation of `0..n`, shaped by `seed`. `n = 0` yields an empty
+    /// iterator.
+    pub fn new(n: u64, seed: u64) -> Permutation {
+        let modulus = n.next_power_of_two().max(2);
+        // Hull–Dobell for m = 2^k: c odd, a ≡ 1 (mod 4).
+        let multiplier = ((seed | 1).wrapping_mul(4)).wrapping_add(1) % modulus;
+        let multiplier = if multiplier == 0 { 5 } else { multiplier };
+        let increment = ((seed >> 16) | 1) % modulus;
+        let state = seed % modulus;
+        Permutation {
+            n,
+            modulus,
+            multiplier,
+            increment,
+            state,
+            emitted: 0,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether the permutation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+impl Iterator for Permutation {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.emitted >= self.n {
+            return None;
+        }
+        loop {
+            let value = self.state;
+            self.state = self
+                .state
+                .wrapping_mul(self.multiplier)
+                .wrapping_add(self.increment)
+                % self.modulus;
+            if value < self.n {
+                self.emitted += 1;
+                return Some(value);
+            }
+            // Skip padding indices introduced by rounding to a power of two;
+            // at most half the cycle is padding.
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.n - self.emitted) as usize;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        for n in [1u64, 2, 3, 10, 255, 256, 1000] {
+            let seen: Vec<u64> = Permutation::new(n, 42).collect();
+            assert_eq!(seen.len() as u64, n, "n={n}");
+            let set: HashSet<u64> = seen.iter().copied().collect();
+            assert_eq!(set.len() as u64, n, "duplicates for n={n}");
+            assert!(set.iter().all(|v| *v < n));
+        }
+    }
+
+    #[test]
+    fn empty_permutation() {
+        assert_eq!(Permutation::new(0, 1).count(), 0);
+        assert!(Permutation::new(0, 1).is_empty());
+    }
+
+    #[test]
+    fn different_seeds_give_different_orders() {
+        let a: Vec<u64> = Permutation::new(1000, 1).collect();
+        let b: Vec<u64> = Permutation::new(1000, 2).collect();
+        assert_ne!(a, b);
+        // Same seed is reproducible.
+        let c: Vec<u64> = Permutation::new(1000, 1).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn order_is_scrambled_not_sequential() {
+        let order: Vec<u64> = Permutation::new(4096, 7).take(64).collect();
+        // Count adjacent pairs that are sequential; a random permutation has
+        // almost none.
+        let sequential = order.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(sequential < 8, "order too sequential: {sequential}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bijection(n in 1u64..5000, seed in any::<u64>()) {
+            let seen: HashSet<u64> = Permutation::new(n, seed).collect();
+            prop_assert_eq!(seen.len() as u64, n);
+        }
+
+        #[test]
+        fn prop_size_hint_accurate(n in 0u64..2000, seed in any::<u64>()) {
+            let mut p = Permutation::new(n, seed);
+            let (lo, hi) = p.size_hint();
+            prop_assert_eq!(lo as u64, n);
+            prop_assert_eq!(hi, Some(n as usize));
+            if n > 0 {
+                p.next();
+                prop_assert_eq!(p.size_hint().0 as u64, n - 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The reactive measurement engine (Fig. 5).
+//!
+//! Mechanics, following §6.1:
+//!
+//! 1. An hourly ICMP sweep discovers clients that newly appeared.
+//! 2. A newly seen client triggers a *spot rDNS lookup* (recording the PTR
+//!    value) and high-frequency reactive pings following the Table 2
+//!    back-off schedule.
+//! 3. When a reactive ping goes unanswered, the client is presumed gone and
+//!    reactive rDNS lookups begin, following the same back-off, until the
+//!    PTR disappears (NXDOMAIN) — pinning down the record-removal time.
+
+use crate::backoff::BackoffSchedule;
+use crate::blocklist::Blocklist;
+use crate::permute::Permutation;
+use crate::probe::{Prober, RdnsOutcome};
+use crate::records::ScanLog;
+use rdns_model::{Ipv4Net, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Reactive-scanner configuration.
+#[derive(Debug, Clone)]
+pub struct ReactiveConfig {
+    /// The address space to watch (the paper's weighted selection of
+    /// dynamic pools, §6.1).
+    pub targets: Vec<Ipv4Net>,
+    /// Discovery sweep interval (paper: hourly).
+    pub sweep_interval: SimDuration,
+    /// The back-off schedule (paper: Table 2).
+    pub backoff: BackoffSchedule,
+    /// Opt-out blocklist (§9).
+    pub blocklist: Blocklist,
+    /// Give up watching for PTR removal after this long (bounds state for
+    /// hosts whose records never revert).
+    pub max_rdns_watch: SimDuration,
+    /// Probe sweep targets in ZMap-style pseudo-random order (seeded); in
+    /// wire mode this avoids bursting consecutive probes at one network.
+    pub randomize_sweep: Option<u64>,
+}
+
+impl ReactiveConfig {
+    /// Paper-faithful defaults over the given targets.
+    pub fn standard(targets: Vec<Ipv4Net>) -> ReactiveConfig {
+        ReactiveConfig {
+            targets,
+            sweep_interval: SimDuration::hours(1),
+            backoff: BackoffSchedule::standard(),
+            blocklist: Blocklist::new(),
+            max_rdns_watch: SimDuration::hours(48),
+            randomize_sweep: Some(0x5CA0),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Action {
+    Sweep,
+    Ping(Ipv4Addr),
+    Rdns(Ipv4Addr),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TrackState {
+    /// Client answered pings; `probe_idx` counts reactive pings sent.
+    ActivePing { probe_idx: u32 },
+    /// Client went dark at `since`; probing rDNS until the PTR vanishes.
+    RdnsWatch { probe_idx: u32, since: SimTime },
+}
+
+/// Counters for engine activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ReactiveStats {
+    /// Discovery sweeps performed.
+    pub sweeps: u64,
+    /// Clients that triggered reactive tracking.
+    pub triggers: u64,
+    /// Reactive pings sent.
+    pub reactive_pings: u64,
+    /// rDNS lookups sent.
+    pub rdns_lookups: u64,
+    /// Watches that ended with observed PTR removal.
+    pub removals_observed: u64,
+    /// Watches abandoned after `max_rdns_watch`.
+    pub watches_abandoned: u64,
+}
+
+/// The reactive scanner.
+pub struct ReactiveScanner {
+    config: ReactiveConfig,
+    queue: BinaryHeap<Reverse<(SimTime, u64, Action)>>,
+    seq: u64,
+    states: HashMap<Ipv4Addr, TrackState>,
+    log: ScanLog,
+    stats: ReactiveStats,
+    /// Flattened target addresses, for permuted sweeps.
+    targets_flat: Vec<Ipv4Addr>,
+}
+
+impl ReactiveScanner {
+    /// Create a scanner; the first sweep fires at `start`.
+    pub fn new(config: ReactiveConfig, start: SimTime) -> ReactiveScanner {
+        let targets_flat: Vec<Ipv4Addr> = config
+            .targets
+            .iter()
+            .flat_map(|p| p.addrs().collect::<Vec<_>>())
+            .collect();
+        let mut s = ReactiveScanner {
+            config,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            states: HashMap::new(),
+            log: ScanLog::new(),
+            stats: ReactiveStats::default(),
+            targets_flat,
+        };
+        s.push(start, Action::Sweep);
+        s
+    }
+
+    fn push(&mut self, at: SimTime, action: Action) {
+        self.queue.push(Reverse((at, self.seq, action)));
+        self.seq += 1;
+    }
+
+    /// When the next scheduled action is due.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// The measurement log so far.
+    pub fn log(&self) -> &ScanLog {
+        &self.log
+    }
+
+    /// Consume the scanner, returning the log.
+    pub fn into_log(self) -> ScanLog {
+        self.log
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> ReactiveStats {
+        self.stats
+    }
+
+    /// Addresses currently under reactive tracking.
+    pub fn tracked_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Execute every scheduled action due at or before `now`. The caller
+    /// must have advanced its world/sockets to `now` first.
+    pub fn run_due<P: Prober>(&mut self, now: SimTime, prober: &mut P) {
+        while let Some(Reverse((at, _, _))) = self.queue.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((at, _, action)) = self.queue.pop().expect("peeked non-empty");
+            match action {
+                Action::Sweep => self.do_sweep(at, prober),
+                Action::Ping(addr) => self.do_ping(addr, at, prober),
+                Action::Rdns(addr) => self.do_rdns(addr, at, prober),
+            }
+        }
+    }
+
+    fn do_sweep<P: Prober>(&mut self, at: SimTime, prober: &mut P) {
+        self.stats.sweeps += 1;
+        self.push(at + self.config.sweep_interval, Action::Sweep);
+        // ZMap-style: permute the probe order per sweep when configured.
+        let order: Vec<Ipv4Addr> = match self.config.randomize_sweep {
+            Some(seed) => {
+                let n = self.targets_flat.len() as u64;
+                Permutation::new(n, seed ^ self.stats.sweeps)
+                    .map(|i| self.targets_flat[i as usize])
+                    .collect()
+            }
+            None => self.targets_flat.clone(),
+        };
+        {
+            for addr in order {
+                if self.config.blocklist.blocks(addr) {
+                    continue;
+                }
+                match self.states.get(&addr) {
+                    Some(TrackState::ActivePing { .. }) => continue, // already tracked
+                    Some(TrackState::RdnsWatch { .. }) => {
+                        // The client went dark earlier; if it is back, the
+                        // stale watch must end and tracking restart —
+                        // otherwise its PTR never "reverts" and the group's
+                        // timing is garbage.
+                        if prober.ping(addr) {
+                            self.log.push_icmp(at, addr, true);
+                            self.states.remove(&addr);
+                            self.trigger(addr, at, prober);
+                        }
+                        continue;
+                    }
+                    None => {}
+                }
+                if prober.ping(addr) {
+                    // ZMap-style: sweeps log reachable hosts only.
+                    self.log.push_icmp(at, addr, true);
+                    self.trigger(addr, at, prober);
+                }
+            }
+        }
+    }
+
+    /// A client newly appeared: spot rDNS to capture the PTR, then start
+    /// reactive pinging.
+    fn trigger<P: Prober>(&mut self, addr: Ipv4Addr, at: SimTime, prober: &mut P) {
+        self.stats.triggers += 1;
+        let outcome = prober.rdns(addr);
+        self.stats.rdns_lookups += 1;
+        self.log.push_rdns(at, addr, outcome);
+        self.states.insert(addr, TrackState::ActivePing { probe_idx: 0 });
+        let delay = self.config.backoff.delay_after(0);
+        self.push(at + delay, Action::Ping(addr));
+    }
+
+    fn do_ping<P: Prober>(&mut self, addr: Ipv4Addr, at: SimTime, prober: &mut P) {
+        let Some(TrackState::ActivePing { probe_idx }) = self.states.get(&addr).copied() else {
+            return; // state changed meanwhile
+        };
+        self.stats.reactive_pings += 1;
+        let alive = prober.ping(addr);
+        self.log.push_icmp(at, addr, alive);
+        if alive {
+            let next_idx = probe_idx + 1;
+            self.states
+                .insert(addr, TrackState::ActivePing { probe_idx: next_idx });
+            self.push(at + self.config.backoff.delay_after(next_idx), Action::Ping(addr));
+        } else {
+            // Client went dark: switch to rDNS watching, starting now.
+            self.states.insert(
+                addr,
+                TrackState::RdnsWatch {
+                    probe_idx: 0,
+                    since: at,
+                },
+            );
+            self.push(at, Action::Rdns(addr));
+        }
+    }
+
+    fn do_rdns<P: Prober>(&mut self, addr: Ipv4Addr, at: SimTime, prober: &mut P) {
+        let Some(TrackState::RdnsWatch { probe_idx, since }) = self.states.get(&addr).copied()
+        else {
+            return;
+        };
+        self.stats.rdns_lookups += 1;
+        let outcome = prober.rdns(addr);
+        let removed = matches!(outcome, RdnsOutcome::NxDomain);
+        self.log.push_rdns(at, addr, outcome);
+        if removed {
+            self.stats.removals_observed += 1;
+            self.states.remove(&addr);
+            return;
+        }
+        if at.since_sat(since) >= self.config.max_rdns_watch {
+            self.stats.watches_abandoned += 1;
+            self.states.remove(&addr);
+            return;
+        }
+        let next_idx = probe_idx + 1;
+        self.states.insert(
+            addr,
+            TrackState::RdnsWatch {
+                probe_idx: next_idx,
+                since,
+            },
+        );
+        self.push(at + self.config.backoff.delay_after(next_idx), Action::Rdns(addr));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::FnProber;
+    use rdns_model::{Date, Hostname};
+    use std::cell::RefCell;
+    use std::collections::HashMap as Map;
+    use std::rc::Rc;
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::from_ymd(2021, 11, 1))
+    }
+
+    /// A scripted little world: per-address online interval and PTR removal
+    /// time.
+    #[derive(Default, Clone)]
+    struct ScriptWorld {
+        /// addr -> (online_from, online_to)
+        online: Map<Ipv4Addr, (SimTime, SimTime)>,
+        /// addr -> (ptr present from, to, hostname)
+        ptr: Map<Ipv4Addr, (SimTime, SimTime, Hostname)>,
+        now: SimTime,
+    }
+
+    fn driver(
+        world: Rc<RefCell<ScriptWorld>>,
+    ) -> impl Prober {
+        let w2 = world.clone();
+        FnProber::new(
+            move |addr| {
+                let w = world.borrow();
+                w.online
+                    .get(&addr)
+                    .map(|(from, to)| w.now >= *from && w.now < *to)
+                    .unwrap_or(false)
+            },
+            move |addr| {
+                let w = w2.borrow();
+                match w.ptr.get(&addr) {
+                    Some((from, to, host)) if w.now >= *from && w.now < *to => {
+                        RdnsOutcome::Ptr(host.clone())
+                    }
+                    _ => RdnsOutcome::NxDomain,
+                }
+            },
+        )
+    }
+
+    fn net(s: &str) -> Ipv4Net {
+        s.parse().unwrap()
+    }
+
+    fn run(
+        scanner: &mut ReactiveScanner,
+        world: &Rc<RefCell<ScriptWorld>>,
+        prober: &mut impl Prober,
+        until: SimTime,
+    ) {
+        // 5-minute driver ticks, like the real measurement's finest grain.
+        let mut t = world.borrow().now;
+        while t <= until {
+            world.borrow_mut().now = t;
+            scanner.run_due(t, prober);
+            t += SimDuration::mins(5);
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_join_track_leave_removal() {
+        let addr: Ipv4Addr = "10.0.0.5".parse().unwrap();
+        let join = t0() + SimDuration::mins(90);
+        let leave = t0() + SimDuration::mins(150);
+        let ptr_removed = leave + SimDuration::mins(60); // lease expiry
+        let mut world = ScriptWorld {
+            now: t0(),
+            ..ScriptWorld::default()
+        };
+        world.online.insert(addr, (join, leave));
+        world.ptr.insert(
+            addr,
+            (join, ptr_removed, Hostname::new("brians-iphone.example.edu")),
+        );
+        let world = Rc::new(RefCell::new(world));
+        let mut prober = driver(world.clone());
+        let mut scanner = ReactiveScanner::new(
+            ReactiveConfig::standard(vec![net("10.0.0.0/24")]),
+            t0(),
+        );
+        run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(8));
+
+        let stats = scanner.stats();
+        assert_eq!(stats.triggers, 1, "one client discovered");
+        assert_eq!(stats.removals_observed, 1, "removal observed");
+        assert_eq!(scanner.tracked_count(), 0, "state cleaned up");
+
+        let log = scanner.log();
+        // The spot rDNS at discovery saw the hostname.
+        let first_ptr = log
+            .rdns
+            .iter()
+            .find(|r| r.outcome.hostname().is_some())
+            .expect("spot lookup captured the PTR");
+        assert_eq!(
+            first_ptr.outcome.hostname().unwrap().as_str(),
+            "brians-iphone.example.edu"
+        );
+        // The last rDNS sample is the NXDOMAIN that ended the watch.
+        let last = log.rdns.last().unwrap();
+        assert_eq!(last.outcome, RdnsOutcome::NxDomain);
+        assert!(last.ts >= ptr_removed);
+        // Removal was pinned within one backoff step (5 min) of the truth.
+        assert!(last.ts.since_sat(ptr_removed) <= SimDuration::mins(5));
+    }
+
+    #[test]
+    fn discovery_only_at_sweeps() {
+        let addr: Ipv4Addr = "10.0.0.7".parse().unwrap();
+        // Joins at minute 10, i.e. between sweeps; discovered at the next
+        // hourly sweep.
+        let mut world = ScriptWorld {
+            now: t0(),
+            ..ScriptWorld::default()
+        };
+        world.online.insert(addr, (t0() + SimDuration::mins(10), t0() + SimDuration::hours(5)));
+        world
+            .ptr
+            .insert(addr, (t0(), t0() + SimDuration::hours(10), Hostname::new("x.example")));
+        let world = Rc::new(RefCell::new(world));
+        let mut prober = driver(world.clone());
+        let mut scanner =
+            ReactiveScanner::new(ReactiveConfig::standard(vec![net("10.0.0.0/24")]), t0());
+        run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(2));
+        let first_icmp = scanner.log().icmp.first().unwrap();
+        assert_eq!(first_icmp.ts, t0() + SimDuration::hours(1));
+    }
+
+    #[test]
+    fn backoff_cadence_visible_in_log() {
+        let addr: Ipv4Addr = "10.0.0.9".parse().unwrap();
+        let mut world = ScriptWorld {
+            now: t0(),
+            ..ScriptWorld::default()
+        };
+        // Online for 100 minutes from the very first sweep.
+        world.online.insert(addr, (t0(), t0() + SimDuration::mins(100)));
+        world
+            .ptr
+            .insert(addr, (t0(), t0() + SimDuration::hours(3), Hostname::new("x.example")));
+        let world = Rc::new(RefCell::new(world));
+        let mut prober = driver(world.clone());
+        let mut scanner =
+            ReactiveScanner::new(ReactiveConfig::standard(vec![net("10.0.0.0/24")]), t0());
+        run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(2));
+        // Reactive pings at +5, +10, ..., alive until minute 100.
+        let alive: Vec<u64> = scanner
+            .log()
+            .icmp
+            .iter()
+            .filter(|r| r.alive)
+            .map(|r| r.ts.since_sat(t0()).as_mins())
+            .collect();
+        assert_eq!(&alive[..6], &[0, 5, 10, 15, 20, 25]);
+        // The first dead probe is at minute 100.
+        let first_dead = scanner
+            .log()
+            .icmp
+            .iter()
+            .find(|r| !r.alive)
+            .unwrap();
+        assert_eq!(first_dead.ts.since_sat(t0()).as_mins(), 100);
+    }
+
+    #[test]
+    fn blocklist_suppresses_probing() {
+        let addr: Ipv4Addr = "10.0.0.5".parse().unwrap();
+        let mut world = ScriptWorld {
+            now: t0(),
+            ..ScriptWorld::default()
+        };
+        world.online.insert(addr, (t0(), t0() + SimDuration::hours(10)));
+        world
+            .ptr
+            .insert(addr, (t0(), t0() + SimDuration::hours(10), Hostname::new("x.example")));
+        let world = Rc::new(RefCell::new(world));
+        let mut prober = driver(world.clone());
+        let mut config = ReactiveConfig::standard(vec![net("10.0.0.0/24")]);
+        config.blocklist.add_str("10.0.0.0/24").unwrap();
+        let mut scanner = ReactiveScanner::new(config, t0());
+        run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(3));
+        assert!(scanner.log().icmp.is_empty());
+        assert!(scanner.log().rdns.is_empty());
+        assert_eq!(scanner.stats().triggers, 0);
+    }
+
+    #[test]
+    fn watch_abandoned_when_ptr_never_reverts() {
+        let addr: Ipv4Addr = "10.0.0.5".parse().unwrap();
+        let mut world = ScriptWorld {
+            now: t0(),
+            ..ScriptWorld::default()
+        };
+        // Online briefly; PTR stays forever (static record).
+        world.online.insert(addr, (t0(), t0() + SimDuration::mins(30)));
+        world.ptr.insert(
+            addr,
+            (t0(), t0() + SimDuration::days(30), Hostname::new("static.example")),
+        );
+        let world = Rc::new(RefCell::new(world));
+        let mut prober = driver(world.clone());
+        let mut config = ReactiveConfig::standard(vec![net("10.0.0.0/24")]);
+        config.max_rdns_watch = SimDuration::hours(6);
+        let mut scanner = ReactiveScanner::new(config, t0());
+        run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(12));
+        assert_eq!(scanner.stats().watches_abandoned, 1);
+        assert_eq!(scanner.stats().removals_observed, 0);
+        assert_eq!(scanner.tracked_count(), 0);
+    }
+
+    #[test]
+    fn rediscovery_after_removal() {
+        let addr: Ipv4Addr = "10.0.0.5".parse().unwrap();
+        let mut world = ScriptWorld {
+            now: t0(),
+            ..ScriptWorld::default()
+        };
+        // Two sessions separated by a gap with PTR removal in between.
+        world.online.insert(addr, (t0(), t0() + SimDuration::hours(1)));
+        world
+            .ptr
+            .insert(addr, (t0(), t0() + SimDuration::mins(65), Hostname::new("a.example")));
+        let world = Rc::new(RefCell::new(world));
+        let mut prober = driver(world.clone());
+        let mut scanner =
+            ReactiveScanner::new(ReactiveConfig::standard(vec![net("10.0.0.0/24")]), t0());
+        run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(3));
+        assert_eq!(scanner.stats().removals_observed, 1);
+        // Second session begins; the next sweep re-triggers tracking.
+        {
+            let mut w = world.borrow_mut();
+            w.online.insert(addr, (t0() + SimDuration::hours(4), t0() + SimDuration::hours(9)));
+            w.ptr.insert(
+                addr,
+                (
+                    t0() + SimDuration::hours(4),
+                    t0() + SimDuration::hours(10),
+                    Hostname::new("b.example"),
+                ),
+            );
+        }
+        run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(6));
+        assert_eq!(scanner.stats().triggers, 2);
+    }
+
+    #[test]
+    fn sweep_order_does_not_change_results() {
+        // Randomized (ZMap-style) vs sequential probe order must discover
+        // the same clients with identical timestamps — order only matters
+        // for wire-level load spreading.
+        let build_world = || {
+            let mut w = ScriptWorld {
+                now: t0(),
+                ..ScriptWorld::default()
+            };
+            for i in [3u8, 77, 150, 201] {
+                let addr = Ipv4Addr::new(10, 0, 0, i);
+                w.online.insert(addr, (t0(), t0() + SimDuration::hours(2)));
+                w.ptr.insert(
+                    addr,
+                    (t0(), t0() + SimDuration::hours(4), Hostname::new("x.example")),
+                );
+            }
+            Rc::new(RefCell::new(w))
+        };
+        let run_with = |randomize: Option<u64>| {
+            let world = build_world();
+            let mut prober = driver(world.clone());
+            let mut config = ReactiveConfig::standard(vec![net("10.0.0.0/24")]);
+            config.randomize_sweep = randomize;
+            let mut scanner = ReactiveScanner::new(config, t0());
+            run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(3));
+            let mut icmp: Vec<(SimTime, Ipv4Addr, bool)> = scanner
+                .log()
+                .icmp
+                .iter()
+                .map(|r| (r.ts, r.addr, r.alive))
+                .collect();
+            icmp.sort();
+            (scanner.stats().triggers, icmp)
+        };
+        assert_eq!(run_with(None), run_with(Some(1)));
+        assert_eq!(run_with(Some(1)), run_with(Some(99)));
+    }
+
+    #[test]
+    fn sweep_cadence_is_hourly() {
+        let world = Rc::new(RefCell::new(ScriptWorld {
+            now: t0(),
+            ..ScriptWorld::default()
+        }));
+        let mut prober = driver(world.clone());
+        let mut scanner =
+            ReactiveScanner::new(ReactiveConfig::standard(vec![net("10.0.0.0/24")]), t0());
+        run(&mut scanner, &world, &mut prober, t0() + SimDuration::hours(5));
+        assert_eq!(scanner.stats().sweeps, 6); // t0 + 5 hourly repeats
+    }
+}

@@ -1,0 +1,274 @@
+//! Measurement records.
+//!
+//! Both ZMap and the paper's custom rDNS software write CSV files (§6.1);
+//! [`ScanLog`] is the in-memory equivalent with CSV export. Analysis code
+//! (in `rdns-core`) merges the two record streams on 5-minute truncated
+//! timestamps exactly as the paper does.
+
+use crate::probe::RdnsOutcome;
+use rdns_model::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+use std::net::Ipv4Addr;
+
+/// One ICMP probe result. Sweep results only include reachable hosts (like
+/// ZMap's output); reactive probes record unreachable results too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IcmpRecord {
+    /// Probe time.
+    pub ts: SimTime,
+    /// Target address.
+    pub addr: Ipv4Addr,
+    /// Whether an echo reply came back.
+    pub alive: bool,
+}
+
+/// One reverse-DNS lookup result.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RdnsRecord {
+    /// Lookup time.
+    pub ts: SimTime,
+    /// Target address.
+    pub addr: Ipv4Addr,
+    /// Classified outcome.
+    pub outcome: RdnsOutcome,
+}
+
+/// The full supplemental-measurement log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScanLog {
+    /// ICMP samples in chronological order.
+    pub icmp: Vec<IcmpRecord>,
+    /// rDNS samples in chronological order.
+    pub rdns: Vec<RdnsRecord>,
+}
+
+impl ScanLog {
+    /// An empty log.
+    pub fn new() -> ScanLog {
+        ScanLog::default()
+    }
+
+    /// Append an ICMP sample.
+    pub fn push_icmp(&mut self, ts: SimTime, addr: Ipv4Addr, alive: bool) {
+        self.icmp.push(IcmpRecord { ts, addr, alive });
+    }
+
+    /// Append an rDNS sample.
+    pub fn push_rdns(&mut self, ts: SimTime, addr: Ipv4Addr, outcome: RdnsOutcome) {
+        self.rdns.push(RdnsRecord { ts, addr, outcome });
+    }
+
+    /// Unique IP addresses across ICMP samples (Table 3 column).
+    pub fn unique_icmp_addrs(&self) -> usize {
+        self.icmp.iter().map(|r| r.addr).collect::<HashSet<_>>().len()
+    }
+
+    /// Unique IP addresses across rDNS samples (Table 3 column).
+    pub fn unique_rdns_addrs(&self) -> usize {
+        self.rdns.iter().map(|r| r.addr).collect::<HashSet<_>>().len()
+    }
+
+    /// Unique PTR values observed (Table 3 column).
+    pub fn unique_ptrs(&self) -> usize {
+        self.rdns
+            .iter()
+            .filter_map(|r| r.outcome.hostname())
+            .collect::<HashSet<_>>()
+            .len()
+    }
+
+    /// ICMP samples as CSV (`ts,addr,alive`).
+    pub fn icmp_csv(&self) -> String {
+        let mut out = String::from("ts,addr,alive\n");
+        for r in &self.icmp {
+            let _ = writeln!(out, "{},{},{}", r.ts.as_secs(), r.addr, r.alive as u8);
+        }
+        out
+    }
+
+    /// rDNS samples as CSV (`ts,addr,outcome,hostname`).
+    pub fn rdns_csv(&self) -> String {
+        let mut out = String::from("ts,addr,outcome,hostname\n");
+        for r in &self.rdns {
+            let (kind, host) = match &r.outcome {
+                RdnsOutcome::Ptr(h) => ("ptr", h.as_str()),
+                RdnsOutcome::NxDomain => ("nxdomain", ""),
+                RdnsOutcome::NameserverFailure => ("servfail", ""),
+                RdnsOutcome::Timeout => ("timeout", ""),
+            };
+            let _ = writeln!(out, "{},{},{},{}", r.ts.as_secs(), r.addr, kind, host);
+        }
+        out
+    }
+
+    /// Merge another log (e.g. from a second vantage point).
+    pub fn merge(&mut self, other: ScanLog) {
+        self.icmp.extend(other.icmp);
+        self.rdns.extend(other.rdns);
+        self.icmp.sort_by_key(|r| (r.ts, r.addr));
+        self.rdns.sort_by_key(|r| (r.ts, r.addr));
+    }
+
+    /// Parse ICMP CSV produced by [`ScanLog::icmp_csv`].
+    pub fn parse_icmp_csv(text: &str) -> Result<Vec<IcmpRecord>, CsvError> {
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if lineno == 0 || line.is_empty() {
+                continue; // header
+            }
+            let mut f = line.split(',');
+            let ts = next_field(&mut f, lineno)?.parse::<i64>().map_err(|_| CsvError(lineno))?;
+            let addr = next_field(&mut f, lineno)?
+                .parse::<Ipv4Addr>()
+                .map_err(|_| CsvError(lineno))?;
+            let alive = match next_field(&mut f, lineno)? {
+                "1" => true,
+                "0" => false,
+                _ => return Err(CsvError(lineno)),
+            };
+            out.push(IcmpRecord {
+                ts: SimTime(ts),
+                addr,
+                alive,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Parse rDNS CSV produced by [`ScanLog::rdns_csv`].
+    pub fn parse_rdns_csv(text: &str) -> Result<Vec<RdnsRecord>, CsvError> {
+        let mut out = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if lineno == 0 || line.is_empty() {
+                continue;
+            }
+            let mut f = line.split(',');
+            let ts = next_field(&mut f, lineno)?.parse::<i64>().map_err(|_| CsvError(lineno))?;
+            let addr = next_field(&mut f, lineno)?
+                .parse::<Ipv4Addr>()
+                .map_err(|_| CsvError(lineno))?;
+            let kind = next_field(&mut f, lineno)?;
+            let host = f.next().unwrap_or("");
+            let outcome = match kind {
+                "ptr" => RdnsOutcome::Ptr(rdns_model::Hostname::new(host)),
+                "nxdomain" => RdnsOutcome::NxDomain,
+                "servfail" => RdnsOutcome::NameserverFailure,
+                "timeout" => RdnsOutcome::Timeout,
+                _ => return Err(CsvError(lineno)),
+            };
+            out.push(RdnsRecord {
+                ts: SimTime(ts),
+                addr,
+                outcome,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Rebuild a log from both CSV streams.
+    pub fn from_csv(icmp_csv: &str, rdns_csv: &str) -> Result<ScanLog, CsvError> {
+        Ok(ScanLog {
+            icmp: Self::parse_icmp_csv(icmp_csv)?,
+            rdns: Self::parse_rdns_csv(rdns_csv)?,
+        })
+    }
+}
+
+fn next_field<'a>(fields: &mut std::str::Split<'a, char>, lineno: usize) -> Result<&'a str, CsvError> {
+    fields.next().ok_or(CsvError(lineno))
+}
+
+/// A CSV parse error carrying the offending 0-based line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsvError(pub usize);
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed CSV at line {}", self.0 + 1)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_model::{Date, Hostname, SimDuration};
+
+    fn t0() -> SimTime {
+        SimTime::from_date(Date::from_ymd(2021, 11, 1))
+    }
+
+    fn a(i: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, i)
+    }
+
+    #[test]
+    fn counters() {
+        let mut log = ScanLog::new();
+        log.push_icmp(t0(), a(1), true);
+        log.push_icmp(t0() + SimDuration::mins(5), a(1), true);
+        log.push_icmp(t0(), a(2), false);
+        log.push_rdns(t0(), a(1), RdnsOutcome::Ptr(Hostname::new("x.example.edu")));
+        log.push_rdns(t0(), a(1), RdnsOutcome::Ptr(Hostname::new("x.example.edu")));
+        log.push_rdns(t0(), a(3), RdnsOutcome::NxDomain);
+        assert_eq!(log.unique_icmp_addrs(), 2);
+        assert_eq!(log.unique_rdns_addrs(), 2);
+        assert_eq!(log.unique_ptrs(), 1);
+    }
+
+    #[test]
+    fn csv_output() {
+        let mut log = ScanLog::new();
+        log.push_icmp(t0(), a(1), true);
+        log.push_rdns(t0(), a(1), RdnsOutcome::Ptr(Hostname::new("h.example")));
+        log.push_rdns(t0(), a(2), RdnsOutcome::Timeout);
+        let icmp = log.icmp_csv();
+        assert!(icmp.starts_with("ts,addr,alive\n"));
+        assert!(icmp.contains("10.0.0.1,1"));
+        let rdns = log.rdns_csv();
+        assert!(rdns.contains("10.0.0.1,ptr,h.example"));
+        assert!(rdns.contains("10.0.0.2,timeout,"));
+        assert_eq!(rdns.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut log = ScanLog::new();
+        log.push_icmp(t0(), a(1), true);
+        log.push_icmp(t0() + SimDuration::mins(5), a(1), false);
+        log.push_rdns(t0(), a(1), RdnsOutcome::Ptr(Hostname::new("brians-air.example.edu")));
+        log.push_rdns(t0(), a(2), RdnsOutcome::NxDomain);
+        log.push_rdns(t0(), a(3), RdnsOutcome::NameserverFailure);
+        log.push_rdns(t0(), a(4), RdnsOutcome::Timeout);
+        let back = ScanLog::from_csv(&log.icmp_csv(), &log.rdns_csv()).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn csv_parse_rejects_garbage() {
+        assert!(ScanLog::parse_icmp_csv("ts,addr,alive\nnot-a-ts,10.0.0.1,1").is_err());
+        assert!(ScanLog::parse_icmp_csv("ts,addr,alive\n1,banana,1").is_err());
+        assert!(ScanLog::parse_icmp_csv("ts,addr,alive\n1,10.0.0.1,7").is_err());
+        assert!(ScanLog::parse_rdns_csv("h\n1,10.0.0.1,alien,").is_err());
+        let err = ScanLog::parse_icmp_csv("ts,addr,alive\n1,10.0.0.1").unwrap_err();
+        assert_eq!(err, CsvError(1));
+        assert!(err.to_string().contains("line 2"));
+        // Header-only inputs are fine.
+        assert!(ScanLog::parse_icmp_csv("ts,addr,alive\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_sorts_chronologically() {
+        let mut log1 = ScanLog::new();
+        log1.push_icmp(t0() + SimDuration::mins(10), a(1), true);
+        let mut log2 = ScanLog::new();
+        log2.push_icmp(t0(), a(2), true);
+        log1.merge(log2);
+        assert_eq!(log1.icmp.len(), 2);
+        assert_eq!(log1.icmp[0].addr, a(2));
+        assert_eq!(log1.icmp[1].addr, a(1));
+    }
+}

@@ -1,0 +1,300 @@
+//! Wire-mode probing over real UDP sockets.
+//!
+//! Raw ICMP requires privileges, so the reproduction routes echo probes
+//! through a tiny UDP *ping gateway* (documented substitution, DESIGN.md):
+//! a request carries the 4-octet target address, the gateway consults the
+//! simulated world and answers with alive/dead. Reverse lookups go through
+//! the real async resolver from `rdns-dns` against the authoritative UDP
+//! server. [`BlockingWireProber`] packages both behind the synchronous
+//! [`Prober`] trait so the reactive engine runs unchanged over real sockets.
+
+use crate::probe::{Prober, RdnsOutcome};
+use rdns_dns::{LookupOutcome, Resolver, ResolverConfig};
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::net::UdpSocket;
+use tokio::sync::watch;
+use tokio::time::timeout;
+
+/// The oracle a gateway consults: is this (simulated) address answering
+/// pings right now?
+pub type PingOracle = Arc<dyn Fn(Ipv4Addr) -> bool + Send + Sync>;
+
+/// A UDP service answering ping-gateway requests.
+pub struct UdpPingGateway {
+    socket: Arc<UdpSocket>,
+    oracle: PingOracle,
+    shutdown_tx: watch::Sender<bool>,
+    shutdown_rx: watch::Receiver<bool>,
+}
+
+impl UdpPingGateway {
+    /// Bind to `addr` (port 0 for ephemeral).
+    pub async fn bind(addr: SocketAddr, oracle: PingOracle) -> io::Result<UdpPingGateway> {
+        let socket = UdpSocket::bind(addr).await?;
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        Ok(UdpPingGateway {
+            socket: Arc::new(socket),
+            oracle,
+            shutdown_tx,
+            shutdown_rx,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// A handle to stop the serve loop.
+    pub fn shutdown_handle(&self) -> watch::Sender<bool> {
+        self.shutdown_tx.clone()
+    }
+
+    /// Serve requests until shut down.
+    pub async fn run(self) -> io::Result<()> {
+        let mut buf = [0u8; 16];
+        let mut shutdown_rx = self.shutdown_rx.clone();
+        loop {
+            tokio::select! {
+                _ = shutdown_rx.changed() => {
+                    if *shutdown_rx.borrow() {
+                        return Ok(());
+                    }
+                }
+                recv = self.socket.recv_from(&mut buf) => {
+                    let (n, peer) = recv?;
+                    if n != 4 {
+                        continue; // malformed request
+                    }
+                    let addr = Ipv4Addr::new(buf[0], buf[1], buf[2], buf[3]);
+                    let alive = (self.oracle)(addr);
+                    let reply = [buf[0], buf[1], buf[2], buf[3], alive as u8];
+                    let _ = self.socket.send_to(&reply, peer).await;
+                }
+            }
+        }
+    }
+}
+
+/// Async ping-gateway client.
+pub struct PingClient {
+    socket: UdpSocket,
+    gateway: SocketAddr,
+    timeout: Duration,
+}
+
+impl PingClient {
+    /// Bind an ephemeral socket for talking to `gateway`.
+    pub async fn new(gateway: SocketAddr, timeout_dur: Duration) -> io::Result<PingClient> {
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        Ok(PingClient {
+            socket,
+            gateway,
+            timeout: timeout_dur,
+        })
+    }
+
+    /// Probe one address; a lost/late reply reads as dead, like real ICMP.
+    pub async fn ping(&self, addr: Ipv4Addr) -> io::Result<bool> {
+        let req = addr.octets();
+        self.socket.send_to(&req, self.gateway).await?;
+        let mut buf = [0u8; 16];
+        loop {
+            match timeout(self.timeout, self.socket.recv_from(&mut buf)).await {
+                Ok(Ok((n, peer))) => {
+                    if peer != self.gateway || n != 5 || buf[..4] != req {
+                        continue; // stray or mismatched reply; keep waiting
+                    }
+                    return Ok(buf[4] == 1);
+                }
+                Ok(Err(e)) => return Err(e),
+                Err(_) => return Ok(false),
+            }
+        }
+    }
+}
+
+/// A synchronous [`Prober`] running over real UDP sockets; owns a
+/// single-threaded tokio runtime and blocks on each probe.
+pub struct BlockingWireProber {
+    rt: tokio::runtime::Runtime,
+    ping: PingClient,
+    resolver: Resolver,
+}
+
+impl BlockingWireProber {
+    /// Connect to a ping gateway and an authoritative DNS server.
+    pub fn connect(gateway: SocketAddr, dns_server: SocketAddr) -> io::Result<BlockingWireProber> {
+        let rt = tokio::runtime::Builder::new_current_thread()
+            .enable_all()
+            .build()?;
+        let (ping, resolver) = rt.block_on(async {
+            let ping = PingClient::new(gateway, Duration::from_millis(300)).await?;
+            let mut config = ResolverConfig::new(dns_server);
+            config.timeout = Duration::from_millis(300);
+            let resolver = Resolver::new(config).await?;
+            Ok::<_, io::Error>((ping, resolver))
+        })?;
+        Ok(BlockingWireProber { rt, ping, resolver })
+    }
+}
+
+impl Prober for BlockingWireProber {
+    fn ping(&mut self, addr: Ipv4Addr) -> bool {
+        self.rt
+            .block_on(self.ping.ping(addr))
+            .unwrap_or(false)
+    }
+
+    fn rdns(&mut self, addr: Ipv4Addr) -> RdnsOutcome {
+        let outcome = self.rt.block_on(self.resolver.reverse(addr));
+        match outcome {
+            Ok(LookupOutcome::Answer(_)) => {
+                let out = outcome.expect("checked Ok above");
+                match out.ptr_target() {
+                    Some(name) => RdnsOutcome::Ptr(name.to_hostname()),
+                    None => RdnsOutcome::NameserverFailure,
+                }
+            }
+            Ok(LookupOutcome::NxDomain) | Ok(LookupOutcome::NoData) => RdnsOutcome::NxDomain,
+            Ok(LookupOutcome::ServerFailure(_)) => RdnsOutcome::NameserverFailure,
+            Ok(LookupOutcome::Timeout) => RdnsOutcome::Timeout,
+            Err(_) => RdnsOutcome::Timeout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_dns::{FaultConfig, UdpServer, ZoneStore};
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    /// Spin up gateway + DNS server on a shared runtime thread; return the
+    /// addresses, a handle to mutate the world, and a guard runtime.
+    fn setup() -> (
+        tokio::runtime::Runtime,
+        SocketAddr,
+        SocketAddr,
+        Arc<Mutex<HashSet<Ipv4Addr>>>,
+        ZoneStore,
+    ) {
+        let rt = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .build()
+            .unwrap();
+        let online: Arc<Mutex<HashSet<Ipv4Addr>>> = Arc::new(Mutex::new(HashSet::new()));
+        let oracle_online = online.clone();
+        let oracle: PingOracle =
+            Arc::new(move |a| oracle_online.lock().unwrap().contains(&a));
+        let store = ZoneStore::new();
+        store.ensure_reverse_zone("10.9.0.1".parse().unwrap());
+
+        let (gw_addr, dns_addr) = rt.block_on(async {
+            let gw = UdpPingGateway::bind("127.0.0.1:0".parse().unwrap(), oracle)
+                .await
+                .unwrap();
+            let gw_addr = gw.local_addr().unwrap();
+            tokio::spawn(gw.run());
+            let server = UdpServer::bind(
+                "127.0.0.1:0".parse().unwrap(),
+                store.clone(),
+                FaultConfig::default(),
+            )
+            .await
+            .unwrap();
+            let dns_addr = server.local_addr().unwrap();
+            tokio::spawn(server.run());
+            (gw_addr, dns_addr)
+        });
+        (rt, gw_addr, dns_addr, online, store)
+    }
+
+    #[test]
+    fn wire_prober_end_to_end() {
+        let (_rt, gw, dns, online, store) = setup();
+        let target: Ipv4Addr = "10.9.0.1".parse().unwrap();
+        let mut prober = BlockingWireProber::connect(gw, dns).unwrap();
+
+        // Initially dead, no PTR.
+        assert!(!prober.ping(target));
+        assert_eq!(prober.rdns(target), RdnsOutcome::NxDomain);
+
+        // Device comes online with a PTR.
+        online.lock().unwrap().insert(target);
+        store.set_ptr(target, "brians-air.example.edu".parse().unwrap(), 300);
+        assert!(prober.ping(target));
+        assert_eq!(
+            prober.rdns(target).hostname().unwrap().as_str(),
+            "brians-air.example.edu"
+        );
+
+        // Device leaves; PTR removed.
+        online.lock().unwrap().remove(&target);
+        store.remove_ptr(target);
+        assert!(!prober.ping(target));
+        assert_eq!(prober.rdns(target), RdnsOutcome::NxDomain);
+    }
+
+    #[test]
+    fn gateway_ignores_malformed_requests() {
+        let (rt, gw, _dns, online, _store) = setup();
+        online.lock().unwrap().insert("10.9.0.2".parse().unwrap());
+        rt.block_on(async {
+            let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            // Garbage first...
+            sock.send_to(&[1, 2], gw).await.unwrap();
+            // ...then a valid request; the gateway must still answer.
+            sock.send_to(&[10, 9, 0, 2], gw).await.unwrap();
+            let mut buf = [0u8; 16];
+            let (n, _) = timeout(Duration::from_millis(500), sock.recv_from(&mut buf))
+                .await
+                .expect("gateway survived garbage")
+                .unwrap();
+            assert_eq!(n, 5);
+            assert_eq!(buf[4], 1);
+        });
+    }
+
+    #[test]
+    fn reactive_engine_runs_over_the_wire() {
+        use crate::reactive::{ReactiveConfig, ReactiveScanner};
+        use rdns_model::{Date, SimDuration, SimTime};
+
+        let (_rt, gw, dns, online, store) = setup();
+        let target: Ipv4Addr = "10.9.0.1".parse().unwrap();
+        let mut prober = BlockingWireProber::connect(gw, dns).unwrap();
+        let t0 = SimTime::from_date(Date::from_ymd(2021, 11, 1));
+        let mut scanner = ReactiveScanner::new(
+            ReactiveConfig::standard(vec!["10.9.0.0/30".parse().unwrap()]),
+            t0,
+        );
+
+        // Client online with PTR before the first sweep.
+        online.lock().unwrap().insert(target);
+        store.set_ptr(target, "emmas-ipad.example.edu".parse().unwrap(), 300);
+        scanner.run_due(t0, &mut prober);
+        assert_eq!(scanner.stats().triggers, 1);
+
+        // Client leaves and the record is pulled; advance through back-off.
+        online.lock().unwrap().remove(&target);
+        store.remove_ptr(target);
+        let mut t = t0;
+        for _ in 0..24 {
+            t += SimDuration::mins(5);
+            scanner.run_due(t, &mut prober);
+        }
+        assert_eq!(scanner.stats().removals_observed, 1);
+        let log = scanner.log();
+        assert!(log.rdns.iter().any(|r| r.outcome.hostname().is_some()));
+        assert!(log
+            .rdns
+            .iter()
+            .any(|r| r.outcome == RdnsOutcome::NxDomain));
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-network tracking (§1's sharpest claim): a device that carries its
+//! owner's name in DHCP shows up in the reverse DNS of *every* network it
+//! visits. Here the same person works on a campus and subscribes to a home
+//! ISP; an observer scanning both address spaces follows the phone across
+//! network boundaries — MAC randomization doesn't help, the *name* is the
+//! stable identifier.
+//!
+//! ```text
+//! cargo run --release --example cross_network
+//! ```
+
+use rdns_core::casestudies::crossnet::cross_network_appearances;
+use rdns_core::experiments::harness::{run_supplemental, FaultMix};
+use rdns_model::Date;
+use rdns_netsim::spec::presets;
+use rdns_netsim::{DeviceKind, PersonKind, SeedDevice, SeedPerson, World, WorldConfig};
+
+fn main() {
+    // One rare-named person seeded into BOTH networks with the same phone
+    // model: the campus account and the home subscription belong to the
+    // same human, so both DHCP servers see the same device name.
+    let traveller = |subnet: usize, kind: PersonKind| SeedPerson {
+        given_name: "quentin".into(),
+        kind,
+        subnet,
+        devices: vec![
+            SeedDevice {
+                kind: DeviceKind::Iphone,
+                acquired: None,
+            },
+            SeedDevice {
+                kind: DeviceKind::MacbookPro,
+                acquired: None,
+            },
+        ],
+    };
+
+    let mut campus = presets::academic_a(0.08);
+    campus.seed_persons = vec![traveller(0, PersonKind::Student)]; // lectures by day
+    let mut isp = presets::isp_a(0.3);
+    isp.seed_persons = vec![traveller(0, PersonKind::Resident)]; // home evenings
+
+    let from = Date::from_ymd(2021, 11, 1);
+    let mut world = World::new(WorldConfig {
+        seed: 0xB51A17,
+        start: from,
+        networks: vec![campus, isp],
+    });
+
+    println!("scanning Academic-A and ISP-A for one week ...");
+    let run = run_supplemental(
+        &mut world,
+        &["Academic-A", "ISP-A"],
+        from,
+        7,
+        FaultMix::realistic(),
+        3,
+    );
+
+    let hits = cross_network_appearances(&run.log, 2);
+    println!(
+        "\ndevice labels observed in BOTH networks: {}",
+        hits.len()
+    );
+    for hit in &hits {
+        println!("\n{} ({} networks):", hit.host_label, hit.network_count());
+        for (suffix, days) in &hit.networks {
+            println!("  under {:<22} on {} days", suffix, days.len());
+        }
+        let overlap = hit.overlapping_days();
+        if !overlap.is_empty() {
+            println!(
+                "  same-day movement on {} days (campus by day, home by night)",
+                overlap.len()
+            );
+        }
+    }
+    if hits.is_empty() {
+        println!("(increase the measurement window or population scale)");
+    } else {
+        println!(
+            "\n=> the paper's §1 risk, concretely: rDNS + carried-over device\n\
+             names let an outsider follow one person across networks."
+        );
+    }
+}

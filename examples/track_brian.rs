@@ -1,0 +1,82 @@
+//! The Life of Brian(s): track every device whose hostname carries the name
+//! `brian` across six weeks of supplemental measurement on Academic-A —
+//! the paper's Fig. 8, including the Galaxy Note 9 that first appears on
+//! Cyber Monday.
+//!
+//! ```text
+//! cargo run --release --example track_brian
+//! ```
+
+use rdns_core::casestudies::brian::track_devices;
+use rdns_core::casestudies::buildings::{movement_traces, BuildingMap};
+use rdns_core::experiments::harness::{run_supplemental, FaultMix};
+use rdns_model::Date;
+use rdns_netsim::spec::presets;
+use rdns_netsim::{World, WorldConfig};
+
+fn main() {
+    let from = Date::from_ymd(2021, 10, 25); // Monday, week 1 of Fig. 8
+    let weeks = 6;
+    let mut world = World::new(WorldConfig {
+        seed: 0xB51A17,
+        start: from,
+        networks: vec![presets::academic_a(0.1)],
+    });
+    println!("tracking Brians on Academic-A, {} weeks from {from} ...", weeks);
+    let building_map = BuildingMap::new(world.building_map("Academic-A"));
+    let run = run_supplemental(
+        &mut world,
+        &["Academic-A"],
+        from,
+        weeks * 7,
+        FaultMix::realistic(),
+        1,
+    );
+
+    let timeline = track_devices(&run.log, "brian");
+    let to = from.plus_days((weeks * 7 - 1) as i64);
+    println!("\n{}", timeline.render(from, to));
+
+    for host in &timeline.hosts {
+        let days = timeline.active_days(host);
+        let addrs = timeline.all_addresses(host);
+        println!(
+            "{host}: seen on {} days, {} distinct addresses",
+            days.len(),
+            addrs.len()
+        );
+        if host.contains("galaxy-note9") {
+            if let Some(first) = days.first() {
+                println!(
+                    "  -> first sighting {first} (Cyber Monday 2021 was {})",
+                    rdns_netsim::calendar::cyber_monday(2021)
+                );
+            }
+        }
+    }
+
+    // Thanksgiving exodus: compare presence in the Thanksgiving week.
+    let thanksgiving = rdns_netsim::calendar::thanksgiving(2021);
+    let present_thanksgiving: usize = timeline
+        .hosts
+        .iter()
+        .filter(|h| timeline.present(h, thanksgiving))
+        .count();
+    println!(
+        "\ndevices present on Thanksgiving ({thanksgiving}): {present_thanksgiving} of {}",
+        timeline.hosts.len()
+    );
+
+    // §8 escalation: with a subnet→building map, presence becomes movement.
+    println!("\nmovement traces (subnet = building):");
+    for trace in movement_traces(&run.log, "brian", &building_map) {
+        if trace.transitions() > 0 {
+            println!(
+                "  {} visited {} buildings, {} transitions",
+                trace.host,
+                trace.buildings().len(),
+                trace.transitions()
+            );
+        }
+    }
+}

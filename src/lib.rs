@@ -1,0 +1,61 @@
+//! # rdns-privacy
+//!
+//! A research-grade Rust reproduction of *"Saving Brian's Privacy: the
+//! Perils of Privacy Exposure through Reverse DNS"* (van der Toorn et al.,
+//! ACM IMC 2022).
+//!
+//! The paper shows that the interplay between DHCP and dynamic DNS updates
+//! leaks privacy-sensitive information — device owners' given names, device
+//! makes and models, and fine-grained presence — into the globally queryable
+//! reverse DNS. This workspace rebuilds the full stack needed to study that
+//! risk:
+//!
+//! * [`dns`] — RFC 1035 wire format, authoritative UDP server, async stub
+//!   resolver,
+//! * [`dhcp`] — RFC 2131 messages, options 12/81, leases, RFC 7844
+//!   anonymity profiles,
+//! * [`ipam`] — the DHCP→DNS coupling with carry-over/hashed/fixed-form/
+//!   no-update policies,
+//! * [`netsim`] — a deterministic simulated Internet of academic, ISP,
+//!   enterprise and government networks with realistic device naming,
+//!   weekly schedules, holidays and COVID-19 occupancy phases,
+//! * [`scan`] — ZMap-like sweeps and the paper's reactive back-off prober,
+//! * [`data`] — OpenINTEL-like daily and Rapid7-like weekly snapshot
+//!   datasets,
+//! * [`analysis`] (the `rdns-core` crate) — the paper's methodology:
+//!   dynamicity detection, leak identification, timing analysis, and the
+//!   three case studies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rdns_privacy::netsim::{spec::presets, World, WorldConfig};
+//! use rdns_privacy::model::{Date, SimTime};
+//!
+//! // Build a small campus and run a simulated morning.
+//! let start = Date::from_ymd(2021, 11, 1);
+//! let mut world = World::new(WorldConfig {
+//!     seed: 42,
+//!     start,
+//!     networks: vec![presets::academic_a(0.05)],
+//! });
+//! world.step_until(SimTime::from_date_hms(start, 12, 0, 0));
+//! assert!(world.online_count() > 0);
+//!
+//! // Anyone on the Internet can now read the leak out of reverse DNS:
+//! let mut leaked = Vec::new();
+//! world.store().for_each_ptr(|addr, name| leaked.push((addr, name.to_string())));
+//! assert!(!leaked.is_empty());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `rdns-bench`'s `reproduce`
+//! binary for the full table/figure reproduction.
+
+pub use rdns_core as analysis;
+pub use rdns_data as data;
+pub use rdns_dhcp as dhcp;
+pub use rdns_dns as dns;
+pub use rdns_ipam as ipam;
+pub use rdns_model as model;
+pub use rdns_netsim as netsim;
+pub use rdns_scan as scan;

@@ -1,0 +1,72 @@
+//! Integration tests of the §7 case studies at test scale.
+
+use rdns_core::experiments::section7::{fig11, fig8};
+use rdns_core::experiments::Scale;
+use rdns_model::Date;
+use rdns_netsim::calendar;
+
+#[test]
+fn brian_timeline_reproduces_fig8_structure() {
+    let f8 = fig8(&Scale::tiny());
+    // The seeded Brians own five device-name families.
+    assert!(
+        f8.timeline.hosts.len() >= 4,
+        "hosts: {:?}",
+        f8.timeline.hosts
+    );
+    assert!(
+        f8.timeline.hosts.iter().any(|h| h == "brians-phone"),
+        "brians-phone missing from {:?}",
+        f8.timeline.hosts
+    );
+    // The Galaxy Note 9 appears no earlier than Cyber Monday (the §7.1
+    // Black-Friday/Cyber-Monday purchase).
+    let cyber_monday = calendar::cyber_monday(2021);
+    if let Some(first) = f8.galaxy_first_seen {
+        assert!(
+            first >= cyber_monday,
+            "galaxy appeared {first}, before {cyber_monday}"
+        );
+    }
+    // Devices show up on multiple days: trackable patterns.
+    let active_days = f8.timeline.active_days("brians-phone");
+    assert!(active_days.len() >= 5, "only {} days", active_days.len());
+}
+
+#[test]
+fn thanksgiving_weekend_thins_the_campus() {
+    let f8 = fig8(&Scale::tiny());
+    let tg = calendar::thanksgiving(2021); // 2021-11-25
+    // Count device-presence marks in the Thanksgiving long weekend versus
+    // the same weekdays one week earlier.
+    let holiday_days: Vec<Date> = (0..4).map(|i| tg.plus_days(i)).collect();
+    let normal_days: Vec<Date> = (0..4).map(|i| tg.plus_days(i - 7)).collect();
+    let count = |days: &[Date]| -> usize {
+        f8.timeline
+            .hosts
+            .iter()
+            .map(|h| days.iter().filter(|d| f8.timeline.present(h, **d)).count())
+            .sum()
+    };
+    let during = count(&holiday_days);
+    let before = count(&normal_days);
+    assert!(
+        during < before,
+        "Thanksgiving presence {during} !< prior week {before}"
+    );
+}
+
+#[test]
+fn heist_hour_is_overnight_or_early_morning() {
+    let f11 = fig11(&Scale::tiny());
+    assert!(
+        f11.quietest_hour <= 9,
+        "quietest hour {} should be at night / early morning",
+        f11.quietest_hour
+    );
+    // Aggregate profile must be diurnal: midday beats the quiet hour.
+    let by_hour = f11.activity.by_hour_of_day();
+    let midday: usize = (11..=15).map(|h| by_hour[h].1).sum();
+    let quiet = by_hour[f11.quietest_hour as usize].1 * 5;
+    assert!(midday > quiet, "no diurnal structure: {by_hour:?}");
+}

@@ -1,0 +1,80 @@
+//! End-to-end pipeline test: simulated world → snapshot datasets → the
+//! paper's full §4+§5 analysis, asserting the headline qualitative results.
+
+use rdns_core::classify::{classify_suffix, NetworkClass};
+use rdns_core::experiments::section5::{fig2, fig3, LeakStudy};
+use rdns_core::experiments::Scale;
+use rdns_core::names::match_given_names;
+
+#[test]
+fn full_pipeline_identifies_the_leak() {
+    let study = LeakStudy::run(&Scale::tiny());
+
+    // The dynamicity heuristic finds a strict subset of blocks.
+    assert!(!study.dynamicity.dynamic.is_empty());
+    assert!(study.dynamicity.considered <= study.dynamicity.total);
+
+    // The campus networks with carry-over IPAM are identified...
+    assert!(
+        study.identified.contains(&"midwest-state.edu".to_string()),
+        "identified: {:?}",
+        study.identified
+    );
+    // ...and classified correctly.
+    assert_eq!(
+        classify_suffix("midwest-state.edu"),
+        NetworkClass::Academic
+    );
+
+    // Suffix statistics respect their own invariants.
+    for s in &study.suffix_stats {
+        assert!(s.name_matched_records <= s.records);
+        assert!(s.unique_names.len() <= s.name_matched_records.max(s.unique_names.len()));
+        assert!(s.ratio() >= 0.0 && s.ratio() <= 1.0 + f64::EPSILON);
+    }
+}
+
+#[test]
+fn owner_names_and_device_models_visible_in_records() {
+    let study = LeakStudy::run(&Scale::tiny());
+    // §5.2's key takeaway: makes, models and owner names are learnable.
+    let f2 = fig2(&study);
+    let (all, filtered) = f2.totals();
+    assert!(all > 0 && filtered > 0);
+
+    let f3 = fig3(&study);
+    let device_terms_present = f3.rows.iter().filter(|(_, a, _)| *a > 0).count();
+    assert!(
+        device_terms_present >= 5,
+        "several device kinds must surface: {:?}",
+        f3.rows
+    );
+}
+
+#[test]
+fn anonymity_profile_devices_never_appear() {
+    // RFC 7844 devices send no Host Name; no record of theirs can match.
+    let study = LeakStudy::run(&Scale::tiny());
+    for (_, host) in study.observations() {
+        // Hashed/sanitized names are fine; what must NOT exist is an
+        // owner-named record on a NoUpdate pool — verified indirectly: all
+        // name-matched records live under carry-over suffixes.
+        if !match_given_names(host).is_empty() {
+            let label = host.host_label().unwrap_or_default();
+            assert!(
+                !label.starts_with("h-"),
+                "hashed labels must not contain names: {host}"
+            );
+        }
+    }
+}
+
+#[test]
+fn datasets_have_table1_shape() {
+    let study = LeakStudy::run(&Scale::tiny());
+    let t1 = rdns_core::experiments::table1(&study);
+    // Daily collection sees at least as much as weekly over the window.
+    assert!(t1.daily.total_responses >= t1.weekly.total_responses);
+    assert!(t1.daily.unique_ptrs >= t1.weekly.unique_ptrs);
+    assert!(t1.daily.start.is_some() && t1.weekly.start.is_some());
+}

@@ -1,0 +1,58 @@
+//! Soak tests: long simulations with invariant checking after every day.
+//!
+//! The default test runs a multi-week mixed world quickly; the `#[ignore]`d
+//! one runs a paper-scale quarter and is meant for nightly/release checks:
+//!
+//! ```text
+//! cargo test --release --test soak -- --ignored
+//! ```
+
+use rdns_model::Date;
+use rdns_netsim::{spec::presets, World, WorldConfig};
+
+fn run_with_invariants(networks: Vec<rdns_netsim::NetworkSpec>, days: i64) {
+    let start = Date::from_ymd(2021, 10, 1);
+    let mut world = World::new(WorldConfig {
+        seed: 0xB51A17,
+        start,
+        networks,
+    });
+    let mut max_ptrs = 0usize;
+    world.run_days(start.plus_days(days - 1), |w, _day| {
+        w.check_invariants();
+        max_ptrs = max_ptrs.max(w.ptr_count());
+    });
+    world.check_invariants();
+    assert!(max_ptrs > 0, "the world must publish records at some point");
+}
+
+#[test]
+fn three_weeks_of_mixed_networks_hold_invariants() {
+    run_with_invariants(
+        vec![
+            presets::academic_a(0.05),
+            presets::isp_a(0.2),
+            presets::enterprise_b(0.1),
+        ],
+        21,
+    );
+}
+
+#[test]
+fn holiday_transitions_hold_invariants() {
+    // Thanksgiving + the Cyber-Monday device acquisition exercise the
+    // calendar-dependent paths.
+    let start = Date::from_ymd(2021, 11, 20);
+    let mut world = World::new(WorldConfig {
+        seed: 7,
+        start,
+        networks: vec![presets::academic_a(0.08)],
+    });
+    world.run_days(Date::from_ymd(2021, 12, 2), |w, _| w.check_invariants());
+}
+
+#[test]
+#[ignore = "nightly-scale soak: a quarter of simulated time at paper scale"]
+fn quarter_at_paper_scale() {
+    run_with_invariants(presets::table4_networks(0.5), 90);
+}

@@ -1,0 +1,223 @@
+//! Wire-level integration: the full DHCP → IPAM → authoritative DNS chain
+//! observed through real UDP sockets, exactly as an outside measurer would.
+
+use rdns_dhcp::{acquire, ClientIdentity, DhcpServer, MacAddr, ServerConfig};
+use rdns_dns::{FaultConfig, LookupOutcome, Resolver, ResolverConfig, UdpServer, ZoneStore};
+use rdns_ipam::{Ipam, IpamConfig};
+use rdns_model::{Date, SimDuration, SimTime};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn t0() -> SimTime {
+    SimTime::from_date(Date::from_ymd(2021, 11, 1))
+}
+
+#[tokio::test]
+async fn dhcp_lifecycle_is_visible_over_udp() {
+    // Server side: zone store + authoritative server.
+    let store = ZoneStore::new();
+    store.ensure_reverse_zone(Ipv4Addr::new(10, 7, 7, 1));
+    let server = UdpServer::bind(
+        "127.0.0.1:0".parse().unwrap(),
+        store.clone(),
+        FaultConfig::default(),
+    )
+    .await
+    .unwrap();
+    let dns_addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    tokio::spawn(server.run());
+
+    // Network side: DHCP server + IPAM with the leaky default policy.
+    let mut dhcp = DhcpServer::new(
+        ServerConfig::new(Ipv4Addr::new(10, 7, 7, 1)),
+        (2..250u8).map(|i| Ipv4Addr::new(10, 7, 7, i)),
+    );
+    let mut ipam = Ipam::new(IpamConfig::carry_over("resnet.example.edu"), store);
+
+    // A phone joins.
+    let phone = ClientIdentity::standard(MacAddr::from_seed(1), "Brian's iPhone");
+    let (addr, events) = acquire(&mut dhcp, &phone, 1, t0()).unwrap();
+    for e in &events {
+        ipam.apply(e);
+    }
+    ipam.flush(t0());
+
+    // Outside observer: a plain PTR query over UDP.
+    let mut cfg = ResolverConfig::new(dns_addr);
+    cfg.timeout = Duration::from_millis(300);
+    let mut resolver = Resolver::new(cfg).await.unwrap();
+    let out = resolver.reverse(addr).await.unwrap();
+    assert_eq!(
+        out.ptr_target().unwrap().to_string(),
+        "brians-iphone.resnet.example.edu."
+    );
+
+    // The phone leaves cleanly; the record disappears.
+    let leave = t0() + SimDuration::mins(42);
+    let rel = phone.release(2, addr, Ipv4Addr::new(10, 7, 7, 1));
+    let (_, events) = dhcp.handle(&rel, leave);
+    for e in &events {
+        ipam.apply(e);
+    }
+    ipam.flush(leave);
+    let out = resolver.reverse(addr).await.unwrap();
+    assert_eq!(out, LookupOutcome::NxDomain);
+    shutdown.shutdown();
+}
+
+#[tokio::test]
+async fn anonymity_profile_defeats_the_observer_over_udp() {
+    let store = ZoneStore::new();
+    store.ensure_reverse_zone(Ipv4Addr::new(10, 8, 8, 1));
+    let server = UdpServer::bind(
+        "127.0.0.1:0".parse().unwrap(),
+        store.clone(),
+        FaultConfig::default(),
+    )
+    .await
+    .unwrap();
+    let dns_addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    tokio::spawn(server.run());
+
+    let mut dhcp = DhcpServer::new(
+        ServerConfig::new(Ipv4Addr::new(10, 8, 8, 1)),
+        (2..250u8).map(|i| Ipv4Addr::new(10, 8, 8, i)),
+    );
+    let mut ipam = Ipam::new(IpamConfig::carry_over("resnet.example.edu"), store);
+
+    let quiet = ClientIdentity::anonymous(MacAddr::from_seed(2));
+    let (addr, events) = acquire(&mut dhcp, &quiet, 1, t0()).unwrap();
+    for e in &events {
+        ipam.apply(e);
+    }
+    ipam.flush(t0());
+
+    let mut cfg = ResolverConfig::new(dns_addr);
+    cfg.timeout = Duration::from_millis(300);
+    let mut resolver = Resolver::new(cfg).await.unwrap();
+    // RFC 7844: no Host Name option → nothing to carry over → NXDOMAIN.
+    assert_eq!(resolver.reverse(addr).await.unwrap(), LookupOutcome::NxDomain);
+    shutdown.shutdown();
+}
+
+#[tokio::test]
+async fn full_stack_over_real_sockets() {
+    // The complete chain, every hop on a real UDP socket:
+    //   phone ──DHCP/UDP──► DHCP server ──events──► IPAM ──► zone store
+    //   observer ──DNS/UDP──► authoritative server ──► the leak
+    use rdns_dhcp::wire::{Clock, WireDhcpClient, WireDhcpServer};
+    use std::sync::Arc;
+
+    let store = ZoneStore::new();
+    store.ensure_reverse_zone(Ipv4Addr::new(10, 42, 42, 1));
+    let dns = UdpServer::bind(
+        "127.0.0.1:0".parse().unwrap(),
+        store.clone(),
+        FaultConfig::default(),
+    )
+    .await
+    .unwrap();
+    let dns_addr = dns.local_addr().unwrap();
+    let dns_shutdown = dns.shutdown_handle();
+    tokio::spawn(dns.run());
+
+    let clock: Clock = Arc::new(t0);
+    let state_machine = DhcpServer::new(
+        ServerConfig::new("10.42.42.1".parse().unwrap()),
+        (10..=20u8).map(|i| Ipv4Addr::new(10, 42, 42, i)),
+    );
+    let (dhcp, mut events) =
+        WireDhcpServer::bind("127.0.0.1:0".parse().unwrap(), state_machine, clock)
+            .await
+            .unwrap();
+    let dhcp_addr = dhcp.local_addr().unwrap();
+    let dhcp_shutdown = dhcp.shutdown_handle();
+    tokio::spawn(dhcp.run());
+
+    // IPAM consumes the event stream and writes DNS.
+    let mut ipam = Ipam::new(IpamConfig::carry_over("resnet.example.edu"), store);
+
+    // The phone joins over the wire.
+    let identity = ClientIdentity::standard(MacAddr::from_seed(7), "Brian's iPhone");
+    let mut phone = WireDhcpClient::new(dhcp_addr, identity).await.unwrap();
+    let leased = phone.acquire().await.unwrap().expect("lease");
+    let event = events.recv().await.expect("allocation event");
+    ipam.apply(&event);
+    ipam.flush(t0());
+
+    // The outside observer reads the leak over DNS/UDP.
+    let mut cfg = ResolverConfig::new(dns_addr);
+    cfg.timeout = Duration::from_millis(300);
+    let mut observer = Resolver::new(cfg).await.unwrap();
+    let seen = observer.reverse(leased).await.unwrap();
+    assert_eq!(
+        seen.ptr_target().unwrap().to_string(),
+        "brians-iphone.resnet.example.edu."
+    );
+
+    // The phone releases over the wire; the observer sees the record go.
+    phone
+        .release(leased, "10.42.42.1".parse().unwrap())
+        .await
+        .unwrap();
+    let event = tokio::time::timeout(Duration::from_millis(500), events.recv())
+        .await
+        .expect("release event in time")
+        .expect("channel open");
+    ipam.apply(&event);
+    ipam.flush(t0() + SimDuration::mins(1));
+    assert_eq!(observer.reverse(leased).await.unwrap(), LookupOutcome::NxDomain);
+
+    let _ = dhcp_shutdown.send(true);
+    dns_shutdown.shutdown();
+}
+
+#[tokio::test]
+async fn resolver_sees_live_lease_renewals_without_churn() {
+    let store = ZoneStore::new();
+    store.ensure_reverse_zone(Ipv4Addr::new(10, 9, 9, 1));
+    let server = UdpServer::bind(
+        "127.0.0.1:0".parse().unwrap(),
+        store.clone(),
+        FaultConfig::default(),
+    )
+    .await
+    .unwrap();
+    let dns_addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    tokio::spawn(server.run());
+
+    let mut dhcp = DhcpServer::new(
+        ServerConfig::new(Ipv4Addr::new(10, 9, 9, 1)),
+        (2..250u8).map(|i| Ipv4Addr::new(10, 9, 9, i)),
+    );
+    let mut ipam = Ipam::new(IpamConfig::carry_over("office.example.com"), store);
+    let laptop = ClientIdentity::standard(MacAddr::from_seed(3), "emmas-mbp");
+    let (addr, events) = acquire(&mut dhcp, &laptop, 1, t0()).unwrap();
+    for e in &events {
+        ipam.apply(e);
+    }
+    ipam.flush(t0());
+
+    let mut cfg = ResolverConfig::new(dns_addr);
+    cfg.timeout = Duration::from_millis(300);
+    let mut resolver = Resolver::new(cfg).await.unwrap();
+    let before = resolver.reverse(addr).await.unwrap();
+
+    // Renew twice; the record must remain identical (no serial churn seen
+    // by the client, no removal).
+    for k in 0..2u32 {
+        let renew = laptop.renew(10 + k, addr);
+        let at = t0() + SimDuration::mins(30 * (k as u64 + 1));
+        let (_, events) = dhcp.handle(&renew, at);
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(at);
+    }
+    let after = resolver.reverse(addr).await.unwrap();
+    assert_eq!(before.ptr_target(), after.ptr_target());
+    shutdown.shutdown();
+}
