@@ -22,7 +22,7 @@ fn synthetic_matrix(blocks: usize, days: usize, seed: u64) -> HashMap<Slash24, V
             let counts = (0..days)
                 .map(|d| {
                     if churny {
-                        base + rng.gen_range(0..40) + if d % 7 < 5 { 30 } else { 0 }
+                        base + rng.gen_range(0..40u32) + if d % 7 < 5 { 30 } else { 0 }
                     } else {
                         base
                     }

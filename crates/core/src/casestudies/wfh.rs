@@ -4,7 +4,7 @@
 //! y-axis of Figs. 9–10). Even day-granularity snapshots expose lockdowns,
 //! recoveries, holidays and the education-vs-housing crossover.
 
-use rdns_data::SnapshotSeries;
+use rdns_data::{ColumnarSeries, SnapshotSeries};
 use rdns_model::{Date, Ipv4Net};
 use serde::{Deserialize, Serialize};
 
@@ -58,6 +58,21 @@ pub fn percent_of_max(
     prefixes: &[Ipv4Net],
 ) -> NormalizedSeries {
     let totals = series.daily_totals_where(|addr| prefixes.iter().any(|p| p.contains(addr)));
+    normalize(label, totals)
+}
+
+/// Like [`percent_of_max`], but over the columnar analysis view, whose
+/// per-day address columns are scanned with rayon fan-out.
+pub fn percent_of_max_columnar(
+    label: &str,
+    series: &ColumnarSeries,
+    prefixes: &[Ipv4Net],
+) -> NormalizedSeries {
+    let totals = series.daily_totals_where(|addr| prefixes.iter().any(|p| p.contains(addr)));
+    normalize(label, totals)
+}
+
+fn normalize(label: &str, totals: Vec<(Date, usize)>) -> NormalizedSeries {
     let max = totals.iter().map(|(_, n)| *n).max().unwrap_or(0);
     let points = totals
         .into_iter()

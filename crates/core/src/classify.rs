@@ -5,6 +5,7 @@
 //! manual inspection for ISPs and enterprises. The manual step is encoded
 //! here as keyword heuristics so the whole pipeline runs unattended.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -93,6 +94,24 @@ impl TypeBreakdown {
         b
     }
 
+    /// Classify a set of suffixes with rayon fan-out.
+    ///
+    /// Classification is a pure per-suffix function, so each shard builds its
+    /// own `BTreeMap` and the shards are merged by summed counts; the result
+    /// is identical to [`TypeBreakdown::from_suffixes`] at any thread count.
+    pub fn from_suffixes_par<S: AsRef<str> + Sync>(suffixes: &[S]) -> TypeBreakdown {
+        let classes: Vec<NetworkClass> = suffixes
+            .par_iter()
+            .map(|s| classify_suffix(s.as_ref()))
+            .collect();
+        let mut b = TypeBreakdown::default();
+        for class in classes {
+            *b.counts.entry(class).or_insert(0) += 1;
+            b.total += 1;
+        }
+        b
+    }
+
     /// Total networks.
     pub fn total(&self) -> usize {
         self.total
@@ -168,6 +187,17 @@ mod tests {
         assert!((b.percentage(NetworkClass::Academic) - 400.0 / 7.0).abs() < 1e-9);
         // Rows sorted by count, academic first.
         assert_eq!(b.rows()[0].0, NetworkClass::Academic);
+    }
+
+    #[test]
+    fn par_breakdown_matches_sequential() {
+        let suffixes = [
+            "a.edu", "b.edu", "c.edu", "d.ac.jp", "isp1.net", "corp.com", "thing.org",
+            "treasury.gov", "fastpipe.net", "polder-tech.nl",
+        ];
+        let seq = TypeBreakdown::from_suffixes(suffixes.iter().copied());
+        let par = TypeBreakdown::from_suffixes_par(&suffixes);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!
 //! Defaults are the paper's: X = 10 %, Y = 7 days, 10-address floor.
 
+use rayon::prelude::*;
 use rdns_model::{Ipv4Net, Slash24};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -81,23 +82,77 @@ pub fn identify_dynamic(
         ..Default::default()
     };
     for (block, counts) in matrix {
-        // Step 1: floor on the maximum daily address count.
-        let max = counts.iter().copied().max().unwrap_or(0);
-        if max <= params.min_daily_addrs {
-            continue;
-        }
-        result.considered += 1;
-        // Steps 2–3: day-by-day change percentage against the maximum.
-        let mut qualifying_days = 0u32;
-        for w in counts.windows(2) {
-            let diff = w[1].abs_diff(w[0]);
-            let pct = diff as f64 / max as f64 * 100.0;
-            if pct > params.change_pct {
-                qualifying_days += 1;
+        match block_verdict(counts, params) {
+            Verdict::Dynamic => {
+                result.considered += 1;
+                result.dynamic.insert(*block);
             }
+            Verdict::Static => result.considered += 1,
+            Verdict::TooSmall => {}
         }
-        if qualifying_days >= params.min_days {
-            result.dynamic.insert(*block);
+    }
+    result
+}
+
+/// Per-/24 outcome of the heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Discarded by the step-1 floor.
+    TooSmall,
+    /// Considered but below the change threshold.
+    Static,
+    /// Labelled dynamic.
+    Dynamic,
+}
+
+/// Steps 1–3 for a single block's daily counts.
+fn block_verdict(counts: &[u32], params: &DynamicityParams) -> Verdict {
+    // Step 1: floor on the maximum daily address count.
+    let max = counts.iter().copied().max().unwrap_or(0);
+    if max <= params.min_daily_addrs {
+        return Verdict::TooSmall;
+    }
+    // Steps 2–3: day-by-day change percentage against the maximum.
+    let mut qualifying_days = 0u32;
+    for w in counts.windows(2) {
+        let diff = w[1].abs_diff(w[0]);
+        let pct = diff as f64 / max as f64 * 100.0;
+        if pct > params.change_pct {
+            qualifying_days += 1;
+        }
+    }
+    if qualifying_days >= params.min_days {
+        Verdict::Dynamic
+    } else {
+        Verdict::Static
+    }
+}
+
+/// [`identify_dynamic`] with the per-/24 verdicts fanned out across the
+/// rayon pool. Blocks are independent and the reduction only counts and
+/// collects set members, so the result equals the sequential path at any
+/// thread count (`RAYON_NUM_THREADS=1` included).
+pub fn identify_dynamic_par(
+    matrix: &HashMap<Slash24, Vec<u32>>,
+    params: &DynamicityParams,
+) -> DynamicityResult {
+    let entries: Vec<(&Slash24, &Vec<u32>)> = matrix.iter().collect();
+    let verdicts: Vec<(Slash24, Verdict)> = entries
+        .into_par_iter()
+        .map(|(block, counts)| (*block, block_verdict(counts, params)))
+        .collect();
+    let mut result = DynamicityResult {
+        total: matrix.len(),
+        ..Default::default()
+    };
+    for (block, verdict) in verdicts {
+        match verdict {
+            Verdict::Dynamic => {
+                result.considered += 1;
+                result.dynamic.insert(block);
+            }
+            Verdict::Static => result.considered += 1,
+            Verdict::TooSmall => {}
         }
     }
     result

@@ -10,7 +10,7 @@
 use crate::experiments::harness::{run_supplemental, FaultMix};
 use crate::experiments::Scale;
 use crate::report::TextTable;
-use crate::timing::{build_groups, RemovalDelays};
+use crate::timing::{par_build_groups, RemovalDelays};
 use rdns_model::{Date, SimDuration};
 use rdns_netsim::spec::presets;
 use rdns_netsim::{World, WorldConfig};
@@ -76,7 +76,7 @@ fn measure(scale: &Scale, mutate: impl Fn(&mut rdns_netsim::NetworkSpec)) -> (us
         FaultMix::none(),
         scale.seed,
     );
-    let groups = build_groups(&run.log);
+    let groups = par_build_groups(&run.log);
     let delays = RemovalDelays::from_groups(&groups);
     (delays.len(), delays.cdf_at(15.0), delays.cdf_at(60.0))
 }

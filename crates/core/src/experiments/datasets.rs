@@ -40,7 +40,7 @@ impl Table1 {
 pub fn table1(study: &LeakStudy) -> Table1 {
     Table1 {
         weekly: SnapshotDatasetStats::from_series("Rapid7-like weekly", &study.weekly),
-        daily: SnapshotDatasetStats::from_series("OpenINTEL-like daily", &study.daily),
+        daily: SnapshotDatasetStats::from_columnar("OpenINTEL-like daily", &study.columnar),
     }
 }
 

@@ -119,7 +119,7 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<NetworkSpec> {
     let mut cursor: u32 = 0;
     for i in 0..config.orgs {
         let announced_len: u8 = *[16u8, 18, 20, 21, 22, 23, 24]
-            .get(rng.gen_range(0..7))
+            .get(rng.gen_range(0..7usize))
             .expect("index in range");
         let blocks_needed = 1u32 << (24 - announced_len as u32);
         cursor = cursor.div_ceil(blocks_needed) * blocks_needed;
@@ -215,7 +215,7 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<NetworkSpec> {
             } else {
                 IcmpPolicy::Blocked
             },
-            lease_time: SimDuration::hours(*[1u64, 1, 2, 4].get(rng.gen_range(0..4)).expect("in range")),
+            lease_time: SimDuration::hours(*[1u64, 1, 2, 4].get(rng.gen_range(0..4usize)).expect("in range")),
             clean_release_prob: rng.gen_range(0.2..0.5),
             anonymity_fraction: 0.05,
             device_ping_rate: rng.gen_range(0.1..0.9),

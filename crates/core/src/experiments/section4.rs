@@ -1,14 +1,14 @@
 //! §4 experiments: Fig. 1 and the ground-truth validation.
 
 use crate::dynamicity::{
-    identify_dynamic, prefix_dynamicity, summarize_fractions, ConfusionMatrix, DynamicityParams,
-    FractionSummary,
+    identify_dynamic_par, prefix_dynamicity, summarize_fractions, ConfusionMatrix,
+    DynamicityParams, FractionSummary,
 };
 use crate::experiments::harness::collect_series;
 use crate::experiments::section5::LeakStudy;
 use crate::experiments::Scale;
 use crate::report::TextTable;
-use rdns_data::Cadence;
+use rdns_data::{Cadence, ColumnarSeries};
 use rdns_model::{Date, Slash24};
 use rdns_netsim::spec::{presets, DynDnsMode, SubnetRole};
 use rdns_netsim::{World, WorldConfig};
@@ -128,12 +128,12 @@ pub fn validation(scale: &Scale) -> Validation {
         networks: vec![spec],
     });
     let series = collect_series(&mut world, from, to, Cadence::Daily);
-    let matrix = series.counts_matrix();
+    let matrix = ColumnarSeries::from_series(&series).counts_matrix();
     let params = DynamicityParams {
         min_daily_addrs: scale.min_daily_addrs,
         ..DynamicityParams::default()
     };
-    let result = identify_dynamic(&matrix, &params);
+    let result = identify_dynamic_par(&matrix, &params);
 
     let fixed_form_flagged = fixed_form
         .iter()

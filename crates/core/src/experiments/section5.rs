@@ -5,7 +5,7 @@
 //! over the dynamicity window, runs the §4.1 heuristic and the §5.1 suffix
 //! pipeline, and caches everything the individual figures need.
 
-use crate::dynamicity::{identify_dynamic, DynamicityParams, DynamicityResult};
+use crate::dynamicity::{identify_dynamic_par, DynamicityParams, DynamicityResult};
 use crate::experiments::harness::collect_dual_series;
 use crate::experiments::population::{generate_population, PopulationConfig};
 use crate::experiments::Scale;
@@ -14,7 +14,7 @@ use crate::report::{log_bar, TextTable};
 use crate::suffix::{identify_leaking_suffixes, LeakParams, SuffixStats};
 use crate::terms::{extract_terms, DEVICE_TERMS};
 use crate::classify::TypeBreakdown;
-use rdns_data::SnapshotSeries;
+use rdns_data::{ColumnarSeries, SnapshotSeries};
 use rdns_model::{Date, Hostname, Ipv4Net, Slash24};
 use rdns_netsim::spec::presets;
 use rdns_netsim::{NetworkSpec, World, WorldConfig};
@@ -27,6 +27,9 @@ pub struct LeakStudy {
     pub scale: Scale,
     /// Daily (OpenINTEL-like) series.
     pub daily: SnapshotSeries,
+    /// Columnar analysis view of the daily series (shared hostname pool,
+    /// sorted address columns).
+    pub columnar: ColumnarSeries,
     /// Weekly (Rapid7-like) series.
     pub weekly: SnapshotSeries,
     /// §4.1 output.
@@ -58,21 +61,19 @@ impl LeakStudy {
         });
         let (daily, weekly) = collect_dual_series(&mut world, from, to);
 
-        let matrix = daily.counts_matrix();
+        // Analysis runs over the columnar view: sorted address columns with
+        // an interned hostname pool, sharded per /24 and per day for rayon.
+        let columnar = ColumnarSeries::from_series(&daily);
+        let matrix = columnar.counts_matrix();
         let dyn_params = DynamicityParams {
             min_daily_addrs: scale.min_daily_addrs,
             ..DynamicityParams::default()
         };
-        let dynamicity = identify_dynamic(&matrix, &dyn_params);
+        let dynamicity = identify_dynamic_par(&matrix, &dyn_params);
 
-        // Unique (addr, hostname) observations across the window.
-        let mut seen: HashSet<(Ipv4Addr, Hostname)> = HashSet::new();
-        for snap in &daily.snapshots {
-            for (addr, host) in &snap.records {
-                seen.insert((*addr, host.clone()));
-            }
-        }
-        let observations: Vec<(Ipv4Addr, Hostname)> = seen.into_iter().collect();
+        // Unique (addr, hostname) observations across the window, in
+        // deterministic ascending address order.
+        let observations: Vec<(Ipv4Addr, Hostname)> = columnar.observations();
 
         let params = LeakParams::scaled(scale.min_unique_names);
         let (suffix_stats, identified) = identify_leaking_suffixes(
@@ -84,6 +85,7 @@ impl LeakStudy {
         LeakStudy {
             scale: *scale,
             daily,
+            columnar,
             weekly,
             dynamicity,
             announced,
@@ -230,7 +232,7 @@ pub fn fig3(study: &LeakStudy) -> Fig3 {
 
 /// Fig. 4: type breakdown of identified networks.
 pub fn fig4(study: &LeakStudy) -> TypeBreakdown {
-    TypeBreakdown::from_suffixes(study.identified.iter().map(String::as_str))
+    TypeBreakdown::from_suffixes_par(&study.identified)
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::experiments::harness::{run_supplemental, FaultMix, SupplementalRun};
 use crate::experiments::Scale;
 use crate::report::TextTable;
-use crate::timing::{build_groups, ActivityGroup, GroupFunnel, RemovalDelays};
+use crate::timing::{par_build_groups, ActivityGroup, GroupFunnel, RemovalDelays};
 use rdns_data::ScanDatasetStats;
 use rdns_model::{Date, Ipv4Net};
 use rdns_netsim::spec::presets;
@@ -80,7 +80,7 @@ impl SupplementalStudy {
             FaultMix::realistic(),
             scale.seed,
         );
-        let groups = build_groups(&run.log);
+        let groups = par_build_groups(&run.log);
         let funnel = GroupFunnel::compute(&groups);
         SupplementalStudy {
             run,

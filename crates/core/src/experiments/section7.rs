@@ -2,7 +2,7 @@
 
 use crate::casestudies::brian::{track_devices, DeviceTimeline};
 use crate::casestudies::heist::{hourly_activity, quietest_hour, HourlyActivity};
-use crate::casestudies::wfh::{percent_of_max, NormalizedSeries};
+use crate::casestudies::wfh::{percent_of_max_columnar, NormalizedSeries};
 use crate::experiments::harness::{collect_dual_series, run_supplemental, FaultMix};
 use crate::experiments::Scale;
 use rdns_model::{Date, Ipv4Net};
@@ -141,10 +141,12 @@ pub fn fig9(scale: &Scale, from: Date, to: Date) -> Fig9 {
         networks: specs,
     });
     let (daily, _) = collect_dual_series(&mut world, from, to);
+    // One shared columnar view serves all five per-network scans.
+    let columnar = rdns_data::ColumnarSeries::from_series(&daily);
     Fig9 {
         series: meta
             .iter()
-            .map(|(name, prefixes)| percent_of_max(name, &daily, prefixes))
+            .map(|(name, prefixes)| percent_of_max_columnar(name, &columnar, prefixes))
             .collect(),
     }
 }
@@ -234,11 +236,13 @@ pub fn fig10(scale: &Scale, weekly_from: Date, daily_from: Date, to: Date) -> Fi
             daily.push(s.clone());
         }
     }
+    let daily_col = rdns_data::ColumnarSeries::from_series(&daily);
+    let weekly_col = rdns_data::ColumnarSeries::from_series(&weekly);
     Fig10 {
-        education_daily: percent_of_max("education (daily)", &daily, &education),
-        housing_daily: percent_of_max("housing (daily)", &daily, &housing),
-        education_weekly: percent_of_max("education (weekly)", &weekly, &education),
-        housing_weekly: percent_of_max("housing (weekly)", &weekly, &housing),
+        education_daily: percent_of_max_columnar("education (daily)", &daily_col, &education),
+        housing_daily: percent_of_max_columnar("housing (daily)", &daily_col, &housing),
+        education_weekly: percent_of_max_columnar("education (weekly)", &weekly_col, &education),
+        housing_weekly: percent_of_max_columnar("housing (weekly)", &weekly_col, &housing),
     }
 }
 

@@ -28,8 +28,10 @@ pub mod terms;
 pub mod timing;
 
 pub use classify::{classify_suffix, NetworkClass, TypeBreakdown};
-pub use dynamicity::{DynamicityParams, DynamicityResult, PrefixDynamicity};
+pub use dynamicity::{
+    identify_dynamic, identify_dynamic_par, DynamicityParams, DynamicityResult, PrefixDynamicity,
+};
 pub use names::{match_given_names, MATCH_GIVEN_NAMES};
 pub use suffix::{identify_leaking_suffixes, LeakParams, SuffixStats};
 pub use terms::{extract_terms, is_router_level, TermCounts, DEVICE_TERMS, GENERIC_TERMS};
-pub use timing::{build_groups, ActivityGroup, GroupFunnel, RemovalDelays};
+pub use timing::{build_groups, par_build_groups, ActivityGroup, GroupFunnel, RemovalDelays};

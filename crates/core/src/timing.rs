@@ -6,6 +6,7 @@
 //! funnel (all → successful responses → PTR reverted → reliable timing) and
 //! reliable groups yield the removal-delay distribution of Fig. 7.
 
+use rayon::prelude::*;
 use rdns_model::{GroupId, Hostname, SimDuration, SimTime};
 use rdns_scan::{RdnsOutcome, ScanLog};
 use serde::{Deserialize, Serialize};
@@ -78,51 +79,94 @@ impl ActivityGroup {
     }
 }
 
+/// One address's ICMP samples and rDNS lookups, truncated to merge bins.
+type AddrStreams = (Vec<(SimTime, bool)>, Vec<(SimTime, RdnsOutcome)>);
+
+/// Per-address event streams, merged on truncated timestamps — the unit of
+/// work shared by the sequential and parallel group builders.
+fn collect_per_addr(log: &ScanLog) -> BTreeMap<Ipv4Addr, AddrStreams> {
+    let mut per_addr: BTreeMap<Ipv4Addr, AddrStreams> = BTreeMap::new();
+    for r in &log.icmp {
+        per_addr
+            .entry(r.addr)
+            .or_default()
+            .0
+            .push((r.ts.truncate(MERGE_BIN_SECS), r.alive));
+    }
+    for r in &log.rdns {
+        per_addr
+            .entry(r.addr)
+            .or_default()
+            .1
+            .push((r.ts.truncate(MERGE_BIN_SECS), r.outcome.clone()));
+    }
+    per_addr
+}
+
 /// Build groups from a scan log (both record streams merged per address on
 /// truncated timestamps).
 pub fn build_groups(log: &ScanLog) -> Vec<ActivityGroup> {
-    // Collect per-address events.
-    let mut icmp: BTreeMap<Ipv4Addr, Vec<(SimTime, bool)>> = BTreeMap::new();
-    for r in &log.icmp {
-        icmp.entry(r.addr)
-            .or_default()
-            .push((r.ts.truncate(MERGE_BIN_SECS), r.alive));
-    }
-    let mut rdns: BTreeMap<Ipv4Addr, Vec<(SimTime, RdnsOutcome)>> = BTreeMap::new();
-    for r in &log.rdns {
-        rdns.entry(r.addr)
-            .or_default()
-            .push((r.ts.truncate(MERGE_BIN_SECS), r.outcome.clone()));
-    }
-
     let mut groups = Vec::new();
-    let mut next_id = 0u64;
-    for (addr, mut samples) in icmp {
-        samples.sort_by_key(|(ts, _)| *ts);
-        let lookups = rdns.get(&addr).cloned().unwrap_or_default();
+    for (addr, (samples, lookups)) in collect_per_addr(log) {
+        groups.extend(groups_for_addr(addr, samples, &lookups));
+    }
+    renumber(&mut groups);
+    groups
+}
 
-        // Split into alive runs terminated by dead probes.
-        let mut runs: Vec<(SimTime, SimTime, Option<SimTime>)> = Vec::new();
-        let mut current: Option<(SimTime, SimTime)> = None;
-        for (ts, alive) in samples {
-            match (&mut current, alive) {
-                (None, true) => current = Some((ts, ts)),
-                (None, false) => {} // dead probe without preceding run
-                (Some((_, last)), true) => *last = ts,
-                (Some((first, last)), false) => {
-                    runs.push((*first, *last, Some(ts)));
-                    current = None;
-                }
+/// [`build_groups`] with the per-address work fanned out across the rayon
+/// pool. Addresses are independent; results are flattened in ascending
+/// address order and renumbered exactly like the sequential path, so the
+/// output is identical at any thread count.
+pub fn par_build_groups(log: &ScanLog) -> Vec<ActivityGroup> {
+    let per_addr: Vec<(Ipv4Addr, AddrStreams)> = collect_per_addr(log).into_iter().collect();
+    let mut groups: Vec<ActivityGroup> = per_addr
+        .into_par_iter()
+        .flat_map(|(addr, (samples, lookups))| groups_for_addr(addr, samples, &lookups))
+        .collect();
+    renumber(&mut groups);
+    groups
+}
+
+/// Assign sequential ids in the (already address-ordered) group order.
+fn renumber(groups: &mut [ActivityGroup]) {
+    for (i, g) in groups.iter_mut().enumerate() {
+        g.id = GroupId(i as u64);
+    }
+}
+
+/// All activity groups of one address. Ids are placeholders; the caller
+/// renumbers after flattening.
+fn groups_for_addr(
+    addr: Ipv4Addr,
+    mut samples: Vec<(SimTime, bool)>,
+    lookups: &[(SimTime, RdnsOutcome)],
+) -> Vec<ActivityGroup> {
+    samples.sort_by_key(|(ts, _)| *ts);
+
+    // Split into alive runs terminated by dead probes.
+    let mut runs: Vec<(SimTime, SimTime, Option<SimTime>)> = Vec::new();
+    let mut current: Option<(SimTime, SimTime)> = None;
+    for (ts, alive) in samples {
+        match (&mut current, alive) {
+            (None, true) => current = Some((ts, ts)),
+            (None, false) => {} // dead probe without preceding run
+            (Some((_, last)), true) => *last = ts,
+            (Some((first, last)), false) => {
+                runs.push((*first, *last, Some(ts)));
+                current = None;
             }
         }
-        if let Some((first, last)) = current {
-            runs.push((first, last, None)); // unterminated at log end
-        }
+    }
+    if let Some((first, last)) = current {
+        runs.push((first, last, None)); // unterminated at log end
+    }
 
-        let next_starts: Vec<Option<SimTime>> = (0..runs.len())
-            .map(|i| runs.get(i + 1).map(|(first, _, _)| *first))
-            .collect();
-        for (i, (first_alive, last_alive, death_ts)) in runs.into_iter().enumerate() {
+    let next_starts: Vec<Option<SimTime>> = (0..runs.len())
+        .map(|i| runs.get(i + 1).map(|(first, _, _)| *first))
+        .collect();
+    let mut groups = Vec::with_capacity(runs.len());
+    for (i, (first_alive, last_alive, death_ts)) in runs.into_iter().enumerate() {
             // Window: from just before this run's start until the next run
             // begins (the rDNS watch after a departure may span hours).
             let window_end = next_starts[i];
@@ -140,7 +184,7 @@ pub fn build_groups(log: &ScanLog) -> Vec<ActivityGroup> {
             let mut first_ptr: Option<(SimTime, Hostname)> = None;
             let mut removal_ts: Option<SimTime> = None;
             let mut had_error = false;
-            for (ts, outcome) in &lookups {
+            for (ts, outcome) in lookups {
                 if !in_window(*ts) {
                     continue;
                 }
@@ -170,7 +214,7 @@ pub fn build_groups(log: &ScanLog) -> Vec<ActivityGroup> {
             }
 
             groups.push(ActivityGroup {
-                id: GroupId(next_id),
+                id: GroupId(0), // placeholder; renumbered by the caller
                 addr,
                 first_alive,
                 last_alive,
@@ -179,9 +223,7 @@ pub fn build_groups(log: &ScanLog) -> Vec<ActivityGroup> {
                 removal_ts,
                 had_error,
             });
-            next_id += 1;
         }
-    }
     groups
 }
 

@@ -1,0 +1,135 @@
+//! Parallel-engine guarantees: the columnar path must reproduce the row
+//! path byte for byte, and the rayon fan-out must be deterministic at any
+//! thread count.
+
+use rdns_core::dynamicity::{identify_dynamic, identify_dynamic_par, DynamicityParams};
+use rdns_core::experiments::harness::{collect_series, run_supplemental, FaultMix};
+use rdns_core::experiments::Scale;
+use rdns_core::timing::{build_groups, par_build_groups};
+use rdns_data::{Cadence, ColumnarSeries};
+use rdns_model::{Date, Hostname};
+use rdns_netsim::spec::presets;
+use rdns_netsim::{World, WorldConfig};
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+
+fn campus_series() -> rdns_data::SnapshotSeries {
+    let scale = Scale::tiny();
+    let from = Date::from_ymd(2021, 1, 1);
+    let to = from.plus_days(13);
+    let mut world = World::new(WorldConfig {
+        seed: scale.seed,
+        start: from,
+        networks: vec![presets::academic_a(scale.focus_scale)],
+    });
+    collect_series(&mut world, from, to, Cadence::Daily)
+}
+
+#[test]
+fn columnar_view_equals_row_view() {
+    let series = campus_series();
+    let columnar = ColumnarSeries::from_series(&series);
+
+    // Round trip is lossless.
+    assert_eq!(columnar.to_series(), series);
+
+    // The counts matrix — the §4.1 input — is identical.
+    assert_eq!(columnar.counts_matrix(), series.counts_matrix());
+
+    // Observations are the same set, in deterministic ascending order.
+    let mut expected: HashSet<(Ipv4Addr, Hostname)> = HashSet::new();
+    for snap in &series.snapshots {
+        for (addr, host) in &snap.records {
+            expected.insert((*addr, host.clone()));
+        }
+    }
+    let got = columnar.observations();
+    assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+    assert_eq!(got.into_iter().collect::<HashSet<_>>(), expected);
+}
+
+#[test]
+fn dynamicity_par_equals_sequential() {
+    let series = campus_series();
+    let matrix = series.counts_matrix();
+    let params = DynamicityParams {
+        min_daily_addrs: Scale::tiny().min_daily_addrs,
+        ..DynamicityParams::default()
+    };
+    assert_eq!(
+        identify_dynamic_par(&matrix, &params),
+        identify_dynamic(&matrix, &params)
+    );
+}
+
+#[test]
+fn group_building_par_equals_sequential() {
+    let scale = Scale::tiny();
+    let from = Date::from_ymd(2021, 11, 1);
+    let mut world = World::new(WorldConfig {
+        seed: scale.seed,
+        start: from,
+        networks: vec![presets::academic_a(scale.focus_scale)],
+    });
+    let run = run_supplemental(
+        &mut world,
+        &["Academic-A"],
+        from,
+        2,
+        FaultMix::realistic(),
+        scale.seed,
+    );
+    let seq = build_groups(&run.log);
+    let par = par_build_groups(&run.log);
+    assert!(!seq.is_empty(), "campus must produce activity groups");
+    assert_eq!(seq, par);
+}
+
+/// The fan-out reductions must not depend on the worker count: pin the pool
+/// to one thread, then to several, and require identical output. The rayon
+/// layer re-reads `RAYON_NUM_THREADS` on every call, so flipping the
+/// variable mid-process exercises genuinely different shard schedules.
+#[test]
+fn results_identical_at_any_thread_count() {
+    let series = campus_series();
+    let columnar = ColumnarSeries::from_series(&series);
+    let params = DynamicityParams {
+        min_daily_addrs: Scale::tiny().min_daily_addrs,
+        ..DynamicityParams::default()
+    };
+
+    let scale = Scale::tiny();
+    let from = Date::from_ymd(2021, 11, 1);
+    let mut world = World::new(WorldConfig {
+        seed: scale.seed,
+        start: from,
+        networks: vec![presets::academic_a(scale.focus_scale)],
+    });
+    let run = run_supplemental(
+        &mut world,
+        &["Academic-A"],
+        from,
+        2,
+        FaultMix::realistic(),
+        scale.seed,
+    );
+
+    let run_all = || {
+        (
+            columnar.counts_matrix(),
+            columnar.observations(),
+            identify_dynamic_par(&columnar.counts_matrix(), &params),
+            par_build_groups(&run.log),
+        )
+    };
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let single = run_all();
+    std::env::set_var("RAYON_NUM_THREADS", "7");
+    let many = run_all();
+    std::env::remove_var("RAYON_NUM_THREADS");
+    let default = run_all();
+
+    assert_eq!(single, many);
+    assert_eq!(single, default);
+}

@@ -7,15 +7,20 @@
 //!   (weekly cadence) by dumping all PTR records from the shared
 //!   [`ZoneStore`](rdns_dns::ZoneStore); a [`SnapshotSeries`] is the
 //!   longitudinal dataset the §4/§5/§7.2 analyses consume.
+//! * [`columnar`] — the analysis-side layout: sorted address columns plus
+//!   an interned hostname pool shared across days, sharded per day for
+//!   rayon fan-out.
 //! * [`stats`] — summary statistics in the shape of Table 1 and Table 3.
 //! * [`persist`] — on-disk storage: series as JSON, scan logs as CSV pairs.
 //!
 //! Snapshots serialize to JSON for offline reuse.
 
+pub mod columnar;
 pub mod persist;
 pub mod snapshot;
 pub mod stats;
 
+pub use columnar::{ColumnarDay, ColumnarSeries, NameId, NamePool};
 pub use persist::{load_scan_log, load_series, save_scan_log, save_series, PersistError};
 pub use snapshot::{Cadence, DailySnapshot, Snapshotter, SnapshotSeries};
 pub use stats::{ScanDatasetStats, SnapshotDatasetStats};

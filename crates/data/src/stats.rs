@@ -1,5 +1,6 @@
 //! Dataset summary statistics (Table 1 and Table 3 shapes).
 
+use crate::columnar::ColumnarSeries;
 use crate::snapshot::SnapshotSeries;
 use rdns_scan::ScanLog;
 use rdns_model::Date;
@@ -23,6 +24,18 @@ pub struct SnapshotDatasetStats {
 impl SnapshotDatasetStats {
     /// Compute from a series.
     pub fn from_series(label: &str, series: &SnapshotSeries) -> SnapshotDatasetStats {
+        SnapshotDatasetStats {
+            label: label.to_string(),
+            start: series.start_date(),
+            end: series.end_date(),
+            total_responses: series.total_responses(),
+            unique_ptrs: series.unique_ptrs(),
+        }
+    }
+
+    /// Compute from the columnar view; the unique-PTR count walks the
+    /// interned name pool instead of hashing every hostname string.
+    pub fn from_columnar(label: &str, series: &ColumnarSeries) -> SnapshotDatasetStats {
         SnapshotDatasetStats {
             label: label.to_string(),
             start: series.start_date(),

@@ -1,0 +1,96 @@
+//! Wire-codec properties for DHCP: messages round-trip through
+//! encode → decode unchanged, and the decoder never panics on arbitrary or
+//! corrupted input.
+
+use proptest::prelude::*;
+use rdns_dhcp::{DhcpMessage, DhcpOption, FqdnFlags, MacAddr, OpCode};
+use std::net::Ipv4Addr;
+
+proptest! {
+    #[test]
+    fn prop_message_roundtrip(
+        request in any::<bool>(),
+        xid in any::<u32>(),
+        secs in any::<u16>(),
+        broadcast in any::<bool>(),
+        ci in any::<u32>(),
+        yi in any::<u32>(),
+        si in any::<u32>(),
+        gi in any::<u32>(),
+        mac in proptest::collection::vec(any::<u8>(), 6..7),
+        hostname in "[a-z][a-z0-9-]{0,14}",
+        lease in any::<u32>(),
+        mtype in 1u8..9,
+        client_id in proptest::collection::vec(any::<u8>(), 1..8),
+        server_updates in any::<bool>(),
+        no_updates in any::<bool>(),
+        fqdn in "[a-z][a-z0-9-]{0,10}",
+        other_code in 100u8..200,
+        other_data in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let msg = DhcpMessage {
+            op: if request { OpCode::BootRequest } else { OpCode::BootReply },
+            xid,
+            secs,
+            broadcast,
+            ciaddr: Ipv4Addr::from(ci),
+            yiaddr: Ipv4Addr::from(yi),
+            siaddr: Ipv4Addr::from(si),
+            giaddr: Ipv4Addr::from(gi),
+            chaddr: MacAddr(mac.try_into().expect("vec of length 6")),
+            options: vec![
+                DhcpOption::MessageType(mtype),
+                DhcpOption::HostName(hostname),
+                DhcpOption::RequestedIp(Ipv4Addr::from(yi)),
+                DhcpOption::LeaseTime(lease),
+                DhcpOption::ServerId(Ipv4Addr::from(si)),
+                DhcpOption::ClientId(client_id),
+                DhcpOption::ClientFqdn {
+                    flags: FqdnFlags {
+                        server_updates,
+                        no_updates,
+                        encoded: true,
+                    },
+                    name: format!("{fqdn}.example.edu"),
+                },
+                DhcpOption::Other(other_code, other_data),
+            ],
+        };
+        let decoded = DhcpMessage::decode(&msg.encode());
+        let expected = Ok(msg);
+        prop_assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn prop_minimal_message_roundtrip(xid in any::<u32>(), seed in any::<u64>()) {
+        let msg = DhcpMessage::request_template(xid, MacAddr::from_seed(seed));
+        let decoded = DhcpMessage::decode(&msg.encode());
+        let expected = Ok(msg);
+        prop_assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn prop_decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let _ = DhcpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn prop_decode_never_panics_on_corrupted_message(
+        xid in any::<u32>(),
+        pos in any::<u16>(),
+        bit in 0u8..8,
+        truncate in any::<u16>(),
+    ) {
+        let mut msg = DhcpMessage::request_template(xid, MacAddr([2, 0, 0, 0, 0, 1]));
+        msg.options.push(DhcpOption::MessageType(1));
+        msg.options.push(DhcpOption::HostName("brians-iphone".into()));
+        let mut bytes = msg.encode();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = DhcpMessage::decode(&bytes);
+        bytes.truncate(truncate as usize % (bytes.len() + 1));
+        let _ = DhcpMessage::decode(&bytes);
+    }
+}

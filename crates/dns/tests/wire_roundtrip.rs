@@ -1,0 +1,126 @@
+//! Wire-codec properties: any message we can express must survive
+//! encode → decode unchanged, and the decoder must never panic, whatever
+//! bytes it is fed.
+
+use proptest::prelude::*;
+use rdns_dns::message::Header;
+use rdns_dns::{DnsName, Message, Opcode, Question, Rcode, RecordData, RecordType, ResourceRecord};
+use std::net::Ipv4Addr;
+
+fn name(parts: &[&str]) -> DnsName {
+    parts.join(".").parse().expect("generated labels are valid")
+}
+
+proptest! {
+    #[test]
+    fn prop_full_message_roundtrip(
+        id in any::<u16>(),
+        response in any::<bool>(),
+        authoritative in any::<bool>(),
+        recursion_desired in any::<bool>(),
+        recursion_available in any::<bool>(),
+        host in "[a-z][a-z0-9-]{0,12}",
+        zone in "[a-z]{1,8}",
+        a in any::<u8>(),
+        b in any::<u8>(),
+        ttl in 0u32..86_400,
+        serial in any::<u32>(),
+        txt in proptest::collection::vec("[a-zA-Z0-9 ]{0,20}", 1..3),
+        opaque_type in 3000u16..4000,
+        opaque in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let addr = Ipv4Addr::new(10, 0, a, b);
+        let owner = name(&[&host, &zone, "example", "org"]);
+        let msg = Message {
+            header: Header {
+                id,
+                response,
+                opcode: Opcode::Query,
+                authoritative,
+                truncated: false,
+                recursion_desired,
+                recursion_available,
+                rcode: Rcode::NoError,
+            },
+            questions: vec![Question::ptr_for(addr)],
+            answers: vec![
+                ResourceRecord::ptr(addr, owner.clone(), ttl),
+                ResourceRecord::new(owner.clone(), ttl, RecordData::A(addr)),
+                ResourceRecord::new(owner.clone(), ttl, RecordData::Txt(txt)),
+            ],
+            authorities: vec![ResourceRecord::new(
+                name(&[&zone, "example", "org"]),
+                ttl,
+                RecordData::Soa {
+                    mname: name(&["ns1", &zone, "example", "org"]),
+                    rname: name(&["hostmaster", &zone, "example", "org"]),
+                    serial,
+                    refresh: 7200,
+                    retry: 900,
+                    expire: 86_400,
+                    minimum: 300,
+                },
+            )],
+            additionals: vec![
+                ResourceRecord::new(owner.clone(), ttl, RecordData::Cname(owner.clone())),
+                ResourceRecord::new(owner.clone(), ttl, RecordData::Ns(owner.clone())),
+                ResourceRecord::new(
+                    owner,
+                    ttl,
+                    RecordData::Opaque(opaque_type, opaque),
+                ),
+            ],
+        };
+        let decoded = Message::decode(&msg.encode());
+        let expected = Ok(msg);
+        prop_assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn prop_query_roundtrip(
+        id in any::<u16>(),
+        host in "[a-z][a-z0-9-]{0,14}",
+        qtype in 0u16..260,
+    ) {
+        let q = Message::query(
+            id,
+            Question::new(
+                name(&[&host, "example", "net"]),
+                RecordType::from_u16(qtype),
+            ),
+        );
+        let decoded = Message::decode(&q.encode());
+        let expected = Ok(q);
+        prop_assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn prop_decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn prop_decode_never_panics_on_corrupted_message(
+        id in any::<u16>(),
+        host in "[a-z][a-z0-9-]{0,10}",
+        pos in any::<u16>(),
+        bit in 0u8..8,
+        truncate in any::<u8>(),
+    ) {
+        let q = Message::query(id, Question::ptr_for(Ipv4Addr::new(192, 0, 2, 7)));
+        let mut resp = Message::response_to(&q, Rcode::NoError);
+        resp.answers.push(ResourceRecord::ptr(
+            Ipv4Addr::new(192, 0, 2, 7),
+            name(&[&host, "example", "org"]),
+            300,
+        ));
+        let mut bytes = resp.encode();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = Message::decode(&bytes);
+        bytes.truncate(truncate as usize % (bytes.len() + 1));
+        let _ = Message::decode(&bytes);
+    }
+}

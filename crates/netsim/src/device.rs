@@ -145,7 +145,7 @@ impl DeviceKind {
                 // Model variety, like the wild. `Note9` is reserved for the
                 // Fig. 8 case-study seed (pinned by the world builder) so
                 // the Cyber-Monday narrative stays identifiable.
-                let model = ["S10", "S21", "A52", "S9"][rng.gen_range(0..4)];
+                let model = ["S10", "S21", "A52", "S9"][rng.gen_range(0..4usize)];
                 format!("{cap}'s Galaxy {model}")
             }
             DeviceKind::AndroidPhone => format!("android-{:08x}", rng.gen::<u32>()),

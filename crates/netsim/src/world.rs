@@ -450,7 +450,7 @@ impl World {
         let addrs: Vec<Ipv4Addr> = pool_addrs(&sub.prefix).collect();
         for addr in addrs.iter().take(hosts) {
             let owner = name_pool.sample(rng);
-            let kind = ["pc", "ws", "lab", "desktop"][rng.gen_range(0..4)];
+            let kind = ["pc", "ws", "lab", "desktop"][rng.gen_range(0..4usize)];
             let name = format!("{owner}s-{kind}.{}.{}", sub.label, spec.suffix);
             let target = DnsName::parse(&name).expect("static named records are valid");
             store.set_ptr(*addr, target, 3600);

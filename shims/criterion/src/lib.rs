@@ -1,0 +1,249 @@
+//! Offline stand-in for `criterion` (see `shims/README.md`).
+//!
+//! Implements the measurement surface the workspace's benches use:
+//! `benchmark_group` / `bench_function` / `iter` / `iter_batched`,
+//! `Throughput`, `BatchSize`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is plain wall-clock sampling —
+//! median ns/iteration over `sample_size` samples — printed to stdout.
+//!
+//! Run modes mirror criterion's behavior under cargo: with `--bench` in the
+//! args (as `cargo bench` passes) every benchmark is measured; otherwise
+//! (e.g. `cargo test` building/running bench targets) each routine runs
+//! once as a smoke test.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation; printed alongside the timing when set.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Batch sizing hint for `iter_batched`; the shim treats all variants the
+/// same (one setup per timed invocation).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    /// Full measurement (`cargo bench`).
+    Measure,
+    /// Run each routine once (`cargo test` smoke mode).
+    Smoke,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mode = if args.iter().any(|a| a == "--bench") {
+            Mode::Measure
+        } else {
+            Mode::Smoke
+        };
+        // First free (non-flag) argument is a name filter, like criterion.
+        let filter = args
+            .iter()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .cloned();
+        Criterion { mode, filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Criterion {
+        let name = name.into();
+        run_benchmark(self.mode, &self.filter, &name, 20, None, f);
+        self
+    }
+}
+
+/// Group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(
+            self.criterion.mode,
+            &self.criterion.filter,
+            &full,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    mode: Mode,
+    filter: &Option<String>,
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        mode,
+        sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    if mode == Mode::Smoke {
+        println!("bench {name}: ok (smoke mode)");
+        return;
+    }
+    bencher.samples_ns.sort_unstable_by(f64::total_cmp);
+    let median = bencher
+        .samples_ns
+        .get(bencher.samples_ns.len() / 2)
+        .copied()
+        .unwrap_or(0.0);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!(" ({:.2} Melem/s)", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(" ({:.2} MiB/s)", n as f64 / median * 1e9 / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("bench {name}: median {}{rate}", format_ns(median));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s/iter", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs/iter", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns/iter")
+    }
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    mode: Mode,
+    sample_size: usize,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples_ns: Vec<f64>,
+}
+
+/// Target wall-clock time per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Smoke {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: how many iterations fill one sample window?
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.mode == Mode::Smoke {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            self.samples_ns.push(elapsed.as_nanos() as f64);
+        }
+    }
+}
+
+/// Collect benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,459 @@
+//! Offline stand-in for `proptest` (see `shims/README.md`).
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with `arg in strategy` bindings, `prop_assert!` / `prop_assert_eq!`,
+//! integer and float range strategies, `any::<T>()` for primitives and byte
+//! arrays, `proptest::collection::vec`, and string strategies written as
+//! simple regexes (character classes, `.`, and `{m,n}` repetition).
+//!
+//! Differences from the real crate: cases are generated from a fixed seed
+//! (deterministic across runs, varied per case index) and failures are not
+//! shrunk — the failing inputs are printed as-is.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values for one `arg in strategy` binding.
+    pub trait Strategy {
+        type Value: Debug;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut SmallRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// `any::<T>()` marker; see [`super::Arbitrary`] for the covered types.
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: super::Arbitrary + Debug> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// String strategies written as regex literals (`"[a-z0-9]{1,8}"`).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            super::pattern::generate(self, rng)
+        }
+    }
+
+    impl<S: Strategy> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+}
+
+/// Types `any::<T>()` can produce.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let mut out = [0u8; N];
+        rand::RngCore::fill_bytes(rng, &mut out);
+        out
+    }
+}
+
+/// `any::<T>()` — uniform over the whole domain of `T`.
+/// The glob-import surface test modules pull in with
+/// `use proptest::prelude::*;` — strategies plus the exported macros.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary};
+}
+
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// Vec strategy with a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = if self.len.start >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub(crate) mod pattern {
+    //! Tiny regex-subset generator: sequences of `[class]`, `.`, or literal
+    //! characters, each optionally followed by `{m}` / `{m,n}`.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    enum Atom {
+        Class(Vec<(char, char)>),
+        AnyChar,
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    pub fn generate(pattern: &str, rng: &mut SmallRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = if piece.min >= piece.max {
+                piece.min
+            } else {
+                rng.gen_range(piece.min..=piece.max)
+            };
+            for _ in 0..n {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut SmallRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::AnyChar => {
+                // Printable ASCII, like a practical subset of proptest's
+                // `.` (which excludes control characters).
+                char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+            }
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).unwrap();
+                    }
+                    pick -= span;
+                }
+                unreachable!("class sampling out of bounds")
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    let atom = Atom::Class(parse_class(&chars[i + 1..close]));
+                    i = close + 1;
+                    atom
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars.get(i).copied().unwrap_or('\\');
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated repetition in {pattern:?}"));
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition bound"),
+                        hi.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Parse the interior of a `[...]` class into inclusive char ranges.
+    fn parse_class(body: &[char]) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            let c = body[i];
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                ranges.push((c, body[i + 2]));
+                i += 3;
+            } else if i + 2 == body.len() && body[i + 1] == '-' {
+                // Trailing '-' is a literal.
+                ranges.push((c, c));
+                ranges.push(('-', '-'));
+                i += 2;
+            } else {
+                ranges.push((c, c));
+                i += 1;
+            }
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        ranges
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// A property-check failure carrying the formatted assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    /// Number of cases per property; overridable via `PROPTEST_CASES`.
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u64) -> SmallRng {
+    // Every property gets its own deterministic stream, varied per case.
+    let name_hash = test_name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+    SmallRng::seed_from_u64(name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// The property-test entry macro. Each `fn` inside becomes a `#[test]` that
+/// runs the body across generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __cases = $crate::test_runner::case_count();
+            for __case in 0..__cases {
+                let mut __rng = $crate::__case_rng(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)+
+                let __dbg = format!(
+                    concat!($(stringify!($arg), " = {:?}, "),+),
+                    $(&$arg),+
+                );
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        __case + 1, __cases, e, __dbg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fallible assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Fallible inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_patterns_generate() {
+        let mut rng = crate::__case_rng("self_test", 0);
+        for _ in 0..100 {
+            let v = (0u32..10).generate(&mut rng);
+            assert!(v < 10);
+            let s = "[a-z0-9-]{1,12}".generate(&mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()
+                || c.is_ascii_digit()
+                || c == '-'));
+            let h = "[a-z][a-z0-9-]{0,14}".generate(&mut rng);
+            assert!(h.chars().next().unwrap().is_ascii_lowercase());
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = crate::__case_rng("vec_test", 1);
+        for _ in 0..50 {
+            let v = crate::collection::vec(0u32..100, 10..40).generate(&mut rng);
+            assert!((10..40).contains(&v.len()));
+        }
+    }
+
+    crate::proptest! {
+        fn self_hosted_property(x in 0u32..1000, y in 0u32..1000) {
+            crate::prop_assert!(x < 1000);
+            crate::prop_assert_eq!(x + y, y + x);
+        }
+    }
+}

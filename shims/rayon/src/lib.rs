@@ -1,0 +1,250 @@
+//! Offline stand-in for `rayon` (see `shims/README.md`).
+//!
+//! Provides the data-parallel surface the analysis engine uses —
+//! `par_iter()` / `into_par_iter()` with `map` / `for_each` / `collect` /
+//! `sum` / `reduce` — implemented as eager, chunked fan-out over
+//! `std::thread::scope`. Each combinator materializes its results in input
+//! order, so any chain is deterministic regardless of thread count.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (read at each call, so tests
+//! can pin it at runtime) falling back to `std::thread::available_parallelism`.
+
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Worker count for the next parallel call. Re-read from the environment on
+/// every invocation so `RAYON_NUM_THREADS=1` can be asserted inside tests.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: join closure panicked"))
+    })
+}
+
+/// Apply `f` to every item on a worker pool, preserving input order in the
+/// output. The parallel primitive everything else builds on.
+fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Slice into more chunks than workers so uneven items still balance.
+    let chunk_len = items.len().div_ceil(threads * 4).max(1);
+    let mut chunks: Vec<(usize, Vec<I>)> = Vec::new();
+    let mut items = items;
+    let mut index = 0;
+    while !items.is_empty() {
+        let rest = items.split_off(chunk_len.min(items.len()));
+        chunks.push((index, items));
+        items = rest;
+        index += 1;
+    }
+
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+    let workers = threads.min(chunks.len());
+    let work = Mutex::new(chunks);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let Some((idx, chunk)) = work.lock().unwrap().pop() else {
+                    return;
+                };
+                let out: Vec<R> = chunk.into_iter().map(&f).collect();
+                done.lock().unwrap().push((idx, out));
+            });
+        }
+    });
+
+    let mut parts = done.into_inner().unwrap();
+    parts.sort_unstable_by_key(|(idx, _)| *idx);
+    parts.into_iter().flat_map(|(_, part)| part).collect()
+}
+
+/// An eager parallel iterator: holds materialized items; each adapter runs
+/// its closure across the pool and materializes the next stage in order.
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    pub fn map<R: Send, F: Fn(I) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    pub fn filter<F: Fn(&I) -> bool + Sync>(self, f: F) -> ParIter<I> {
+        let kept = parallel_map(self.items, |item| if f(&item) { Some(item) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn flat_map<R, F, T>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        T: IntoIterator<Item = R>,
+        F: Fn(I) -> T + Sync,
+        T: Send,
+    {
+        let nested = parallel_map(self.items, |item| {
+            f(item).into_iter().collect::<Vec<R>>()
+        });
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    pub fn collect<C: FromIterator<I>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn sum<S: std::iter::Sum<I>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> I
+    where
+        ID: Fn() -> I + Sync,
+        F: Fn(I, I) -> I + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// `collection.par_iter()` — parallel iteration over references.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `collection.into_par_iter()` — parallel iteration by value.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        for (i, d) in doubled.iter().enumerate() {
+            assert_eq!(*d, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<u64> = (0..1000).collect();
+        let par: u64 = v.par_iter().map(|x| x + 1).sum();
+        let seq: u64 = v.iter().map(|x| x + 1).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn filter_and_flat_map() {
+        let v: Vec<u32> = (0..100).collect();
+        let out: Vec<u32> = v
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .flat_map(|x| vec![x, x])
+            .collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0..4], [0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

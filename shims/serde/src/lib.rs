@@ -1,0 +1,488 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The hermetic build container has no registry access, so serialization is
+//! provided by this local shim (see `shims/README.md`). Instead of serde's
+//! visitor architecture it uses a concrete data model: types convert to and
+//! from [`Value`], and format crates (the `serde_json` shim) render `Value`.
+//! The `#[derive(Serialize, Deserialize)]` macros are re-exported from the
+//! `serde_derive` shim and generate `to_value` / `from_value` impls that
+//! mirror serde's default external representation (struct → map, unit enum
+//! variant → string, data variant → single-entry map).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::net::Ipv4Addr;
+
+// `serde::Serialize` must resolve to the derive macro in `#[derive(...)]`
+// position and to the trait in bound/impl position; re-exporting both under
+// one name works because macros and traits live in different namespaces.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model. Every serializable type lowers to this.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// Negative integers.
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Ordered key/value pairs; order is the serialization order.
+    Map(Vec<(Value, Value)>),
+}
+
+impl Value {
+    pub fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    /// Look up a field in a `Map` by string key; `Null` when absent.
+    pub fn field<'a>(&'a self, key: &str) -> &'a Value {
+        static NULL: Value = Value::Null;
+        if let Value::Map(entries) = self {
+            for (k, v) in entries {
+                if let Value::Str(s) = k {
+                    if s == key {
+                        return v;
+                    }
+                }
+            }
+        }
+        &NULL
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn msg(m: impl Into<String>) -> DeError {
+        DeError(m.into())
+    }
+
+    fn expected(what: &str, got: &Value) -> DeError {
+        DeError(format!("expected {what}, got {}", got.type_name()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into the data model.
+pub trait SerializeValue {
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from the data model.
+pub trait DeserializeValue: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+mod trait_names {
+    pub use super::{DeserializeValue as Deserialize, SerializeValue as Serialize};
+}
+pub use trait_names::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl SerializeValue for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl DeserializeValue for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: u64 = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::F64(f) if f.fract() == 0.0 && *f >= 0.0 => *f as u64,
+                    // Map keys arrive stringified (JSON object keys).
+                    Value::Str(s) => s.parse::<u64>().map_err(|e| DeError::msg(format!("bad integer key {s:?}: {e}")))?,
+                    other => return Err(DeError::expected("unsigned integer", other)),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::msg(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl SerializeValue for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl DeserializeValue for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n).map_err(|_| DeError::msg("integer overflow"))?,
+                    Value::F64(f) if f.fract() == 0.0 => *f as i64,
+                    Value::Str(s) => s.parse::<i64>().map_err(|e| DeError::msg(format!("bad integer key {s:?}: {e}")))?,
+                    other => return Err(DeError::expected("integer", other)),
+                };
+                <$t>::try_from(raw).map_err(|_| DeError::msg(format!("integer {raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl SerializeValue for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl DeserializeValue for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(f) => Ok(*f),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            other => Err(DeError::expected("float", other)),
+        }
+    }
+}
+
+impl SerializeValue for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl DeserializeValue for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl SerializeValue for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl DeserializeValue for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl SerializeValue for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl DeserializeValue for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl SerializeValue for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl SerializeValue for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl DeserializeValue for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+impl<T: SerializeValue + ?Sized> SerializeValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: SerializeValue> SerializeValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: DeserializeValue> DeserializeValue for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: SerializeValue> SerializeValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(SerializeValue::to_value).collect())
+    }
+}
+
+impl<T: DeserializeValue> DeserializeValue for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: SerializeValue> SerializeValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(SerializeValue::to_value).collect())
+    }
+}
+
+impl<T: SerializeValue, const N: usize> SerializeValue for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(SerializeValue::to_value).collect())
+    }
+}
+
+impl<T: DeserializeValue + fmt::Debug, const N: usize> DeserializeValue for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::msg(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: SerializeValue),+> SerializeValue for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: DeserializeValue),+> DeserializeValue for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let Value::Seq(items) = v else {
+                    return Err(DeError::expected("tuple sequence", v));
+                };
+                let expect = [$(stringify!($idx)),+].len();
+                if items.len() != expect {
+                    return Err(DeError::msg(format!(
+                        "expected tuple of {expect}, got {}", items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+fn map_to_value<'a, K, V, I>(entries: I) -> Value
+where
+    K: SerializeValue + 'a,
+    V: SerializeValue + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Value::Map(entries.map(|(k, v)| (k.to_value(), v.to_value())).collect())
+}
+
+fn map_from_value<K, V>(v: &Value) -> Result<Vec<(K, V)>, DeError>
+where
+    K: DeserializeValue,
+    V: DeserializeValue,
+{
+    match v {
+        Value::Map(entries) => entries
+            .iter()
+            .map(|(k, val)| Ok((K::from_value(k)?, V::from_value(val)?)))
+            .collect(),
+        other => Err(DeError::expected("map", other)),
+    }
+}
+
+impl<K: SerializeValue + Ord, V: SerializeValue> SerializeValue for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        map_to_value(self.iter())
+    }
+}
+
+impl<K: DeserializeValue + Ord, V: DeserializeValue> DeserializeValue for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<K: SerializeValue + Eq + Hash, V: SerializeValue> SerializeValue for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort by serialized key so output is deterministic across runs.
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        Value::Map(entries)
+    }
+}
+
+impl<K: DeserializeValue + Eq + Hash, V: DeserializeValue> DeserializeValue for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(map_from_value::<K, V>(v)?.into_iter().collect())
+    }
+}
+
+impl<T: SerializeValue + Ord> SerializeValue for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(SerializeValue::to_value).collect())
+    }
+}
+
+impl<T: DeserializeValue + Ord> DeserializeValue for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_value(v)?.into_iter().collect())
+    }
+}
+
+impl<T: SerializeValue + Eq + Hash + Ord> SerializeValue for HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Seq(items.into_iter().map(SerializeValue::to_value).collect())
+    }
+}
+
+impl<T: DeserializeValue + Eq + Hash> DeserializeValue for HashSet<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_value(v)?.into_iter().collect())
+    }
+}
+
+impl SerializeValue for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl DeserializeValue for Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => s
+                .parse()
+                .map_err(|e| DeError::msg(format!("bad IPv4 address {s:?}: {e}"))),
+            other => Err(DeError::expected("IPv4 address string", other)),
+        }
+    }
+}
+
+impl SerializeValue for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (Value::str("secs"), Value::U64(self.as_secs())),
+            (Value::str("nanos"), Value::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl DeserializeValue for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let secs = u64::from_value(v.field("secs"))?;
+        let nanos = u32::from_value(v.field("nanos"))?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl SerializeValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl DeserializeValue for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn map_with_addr_keys_roundtrips() {
+        let mut m = BTreeMap::new();
+        m.insert(Ipv4Addr::new(10, 0, 0, 1), "a".to_string());
+        m.insert(Ipv4Addr::new(10, 0, 0, 2), "b".to_string());
+        let v = m.to_value();
+        let back: BTreeMap<Ipv4Addr, String> = DeserializeValue::from_value(&v).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn stringified_integer_keys_parse_back() {
+        // JSON object keys are strings; integer keys must survive the trip.
+        let v = Value::Map(vec![(Value::str("167772161"), Value::U64(3))]);
+        let m: BTreeMap<u32, u32> = DeserializeValue::from_value(&v).unwrap();
+        assert_eq!(m[&167772161], 3);
+    }
+}

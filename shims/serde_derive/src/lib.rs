@@ -1,0 +1,417 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! local value-model `serde` shim (see `shims/README.md`). The input is
+//! parsed directly from the `proc_macro` token stream — no `syn`/`quote`,
+//! since those are registry crates too. Supported shapes are exactly what
+//! this workspace derives on: named structs, tuple structs, unit structs,
+//! and enums with unit / tuple / named-field variants (no generics, no
+//! `#[serde(...)]` attributes).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match which {
+                Which::Serialize => gen_serialize(&item),
+                Which::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("serde_derive shim generated invalid code")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected type name".into()),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic type `{name}` is not supported"
+        ));
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                _ => return Err(format!("serde shim derive: malformed struct `{name}`")),
+            };
+            Ok(Item {
+                name,
+                shape: Shape::Struct(fields),
+            })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("serde shim derive: malformed enum `{name}`")),
+            };
+            Ok(Item {
+                name,
+                shape: Shape::Enum(parse_variants(body)?),
+            })
+        }
+        other => Err(format!("serde shim derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Advance past leading `#[...]` attributes and a `pub` / `pub(...)` marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // '[...]'
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1; // '(crate)' etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Split a token stream at commas that sit outside `<...>` nesting.
+/// (Nested `()`/`[]`/`{}` arrive as single `Group` trees, so only angle
+/// brackets need explicit depth tracking.)
+fn split_top_level_commas(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut parts = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        parts.last_mut().unwrap().push(tt);
+    }
+    parts.retain(|p| !p.is_empty());
+    parts
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for part in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        match part.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => return Err("serde shim derive: expected field name".into()),
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level_commas(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(stream) {
+        let mut i = 0;
+        skip_attrs_and_vis(&part, &mut i);
+        let name = match part.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde shim derive: expected variant name".into()),
+        };
+        i += 1;
+        // Explicit discriminants (`Monday = 1`) and unit variants both
+        // serialize by name, so the `= expr` tail is simply ignored.
+        let fields = match part.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::str({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::str({vn:?}),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![\
+                             (::serde::Value::str({vn:?}), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                                 (::serde::Value::str({vn:?}), \
+                                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::serde::Value::str({f:?}), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                                 (::serde::Value::str({vn:?}), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Fields::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field({f:?}))?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Struct(Fields::Tuple(n)) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let ::serde::Value::Seq(__items) = __v else {{ \
+                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                 concat!(\"expected sequence for \", {name:?}))); }}; \
+                 if __items.len() != {n} {{ \
+                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                 concat!(\"wrong arity for \", {name:?}))); }} \
+                 ::std::result::Result::Ok({name}({})) }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Tuple(1) => format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{ \
+                                 let ::serde::Value::Seq(__items) = __payload else {{ \
+                                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                                 concat!(\"expected sequence payload for \", {vn:?}))); }}; \
+                                 if __items.len() != {n} {{ \
+                                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                                 concat!(\"wrong arity for \", {vn:?}))); }} \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }},",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         __payload.field({f:?}))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Unit => unreachable!(),
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {} \
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 ::std::format!(\"unknown variant {{__other:?}} for {name}\"))), \
+                 }}, \
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__k, __payload) = &__entries[0]; \
+                 let ::serde::Value::Str(__vname) = __k else {{ \
+                 return ::std::result::Result::Err(::serde::DeError::msg(\
+                 concat!(\"non-string variant key for \", {name:?}))); }}; \
+                 match __vname.as_str() {{ \
+                 {} \
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 ::std::format!(\"unknown variant {{__other:?}} for {name}\"))), \
+                 }} }}, \
+                 __other => ::std::result::Result::Err(::serde::DeError::msg(\
+                 ::std::format!(\"bad enum encoding for {name}\"))), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> \
+         {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,56 @@
+//! `AsyncReadExt` / `AsyncWriteExt` with just the combinators the
+//! workspace calls (`read_exact`, `write_all`).
+
+use crate::net::TcpStream;
+use std::future::Future;
+use std::io;
+
+pub trait AsyncReadExt {
+    /// Read exactly `buf.len()` bytes.
+    fn read_exact<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl Future<Output = io::Result<usize>> + 'a;
+}
+
+pub trait AsyncWriteExt {
+    /// Write the entire buffer.
+    fn write_all<'a>(
+        &'a mut self,
+        buf: &'a [u8],
+    ) -> impl Future<Output = io::Result<()>> + 'a;
+}
+
+impl AsyncReadExt for TcpStream {
+    async fn read_exact<'a>(&'a mut self, buf: &'a mut [u8]) -> io::Result<usize> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read_some(&mut buf[filled..]).await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "early eof in read_exact",
+                ));
+            }
+            filled += n;
+        }
+        Ok(filled)
+    }
+}
+
+impl AsyncWriteExt for TcpStream {
+    async fn write_all<'a>(&'a mut self, buf: &'a [u8]) -> io::Result<()> {
+        let mut written = 0;
+        while written < buf.len() {
+            let n = self.write_some(&buf[written..]).await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "write_all wrote zero bytes",
+                ));
+            }
+            written += n;
+        }
+        Ok(())
+    }
+}

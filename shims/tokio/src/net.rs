@@ -1,0 +1,131 @@
+//! Async sockets: nonblocking `std::net` sockets whose futures translate
+//! `WouldBlock` into `Poll::Pending`.
+
+use crate::runtime::pending_once;
+use std::io;
+use std::net::{self, SocketAddr, ToSocketAddrs};
+
+/// Async UDP socket.
+#[derive(Debug)]
+pub struct UdpSocket {
+    inner: net::UdpSocket,
+}
+
+impl UdpSocket {
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let inner = net::UdpSocket::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(UdpSocket { inner })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        loop {
+            match self.inner.recv_from(buf) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => pending_once().await,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    pub async fn send_to<A: ToSocketAddrs>(&self, buf: &[u8], target: A) -> io::Result<usize> {
+        let target = target
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        loop {
+            match self.inner.send_to(buf, target) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => pending_once().await,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Async TCP stream. `read`/`write` primitives live here; the `read_exact` /
+/// `write_all` combinators are on [`crate::io::AsyncReadExt`] /
+/// [`crate::io::AsyncWriteExt`], mirroring tokio's split.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: net::TcpStream,
+}
+
+impl TcpStream {
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        // Blocking connect: instantaneous at loopback, where all of this
+        // workspace's wire traffic lives.
+        let inner = net::TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    pub(crate) fn from_std(inner: net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    pub(crate) async fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        use std::io::Read;
+        loop {
+            match self.inner.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => pending_once().await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    pub(crate) async fn write_some(&mut self, buf: &[u8]) -> io::Result<usize> {
+        use std::io::Write;
+        loop {
+            match self.inner.write(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => pending_once().await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Async TCP listener.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: net::TcpListener,
+}
+
+impl TcpListener {
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        loop {
+            match self.inner.accept() {
+                Ok((stream, peer)) => return Ok((TcpStream::from_std(stream)?, peer)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => pending_once().await,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! `watch` and unbounded `mpsc` channels.
+
+pub mod watch {
+    use std::fmt;
+    use std::ops::Deref;
+    use std::sync::{Arc, Mutex, MutexGuard};
+    use std::task::Poll;
+
+    struct Shared<T> {
+        /// Current value plus a version counter bumped on every send.
+        state: Mutex<(T, u64)>,
+    }
+
+    /// Error type for `Sender::send`; never produced by this shim (the
+    /// shutdown senders outlive their receivers in all workspace usage).
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "watch channel closed")
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct RecvError(());
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "watch sender dropped")
+        }
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("watch::Sender")
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("watch::Receiver")
+        }
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+        seen: u64,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+                seen: self.seen,
+            }
+        }
+    }
+
+    /// Read guard returned by [`Receiver::borrow`].
+    pub struct Ref<'a, T> {
+        guard: MutexGuard<'a, (T, u64)>,
+    }
+
+    impl<T> Deref for Ref<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.guard.0
+        }
+    }
+
+    pub fn channel<T>(init: T) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new((init, 0)),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared, seen: 0 },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap();
+            state.0 = value;
+            state.1 += 1;
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Resolve once the value changes relative to what this receiver
+        /// has seen.
+        pub async fn changed(&mut self) -> Result<(), RecvError> {
+            std::future::poll_fn(|_| {
+                let state = self.shared.state.lock().unwrap();
+                if state.1 != self.seen {
+                    self.seen = state.1;
+                    Poll::Ready(Ok(()))
+                } else {
+                    Poll::Pending
+                }
+            })
+            .await
+        }
+
+        pub fn borrow(&self) -> Ref<'_, T> {
+            Ref {
+                guard: self.shared.state.lock().unwrap(),
+            }
+        }
+    }
+}
+
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::task::Poll;
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        senders: AtomicUsize,
+    }
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "mpsc channel closed")
+        }
+    }
+
+    pub struct UnboundedSender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> fmt::Debug for UnboundedSender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("mpsc::UnboundedSender")
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::Relaxed);
+            UnboundedSender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            self.chan.senders.fetch_sub(1, Ordering::Release);
+        }
+    }
+
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> fmt::Debug for UnboundedReceiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("mpsc::UnboundedReceiver")
+        }
+    }
+
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            UnboundedSender {
+                chan: Arc::clone(&chan),
+            },
+            UnboundedReceiver { chan },
+        )
+    }
+
+    impl<T> UnboundedSender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.chan.queue.lock().unwrap().push_back(value);
+            Ok(())
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Next message; `None` once every sender is dropped and the queue
+        /// is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            std::future::poll_fn(|_| {
+                let mut queue = self.chan.queue.lock().unwrap();
+                if let Some(v) = queue.pop_front() {
+                    return Poll::Ready(Some(v));
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Poll::Ready(None);
+                }
+                Poll::Pending
+            })
+            .await
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Thread-per-task spawning with awaitable join handles.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll};
+
+/// Error returned when a spawned task's thread died before storing a result.
+#[derive(Debug)]
+pub struct JoinError(());
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spawned task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+enum SlotState<T> {
+    Running,
+    Done(T),
+    Panicked,
+    Taken,
+}
+
+/// Awaitable handle to a spawned task.
+pub struct JoinHandle<T> {
+    slot: Arc<Mutex<SlotState<T>>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.slot.lock().unwrap();
+        match std::mem::replace(&mut *slot, SlotState::Taken) {
+            SlotState::Done(v) => Poll::Ready(Ok(v)),
+            SlotState::Panicked => Poll::Ready(Err(JoinError(()))),
+            SlotState::Running => {
+                *slot = SlotState::Running;
+                Poll::Pending
+            }
+            SlotState::Taken => panic!("JoinHandle polled after completion"),
+        }
+    }
+}
+
+/// Run a future to completion on its own OS thread.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(SlotState::Running));
+    let writer = Arc::clone(&slot);
+    std::thread::Builder::new()
+        .name("tokio-shim-task".to_string())
+        .spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::runtime::block_on_impl(fut)
+            }));
+            let mut s = writer.lock().unwrap();
+            *s = match result {
+                Ok(v) => SlotState::Done(v),
+                Err(_) => SlotState::Panicked,
+            };
+        })
+        .expect("failed to spawn task thread");
+    JoinHandle { slot }
+}

@@ -1,0 +1,50 @@
+//! Timers: `sleep` and `timeout` over wall-clock deadlines.
+
+use std::future::Future;
+use std::task::Poll;
+use std::time::{Duration, Instant};
+
+pub mod error {
+    use std::fmt;
+
+    /// Error returned by [`super::timeout`] when the deadline passes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Elapsed(pub(crate) ());
+
+    impl fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+}
+
+/// Resolve after `dur` has passed.
+pub async fn sleep(dur: Duration) {
+    let deadline = Instant::now() + dur;
+    std::future::poll_fn(move |_| {
+        if Instant::now() >= deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+/// Run `fut` with a deadline; `Err(Elapsed)` if it does not finish in time.
+pub async fn timeout<F: Future>(dur: Duration, fut: F) -> Result<F::Output, error::Elapsed> {
+    let deadline = Instant::now() + dur;
+    let mut fut = std::pin::pin!(fut);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Instant::now() >= deadline {
+            return Poll::Ready(Err(error::Elapsed(())));
+        }
+        Poll::Pending
+    })
+    .await
+}

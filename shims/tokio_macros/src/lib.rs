@@ -1,0 +1,98 @@
+//! Offline stand-in for `tokio-macros` (see `shims/README.md`).
+//!
+//! Provides the `#[tokio::test]` attribute: it rewrites an `async fn` test
+//! into a plain `#[test]` fn that drives the async body on the tokio shim's
+//! blocking executor. Parsed by hand from the token stream (no `syn`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    match rewrite(item) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn rewrite(item: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+
+    // Leading attributes (e.g. `#[ignore]`) and visibility stay on the
+    // rewritten fn; everything up to the `async` keyword passes through.
+    let mut i = 0;
+    let mut prefix = String::new();
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                prefix.push_str(&tokens[i].to_string());
+                i += 1;
+                if let Some(g @ TokenTree::Group(_)) = tokens.get(i) {
+                    prefix.push_str(&g.to_string());
+                    prefix.push('\n');
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                prefix.push_str("pub ");
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        prefix.push_str(&g.to_string());
+                        prefix.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "async" => i += 1,
+        _ => return Err("#[tokio::test] requires an `async fn`".into()),
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "fn" => i += 1,
+        _ => return Err("#[tokio::test]: expected `fn` after `async`".into()),
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("#[tokio::test]: expected function name".into()),
+    };
+    i += 1;
+    let args = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return Err("#[tokio::test]: expected argument list".into()),
+    };
+    if !args.is_empty() {
+        return Err("#[tokio::test]: test functions take no arguments".into());
+    }
+    i += 1;
+
+    // Anything between the argument list and the body is the return type.
+    let mut ret = String::new();
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(tt) => {
+                ret.push_str(&tt.to_string());
+                ret.push(' ');
+                i += 1;
+            }
+            None => return Err("#[tokio::test]: missing function body".into()),
+        }
+    };
+
+    let out = format!(
+        "{prefix}\n\
+         #[test]\n\
+         fn {name}() {ret} {{\n\
+         ::tokio::runtime::Builder::new_current_thread()\
+         .enable_all().build().unwrap()\
+         .block_on(async move {{ {body} }})\n\
+         }}",
+        body = body
+    );
+    out.parse()
+        .map_err(|e| format!("tokio shim generated invalid code: {e:?}"))
+}
