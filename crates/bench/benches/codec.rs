@@ -1,0 +1,83 @@
+//! Protocol-codec benchmarks: DNS and DHCP wire handling, zone updates.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rdns_dhcp::{ClientIdentity, DhcpMessage, MacAddr};
+use rdns_dns::{DnsName, Message, Question, Rcode, ResourceRecord, ZoneStore};
+use std::net::Ipv4Addr;
+
+fn ptr_response(n_answers: u8) -> Message {
+    let q = Message::query(7, Question::ptr_for(Ipv4Addr::new(192, 0, 2, 1)));
+    let mut resp = Message::response_to(&q, Rcode::NoError);
+    for i in 0..n_answers {
+        resp.answers.push(ResourceRecord::ptr(
+            Ipv4Addr::new(192, 0, 2, i),
+            format!("host{i}.resnet.example.edu").parse().unwrap(),
+            300,
+        ));
+    }
+    resp
+}
+
+fn bench_dns_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dns_codec");
+    let query = Message::query(7, Question::ptr_for(Ipv4Addr::new(93, 184, 216, 34)));
+    let qbytes = query.encode();
+    g.throughput(Throughput::Bytes(qbytes.len() as u64));
+    g.bench_function("encode_ptr_query", |b| b.iter(|| black_box(&query).encode()));
+    g.bench_function("decode_ptr_query", |b| {
+        b.iter(|| Message::decode(black_box(&qbytes)).unwrap())
+    });
+
+    let resp = ptr_response(20);
+    let rbytes = resp.encode();
+    g.throughput(Throughput::Bytes(rbytes.len() as u64));
+    g.bench_function("encode_20_ptr_answers_compressed", |b| {
+        b.iter(|| black_box(&resp).encode())
+    });
+    g.bench_function("decode_20_ptr_answers", |b| {
+        b.iter(|| Message::decode(black_box(&rbytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_dhcp_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dhcp_codec");
+    let id = ClientIdentity::standard(MacAddr::from_seed(9), "Brian's iPhone");
+    let discover = id.discover(42);
+    let bytes = discover.encode();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_discover", |b| b.iter(|| black_box(&discover).encode()));
+    g.bench_function("decode_discover", |b| {
+        b.iter(|| DhcpMessage::decode(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_zone_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zone_store");
+    let store = ZoneStore::new();
+    for i in 0..32u32 {
+        store.ensure_reverse_zone(Ipv4Addr::from(0x0A000000 | (i << 8)));
+    }
+    // Preload records.
+    for i in 0..32u32 {
+        for j in 2..250u32 {
+            let addr = Ipv4Addr::from(0x0A000000 | (i << 8) | j);
+            store.set_ptr(addr, format!("h{i}-{j}.example.edu").parse().unwrap(), 300);
+        }
+    }
+    let target = Ipv4Addr::new(10, 0, 7, 77);
+    let name: DnsName = "brians-iphone.example.edu".parse().unwrap();
+    g.bench_function("set_ptr_replace", |b| {
+        b.iter(|| store.set_ptr(black_box(target), name.clone(), 300))
+    });
+    g.bench_function("get_ptr_hit", |b| b.iter(|| store.get_ptr(black_box(target))));
+    g.bench_function("get_ptr_miss", |b| {
+        b.iter(|| store.get_ptr(black_box(Ipv4Addr::new(10, 0, 7, 1))))
+    });
+    g.bench_function("ptr_count_8k_records", |b| b.iter(|| store.ptr_count()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_dns_codec, bench_dhcp_codec, bench_zone_ops);
+criterion_main!(benches);

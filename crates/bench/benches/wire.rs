@@ -1,83 +1,168 @@
-//! Protocol-codec benchmarks: DNS and DHCP wire handling, zone updates.
+//! Wire-path throughput: serial prober vs. pipelined sweep over loopback.
+//!
+//! The paper's supplemental measurement issues one PTR query per address in
+//! its target networks, daily (§6.1). Done serially — send, wait, classify,
+//! next — throughput is capped by round-trip latency. The pipelined wire
+//! path ([`rdns_scan::WireSweeper`] over [`rdns_dns::PipelinedResolver`]
+//! against a multi-worker [`rdns_dns::UdpServer`]) keeps hundreds of queries
+//! in flight on one socket, so the same sweep finishes an order of magnitude
+//! faster.
+//!
+//! Run modes follow the criterion shim's convention: with `--bench` in the
+//! args (as `cargo bench` passes) the full 4096-address universe is measured
+//! and the result written to `BENCH_wire.json` at the repository root;
+//! otherwise (`cargo test` executing the bench target) a tiny smoke sweep
+//! runs once and nothing is written.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use rdns_dhcp::{ClientIdentity, DhcpMessage, MacAddr};
-use rdns_dns::{DnsName, Message, Question, Rcode, ResourceRecord, ZoneStore};
-use std::net::Ipv4Addr;
+use rdns_bench::{WireBenchReport, WireLane};
+use rdns_dns::{FaultConfig, UdpServer, ZoneStore};
+use rdns_model::Date;
+use rdns_scan::wire::{BlockingWireProber, PingOracle, UdpPingGateway};
+use rdns_scan::{Prober, SweepConfig, WireSweeper};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::Arc;
+use std::time::Instant;
 
-fn ptr_response(n_answers: u8) -> Message {
-    let q = Message::query(7, Question::ptr_for(Ipv4Addr::new(192, 0, 2, 1)));
-    let mut resp = Message::response_to(&q, Rcode::NoError);
-    for i in 0..n_answers {
-        resp.answers.push(ResourceRecord::ptr(
-            Ipv4Addr::new(192, 0, 2, i),
-            format!("host{i}.resnet.example.edu").parse().unwrap(),
-            300,
-        ));
-    }
-    resp
-}
+const SERVER_WORKERS: usize = 4;
+const SWEEP_CONCURRENCY: usize = 256;
 
-fn bench_dns_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dns_codec");
-    let query = Message::query(7, Question::ptr_for(Ipv4Addr::new(93, 184, 216, 34)));
-    let qbytes = query.encode();
-    g.throughput(Throughput::Bytes(qbytes.len() as u64));
-    g.bench_function("encode_ptr_query", |b| b.iter(|| black_box(&query).encode()));
-    g.bench_function("decode_ptr_query", |b| {
-        b.iter(|| Message::decode(black_box(&qbytes)).unwrap())
-    });
-
-    let resp = ptr_response(20);
-    let rbytes = resp.encode();
-    g.throughput(Throughput::Bytes(rbytes.len() as u64));
-    g.bench_function("encode_20_ptr_answers_compressed", |b| {
-        b.iter(|| black_box(&resp).encode())
-    });
-    g.bench_function("decode_20_ptr_answers", |b| {
-        b.iter(|| Message::decode(black_box(&rbytes)).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_dhcp_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dhcp_codec");
-    let id = ClientIdentity::standard(MacAddr::from_seed(9), "Brian's iPhone");
-    let discover = id.discover(42);
-    let bytes = discover.encode();
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("encode_discover", |b| b.iter(|| black_box(&discover).encode()));
-    g.bench_function("decode_discover", |b| {
-        b.iter(|| DhcpMessage::decode(black_box(&bytes)).unwrap())
-    });
-    g.finish();
-}
-
-fn bench_zone_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("zone_store");
+/// `zones` /24 blocks under 10.80.x.0, PTR published on alternating
+/// addresses — half the universe answers, half is NXDOMAIN, like a
+/// half-populated residential block.
+fn build_store(zones: u8) -> (ZoneStore, Vec<Ipv4Addr>, u64) {
     let store = ZoneStore::new();
-    for i in 0..32u32 {
-        store.ensure_reverse_zone(Ipv4Addr::from(0x0A000000 | (i << 8)));
-    }
-    // Preload records.
-    for i in 0..32u32 {
-        for j in 2..250u32 {
-            let addr = Ipv4Addr::from(0x0A000000 | (i << 8) | j);
-            store.set_ptr(addr, format!("h{i}-{j}.example.edu").parse().unwrap(), 300);
+    let mut targets = Vec::new();
+    let mut ptrs = 0u64;
+    for z in 0..zones {
+        store.ensure_reverse_zone(Ipv4Addr::new(10, 80, z, 1));
+        for h in 0..=255u8 {
+            let addr = Ipv4Addr::new(10, 80, z, h);
+            targets.push(addr);
+            if h % 2 == 0 {
+                store.set_ptr(
+                    addr,
+                    format!("client-{z}-{h}.resnet.example.edu").parse().unwrap(),
+                    300,
+                );
+                ptrs += 1;
+            }
         }
     }
-    let target = Ipv4Addr::new(10, 0, 7, 77);
-    let name: DnsName = "brians-iphone.example.edu".parse().unwrap();
-    g.bench_function("set_ptr_replace", |b| {
-        b.iter(|| store.set_ptr(black_box(target), name.clone(), 300))
-    });
-    g.bench_function("get_ptr_hit", |b| b.iter(|| store.get_ptr(black_box(target))));
-    g.bench_function("get_ptr_miss", |b| {
-        b.iter(|| store.get_ptr(black_box(Ipv4Addr::new(10, 0, 7, 1))))
-    });
-    g.bench_function("ptr_count_8k_records", |b| b.iter(|| store.ptr_count()));
-    g.finish();
+    (store, targets, ptrs)
 }
 
-criterion_group!(benches, bench_dns_codec, bench_dhcp_codec, bench_zone_ops);
-criterion_main!(benches);
+struct Services {
+    rt: tokio::runtime::Runtime,
+    dns_addr: SocketAddr,
+    gw_addr: SocketAddr,
+}
+
+fn spawn_services(store: ZoneStore) -> Services {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .expect("runtime");
+    let oracle: PingOracle = Arc::new(|_| true);
+    let (dns_addr, gw_addr) = rt.block_on(async {
+        let server = UdpServer::bind("127.0.0.1:0".parse().unwrap(), store, FaultConfig::default())
+            .await
+            .expect("bind DNS server")
+            .with_workers(SERVER_WORKERS);
+        let dns_addr = server.local_addr().expect("dns addr");
+        tokio::spawn(server.run());
+        let gateway = UdpPingGateway::bind("127.0.0.1:0".parse().unwrap(), oracle)
+            .await
+            .expect("bind gateway");
+        let gw_addr = gateway.local_addr().expect("gw addr");
+        tokio::spawn(gateway.run());
+        (dns_addr, gw_addr)
+    });
+    Services { rt, dns_addr, gw_addr }
+}
+
+/// Serial baseline: one blocking lookup at a time over a subset (the full
+/// universe at serial pace would dominate bench wall-clock for no extra
+/// information — q/s is what's compared).
+fn run_serial(services: &Services, subset: &[Ipv4Addr]) -> WireLane {
+    let mut prober =
+        BlockingWireProber::connect(services.gw_addr, services.dns_addr).expect("connect prober");
+    let start = Instant::now();
+    let mut answered = 0u64;
+    for &addr in subset {
+        if prober.rdns(addr).hostname().is_some() {
+            answered += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    assert!(answered > 0, "serial lane saw no PTRs — server dead?");
+    WireLane {
+        addresses: subset.len() as u64,
+        concurrency: 1,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        queries_per_sec: subset.len() as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+/// Pipelined lane: the full universe through the sweeper.
+fn run_pipelined(services: &Services, targets: &[Ipv4Addr], expected_ptrs: u64) -> WireLane {
+    services.rt.block_on(async {
+        let sweeper = WireSweeper::connect(services.dns_addr, SweepConfig::new(SWEEP_CONCURRENCY))
+            .await
+            .expect("connect sweeper");
+        let report = sweeper.sweep(targets, Date::from_ymd(2021, 11, 1)).await;
+        assert_eq!(report.queried as usize, targets.len());
+        assert_eq!(report.answered, expected_ptrs, "sweep lost records");
+        assert_eq!(report.timeouts, 0, "sweep timed out under load");
+        sweeper.into_resolver().shutdown().await;
+        WireLane {
+            addresses: report.queried,
+            concurrency: SWEEP_CONCURRENCY as u64,
+            elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+            queries_per_sec: report.queries_per_sec(),
+        }
+    })
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    // Smoke mode (cargo test): one /24, 8-wide, no report file.
+    let (zones, serial_subset) = if measure { (16u8, 512usize) } else { (1, 16) };
+
+    let (store, targets, ptrs) = build_store(zones);
+    let services = spawn_services(store);
+
+    let serial = run_serial(&services, &targets[..serial_subset]);
+    let pipelined = run_pipelined(&services, &targets, ptrs);
+    let speedup = pipelined.queries_per_sec / serial.queries_per_sec;
+
+    println!(
+        "bench wire_sweep/serial: {} addrs in {:.1} ms ({:.0} q/s)",
+        serial.addresses, serial.elapsed_ms, serial.queries_per_sec
+    );
+    println!(
+        "bench wire_sweep/pipelined: {} addrs in {:.1} ms ({:.0} q/s, {SWEEP_CONCURRENCY} in flight)",
+        pipelined.addresses, pipelined.elapsed_ms, pipelined.queries_per_sec
+    );
+    println!("bench wire_sweep/speedup: {speedup:.1}x");
+
+    if !measure {
+        println!("bench wire_sweep: ok (smoke mode)");
+        return;
+    }
+
+    let report = WireBenchReport {
+        schema_version: 1,
+        bench: "wire_sweep".into(),
+        addresses: targets.len() as u64,
+        ptr_records: ptrs,
+        server_workers: SERVER_WORKERS as u64,
+        serial,
+        pipelined,
+        speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+    std::fs::write(path, report.to_json().expect("serialize report") + "\n")
+        .expect("write BENCH_wire.json");
+    println!("wrote {path}");
+}

@@ -10,6 +10,7 @@
 //!   — regenerate every table and figure of the paper (see EXPERIMENTS.md).
 
 use rdns_core::experiments::Scale;
+use serde::{Deserialize, Serialize};
 
 /// Parse a scale name; defaults to `small`.
 pub fn parse_scale(name: Option<&str>) -> Scale {
@@ -17,6 +18,55 @@ pub fn parse_scale(name: Option<&str>) -> Scale {
         "tiny" => Scale::tiny(),
         "paper" => Scale::paper(),
         _ => Scale::small(),
+    }
+}
+
+/// One lane (serial or pipelined) of the wire-path benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireLane {
+    /// Addresses swept in this lane.
+    pub addresses: u64,
+    /// Concurrent queries in flight (1 for the serial lane).
+    pub concurrency: u64,
+    /// Wall-clock duration of the lane.
+    pub elapsed_ms: f64,
+    /// Aggregate reverse lookups per second.
+    pub queries_per_sec: f64,
+}
+
+/// Machine-readable result of `cargo bench -p rdns-bench --bench wire`,
+/// written to `BENCH_wire.json` at the repository root. The schema is pinned
+/// by [`WireBenchReport::from_json`] — a field rename or removal fails the
+/// `wire_bench_report` tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireBenchReport {
+    /// Report schema version; bump on breaking changes.
+    pub schema_version: u32,
+    /// Benchmark identifier.
+    pub bench: String,
+    /// Total distinct target addresses in the sweep universe.
+    pub addresses: u64,
+    /// PTR records published in the authoritative store.
+    pub ptr_records: u64,
+    /// Concurrent workers serving the authoritative UDP socket.
+    pub server_workers: u64,
+    /// The serial baseline: one `BlockingWireProber` lookup at a time.
+    pub serial: WireLane,
+    /// The pipelined sweep: `WireSweeper` over a `PipelinedResolver`.
+    pub pipelined: WireLane,
+    /// `pipelined.queries_per_sec / serial.queries_per_sec`.
+    pub speedup: f64,
+}
+
+impl WireBenchReport {
+    /// Serialize for `BENCH_wire.json`.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Parse `BENCH_wire.json`; errors double as schema violations.
+    pub fn from_json(text: &str) -> serde_json::Result<WireBenchReport> {
+        serde_json::from_str(text)
     }
 }
 
@@ -31,5 +81,60 @@ mod tests {
         assert_eq!(parse_scale(Some("small")), Scale::small());
         assert_eq!(parse_scale(None), Scale::small());
         assert_eq!(parse_scale(Some("bogus")), Scale::small());
+    }
+
+    #[test]
+    fn wire_bench_report_roundtrips() {
+        let report = WireBenchReport {
+            schema_version: 1,
+            bench: "wire_sweep".into(),
+            addresses: 4096,
+            ptr_records: 2048,
+            server_workers: 4,
+            serial: WireLane {
+                addresses: 512,
+                concurrency: 1,
+                elapsed_ms: 900.0,
+                queries_per_sec: 569.0,
+            },
+            pipelined: WireLane {
+                addresses: 4096,
+                concurrency: 256,
+                elapsed_ms: 500.0,
+                queries_per_sec: 8192.0,
+            },
+            speedup: 14.4,
+        };
+        let back = WireBenchReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    /// The committed `BENCH_wire.json` at the repository root must parse
+    /// against the current schema and record the pipelined win the wire
+    /// path is built for.
+    #[test]
+    fn committed_wire_bench_report_satisfies_schema() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wire.json");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("BENCH_wire.json missing at repo root ({e}); regenerate with `cargo bench -p rdns-bench --bench wire`"));
+        let report = WireBenchReport::from_json(&text).expect("schema violation");
+        assert_eq!(report.schema_version, 1);
+        assert_eq!(report.bench, "wire_sweep");
+        assert!(report.addresses >= 4096, "sweep universe too small: {}", report.addresses);
+        assert_eq!(report.serial.concurrency, 1);
+        assert!(report.pipelined.concurrency > 1);
+        assert!(report.serial.queries_per_sec > 0.0);
+        assert!(
+            report.speedup >= 10.0,
+            "pipelined path must be ≥10x serial, got {:.1}x",
+            report.speedup
+        );
+        let recomputed = report.pipelined.queries_per_sec / report.serial.queries_per_sec;
+        assert!(
+            (recomputed - report.speedup).abs() / report.speedup < 0.05,
+            "speedup field inconsistent with lane rates: {} vs {}",
+            recomputed,
+            report.speedup
+        );
     }
 }

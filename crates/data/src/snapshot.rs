@@ -35,6 +35,16 @@ pub struct DailySnapshot {
 }
 
 impl DailySnapshot {
+    /// Adopt a wire-mode sweep result. A [`rdns_scan::WireSnapshot`] carries
+    /// exactly the `(date, ip → ptr)` shape of a daily observation, so the
+    /// wire path and the fast path feed the same longitudinal analyses.
+    pub fn from_wire(wire: rdns_scan::WireSnapshot) -> DailySnapshot {
+        DailySnapshot {
+            date: wire.date,
+            records: wire.records,
+        }
+    }
+
     /// Number of PTR records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -57,6 +67,12 @@ impl DailySnapshot {
     /// Records within a predicate over addresses (e.g. one subnet).
     pub fn count_where<F: Fn(Ipv4Addr) -> bool>(&self, pred: F) -> usize {
         self.records.keys().filter(|a| pred(**a)).count()
+    }
+}
+
+impl From<rdns_scan::WireSnapshot> for DailySnapshot {
+    fn from(wire: rdns_scan::WireSnapshot) -> DailySnapshot {
+        DailySnapshot::from_wire(wire)
     }
 }
 
@@ -286,6 +302,27 @@ mod tests {
         let back = SnapshotSeries::from_json(&json).unwrap();
         assert_eq!(series, back);
         assert_eq!(back.cadence.interval_days(), 7);
+    }
+
+    #[test]
+    fn wire_snapshot_converts_losslessly() {
+        let date = Date::from_ymd(2021, 11, 1);
+        let mut records = BTreeMap::new();
+        records.insert(
+            "192.0.2.1".parse::<Ipv4Addr>().unwrap(),
+            Hostname::new("a.example.edu"),
+        );
+        let wire = rdns_scan::WireSnapshot {
+            date,
+            records: records.clone(),
+        };
+        let snap: DailySnapshot = wire.into();
+        assert_eq!(snap.date, date);
+        assert_eq!(snap.records, records);
+        // A converted snapshot slots straight into a series.
+        let mut series = SnapshotSeries::new(Cadence::Daily);
+        series.push(snap);
+        assert_eq!(series.total_responses(), 1);
     }
 
     #[test]

@@ -134,7 +134,9 @@ impl Resolver {
                     if resp.header.truncated && self.config.tcp_fallback {
                         // RFC 1035: retry the query over TCP.
                         self.stats.tcp_retries += 1;
-                        match timeout(self.config.timeout, self.query_tcp(&msg)).await {
+                        match timeout(self.config.timeout, query_tcp(self.config.server, &msg))
+                            .await
+                        {
                             Ok(Ok(Some(full))) => return Ok(classify(full)),
                             Ok(Ok(None)) | Ok(Err(_)) | Err(_) => {
                                 // TCP front unavailable: fall back to the
@@ -160,29 +162,6 @@ impl Resolver {
         self.query(&DnsName::reverse_v4(addr), RecordType::PTR).await
     }
 
-    /// One query over TCP (RFC 1035 §4.2.2 framing). Returns `None` when no
-    /// TCP front answers at the server address.
-    async fn query_tcp(&self, msg: &Message) -> io::Result<Option<Message>> {
-        use tokio::io::{AsyncReadExt, AsyncWriteExt};
-        let Ok(mut stream) = tokio::net::TcpStream::connect(self.config.server).await else {
-            return Ok(None);
-        };
-        let bytes = msg.encode();
-        stream.write_all(&(bytes.len() as u16).to_be_bytes()).await?;
-        stream.write_all(&bytes).await?;
-        let mut len_buf = [0u8; 2];
-        stream.read_exact(&mut len_buf).await?;
-        let len = u16::from_be_bytes(len_buf) as usize;
-        let mut buf = vec![0u8; len];
-        stream.read_exact(&mut buf).await?;
-        match Message::decode(&buf) {
-            Ok(resp) if resp.header.id == msg.header.id && resp.header.response => {
-                Ok(Some(resp))
-            }
-            _ => Ok(None),
-        }
-    }
-
     /// Receive until a decodable response with the expected ID arrives.
     async fn recv_matching(&mut self, id: u16, buf: &mut [u8]) -> io::Result<Message> {
         loop {
@@ -202,7 +181,32 @@ impl Resolver {
     }
 }
 
-fn classify(resp: Message) -> LookupOutcome {
+/// One query over TCP (RFC 1035 §4.2.2 framing) against `server`. Returns
+/// `None` when no TCP front answers there. Shared by the serial and the
+/// pipelined resolvers.
+pub(crate) async fn query_tcp(server: SocketAddr, msg: &Message) -> io::Result<Option<Message>> {
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+    let Ok(mut stream) = tokio::net::TcpStream::connect(server).await else {
+        return Ok(None);
+    };
+    let bytes = msg.encode();
+    stream.write_all(&(bytes.len() as u16).to_be_bytes()).await?;
+    stream.write_all(&bytes).await?;
+    let mut len_buf = [0u8; 2];
+    stream.read_exact(&mut len_buf).await?;
+    let len = u16::from_be_bytes(len_buf) as usize;
+    let mut buf = vec![0u8; len];
+    stream.read_exact(&mut buf).await?;
+    match Message::decode(&buf) {
+        Ok(resp) if resp.header.id == msg.header.id && resp.header.response => Ok(Some(resp)),
+        _ => Ok(None),
+    }
+}
+
+/// Classify a response message into the paper's outcome taxonomy. One code
+/// path for every resolver, so serial and pipelined lookups can never drift
+/// apart in how they bucket a response.
+pub(crate) fn classify(resp: Message) -> LookupOutcome {
     match resp.header.rcode {
         Rcode::NoError => {
             if resp.answers.is_empty() {

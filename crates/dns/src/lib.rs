@@ -17,6 +17,9 @@
 //! * [`client`] — an async stub resolver with retry/timeout handling and
 //!   DNS-over-TCP fallback that classifies outcomes the way the supplemental
 //!   measurement does (answer / NXDOMAIN / name-server failure / timeout),
+//! * [`pipeline`] — the pipelined resolver: many queries in flight on one
+//!   socket, demultiplexed by message ID, with bounded concurrency — the
+//!   client half of the ZMap-scale daily-snapshot wire path,
 //! * [`cache`] — the TTL cache a recursive vantage point would impose,
 //!   quantifying why the paper queries authoritative servers directly.
 
@@ -24,6 +27,7 @@ pub mod cache;
 pub mod client;
 pub mod message;
 pub mod name;
+pub mod pipeline;
 pub mod server;
 pub mod wire;
 pub mod zone;
@@ -32,6 +36,7 @@ pub use cache::{CacheLookup, CachedPtrView, DnsCache};
 pub use client::{LookupOutcome, Resolver, ResolverConfig};
 pub use message::{Message, Opcode, Question, Rcode, RecordClass, RecordData, RecordType, ResourceRecord};
 pub use name::{DnsName, NameError};
-pub use server::{answer_from_store, FaultConfig, ServerStats, TcpServer, UdpServer};
+pub use pipeline::{PipelinedConfig, PipelinedResolver, PipelinedStats, PipelinedStatsSnapshot};
+pub use server::{answer_from_store, FaultConfig, ServerStats, TcpServer, UdpServer, DEFAULT_SERVER_WORKERS};
 pub use wire::{WireError, WireReader, WireWriter};
 pub use zone::{LookupResult, Zone, ZoneSet, ZoneStore};

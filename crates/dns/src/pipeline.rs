@@ -1,0 +1,490 @@
+//! Pipelined stub resolver: many queries in flight on one socket.
+//!
+//! The serial [`crate::Resolver`] is one-query-at-a-time: it sends, then
+//! blocks on the socket until that query's response (or timeout) comes back.
+//! At ZMap scale — the paper's daily PTR snapshot of the full IPv4 space
+//! (§6.1) — that wastes almost the entire round trip. [`PipelinedResolver`]
+//! instead keeps up to `max_in_flight` queries outstanding on a single UDP
+//! socket and demultiplexes responses by DNS message ID:
+//!
+//! * every in-flight query registers a oneshot slot in a *pending map* keyed
+//!   by its (unique-at-a-time) 16-bit ID,
+//! * one background *demux task* owns the receive side of the socket,
+//!   decodes each datagram and routes it to the matching slot,
+//! * the querying future awaits its slot with a per-attempt timeout and
+//!   retries with a fresh ID, exactly like the serial resolver,
+//! * a semaphore bounds the number of concurrently outstanding queries so a
+//!   full-sweep caller cannot overrun the ID space or the socket buffers.
+//!
+//! Outcome classification is shared with the serial resolver (one
+//! `classify` code path), so both report the identical Fig. 6 taxonomy.
+
+use crate::client::{classify, query_tcp, LookupOutcome, ResolverConfig};
+use crate::message::{Message, Question, RecordType};
+use crate::name::DnsName;
+use rand::Rng;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tokio::net::UdpSocket;
+use tokio::sync::{oneshot, watch, Semaphore};
+use tokio::task::JoinHandle;
+use tokio::time::timeout;
+
+/// Tuning knobs for the pipelined resolver.
+#[derive(Debug, Clone)]
+pub struct PipelinedConfig {
+    /// The authoritative server to query.
+    pub server: SocketAddr,
+    /// Per-attempt response timeout.
+    pub timeout: Duration,
+    /// Total attempts (first try + retries).
+    pub attempts: u32,
+    /// Retry over TCP when a UDP response arrives truncated (TC set).
+    pub tcp_fallback: bool,
+    /// Maximum queries outstanding at once. Further callers wait on a
+    /// semaphore. Must stay well below 65536 (the DNS ID space).
+    pub max_in_flight: usize,
+}
+
+impl PipelinedConfig {
+    /// Defaults for loopback measurement: 500 ms timeout, 2 attempts,
+    /// 256 queries in flight.
+    pub fn new(server: SocketAddr) -> PipelinedConfig {
+        PipelinedConfig {
+            server,
+            timeout: Duration::from_millis(500),
+            attempts: 2,
+            tcp_fallback: true,
+            max_in_flight: 256,
+        }
+    }
+
+    /// Adopt the timeout/retry/fallback behavior of a serial resolver
+    /// configuration.
+    pub fn from_serial(config: &ResolverConfig, max_in_flight: usize) -> PipelinedConfig {
+        PipelinedConfig {
+            server: config.server,
+            timeout: config.timeout,
+            attempts: config.attempts,
+            tcp_fallback: config.tcp_fallback,
+            max_in_flight: max_in_flight.max(1),
+        }
+    }
+}
+
+/// Counters kept by a pipelined resolver (relaxed atomics; queries run
+/// concurrently).
+#[derive(Debug, Default)]
+pub struct PipelinedStats {
+    /// Queries issued (including retries).
+    pub queries_sent: AtomicU64,
+    /// Responses routed to a waiting query.
+    pub responses: AtomicU64,
+    /// Attempts that timed out.
+    pub timeouts: AtomicU64,
+    /// Datagrams with no waiting query (late retransmissions, strays) or
+    /// that failed to decode.
+    pub unmatched: AtomicU64,
+    /// Truncated UDP responses retried over TCP.
+    pub tcp_retries: AtomicU64,
+}
+
+impl PipelinedStats {
+    /// Snapshot all counters as plain values.
+    pub fn snapshot(&self) -> PipelinedStatsSnapshot {
+        PipelinedStatsSnapshot {
+            queries_sent: self.queries_sent.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            unmatched: self.unmatched.load(Ordering::Relaxed),
+            tcp_retries: self.tcp_retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value view of [`PipelinedStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelinedStatsSnapshot {
+    /// Queries issued (including retries).
+    pub queries_sent: u64,
+    /// Responses routed to a waiting query.
+    pub responses: u64,
+    /// Attempts that timed out.
+    pub timeouts: u64,
+    /// Unroutable datagrams.
+    pub unmatched: u64,
+    /// TCP retries after truncation.
+    pub tcp_retries: u64,
+}
+
+/// In-flight queries awaiting responses, keyed by DNS message ID.
+type PendingMap = Arc<Mutex<HashMap<u16, oneshot::Sender<Message>>>>;
+
+/// An async DNS resolver holding many queries in flight on one socket.
+///
+/// All methods take `&self`; clone the containing `Arc` (or borrow across
+/// worker futures) to issue queries concurrently.
+pub struct PipelinedResolver {
+    socket: Arc<UdpSocket>,
+    config: PipelinedConfig,
+    pending: PendingMap,
+    stats: Arc<PipelinedStats>,
+    semaphore: Arc<Semaphore>,
+    /// Set once the demux task has exited; queries then fail fast instead of
+    /// waiting out their full timeout on a slot nobody will fill.
+    closed: Arc<AtomicBool>,
+    shutdown_tx: watch::Sender<bool>,
+    demux: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl PipelinedResolver {
+    /// Bind an ephemeral local socket and start the demux task.
+    pub async fn new(config: PipelinedConfig) -> io::Result<PipelinedResolver> {
+        let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
+        let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+        let stats = Arc::new(PipelinedStats::default());
+        let closed = Arc::new(AtomicBool::new(false));
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let demux = tokio::spawn(demux_loop(
+            Arc::clone(&socket),
+            config.server,
+            Arc::clone(&pending),
+            Arc::clone(&stats),
+            Arc::clone(&closed),
+            shutdown_rx,
+        ));
+        Ok(PipelinedResolver {
+            socket,
+            semaphore: Arc::new(Semaphore::new(config.max_in_flight.max(1))),
+            config,
+            pending,
+            stats,
+            closed,
+            shutdown_tx,
+            demux: Mutex::new(Some(demux)),
+        })
+    }
+
+    /// The resolver's configuration.
+    pub fn config(&self) -> &PipelinedConfig {
+        &self.config
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<PipelinedStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Whether the demux task has exited (after [`PipelinedResolver::shutdown`]).
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+
+    /// Stop the demux task and wait for it to exit. In-flight queries
+    /// resolve immediately as [`LookupOutcome::Timeout`]; later queries fail
+    /// fast the same way. Idempotent.
+    pub async fn shutdown(&self) {
+        let _ = self.shutdown_tx.send(true);
+        let handle = self.demux.lock().unwrap().take();
+        if let Some(handle) = handle {
+            let _ = handle.await;
+        }
+    }
+
+    /// Issue a query, sharing the socket with every other in-flight query,
+    /// and classify the outcome exactly like the serial resolver.
+    pub async fn query(&self, qname: &DnsName, qtype: RecordType) -> io::Result<LookupOutcome> {
+        let _permit = Arc::clone(&self.semaphore)
+            .acquire_owned()
+            .await
+            .expect("semaphore never closed");
+        for _attempt in 0..self.config.attempts.max(1) {
+            if self.closed.load(Ordering::Acquire) {
+                // Demux gone: nobody can route a response to us.
+                return Ok(LookupOutcome::Timeout);
+            }
+            let (id, rx) = self.register();
+            let msg = Message::query(id, Question::new(qname.clone(), qtype));
+            if let Err(e) = self.socket.send_to(&msg.encode(), self.config.server).await {
+                self.unregister(id);
+                return Err(e);
+            }
+            self.stats.queries_sent.fetch_add(1, Ordering::Relaxed);
+
+            match timeout(self.config.timeout, rx).await {
+                Ok(Ok(resp)) => {
+                    self.stats.responses.fetch_add(1, Ordering::Relaxed);
+                    if resp.header.truncated && self.config.tcp_fallback {
+                        // RFC 1035: retry the query over TCP.
+                        self.stats.tcp_retries.fetch_add(1, Ordering::Relaxed);
+                        match timeout(self.config.timeout, query_tcp(self.config.server, &msg))
+                            .await
+                        {
+                            Ok(Ok(Some(full))) => return Ok(classify(full)),
+                            Ok(Ok(None)) | Ok(Err(_)) | Err(_) => {
+                                // TCP front unavailable: fall back to the
+                                // truncated (answerless) response.
+                                return Ok(classify(resp));
+                            }
+                        }
+                    }
+                    return Ok(classify(resp));
+                }
+                Ok(Err(_sender_dropped)) => {
+                    // The demux task shut down mid-wait.
+                    return Ok(LookupOutcome::Timeout);
+                }
+                Err(_elapsed) => {
+                    self.unregister(id);
+                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+        }
+        Ok(LookupOutcome::Timeout)
+    }
+
+    /// Reverse-lookup convenience: PTR for `addr`.
+    pub async fn reverse(&self, addr: Ipv4Addr) -> io::Result<LookupOutcome> {
+        self.query(&DnsName::reverse_v4(addr), RecordType::PTR).await
+    }
+
+    /// Pick an ID no other in-flight query is using and register a response
+    /// slot for it.
+    fn register(&self) -> (u16, oneshot::Receiver<Message>) {
+        let (tx, rx) = oneshot::channel();
+        let mut pending = self.pending.lock().unwrap();
+        let mut rng = rand::thread_rng();
+        // `max_in_flight` is far below 65536, so a vacant ID is always a few
+        // draws away.
+        let id = loop {
+            let candidate: u16 = rng.gen();
+            if !pending.contains_key(&candidate) {
+                break candidate;
+            }
+        };
+        pending.insert(id, tx);
+        (id, rx)
+    }
+
+    fn unregister(&self, id: u16) {
+        self.pending.lock().unwrap().remove(&id);
+    }
+}
+
+impl Drop for PipelinedResolver {
+    fn drop(&mut self) {
+        // Stop the demux task; its thread exits at the next poll.
+        let _ = self.shutdown_tx.send(true);
+    }
+}
+
+/// The receive side: route every datagram to the query that owns its ID.
+async fn demux_loop(
+    socket: Arc<UdpSocket>,
+    server: SocketAddr,
+    pending: PendingMap,
+    stats: Arc<PipelinedStats>,
+    closed: Arc<AtomicBool>,
+    mut shutdown_rx: watch::Receiver<bool>,
+) {
+    let mut buf = vec![0u8; 1500];
+    loop {
+        tokio::select! {
+            _ = shutdown_rx.changed() => {
+                if *shutdown_rx.borrow() {
+                    break;
+                }
+            }
+            recv = socket.recv_from(&mut buf) => {
+                let Ok((n, peer)) = recv else { break };
+                if peer != server {
+                    stats.unmatched.fetch_add(1, Ordering::Relaxed);
+                    continue; // spoofed / stray datagram
+                }
+                match Message::decode(&buf[..n]) {
+                    Ok(m) if m.header.response => {
+                        let slot = pending.lock().unwrap().remove(&m.header.id);
+                        match slot {
+                            // Send fails only if the waiter timed out and
+                            // dropped its receiver — a late response.
+                            Some(tx) => {
+                                if tx.send(m).is_err() {
+                                    stats.unmatched.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            None => {
+                                stats.unmatched.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    _ => {
+                        stats.unmatched.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    }
+    // Fail fast: mark closed, then wake every in-flight query by dropping
+    // its slot sender.
+    closed.store(true, Ordering::Release);
+    pending.lock().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{FaultConfig, UdpServer};
+    use crate::zone::ZoneStore;
+    use std::time::Instant;
+
+    async fn setup(faults: FaultConfig) -> (PipelinedResolver, crate::server::ShutdownHandle) {
+        let store = ZoneStore::new();
+        for host in 1..=200u8 {
+            let a = Ipv4Addr::new(203, 0, 113, host);
+            store.ensure_reverse_zone(a);
+            if host % 2 == 1 {
+                store.set_ptr(a, format!("host-{host}.example.edu").parse().unwrap(), 300);
+            }
+        }
+        let server = UdpServer::bind("127.0.0.1:0".parse().unwrap(), store, faults)
+            .await
+            .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+        let mut cfg = PipelinedConfig::new(addr);
+        cfg.timeout = Duration::from_millis(300);
+        let resolver = PipelinedResolver::new(cfg).await.unwrap();
+        (resolver, shutdown)
+    }
+
+    #[tokio::test]
+    async fn resolves_and_classifies_like_the_serial_path() {
+        let (resolver, shutdown) = setup(FaultConfig::default()).await;
+        let with_ptr = resolver.reverse(Ipv4Addr::new(203, 0, 113, 1)).await.unwrap();
+        assert_eq!(
+            with_ptr.ptr_target().unwrap().to_string(),
+            "host-1.example.edu."
+        );
+        let without = resolver.reverse(Ipv4Addr::new(203, 0, 113, 2)).await.unwrap();
+        assert_eq!(without, LookupOutcome::NxDomain);
+        resolver.shutdown().await;
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn many_queries_in_flight_on_one_socket() {
+        let (resolver, shutdown) = setup(FaultConfig::default()).await;
+        let resolver = Arc::new(resolver);
+        let handles: Vec<_> = (1..=64u8)
+            .map(|host| {
+                let r = Arc::clone(&resolver);
+                tokio::spawn(async move {
+                    (host, r.reverse(Ipv4Addr::new(203, 0, 113, host)).await.unwrap())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (host, outcome) = h.await.unwrap();
+            if host % 2 == 1 {
+                assert_eq!(
+                    outcome.ptr_target().unwrap().to_string(),
+                    format!("host-{host}.example.edu.")
+                );
+            } else {
+                assert_eq!(outcome, LookupOutcome::NxDomain);
+            }
+        }
+        let stats = resolver.stats().snapshot();
+        assert_eq!(stats.queries_sent, 64);
+        assert_eq!(stats.responses, 64);
+        resolver.shutdown().await;
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn timeouts_retry_with_fresh_ids() {
+        let faults = FaultConfig {
+            drop_probability: 1.0,
+            ..Default::default()
+        };
+        let (resolver, shutdown) = setup(faults).await;
+        let mut cfg = PipelinedConfig::new(resolver.config().server);
+        cfg.timeout = Duration::from_millis(80);
+        cfg.attempts = 3;
+        let resolver2 = PipelinedResolver::new(cfg).await.unwrap();
+        let out = resolver2.reverse(Ipv4Addr::new(203, 0, 113, 1)).await.unwrap();
+        assert_eq!(out, LookupOutcome::Timeout);
+        let stats = resolver2.stats().snapshot();
+        assert_eq!(stats.queries_sent, 3);
+        assert_eq!(stats.timeouts, 3);
+        assert!(resolver2.pending.lock().unwrap().is_empty(), "no leaked slots");
+        resolver.shutdown().await;
+        resolver2.shutdown().await;
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn shutdown_fails_queries_fast() {
+        let faults = FaultConfig {
+            drop_probability: 1.0, // the server never answers
+            ..Default::default()
+        };
+        let (resolver, shutdown) = setup(faults).await;
+        let mut cfg = PipelinedConfig::new(resolver.config().server);
+        cfg.timeout = Duration::from_secs(30);
+        let slow = Arc::new(PipelinedResolver::new(cfg).await.unwrap());
+        let started = Instant::now();
+        let workers: Vec<_> = (1..=16u8)
+            .map(|host| {
+                let r = Arc::clone(&slow);
+                tokio::spawn(async move { r.reverse(Ipv4Addr::new(203, 0, 113, host)).await })
+            })
+            .collect();
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        slow.shutdown().await;
+        assert!(slow.is_closed());
+        for w in workers {
+            let outcome = w.await.unwrap().unwrap();
+            assert_eq!(outcome, LookupOutcome::Timeout);
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "queries must not wait out their 30 s timeout after shutdown"
+        );
+        // Fresh queries after shutdown also fail fast.
+        let out = slow.reverse(Ipv4Addr::new(203, 0, 113, 99)).await.unwrap();
+        assert_eq!(out, LookupOutcome::Timeout);
+        resolver.shutdown().await;
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn semaphore_bounds_concurrency() {
+        let (resolver, shutdown) = setup(FaultConfig::default()).await;
+        let mut cfg = PipelinedConfig::new(resolver.config().server);
+        cfg.max_in_flight = 4;
+        let bounded = Arc::new(PipelinedResolver::new(cfg).await.unwrap());
+        let handles: Vec<_> = (1..=40u8)
+            .map(|host| {
+                let r = Arc::clone(&bounded);
+                tokio::spawn(async move {
+                    let _ = r.reverse(Ipv4Addr::new(203, 0, 113, host)).await;
+                    r.pending.lock().unwrap().len()
+                })
+            })
+            .collect();
+        for h in handles {
+            let seen_pending = h.await.unwrap();
+            assert!(seen_pending <= 4, "pending map exceeded max_in_flight: {seen_pending}");
+        }
+        bounded.shutdown().await;
+        resolver.shutdown().await;
+        shutdown.shutdown();
+    }
+}

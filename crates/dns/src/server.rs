@@ -107,79 +107,21 @@ pub struct ServerStatsSnapshot {
     pub dropped: u64,
 }
 
-/// An authoritative UDP server bound to a local address.
-pub struct UdpServer {
-    socket: Arc<UdpSocket>,
+/// Per-worker seed spacing for the fault RNG (golden-ratio increment). With
+/// one worker the XOR term is zero, so single-worker fault sequences match
+/// the historical single-loop server exactly.
+const WORKER_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Shared, lock-free state behind every serve worker: the zone store is an
+/// `RwLock` taken for read only on the answer path, and all counters are
+/// relaxed atomics, so concurrent workers never serialize on a hot lock.
+struct ServerCore {
     store: ZoneStore,
     faults: FaultConfig,
     stats: Arc<ServerStats>,
-    shutdown_tx: watch::Sender<bool>,
-    shutdown_rx: watch::Receiver<bool>,
 }
 
-impl UdpServer {
-    /// Bind to `addr` (use port 0 for an ephemeral port) serving `store`.
-    pub async fn bind(
-        addr: SocketAddr,
-        store: ZoneStore,
-        faults: FaultConfig,
-    ) -> io::Result<UdpServer> {
-        let socket = UdpSocket::bind(addr).await?;
-        let (shutdown_tx, shutdown_rx) = watch::channel(false);
-        Ok(UdpServer {
-            socket: Arc::new(socket),
-            store,
-            faults,
-            stats: Arc::new(ServerStats::default()),
-            shutdown_tx,
-            shutdown_rx,
-        })
-    }
-
-    /// The bound local address.
-    pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.socket.local_addr()
-    }
-
-    /// Shared statistics handle.
-    pub fn stats(&self) -> Arc<ServerStats> {
-        Arc::clone(&self.stats)
-    }
-
-    /// A handle that stops the serve loop when invoked.
-    pub fn shutdown_handle(&self) -> ShutdownHandle {
-        ShutdownHandle {
-            tx: self.shutdown_tx.clone(),
-        }
-    }
-
-    /// Serve until shut down. Typically run via `tokio::spawn`.
-    pub async fn run(self) -> io::Result<()> {
-        let mut buf = vec![0u8; MAX_DATAGRAM];
-        let mut rng = SmallRng::seed_from_u64(self.faults.seed);
-        let mut shutdown_rx = self.shutdown_rx.clone();
-        loop {
-            tokio::select! {
-                _ = shutdown_rx.changed() => {
-                    if *shutdown_rx.borrow() {
-                        return Ok(());
-                    }
-                }
-                recv = self.socket.recv_from(&mut buf) => {
-                    let (len, peer) = recv?;
-                    ServerStats::bump(&self.stats.received);
-                    if let Some(reply) =
-                        self.handle_datagram(&buf[..len], &mut rng)
-                    {
-                        // Best-effort send; a full socket buffer is the
-                        // client's timeout problem, mirroring real servers.
-                        let _ = self.socket.send_to(&reply, peer).await;
-                    }
-                }
-            }
-        }
-    }
-
+impl ServerCore {
     fn handle_datagram(&self, datagram: &[u8], rng: &mut SmallRng) -> Option<Vec<u8>> {
         let query = match Message::decode(datagram) {
             Ok(m) => m,
@@ -214,8 +156,7 @@ impl UdpServer {
         Some(truncated.encode())
     }
 
-    /// Build the authoritative answer for `query` (pure; used by tests too).
-    pub fn answer(&self, query: &Message, rng: &mut SmallRng) -> Message {
+    fn answer(&self, query: &Message, rng: &mut SmallRng) -> Message {
         if query.header.opcode != Opcode::Query || query.questions.len() != 1 {
             ServerStats::bump(&self.stats.malformed);
             return Message::response_to(query, Rcode::NotImp);
@@ -236,6 +177,142 @@ impl UdpServer {
         };
         ServerStats::bump(counter);
         resp
+    }
+
+    /// One serve loop. Multiple workers run this concurrently over the same
+    /// socket; the kernel delivers each datagram to exactly one of them.
+    async fn worker_loop(
+        self: Arc<Self>,
+        worker: u64,
+        socket: Arc<UdpSocket>,
+        mut shutdown_rx: watch::Receiver<bool>,
+    ) -> io::Result<()> {
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut rng =
+            SmallRng::seed_from_u64(self.faults.seed ^ worker.wrapping_mul(WORKER_SEED_STRIDE));
+        loop {
+            tokio::select! {
+                _ = shutdown_rx.changed() => {
+                    if *shutdown_rx.borrow() {
+                        return Ok(());
+                    }
+                }
+                recv = socket.recv_from(&mut buf) => {
+                    let (len, peer) = recv?;
+                    ServerStats::bump(&self.stats.received);
+                    if let Some(reply) = self.handle_datagram(&buf[..len], &mut rng) {
+                        // Best-effort send; a full socket buffer is the
+                        // client's timeout problem, mirroring real servers.
+                        let _ = socket.send_to(&reply, peer).await;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An authoritative UDP server bound to a local address.
+///
+/// [`UdpServer::run`] serves with a pool of worker tasks sharing the socket
+/// (see [`UdpServer::with_workers`]), so independent queries are parsed and
+/// answered concurrently — the pipelined wire path of the daily full-sweep
+/// measurement needs the server side to keep up with hundreds of in-flight
+/// queries.
+pub struct UdpServer {
+    socket: Arc<UdpSocket>,
+    core: Arc<ServerCore>,
+    workers: usize,
+    shutdown_tx: watch::Sender<bool>,
+    shutdown_rx: watch::Receiver<bool>,
+}
+
+/// Default size of the serve worker pool.
+pub const DEFAULT_SERVER_WORKERS: usize = 4;
+
+impl UdpServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) serving `store`.
+    pub async fn bind(
+        addr: SocketAddr,
+        store: ZoneStore,
+        faults: FaultConfig,
+    ) -> io::Result<UdpServer> {
+        let socket = UdpSocket::bind(addr).await?;
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        Ok(UdpServer {
+            socket: Arc::new(socket),
+            core: Arc::new(ServerCore {
+                store,
+                faults,
+                stats: Arc::new(ServerStats::default()),
+            }),
+            workers: DEFAULT_SERVER_WORKERS,
+            shutdown_tx,
+            shutdown_rx,
+        })
+    }
+
+    /// Serve with `n` concurrent worker tasks (clamped to at least 1).
+    pub fn with_workers(mut self, n: usize) -> UdpServer {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.core.stats)
+    }
+
+    /// A handle that stops the serve loop when invoked.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            tx: self.shutdown_tx.clone(),
+        }
+    }
+
+    /// Serve until shut down. Typically run via `tokio::spawn`. Spawns the
+    /// worker pool and resolves once every worker has exited.
+    pub async fn run(self) -> io::Result<()> {
+        let UdpServer {
+            socket,
+            core,
+            workers,
+            shutdown_rx,
+            shutdown_tx: _shutdown_tx,
+        } = self;
+        let handles: Vec<_> = (0..workers as u64)
+            .map(|w| {
+                let core = Arc::clone(&core);
+                let socket = Arc::clone(&socket);
+                let rx = shutdown_rx.clone();
+                tokio::spawn(core.worker_loop(w, socket, rx))
+            })
+            .collect();
+        let mut result = Ok(());
+        for handle in handles {
+            let outcome = match handle.await {
+                Ok(Ok(())) => Ok(()),
+                Ok(Err(e)) => Err(e),
+                Err(_) => Err(io::Error::other("server worker panicked")),
+            };
+            if let Err(e) = outcome {
+                if result.is_ok() {
+                    // First failure: stop the sibling workers too.
+                    let _ = _shutdown_tx.send(true);
+                    result = Err(e);
+                }
+            }
+        }
+        result
+    }
+
+    /// Build the authoritative answer for `query` (pure; used by tests too).
+    pub fn answer(&self, query: &Message, rng: &mut SmallRng) -> Message {
+        self.core.answer(query, rng)
     }
 }
 

@@ -1,0 +1,127 @@
+//! The pipelined resolver must classify exactly like the serial resolver.
+//!
+//! Fig. 6's outcome taxonomy (answer / NXDOMAIN / name-server failure /
+//! timeout) is only comparable across measurement campaigns if every client
+//! path classifies identically. These tests run the serial [`Resolver`] and
+//! the [`PipelinedResolver`] against the same fault-injecting server and
+//! compare outcome *multisets* — fault injection is randomized per query, so
+//! individual addresses may differ, but the distribution over a fixed fault
+//! mix must agree in kind (and exactly for the deterministic 0.0 / 1.0
+//! fault rates used here).
+
+use rdns_dns::{
+    FaultConfig, LookupOutcome, PipelinedConfig, PipelinedResolver, Resolver, ResolverConfig,
+    UdpServer, ZoneStore,
+};
+use std::collections::BTreeMap;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+fn store_with_hosts(hosts: u8) -> ZoneStore {
+    let store = ZoneStore::new();
+    store.ensure_reverse_zone(Ipv4Addr::new(10, 70, 0, 1));
+    for h in 1..=hosts {
+        if h % 2 == 1 {
+            store.set_ptr(
+                Ipv4Addr::new(10, 70, 0, h),
+                format!("host-{h}.cs.example.edu").parse().unwrap(),
+                300,
+            );
+        }
+    }
+    store
+}
+
+async fn spawn_server(store: ZoneStore, faults: FaultConfig) -> SocketAddr {
+    let server = UdpServer::bind("127.0.0.1:0".parse().unwrap(), store, faults)
+        .await
+        .unwrap();
+    let addr = server.local_addr().unwrap();
+    tokio::spawn(server.run());
+    addr
+}
+
+/// Collapse an outcome into its Fig. 6 kind for multiset comparison.
+fn kind(outcome: &LookupOutcome) -> &'static str {
+    match outcome {
+        LookupOutcome::Answer(_) => "answer",
+        LookupOutcome::NxDomain => "nxdomain",
+        LookupOutcome::NoData => "nodata",
+        LookupOutcome::ServerFailure(_) => "servfail",
+        LookupOutcome::Timeout => "timeout",
+    }
+}
+
+fn serial_cfg(addr: SocketAddr, timeout_ms: u64, attempts: u32) -> ResolverConfig {
+    let mut cfg = ResolverConfig::new(addr);
+    cfg.timeout = Duration::from_millis(timeout_ms);
+    cfg.attempts = attempts;
+    cfg
+}
+
+/// Run both resolvers over `targets` and return the two outcome multisets.
+async fn outcome_multisets(
+    addr: SocketAddr,
+    targets: &[Ipv4Addr],
+    timeout_ms: u64,
+    attempts: u32,
+) -> (BTreeMap<&'static str, usize>, BTreeMap<&'static str, usize>) {
+    let cfg = serial_cfg(addr, timeout_ms, attempts);
+    let mut serial = Resolver::new(cfg.clone()).await.unwrap();
+    let mut serial_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for &t in targets {
+        let out = serial.reverse(t).await.unwrap();
+        *serial_counts.entry(kind(&out)).or_insert(0) += 1;
+    }
+
+    let pipelined = PipelinedResolver::new(PipelinedConfig::from_serial(&cfg, 64))
+        .await
+        .unwrap();
+    let mut pipelined_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for &t in targets {
+        let out = pipelined.reverse(t).await.unwrap();
+        *pipelined_counts.entry(kind(&out)).or_insert(0) += 1;
+    }
+    pipelined.shutdown().await;
+    (serial_counts, pipelined_counts)
+}
+
+fn targets(n: u8) -> Vec<Ipv4Addr> {
+    (1..=n).map(|h| Ipv4Addr::new(10, 70, 0, h)).collect()
+}
+
+#[tokio::test]
+async fn clean_server_identical_multisets() {
+    let addr = spawn_server(store_with_hosts(40), FaultConfig::default()).await;
+    let (serial, pipelined) = outcome_multisets(addr, &targets(40), 500, 2).await;
+    assert_eq!(serial, pipelined);
+    assert_eq!(serial["answer"], 20);
+    assert_eq!(serial["nxdomain"], 20);
+}
+
+#[tokio::test]
+async fn all_servfail_identical_multisets() {
+    let faults = FaultConfig {
+        servfail_probability: 1.0,
+        ..FaultConfig::default()
+    };
+    let addr = spawn_server(store_with_hosts(20), faults).await;
+    let (serial, pipelined) = outcome_multisets(addr, &targets(20), 500, 2).await;
+    assert_eq!(serial, pipelined);
+    assert_eq!(serial["servfail"], 20);
+    assert_eq!(serial.len(), 1, "every lookup must be a server failure");
+}
+
+#[tokio::test]
+async fn all_dropped_identical_multisets() {
+    let faults = FaultConfig {
+        drop_probability: 1.0,
+        ..FaultConfig::default()
+    };
+    let addr = spawn_server(store_with_hosts(6), faults).await;
+    // Short timeout, single attempt: each lookup costs one timeout window.
+    let (serial, pipelined) = outcome_multisets(addr, &targets(6), 80, 1).await;
+    assert_eq!(serial, pipelined);
+    assert_eq!(serial["timeout"], 6);
+    assert_eq!(serial.len(), 1, "every lookup must time out");
+}

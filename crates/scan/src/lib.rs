@@ -17,7 +17,11 @@
 //!   and reactive rDNS lookups once a client goes dark,
 //! * [`records`] — the CSV-able measurement record types,
 //! * [`wire`] — wire-mode probing over real UDP sockets (async resolver from
-//!   `rdns-dns`, UDP ping gateway) for end-to-end runs.
+//!   `rdns-dns`, UDP ping gateway) for end-to-end runs,
+//! * [`sweep`] — the full-sweep wire snapshotter: every target's PTR queried
+//!   once through the pipelined resolver in permuted, rate-limited order,
+//!   emitting a dated `(ip, ptr)` snapshot — the OpenINTEL daily observation
+//!   reproduced on the wire.
 
 pub mod backoff;
 pub mod blocklist;
@@ -26,6 +30,7 @@ pub mod probe;
 pub mod ratelimit;
 pub mod reactive;
 pub mod records;
+pub mod sweep;
 pub mod wire;
 
 pub use backoff::BackoffSchedule;
@@ -35,3 +40,5 @@ pub use probe::{FaultInjector, FnProber, Prober, RdnsOutcome};
 pub use ratelimit::TokenBucket;
 pub use reactive::{ReactiveConfig, ReactiveScanner};
 pub use records::{IcmpRecord, RdnsRecord, ScanLog};
+pub use sweep::{SweepConfig, SweepRate, SweepReport, WireSnapshot, WireSweeper};
+pub use wire::{AsyncWireProber, BlockingWireProber};

@@ -27,6 +27,24 @@ pub enum RdnsOutcome {
 }
 
 impl RdnsOutcome {
+    /// Classify a wire-level lookup result into the Fig. 6 taxonomy. The
+    /// single classification path shared by the serial prober, the async
+    /// prober and the full-sweep snapshotter: an I/O error on the socket is
+    /// indistinguishable from silence to the measurement, so it reads as a
+    /// timeout.
+    pub fn from_lookup(outcome: std::io::Result<rdns_dns::LookupOutcome>) -> RdnsOutcome {
+        use rdns_dns::LookupOutcome;
+        match outcome {
+            Ok(out @ LookupOutcome::Answer(_)) => match out.ptr_target() {
+                Some(name) => RdnsOutcome::Ptr(name.to_hostname()),
+                None => RdnsOutcome::NameserverFailure,
+            },
+            Ok(LookupOutcome::NxDomain | LookupOutcome::NoData) => RdnsOutcome::NxDomain,
+            Ok(LookupOutcome::ServerFailure(_)) => RdnsOutcome::NameserverFailure,
+            Ok(LookupOutcome::Timeout) | Err(_) => RdnsOutcome::Timeout,
+        }
+    }
+
     /// Whether this outcome is an error in the Fig. 6 sense. NXDOMAIN is
     /// counted as an error there, with the caveat of §6.2 that for reverse
     /// records it often simply means "the PTR is (already/still) absent".

@@ -4,16 +4,19 @@
 //! through a tiny UDP *ping gateway* (documented substitution, DESIGN.md):
 //! a request carries the 4-octet target address, the gateway consults the
 //! simulated world and answers with alive/dead. Reverse lookups go through
-//! the real async resolver from `rdns-dns` against the authoritative UDP
-//! server. [`BlockingWireProber`] packages both behind the synchronous
-//! [`Prober`] trait so the reactive engine runs unchanged over real sockets.
+//! the real pipelined resolver from `rdns-dns` against the authoritative UDP
+//! server. [`AsyncWireProber`] is the native async probe pair;
+//! [`BlockingWireProber`] is a thin blocking wrapper over it implementing
+//! the synchronous [`Prober`] trait, so the reactive engine runs unchanged
+//! over real sockets through the exact same code path the async sweeper
+//! uses.
 
 use crate::probe::{Prober, RdnsOutcome};
-use rdns_dns::{LookupOutcome, Resolver, ResolverConfig};
+use rdns_dns::{PipelinedConfig, PipelinedResolver};
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tokio::net::UdpSocket;
 use tokio::sync::watch;
 use tokio::time::timeout;
@@ -98,12 +101,21 @@ impl PingClient {
     }
 
     /// Probe one address; a lost/late reply reads as dead, like real ICMP.
+    ///
+    /// One deadline covers the whole probe: stray or mismatched datagrams
+    /// are discarded but never re-arm the timer, so a flood of junk replies
+    /// cannot keep a probe waiting past its timeout.
     pub async fn ping(&self, addr: Ipv4Addr) -> io::Result<bool> {
         let req = addr.octets();
         self.socket.send_to(&req, self.gateway).await?;
+        let deadline = Instant::now() + self.timeout;
         let mut buf = [0u8; 16];
         loop {
-            match timeout(self.timeout, self.socket.recv_from(&mut buf)).await {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Ok(false);
+            }
+            match timeout(remaining, self.socket.recv_from(&mut buf)).await {
                 Ok(Ok((n, peer))) => {
                     if peer != self.gateway || n != 5 || buf[..4] != req {
                         continue; // stray or mismatched reply; keep waiting
@@ -117,12 +129,57 @@ impl PingClient {
     }
 }
 
-/// A synchronous [`Prober`] running over real UDP sockets; owns a
-/// single-threaded tokio runtime and blocks on each probe.
+/// The async probe pair over real UDP sockets: ping-gateway echo plus
+/// reverse lookups through the pipelined resolver. This is the one wire
+/// probing code path — [`BlockingWireProber`] and the full-sweep
+/// [`crate::sweep::WireSweeper`] are both built on it.
+pub struct AsyncWireProber {
+    ping: PingClient,
+    resolver: PipelinedResolver,
+}
+
+impl AsyncWireProber {
+    /// Connect to a ping gateway and an authoritative DNS server with the
+    /// standard 300 ms probe timeout.
+    pub async fn connect(gateway: SocketAddr, dns_server: SocketAddr) -> io::Result<AsyncWireProber> {
+        let ping = PingClient::new(gateway, Duration::from_millis(300)).await?;
+        let mut config = PipelinedConfig::new(dns_server);
+        config.timeout = Duration::from_millis(300);
+        let resolver = PipelinedResolver::new(config).await?;
+        Ok(AsyncWireProber { ping, resolver })
+    }
+
+    /// Wrap an existing resolver (e.g. one tuned for a full sweep).
+    pub async fn with_resolver(
+        gateway: SocketAddr,
+        resolver: PipelinedResolver,
+    ) -> io::Result<AsyncWireProber> {
+        let ping = PingClient::new(gateway, Duration::from_millis(300)).await?;
+        Ok(AsyncWireProber { ping, resolver })
+    }
+
+    /// ICMP-equivalent echo probe.
+    pub async fn ping(&self, addr: Ipv4Addr) -> bool {
+        self.ping.ping(addr).await.unwrap_or(false)
+    }
+
+    /// Reverse lookup with Fig. 6 outcome classification.
+    pub async fn rdns(&self, addr: Ipv4Addr) -> RdnsOutcome {
+        RdnsOutcome::from_lookup(self.resolver.reverse(addr).await)
+    }
+
+    /// The underlying pipelined resolver.
+    pub fn resolver(&self) -> &PipelinedResolver {
+        &self.resolver
+    }
+}
+
+/// A synchronous [`Prober`] over real UDP sockets: a thin wrapper blocking
+/// a private runtime on each [`AsyncWireProber`] probe, so the serial
+/// reactive engine and the async sweeper exercise one wire code path.
 pub struct BlockingWireProber {
     rt: tokio::runtime::Runtime,
-    ping: PingClient,
-    resolver: Resolver,
+    inner: AsyncWireProber,
 }
 
 impl BlockingWireProber {
@@ -131,39 +188,23 @@ impl BlockingWireProber {
         let rt = tokio::runtime::Builder::new_current_thread()
             .enable_all()
             .build()?;
-        let (ping, resolver) = rt.block_on(async {
-            let ping = PingClient::new(gateway, Duration::from_millis(300)).await?;
-            let mut config = ResolverConfig::new(dns_server);
-            config.timeout = Duration::from_millis(300);
-            let resolver = Resolver::new(config).await?;
-            Ok::<_, io::Error>((ping, resolver))
-        })?;
-        Ok(BlockingWireProber { rt, ping, resolver })
+        let inner = rt.block_on(AsyncWireProber::connect(gateway, dns_server))?;
+        Ok(BlockingWireProber { rt, inner })
+    }
+
+    /// The wrapped async prober.
+    pub fn as_async(&self) -> &AsyncWireProber {
+        &self.inner
     }
 }
 
 impl Prober for BlockingWireProber {
     fn ping(&mut self, addr: Ipv4Addr) -> bool {
-        self.rt
-            .block_on(self.ping.ping(addr))
-            .unwrap_or(false)
+        self.rt.block_on(self.inner.ping(addr))
     }
 
     fn rdns(&mut self, addr: Ipv4Addr) -> RdnsOutcome {
-        let outcome = self.rt.block_on(self.resolver.reverse(addr));
-        match outcome {
-            Ok(LookupOutcome::Answer(_)) => {
-                let out = outcome.expect("checked Ok above");
-                match out.ptr_target() {
-                    Some(name) => RdnsOutcome::Ptr(name.to_hostname()),
-                    None => RdnsOutcome::NameserverFailure,
-                }
-            }
-            Ok(LookupOutcome::NxDomain) | Ok(LookupOutcome::NoData) => RdnsOutcome::NxDomain,
-            Ok(LookupOutcome::ServerFailure(_)) => RdnsOutcome::NameserverFailure,
-            Ok(LookupOutcome::Timeout) => RdnsOutcome::Timeout,
-            Err(_) => RdnsOutcome::Timeout,
-        }
+        self.rt.block_on(self.inner.rdns(addr))
     }
 }
 
@@ -239,6 +280,42 @@ mod tests {
         store.remove_ptr(target);
         assert!(!prober.ping(target));
         assert_eq!(prober.rdns(target), RdnsOutcome::NxDomain);
+    }
+
+    #[test]
+    fn stray_reply_flood_cannot_extend_the_ping_deadline() {
+        let rt = tokio::runtime::Builder::new_current_thread()
+            .enable_all()
+            .build()
+            .unwrap();
+        rt.block_on(async {
+            // A hostile "gateway" that answers every request with an endless
+            // stream of mismatched replies, none for the probed address.
+            let gw = UdpSocket::bind("127.0.0.1:0").await.unwrap();
+            let gw_addr = gw.local_addr().unwrap();
+            tokio::spawn(async move {
+                let mut buf = [0u8; 16];
+                let Ok((_, peer)) = gw.recv_from(&mut buf).await else {
+                    return;
+                };
+                for _ in 0..400 {
+                    // Valid shape (5 octets), wrong address: a stray.
+                    let _ = gw.send_to(&[9, 9, 9, 9, 1], peer).await;
+                    tokio::time::sleep(Duration::from_millis(5)).await;
+                }
+            });
+            let client = PingClient::new(gw_addr, Duration::from_millis(200))
+                .await
+                .unwrap();
+            let started = std::time::Instant::now();
+            let alive = client.ping("10.0.0.1".parse().unwrap()).await.unwrap();
+            assert!(!alive, "no genuine reply means dead");
+            assert!(
+                started.elapsed() < Duration::from_millis(1500),
+                "stray replies re-armed the timeout: {:?}",
+                started.elapsed()
+            );
+        });
     }
 
     #[test]

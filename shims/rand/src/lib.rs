@@ -219,7 +219,7 @@ pub mod rngs {
         }
     }
 
-    /// Per-call convenience generator returned by [`thread_rng`](super::thread_rng).
+    /// Per-call convenience generator returned by [`thread_rng`].
     #[derive(Debug, Clone)]
     pub struct ThreadRng(pub(crate) Xoshiro256);
 

@@ -1,4 +1,4 @@
-//! `watch` and unbounded `mpsc` channels.
+//! `watch`, `oneshot`, unbounded `mpsc` channels, and an async `Semaphore`.
 
 pub mod watch {
     use std::fmt;
@@ -123,6 +123,174 @@ pub mod watch {
                 guard: self.shared.state.lock().unwrap(),
             }
         }
+    }
+}
+
+pub mod oneshot {
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll};
+
+    struct Slot<T> {
+        value: Option<T>,
+        sender_alive: bool,
+    }
+
+    /// Error returned by [`Receiver`] when the sender was dropped without
+    /// sending.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError(());
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "oneshot sender dropped")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half; consumed by [`Sender::send`].
+    pub struct Sender<T> {
+        slot: Arc<Mutex<Slot<T>>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("oneshot::Sender")
+        }
+    }
+
+    /// Receiving half; a future resolving to the sent value.
+    pub struct Receiver<T> {
+        slot: Arc<Mutex<Slot<T>>>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("oneshot::Receiver")
+        }
+    }
+
+    /// Create a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let slot = Arc::new(Mutex::new(Slot {
+            value: None,
+            sender_alive: true,
+        }));
+        (
+            Sender {
+                slot: Arc::clone(&slot),
+            },
+            Receiver { slot },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `value`; fails (returning it) when the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut slot = self.slot.lock().unwrap();
+            // Receiver gone means we hold the only other Arc reference.
+            if Arc::strong_count(&self.slot) < 2 {
+                return Err(value);
+            }
+            slot.value = Some(value);
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.slot.lock().unwrap().sender_alive = false;
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut slot = self.slot.lock().unwrap();
+            if let Some(v) = slot.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if !slot.sender_alive {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            Poll::Pending
+        }
+    }
+}
+
+/// Async counting semaphore bounding in-flight work.
+pub struct Semaphore {
+    permits: std::sync::Mutex<usize>,
+}
+
+/// Error type for `acquire`; never produced by this shim (the semaphore is
+/// never closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AcquireError(());
+
+impl std::fmt::Display for AcquireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semaphore closed")
+    }
+}
+
+impl std::error::Error for AcquireError {}
+
+impl std::fmt::Debug for Semaphore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Semaphore")
+            .field("permits", &self.available_permits())
+            .finish()
+    }
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` permits.
+    pub fn new(permits: usize) -> Semaphore {
+        Semaphore {
+            permits: std::sync::Mutex::new(permits),
+        }
+    }
+
+    /// Permits currently available.
+    pub fn available_permits(&self) -> usize {
+        *self.permits.lock().unwrap()
+    }
+
+    /// Acquire one permit, waiting until one is free. The permit is released
+    /// when the returned guard drops.
+    pub async fn acquire_owned(
+        self: std::sync::Arc<Self>,
+    ) -> Result<OwnedSemaphorePermit, AcquireError> {
+        std::future::poll_fn(|_| {
+            let mut permits = self.permits.lock().unwrap();
+            if *permits > 0 {
+                *permits -= 1;
+                std::task::Poll::Ready(())
+            } else {
+                std::task::Poll::Pending
+            }
+        })
+        .await;
+        Ok(OwnedSemaphorePermit {
+            sem: std::sync::Arc::clone(&self),
+        })
+    }
+}
+
+/// Guard for one acquired permit; returns it on drop.
+#[derive(Debug)]
+pub struct OwnedSemaphorePermit {
+    sem: std::sync::Arc<Semaphore>,
+}
+
+impl Drop for OwnedSemaphorePermit {
+    fn drop(&mut self) {
+        *self.sem.permits.lock().unwrap() += 1;
     }
 }
 

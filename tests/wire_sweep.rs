@@ -1,0 +1,123 @@
+//! Full-sweep wire snapshotter vs. ground truth.
+//!
+//! A generated netsim world publishes PTR records through the usual
+//! DHCP → IPAM → zone-store chain; the concurrent [`WireSweeper`] then
+//! queries every address of every subnet over real UDP. The resulting
+//! snapshot must equal the [`Snapshotter`]'s direct read of the zone store —
+//! every published PTR found, no phantoms — and must be bit-identical at
+//! every concurrency level: parallelism is an implementation detail of the
+//! measurement, never visible in the data.
+
+use rdns_data::Snapshotter;
+use rdns_dns::{FaultConfig, UdpServer, ZoneStore};
+use rdns_model::{Date, SimDuration, SimTime};
+use rdns_netsim::spec::presets;
+use rdns_netsim::{World, WorldConfig};
+use rdns_scan::{SweepConfig, WireSweeper};
+use std::net::{Ipv4Addr, SocketAddr};
+
+fn start_date() -> Date {
+    Date::from_ymd(2021, 11, 1)
+}
+
+/// Every address of every subnet in the Academic-A preset — including the
+/// static-infra /24 that the reactive scanner skips, because ground-truth
+/// equality demands the sweep covers everything that can hold a PTR.
+fn all_subnet_addrs() -> Vec<Ipv4Addr> {
+    presets::academic_a(0.05)
+        .subnets
+        .iter()
+        .flat_map(|s| s.prefix.addrs())
+        .collect()
+}
+
+/// A world fast-forwarded 10 simulated hours into a weekday, so lecture
+/// halls, housing and the static infrastructure have all published records.
+fn populated_world() -> World {
+    let mut world = World::new(WorldConfig {
+        seed: 11,
+        start: start_date(),
+        networks: vec![presets::academic_a(0.05)],
+    });
+    world.step_until(SimTime::from_date(start_date()) + SimDuration::hours(10));
+    world
+}
+
+async fn spawn_server(store: ZoneStore, workers: usize) -> (SocketAddr, rdns_dns::server::ShutdownHandle) {
+    let server = UdpServer::bind("127.0.0.1:0".parse().unwrap(), store, FaultConfig::default())
+        .await
+        .unwrap()
+        .with_workers(workers);
+    let addr = server.local_addr().unwrap();
+    let shutdown = server.shutdown_handle();
+    tokio::spawn(server.run());
+    (addr, shutdown)
+}
+
+#[tokio::test]
+async fn sweep_equals_ground_truth_at_every_concurrency() {
+    let world = populated_world();
+    let store = world.store().clone();
+    let truth = Snapshotter::new(store.clone()).take(start_date());
+    assert!(
+        truth.len() > 50,
+        "world too quiet to be a meaningful test: {} records",
+        truth.len()
+    );
+
+    let (addr, shutdown) = spawn_server(store, 4).await;
+    let targets = all_subnet_addrs();
+
+    let mut snapshots = Vec::new();
+    for concurrency in [1usize, 16, 256] {
+        let sweeper = WireSweeper::connect(addr, SweepConfig::new(concurrency))
+            .await
+            .unwrap();
+        let report = sweeper.sweep(&targets, start_date()).await;
+        assert_eq!(report.queried as usize, targets.len());
+        assert_eq!(report.timeouts, 0, "concurrency {concurrency}: timeouts");
+        assert_eq!(report.failures, 0, "concurrency {concurrency}: failures");
+        snapshots.push(report.snapshot);
+        sweeper.into_resolver().shutdown().await;
+    }
+
+    for (i, snap) in snapshots.iter().enumerate() {
+        assert_eq!(
+            snap.records, truth.records,
+            "snapshot {i} diverges from ground truth"
+        );
+    }
+    assert_eq!(snapshots[0], snapshots[1]);
+    assert_eq!(snapshots[1], snapshots[2]);
+    shutdown.shutdown();
+}
+
+/// CI smoke: a tiny sweep through a 2-worker server — fast enough for every
+/// pipeline run, still exercising socket sharing, ID demux and the
+/// wire-to-data conversion.
+#[tokio::test]
+async fn sweep_smoke_two_workers() {
+    let store = ZoneStore::new();
+    store.ensure_reverse_zone(Ipv4Addr::new(10, 99, 0, 1));
+    for h in [1u8, 2, 5, 9] {
+        store.set_ptr(
+            Ipv4Addr::new(10, 99, 0, h),
+            format!("smoke-{h}.example.edu").parse().unwrap(),
+            300,
+        );
+    }
+    let (addr, shutdown) = spawn_server(store.clone(), 2).await;
+
+    let sweeper = WireSweeper::connect(addr, SweepConfig::new(8)).await.unwrap();
+    let targets: Vec<Ipv4Addr> = (1..=16u8).map(|h| Ipv4Addr::new(10, 99, 0, h)).collect();
+    let report = sweeper.sweep(&targets, start_date()).await;
+
+    let daily = rdns_data::DailySnapshot::from_wire(report.snapshot);
+    let truth = Snapshotter::new(store).take(start_date());
+    assert_eq!(daily.records, truth.records);
+    assert_eq!(report.queried, 16);
+    assert_eq!(report.answered, 4);
+    assert_eq!(report.nxdomain, 12);
+    sweeper.into_resolver().shutdown().await;
+    shutdown.shutdown();
+}
