@@ -5,6 +5,7 @@
 //! matrix like Fig. 8. The paper's insight: anyone able to issue frequent
 //! PTR lookups can build this picture; no ICMP needed.
 
+use crate::redact::Pii;
 use rdns_model::{Date, SimTime};
 use rdns_scan::ScanLog;
 use serde::{Deserialize, Serialize};
@@ -66,8 +67,30 @@ impl DeviceTimeline {
     /// Render a Fig. 8-style matrix: one row per host, one column per day
     /// in `[from, to]`; `#` marks presence, `.` absence, weekend columns are
     /// marked in the header.
+    ///
+    /// Row labels disclose the real host labels via [`Pii::reveal`]: this is
+    /// the paper's §7.1 case-study figure, where showing that the names *are*
+    /// recoverable is the finding. Use [`DeviceTimeline::render_redacted`]
+    /// anywhere the matrix is wanted without the names.
     pub fn render(&self, from: Date, to: Date) -> String {
-        let width = self.hosts.iter().map(|h| h.len()).max().unwrap_or(4).max(4);
+        self.render_rows(from, to, |host| Pii::new(host).reveal().to_string())
+    }
+
+    /// [`DeviceTimeline::render`] with redacted row labels: each host shows
+    /// as its stable `[pii:…]` fingerprint, so rows remain distinguishable
+    /// and joinable across renders without exposing the names.
+    pub fn render_redacted(&self, from: Date, to: Date) -> String {
+        self.render_rows(from, to, |host| Pii::new(host).to_string())
+    }
+
+    fn render_rows(&self, from: Date, to: Date, label: impl Fn(&str) -> String) -> String {
+        let width = self
+            .hosts
+            .iter()
+            .map(|h| label(h).len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
         let mut out = String::new();
         // Header: weekday initials.
         out.push_str(&format!("{:width$}  ", "", width = width));
@@ -79,7 +102,9 @@ impl DeviceTimeline {
         }
         out.push('\n');
         for host in &self.hosts {
-            out.push_str(&format!("{:width$}  ", host, width = width));
+            // `row` has been through the caller's redact-or-reveal decision.
+            let row = label(host);
+            out.push_str(&format!("{row:width$}  "));
             for d in from.iter_to(to) {
                 out.push(if self.present(host, d) { '#' } else { '.' });
             }
@@ -208,6 +233,26 @@ mod tests {
         assert!(mbp_line.trim_end().ends_with("#......"));
         // Header marks the weekend.
         assert!(lines[0].contains('w'));
+    }
+
+    #[test]
+    fn redacted_render_hides_names_but_keeps_shape() {
+        let tl = track_devices(&log_with_brians(), "brian");
+        let from = Date::from_ymd(2021, 11, 22);
+        let to = Date::from_ymd(2021, 11, 28);
+        let grid = tl.render_redacted(from, to);
+        assert!(!grid.contains("brian"), "names leaked: {grid}");
+        assert_eq!(grid.lines().count(), tl.render(from, to).lines().count());
+        // Same presence cells as the revealed render.
+        let cells = |s: &str| -> Vec<String> {
+            s.lines()
+                .skip(1)
+                .map(|l| l.chars().filter(|&c| c == '#' || c == '.').collect())
+                .collect()
+        };
+        assert_eq!(cells(&grid), cells(&tl.render(from, to)));
+        // Fingerprints are stable run to run.
+        assert_eq!(grid, tl.render_redacted(from, to));
     }
 
     #[test]

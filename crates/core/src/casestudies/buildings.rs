@@ -7,6 +7,7 @@
 //! building map, [`movement_traces`] turns supplemental rDNS observations of
 //! one device into a movement trace across buildings.
 
+use crate::redact::Pii;
 use rdns_model::{Ipv4Net, SimTime};
 use rdns_scan::ScanLog;
 use serde::{Deserialize, Serialize};
@@ -90,8 +91,12 @@ impl MovementTrace {
     }
 
     /// Render the trace as one line per visit.
+    ///
+    /// The heading discloses the host label via [`Pii::reveal`]: this is the
+    /// §8 case-study output, where naming the tracked device is the point.
     pub fn render(&self) -> String {
-        let mut out = format!("{}:\n", self.host);
+        let heading = Pii::new(self.host.as_str()).reveal().to_string();
+        let mut out = format!("{heading}:\n");
         for v in &self.visits {
             out.push_str(&format!("  {} .. {}  {}\n", v.from, v.to, v.building));
         }

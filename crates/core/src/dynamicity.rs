@@ -136,6 +136,7 @@ pub fn identify_dynamic_par(
     matrix: &HashMap<Slash24, Vec<u32>>,
     params: &DynamicityParams,
 ) -> DynamicityResult {
+    // lint:allow(hash-iter-ordered) -- fan-out order is irrelevant: the reduction below only increments counters and inserts into sets, so the result is order-insensitive at any thread count
     let entries: Vec<(&Slash24, &Vec<u32>)> = matrix.iter().collect();
     let verdicts: Vec<(Slash24, Verdict)> = entries
         .into_par_iter()

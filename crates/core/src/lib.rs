@@ -22,6 +22,7 @@ pub mod classify;
 pub mod dynamicity;
 pub mod experiments;
 pub mod names;
+pub mod redact;
 pub mod report;
 pub mod suffix;
 pub mod terms;
@@ -32,6 +33,7 @@ pub use dynamicity::{
     identify_dynamic, identify_dynamic_par, DynamicityParams, DynamicityResult, PrefixDynamicity,
 };
 pub use names::{match_given_names, MATCH_GIVEN_NAMES};
+pub use redact::Pii;
 pub use suffix::{identify_leaking_suffixes, LeakParams, SuffixStats};
 pub use terms::{extract_terms, is_router_level, TermCounts, DEVICE_TERMS, GENERIC_TERMS};
 pub use timing::{build_groups, par_build_groups, ActivityGroup, GroupFunnel, RemovalDelays};

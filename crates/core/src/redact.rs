@@ -1,0 +1,125 @@
+//! PII redaction boundary.
+//!
+//! The paper's central hazard is that device-owner names flow out of rDNS
+//! into logs, reports, and figures because *stringifying a hostname is the
+//! path of least resistance*. This module inverts that default: a value
+//! wrapped in [`Pii`] formats as a stable redacted fingerprint, and getting
+//! the raw text back requires the explicit — and greppable — [`Pii::reveal`]
+//! call. The workspace lint (`rdns-lint`, rule `pii-display`) enforces that
+//! owner-derived identifiers only reach formatting macros through this type.
+//!
+//! `reveal()` is not a loophole; it is the audit trail. Legitimate call
+//! sites are the paper's own case-study renderings (§7 "Life of Brian(s)"
+//! publishes the device matrix with names because that disclosure *is* the
+//! finding) and tests. Everywhere else the redacted form is the default,
+//! mirroring how Privacy-Preserving Passive DNS blinds stored names while
+//! keeping them joinable.
+
+/// Wrapper marking a value as personally identifying.
+///
+/// `Display` and `Debug` both emit `[pii:xxxxxxxx]`, where the tag is a
+/// deterministic FNV-1a fingerprint of the inner `Display` text: the same
+/// name always redacts to the same tag, so redacted output stays joinable
+/// (you can still count distinct devices, correlate rows across snapshots)
+/// without exposing the name itself.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pii<T>(T);
+
+impl<T> Pii<T> {
+    /// Mark a value as PII.
+    pub fn new(value: T) -> Self {
+        Pii(value)
+    }
+
+    /// Deliberately disclose the inner value.
+    ///
+    /// Call sites are policy-audited (grep for `.reveal()`): they must be
+    /// case-study/report code where disclosure is the point, or tests.
+    pub fn reveal(&self) -> &T {
+        &self.0
+    }
+
+    /// Unwrap, dropping the PII marking. Prefer [`Pii::reveal`] at format
+    /// sites so the disclosure stays visible at the point of use.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T> From<T> for Pii<T> {
+    fn from(value: T) -> Self {
+        Pii(value)
+    }
+}
+
+impl<T: std::fmt::Display> Pii<T> {
+    /// The redacted tag (`pii:xxxxxxxx`) without brackets, for callers
+    /// building their own labels.
+    pub fn fingerprint(&self) -> String {
+        format!("pii:{:08x}", fnv1a(&self.0.to_string()) as u32)
+    }
+}
+
+impl<T: std::fmt::Display> std::fmt::Display for Pii<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Route through `pad` so width/alignment specs apply to the
+        // redacted token — tables keep their shape either way.
+        f.pad(&format!("[{}]", self.fingerprint()))
+    }
+}
+
+impl<T: std::fmt::Display> std::fmt::Debug for Pii<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pii([{}])", self.fingerprint())
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0100_0000_01b3)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_redacts() {
+        let p = Pii::new("brians-mbp");
+        let shown = format!("{p}");
+        assert!(!shown.contains("brian"), "leaked: {shown}");
+        assert!(shown.starts_with("[pii:") && shown.ends_with(']'));
+    }
+
+    #[test]
+    fn debug_redacts() {
+        let p = Pii::new("brians-mbp".to_string());
+        let shown = format!("{p:?}");
+        assert!(!shown.contains("brian"), "leaked: {shown}");
+        assert!(shown.starts_with("Pii(["));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_joinable() {
+        let a = Pii::new("brians-mbp");
+        let b = Pii::new("brians-mbp".to_string());
+        assert_eq!(format!("{a}"), format!("{b}"));
+        let c = Pii::new("emmas-ipad");
+        assert_ne!(format!("{a}"), format!("{c}"));
+    }
+
+    #[test]
+    fn reveal_is_the_explicit_opt_out() {
+        let p = Pii::new("brians-mbp");
+        assert_eq!(*p.reveal(), "brians-mbp");
+        assert_eq!(p.into_inner(), "brians-mbp");
+    }
+
+    #[test]
+    fn padding_applies_to_the_redacted_form() {
+        let p = Pii::new("x");
+        let shown = format!("{p:>20}");
+        assert_eq!(shown.len(), 20);
+    }
+}

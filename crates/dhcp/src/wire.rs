@@ -14,7 +14,8 @@ use crate::server::{DhcpServer, LeaseEvent};
 use rdns_model::SimTime;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr};
-use std::sync::{Arc, Mutex};
+use parking_lot::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 use tokio::net::UdpSocket;
 use tokio::sync::{mpsc, watch};
@@ -90,7 +91,7 @@ impl WireDhcpServer {
                     };
                     let now = (self.clock)();
                     let (reply, events) = {
-                        let mut server = self.inner.lock().expect("dhcp state poisoned");
+                        let mut server = self.inner.lock();
                         server.handle(&msg, now)
                     };
                     for e in events {

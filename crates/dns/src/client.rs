@@ -9,7 +9,8 @@
 
 use crate::message::{Message, Question, Rcode, RecordType, ResourceRecord};
 use crate::name::DnsName;
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr};
 use std::time::Duration;
@@ -65,6 +66,10 @@ pub struct ResolverConfig {
     pub attempts: u32,
     /// Retry over TCP when a UDP response arrives truncated (TC set).
     pub tcp_fallback: bool,
+    /// Seed for message-ID generation. `None` (the default) seeds from
+    /// entropy like a real resolver; fixing it makes the ID sequence — and
+    /// thus the wire trace — reproducible run to run.
+    pub id_seed: Option<u64>,
 }
 
 impl ResolverConfig {
@@ -75,6 +80,7 @@ impl ResolverConfig {
             timeout: Duration::from_millis(500),
             attempts: 2,
             tcp_fallback: true,
+            id_seed: None,
         }
     }
 }
@@ -99,16 +105,22 @@ pub struct Resolver {
     socket: UdpSocket,
     config: ResolverConfig,
     stats: ResolverStats,
+    /// Per-resolver ID generator, seeded from `config.id_seed` (or entropy).
+    id_rng: SmallRng,
 }
 
 impl Resolver {
     /// Bind an ephemeral local socket for querying `config.server`.
     pub async fn new(config: ResolverConfig) -> io::Result<Resolver> {
         let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        let id_rng = config
+            .id_seed
+            .map_or_else(SmallRng::from_entropy, SmallRng::seed_from_u64);
         Ok(Resolver {
             socket,
             config,
             stats: ResolverStats::default(),
+            id_rng,
         })
     }
 
@@ -117,11 +129,16 @@ impl Resolver {
         self.stats
     }
 
+    /// Next message ID from the per-resolver sequence.
+    fn next_id(&mut self) -> u16 {
+        self.id_rng.gen()
+    }
+
     /// Issue a query and classify the outcome.
     pub async fn query(&mut self, qname: &DnsName, qtype: RecordType) -> io::Result<LookupOutcome> {
         let mut buf = vec![0u8; 1500];
         for _attempt in 0..self.config.attempts.max(1) {
-            let id: u16 = rand::thread_rng().gen();
+            let id: u16 = self.next_id();
             let msg = Message::query(id, Question::new(qname.clone(), qtype));
             self.socket
                 .send_to(&msg.encode(), self.config.server)
@@ -357,6 +374,23 @@ mod tests {
         assert_eq!(out, LookupOutcome::NoData);
         udp_shutdown.shutdown();
         tcp_shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn same_seed_resolvers_emit_identical_id_sequences() {
+        let mut cfg = ResolverConfig::new("127.0.0.1:53".parse().unwrap());
+        cfg.id_seed = Some(42);
+        let mut a = Resolver::new(cfg.clone()).await.unwrap();
+        let mut b = Resolver::new(cfg).await.unwrap();
+        let ids_a: Vec<u16> = (0..64).map(|_| a.next_id()).collect();
+        let ids_b: Vec<u16> = (0..64).map(|_| b.next_id()).collect();
+        assert_eq!(ids_a, ids_b);
+        // A different seed gives a different sequence.
+        let mut cfg2 = ResolverConfig::new("127.0.0.1:53".parse().unwrap());
+        cfg2.id_seed = Some(43);
+        let mut c = Resolver::new(cfg2).await.unwrap();
+        let ids_c: Vec<u16> = (0..64).map(|_| c.next_id()).collect();
+        assert_ne!(ids_a, ids_c);
     }
 
     #[tokio::test]

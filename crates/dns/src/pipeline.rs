@@ -22,12 +22,14 @@
 use crate::client::{classify, query_tcp, LookupOutcome, ResolverConfig};
 use crate::message::{Message, Question, RecordType};
 use crate::name::DnsName;
-use rand::Rng;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use tokio::net::UdpSocket;
 use tokio::sync::{oneshot, watch, Semaphore};
@@ -48,6 +50,11 @@ pub struct PipelinedConfig {
     /// Maximum queries outstanding at once. Further callers wait on a
     /// semaphore. Must stay well below 65536 (the DNS ID space).
     pub max_in_flight: usize,
+    /// Seed for message-ID generation. `None` (the default) seeds from
+    /// entropy like a real resolver; fixing it makes the ID draw sequence
+    /// reproducible (the IDs actually *used* still depend on which are
+    /// in flight when a query registers).
+    pub id_seed: Option<u64>,
 }
 
 impl PipelinedConfig {
@@ -60,6 +67,7 @@ impl PipelinedConfig {
             attempts: 2,
             tcp_fallback: true,
             max_in_flight: 256,
+            id_seed: None,
         }
     }
 
@@ -72,6 +80,7 @@ impl PipelinedConfig {
             attempts: config.attempts,
             tcp_fallback: config.tcp_fallback,
             max_in_flight: max_in_flight.max(1),
+            id_seed: config.id_seed,
         }
     }
 }
@@ -139,6 +148,9 @@ pub struct PipelinedResolver {
     closed: Arc<AtomicBool>,
     shutdown_tx: watch::Sender<bool>,
     demux: Mutex<Option<JoinHandle<()>>>,
+    /// ID generator shared by every in-flight query, seeded from
+    /// `config.id_seed` (or entropy).
+    id_rng: Mutex<SmallRng>,
 }
 
 impl PipelinedResolver {
@@ -157,6 +169,9 @@ impl PipelinedResolver {
             Arc::clone(&closed),
             shutdown_rx,
         ));
+        let id_rng = config
+            .id_seed
+            .map_or_else(SmallRng::from_entropy, SmallRng::seed_from_u64);
         Ok(PipelinedResolver {
             socket,
             semaphore: Arc::new(Semaphore::new(config.max_in_flight.max(1))),
@@ -166,6 +181,7 @@ impl PipelinedResolver {
             closed,
             shutdown_tx,
             demux: Mutex::new(Some(demux)),
+            id_rng: Mutex::new(id_rng),
         })
     }
 
@@ -189,7 +205,7 @@ impl PipelinedResolver {
     /// fast the same way. Idempotent.
     pub async fn shutdown(&self) {
         let _ = self.shutdown_tx.send(true);
-        let handle = self.demux.lock().unwrap().take();
+        let handle = self.demux.lock().take();
         if let Some(handle) = handle {
             let _ = handle.await;
         }
@@ -257,8 +273,8 @@ impl PipelinedResolver {
     /// slot for it.
     fn register(&self) -> (u16, oneshot::Receiver<Message>) {
         let (tx, rx) = oneshot::channel();
-        let mut pending = self.pending.lock().unwrap();
-        let mut rng = rand::thread_rng();
+        let mut pending = self.pending.lock();
+        let mut rng = self.id_rng.lock();
         // `max_in_flight` is far below 65536, so a vacant ID is always a few
         // draws away.
         let id = loop {
@@ -272,7 +288,7 @@ impl PipelinedResolver {
     }
 
     fn unregister(&self, id: u16) {
-        self.pending.lock().unwrap().remove(&id);
+        self.pending.lock().remove(&id);
     }
 }
 
@@ -308,7 +324,7 @@ async fn demux_loop(
                 }
                 match Message::decode(&buf[..n]) {
                     Ok(m) if m.header.response => {
-                        let slot = pending.lock().unwrap().remove(&m.header.id);
+                        let slot = pending.lock().remove(&m.header.id);
                         match slot {
                             // Send fails only if the waiter timed out and
                             // dropped its receiver — a late response.
@@ -332,7 +348,7 @@ async fn demux_loop(
     // Fail fast: mark closed, then wake every in-flight query by dropping
     // its slot sender.
     closed.store(true, Ordering::Release);
-    pending.lock().unwrap().clear();
+    pending.lock().clear();
 }
 
 #[cfg(test)]
@@ -423,7 +439,7 @@ mod tests {
         let stats = resolver2.stats().snapshot();
         assert_eq!(stats.queries_sent, 3);
         assert_eq!(stats.timeouts, 3);
-        assert!(resolver2.pending.lock().unwrap().is_empty(), "no leaked slots");
+        assert!(resolver2.pending.lock().is_empty(), "no leaked slots");
         resolver.shutdown().await;
         resolver2.shutdown().await;
         shutdown.shutdown();
@@ -465,6 +481,26 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn same_seed_resolvers_draw_identical_id_sequences() {
+        let mut cfg = PipelinedConfig::new("127.0.0.1:53".parse().unwrap());
+        cfg.id_seed = Some(7);
+        let a = PipelinedResolver::new(cfg.clone()).await.unwrap();
+        let b = PipelinedResolver::new(cfg).await.unwrap();
+        let draw = |r: &PipelinedResolver| -> Vec<u16> {
+            (0..64)
+                .map(|_| {
+                    let (id, _rx) = r.register();
+                    r.unregister(id);
+                    id
+                })
+                .collect()
+        };
+        assert_eq!(draw(&a), draw(&b));
+        a.shutdown().await;
+        b.shutdown().await;
+    }
+
+    #[tokio::test]
     async fn semaphore_bounds_concurrency() {
         let (resolver, shutdown) = setup(FaultConfig::default()).await;
         let mut cfg = PipelinedConfig::new(resolver.config().server);
@@ -475,7 +511,7 @@ mod tests {
                 let r = Arc::clone(&bounded);
                 tokio::spawn(async move {
                     let _ = r.reverse(Ipv4Addr::new(203, 0, 113, host)).await;
-                    r.pending.lock().unwrap().len()
+                    r.pending.lock().len()
                 })
             })
             .collect();

@@ -1,0 +1,112 @@
+//! Per-line suppression: `// lint:allow(rule-name) -- reason`.
+//!
+//! An allow comment suppresses findings of the named rule(s) on its own
+//! line(s) and on the line immediately after, so it works both trailing the
+//! offending expression and on its own line above it. The `-- reason` text
+//! is mandatory: a suppression with no written justification, or naming a
+//! rule that does not exist, is itself a finding (`allow-malformed`) — and
+//! that finding is deliberately not suppressible.
+
+use crate::lexer::Comment;
+use crate::rules::{Finding, FileOrigin, ALL_RULES};
+
+struct Suppression {
+    rule: String,
+    from_line: u32,
+    to_line: u32,
+}
+
+/// Apply every allow comment in the file to the raw findings, returning the
+/// surviving findings plus any `allow-malformed` meta findings.
+pub fn apply(origin: &FileOrigin, comments: &[Comment], findings: Vec<Finding>) -> Vec<Finding> {
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    let mut meta: Vec<Finding> = Vec::new();
+    let mut malformed = |line: u32, message: String| {
+        meta.push(Finding {
+            file: origin.rel_path.clone(),
+            line,
+            rule: "allow-malformed",
+            message,
+        });
+    };
+
+    for c in comments {
+        // The directive must lead the comment (`// lint:allow(...) -- ...`);
+        // prose that merely *mentions* lint:allow mid-sentence is not a
+        // suppression. Doc comments (`///`, `//!`) lex with a leading `/` or
+        // `!` in their text, so they can never carry directives either.
+        let trimmed = c.text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let Some(open_rel) = rest.find('(') else {
+            malformed(
+                c.line,
+                "lint:allow without a rule list; write lint:allow(rule-name) -- reason"
+                    .to_string(),
+            );
+            continue;
+        };
+        // The rule list must start immediately (allow only whitespace).
+        if !rest[..open_rel].trim().is_empty() {
+            malformed(
+                c.line,
+                "lint:allow without a rule list; write lint:allow(rule-name) -- reason"
+                    .to_string(),
+            );
+            continue;
+        }
+        let Some(close_rel) = rest[open_rel..].find(')').map(|k| open_rel + k) else {
+            malformed(c.line, "lint:allow( with no closing parenthesis".to_string());
+            continue;
+        };
+        let names: Vec<&str> = rest[open_rel + 1..close_rel]
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        if names.is_empty() {
+            malformed(c.line, "lint:allow() names no rules".to_string());
+            continue;
+        }
+        // Mandatory justification: `-- <nonempty text>` after the list.
+        let tail = rest[close_rel + 1..].trim_start();
+        let reason = tail.strip_prefix("--").map(str::trim);
+        if reason.is_none_or(str::is_empty) {
+            malformed(
+                c.line,
+                format!(
+                    "lint:allow({}) has no justification; append `-- <why this is safe>`",
+                    names.join(", ")
+                ),
+            );
+            continue;
+        }
+        for name in names {
+            if !ALL_RULES.contains(&name) {
+                malformed(
+                    c.line,
+                    format!("lint:allow names unknown rule `{name}` (see --list-rules)"),
+                );
+                continue;
+            }
+            suppressions.push(Suppression {
+                rule: name.to_string(),
+                from_line: c.line,
+                to_line: c.end_line + 1,
+            });
+        }
+    }
+
+    let mut out: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| {
+            !suppressions
+                .iter()
+                .any(|s| s.rule == f.rule && f.line >= s.from_line && f.line <= s.to_line)
+        })
+        .collect();
+    out.extend(meta);
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}

@@ -1,0 +1,509 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lint rules need to see the token stream, not raw lines: a mention of
+//! `thread_rng` inside a string literal, a doc comment, or a `#[doc]`
+//! attribute is not a violation, and `// lint:allow` suppressions live in
+//! comments that a token-level walker would otherwise discard. The lexer
+//! therefore produces two streams per file: the code tokens (identifiers,
+//! literals, punctuation) and the comments, each tagged with a 1-based line
+//! number.
+//!
+//! This is not a full Rust lexer — it does not classify keywords, parse
+//! numeric suffixes precisely, or handle every exotic literal — but it is
+//! exact about the things that matter for static analysis over this
+//! workspace: nested block comments, all string flavours (`"…"`, `r"…"`,
+//! `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`), char literals vs. lifetimes, and
+//! raw identifiers.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`foo`, `fn`, `r#async` → `async`).
+    Ident,
+    /// Lifetime such as `'a` (without the quote).
+    Lifetime,
+    /// String or byte-string literal, unquoted content.
+    Str,
+    /// Character or byte literal, raw inner text.
+    Char,
+    /// Numeric literal.
+    Number,
+    /// A single punctuation character (`:`, `<`, `!`, …).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Str`] this is the literal's inner
+    /// content; for [`TokenKind::Punct`] a single character.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.as_bytes().first() == Some(&(ch as u8))
+    }
+}
+
+/// A comment (line or block) with its starting line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equals `line` for line comments).
+    pub end_line: u32,
+}
+
+/// Output of [`lex`]: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order (doc comments included).
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into tokens and comments. Invalid input never panics; the lexer
+/// degrades by emitting punct tokens for bytes it cannot classify.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if cur.starts_with("//") {
+            let line = cur.line;
+            let start = cur.pos + 2;
+            while let Some(c) = cur.peek() {
+                if c == b'\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+                end_line: line,
+            });
+            continue;
+        }
+        if cur.starts_with("/*") {
+            let line = cur.line;
+            let start = cur.pos + 2;
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            let mut end = cur.pos;
+            while depth > 0 {
+                if cur.starts_with("/*") {
+                    depth += 1;
+                    cur.bump();
+                    cur.bump();
+                } else if cur.starts_with("*/") {
+                    depth -= 1;
+                    end = cur.pos;
+                    cur.bump();
+                    cur.bump();
+                } else if cur.bump().is_none() {
+                    end = cur.pos;
+                    break;
+                }
+            }
+            out.comments.push(Comment {
+                text: String::from_utf8_lossy(&cur.src[start..end]).into_owned(),
+                line,
+                end_line: cur.line,
+            });
+            continue;
+        }
+        // Raw identifiers and raw strings: r#ident, r"…", r#"…"#, also
+        // rb/br prefixes.
+        if (b == b'r' || b == b'b' || b == b'c') && lex_raw_or_prefixed(&mut cur, &mut out) {
+            continue;
+        }
+        // Identifiers / keywords.
+        if is_ident_start(b) {
+            let line = cur.line;
+            let start = cur.pos;
+            while cur.peek().is_some_and(is_ident_continue) {
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+            });
+            continue;
+        }
+        // Numbers (lexed loosely: digits plus alphanumeric suffix chars;
+        // `1.5` joins on the dot only when a digit follows, so `0..n` stays
+        // three tokens).
+        if b.is_ascii_digit() {
+            let line = cur.line;
+            let start = cur.pos;
+            while let Some(c) = cur.peek() {
+                let joins = c.is_ascii_alphanumeric()
+                    || c == b'_'
+                    || (c == b'.'
+                        && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                        && !cur.src[start..cur.pos].contains(&b'.'));
+                if !joins {
+                    break;
+                }
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                line,
+            });
+            continue;
+        }
+        // Strings.
+        if b == b'"' {
+            lex_quoted_string(&mut cur, &mut out);
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if b == b'\'' {
+            lex_char_or_lifetime(&mut cur, &mut out);
+            continue;
+        }
+        // Everything else: one punct char.
+        let line = cur.line;
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: (b as char).to_string(),
+            line,
+        });
+    }
+    out
+}
+
+/// Handle `r#ident`, `r"…"`, `r#"…"#` and the `b`/`br`/`rb`/`c` prefixed
+/// literal forms. Returns true when it consumed something.
+fn lex_raw_or_prefixed(cur: &mut Cursor, out: &mut Lexed) -> bool {
+    let b0 = cur.peek().unwrap();
+    // r#ident (raw identifier): emit the ident without the r# prefix so
+    // rules match `r#async` as `async`.
+    if b0 == b'r'
+        && cur.peek_at(1) == Some(b'#')
+        && cur.peek_at(2).is_some_and(is_ident_start)
+    {
+        let line = cur.line;
+        cur.bump();
+        cur.bump();
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Ident,
+            text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+            line,
+        });
+        return true;
+    }
+    // Compute the prefix run: any of r/b/c (max 2 chars, e.g. `br`).
+    let mut plen = 0usize;
+    while plen < 2 {
+        match cur.peek_at(plen) {
+            Some(b'r') | Some(b'b') | Some(b'c') => plen += 1,
+            _ => break,
+        }
+    }
+    let has_raw = (0..plen).any(|i| cur.peek_at(i) == Some(b'r'));
+    // Raw string: prefix containing `r`, then `#…#"` or `"`.
+    if has_raw {
+        let mut hashes = 0usize;
+        while cur.peek_at(plen + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if cur.peek_at(plen + hashes) == Some(b'"') {
+            let line = cur.line;
+            for _ in 0..plen + hashes + 1 {
+                cur.bump();
+            }
+            let start = cur.pos;
+            let closer: Vec<u8> = std::iter::once(b'"')
+                .chain(std::iter::repeat_n(b'#', hashes))
+                .collect();
+            let mut end = cur.src.len();
+            while cur.peek().is_some() {
+                if cur.src[cur.pos..].starts_with(&closer) {
+                    end = cur.pos;
+                    for _ in 0..closer.len() {
+                        cur.bump();
+                    }
+                    break;
+                }
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: String::from_utf8_lossy(&cur.src[start..end.min(cur.src.len())])
+                    .into_owned(),
+                line,
+            });
+            return true;
+        }
+    }
+    // Non-raw prefixed string/char: `b"…"`, `c"…"`, `b'…'`.
+    if plen > 0 {
+        match cur.peek_at(plen) {
+            Some(b'"') => {
+                for _ in 0..plen {
+                    cur.bump();
+                }
+                lex_quoted_string(cur, out);
+                return true;
+            }
+            Some(b'\'') => {
+                for _ in 0..plen {
+                    cur.bump();
+                }
+                lex_char_or_lifetime(cur, out);
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Consume a `"…"` string starting at the opening quote.
+fn lex_quoted_string(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    cur.bump(); // opening quote
+    let start = cur.pos;
+    let mut end = cur.src.len();
+    while let Some(c) = cur.peek() {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == b'"' {
+            end = cur.pos;
+            cur.bump();
+            break;
+        }
+        cur.bump();
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Str,
+        text: String::from_utf8_lossy(&cur.src[start..end.min(cur.src.len())]).into_owned(),
+        line,
+    });
+}
+
+/// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` (char literal), starting
+/// at the quote.
+fn lex_char_or_lifetime(cur: &mut Cursor, out: &mut Lexed) {
+    let line = cur.line;
+    // Lifetime: quote, ident-start, ident-continue*, NOT followed by a
+    // closing quote right after the first char.
+    if cur.peek_at(1).is_some_and(is_ident_start) && cur.peek_at(2) != Some(b'\'') {
+        cur.bump(); // quote
+        let start = cur.pos;
+        while cur.peek().is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Lifetime,
+            text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+            line,
+        });
+        return;
+    }
+    // Char literal.
+    cur.bump(); // quote
+    let start = cur.pos;
+    let mut end = cur.src.len();
+    while let Some(c) = cur.peek() {
+        if c == b'\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if c == b'\'' {
+            end = cur.pos;
+            cur.bump();
+            break;
+        }
+        // A newline inside a char literal means unterminated input; stop.
+        if c == b'\n' {
+            end = cur.pos;
+            break;
+        }
+        cur.bump();
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Char,
+        text: String::from_utf8_lossy(&cur.src[start..end.min(cur.src.len())]).into_owned(),
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_not_found_in_strings_or_comments() {
+        let src = r##"
+            // thread_rng in a comment is fine
+            /* and thread_rng in /* nested */ blocks too */
+            let s = "thread_rng";
+            let r = r#"thread_rng"#;
+            let ok = other_fn();
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "thread_rng"), "{ids:?}");
+        assert!(ids.iter().any(|i| i == "other_fn"));
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "let a = 1;\n// lint:allow(x) -- reason\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("lint:allow"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let lexed = lex("for i in 0..10 { let f = 1.5e3; let h = 0xff_u8; }");
+        let nums: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e3", "0xff_u8"]);
+    }
+
+    #[test]
+    fn raw_ident_unwraps() {
+        let ids = idents("let r#async = 1; use r#fn::x;");
+        assert!(ids.contains(&"async".to_string()));
+        assert!(ids.contains(&"fn".to_string()));
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let lexed = lex(r##"let a = b"bytes"; let b = br#"raw bytes"#; let c = c"cstr";"##);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["bytes", "raw bytes", "cstr"]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn format_string_content_preserved() {
+        let lexed = lex(r#"format!("{owner}s-{kind}")"#);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .unwrap();
+        assert_eq!(s.text, "{owner}s-{kind}");
+    }
+}

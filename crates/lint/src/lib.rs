@@ -1,0 +1,97 @@
+//! `rdns-lint`: the workspace's own static-analysis pass.
+//!
+//! The build is hermetic (no registry access), so policy that `clippy`
+//! cannot express — and that no third-party lint crate can be pulled in to
+//! check — is enforced here instead. The analyzer is stdlib-only: a small
+//! hand-rolled lexer ([`lexer`]) turns each source file into a token stream
+//! (so matches inside strings, comments, and doc text never count), and the
+//! rule families in [`rules`] walk that stream:
+//!
+//! * **determinism** — `thread-rng`, `entropy-source`, `hash-iter-ordered`
+//! * **concurrency hygiene** — `std-sync-lock`, `sleep-in-async`
+//! * **PII hygiene** — `pii-display` (the `rdns_core::redact::Pii<T>`
+//!   wrapper is the only sanctioned route from an owner-derived value to
+//!   formatted output)
+//!
+//! Findings are suppressible per line via
+//! `// lint:allow(rule-name) -- reason` ([`allow`]); the justification text
+//! is mandatory. The binary (`cargo run -p rdns-lint -- --deny`) exits
+//! nonzero when findings remain, and the root crate runs the same pass from
+//! a `#[test]` so plain `cargo test` gates it.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{FileOrigin, Finding, ALL_RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Lint a single source text as if it lived at `rel_path` (workspace-relative,
+/// `/`-separated — e.g. `"crates/core/src/terms.rs"`). This is the seam the
+/// fixture tests use: the path decides which crate-scoped rules apply.
+pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let origin = FileOrigin::from_rel_path(rel_path);
+    let raw = rules::check_file(&origin, &lexed);
+    allow::apply(&origin, &lexed.comments, raw)
+}
+
+/// Lint every `crates/*/src/**/*.rs` file plus `shims/tokio/src/**/*.rs`
+/// under the workspace root, in sorted path order.
+pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            collect_rs(&entry.path().join("src"), &mut files);
+        }
+    }
+    collect_rs(&root.join("shims/tokio/src"), &mut files);
+    files.sort();
+
+    let mut out = Vec::new();
+    for file in files {
+        let Ok(src) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.extend(analyze_source(&rel, &src));
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares the
+/// workspace. Used by the CLI so it works from any subdirectory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

@@ -1,0 +1,75 @@
+//! CLI for the workspace lint: `cargo run -p rdns-lint -- [--deny] [--root P]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("rdns-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "rdns-lint: workspace static analysis (determinism, concurrency \
+                     hygiene, PII redaction)\n\n\
+                     usage: rdns-lint [--deny] [--root PATH] [--list-rules]\n\n\
+                     --deny        exit nonzero if any finding remains\n\
+                     --root PATH   workspace root (default: walk up from cwd)\n\
+                     --list-rules  print the rule names usable in lint:allow(...)"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("rdns-lint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in rdns_lint::ALL_RULES {
+            println!("{rule}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| rdns_lint::find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("rdns-lint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let findings = rdns_lint::lint_workspace(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("rdns-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("rdns-lint: {} finding(s)", findings.len());
+        if deny {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

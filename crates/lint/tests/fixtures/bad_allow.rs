@@ -1,0 +1,7 @@
+pub fn id() -> u16 {
+    // lint:allow(thread-rng)
+    let x = rand::thread_rng().gen();
+    // lint:allow(no-such-rule) -- justification text
+    let y = x;
+    y
+}

@@ -1,0 +1,13 @@
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn rng() -> SmallRng {
+    SmallRng::from_entropy()
+}
+
+pub fn now_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_millis()
+}

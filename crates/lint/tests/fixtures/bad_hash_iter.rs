@@ -1,0 +1,14 @@
+use std::collections::HashMap;
+
+pub fn report(map: &HashMap<String, u64>) -> String {
+    let rows: Vec<String> = map.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    rows.join("\n")
+}
+
+pub fn render(map: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in map {
+        out.push_str(&format!("{k}: {v}\n"));
+    }
+    out
+}

@@ -1,0 +1,5 @@
+pub fn leak(hostname: &str, owner: &str) {
+    println!("resolved {hostname}");
+    let label = format!("{}-laptop", owner);
+    let _ = label;
+}

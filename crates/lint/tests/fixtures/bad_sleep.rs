@@ -1,0 +1,10 @@
+pub async fn worker() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}
+
+pub fn spawn_bad() {
+    let f = async move {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    };
+    drop(f);
+}

@@ -1,0 +1,7 @@
+use std::sync::{Arc, Mutex};
+use std::sync::RwLock;
+
+pub struct Shared {
+    data: Arc<Mutex<u32>>,
+    lock: RwLock<u8>,
+}

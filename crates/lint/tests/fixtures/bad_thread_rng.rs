@@ -1,0 +1,5 @@
+use rand::Rng;
+
+pub fn id() -> u16 {
+    rand::thread_rng().gen()
+}

@@ -1,0 +1,4 @@
+pub fn id() -> u16 {
+    // lint:allow(thread-rng) -- seed knob not plumbed through this call path yet
+    rand::thread_rng().gen()
+}

@@ -1,0 +1,6 @@
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

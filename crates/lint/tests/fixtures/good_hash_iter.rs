@@ -1,0 +1,19 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn total(map: &HashMap<String, u64>) -> u64 {
+    map.values().sum()
+}
+
+pub fn sorted_rows(map: &HashMap<String, u64>) -> Vec<(String, u64)> {
+    let mut rows: Vec<(String, u64)> = map.iter().map(|(k, v)| (k.clone(), *v)).collect();
+    rows.sort();
+    rows
+}
+
+pub fn distinct(map: &HashMap<String, u64>) -> HashSet<String> {
+    let mut seen = HashSet::new();
+    for k in map.keys() {
+        seen.insert(k.clone());
+    }
+    seen
+}

@@ -1,0 +1,18 @@
+use crate::redact::Pii;
+
+pub fn report(hostname: &str) -> String {
+    format!("resolved {}", Pii::new(hostname))
+}
+
+pub fn disclose(hostname: &str) -> String {
+    format!("case study: {}", Pii::new(hostname).reveal())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_output() {
+        let hostname = "brians-mbp";
+        println!("{hostname}");
+    }
+}

@@ -1,0 +1,14 @@
+pub fn blocking_worker() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}
+
+pub async fn yielding_worker() {
+    tokio::time::sleep(std::time::Duration::from_millis(10)).await;
+}
+
+pub fn make_closure() {
+    let f = async move {
+        tokio::time::sleep(std::time::Duration::from_millis(1)).await;
+    };
+    drop(f);
+}

@@ -1,0 +1,8 @@
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+// thread_rng mentioned in a comment is fine.
+pub fn id(rng: &mut SmallRng) -> u16 {
+    let _doc = "call sites must never use thread_rng";
+    rng.gen()
+}

@@ -26,7 +26,7 @@ use std::future::Future;
 use std::net::Ipv4Addr;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use parking_lot::Mutex;
 use std::task::Poll;
 use std::time::{Duration, Instant};
 
@@ -176,14 +176,14 @@ impl WireSweeper {
                             loop {
                                 let now = sim_base
                                     + SimDuration::secs(started.elapsed().as_secs());
-                                if bucket.lock().unwrap().try_take(now) {
+                                if bucket.lock().try_take(now) {
                                     break;
                                 }
                                 tokio::time::sleep(Duration::from_millis(2)).await;
                             }
                         }
                         let outcome = RdnsOutcome::from_lookup(resolver.reverse(addr).await);
-                        outcomes.lock().unwrap().push((addr, outcome));
+                        outcomes.lock().push((addr, outcome));
                     }
                 }
             })
@@ -203,7 +203,7 @@ impl WireSweeper {
             timeouts: 0,
             elapsed,
         };
-        for (addr, outcome) in outcomes.into_inner().unwrap() {
+        for (addr, outcome) in outcomes.into_inner() {
             report.queried += 1;
             match outcome {
                 RdnsOutcome::Ptr(host) => {

@@ -213,7 +213,7 @@ mod tests {
     use super::*;
     use rdns_dns::{FaultConfig, UdpServer, ZoneStore};
     use std::collections::HashSet;
-    use std::sync::Mutex;
+    use parking_lot::Mutex;
 
     /// Spin up gateway + DNS server on a shared runtime thread; return the
     /// addresses, a handle to mutate the world, and a guard runtime.
@@ -232,7 +232,7 @@ mod tests {
         let online: Arc<Mutex<HashSet<Ipv4Addr>>> = Arc::new(Mutex::new(HashSet::new()));
         let oracle_online = online.clone();
         let oracle: PingOracle =
-            Arc::new(move |a| oracle_online.lock().unwrap().contains(&a));
+            Arc::new(move |a| oracle_online.lock().contains(&a));
         let store = ZoneStore::new();
         store.ensure_reverse_zone("10.9.0.1".parse().unwrap());
 
@@ -267,7 +267,7 @@ mod tests {
         assert_eq!(prober.rdns(target), RdnsOutcome::NxDomain);
 
         // Device comes online with a PTR.
-        online.lock().unwrap().insert(target);
+        online.lock().insert(target);
         store.set_ptr(target, "brians-air.example.edu".parse().unwrap(), 300);
         assert!(prober.ping(target));
         assert_eq!(
@@ -276,7 +276,7 @@ mod tests {
         );
 
         // Device leaves; PTR removed.
-        online.lock().unwrap().remove(&target);
+        online.lock().remove(&target);
         store.remove_ptr(target);
         assert!(!prober.ping(target));
         assert_eq!(prober.rdns(target), RdnsOutcome::NxDomain);
@@ -321,7 +321,7 @@ mod tests {
     #[test]
     fn gateway_ignores_malformed_requests() {
         let (rt, gw, _dns, online, _store) = setup();
-        online.lock().unwrap().insert("10.9.0.2".parse().unwrap());
+        online.lock().insert("10.9.0.2".parse().unwrap());
         rt.block_on(async {
             let sock = UdpSocket::bind("127.0.0.1:0").await.unwrap();
             // Garbage first...
@@ -353,13 +353,13 @@ mod tests {
         );
 
         // Client online with PTR before the first sweep.
-        online.lock().unwrap().insert(target);
+        online.lock().insert(target);
         store.set_ptr(target, "emmas-ipad.example.edu".parse().unwrap(), 300);
         scanner.run_due(t0, &mut prober);
         assert_eq!(scanner.stats().triggers, 1);
 
         // Client leaves and the record is pulled; advance through back-off.
-        online.lock().unwrap().remove(&target);
+        online.lock().remove(&target);
         store.remove_ptr(target);
         let mut t = t0;
         for _ in 0..24 {

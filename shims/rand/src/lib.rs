@@ -149,6 +149,43 @@ impl<R: RngCore + ?Sized> Rng for R {}
 /// Seeding trait; the workspace only ever seeds from a `u64`.
 pub trait SeedableRng: Sized {
     fn seed_from_u64(state: u64) -> Self;
+
+    /// A generator seeded from per-thread, per-call entropy. The sanctioned
+    /// *default* for wire-path components that also accept an explicit seed
+    /// (`seed.map_or_else(Self::from_entropy, Self::seed_from_u64)`); the
+    /// workspace lint bans it outright in the simulation/analysis crates.
+    fn from_entropy() -> Self {
+        Self::seed_from_u64(entropy_seed())
+    }
+}
+
+/// One 64-bit entropy sample (wall clock ⊕ thread id ⊕ per-thread counter);
+/// the seed material behind [`SeedableRng::from_entropy`] and [`thread_rng`].
+pub fn entropy_seed() -> u64 {
+    use std::cell::Cell;
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    thread_local! {
+        static COUNTER: Cell<u64> = const { Cell::new(0) };
+    }
+    let count = COUNTER.with(|c| {
+        let v = c.get();
+        c.set(v.wrapping_add(1));
+        v
+    });
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let tid = {
+        // Hash the thread id through its Debug formatting; cheap and unique.
+        let id = std::thread::current().id();
+        let s = format!("{id:?}");
+        s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+    };
+    nanos ^ tid.rotate_left(17) ^ count
 }
 
 #[inline]
@@ -230,34 +267,12 @@ pub mod rngs {
     }
 }
 
-/// A freshly seeded generator with per-thread, per-call entropy. Only used
-/// where true unpredictability is wanted (e.g. DNS query IDs), never on the
-/// deterministic simulation paths.
+/// A freshly seeded generator with per-thread, per-call entropy. Kept for
+/// API compatibility with upstream `rand`, but the workspace lint bans it:
+/// it cannot be seeded, so components using it can never replay. Use
+/// `SmallRng::from_entropy()` behind an optional-seed knob instead.
 pub fn thread_rng() -> rngs::ThreadRng {
-    use std::cell::Cell;
-    use std::time::{SystemTime, UNIX_EPOCH};
-
-    thread_local! {
-        static COUNTER: Cell<u64> = const { Cell::new(0) };
-    }
-    let count = COUNTER.with(|c| {
-        let v = c.get();
-        c.set(v.wrapping_add(1));
-        v
-    });
-    let nanos = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_nanos() as u64)
-        .unwrap_or(0);
-    let tid = {
-        // Hash the thread id through its Debug formatting; cheap and unique.
-        let id = std::thread::current().id();
-        let s = format!("{id:?}");
-        s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-        })
-    };
-    rngs::ThreadRng(Xoshiro256::from_u64(nanos ^ tid.rotate_left(17) ^ count))
+    rngs::ThreadRng(Xoshiro256::from_u64(entropy_seed()))
 }
 
 #[cfg(test)]

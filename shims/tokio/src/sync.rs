@@ -224,11 +224,19 @@ pub mod oneshot {
 
 /// Async counting semaphore bounding in-flight work.
 pub struct Semaphore {
-    permits: std::sync::Mutex<usize>,
+    /// Permit count plus closed flag under one lock, so every `poll` step
+    /// observes a consistent (permits, closed) pair — the interleaving tests
+    /// rely on each step being atomic.
+    state: std::sync::Mutex<SemState>,
 }
 
-/// Error type for `acquire`; never produced by this shim (the semaphore is
-/// never closed).
+struct SemState {
+    permits: usize,
+    closed: bool,
+}
+
+/// Error returned by `acquire_owned` once the semaphore is
+/// [closed](Semaphore::close).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AcquireError(());
 
@@ -252,30 +260,47 @@ impl Semaphore {
     /// A semaphore with `permits` permits.
     pub fn new(permits: usize) -> Semaphore {
         Semaphore {
-            permits: std::sync::Mutex::new(permits),
+            state: std::sync::Mutex::new(SemState {
+                permits,
+                closed: false,
+            }),
         }
     }
 
     /// Permits currently available.
     pub fn available_permits(&self) -> usize {
-        *self.permits.lock().unwrap()
+        self.state.lock().unwrap().permits
+    }
+
+    /// Close the semaphore: every pending and future `acquire_owned` fails
+    /// with [`AcquireError`]. Already-granted permits stay valid and still
+    /// return on drop. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+    }
+
+    /// Whether [`Semaphore::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
     }
 
     /// Acquire one permit, waiting until one is free. The permit is released
-    /// when the returned guard drops.
+    /// when the returned guard drops. Fails once the semaphore is closed.
     pub async fn acquire_owned(
         self: std::sync::Arc<Self>,
     ) -> Result<OwnedSemaphorePermit, AcquireError> {
         std::future::poll_fn(|_| {
-            let mut permits = self.permits.lock().unwrap();
-            if *permits > 0 {
-                *permits -= 1;
-                std::task::Poll::Ready(())
+            let mut state = self.state.lock().unwrap();
+            if state.closed {
+                std::task::Poll::Ready(Err(AcquireError(())))
+            } else if state.permits > 0 {
+                state.permits -= 1;
+                std::task::Poll::Ready(Ok(()))
             } else {
                 std::task::Poll::Pending
             }
         })
-        .await;
+        .await?;
         Ok(OwnedSemaphorePermit {
             sem: std::sync::Arc::clone(&self),
         })
@@ -290,7 +315,7 @@ pub struct OwnedSemaphorePermit {
 
 impl Drop for OwnedSemaphorePermit {
     fn drop(&mut self) {
-        *self.sem.permits.lock().unwrap() += 1;
+        self.sem.state.lock().unwrap().permits += 1;
     }
 }
 

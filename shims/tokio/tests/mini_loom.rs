@@ -1,0 +1,362 @@
+//! Mini-loom: exhaustive interleaving tests for the shim's sync primitives.
+//!
+//! The shim runtime is poll-based with no wakers: every blocking operation
+//! is a lock-protected poll step that gets re-tried, so each step is atomic
+//! and a concurrent execution is fully described by the *order* in which
+//! steps from different tasks land. With sequences this short we can
+//! enumerate every merge order outright (loom-style, minus the memory-model
+//! exploration, which the single mutex per primitive makes moot) and assert
+//! the invariants that a lost wakeup or double-granted permit would break —
+//! in every schedule, not just the ones a stress test happens to hit.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+use tokio::sync::{oneshot, OwnedSemaphorePermit, Semaphore};
+
+/// A waker that does nothing — the shim never uses wakers; futures are
+/// simply re-polled.
+fn noop_waker() -> Waker {
+    const VTABLE: RawWakerVTable = RawWakerVTable::new(|_| RAW, |_| {}, |_| {}, |_| {});
+    const RAW: RawWaker = RawWaker::new(std::ptr::null(), &VTABLE);
+    // SAFETY: every vtable entry is a no-op over a null pointer.
+    unsafe { Waker::from_raw(RAW) }
+}
+
+/// Every merge order of `lens.len()` tasks with `lens[i]` steps each,
+/// preserving per-task step order. `[1, 2]` → `[0,1,1]`, `[1,0,1]`,
+/// `[1,1,0]`.
+fn interleavings(lens: &[usize]) -> Vec<Vec<usize>> {
+    fn rec(remaining: &mut [usize], cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.iter().all(|&r| r == 0) {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            if remaining[i] > 0 {
+                remaining[i] -= 1;
+                cur.push(i);
+                rec(remaining, cur, out);
+                cur.pop();
+                remaining[i] += 1;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(&mut lens.to_vec(), &mut Vec::new(), &mut out);
+    out
+}
+
+#[test]
+fn interleavings_enumerates_all_merges() {
+    assert_eq!(interleavings(&[1, 1]).len(), 2);
+    assert_eq!(interleavings(&[1, 2]).len(), 3);
+    assert_eq!(interleavings(&[2, 2]).len(), 6); // C(4,2)
+    assert_eq!(interleavings(&[1, 1, 1]).len(), 6); // 3!
+}
+
+// ---------------------------------------------------------------------------
+// oneshot
+// ---------------------------------------------------------------------------
+
+/// send vs. recv: in every order, the value is delivered on the first poll
+/// at or after the send — a Pending poll after the send would be the classic
+/// lost wakeup.
+#[test]
+fn oneshot_send_vs_recv_every_order() {
+    for order in interleavings(&[1, 2]) {
+        let (tx, mut rx) = oneshot::channel::<u32>();
+        let mut tx = Some(tx);
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut sent = false;
+        let mut got: Option<u32> = None;
+        for &t in &order {
+            match t {
+                0 => {
+                    assert!(tx.take().unwrap().send(7).is_ok(), "receiver is alive");
+                    sent = true;
+                }
+                _ => {
+                    if got.is_some() {
+                        continue; // future already complete; no more polls
+                    }
+                    match Pin::new(&mut rx).poll(&mut cx) {
+                        Poll::Ready(Ok(v)) => {
+                            assert!(sent, "value appeared before send (order {order:?})");
+                            got = Some(v);
+                        }
+                        Poll::Ready(Err(e)) => {
+                            panic!("recv errored despite a successful send (order {order:?}): {e}")
+                        }
+                        Poll::Pending => assert!(
+                            !(sent && got.is_none()),
+                            "lost wakeup: value sent but poll returned Pending (order {order:?})"
+                        ),
+                    }
+                }
+            }
+        }
+        let send_pos = order.iter().position(|&t| t == 0).unwrap();
+        let polls_after_send = order[send_pos + 1..].iter().filter(|&&t| t == 1).count();
+        if polls_after_send > 0 {
+            assert_eq!(got, Some(7), "order {order:?}");
+        } else {
+            assert_eq!(got, None, "order {order:?}");
+        }
+    }
+}
+
+/// drop vs. recv: a poll strictly after the sender drop must error; polls
+/// before it must stay Pending (never a phantom value).
+#[test]
+fn oneshot_sender_drop_vs_recv_every_order() {
+    for order in interleavings(&[1, 2]) {
+        let (tx, mut rx) = oneshot::channel::<u32>();
+        let mut tx = Some(tx);
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut dropped = false;
+        let mut errored = false;
+        for &t in &order {
+            match t {
+                0 => {
+                    drop(tx.take().unwrap());
+                    dropped = true;
+                }
+                _ => match Pin::new(&mut rx).poll(&mut cx) {
+                    Poll::Ready(Ok(v)) => panic!("phantom value {v} (order {order:?})"),
+                    Poll::Ready(Err(_)) => {
+                        assert!(dropped, "error before the drop (order {order:?})");
+                        errored = true;
+                    }
+                    Poll::Pending => assert!(
+                        !dropped,
+                        "lost wakeup: sender dropped but poll returned Pending (order {order:?})"
+                    ),
+                },
+            }
+        }
+        let drop_pos = order.iter().position(|&t| t == 0).unwrap();
+        if order[drop_pos + 1..].contains(&1) {
+            assert!(errored, "order {order:?}");
+        }
+    }
+}
+
+/// send vs. receiver drop: whichever lands second determines whether send
+/// succeeds; on failure the value must come back (no silent loss).
+#[test]
+fn oneshot_send_vs_receiver_drop_every_order() {
+    for order in interleavings(&[1, 1]) {
+        let (tx, rx) = oneshot::channel::<u32>();
+        let mut tx = Some(tx);
+        let mut rx = Some(rx);
+        let mut rx_dropped = false;
+        for &t in &order {
+            match t {
+                0 => {
+                    let result = tx.take().unwrap().send(9);
+                    if rx_dropped {
+                        assert_eq!(result, Err(9), "send into a dead channel must return the value");
+                    } else {
+                        assert_eq!(result, Ok(()), "receiver alive; send must succeed");
+                    }
+                }
+                _ => {
+                    drop(rx.take().unwrap());
+                    rx_dropped = true;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+type AcquireFut = Pin<Box<dyn Future<Output = Result<OwnedSemaphorePermit, tokio::sync::AcquireError>>>>;
+
+/// Two acquirers racing for one permit, each task: poll, then release if
+/// holding (else poll again). In every order: never two holders at once,
+/// never a conjured permit (`held + available == capacity` after each step),
+/// and the permit is granted to the first poller.
+#[test]
+fn semaphore_two_acquirers_one_permit_every_order() {
+    for order in interleavings(&[2, 2]) {
+        let sem = Arc::new(Semaphore::new(1));
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut futs: [Option<AcquireFut>; 2] = [
+            Some(Box::pin(Arc::clone(&sem).acquire_owned())),
+            Some(Box::pin(Arc::clone(&sem).acquire_owned())),
+        ];
+        let mut held: [Option<OwnedSemaphorePermit>; 2] = [None, None];
+        let mut grants = 0usize;
+        for &t in &order {
+            if held[t].is_some() {
+                // Second step while holding: release.
+                held[t] = None;
+            } else if let Some(fut) = futs[t].as_mut() {
+                match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(Ok(permit)) => {
+                        held[t] = Some(permit);
+                        futs[t] = None;
+                        grants += 1;
+                    }
+                    Poll::Ready(Err(e)) => panic!("never closed, got {e} (order {order:?})"),
+                    Poll::Pending => {}
+                }
+            }
+            // Conservation after every atomic step: a permit is either held
+            // or available, never both, never neither.
+            let holding = held.iter().flatten().count();
+            assert!(holding <= 1, "double permit: both tasks hold (order {order:?})");
+            assert_eq!(
+                holding + sem.available_permits(),
+                1,
+                "permit conjured or lost (order {order:?})"
+            );
+        }
+        assert!(grants >= 1, "first poll must acquire (order {order:?})");
+        drop(held);
+        assert_eq!(sem.available_permits(), 1, "permit not returned (order {order:?})");
+    }
+}
+
+/// close vs. a fresh acquire with a permit available: after close every poll
+/// fails — even with permits free — and a permit granted before the close
+/// still returns cleanly on drop.
+#[test]
+fn semaphore_close_vs_acquire_every_order() {
+    for order in interleavings(&[1, 1]) {
+        let sem = Arc::new(Semaphore::new(1));
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut: AcquireFut = Box::pin(Arc::clone(&sem).acquire_owned());
+        let mut closed = false;
+        let mut permit: Option<OwnedSemaphorePermit> = None;
+        for &t in &order {
+            match t {
+                0 => {
+                    sem.close();
+                    closed = true;
+                }
+                _ => match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(Ok(p)) => {
+                        assert!(!closed, "acquired after close (order {order:?})");
+                        permit = Some(p);
+                    }
+                    Poll::Ready(Err(_)) => {
+                        assert!(closed, "spurious AcquireError (order {order:?})")
+                    }
+                    Poll::Pending => panic!("a permit was free; poll must resolve (order {order:?})"),
+                },
+            }
+        }
+        assert!(sem.is_closed());
+        // A permit granted before the close still returns on drop.
+        drop(permit);
+        assert_eq!(sem.available_permits(), 1);
+        // And any acquire attempted now fails outright.
+        let mut late: AcquireFut = Box::pin(Arc::clone(&sem).acquire_owned());
+        assert!(matches!(late.as_mut().poll(&mut cx), Poll::Ready(Err(_))));
+    }
+}
+
+/// close vs. an acquirer already waiting on an empty semaphore: the pending
+/// poll must flip to an error once closed, not hang Pending forever.
+#[test]
+fn semaphore_close_wakes_pending_acquirer_every_order() {
+    for order in interleavings(&[1, 2]) {
+        let sem = Arc::new(Semaphore::new(0));
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        let mut fut: AcquireFut = Box::pin(Arc::clone(&sem).acquire_owned());
+        let mut closed = false;
+        let mut errored = false;
+        for &t in &order {
+            match t {
+                0 => {
+                    sem.close();
+                    closed = true;
+                }
+                _ => match fut.as_mut().poll(&mut cx) {
+                    Poll::Ready(Ok(_)) => panic!("zero permits; nothing to grant (order {order:?})"),
+                    Poll::Ready(Err(_)) => {
+                        assert!(closed, "error before close (order {order:?})");
+                        errored = true;
+                    }
+                    Poll::Pending => assert!(
+                        !closed,
+                        "lost close: semaphore closed but poll stayed Pending (order {order:?})"
+                    ),
+                },
+            }
+            if errored {
+                break; // the future is complete; no more polls allowed
+            }
+        }
+        let close_pos = order.iter().position(|&t| t == 0).unwrap();
+        if order[close_pos + 1..].contains(&1) {
+            assert!(errored, "order {order:?}");
+        }
+    }
+}
+
+/// Release vs. a waiting acquirer: interleave the holder's drop with the
+/// waiter's polls. Exactly one permit changes hands, in every order.
+#[test]
+fn semaphore_release_handoff_every_order() {
+    for order in interleavings(&[1, 2]) {
+        let sem = Arc::new(Semaphore::new(1));
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        // Holder takes the only permit up front.
+        let mut holder: Option<OwnedSemaphorePermit> = {
+            let mut f: AcquireFut = Box::pin(Arc::clone(&sem).acquire_owned());
+            match f.as_mut().poll(&mut cx) {
+                Poll::Ready(Ok(p)) => Some(p),
+                other => panic!("setup acquire failed: {other:?}"),
+            }
+        };
+        let mut fut: AcquireFut = Box::pin(Arc::clone(&sem).acquire_owned());
+        let mut waiter: Option<OwnedSemaphorePermit> = None;
+        let mut released = false;
+        for &t in &order {
+            match t {
+                0 => {
+                    holder = None;
+                    released = true;
+                }
+                _ => {
+                    if waiter.is_some() {
+                        continue; // already acquired; future complete
+                    }
+                    match fut.as_mut().poll(&mut cx) {
+                        Poll::Ready(Ok(p)) => {
+                            assert!(released, "permit granted while still held (order {order:?})");
+                            waiter = Some(p);
+                        }
+                        Poll::Ready(Err(e)) => panic!("never closed, got {e} (order {order:?})"),
+                        Poll::Pending => assert!(
+                            !released,
+                            "lost wakeup: permit free but poll stayed Pending (order {order:?})"
+                        ),
+                    }
+                }
+            }
+            let holding =
+                usize::from(holder.is_some()) + usize::from(waiter.is_some());
+            assert_eq!(
+                holding + sem.available_permits(),
+                1,
+                "permit conjured or lost (order {order:?})"
+            );
+        }
+        drop(waiter);
+        assert_eq!(sem.available_permits(), 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! Workspace hygiene gate: `cargo test` fails if any crate source violates
+//! the rdns-lint rules (determinism, concurrency hygiene, PII redaction)
+//! without a justified `lint:allow`. The same pass is available standalone
+//! as `cargo run -p rdns-lint -- --deny`, which CI runs as its own job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = rdns_lint::lint_workspace(root);
+    if !findings.is_empty() {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        panic!(
+            "rdns-lint: {} finding(s); fix them or add `// lint:allow(rule) -- reason`",
+            findings.len()
+        );
+    }
+}
