@@ -10,10 +10,10 @@ use rdns_core::suffix::{identify_leaking_suffixes, LeakParams};
 use rdns_core::timing::build_groups;
 use rdns_model::{Date, Hostname, SimDuration, SimTime, Slash24};
 use rdns_scan::{RdnsOutcome, ScanLog};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::net::Ipv4Addr;
 
-fn synthetic_matrix(blocks: usize, days: usize, seed: u64) -> HashMap<Slash24, Vec<u32>> {
+fn synthetic_matrix(blocks: usize, days: usize, seed: u64) -> BTreeMap<Slash24, Vec<u32>> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     (0..blocks)
         .map(|i| {

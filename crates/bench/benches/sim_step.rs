@@ -1,0 +1,152 @@
+//! Simulator throughput: preserved monolith engine vs. sharded world.
+//!
+//! Both lanes run `run_days` over the *same* multi-network world config —
+//! the Table 4 focus networks plus a generated background population, well
+//! past the 64-subnet floor. The monolith lane is the pre-sharding engine
+//! kept as a differential oracle: one global event queue, coarse-locked
+//! zone store, identity/schedule clones on every event, O(n) lease scans.
+//! The sharded lane is the production engine: per-network event loops over
+//! the lock-striped store with `Arc`-interned identities and the ordered
+//! lease-expiry index. The two must finish with identical PTR and online
+//! counts; the wall-clock ratio is the headline number.
+//!
+//! Run modes follow the criterion shim's convention: with `--bench` in the
+//! args (as `cargo bench` passes) the full world is measured and the result
+//! written to `BENCH_sim.json` at the repository root; otherwise
+//! (`cargo test` executing the bench target) a tiny smoke world runs once
+//! and nothing is written.
+
+use rdns_bench::{SimBenchReport, SimLane};
+use rdns_core::experiments::population::{generate_population, PopulationConfig};
+use rdns_model::Date;
+use rdns_netsim::spec::presets;
+use rdns_netsim::{MonolithWorld, NetworkSpec, World, WorldConfig};
+use std::time::Instant;
+
+const SEED: u64 = 0xB51A17;
+
+/// The measured universe: nine full-scale Table 4 focus networks plus a
+/// generated background population — enough zones and leases that the
+/// monolith's O(zones) store scans and O(leases) expiry sweeps dominate.
+fn measure_networks() -> Vec<NetworkSpec> {
+    let mut networks = generate_population(&PopulationConfig::new(SEED, 400));
+    networks.extend(presets::table4_networks(1.0));
+    networks
+}
+
+/// Smoke universe: two small networks, one day.
+fn smoke_networks() -> Vec<NetworkSpec> {
+    vec![presets::academic_a(0.03), presets::enterprise_a(0.1)]
+}
+
+fn config(networks: Vec<NetworkSpec>, start: Date) -> WorldConfig {
+    WorldConfig {
+        seed: SEED,
+        shards: 0,
+        start,
+        networks,
+    }
+}
+
+struct LaneResult {
+    lane: SimLane,
+    ptr_records: u64,
+    online: usize,
+}
+
+fn run_monolith(networks: Vec<NetworkSpec>, start: Date, days: i64) -> LaneResult {
+    let mut world = MonolithWorld::new(config(networks, start));
+    let t = Instant::now();
+    world.run_days(start.plus_days(days - 1), |_, _| {});
+    let elapsed = t.elapsed();
+    LaneResult {
+        lane: SimLane {
+            engine: "monolith".into(),
+            shards: 1,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            days_per_sec: days as f64 / elapsed.as_secs_f64(),
+        },
+        ptr_records: world.ptr_count() as u64,
+        online: world.online_count(),
+    }
+}
+
+fn run_sharded(networks: Vec<NetworkSpec>, start: Date, days: i64) -> LaneResult {
+    let shards = networks.len() as u64;
+    let mut world = World::new(config(networks, start));
+    let t = Instant::now();
+    world.run_days(start.plus_days(days - 1), |_, _| {});
+    let elapsed = t.elapsed();
+    LaneResult {
+        lane: SimLane {
+            engine: "sharded".into(),
+            shards,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            days_per_sec: days as f64 / elapsed.as_secs_f64(),
+        },
+        ptr_records: world.ptr_count() as u64,
+        online: world.online_count(),
+    }
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    let start = Date::from_ymd(2021, 11, 1);
+    let (networks, days) = if measure {
+        (measure_networks(), 3i64)
+    } else {
+        (smoke_networks(), 1)
+    };
+    let n_networks = networks.len() as u64;
+    let n_subnets: u64 = networks.iter().map(|n| n.subnets.len() as u64).sum();
+
+    let mono = run_monolith(networks.clone(), start, days);
+    let sharded = run_sharded(networks.clone(), start, days);
+
+    // The monolith is an oracle, not just a baseline: both engines must
+    // land on the same published state or the comparison is meaningless.
+    assert_eq!(
+        mono.ptr_records, sharded.ptr_records,
+        "engines diverged on PTR count"
+    );
+    assert_eq!(mono.online, sharded.online, "engines diverged on online count");
+    assert!(sharded.ptr_records > 0, "world too quiet to benchmark");
+
+    let devices: u64 = {
+        let world = World::new(config(networks, start));
+        world.device_count() as u64
+    };
+    let speedup = sharded.lane.days_per_sec / mono.lane.days_per_sec;
+
+    println!(
+        "bench sim_step/monolith: {days} days in {:.1} ms ({:.2} days/s)",
+        mono.lane.elapsed_ms, mono.lane.days_per_sec
+    );
+    println!(
+        "bench sim_step/sharded: {days} days in {:.1} ms ({:.2} days/s, {n_networks} shards)",
+        sharded.lane.elapsed_ms, sharded.lane.days_per_sec
+    );
+    println!("bench sim_step/speedup: {speedup:.1}x ({n_subnets} subnets, {devices} devices)");
+
+    if !measure {
+        println!("bench sim_step: ok (smoke mode)");
+        return;
+    }
+
+    let report = SimBenchReport {
+        schema_version: 1,
+        bench: "sim_step".into(),
+        networks: n_networks,
+        subnets: n_subnets,
+        devices,
+        days: days as u64,
+        ptr_records: sharded.ptr_records,
+        monolith: mono.lane,
+        sharded: sharded.lane,
+        speedup,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, report.to_json().expect("serialize report") + "\n")
+        .expect("write BENCH_sim.json");
+    println!("wrote {path}");
+}

@@ -19,6 +19,7 @@ fn bench_world(c: &mut Criterion) {
         b.iter(|| {
             World::new(WorldConfig {
                 seed: 7,
+                shards: 0,
                 start,
                 networks: vec![presets::academic_a(0.2)],
             })
@@ -30,6 +31,7 @@ fn bench_world(c: &mut Criterion) {
             || {
                 World::new(WorldConfig {
                     seed: 7,
+                    shards: 0,
                     start,
                     networks: vec![presets::academic_a(0.2)],
                 })
@@ -47,6 +49,7 @@ fn bench_world(c: &mut Criterion) {
             || {
                 World::new(WorldConfig {
                     seed: 7,
+                    shards: 0,
                     start,
                     networks: presets::table4_networks(0.2),
                 })

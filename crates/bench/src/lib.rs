@@ -70,6 +70,61 @@ impl WireBenchReport {
     }
 }
 
+/// One lane (monolith or sharded) of the simulator benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimLane {
+    /// Engine identifier: `"monolith"` or `"sharded"`.
+    pub engine: String,
+    /// Shards stepped concurrently (1 for the serial monolith lane).
+    pub shards: u64,
+    /// Wall-clock duration of the lane.
+    pub elapsed_ms: f64,
+    /// Simulated days per wall-clock second.
+    pub days_per_sec: f64,
+}
+
+/// Machine-readable result of `cargo bench -p rdns-bench --bench sim_step`,
+/// written to `BENCH_sim.json` at the repository root. The schema is pinned
+/// by [`SimBenchReport::from_json`] — a field rename or removal fails the
+/// `sim_bench_report` tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimBenchReport {
+    /// Report schema version; bump on breaking changes.
+    pub schema_version: u32,
+    /// Benchmark identifier.
+    pub bench: String,
+    /// Networks in the simulated world (= shards in the sharded lane).
+    pub networks: u64,
+    /// Total subnets across all networks.
+    pub subnets: u64,
+    /// Total devices across all networks.
+    pub devices: u64,
+    /// Simulated days per lane.
+    pub days: u64,
+    /// PTR records published at the end of the window (both lanes must
+    /// agree; recorded once).
+    pub ptr_records: u64,
+    /// The serial baseline: `MonolithWorld` — one global event queue,
+    /// coarse-locked zone store, clone-heavy dispatch.
+    pub monolith: SimLane,
+    /// The sharded engine: per-network event loops over the striped store.
+    pub sharded: SimLane,
+    /// `sharded.days_per_sec / monolith.days_per_sec`.
+    pub speedup: f64,
+}
+
+impl SimBenchReport {
+    /// Serialize for `BENCH_sim.json`.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Parse `BENCH_sim.json`; errors double as schema violations.
+    pub fn from_json(text: &str) -> serde_json::Result<SimBenchReport> {
+        serde_json::from_str(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +185,68 @@ mod tests {
             report.speedup
         );
         let recomputed = report.pipelined.queries_per_sec / report.serial.queries_per_sec;
+        assert!(
+            (recomputed - report.speedup).abs() / report.speedup < 0.05,
+            "speedup field inconsistent with lane rates: {} vs {}",
+            recomputed,
+            report.speedup
+        );
+    }
+
+    #[test]
+    fn sim_bench_report_roundtrips() {
+        let report = SimBenchReport {
+            schema_version: 1,
+            bench: "sim_step".into(),
+            networks: 20,
+            subnets: 96,
+            devices: 4000,
+            days: 3,
+            ptr_records: 1500,
+            monolith: SimLane {
+                engine: "monolith".into(),
+                shards: 1,
+                elapsed_ms: 8000.0,
+                days_per_sec: 0.375,
+            },
+            sharded: SimLane {
+                engine: "sharded".into(),
+                shards: 20,
+                elapsed_ms: 1500.0,
+                days_per_sec: 2.0,
+            },
+            speedup: 5.33,
+        };
+        let back = SimBenchReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    /// The committed `BENCH_sim.json` at the repository root must parse
+    /// against the current schema, cover a world big enough to mean
+    /// something (≥ 64 subnets), and record the sharded engine's win over
+    /// the preserved monolith baseline.
+    #[test]
+    fn committed_sim_bench_report_satisfies_schema() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("BENCH_sim.json missing at repo root ({e}); regenerate with `cargo bench -p rdns-bench --bench sim_step`"));
+        let report = SimBenchReport::from_json(&text).expect("schema violation");
+        assert_eq!(report.schema_version, 1);
+        assert_eq!(report.bench, "sim_step");
+        assert!(report.subnets >= 64, "world too small: {} subnets", report.subnets);
+        assert!(report.days >= 1);
+        assert!(report.ptr_records > 0);
+        assert_eq!(report.monolith.engine, "monolith");
+        assert_eq!(report.monolith.shards, 1);
+        assert_eq!(report.sharded.engine, "sharded");
+        assert_eq!(report.sharded.shards, report.networks);
+        assert!(report.monolith.days_per_sec > 0.0);
+        assert!(
+            report.speedup >= 4.0,
+            "sharded engine must be ≥4x the monolith, got {:.1}x",
+            report.speedup
+        );
+        let recomputed = report.sharded.days_per_sec / report.monolith.days_per_sec;
         assert!(
             (recomputed - report.speedup).abs() / report.speedup < 0.05,
             "speedup field inconsistent with lane rates: {} vs {}",

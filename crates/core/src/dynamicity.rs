@@ -14,7 +14,7 @@
 use rayon::prelude::*;
 use rdns_model::{Ipv4Net, Slash24};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Heuristic thresholds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -60,9 +60,9 @@ impl DynamicityResult {
 /// ```
 /// use rdns_core::dynamicity::{identify_dynamic, DynamicityParams};
 /// use rdns_model::Slash24;
-/// use std::collections::HashMap;
+/// use std::collections::BTreeMap;
 ///
-/// let mut matrix = HashMap::new();
+/// let mut matrix = BTreeMap::new();
 /// // Weekday/weekend churn: detected as dynamic.
 /// let churny: Vec<u32> = (0..30).map(|d| if d % 7 < 5 { 60 } else { 20 }).collect();
 /// matrix.insert(Slash24::from_octets(10, 0, 1), churny);
@@ -74,7 +74,7 @@ impl DynamicityResult {
 /// assert!(!result.is_dynamic(Slash24::from_octets(10, 0, 2)));
 /// ```
 pub fn identify_dynamic(
-    matrix: &HashMap<Slash24, Vec<u32>>,
+    matrix: &BTreeMap<Slash24, Vec<u32>>,
     params: &DynamicityParams,
 ) -> DynamicityResult {
     let mut result = DynamicityResult {
@@ -133,10 +133,9 @@ fn block_verdict(counts: &[u32], params: &DynamicityParams) -> Verdict {
 /// collects set members, so the result equals the sequential path at any
 /// thread count (`RAYON_NUM_THREADS=1` included).
 pub fn identify_dynamic_par(
-    matrix: &HashMap<Slash24, Vec<u32>>,
+    matrix: &BTreeMap<Slash24, Vec<u32>>,
     params: &DynamicityParams,
 ) -> DynamicityResult {
-    // lint:allow(hash-iter-ordered) -- fan-out order is irrelevant: the reduction below only increments counters and inserts into sets, so the result is order-insensitive at any thread count
     let entries: Vec<(&Slash24, &Vec<u32>)> = matrix.iter().collect();
     let verdicts: Vec<(Slash24, Verdict)> = entries
         .into_par_iter()
@@ -314,7 +313,7 @@ mod tests {
         Slash24::from_octets(10, 0, i)
     }
 
-    fn matrix(entries: &[(u8, Vec<u32>)]) -> HashMap<Slash24, Vec<u32>> {
+    fn matrix(entries: &[(u8, Vec<u32>)]) -> BTreeMap<Slash24, Vec<u32>> {
         entries
             .iter()
             .map(|(i, counts)| (block(*i), counts.clone()))
@@ -453,7 +452,7 @@ mod tests {
         #[test]
         fn prop_dynamic_is_subset_of_considered(counts in proptest::collection::vec(
             proptest::collection::vec(0u32..100, 10..40), 1..10)) {
-            let m: HashMap<Slash24, Vec<u32>> = counts
+            let m: BTreeMap<Slash24, Vec<u32>> = counts
                 .into_iter()
                 .enumerate()
                 .map(|(i, c)| (block(i as u8), c))

@@ -65,6 +65,7 @@ fn measure(scale: &Scale, mutate: impl Fn(&mut rdns_netsim::NetworkSpec)) -> (us
     mutate(&mut spec);
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: from,
         networks: vec![spec],
     });

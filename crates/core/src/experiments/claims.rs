@@ -136,6 +136,7 @@ pub fn check_claims(scale: &Scale) -> ClaimsReport {
         let from = Date::from_ymd(2021, 11, 15);
         let mut world = World::new(WorldConfig {
             seed: scale.seed,
+            shards: 0,
             start: from,
             networks: vec![presets::academic_a(scale.focus_scale)],
         });

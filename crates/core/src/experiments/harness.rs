@@ -179,6 +179,7 @@ mod tests {
     fn small_world(start: Date) -> World {
         World::new(WorldConfig {
             seed: 3,
+            shards: 0,
             start,
             networks: vec![presets::academic_a(0.05)],
         })
@@ -259,6 +260,7 @@ mod tests {
         let run = |seed| {
             let mut world = World::new(WorldConfig {
                 seed,
+                shards: 0,
                 start: from,
                 networks: vec![presets::academic_a(0.05)],
             });

@@ -124,6 +124,7 @@ pub fn validation(scale: &Scale) -> Validation {
 
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: from,
         networks: vec![spec],
     });

@@ -56,6 +56,7 @@ impl SupplementalStudy {
         let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
         let mut world = World::new(WorldConfig {
             seed: scale.seed,
+            shards: 0,
             start: from,
             networks: specs.clone(),
         });

@@ -46,6 +46,7 @@ pub fn fig8(scale: &Scale) -> Fig8 {
     let to = from.plus_days((weeks * 7 - 1) as i64);
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: from,
         networks: vec![presets::academic_a(scale.focus_scale)],
     });
@@ -137,6 +138,7 @@ pub fn fig9(scale: &Scale, from: Date, to: Date) -> Fig9 {
         .collect();
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: from,
         networks: specs,
     });
@@ -225,6 +227,7 @@ pub fn fig10(scale: &Scale, weekly_from: Date, daily_from: Date, to: Date) -> Fi
         .collect();
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: weekly_from,
         networks: vec![spec],
     });
@@ -282,6 +285,7 @@ pub fn fig11(scale: &Scale) -> Fig11 {
     let days = 7u32;
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: from,
         networks: vec![presets::academic_a(scale.focus_scale)],
     });

@@ -19,6 +19,7 @@ fn campus_series() -> rdns_data::SnapshotSeries {
     let to = from.plus_days(13);
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: from,
         networks: vec![presets::academic_a(scale.focus_scale)],
     });
@@ -68,6 +69,7 @@ fn group_building_par_equals_sequential() {
     let from = Date::from_ymd(2021, 11, 1);
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: from,
         networks: vec![presets::academic_a(scale.focus_scale)],
     });
@@ -102,6 +104,7 @@ fn results_identical_at_any_thread_count() {
     let from = Date::from_ymd(2021, 11, 1);
     let mut world = World::new(WorldConfig {
         seed: scale.seed,
+        shards: 0,
         start: from,
         networks: vec![presets::academic_a(scale.focus_scale)],
     });

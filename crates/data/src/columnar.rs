@@ -229,11 +229,11 @@ impl ColumnarSeries {
     /// heuristic's input, equal to [`SnapshotSeries::counts_matrix`] on the
     /// source series. Day columns are scanned in parallel; the merge walks
     /// per-day runs in day order, so the result is thread-count independent.
-    pub fn counts_matrix(&self) -> HashMap<Slash24, Vec<u32>> {
+    pub fn counts_matrix(&self) -> BTreeMap<Slash24, Vec<u32>> {
         let days = self.days.len();
         let per_day: Vec<Vec<(u32, u32)>> =
             self.days.par_iter().map(|d| d.slash24_runs()).collect();
-        let mut out: HashMap<Slash24, Vec<u32>> = HashMap::new();
+        let mut out: BTreeMap<Slash24, Vec<u32>> = BTreeMap::new();
         for (i, runs) in per_day.into_iter().enumerate() {
             for (prefix, count) in runs {
                 let block = Slash24::containing(Ipv4Addr::from(prefix << 8));

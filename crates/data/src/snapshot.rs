@@ -1,9 +1,9 @@
 //! rDNS snapshots and snapshot series.
 
-use rdns_dns::ZoneStore;
+use rdns_dns::{DnsStore, ZoneStore};
 use rdns_model::{Date, Hostname, Slash24};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::net::Ipv4Addr;
 
 /// Measurement cadence of a series.
@@ -55,9 +55,9 @@ impl DailySnapshot {
         self.records.is_empty()
     }
 
-    /// Unique addresses-with-PTR per /24 block.
-    pub fn counts_by_slash24(&self) -> HashMap<Slash24, u32> {
-        let mut out: HashMap<Slash24, u32> = HashMap::new();
+    /// Unique addresses-with-PTR per /24 block, in block order.
+    pub fn counts_by_slash24(&self) -> BTreeMap<Slash24, u32> {
+        let mut out: BTreeMap<Slash24, u32> = BTreeMap::new();
         for addr in self.records.keys() {
             *out.entry(Slash24::containing(*addr)).or_insert(0) += 1;
         }
@@ -76,22 +76,28 @@ impl From<rdns_scan::WireSnapshot> for DailySnapshot {
     }
 }
 
-/// Takes snapshots of a zone store.
+/// Takes snapshots of a DNS store.
+///
+/// Works over any [`DnsStore`]; the default is the lock-striped
+/// [`ZoneStore`], where [`Snapshotter::take`] sweeps zone by zone — only
+/// one stripe is locked at any moment, so concurrent writers (sim shards,
+/// DHCP-driven IPAM updates) are never blocked for the duration of a full
+/// address-space sweep.
 #[derive(Debug, Clone)]
-pub struct Snapshotter {
-    store: ZoneStore,
+pub struct Snapshotter<S: DnsStore = ZoneStore> {
+    store: S,
 }
 
-impl Snapshotter {
+impl<S: DnsStore> Snapshotter<S> {
     /// Observe `store`.
-    pub fn new(store: ZoneStore) -> Snapshotter {
+    pub fn new(store: S) -> Snapshotter<S> {
         Snapshotter { store }
     }
 
     /// Take a full snapshot dated `date`.
     pub fn take(&self, date: Date) -> DailySnapshot {
         let mut records = BTreeMap::new();
-        self.store.for_each_ptr(|addr, name| {
+        self.store.visit_ptrs(&mut |addr, name| {
             records.insert(addr, name.to_hostname());
         });
         DailySnapshot { date, records }
@@ -170,10 +176,11 @@ impl SnapshotSeries {
 
     /// Per-/24 daily count matrix: for each block seen anywhere, a vector of
     /// counts aligned with `self.snapshots` — the input of the §4.1
-    /// dynamicity heuristic.
-    pub fn counts_matrix(&self) -> HashMap<Slash24, Vec<u32>> {
+    /// dynamicity heuristic. Keyed in block order, so iteration is
+    /// deterministic without sorting.
+    pub fn counts_matrix(&self) -> BTreeMap<Slash24, Vec<u32>> {
         let days = self.snapshots.len();
-        let mut out: HashMap<Slash24, Vec<u32>> = HashMap::new();
+        let mut out: BTreeMap<Slash24, Vec<u32>> = BTreeMap::new();
         for (i, snap) in self.snapshots.iter().enumerate() {
             for (block, count) in snap.counts_by_slash24() {
                 out.entry(block).or_insert_with(|| vec![0; days])[i] = count;

@@ -63,6 +63,14 @@ impl fmt::Display for LeaseError {
 impl std::error::Error for LeaseError {}
 
 /// The server-side lease table over a fixed address pool.
+///
+/// Beyond the primary tables, two incrementally-maintained indexes keep the
+/// simulator's hot path cheap: `expiry` orders active bindings by expiry
+/// time (O(log n) [`LeaseDb::next_expiry`] / range-scan
+/// [`LeaseDb::expire_before`] instead of full-table sweeps), and
+/// `free_unreserved` materialises "free and not some client's sticky
+/// address" so [`LeaseDb::peek_offer`] no longer rebuilds a reservation set
+/// per call.
 #[derive(Debug, Clone)]
 pub struct LeaseDb {
     active: HashMap<MacAddr, Lease>,
@@ -71,6 +79,12 @@ pub struct LeaseDb {
     /// Last address each client held, for sticky reallocation.
     last_binding: HashMap<MacAddr, Ipv4Addr>,
     pool_size: usize,
+    /// Active bindings ordered by expiry time.
+    expiry: BTreeSet<(SimTime, MacAddr)>,
+    /// How many clients' `last_binding` points at each address.
+    reserved: HashMap<Ipv4Addr, u32>,
+    /// Free addresses that are nobody's sticky binding.
+    free_unreserved: BTreeSet<Ipv4Addr>,
 }
 
 impl LeaseDb {
@@ -81,10 +95,63 @@ impl LeaseDb {
         LeaseDb {
             active: HashMap::new(),
             by_addr: HashMap::new(),
+            free_unreserved: free.clone(),
             free,
             last_binding: HashMap::new(),
             pool_size,
+            expiry: BTreeSet::new(),
+            reserved: HashMap::new(),
         }
+    }
+
+    /// Record `addr` as `mac`'s sticky binding, keeping the reservation
+    /// refcounts and the `free_unreserved` index in sync.
+    fn reserve(&mut self, mac: MacAddr, addr: Ipv4Addr) {
+        if let Some(old) = self.last_binding.insert(mac, addr) {
+            if old == addr {
+                return;
+            }
+            self.release_reservation(old);
+        }
+        let count = self.reserved.entry(addr).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.free_unreserved.remove(&addr);
+        }
+    }
+
+    /// Drop one reservation on `addr`.
+    fn release_reservation(&mut self, addr: Ipv4Addr) {
+        if let Some(count) = self.reserved.get_mut(&addr) {
+            *count -= 1;
+            if *count == 0 {
+                self.reserved.remove(&addr);
+                if self.free.contains(&addr) {
+                    self.free_unreserved.insert(addr);
+                }
+            }
+        }
+    }
+
+    /// Forget `mac`'s sticky binding entirely.
+    fn unreserve_mac(&mut self, mac: MacAddr) {
+        if let Some(addr) = self.last_binding.remove(&mac) {
+            self.release_reservation(addr);
+        }
+    }
+
+    /// Return `addr` to the free pool.
+    fn put_free(&mut self, addr: Ipv4Addr) {
+        self.free.insert(addr);
+        if !self.reserved.contains_key(&addr) {
+            self.free_unreserved.insert(addr);
+        }
+    }
+
+    /// Take `addr` out of the free pool.
+    fn take_free(&mut self, addr: Ipv4Addr) {
+        self.free.remove(&addr);
+        self.free_unreserved.remove(&addr);
     }
 
     /// Number of currently active leases.
@@ -115,11 +182,9 @@ impl LeaseDb {
         }
         // Prefer addresses that are not some other client's sticky binding,
         // like real servers that hand out least-recently-used addresses.
-        let reserved: std::collections::HashSet<Ipv4Addr> =
-            self.last_binding.values().copied().collect();
-        self.free
+        self.free_unreserved
             .iter()
-            .find(|a| !reserved.contains(a))
+            .next()
             .or_else(|| self.free.iter().next())
             .copied()
     }
@@ -134,17 +199,21 @@ impl LeaseDb {
     ) -> Result<&Lease, LeaseError> {
         if let Some(existing) = self.active.get(&mac) {
             let addr = existing.addr;
+            self.expiry.remove(&(existing.expires, mac));
             let lease = self.active.get_mut(&mac).expect("binding just checked");
             lease.expires = now + lease_time;
             lease.host_name = host_name;
             debug_assert_eq!(lease.addr, addr);
+            self.expiry.insert((lease.expires, mac));
             return Ok(self.active.get(&mac).expect("binding just updated"));
         }
         let addr = self.peek_offer(mac).ok_or(LeaseError::PoolExhausted)?;
         debug_assert!(self.free.contains(&addr));
-        self.free.remove(&addr);
+        self.take_free(addr);
         self.by_addr.insert(addr, mac);
-        self.last_binding.insert(mac, addr);
+        self.reserve(mac, addr);
+        let expires = now + lease_time;
+        self.expiry.insert((expires, mac));
         self.active.insert(
             mac,
             Lease {
@@ -152,7 +221,7 @@ impl LeaseDb {
                 mac,
                 host_name,
                 start: now,
-                expires: now + lease_time,
+                expires,
                 state: LeaseState::Active,
             },
         );
@@ -168,7 +237,9 @@ impl LeaseDb {
     ) -> Result<&Lease, LeaseError> {
         match self.active.get_mut(&mac) {
             Some(lease) => {
+                self.expiry.remove(&(lease.expires, mac));
                 lease.expires = now + lease_time;
+                self.expiry.insert((lease.expires, mac));
                 Ok(&*lease)
             }
             None => Err(LeaseError::NoBinding(mac)),
@@ -182,8 +253,9 @@ impl LeaseDb {
             .remove(&mac)
             .ok_or(LeaseError::NoBinding(mac))?;
         lease.state = LeaseState::Released;
+        self.expiry.remove(&(lease.expires, mac));
         self.by_addr.remove(&lease.addr);
-        self.free.insert(lease.addr);
+        self.put_free(lease.addr);
         Ok(lease)
     }
 
@@ -193,13 +265,16 @@ impl LeaseDb {
     /// part of this pool.
     pub fn quarantine(&mut self, addr: Ipv4Addr) -> bool {
         let was_bound = if let Some(mac) = self.by_addr.remove(&addr) {
-            self.active.remove(&mac);
-            self.last_binding.remove(&mac);
+            if let Some(lease) = self.active.remove(&mac) {
+                self.expiry.remove(&(lease.expires, mac));
+            }
+            self.unreserve_mac(mac);
             true
         } else {
             false
         };
         let was_free = self.free.remove(&addr);
+        self.free_unreserved.remove(&addr);
         if was_bound || was_free {
             self.pool_size = self.pool_size.saturating_sub(1);
             true
@@ -209,29 +284,40 @@ impl LeaseDb {
     }
 
     /// Expire all bindings whose lease time has passed at `now`. Returns the
-    /// expired leases (state set to [`LeaseState::Expired`]).
+    /// expired leases (state set to [`LeaseState::Expired`]). Walks only the
+    /// due prefix of the expiry index, not the whole table.
     pub fn expire_before(&mut self, now: SimTime) -> Vec<Lease> {
-        let due: Vec<MacAddr> = self
-            .active
-            .values()
-            .filter(|l| l.expires <= now)
-            .map(|l| l.mac)
-            .collect();
-        let mut out = Vec::with_capacity(due.len());
-        for mac in due {
-            let mut lease = self.active.remove(&mac).expect("listed as due");
+        let mut out = Vec::new();
+        loop {
+            let (t, mac) = match self.expiry.iter().next() {
+                Some(&(t, mac)) if t <= now => (t, mac),
+                _ => break,
+            };
+            self.expiry.remove(&(t, mac));
+            let mut lease = self.active.remove(&mac).expect("indexed as active");
             lease.state = LeaseState::Expired;
             self.by_addr.remove(&lease.addr);
-            self.free.insert(lease.addr);
+            self.put_free(lease.addr);
             out.push(lease);
         }
         out.sort_by_key(|l| l.addr);
         out
     }
 
-    /// The earliest pending expiry among active leases.
+    /// Active bindings due at or before `at`, ordered by `(expiry, mac)`:
+    /// the deterministic worklist the simulator's renewal sweep walks.
+    pub fn due_before(&self, at: SimTime) -> Vec<(MacAddr, Ipv4Addr)> {
+        self.expiry
+            .iter()
+            .take_while(|(t, _)| *t <= at)
+            .map(|(_, mac)| (*mac, self.active[mac].addr))
+            .collect()
+    }
+
+    /// The earliest pending expiry among active leases. O(log n) via the
+    /// expiry index rather than a full-table scan.
     pub fn next_expiry(&self) -> Option<SimTime> {
-        self.active.values().map(|l| l.expires).min()
+        self.expiry.iter().next().map(|&(t, _)| t)
     }
 
     /// Active lease for an address.
@@ -409,6 +495,72 @@ mod tests {
         assert_eq!(again.addr, first);
         assert_eq!(again.host_name.as_deref(), Some("new-name"));
         assert_eq!(db.active_count(), 1);
+    }
+
+    #[test]
+    fn due_before_is_ordered_and_non_destructive() {
+        let mut db = LeaseDb::new((1..=10u8).map(|i| Ipv4Addr::new(10, 0, 0, i)));
+        for i in 0..4u64 {
+            db.allocate(
+                MacAddr::from_seed(i),
+                None,
+                t0() + SimDuration::mins(i),
+                SimDuration::hours(1),
+            )
+            .unwrap();
+        }
+        let due = db.due_before(t0() + SimDuration::hours(1) + SimDuration::mins(2));
+        assert_eq!(due.len(), 3);
+        let expiries: Vec<SimTime> = due
+            .iter()
+            .map(|(mac, _)| db.lease_of(*mac).unwrap().expires)
+            .collect();
+        let mut sorted = expiries.clone();
+        sorted.sort();
+        assert_eq!(expiries, sorted, "due list ordered by expiry");
+        assert_eq!(db.active_count(), 4, "due_before must not mutate");
+        // Renewing a due lease removes it from the due list.
+        let (first_mac, _) = due[0];
+        db.renew(first_mac, t0() + SimDuration::hours(1), SimDuration::hours(1))
+            .unwrap();
+        let due_after = db.due_before(t0() + SimDuration::hours(1) + SimDuration::mins(2));
+        assert_eq!(due_after.len(), 2);
+        assert!(due_after.iter().all(|(mac, _)| *mac != first_mac));
+    }
+
+    #[test]
+    fn sticky_reservations_steer_fresh_offers_elsewhere() {
+        // A released client's address stays reserved: fresh clients get the
+        // lowest *unreserved* free address, exactly as before the index.
+        let mut db = LeaseDb::new((1..=4u8).map(|i| Ipv4Addr::new(10, 0, 0, i)));
+        let veteran = MacAddr::from_seed(1);
+        let got = db
+            .allocate(veteran, None, t0(), SimDuration::hours(1))
+            .unwrap()
+            .addr;
+        assert_eq!(got, Ipv4Addr::new(10, 0, 0, 1));
+        db.release(veteran).unwrap();
+        // .1 is free but reserved for the veteran — a newcomer is steered away.
+        let newcomer = db
+            .allocate(MacAddr::from_seed(2), None, t0(), SimDuration::hours(1))
+            .unwrap()
+            .addr;
+        assert_eq!(newcomer, Ipv4Addr::new(10, 0, 0, 2));
+        // Once every free address is reserved, offers fall back to the pool.
+        db.release(MacAddr::from_seed(2)).unwrap();
+        for i in 3..=4u64 {
+            let a = db
+                .allocate(MacAddr::from_seed(i), None, t0(), SimDuration::hours(1))
+                .unwrap()
+                .addr;
+            db.release(MacAddr::from_seed(i)).unwrap();
+            assert_eq!(a, Ipv4Addr::new(10, 0, 0, i as u8));
+        }
+        let latecomer = db
+            .allocate(MacAddr::from_seed(9), None, t0(), SimDuration::hours(1))
+            .unwrap()
+            .addr;
+        assert_eq!(latecomer, Ipv4Addr::new(10, 0, 0, 1), "fallback to smallest free");
     }
 
     #[test]

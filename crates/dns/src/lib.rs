@@ -39,4 +39,4 @@ pub use name::{DnsName, NameError};
 pub use pipeline::{PipelinedConfig, PipelinedResolver, PipelinedStats, PipelinedStatsSnapshot};
 pub use server::{answer_from_store, FaultConfig, ServerStats, TcpServer, UdpServer, DEFAULT_SERVER_WORKERS};
 pub use wire::{WireError, WireReader, WireWriter};
-pub use zone::{LookupResult, Zone, ZoneSet, ZoneStore};
+pub use zone::{CoarseZoneStore, DnsStore, LookupResult, Zone, ZoneSet, ZoneStore};

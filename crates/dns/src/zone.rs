@@ -3,10 +3,18 @@
 //! The DHCP→DNS coupling studied by the paper manifests as runtime changes to
 //! reverse zones: PTR records appear when leases are allocated and disappear
 //! when leases are released or expire. [`Zone`] models one authoritative zone
-//! (typically `c.b.a.in-addr.arpa.` for a /24, or a broader reverse tree),
-//! [`ZoneSet`] routes queries to the closest enclosing zone, and
-//! [`ZoneStore`] wraps a `ZoneSet` for concurrent use by the simulator
-//! (writer) and the UDP server (reader).
+//! (typically `c.b.a.in-addr.arpa.` for a /24, or a broader reverse tree) and
+//! [`ZoneSet`] routes queries to the closest enclosing zone.
+//!
+//! Two concurrent stores share the [`DnsStore`] interface:
+//!
+//! * [`ZoneStore`] — the lock-striped store: a read-mostly directory maps
+//!   zone apexes to per-zone `RwLock`s, so writers touching different zones
+//!   (simulator shards, DHCP-driven IPAM updates) never contend, and readers
+//!   (the UDP server, snapshotters) only pin one zone at a time.
+//! * [`CoarseZoneStore`] — the original single-`RwLock<ZoneSet>` store, kept
+//!   as the serial baseline for benchmarks and as a differential oracle for
+//!   the sharded simulator.
 
 use crate::message::{RecordData, RecordType, ResourceRecord};
 use crate::name::DnsName;
@@ -241,20 +249,317 @@ impl ZoneSet {
     }
 }
 
-/// Shared, concurrently-updatable zone data.
+/// The zone-mutation interface shared by [`ZoneStore`] and
+/// [`CoarseZoneStore`].
 ///
-/// The simulator holds one of these and mutates PTR records as leases change;
-/// the UDP server answers queries from the same store. Cloning is cheap
-/// (reference-counted).
+/// The IPAM layer, the simulator, and the snapshotter are generic over this
+/// trait so the sharded engine (striped store) and the serial baseline
+/// (coarse store) run the exact same update code paths.
+pub trait DnsStore: Clone + Send + Sync + 'static {
+    /// Ensure a reverse zone exists for the /24 containing `addr`.
+    fn ensure_reverse_zone(&self, addr: Ipv4Addr);
+    /// Ensure a zone with the given apex exists.
+    fn ensure_zone(&self, apex: DnsName);
+    /// Install or replace the A record for `name`.
+    fn set_a(&self, name: &DnsName, addr: Ipv4Addr, ttl: u32) -> bool;
+    /// Remove the A record for `name`. Returns whether one existed.
+    fn remove_a(&self, name: &DnsName) -> bool;
+    /// Install or replace the PTR record for `addr`.
+    fn set_ptr(&self, addr: Ipv4Addr, target: DnsName, ttl: u32) -> bool;
+    /// Remove the PTR record for `addr`. Returns whether one existed.
+    fn remove_ptr(&self, addr: Ipv4Addr) -> bool;
+    /// Direct (in-process) PTR lookup.
+    fn get_ptr(&self, addr: Ipv4Addr) -> Option<DnsName>;
+    /// Total PTR record count across all zones.
+    fn ptr_count(&self) -> usize;
+    /// Run `f` over every PTR record as `(addr, target)`, in deterministic
+    /// apex-then-owner order.
+    fn visit_ptrs(&self, f: &mut dyn FnMut(Ipv4Addr, &DnsName));
+}
+
+/// Shared, concurrently-updatable zone data with per-zone lock striping.
+///
+/// The simulator's shards mutate PTR records as leases change; the UDP
+/// server answers queries from the same store. A read-mostly directory maps
+/// each apex to its own `Arc<RwLock<Zone>>` stripe (built once per zone at
+/// `ensure_zone` time), so updates to distinct zones proceed without
+/// contention and no operation ever holds a lock across more than one zone.
+/// Cloning is cheap (reference-counted).
 #[derive(Debug, Clone, Default)]
 pub struct ZoneStore {
-    inner: Arc<RwLock<ZoneSet>>,
+    directory: Arc<RwLock<BTreeMap<DnsName, Arc<RwLock<Zone>>>>>,
 }
 
 impl ZoneStore {
     /// An empty store.
     pub fn new() -> ZoneStore {
         ZoneStore::default()
+    }
+
+    /// The stripe holding the longest-match zone for `name`, if any.
+    ///
+    /// Walks the name's suffixes longest-first; because every enclosing apex
+    /// is a suffix of `name`, the first directory hit is exactly the
+    /// longest-match zone [`ZoneSet::find_zone`] would pick. Only the
+    /// directory read lock is held, and only for the walk.
+    fn stripe_for(&self, name: &DnsName) -> Option<Arc<RwLock<Zone>>> {
+        let dir = self.directory.read();
+        if dir.is_empty() {
+            return None;
+        }
+        let mut candidate = name.clone();
+        loop {
+            if let Some(zone) = dir.get(&candidate) {
+                return Some(Arc::clone(zone));
+            }
+            if candidate.label_count() == 0 {
+                return None;
+            }
+            candidate = candidate.parent();
+        }
+    }
+
+    /// Snapshot of the directory: each apex with its stripe, in apex order.
+    fn stripes(&self) -> Vec<(DnsName, Arc<RwLock<Zone>>)> {
+        self.directory
+            .read()
+            .iter()
+            .map(|(apex, zone)| (apex.clone(), Arc::clone(zone)))
+            .collect()
+    }
+
+    /// Add a zone, replacing any existing zone at the same apex.
+    pub fn add_zone(&self, zone: Zone) {
+        let apex = zone.apex().clone();
+        self.directory
+            .write()
+            .insert(apex, Arc::new(RwLock::new(zone)));
+    }
+
+    /// Ensure a reverse zone exists for the /24 containing `addr`.
+    pub fn ensure_reverse_zone(&self, addr: Ipv4Addr) {
+        let apex = DnsName::reverse_v4_zone24(addr.into());
+        self.ensure_zone(apex);
+    }
+
+    /// Ensure a zone with the given apex exists (used for forward zones
+    /// when the IPAM layer also maintains A records — §10 future work).
+    pub fn ensure_zone(&self, apex: DnsName) {
+        if self.directory.read().contains_key(&apex) {
+            return;
+        }
+        let mut dir = self.directory.write();
+        if !dir.contains_key(&apex) {
+            dir.insert(apex.clone(), Arc::new(RwLock::new(Zone::new(apex))));
+        }
+    }
+
+    /// All zone apexes, in order (for zone-at-a-time iteration).
+    pub fn zone_apexes(&self) -> Vec<DnsName> {
+        self.directory.read().keys().cloned().collect()
+    }
+
+    /// Install or replace the A record for `name`.
+    pub fn set_a(&self, name: &DnsName, addr: Ipv4Addr, ttl: u32) -> bool {
+        match self.stripe_for(name) {
+            Some(stripe) => {
+                stripe.write().upsert(ResourceRecord::new(
+                    name.clone(),
+                    ttl,
+                    RecordData::A(addr),
+                ));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove the A record for `name`. Returns whether one existed.
+    pub fn remove_a(&self, name: &DnsName) -> bool {
+        match self.stripe_for(name) {
+            Some(stripe) => stripe.write().remove(name, RecordType::A) > 0,
+            None => false,
+        }
+    }
+
+    /// Direct A lookup (in-process fast path).
+    pub fn get_a(&self, name: &DnsName) -> Option<Ipv4Addr> {
+        match self.lookup(name, RecordType::A) {
+            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
+                RecordData::A(a) => Some(a),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Install or replace the PTR record for `addr`.
+    pub fn set_ptr(&self, addr: Ipv4Addr, target: DnsName, ttl: u32) -> bool {
+        let name = DnsName::reverse_v4(addr);
+        match self.stripe_for(&name) {
+            Some(stripe) => {
+                stripe.write().upsert(ResourceRecord::ptr(addr, target, ttl));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove the PTR record for `addr`. Returns whether one existed.
+    pub fn remove_ptr(&self, addr: Ipv4Addr) -> bool {
+        let name = DnsName::reverse_v4(addr);
+        match self.stripe_for(&name) {
+            Some(stripe) => stripe.write().remove(&name, RecordType::PTR) > 0,
+            None => false,
+        }
+    }
+
+    /// Direct (in-process) PTR lookup: the fast path used by snapshotters.
+    pub fn get_ptr(&self, addr: Ipv4Addr) -> Option<DnsName> {
+        let name = DnsName::reverse_v4(addr);
+        match self.lookup(&name, RecordType::PTR) {
+            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
+                RecordData::Ptr(t) => Some(t),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Install or replace the PTR record for an IPv6 address (the zone for
+    /// its `ip6.arpa` tree must exist; see [`ZoneStore::ensure_zone`]).
+    /// Targeted IPv6 measurement is the §8 escalation path.
+    pub fn set_ptr6(&self, addr: std::net::Ipv6Addr, target: DnsName, ttl: u32) -> bool {
+        let name = DnsName::reverse_v6(addr);
+        match self.stripe_for(&name) {
+            Some(stripe) => {
+                stripe
+                    .write()
+                    .upsert(ResourceRecord::new(name, ttl, RecordData::Ptr(target)));
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Direct PTR lookup for an IPv6 address.
+    pub fn get_ptr6(&self, addr: std::net::Ipv6Addr) -> Option<DnsName> {
+        let name = DnsName::reverse_v6(addr);
+        match self.lookup(&name, RecordType::PTR) {
+            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
+                RecordData::Ptr(t) => Some(t),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Remove the PTR record for an IPv6 address.
+    pub fn remove_ptr6(&self, addr: std::net::Ipv6Addr) -> bool {
+        let name = DnsName::reverse_v6(addr);
+        match self.stripe_for(&name) {
+            Some(stripe) => stripe.write().remove(&name, RecordType::PTR) > 0,
+            None => false,
+        }
+    }
+
+    /// Full lookup with authoritative semantics (for the wire server).
+    /// Pins exactly one zone stripe, never the whole store.
+    pub fn lookup(&self, qname: &DnsName, qtype: RecordType) -> LookupResult {
+        match self.stripe_for(qname) {
+            Some(stripe) => stripe.read().lookup(qname, qtype),
+            None => LookupResult::NotAuthoritative,
+        }
+    }
+
+    /// Total PTR record count across all zones (snapshot statistics).
+    /// Zones are counted one stripe at a time.
+    pub fn ptr_count(&self) -> usize {
+        self.stripes()
+            .into_iter()
+            .map(|(_, stripe)| {
+                stripe
+                    .read()
+                    .iter_records()
+                    .filter(|rr| rr.data.rtype() == RecordType::PTR)
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Run `f` over every PTR record as `(addr, target)`, zone by zone: the
+    /// directory is snapshotted once, then each zone's stripe is read-locked
+    /// individually, so concurrent writers to other zones are never blocked
+    /// for the duration of the sweep.
+    pub fn for_each_ptr<F: FnMut(Ipv4Addr, &DnsName)>(&self, mut f: F) {
+        for apex in self.zone_apexes() {
+            self.for_each_ptr_in(&apex, &mut f);
+        }
+    }
+
+    /// Run `f` over every PTR record in the zone at `apex` (exact match),
+    /// holding only that zone's read lock.
+    pub fn for_each_ptr_in<F: FnMut(Ipv4Addr, &DnsName)>(&self, apex: &DnsName, f: &mut F) {
+        let stripe = match self.directory.read().get(apex) {
+            Some(stripe) => Arc::clone(stripe),
+            None => return,
+        };
+        let zone = stripe.read();
+        for rr in zone.iter_records() {
+            if let RecordData::Ptr(target) = &rr.data {
+                if let Ok(addr) = rr.name.parse_reverse_v4() {
+                    f(addr, target);
+                }
+            }
+        }
+    }
+}
+
+impl DnsStore for ZoneStore {
+    fn ensure_reverse_zone(&self, addr: Ipv4Addr) {
+        ZoneStore::ensure_reverse_zone(self, addr);
+    }
+    fn ensure_zone(&self, apex: DnsName) {
+        ZoneStore::ensure_zone(self, apex);
+    }
+    fn set_a(&self, name: &DnsName, addr: Ipv4Addr, ttl: u32) -> bool {
+        ZoneStore::set_a(self, name, addr, ttl)
+    }
+    fn remove_a(&self, name: &DnsName) -> bool {
+        ZoneStore::remove_a(self, name)
+    }
+    fn set_ptr(&self, addr: Ipv4Addr, target: DnsName, ttl: u32) -> bool {
+        ZoneStore::set_ptr(self, addr, target, ttl)
+    }
+    fn remove_ptr(&self, addr: Ipv4Addr) -> bool {
+        ZoneStore::remove_ptr(self, addr)
+    }
+    fn get_ptr(&self, addr: Ipv4Addr) -> Option<DnsName> {
+        ZoneStore::get_ptr(self, addr)
+    }
+    fn ptr_count(&self) -> usize {
+        ZoneStore::ptr_count(self)
+    }
+    fn visit_ptrs(&self, f: &mut dyn FnMut(Ipv4Addr, &DnsName)) {
+        self.for_each_ptr(|addr, name| f(addr, name));
+    }
+}
+
+/// The original coarse-grained store: one `RwLock` around a whole
+/// [`ZoneSet`]. Every mutation takes the global write lock and re-runs
+/// longest-match routing over all zones.
+///
+/// Kept as the serial baseline for `BENCH_sim.json` and as the differential
+/// oracle behind `MonolithWorld` — not used on the hot path.
+#[derive(Debug, Clone, Default)]
+pub struct CoarseZoneStore {
+    inner: Arc<RwLock<ZoneSet>>,
+}
+
+impl CoarseZoneStore {
+    /// An empty store.
+    pub fn new() -> CoarseZoneStore {
+        CoarseZoneStore::default()
     }
 
     /// Add a zone.
@@ -268,8 +573,7 @@ impl ZoneStore {
         self.ensure_zone(apex);
     }
 
-    /// Ensure a zone with the given apex exists (used for forward zones
-    /// when the IPAM layer also maintains A records — §10 future work).
+    /// Ensure a zone with the given apex exists.
     pub fn ensure_zone(&self, apex: DnsName) {
         let mut set = self.inner.write();
         if set.find_zone(&apex).map(|z| z.apex() == &apex) != Some(true) {
@@ -302,18 +606,6 @@ impl ZoneStore {
         }
     }
 
-    /// Direct A lookup (in-process fast path).
-    pub fn get_a(&self, name: &DnsName) -> Option<Ipv4Addr> {
-        let set = self.inner.read();
-        match set.lookup(name, RecordType::A) {
-            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
-                RecordData::A(a) => Some(a),
-                _ => None,
-            }),
-            _ => None,
-        }
-    }
-
     /// Install or replace the PTR record for `addr`.
     pub fn set_ptr(&self, addr: Ipv4Addr, target: DnsName, ttl: u32) -> bool {
         let name = DnsName::reverse_v4(addr);
@@ -337,7 +629,7 @@ impl ZoneStore {
         }
     }
 
-    /// Direct (in-process) PTR lookup: the fast path used by snapshotters.
+    /// Direct (in-process) PTR lookup.
     pub fn get_ptr(&self, addr: Ipv4Addr) -> Option<DnsName> {
         let name = DnsName::reverse_v4(addr);
         let set = self.inner.read();
@@ -350,50 +642,12 @@ impl ZoneStore {
         }
     }
 
-    /// Install or replace the PTR record for an IPv6 address (the zone for
-    /// its `ip6.arpa` tree must exist; see [`ZoneStore::ensure_zone`]).
-    /// Targeted IPv6 measurement is the §8 escalation path.
-    pub fn set_ptr6(&self, addr: std::net::Ipv6Addr, target: DnsName, ttl: u32) -> bool {
-        let name = DnsName::reverse_v6(addr);
-        let mut set = self.inner.write();
-        match set.find_zone_mut(&name) {
-            Some(zone) => {
-                zone.upsert(ResourceRecord::new(name, ttl, RecordData::Ptr(target)));
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Direct PTR lookup for an IPv6 address.
-    pub fn get_ptr6(&self, addr: std::net::Ipv6Addr) -> Option<DnsName> {
-        let name = DnsName::reverse_v6(addr);
-        let set = self.inner.read();
-        match set.lookup(&name, RecordType::PTR) {
-            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
-                RecordData::Ptr(t) => Some(t),
-                _ => None,
-            }),
-            _ => None,
-        }
-    }
-
-    /// Remove the PTR record for an IPv6 address.
-    pub fn remove_ptr6(&self, addr: std::net::Ipv6Addr) -> bool {
-        let name = DnsName::reverse_v6(addr);
-        let mut set = self.inner.write();
-        match set.find_zone_mut(&name) {
-            Some(zone) => zone.remove(&name, RecordType::PTR) > 0,
-            None => false,
-        }
-    }
-
-    /// Full lookup with authoritative semantics (for the wire server).
+    /// Full lookup with authoritative semantics.
     pub fn lookup(&self, qname: &DnsName, qtype: RecordType) -> LookupResult {
         self.inner.read().lookup(qname, qtype)
     }
 
-    /// Total PTR record count across all zones (snapshot statistics).
+    /// Total PTR record count across all zones.
     pub fn ptr_count(&self) -> usize {
         self.inner
             .read()
@@ -403,7 +657,9 @@ impl ZoneStore {
             .count()
     }
 
-    /// Run `f` over every PTR record as `(addr, target)`.
+    /// Run `f` over every PTR record as `(addr, target)`. Holds the global
+    /// read lock for the whole sweep — the behaviour the striped store was
+    /// introduced to avoid.
     pub fn for_each_ptr<F: FnMut(Ipv4Addr, &DnsName)>(&self, mut f: F) {
         let set = self.inner.read();
         for zone in set.iter() {
@@ -415,6 +671,36 @@ impl ZoneStore {
                 }
             }
         }
+    }
+}
+
+impl DnsStore for CoarseZoneStore {
+    fn ensure_reverse_zone(&self, addr: Ipv4Addr) {
+        CoarseZoneStore::ensure_reverse_zone(self, addr);
+    }
+    fn ensure_zone(&self, apex: DnsName) {
+        CoarseZoneStore::ensure_zone(self, apex);
+    }
+    fn set_a(&self, name: &DnsName, addr: Ipv4Addr, ttl: u32) -> bool {
+        CoarseZoneStore::set_a(self, name, addr, ttl)
+    }
+    fn remove_a(&self, name: &DnsName) -> bool {
+        CoarseZoneStore::remove_a(self, name)
+    }
+    fn set_ptr(&self, addr: Ipv4Addr, target: DnsName, ttl: u32) -> bool {
+        CoarseZoneStore::set_ptr(self, addr, target, ttl)
+    }
+    fn remove_ptr(&self, addr: Ipv4Addr) -> bool {
+        CoarseZoneStore::remove_ptr(self, addr)
+    }
+    fn get_ptr(&self, addr: Ipv4Addr) -> Option<DnsName> {
+        CoarseZoneStore::get_ptr(self, addr)
+    }
+    fn ptr_count(&self) -> usize {
+        CoarseZoneStore::ptr_count(self)
+    }
+    fn visit_ptrs(&self, f: &mut dyn FnMut(Ipv4Addr, &DnsName)) {
+        self.for_each_ptr(|addr, name| f(addr, name));
     }
 }
 
@@ -632,5 +918,60 @@ mod tests {
         store.set_ptr(a, "x.example.org".parse().unwrap(), 300);
         store.ensure_reverse_zone(a); // must not wipe records
         assert!(store.get_ptr(a).is_some());
+    }
+
+    #[test]
+    fn striped_longest_match_routing() {
+        // Nested zones: the striped suffix walk must pick the deepest apex,
+        // exactly like ZoneSet::find_zone.
+        let store = ZoneStore::new();
+        store.ensure_zone("in-addr.arpa".parse().unwrap());
+        store.ensure_zone("2.0.192.in-addr.arpa".parse().unwrap());
+        let inner = addr("192.0.2.9");
+        let outer = addr("10.0.0.9");
+        assert!(store.set_ptr(inner, "deep.example.org".parse().unwrap(), 300));
+        assert!(store.set_ptr(outer, "shallow.example.org".parse().unwrap(), 300));
+        assert_eq!(store.get_ptr(inner).unwrap().to_string(), "deep.example.org.");
+        assert_eq!(store.get_ptr(outer).unwrap().to_string(), "shallow.example.org.");
+        // The deep record must live in the /24 zone, not the broad one.
+        let mut in_deep = Vec::new();
+        store.for_each_ptr_in(&"2.0.192.in-addr.arpa".parse().unwrap(), &mut |a, _| {
+            in_deep.push(a)
+        });
+        assert_eq!(in_deep, vec![inner]);
+        assert_eq!(
+            store.zone_apexes(),
+            vec![
+                "2.0.192.in-addr.arpa".parse::<DnsName>().unwrap(),
+                "in-addr.arpa".parse().unwrap(),
+            ]
+        );
+    }
+
+    #[test]
+    fn striped_and_coarse_stores_agree() {
+        // Drive both DnsStore impls through the same operation sequence and
+        // compare observable state — the differential contract MonolithWorld
+        // relies on.
+        fn drive<S: DnsStore>(store: &S) -> Vec<(Ipv4Addr, String)> {
+            for i in 1..=6u8 {
+                let a = Ipv4Addr::new(192, 0, 2, i);
+                store.ensure_reverse_zone(a);
+                store.set_ptr(a, format!("h{i}.example.org").parse().unwrap(), 300);
+            }
+            store.remove_ptr(addr("192.0.2.4"));
+            store.set_ptr(addr("192.0.2.2"), "renamed.example.org".parse().unwrap(), 300);
+            let fwd: DnsName = "renamed.campus.example.edu".parse().unwrap();
+            store.ensure_zone(fwd.parent());
+            store.set_a(&fwd, addr("192.0.2.2"), 300);
+            let mut seen = Vec::new();
+            store.visit_ptrs(&mut |a, n| seen.push((a, n.to_string())));
+            assert_eq!(store.ptr_count(), seen.len());
+            seen
+        }
+        let striped = drive(&ZoneStore::new());
+        let coarse = drive(&CoarseZoneStore::new());
+        assert_eq!(striped, coarse);
+        assert_eq!(striped.len(), 5);
     }
 }

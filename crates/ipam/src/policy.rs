@@ -2,7 +2,7 @@
 
 use crate::naming::{hashed_label, sanitize_label};
 use rdns_dhcp::{LeaseEvent, MacAddr};
-use rdns_dns::{DnsName, ZoneStore};
+use rdns_dns::{DnsName, DnsStore, ZoneStore};
 use rdns_model::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -124,19 +124,24 @@ struct Pending {
 }
 
 /// The IPAM policy engine bound to a zone store.
+///
+/// Generic over the [`DnsStore`] backend: production code writes to the
+/// lock-striped [`ZoneStore`] (the default), while the serial simulation
+/// baseline drives the same policy logic against a
+/// [`rdns_dns::CoarseZoneStore`].
 #[derive(Debug, Clone)]
-pub struct Ipam {
+pub struct Ipam<S: DnsStore = ZoneStore> {
     config: IpamConfig,
-    store: ZoneStore,
+    store: S,
     queue: VecDeque<Pending>,
     stats: IpamStats,
     audit: Vec<AuditEntry>,
     audit_enabled: bool,
 }
 
-impl Ipam {
+impl<S: DnsStore> Ipam<S> {
     /// Create an engine writing to `store`.
-    pub fn new(config: IpamConfig, store: ZoneStore) -> Ipam {
+    pub fn new(config: IpamConfig, store: S) -> Ipam<S> {
         Ipam {
             config,
             store,

@@ -26,6 +26,7 @@
 //!     seed: 1,
 //!     start,
 //!     networks: vec![presets::academic_a(0.05)],
+//!     shards: 0, // auto: one concurrent shard per network
 //! });
 //! // By noon, students are on campus and their PTR records are public.
 //! world.step_until(SimTime::from_date_hms(start, 12, 0, 0));
@@ -37,8 +38,10 @@
 pub mod calendar;
 pub mod covid;
 pub mod device;
+pub mod monolith;
 pub mod names;
 pub mod schedule;
+mod shard;
 pub mod spec;
 pub mod world;
 
@@ -48,4 +51,5 @@ pub use device::{Device, DeviceKind, Person, PersonKind};
 pub use names::{GivenNamePool, TOP50_GIVEN_NAMES};
 pub use schedule::{DailyPlan, WeeklySchedule};
 pub use spec::{BuildingTag, IcmpPolicy, NetworkSpec, NetworkType, SeedDevice, SeedPerson, SubnetRole, SubnetSpec};
+pub use monolith::MonolithWorld;
 pub use world::{World, WorldConfig};

@@ -1,0 +1,458 @@
+//! The pre-sharding engine, preserved as baseline and oracle.
+//!
+//! [`MonolithWorld`] drives the exact same populations and RNG streams as
+//! the sharded [`crate::World`] — construction is shared via
+//! `Shard::build` — but executes them the way the old engine did:
+//!
+//! * one global event queue ordered by `(time, global seq)`,
+//! * a coarse single-lock DNS store ([`CoarseZoneStore`]),
+//! * per-event `ClientIdentity` / schedule / device-list clones,
+//! * lease-expiry discovery by full active-table scans.
+//!
+//! Two jobs: it is the serial baseline lane of the `sim_step` benchmark
+//! (`BENCH_sim.json` compares it against the sharded engine), and it is a
+//! differential oracle — `tests/shard_invariance.rs` asserts the sharded
+//! world and the monolith publish identical PTR sets and online counts,
+//! which pins the refactor to the old semantics.
+//!
+//! Cross-shard event ordering in the global queue differs from per-shard
+//! ordering, but shards never interact, so only the *relative* order within
+//! one network matters — and that is preserved: events of one network enter
+//! the global queue in the same relative order they would enter the shard's
+//! own queue, and ties break on the monotone global sequence number.
+
+use crate::shard::{Event, Shard};
+use crate::spec::SubnetRole;
+use crate::world::WorldConfig;
+use crate::device::SessionStyle;
+use rand::Rng;
+use rdns_dhcp::{acquire, ClientIdentity};
+use rdns_dns::CoarseZoneStore;
+use rdns_model::{Date, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::net::Ipv4Addr;
+
+type GlobalQueue = BinaryHeap<Reverse<(SimTime, u64, usize, Event)>>;
+
+/// The old single-queue, coarse-locked engine.
+pub struct MonolithWorld {
+    store: CoarseZoneStore,
+    shards: Vec<Shard<CoarseZoneStore>>,
+    queue: GlobalQueue,
+    seq: u64,
+    clock: SimTime,
+}
+
+fn gpush(queue: &mut GlobalQueue, seq: &mut u64, at: SimTime, net: usize, event: Event) {
+    queue.push(Reverse((at, *seq, net, event)));
+    *seq += 1;
+}
+
+impl MonolithWorld {
+    /// Build the same world as [`crate::World::new`] (identical RNG streams,
+    /// populations and ids) but run it through one global event queue.
+    /// `config.shards` is ignored — this engine is always serial.
+    pub fn new(config: WorldConfig) -> MonolithWorld {
+        let store = CoarseZoneStore::new();
+        let mut shards: Vec<Shard<CoarseZoneStore>> = config
+            .networks
+            .iter()
+            .enumerate()
+            .map(|(net_idx, spec)| {
+                Shard::build(spec, net_idx, config.seed, config.start, &store)
+            })
+            .collect();
+        let mut queue = GlobalQueue::new();
+        let mut seq = 0u64;
+        // Absorb each shard's initial events (the first PlanDay) into the
+        // global queue, re-sequenced globally.
+        for (net_idx, shard) in shards.iter_mut().enumerate() {
+            let mut initial: Vec<(SimTime, u64, Event)> =
+                std::mem::take(&mut shard.queue).into_iter().map(|r| r.0).collect();
+            initial.sort();
+            for (at, _, event) in initial {
+                gpush(&mut queue, &mut seq, at, net_idx, event);
+            }
+        }
+        MonolithWorld {
+            store,
+            shards,
+            queue,
+            seq,
+            clock: SimTime::from_date(config.start),
+        }
+    }
+
+    /// The coarse DNS store.
+    pub fn store(&self) -> &CoarseZoneStore {
+        &self.store
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of devices in the world.
+    pub fn device_count(&self) -> usize {
+        self.shards.iter().map(|s| s.devices.len()).sum()
+    }
+
+    /// Number of devices currently online.
+    pub fn online_count(&self) -> usize {
+        self.shards.iter().map(|s| s.online.len()).sum()
+    }
+
+    /// Total PTR records currently published.
+    pub fn ptr_count(&self) -> usize {
+        self.store.ptr_count()
+    }
+
+    /// Process every event up to and including `target`, then set the clock
+    /// to `target`.
+    pub fn step_until(&mut self, target: SimTime) {
+        while let Some(Reverse((at, _, _, _))) = self.queue.peek() {
+            if *at > target {
+                break;
+            }
+            let Reverse((at, _, net, event)) = self.queue.pop().expect("peeked non-empty");
+            self.clock = at;
+            self.dispatch(net, at, event);
+        }
+        self.clock = target;
+    }
+
+    /// Step day by day, invoking `each_midnight` right after midnight of
+    /// every day in `[start, end]` *before* that day's events.
+    pub fn run_days<F: FnMut(&mut MonolithWorld, Date)>(
+        &mut self,
+        end: Date,
+        mut each_midnight: F,
+    ) {
+        let mut day = self.clock.date();
+        while day <= end {
+            self.step_until(SimTime::from_date(day));
+            each_midnight(self, day);
+            let next = day.succ();
+            self.step_until(SimTime::from_date(next) - SimDuration::secs(1));
+            day = next;
+        }
+    }
+
+    fn dispatch(&mut self, net: usize, at: SimTime, event: Event) {
+        match event {
+            Event::PlanDay => self.plan_day(net, at),
+            Event::Join(d) => {
+                let sub = self.shards[net].devices[d].sub_idx;
+                self.device_join(net, d, sub, at)
+            }
+            Event::JoinAt(d, sub) => self.device_join(net, d, sub, at),
+            Event::Leave(d) => self.device_leave(net, d, at),
+            Event::Sweep(s) => self.sweep(net, s, at),
+            Event::Renew(d) => self.device_renew(net, d, at),
+        }
+    }
+
+    fn plan_day(&mut self, net: usize, at: SimTime) {
+        let date = at.date();
+        let MonolithWorld { shards, queue, seq, .. } = self;
+        let sh = &mut shards[net];
+        // Schedule tomorrow's planning first so the queue is never empty.
+        gpush(queue, seq, SimTime::from_date(date.succ()), net, Event::PlanDay);
+
+        for p_idx in 0..sh.persons.len() {
+            // Old-engine hot-path costs: clone the device list and the
+            // schedule for every person, every day.
+            let dev_idxs = sh.person_devices[p_idx].clone();
+            if dev_idxs.is_empty() {
+                continue;
+            }
+            let sub_idx = sh.devices[dev_idxs[0]].sub_idx;
+            let building = sh.spec.subnets[sub_idx].building;
+            let factor = sh.spec.calendar.presence_factor(date)
+                * sh.spec.occupancy_for(building).factor(date);
+            let schedule = sh.persons[p_idx].schedule.clone();
+            let plan = schedule.plan(date, factor, &mut sh.rng);
+
+            for d_idx in dev_idxs {
+                if !sh.devices[d_idx].device.exists_on(date) {
+                    continue;
+                }
+                let style = sh.devices[d_idx].device.kind.session_style();
+                if style == SessionStyle::AlwaysOn {
+                    if !sh.devices[d_idx].always_on_started {
+                        sh.devices[d_idx].always_on_started = true;
+                        gpush(queue, seq, at, net, Event::Join(d_idx));
+                    }
+                    continue;
+                }
+                if let Some(plan) = &plan {
+                    let session = {
+                        let dev = &sh.devices[d_idx].device;
+                        dev.session_within(plan, &mut sh.rng)
+                    };
+                    if let Some(session) = session {
+                        let roam = sh.devices[d_idx].roam_subnets.clone();
+                        if roam.is_empty() {
+                            gpush(queue, seq, session.join, net, Event::Join(d_idx));
+                            gpush(queue, seq, session.leave, net, Event::Leave(d_idx));
+                        } else {
+                            let total = session.leave.since_sat(session.join);
+                            let first_sub = roam[sh.rng.gen_range(0..roam.len())];
+                            if total > SimDuration::mins(90) && sh.rng.gen_bool(0.6) {
+                                let half = SimDuration::secs(total.as_secs() / 2);
+                                let gap = SimDuration::mins(sh.rng.gen_range(10..=25));
+                                let second_sub = roam[sh.rng.gen_range(0..roam.len())];
+                                gpush(queue, seq, session.join, net, Event::JoinAt(d_idx, first_sub));
+                                gpush(queue, seq, session.join + half, net, Event::Leave(d_idx));
+                                gpush(
+                                    queue,
+                                    seq,
+                                    session.join + half + gap,
+                                    net,
+                                    Event::JoinAt(d_idx, second_sub),
+                                );
+                                gpush(queue, seq, session.leave + gap, net, Event::Leave(d_idx));
+                            } else {
+                                gpush(queue, seq, session.join, net, Event::JoinAt(d_idx, first_sub));
+                                gpush(queue, seq, session.leave, net, Event::Leave(d_idx));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn device_join(&mut self, net: usize, d_idx: usize, sub_idx: usize, at: SimTime) {
+        let MonolithWorld { shards, queue, seq, .. } = self;
+        let sh = &mut shards[net];
+        if sh.devices[d_idx].online_at.is_some() {
+            return;
+        }
+        // Old-engine cost: one full identity clone per join.
+        let identity: ClientIdentity = (*sh.devices[d_idx].identity).clone();
+        let xid = sh.xid_counter;
+        sh.xid_counter = sh.xid_counter.wrapping_add(1);
+        let lease_time = sh.spec.lease_time;
+        let sub = &mut sh.subnets[sub_idx];
+        let Some(dhcp) = sub.dhcp.as_mut() else {
+            return;
+        };
+        if let Ok((addr, events)) = acquire(dhcp, &identity, xid, at) {
+            if let Some(ipam) = sub.ipam.as_mut() {
+                for e in &events {
+                    ipam.apply(e);
+                }
+                ipam.flush(at);
+            }
+            // Old-engine cost: next expiry by scanning every active lease.
+            let next_expiry = dhcp.leases().iter_active().map(|l| l.expires).min();
+            sh.devices[d_idx].online_at = Some(addr);
+            sh.devices[d_idx].online_sub = Some(sub_idx);
+            sh.online.insert(addr, d_idx);
+            let sub = &mut sh.subnets[sub_idx];
+            if let Some(t) = next_expiry {
+                match sub.next_sweep {
+                    Some(existing) if existing <= t => {}
+                    _ => {
+                        sub.next_sweep = Some(t);
+                        gpush(queue, seq, t, net, Event::Sweep(sub_idx));
+                    }
+                }
+            }
+            gpush(
+                queue,
+                seq,
+                at + SimDuration::secs(lease_time.as_secs() / 2),
+                net,
+                Event::Renew(d_idx),
+            );
+        }
+    }
+
+    fn device_leave(&mut self, net: usize, d_idx: usize, at: SimTime) {
+        let sh = &mut self.shards[net];
+        let Some(addr) = sh.devices[d_idx].online_at.take() else {
+            return;
+        };
+        sh.online.remove(&addr);
+        let sub_idx = sh.devices[d_idx]
+            .online_sub
+            .take()
+            .unwrap_or(sh.devices[d_idx].sub_idx);
+        let clean = {
+            let p = sh.devices[d_idx].device.clean_release_prob;
+            sh.rng.gen::<f64>() < p
+        };
+        if !clean {
+            return;
+        }
+        let identity: ClientIdentity = (*sh.devices[d_idx].identity).clone();
+        let xid = sh.xid_counter;
+        sh.xid_counter = sh.xid_counter.wrapping_add(1);
+        let sub = &mut sh.subnets[sub_idx];
+        let (Some(dhcp), Some(ipam)) = (sub.dhcp.as_mut(), sub.ipam.as_mut()) else {
+            return;
+        };
+        let server_id = sub
+            .spec
+            .prefix
+            .addrs()
+            .nth(1)
+            .expect("pools are at least /30");
+        let release = identity.release(xid, addr, server_id);
+        let (_, events) = dhcp.handle(&release, at);
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(at);
+    }
+
+    fn device_renew(&mut self, net: usize, d_idx: usize, at: SimTime) {
+        let MonolithWorld { shards, queue, seq, .. } = self;
+        let sh = &mut shards[net];
+        let Some(addr) = sh.devices[d_idx].online_at else {
+            return;
+        };
+        let sub_idx = sh.devices[d_idx]
+            .online_sub
+            .unwrap_or(sh.devices[d_idx].sub_idx);
+        let identity: ClientIdentity = (*sh.devices[d_idx].identity).clone();
+        let xid = sh.xid_counter;
+        sh.xid_counter = sh.xid_counter.wrapping_add(1);
+        let lease_time = sh.spec.lease_time;
+        let sub = &mut sh.subnets[sub_idx];
+        if let Some(dhcp) = sub.dhcp.as_mut() {
+            let renew = identity.renew(xid, addr);
+            let (_, events) = dhcp.handle(&renew, at);
+            if let Some(ipam) = sub.ipam.as_mut() {
+                for e in &events {
+                    ipam.apply(e);
+                }
+                ipam.flush(at);
+            }
+        }
+        gpush(
+            queue,
+            seq,
+            at + SimDuration::secs(lease_time.as_secs() / 2),
+            net,
+            Event::Renew(d_idx),
+        );
+    }
+
+    fn sweep(&mut self, net: usize, sub_idx: usize, at: SimTime) {
+        let MonolithWorld { shards, queue, seq, .. } = self;
+        let sh = &mut shards[net];
+        sh.subnets[sub_idx].next_sweep = None;
+        // Old-engine cost: find due leases by scanning the whole table.
+        let due: Vec<(rdns_dhcp::MacAddr, Ipv4Addr)> = {
+            let Some(dhcp) = sh.subnets[sub_idx].dhcp.as_ref() else {
+                return;
+            };
+            dhcp.leases()
+                .iter_active()
+                .filter(|l| l.expires <= at)
+                .map(|l| (l.mac, l.addr))
+                .collect()
+        };
+        for (_mac, addr) in &due {
+            if let Some(&d_idx) = sh.online.get(addr) {
+                let identity: ClientIdentity = (*sh.devices[d_idx].identity).clone();
+                let xid = sh.xid_counter;
+                sh.xid_counter = sh.xid_counter.wrapping_add(1);
+                let sub = &mut sh.subnets[sub_idx];
+                if let Some(dhcp) = sub.dhcp.as_mut() {
+                    let renew = identity.renew(xid, *addr);
+                    let (_, events) = dhcp.handle(&renew, at);
+                    if let Some(ipam) = sub.ipam.as_mut() {
+                        for e in &events {
+                            ipam.apply(e);
+                        }
+                        ipam.flush(at);
+                    }
+                }
+            }
+        }
+        // Expire the rest.
+        let next_expiry = {
+            let sub = &mut sh.subnets[sub_idx];
+            let Some(dhcp) = sub.dhcp.as_mut() else {
+                return;
+            };
+            let events = dhcp.tick(at);
+            if let Some(ipam) = sub.ipam.as_mut() {
+                for e in &events {
+                    ipam.apply(e);
+                }
+                ipam.flush(at);
+            }
+            // Old-engine cost: full scan for the next expiry.
+            dhcp.leases().iter_active().map(|l| l.expires).min()
+        };
+        if let Some(t) = next_expiry {
+            let sub = &mut sh.subnets[sub_idx];
+            match sub.next_sweep {
+                Some(existing) if existing <= t => {}
+                _ => {
+                    sub.next_sweep = Some(t);
+                    gpush(queue, seq, t, net, Event::Sweep(sub_idx));
+                }
+            }
+        }
+    }
+
+    /// Dynamic-pool prefixes, mirroring [`crate::World::scan_targets`].
+    pub fn scan_targets(&self, network: &str) -> Vec<rdns_model::Ipv4Net> {
+        self.shards
+            .iter()
+            .filter(|s| s.spec.name == network)
+            .flat_map(|s| {
+                s.subnets.iter().filter_map(|sub| match sub.spec.role {
+                    SubnetRole::DynamicClients { .. } | SubnetRole::FixedFormDhcp { .. } => {
+                        Some(sub.spec.prefix)
+                    }
+                    _ => None,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::presets;
+    use crate::world::{World, WorldConfig};
+    use rdns_model::Date;
+
+    /// The monolith and the sharded engine must publish identical PTR sets:
+    /// same populations, same RNG streams, same protocol exchanges.
+    #[test]
+    fn monolith_matches_sharded_world() {
+        let config = WorldConfig {
+            seed: 1234,
+            start: Date::from_ymd(2021, 11, 1),
+            networks: vec![presets::academic_a(0.05), presets::enterprise_a(0.2)],
+            shards: 0,
+        };
+        let mut sharded = World::new(config.clone());
+        let mut mono = MonolithWorld::new(config);
+        let target = SimTime::from_date_hms(Date::from_ymd(2021, 11, 2), 17, 30, 0);
+        sharded.step_until(target);
+        mono.step_until(target);
+        assert_eq!(sharded.online_count(), mono.online_count());
+        fn collect_ptrs<S: rdns_dns::DnsStore>(store: &S) -> Vec<(Ipv4Addr, String)> {
+            let mut v: Vec<(Ipv4Addr, String)> = Vec::new();
+            store.visit_ptrs(&mut |a, n| v.push((a, n.to_string())));
+            v.sort();
+            v
+        }
+        let from_sharded = collect_ptrs(sharded.store());
+        let from_mono = collect_ptrs(mono.store());
+        assert_eq!(from_sharded.len(), from_mono.len());
+        assert_eq!(from_sharded, from_mono);
+    }
+}

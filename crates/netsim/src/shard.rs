@@ -1,0 +1,861 @@
+//! Per-network simulation shards.
+//!
+//! Each [`NetworkSpec`] becomes one [`Shard`]: an independent discrete-event
+//! loop with its own queue, its own RNG stream, its own DHCP/IPAM state and
+//! its own population. Shards never interact — devices roam only among
+//! subnets of their own network — so a world stepped shard-by-shard in any
+//! grouping (or concurrently) produces byte-identical results.
+//!
+//! ## Determinism contract
+//!
+//! * The shard RNG is seeded with `world_seed ⊕ fnv1a64(network_name)`:
+//!   derived from the *name*, not the shard count or thread id, so adding or
+//!   removing parallelism cannot change any stream.
+//! * Person/device ids are namespaced per shard (`net_idx << 32 | local`),
+//!   which keeps derived MAC addresses globally unique without any
+//!   cross-shard coordination.
+//! * Event ties break on a per-shard monotone sequence number, exactly like
+//!   the old global engine broke ties on its global sequence.
+//!
+//! The generic parameter `S` selects the DNS backend: the sharded
+//! [`crate::World`] uses the lock-striped [`rdns_dns::ZoneStore`], while
+//! [`crate::MonolithWorld`] drives the same construction code against the
+//! coarse store.
+
+use crate::device::{Device, DeviceKind, Person, PersonKind, SessionStyle};
+use crate::names::{GivenNamePool, CITY_NAMES, ROUTER_TERMS};
+use crate::spec::{BuildingTag, DynDnsMode, NetworkSpec, SubnetRole, SubnetSpec};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rdns_dhcp::{acquire, AnonymityMode, ClientIdentity, DhcpServer, ServerConfig};
+use rdns_dns::{DnsName, DnsStore};
+use rdns_ipam::{Ipam, IpamConfig, PtrPolicy};
+use rdns_model::{Date, DeviceId, Ipv4Net, PersonId, SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// FNV-1a over the network name: the per-shard RNG stream derivation.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Shard-local events (device indices are shard-local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Event {
+    /// Sample presence plans for the day starting now.
+    PlanDay,
+    /// Device joins its home subnet.
+    Join(usize),
+    /// Device joins a specific subnet (roaming students moving between
+    /// buildings — the §8 geotemporal-tracking surface).
+    JoinAt(usize, usize),
+    /// Device leaves.
+    Leave(usize),
+    /// Lease expiry sweep for a subnet.
+    Sweep(usize),
+    /// T1 renewal timer for a device (real DHCP clients renew at half the
+    /// lease time; this is what aligns silent-leaver PTR removals to the
+    /// (lease/2, lease] band behind Fig. 7a's hourly structure).
+    Renew(usize),
+}
+
+pub(crate) struct SubnetRt<S: DnsStore> {
+    /// Interned spec: shared, never cloned per event.
+    pub(crate) spec: Arc<SubnetSpec>,
+    pub(crate) dhcp: Option<DhcpServer>,
+    pub(crate) ipam: Option<Ipam<S>>,
+    pub(crate) next_sweep: Option<SimTime>,
+}
+
+pub(crate) struct DeviceRt {
+    pub(crate) device: Device,
+    /// Interned client identity — the hot path hands out `&self.identity`
+    /// instead of cloning the identity per DHCP exchange.
+    pub(crate) identity: Arc<ClientIdentity>,
+    /// Home subnet.
+    pub(crate) sub_idx: usize,
+    /// Education subnets this device may roam among (lecture students).
+    pub(crate) roam_subnets: Vec<usize>,
+    /// Where the device is currently attached.
+    pub(crate) online_at: Option<Ipv4Addr>,
+    pub(crate) online_sub: Option<usize>,
+    pub(crate) always_on_started: bool,
+}
+
+/// One network's independent event loop.
+pub(crate) struct Shard<S: DnsStore> {
+    /// Interned network spec.
+    pub(crate) spec: Arc<NetworkSpec>,
+    pub(crate) subnets: Vec<SubnetRt<S>>,
+    pub(crate) persons: Vec<Person>,
+    /// Devices of each person (indices into `devices`).
+    pub(crate) person_devices: Vec<Vec<usize>>,
+    pub(crate) devices: Vec<DeviceRt>,
+    pub(crate) queue: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
+    pub(crate) seq: u64,
+    pub(crate) rng: ChaCha8Rng,
+    pub(crate) online: HashMap<Ipv4Addr, usize>,
+    pub(crate) xid_counter: u32,
+    pub(crate) clock: SimTime,
+}
+
+fn push_event(
+    queue: &mut BinaryHeap<Reverse<(SimTime, u64, Event)>>,
+    seq: &mut u64,
+    at: SimTime,
+    event: Event,
+) {
+    queue.push(Reverse((at, *seq, event)));
+    *seq += 1;
+}
+
+fn maybe_schedule_sweep<S: DnsStore>(
+    sub: &mut SubnetRt<S>,
+    sub_idx: usize,
+    queue: &mut BinaryHeap<Reverse<(SimTime, u64, Event)>>,
+    seq: &mut u64,
+    next_expiry: Option<SimTime>,
+) {
+    let Some(t) = next_expiry else {
+        return;
+    };
+    match sub.next_sweep {
+        Some(existing) if existing <= t => {}
+        _ => {
+            sub.next_sweep = Some(t);
+            push_event(queue, seq, t, Event::Sweep(sub_idx));
+        }
+    }
+}
+
+impl<S: DnsStore> Shard<S> {
+    /// Build one network's shard: populations, DHCP servers, IPAM engines,
+    /// static records, seeded persons — and the first `PlanDay` event.
+    pub(crate) fn build(
+        spec: &NetworkSpec,
+        net_idx: usize,
+        world_seed: u64,
+        start: Date,
+        store: &S,
+    ) -> Shard<S> {
+        let mut rng = ChaCha8Rng::seed_from_u64(world_seed ^ fnv1a64(spec.name.as_bytes()));
+        let name_pool = GivenNamePool::default();
+        // Namespace ids per shard so derived MACs stay globally unique.
+        let id_base = (net_idx as u64) << 32;
+        let mut person_ids = id_base;
+        let mut device_ids = id_base;
+        let mut persons: Vec<Person> = Vec::new();
+        let mut person_devices: Vec<Vec<usize>> = Vec::new();
+        let mut devices: Vec<DeviceRt> = Vec::new();
+        let mut subnets = Vec::new();
+
+        for (sub_idx, sub) in spec.subnets.iter().enumerate() {
+            // Every /24 of the subnet gets a reverse zone.
+            for block in sub.prefix.slash24s() {
+                store.ensure_reverse_zone(block.host(1));
+            }
+            let rt = match &sub.role {
+                SubnetRole::DynamicClients {
+                    persons: n,
+                    person_kind,
+                    dns,
+                } => {
+                    let policy = match dns {
+                        DynDnsMode::CarryOver => PtrPolicy::CarryOverHostName {
+                            suffix: format!("{}.{}", sub.label, spec.suffix),
+                        },
+                        DynDnsMode::Hashed => PtrPolicy::Hashed {
+                            suffix: format!("{}.{}", sub.label, spec.suffix),
+                            salt: world_seed,
+                        },
+                        DynDnsMode::NoUpdate => PtrPolicy::NoUpdate,
+                    };
+                    build_population(
+                        spec,
+                        sub_idx,
+                        *n,
+                        *person_kind,
+                        sub.building,
+                        &name_pool,
+                        &mut rng,
+                        &mut persons,
+                        &mut person_devices,
+                        &mut devices,
+                        &mut person_ids,
+                        &mut device_ids,
+                    );
+                    SubnetRt {
+                        spec: Arc::new(sub.clone()),
+                        dhcp: Some(make_dhcp(sub, spec.lease_time)),
+                        ipam: Some(Ipam::new(
+                            IpamConfig {
+                                policy,
+                                honor_no_update_flag: false,
+                                update_delay: SimDuration::secs(0),
+                                ttl: 300,
+                                maintain_forward: false,
+                            },
+                            store.clone(),
+                        )),
+                        next_sweep: None,
+                    }
+                }
+                SubnetRole::FixedFormDhcp {
+                    persons: n,
+                    person_kind,
+                } => {
+                    build_population(
+                        spec,
+                        sub_idx,
+                        *n,
+                        *person_kind,
+                        sub.building,
+                        &name_pool,
+                        &mut rng,
+                        &mut persons,
+                        &mut person_devices,
+                        &mut devices,
+                        &mut person_ids,
+                        &mut device_ids,
+                    );
+                    let mut ipam = Ipam::new(
+                        IpamConfig {
+                            policy: PtrPolicy::FixedForm {
+                                suffix: format!("{}.{}", sub.label, spec.suffix),
+                            },
+                            honor_no_update_flag: false,
+                            update_delay: SimDuration::secs(0),
+                            ttl: 3600,
+                            maintain_forward: false,
+                        },
+                        store.clone(),
+                    );
+                    ipam.preprovision(pool_addrs(&sub.prefix), SimTime::from_date(start));
+                    SubnetRt {
+                        spec: Arc::new(sub.clone()),
+                        dhcp: Some(make_dhcp(sub, spec.lease_time)),
+                        ipam: Some(ipam),
+                        next_sweep: None,
+                    }
+                }
+                SubnetRole::StaticInfra { hosts } => {
+                    install_static_infra(store, spec, sub, *hosts, &mut rng);
+                    SubnetRt {
+                        spec: Arc::new(sub.clone()),
+                        dhcp: None,
+                        ipam: None,
+                        next_sweep: None,
+                    }
+                }
+                SubnetRole::StaticNamed { hosts } => {
+                    install_static_named(store, spec, sub, *hosts, &name_pool, &mut rng);
+                    SubnetRt {
+                        spec: Arc::new(sub.clone()),
+                        dhcp: None,
+                        ipam: None,
+                        next_sweep: None,
+                    }
+                }
+                SubnetRole::Dark => SubnetRt {
+                    spec: Arc::new(sub.clone()),
+                    dhcp: None,
+                    ipam: None,
+                    next_sweep: None,
+                },
+            };
+            subnets.push(rt);
+        }
+
+        // Plant seeded persons (the Brians).
+        for seed in &spec.seed_persons {
+            let housing = spec.subnets[seed.subnet].building == BuildingTag::Housing;
+            let person = Person {
+                id: PersonId(person_ids),
+                given_name: seed.given_name.clone(),
+                kind: seed.kind,
+                schedule: seed.kind.schedule(housing),
+            };
+            person_ids += 1;
+            let p_idx = persons.len();
+            persons.push(person);
+            person_devices.push(Vec::new());
+            for sd in &seed.devices {
+                let mut device = Device::generate(
+                    DeviceId(device_ids),
+                    &persons[p_idx],
+                    sd.kind,
+                    AnonymityMode::Standard,
+                    &mut rng,
+                );
+                device_ids += 1;
+                if sd.kind == DeviceKind::GalaxyNote {
+                    // Pin the case-study model: Fig. 8's brians-galaxy-note9.
+                    let cap = {
+                        let mut c = seed.given_name.chars();
+                        match c.next() {
+                            Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
+                            None => String::new(),
+                        }
+                    };
+                    let pinned = format!("{cap}'s Galaxy Note9");
+                    device.identity.host_name = Some(pinned.clone());
+                    device.device_name = pinned;
+                }
+                device.acquired = sd.acquired;
+                device.responds_to_ping = true;
+                device.clean_release_prob = spec.clean_release_prob;
+                person_devices[p_idx].push(devices.len());
+                devices.push(make_device_rt(device, seed.subnet));
+            }
+        }
+
+        // Post-pass: lecture students roam among this network's education
+        // pools — a device may attach to a different building each session.
+        let education_pool: Vec<usize> = subnets
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.spec.building == BuildingTag::Education
+                    && matches!(
+                        s.spec.role,
+                        SubnetRole::DynamicClients {
+                            person_kind: PersonKind::Student,
+                            ..
+                        }
+                    )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if education_pool.len() > 1 {
+            for d in &mut devices {
+                if education_pool.contains(&d.sub_idx) {
+                    d.roam_subnets = education_pool.clone();
+                }
+            }
+        }
+
+        let clock = SimTime::from_date(start);
+        let mut shard = Shard {
+            spec: Arc::new(spec.clone()),
+            subnets,
+            persons,
+            person_devices,
+            devices,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            rng,
+            online: HashMap::new(),
+            xid_counter: 1,
+            clock,
+        };
+        push_event(&mut shard.queue, &mut shard.seq, clock, Event::PlanDay);
+        shard
+    }
+
+    /// Process every event up to and including `target`, then set the clock
+    /// to `target`.
+    pub(crate) fn step_until(&mut self, target: SimTime) {
+        while let Some(Reverse((at, _, _))) = self.queue.peek() {
+            if *at > target {
+                break;
+            }
+            let Reverse((at, _, event)) = self.queue.pop().expect("peeked non-empty");
+            self.clock = at;
+            self.dispatch(at, event);
+        }
+        self.clock = target;
+    }
+
+    fn dispatch(&mut self, at: SimTime, event: Event) {
+        match event {
+            Event::PlanDay => self.plan_day(at),
+            Event::Join(d) => {
+                let sub = self.devices[d].sub_idx;
+                self.device_join(d, sub, at)
+            }
+            Event::JoinAt(d, sub) => self.device_join(d, sub, at),
+            Event::Leave(d) => self.device_leave(d, at),
+            Event::Sweep(s) => self.sweep(s, at),
+            Event::Renew(d) => self.device_renew(d, at),
+        }
+    }
+
+    fn plan_day(&mut self, at: SimTime) {
+        let date = at.date();
+        let Shard {
+            spec,
+            persons,
+            person_devices,
+            devices,
+            queue,
+            seq,
+            rng,
+            ..
+        } = self;
+        // Schedule tomorrow's planning first so the queue is never empty.
+        push_event(queue, seq, SimTime::from_date(date.succ()), Event::PlanDay);
+
+        for (p_idx, person) in persons.iter().enumerate() {
+            let dev_idxs = &person_devices[p_idx];
+            if dev_idxs.is_empty() {
+                continue;
+            }
+            let sub_idx = devices[dev_idxs[0]].sub_idx;
+            let building = spec.subnets[sub_idx].building;
+            let factor =
+                spec.calendar.presence_factor(date) * spec.occupancy_for(building).factor(date);
+            let plan = person.schedule.plan(date, factor, rng);
+
+            for &d_idx in dev_idxs {
+                let dev = &mut devices[d_idx];
+                if !dev.device.exists_on(date) {
+                    continue;
+                }
+                let style = dev.device.kind.session_style();
+                if style == SessionStyle::AlwaysOn {
+                    if !dev.always_on_started {
+                        dev.always_on_started = true;
+                        push_event(queue, seq, at, Event::Join(d_idx));
+                    }
+                    continue;
+                }
+                if let Some(plan) = &plan {
+                    if let Some(session) = dev.device.session_within(plan, rng) {
+                        let roam = &dev.roam_subnets;
+                        if roam.is_empty() {
+                            push_event(queue, seq, session.join, Event::Join(d_idx));
+                            push_event(queue, seq, session.leave, Event::Leave(d_idx));
+                        } else {
+                            // A lecture day may span two buildings: split
+                            // longer sessions at a midpoint with a short
+                            // walking gap.
+                            let total = session.leave.since_sat(session.join);
+                            let first_sub = roam[rng.gen_range(0..roam.len())];
+                            if total > SimDuration::mins(90) && rng.gen_bool(0.6) {
+                                let half = SimDuration::secs(total.as_secs() / 2);
+                                let gap = SimDuration::mins(rng.gen_range(10..=25));
+                                let second_sub = roam[rng.gen_range(0..roam.len())];
+                                push_event(
+                                    queue,
+                                    seq,
+                                    session.join,
+                                    Event::JoinAt(d_idx, first_sub),
+                                );
+                                push_event(queue, seq, session.join + half, Event::Leave(d_idx));
+                                push_event(
+                                    queue,
+                                    seq,
+                                    session.join + half + gap,
+                                    Event::JoinAt(d_idx, second_sub),
+                                );
+                                push_event(queue, seq, session.leave + gap, Event::Leave(d_idx));
+                            } else {
+                                push_event(
+                                    queue,
+                                    seq,
+                                    session.join,
+                                    Event::JoinAt(d_idx, first_sub),
+                                );
+                                push_event(queue, seq, session.leave, Event::Leave(d_idx));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn device_join(&mut self, d_idx: usize, sub_idx: usize, at: SimTime) {
+        let Shard {
+            spec,
+            subnets,
+            devices,
+            queue,
+            seq,
+            online,
+            xid_counter,
+            ..
+        } = self;
+        let dev = &mut devices[d_idx];
+        if dev.online_at.is_some() {
+            return;
+        }
+        let xid = *xid_counter;
+        *xid_counter = xid_counter.wrapping_add(1);
+        let sub = &mut subnets[sub_idx];
+        let Some(dhcp) = sub.dhcp.as_mut() else {
+            return;
+        };
+        match acquire(dhcp, &dev.identity, xid, at) {
+            Ok((addr, events)) => {
+                if let Some(ipam) = sub.ipam.as_mut() {
+                    for e in &events {
+                        ipam.apply(e);
+                    }
+                    ipam.flush(at);
+                }
+                let next_expiry = dhcp.next_expiry();
+                dev.online_at = Some(addr);
+                dev.online_sub = Some(sub_idx);
+                online.insert(addr, d_idx);
+                maybe_schedule_sweep(sub, sub_idx, queue, seq, next_expiry);
+                // T1 renewal timer, like real DHCP client stacks.
+                push_event(
+                    queue,
+                    seq,
+                    at + SimDuration::secs(spec.lease_time.as_secs() / 2),
+                    Event::Renew(d_idx),
+                );
+            }
+            Err(_) => {
+                // Pool exhausted; the device simply fails to join today.
+            }
+        }
+    }
+
+    fn device_leave(&mut self, d_idx: usize, at: SimTime) {
+        let Shard {
+            subnets,
+            devices,
+            online,
+            rng,
+            xid_counter,
+            ..
+        } = self;
+        let dev = &mut devices[d_idx];
+        let Some(addr) = dev.online_at.take() else {
+            return;
+        };
+        online.remove(&addr);
+        let sub_idx = dev.online_sub.take().unwrap_or(dev.sub_idx);
+        let clean = rng.gen::<f64>() < dev.device.clean_release_prob;
+        if !clean {
+            // The device vanishes; its lease (and PTR) lingers until expiry.
+            return;
+        }
+        let xid = *xid_counter;
+        *xid_counter = xid_counter.wrapping_add(1);
+        let sub = &mut subnets[sub_idx];
+        let (Some(dhcp), Some(ipam)) = (sub.dhcp.as_mut(), sub.ipam.as_mut()) else {
+            return;
+        };
+        let server_id = sub
+            .spec
+            .prefix
+            .addrs()
+            .nth(1)
+            .expect("pools are at least /30");
+        let release = dev.identity.release(xid, addr, server_id);
+        let (_, events) = dhcp.handle(&release, at);
+        for e in &events {
+            ipam.apply(e);
+        }
+        ipam.flush(at);
+    }
+
+    /// T1 renewal: while the device is online, refresh the lease at half the
+    /// lease time like real DHCP clients.
+    fn device_renew(&mut self, d_idx: usize, at: SimTime) {
+        let Shard {
+            spec,
+            subnets,
+            devices,
+            queue,
+            seq,
+            xid_counter,
+            ..
+        } = self;
+        let dev = &devices[d_idx];
+        let Some(addr) = dev.online_at else {
+            return; // device left; lease will expire naturally
+        };
+        let sub_idx = dev.online_sub.unwrap_or(dev.sub_idx);
+        let xid = *xid_counter;
+        *xid_counter = xid_counter.wrapping_add(1);
+        let sub = &mut subnets[sub_idx];
+        if let Some(dhcp) = sub.dhcp.as_mut() {
+            let renew = dev.identity.renew(xid, addr);
+            let (_, events) = dhcp.handle(&renew, at);
+            if let Some(ipam) = sub.ipam.as_mut() {
+                for e in &events {
+                    ipam.apply(e);
+                }
+                ipam.flush(at);
+            }
+        }
+        push_event(
+            queue,
+            seq,
+            at + SimDuration::secs(spec.lease_time.as_secs() / 2),
+            Event::Renew(d_idx),
+        );
+    }
+
+    fn sweep(&mut self, sub_idx: usize, at: SimTime) {
+        let Shard {
+            subnets,
+            devices,
+            online,
+            queue,
+            seq,
+            xid_counter,
+            ..
+        } = self;
+        let sub = &mut subnets[sub_idx];
+        sub.next_sweep = None;
+        let Some(dhcp) = sub.dhcp.as_mut() else {
+            return;
+        };
+        // Renew leases of devices that are still online. `due_before` walks
+        // the expiry index: deterministic order, no full-table scan.
+        let due = dhcp.leases().due_before(at);
+        for (_mac, addr) in &due {
+            if let Some(&d_idx) = online.get(addr) {
+                // Still online: renew through the protocol.
+                let xid = *xid_counter;
+                *xid_counter = xid_counter.wrapping_add(1);
+                let renew = devices[d_idx].identity.renew(xid, *addr);
+                let (_, events) = dhcp.handle(&renew, at);
+                if let Some(ipam) = sub.ipam.as_mut() {
+                    for e in &events {
+                        ipam.apply(e);
+                    }
+                    ipam.flush(at);
+                }
+            }
+        }
+        // Expire the rest.
+        let events = dhcp.tick(at);
+        if let Some(ipam) = sub.ipam.as_mut() {
+            for e in &events {
+                ipam.apply(e);
+            }
+            ipam.flush(at);
+        }
+        let next_expiry = dhcp.next_expiry();
+        maybe_schedule_sweep(sub, sub_idx, queue, seq, next_expiry);
+    }
+
+    /// Check internal consistency; panics with a description on violation.
+    pub(crate) fn check_invariants(&self) {
+        // online map ↔ device state bijection.
+        for (addr, &d_idx) in &self.online {
+            assert_eq!(
+                self.devices[d_idx].online_at,
+                Some(*addr),
+                "online map points at a device that disagrees"
+            );
+        }
+        let online_devices = self
+            .devices
+            .iter()
+            .filter(|d| d.online_at.is_some())
+            .count();
+        assert_eq!(
+            online_devices,
+            self.online.len(),
+            "device online flags out of sync with the online map"
+        );
+        // Every online device holds an active lease at its address.
+        for d in &self.devices {
+            let (Some(addr), Some(sub_idx)) = (d.online_at, d.online_sub) else {
+                continue;
+            };
+            let sub = &self.subnets[sub_idx];
+            let dhcp = sub
+                .dhcp
+                .as_ref()
+                .expect("online devices live on DHCP subnets");
+            let lease = dhcp
+                .leases()
+                .lease_at(addr)
+                .unwrap_or_else(|| panic!("online device at {addr} has no active lease"));
+            assert_eq!(lease.mac, d.device.identity.mac, "lease owned by someone else");
+        }
+    }
+}
+
+/// Wrap a fully-initialised [`Device`] for the runtime, interning its
+/// identity once so the event loop never clones it again.
+pub(crate) fn make_device_rt(device: Device, sub_idx: usize) -> DeviceRt {
+    let identity = Arc::new(device.identity.clone());
+    DeviceRt {
+        device,
+        identity,
+        sub_idx,
+        roam_subnets: Vec::new(),
+        online_at: None,
+        online_sub: None,
+        always_on_started: false,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_population(
+    spec: &NetworkSpec,
+    sub_idx: usize,
+    n_persons: usize,
+    person_kind: PersonKind,
+    building: BuildingTag,
+    name_pool: &GivenNamePool,
+    rng: &mut ChaCha8Rng,
+    persons: &mut Vec<Person>,
+    person_devices: &mut Vec<Vec<usize>>,
+    devices: &mut Vec<DeviceRt>,
+    person_ids: &mut u64,
+    device_ids: &mut u64,
+) {
+    let housing = building == BuildingTag::Housing;
+    for _ in 0..n_persons {
+        let person = Person {
+            id: PersonId(*person_ids),
+            given_name: name_pool.sample(rng).to_string(),
+            kind: person_kind,
+            schedule: person_kind.schedule(housing),
+        };
+        *person_ids += 1;
+        let p_idx = persons.len();
+        persons.push(person);
+        person_devices.push(Vec::new());
+        for kind in sample_device_set(person_kind, housing, rng) {
+            let anonymity = if rng.gen::<f64>() < spec.anonymity_fraction {
+                AnonymityMode::Rfc7844
+            } else {
+                AnonymityMode::Standard
+            };
+            let mut device =
+                Device::generate(DeviceId(*device_ids), &persons[p_idx], kind, anonymity, rng);
+            *device_ids += 1;
+            device.responds_to_ping = rng.gen::<f64>() < spec.device_ping_rate;
+            device.clean_release_prob = spec.clean_release_prob;
+            person_devices[p_idx].push(devices.len());
+            devices.push(make_device_rt(device, sub_idx));
+        }
+    }
+}
+
+pub(crate) fn make_dhcp(sub: &SubnetSpec, lease_time: SimDuration) -> DhcpServer {
+    let server_id = sub.prefix.addrs().nth(1).expect("pools are at least /30");
+    let mut config = ServerConfig::new(server_id);
+    config.lease_time = lease_time;
+    DhcpServer::new(config, pool_addrs(&sub.prefix))
+}
+
+fn install_static_infra<S: DnsStore>(
+    store: &S,
+    spec: &NetworkSpec,
+    sub: &SubnetSpec,
+    hosts: usize,
+    rng: &mut ChaCha8Rng,
+) {
+    let addrs: Vec<Ipv4Addr> = pool_addrs(&sub.prefix).collect();
+    for (i, addr) in addrs.iter().take(hosts).enumerate() {
+        let name = match i % 3 {
+            0 => {
+                let term = ROUTER_TERMS[rng.gen_range(0..ROUTER_TERMS.len())];
+                format!("{term}{i}.{}.{}", sub.label, spec.suffix)
+            }
+            1 => {
+                let city = CITY_NAMES[rng.gen_range(0..CITY_NAMES.len())];
+                format!("gi0-{i}.{city}.{}.{}", sub.label, spec.suffix)
+            }
+            _ => format!("static-{i}.{}.{}", sub.label, spec.suffix),
+        };
+        let target = DnsName::parse(&name).expect("static names are valid");
+        store.set_ptr(*addr, target, 3600);
+    }
+}
+
+/// Statically assigned, name-bearing workstation records: owner names
+/// are visible in rDNS but the records never change, so these hosts feed
+/// Fig. 2/3's "all matches" without being identifiable as dynamic.
+fn install_static_named<S: DnsStore>(
+    store: &S,
+    spec: &NetworkSpec,
+    sub: &SubnetSpec,
+    hosts: usize,
+    name_pool: &GivenNamePool,
+    rng: &mut ChaCha8Rng,
+) {
+    let addrs: Vec<Ipv4Addr> = pool_addrs(&sub.prefix).collect();
+    for addr in addrs.iter().take(hosts) {
+        let owner = name_pool.sample(rng);
+        let kind = ["pc", "ws", "lab", "desktop"][rng.gen_range(0..4usize)];
+        // lint:allow(pii-display) -- hostname synthesis: building the PTR target that *is* the studied leak; consumers redact at display time
+        let name = format!("{owner}s-{kind}.{}.{}", sub.label, spec.suffix);
+        let target = DnsName::parse(&name).expect("static named records are valid");
+        store.set_ptr(*addr, target, 3600);
+    }
+}
+
+/// Allocatable addresses of a pool prefix: skip network address, router
+/// (.1 of each /24's first address — we skip the first two) and broadcast.
+pub(crate) fn pool_addrs(prefix: &Ipv4Net) -> impl Iterator<Item = Ipv4Addr> + '_ {
+    let n = prefix.size();
+    prefix
+        .addrs()
+        .enumerate()
+        .filter(move |(i, _)| *i >= 2 && (*i as u32) < n - 1)
+        .map(|(_, a)| a)
+}
+
+/// Sample the device portfolio for one person.
+fn sample_device_set<R: Rng + ?Sized>(
+    kind: PersonKind,
+    housing: bool,
+    rng: &mut R,
+) -> Vec<DeviceKind> {
+    let phone = match rng.gen_range(0..10) {
+        0..=3 => DeviceKind::Iphone,
+        4..=5 => DeviceKind::AndroidPhone,
+        6..=7 => DeviceKind::GalaxyNote,
+        _ => DeviceKind::GenericPhone,
+    };
+    let laptop = match rng.gen_range(0..12) {
+        0..=2 => DeviceKind::MacbookPro,
+        3..=4 => DeviceKind::MacbookAir,
+        5..=6 => DeviceKind::DellLaptop,
+        7..=8 => DeviceKind::LenovoLaptop,
+        9 => DeviceKind::Chromebook,
+        _ => DeviceKind::GenericLaptop,
+    };
+    let mut out = vec![phone, laptop];
+    match kind {
+        PersonKind::Student => {
+            if rng.gen_bool(0.25) {
+                out.push(DeviceKind::Ipad);
+            }
+            if housing && rng.gen_bool(0.15) {
+                out.push(DeviceKind::Roku);
+            }
+        }
+        PersonKind::Employee => {
+            if rng.gen_bool(0.2) {
+                out.push(DeviceKind::WindowsDesktop);
+            }
+            if rng.gen_bool(0.1) {
+                out.push(DeviceKind::Ipad);
+            }
+        }
+        PersonKind::Resident => {
+            if rng.gen_bool(0.4) {
+                out.push(DeviceKind::Roku);
+            }
+            if rng.gen_bool(0.25) {
+                out.push(DeviceKind::WindowsDesktop);
+            }
+            if rng.gen_bool(0.2) {
+                out.push(DeviceKind::Ipad);
+            }
+        }
+    }
+    out
+}

@@ -1,33 +1,25 @@
-//! The discrete-event world.
+//! The sharded discrete-event world.
 //!
-//! [`World`] owns every network's DHCP server, IPAM engine and population,
-//! plus the shared DNS [`ZoneStore`]. It advances through a queue of
-//! timestamped events:
+//! [`World`] is a facade over per-network `Shard`s (private module `shard`). Each
+//! network runs its own event loop — `PlanDay` / `Join` / `Leave` / `Sweep` /
+//! `Renew` — against its own RNG stream, DHCP lease databases and IPAM
+//! engines, publishing into the shared lock-striped DNS [`ZoneStore`].
+//! Because devices never cross network boundaries, shards are independent:
+//! [`World::step_until`] steps them concurrently (up to
+//! [`WorldConfig::shards`] rayon tasks) and the result is byte-identical to
+//! stepping them one by one.
 //!
-//! * `PlanDay` — at every simulated midnight, sample each person's presence
-//!   session for the day and enqueue device joins/leaves,
-//! * `Join`/`Leave` — a device attaches to or departs from its subnet; the
-//!   full DHCP handshake runs and the IPAM policy updates reverse DNS,
-//! * `Sweep` — lease expiry processing: still-online devices renew, vanished
-//!   devices' leases expire and their PTR records are removed.
-//!
-//! Everything is deterministic for a given [`WorldConfig::seed`]; event ties
-//! break on a monotone sequence number.
+//! Everything is deterministic for a given [`WorldConfig::seed`]: each shard
+//! derives its stream as `seed ⊕ fnv1a64(network_name)`, so neither the
+//! shard count nor the thread schedule can perturb any draw. Event ties
+//! break on a per-shard monotone sequence number.
 
-use crate::device::{Device, DeviceKind, Person, PersonKind, SessionStyle};
-use crate::names::{GivenNamePool, CITY_NAMES, ROUTER_TERMS};
-use crate::spec::{
-    BuildingTag, DynDnsMode, IcmpPolicy, NetworkSpec, SubnetRole, SubnetSpec,
-};
-use rand::Rng;
-use rand_chacha::ChaCha8Rng;
-use rand::SeedableRng;
-use rdns_dhcp::{acquire, AnonymityMode, DhcpServer, ServerConfig};
-use rdns_dns::{DnsName, ZoneStore};
-use rdns_ipam::{Ipam, IpamConfig, PtrPolicy};
-use rdns_model::{Date, DeviceId, Ipv4Net, PersonId, SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use crate::device::Person;
+use crate::shard::Shard;
+use crate::spec::{IcmpPolicy, NetworkSpec, SubnetRole};
+use rayon::prelude::*;
+use rdns_dns::ZoneStore;
+use rdns_model::{Date, Ipv4Net, SimDuration, SimTime};
 use std::net::Ipv4Addr;
 
 /// World construction parameters.
@@ -39,6 +31,11 @@ pub struct WorldConfig {
     pub start: Date,
     /// The organisations to instantiate.
     pub networks: Vec<NetworkSpec>,
+    /// Maximum number of shard groups stepped concurrently. `0` means auto
+    /// (one rayon task per network); `1` forces serial stepping. Any value
+    /// yields the same results — parallelism is an execution detail, never
+    /// an input to the simulation.
+    pub shards: usize,
 }
 
 impl WorldConfig {
@@ -46,421 +43,50 @@ impl WorldConfig {
     pub const DEFAULT_SEED: u64 = 0xB51A17;
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Event {
-    /// Sample presence plans for the day starting now.
-    PlanDay,
-    /// Device (by global index) joins its subnet.
-    Join(usize),
-    /// Device joins a specific subnet (roaming students moving between
-    /// buildings — the §8 geotemporal-tracking surface).
-    JoinAt(usize, usize),
-    /// Device (by global index) leaves.
-    Leave(usize),
-    /// Lease expiry sweep for (network, subnet).
-    Sweep(usize, usize),
-    /// T1 renewal timer for a device (real DHCP clients renew at half the
-    /// lease time; this is what aligns silent-leaver PTR removals to the
-    /// (lease/2, lease] band behind Fig. 7a's hourly structure).
-    Renew(usize),
-}
-
-struct SubnetRt {
-    spec: SubnetSpec,
-    dhcp: Option<DhcpServer>,
-    ipam: Option<Ipam>,
-    next_sweep: Option<SimTime>,
-}
-
-struct NetworkRt {
-    spec: NetworkSpec,
-    subnets: Vec<SubnetRt>,
-}
-
-struct DeviceRt {
-    device: Device,
-    net_idx: usize,
-    /// Home subnet.
-    sub_idx: usize,
-    /// Education subnets this device may roam among (lecture students).
-    roam_subnets: Vec<usize>,
-    /// Where the device is currently attached.
-    online_at: Option<Ipv4Addr>,
-    online_sub: Option<usize>,
-    always_on_started: bool,
-}
-
-/// The simulated world.
+/// The simulated world: one shard per network plus the shared DNS store.
 pub struct World {
     store: ZoneStore,
-    networks: Vec<NetworkRt>,
-    persons: Vec<Person>,
-    /// Devices of each person (indices into `devices`).
-    person_devices: Vec<Vec<usize>>,
-    devices: Vec<DeviceRt>,
+    pub(crate) shards: Vec<Shard<ZoneStore>>,
     clock: SimTime,
-    queue: BinaryHeap<Reverse<(SimTime, u64, Event)>>,
-    seq: u64,
-    rng: ChaCha8Rng,
-    online: HashMap<Ipv4Addr, usize>,
-    xid_counter: u32,
+    workers: usize,
 }
 
 impl World {
-    /// Build the world and schedule the first day.
+    /// Build the world and schedule the first day on every shard.
     pub fn new(config: WorldConfig) -> World {
-        let store = ZoneStore::new();
-        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
-        let mut persons: Vec<Person> = Vec::new();
-        let mut person_devices: Vec<Vec<usize>> = Vec::new();
-        let mut devices: Vec<DeviceRt> = Vec::new();
-        let mut networks: Vec<NetworkRt> = Vec::new();
-        let name_pool = GivenNamePool::default();
-        let mut person_ids = 0u64;
-        let mut device_ids = 0u64;
-
-        for (net_idx, spec) in config.networks.iter().enumerate() {
-            let mut subnets = Vec::new();
-            for (sub_idx, sub) in spec.subnets.iter().enumerate() {
-                // Every /24 of the subnet gets a reverse zone.
-                for block in sub.prefix.slash24s() {
-                    store.ensure_reverse_zone(block.host(1));
-                }
-                let rt = match &sub.role {
-                    SubnetRole::DynamicClients {
-                        persons: n,
-                        person_kind,
-                        dns,
-                    } => {
-                        let policy = match dns {
-                            DynDnsMode::CarryOver => PtrPolicy::CarryOverHostName {
-                                suffix: format!("{}.{}", sub.label, spec.suffix),
-                            },
-                            DynDnsMode::Hashed => PtrPolicy::Hashed {
-                                suffix: format!("{}.{}", sub.label, spec.suffix),
-                                salt: config.seed,
-                            },
-                            DynDnsMode::NoUpdate => PtrPolicy::NoUpdate,
-                        };
-                        Self::build_population(
-                            spec,
-                            net_idx,
-                            sub_idx,
-                            *n,
-                            *person_kind,
-                            sub.building,
-                            &name_pool,
-                            &mut rng,
-                            &mut persons,
-                            &mut person_devices,
-                            &mut devices,
-                            &mut person_ids,
-                            &mut device_ids,
-                        );
-                        SubnetRt {
-                            spec: sub.clone(),
-                            dhcp: Some(Self::make_dhcp(sub, spec.lease_time)),
-                            ipam: Some(Ipam::new(
-                                IpamConfig {
-                                    policy,
-                                    honor_no_update_flag: false,
-                                    update_delay: SimDuration::secs(0),
-                                    ttl: 300,
-                                    maintain_forward: false,
-                                },
-                                store.clone(),
-                            )),
-                            next_sweep: None,
-                        }
-                    }
-                    SubnetRole::FixedFormDhcp {
-                        persons: n,
-                        person_kind,
-                    } => {
-                        Self::build_population(
-                            spec,
-                            net_idx,
-                            sub_idx,
-                            *n,
-                            *person_kind,
-                            sub.building,
-                            &name_pool,
-                            &mut rng,
-                            &mut persons,
-                            &mut person_devices,
-                            &mut devices,
-                            &mut person_ids,
-                            &mut device_ids,
-                        );
-                        let mut ipam = Ipam::new(
-                            IpamConfig {
-                                policy: PtrPolicy::FixedForm {
-                                    suffix: format!("{}.{}", sub.label, spec.suffix),
-                                },
-                                honor_no_update_flag: false,
-                                update_delay: SimDuration::secs(0),
-                                ttl: 3600,
-                                maintain_forward: false,
-                            },
-                            store.clone(),
-                        );
-                        ipam.preprovision(
-                            pool_addrs(&sub.prefix),
-                            SimTime::from_date(config.start),
-                        );
-                        SubnetRt {
-                            spec: sub.clone(),
-                            dhcp: Some(Self::make_dhcp(sub, spec.lease_time)),
-                            ipam: Some(ipam),
-                            next_sweep: None,
-                        }
-                    }
-                    SubnetRole::StaticInfra { hosts } => {
-                        Self::install_static_infra(&store, spec, sub, *hosts, &mut rng);
-                        SubnetRt {
-                            spec: sub.clone(),
-                            dhcp: None,
-                            ipam: None,
-                            next_sweep: None,
-                        }
-                    }
-                    SubnetRole::StaticNamed { hosts } => {
-                        Self::install_static_named(&store, spec, sub, *hosts, &name_pool, &mut rng);
-                        SubnetRt {
-                            spec: sub.clone(),
-                            dhcp: None,
-                            ipam: None,
-                            next_sweep: None,
-                        }
-                    }
-                    SubnetRole::Dark => SubnetRt {
-                        spec: sub.clone(),
-                        dhcp: None,
-                        ipam: None,
-                        next_sweep: None,
-                    },
-                };
-                subnets.push(rt);
-            }
-
-            // Plant seeded persons (the Brians).
-            for seed in &spec.seed_persons {
-                let housing = spec.subnets[seed.subnet].building == BuildingTag::Housing;
-                let person = Person {
-                    id: PersonId(person_ids),
-                    given_name: seed.given_name.clone(),
-                    kind: seed.kind,
-                    schedule: seed.kind.schedule(housing),
-                };
-                person_ids += 1;
-                let p_idx = persons.len();
-                persons.push(person);
-                person_devices.push(Vec::new());
-                for sd in &seed.devices {
-                    let mut device = Device::generate(
-                        DeviceId(device_ids),
-                        &persons[p_idx],
-                        sd.kind,
-                        AnonymityMode::Standard,
-                        &mut rng,
-                    );
-                    device_ids += 1;
-                    if sd.kind == DeviceKind::GalaxyNote {
-                        // Pin the case-study model: Fig. 8's brians-galaxy-note9.
-                        let cap = {
-                            let mut c = seed.given_name.chars();
-                            match c.next() {
-                                Some(f) => f.to_ascii_uppercase().to_string() + c.as_str(),
-                                None => String::new(),
-                            }
-                        };
-                        let pinned = format!("{cap}'s Galaxy Note9");
-                        device.identity.host_name = Some(pinned.clone());
-                        device.device_name = pinned;
-                    }
-                    device.acquired = sd.acquired;
-                    device.responds_to_ping = true;
-                    device.clean_release_prob = spec.clean_release_prob;
-                    person_devices[p_idx].push(devices.len());
-                    devices.push(DeviceRt {
-                        device,
-                        net_idx,
-                        sub_idx: seed.subnet,
-                        roam_subnets: Vec::new(),
-                        online_at: None,
-                        online_sub: None,
-                        always_on_started: false,
-                    });
-                }
-            }
-
-            networks.push(NetworkRt {
-                spec: spec.clone(),
-                subnets,
-            });
-        }
-
-        // Post-pass: lecture students roam among their network's education
-        // pools — a device may attach to a different building each session.
-        let mut education_pools: Vec<Vec<usize>> = Vec::with_capacity(networks.len());
-        for net in &networks {
-            education_pools.push(
-                net.subnets
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| {
-                        s.spec.building == BuildingTag::Education
-                            && matches!(
-                                s.spec.role,
-                                SubnetRole::DynamicClients {
-                                    person_kind: PersonKind::Student,
-                                    ..
-                                }
-                            )
-                    })
-                    .map(|(i, _)| i)
-                    .collect(),
+        // Shard RNG streams derive from network names; duplicates would
+        // replay the same stream twice.
+        {
+            let mut names: Vec<&str> =
+                config.networks.iter().map(|n| n.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(
+                names.len(),
+                config.networks.len(),
+                "network names must be unique (shard RNG streams derive from them)"
             );
         }
-        for d in &mut devices {
-            let pools = &education_pools[d.net_idx];
-            if pools.len() > 1 && pools.contains(&d.sub_idx) {
-                d.roam_subnets = pools.clone();
-            }
-        }
-
-        let clock = SimTime::from_date(config.start);
-        let mut world = World {
-            store,
-            networks,
-            persons,
-            person_devices,
-            devices,
-            clock,
-            queue: BinaryHeap::new(),
-            seq: 0,
-            rng,
-            online: HashMap::new(),
-            xid_counter: 1,
+        let store = ZoneStore::new();
+        let shards: Vec<Shard<ZoneStore>> = config
+            .networks
+            .iter()
+            .enumerate()
+            .map(|(net_idx, spec)| {
+                Shard::build(spec, net_idx, config.seed, config.start, &store)
+            })
+            .collect();
+        let workers = if config.shards == 0 {
+            shards.len().max(1)
+        } else {
+            config.shards
         };
-        world.push(clock, Event::PlanDay);
-        world
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn build_population(
-        spec: &NetworkSpec,
-        net_idx: usize,
-        sub_idx: usize,
-        n_persons: usize,
-        person_kind: PersonKind,
-        building: BuildingTag,
-        name_pool: &GivenNamePool,
-        rng: &mut ChaCha8Rng,
-        persons: &mut Vec<Person>,
-        person_devices: &mut Vec<Vec<usize>>,
-        devices: &mut Vec<DeviceRt>,
-        person_ids: &mut u64,
-        device_ids: &mut u64,
-    ) {
-        let housing = building == BuildingTag::Housing;
-        for _ in 0..n_persons {
-            let person = Person {
-                id: PersonId(*person_ids),
-                given_name: name_pool.sample(rng).to_string(),
-                kind: person_kind,
-                schedule: person_kind.schedule(housing),
-            };
-            *person_ids += 1;
-            let p_idx = persons.len();
-            persons.push(person);
-            person_devices.push(Vec::new());
-            for kind in sample_device_set(person_kind, housing, rng) {
-                let anonymity = if rng.gen::<f64>() < spec.anonymity_fraction {
-                    AnonymityMode::Rfc7844
-                } else {
-                    AnonymityMode::Standard
-                };
-                let mut device =
-                    Device::generate(DeviceId(*device_ids), &persons[p_idx], kind, anonymity, rng);
-                *device_ids += 1;
-                device.responds_to_ping = rng.gen::<f64>() < spec.device_ping_rate;
-                device.clean_release_prob = spec.clean_release_prob;
-                person_devices[p_idx].push(devices.len());
-                devices.push(DeviceRt {
-                    device,
-                    net_idx,
-                    sub_idx,
-                    roam_subnets: Vec::new(),
-                    online_at: None,
-                    online_sub: None,
-                    always_on_started: false,
-                });
-            }
+        World {
+            store,
+            shards,
+            clock: SimTime::from_date(config.start),
+            workers,
         }
-    }
-
-    fn make_dhcp(sub: &SubnetSpec, lease_time: SimDuration) -> DhcpServer {
-        let server_id = sub
-            .prefix
-            .addrs()
-            .nth(1)
-            .expect("pools are at least /30");
-        let mut config = ServerConfig::new(server_id);
-        config.lease_time = lease_time;
-        DhcpServer::new(config, pool_addrs(&sub.prefix))
-    }
-
-    fn install_static_infra(
-        store: &ZoneStore,
-        spec: &NetworkSpec,
-        sub: &SubnetSpec,
-        hosts: usize,
-        rng: &mut ChaCha8Rng,
-    ) {
-        let addrs: Vec<Ipv4Addr> = pool_addrs(&sub.prefix).collect();
-        for (i, addr) in addrs.iter().take(hosts).enumerate() {
-            let name = match i % 3 {
-                0 => {
-                    let term = ROUTER_TERMS[rng.gen_range(0..ROUTER_TERMS.len())];
-                    format!("{term}{i}.{}.{}", sub.label, spec.suffix)
-                }
-                1 => {
-                    let city = CITY_NAMES[rng.gen_range(0..CITY_NAMES.len())];
-                    format!("gi0-{i}.{city}.{}.{}", sub.label, spec.suffix)
-                }
-                _ => format!("static-{i}.{}.{}", sub.label, spec.suffix),
-            };
-            let target = DnsName::parse(&name).expect("static names are valid");
-            store.set_ptr(*addr, target, 3600);
-        }
-    }
-
-    /// Statically assigned, name-bearing workstation records: owner names
-    /// are visible in rDNS but the records never change, so these hosts feed
-    /// Fig. 2/3's "all matches" without being identifiable as dynamic.
-    fn install_static_named(
-        store: &ZoneStore,
-        spec: &NetworkSpec,
-        sub: &SubnetSpec,
-        hosts: usize,
-        name_pool: &GivenNamePool,
-        rng: &mut ChaCha8Rng,
-    ) {
-        let addrs: Vec<Ipv4Addr> = pool_addrs(&sub.prefix).collect();
-        for addr in addrs.iter().take(hosts) {
-            let owner = name_pool.sample(rng);
-            let kind = ["pc", "ws", "lab", "desktop"][rng.gen_range(0..4usize)];
-            // lint:allow(pii-display) -- hostname synthesis: building the PTR target that *is* the studied leak; consumers redact at display time
-            let name = format!("{owner}s-{kind}.{}.{}", sub.label, spec.suffix);
-            let target = DnsName::parse(&name).expect("static named records are valid");
-            store.set_ptr(*addr, target, 3600);
-        }
-    }
-
-    fn push(&mut self, at: SimTime, event: Event) {
-        self.queue.push(Reverse((at, self.seq, event)));
-        self.seq += 1;
     }
 
     /// The shared DNS store (the "global DNS" of the simulation).
@@ -473,42 +99,40 @@ impl World {
         self.clock
     }
 
-    /// All persons.
-    pub fn persons(&self) -> &[Person] {
-        &self.persons
+    /// All persons, across every network.
+    pub fn persons(&self) -> impl Iterator<Item = &Person> {
+        self.shards.iter().flat_map(|s| s.persons.iter())
     }
 
     /// Number of devices in the world.
     pub fn device_count(&self) -> usize {
-        self.devices.len()
+        self.shards.iter().map(|s| s.devices.len()).sum()
     }
 
     /// Number of devices currently online.
     pub fn online_count(&self) -> usize {
-        self.online.len()
+        self.shards.iter().map(|s| s.online.len()).sum()
     }
 
-    /// Network metadata: `(name, type, suffix, announced prefixes)`.
+    /// Network metadata: the spec of every instantiated organisation.
     pub fn network_specs(&self) -> impl Iterator<Item = &NetworkSpec> {
-        self.networks.iter().map(|n| &n.spec)
+        self.shards.iter().map(|s| s.spec.as_ref())
     }
 
-    /// The dynamic-pool prefixes of a network — what the supplemental
-    /// measurement targets (§6.1's weighted selection).
     /// The subnet → building association of a network — the a-posteriori
     /// knowledge the paper used in §7 and the §8 geotemporal escalation.
     /// Returns `(prefix, building-ish label)` pairs for client subnets.
     pub fn building_map(&self, network: &str) -> Vec<(Ipv4Net, String)> {
-        self.networks
+        self.shards
             .iter()
-            .filter(|n| n.spec.name == network)
-            .flat_map(|n| {
-                n.subnets.iter().enumerate().filter_map(|(i, s)| {
-                    match s.spec.role {
+            .filter(|s| s.spec.name == network)
+            .flat_map(|s| {
+                s.subnets.iter().enumerate().filter_map(|(i, sub)| {
+                    match sub.spec.role {
                         SubnetRole::DynamicClients { .. }
                         | SubnetRole::FixedFormDhcp { .. } => Some((
-                            s.spec.prefix,
-                            format!("{}-{}", s.spec.label, i),
+                            sub.spec.prefix,
+                            format!("{}-{}", sub.spec.label, i),
                         )),
                         _ => None,
                     }
@@ -517,14 +141,16 @@ impl World {
             .collect()
     }
 
+    /// The dynamic-pool prefixes of a network — what the supplemental
+    /// measurement targets (§6.1's weighted selection).
     pub fn scan_targets(&self, network: &str) -> Vec<Ipv4Net> {
-        self.networks
+        self.shards
             .iter()
-            .filter(|n| n.spec.name == network)
-            .flat_map(|n| {
-                n.subnets.iter().filter_map(|s| match s.spec.role {
+            .filter(|s| s.spec.name == network)
+            .flat_map(|s| {
+                s.subnets.iter().filter_map(|sub| match sub.spec.role {
                     SubnetRole::DynamicClients { .. } | SubnetRole::FixedFormDhcp { .. } => {
-                        Some(s.spec.prefix)
+                        Some(sub.spec.prefix)
                     }
                     _ => None,
                 })
@@ -536,44 +162,62 @@ impl World {
     /// open, a device is online there, and that device's host firewall
     /// permits echo (§6.2).
     pub fn ping(&self, addr: Ipv4Addr) -> bool {
-        let Some(&dev_idx) = self.online.get(&addr) else {
-            return false;
-        };
-        let dev = &self.devices[dev_idx];
-        let net = &self.networks[dev.net_idx];
-        net.spec.icmp == IcmpPolicy::Open && dev.device.responds_to_ping
+        for shard in &self.shards {
+            if let Some(&d_idx) = shard.online.get(&addr) {
+                return shard.spec.icmp == IcmpPolicy::Open
+                    && shard.devices[d_idx].device.responds_to_ping;
+            }
+        }
+        false
     }
 
     /// Whether any device is online at `addr` (ground truth, unaffected by
     /// ICMP policy — used for validation, not by the scanner).
     pub fn truth_online(&self, addr: Ipv4Addr) -> bool {
-        self.online.contains_key(&addr)
+        self.shards.iter().any(|s| s.online.contains_key(&addr))
     }
 
     /// Ground-truth online device count for one network.
     pub fn online_in_network(&self, network: &str) -> usize {
-        self.online
-            .values()
-            .filter(|&&i| self.networks[self.devices[i].net_idx].spec.name == network)
-            .count()
+        self.shards
+            .iter()
+            .filter(|s| s.spec.name == network)
+            .map(|s| s.online.len())
+            .sum()
     }
 
-    /// Process every event up to and including `target`, then set the clock
-    /// to `target`.
+    /// Process every event up to and including `target` on every shard, then
+    /// set the clock to `target`.
+    ///
+    /// Shards are partitioned into at most `workers` contiguous groups and
+    /// stepped concurrently. Each shard's event stream is self-contained, so
+    /// the grouping (and the thread schedule) cannot affect any result.
     pub fn step_until(&mut self, target: SimTime) {
-        while let Some(Reverse((at, _, _))) = self.queue.peek() {
-            if *at > target {
-                break;
+        if self.workers <= 1 || self.shards.len() <= 1 {
+            for shard in &mut self.shards {
+                shard.step_until(target);
             }
-            let Reverse((at, _, event)) = self.queue.pop().expect("peeked non-empty");
-            self.clock = at;
-            self.dispatch(at, event);
+        } else {
+            let shards = std::mem::take(&mut self.shards);
+            let groups = partition(shards, self.workers);
+            let stepped: Vec<Vec<Shard<ZoneStore>>> = groups
+                .into_par_iter()
+                .map(|mut group| {
+                    for shard in &mut group {
+                        shard.step_until(target);
+                    }
+                    group
+                })
+                .collect();
+            self.shards = stepped.into_iter().flatten().collect();
         }
         self.clock = target;
     }
 
     /// Convenience: step day by day, invoking `each_midnight` right after
     /// midnight of every day in `[start, end]` *before* that day's events.
+    /// Each `step_until` is a barrier across shards, so the callback always
+    /// observes a consistent cross-network snapshot.
     pub fn run_days<F: FnMut(&mut World, Date)>(
         &mut self,
         end: Date,
@@ -589,318 +233,29 @@ impl World {
         }
     }
 
-    fn dispatch(&mut self, at: SimTime, event: Event) {
-        match event {
-            Event::PlanDay => self.plan_day(at),
-            Event::Join(d) => {
-                let sub = self.devices[d].sub_idx;
-                self.device_join(d, sub, at)
-            }
-            Event::JoinAt(d, sub) => self.device_join(d, sub, at),
-            Event::Leave(d) => self.device_leave(d, at),
-            Event::Sweep(n, s) => self.sweep(n, s, at),
-            Event::Renew(d) => self.device_renew(d, at),
-        }
-    }
-
-    /// T1 renewal: while the device is online, refresh the lease at half the
-    /// lease time like real DHCP clients.
-    fn device_renew(&mut self, d_idx: usize, at: SimTime) {
-        let Some(addr) = self.devices[d_idx].online_at else {
-            return; // device left; lease will expire naturally
-        };
-        let net_idx = self.devices[d_idx].net_idx;
-        let sub_idx = self.devices[d_idx]
-            .online_sub
-            .unwrap_or(self.devices[d_idx].sub_idx);
-        let identity = self.devices[d_idx].device.identity.clone();
-        let xid = self.xid_counter;
-        self.xid_counter = self.xid_counter.wrapping_add(1);
-        let lease_time = self.networks[net_idx].spec.lease_time;
-        let sub = &mut self.networks[net_idx].subnets[sub_idx];
-        if let Some(dhcp) = sub.dhcp.as_mut() {
-            let renew = identity.renew(xid, addr);
-            let (_, events) = dhcp.handle(&renew, at);
-            if let Some(ipam) = sub.ipam.as_mut() {
-                for e in &events {
-                    ipam.apply(e);
-                }
-                ipam.flush(at);
-            }
-        }
-        self.push(at + SimDuration::secs(lease_time.as_secs() / 2), Event::Renew(d_idx));
-    }
-
-    fn plan_day(&mut self, at: SimTime) {
-        let date = at.date();
-        // Schedule tomorrow's planning first so the queue is never empty.
-        self.push(SimTime::from_date(date.succ()), Event::PlanDay);
-
-        for p_idx in 0..self.persons.len() {
-            let dev_idxs = self.person_devices[p_idx].clone();
-            if dev_idxs.is_empty() {
-                continue;
-            }
-            let net_idx = self.devices[dev_idxs[0]].net_idx;
-            let sub_idx = self.devices[dev_idxs[0]].sub_idx;
-            let spec = &self.networks[net_idx].spec;
-            let building = spec.subnets[sub_idx].building;
-            let factor = spec.calendar.presence_factor(date)
-                * spec.occupancy_for(building).factor(date);
-            let schedule = self.persons[p_idx].schedule.clone();
-            let plan = schedule.plan(date, factor, &mut self.rng);
-
-            for d_idx in dev_idxs {
-                let exists = self.devices[d_idx].device.exists_on(date);
-                if !exists {
-                    continue;
-                }
-                let style = self.devices[d_idx].device.kind.session_style();
-                if style == SessionStyle::AlwaysOn {
-                    if !self.devices[d_idx].always_on_started {
-                        self.devices[d_idx].always_on_started = true;
-                        self.push(at, Event::Join(d_idx));
-                    }
-                    continue;
-                }
-                if let Some(plan) = &plan {
-                    let session = {
-                        let dev = &self.devices[d_idx].device;
-                        dev.session_within(plan, &mut self.rng)
-                    };
-                    if let Some(session) = session {
-                        let roam = &self.devices[d_idx].roam_subnets;
-                        if roam.is_empty() {
-                            self.push(session.join, Event::Join(d_idx));
-                            self.push(session.leave, Event::Leave(d_idx));
-                        } else {
-                            // A lecture day may span two buildings: split
-                            // longer sessions at a midpoint with a short
-                            // walking gap.
-                            let total = session.leave.since_sat(session.join);
-                            let first_sub = roam[self.rng.gen_range(0..roam.len())];
-                            if total > SimDuration::mins(90) && self.rng.gen_bool(0.6) {
-                                let half = SimDuration::secs(total.as_secs() / 2);
-                                let gap = SimDuration::mins(self.rng.gen_range(10..=25));
-                                let second_sub = roam[self.rng.gen_range(0..roam.len())];
-                                self.push(session.join, Event::JoinAt(d_idx, first_sub));
-                                self.push(session.join + half, Event::Leave(d_idx));
-                                self.push(
-                                    session.join + half + gap,
-                                    Event::JoinAt(d_idx, second_sub),
-                                );
-                                self.push(session.leave + gap, Event::Leave(d_idx));
-                            } else {
-                                self.push(session.join, Event::JoinAt(d_idx, first_sub));
-                                self.push(session.leave, Event::Leave(d_idx));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    fn device_join(&mut self, d_idx: usize, sub_idx: usize, at: SimTime) {
-        if self.devices[d_idx].online_at.is_some() {
-            return;
-        }
-        let net_idx = self.devices[d_idx].net_idx;
-        let identity = self.devices[d_idx].device.identity.clone();
-        let xid = self.xid_counter;
-        self.xid_counter = self.xid_counter.wrapping_add(1);
-        let sub = &mut self.networks[net_idx].subnets[sub_idx];
-        let Some(dhcp) = sub.dhcp.as_mut() else {
-            return;
-        };
-        match acquire(dhcp, &identity, xid, at) {
-            Ok((addr, events)) => {
-                if let Some(ipam) = sub.ipam.as_mut() {
-                    for e in &events {
-                        ipam.apply(e);
-                    }
-                    ipam.flush(at);
-                }
-                let next_expiry = dhcp.next_expiry();
-                self.devices[d_idx].online_at = Some(addr);
-                self.devices[d_idx].online_sub = Some(sub_idx);
-                self.online.insert(addr, d_idx);
-                self.maybe_schedule_sweep(net_idx, sub_idx, next_expiry);
-                // T1 renewal timer, like real DHCP client stacks.
-                let lease_time = self.networks[net_idx].spec.lease_time;
-                self.push(
-                    at + SimDuration::secs(lease_time.as_secs() / 2),
-                    Event::Renew(d_idx),
-                );
-            }
-            Err(_) => {
-                // Pool exhausted; the device simply fails to join today.
-            }
-        }
-    }
-
-    fn device_leave(&mut self, d_idx: usize, at: SimTime) {
-        let Some(addr) = self.devices[d_idx].online_at.take() else {
-            return;
-        };
-        self.online.remove(&addr);
-        let net_idx = self.devices[d_idx].net_idx;
-        let sub_idx = self.devices[d_idx]
-            .online_sub
-            .take()
-            .unwrap_or(self.devices[d_idx].sub_idx);
-        let clean = {
-            let p = self.devices[d_idx].device.clean_release_prob;
-            self.rng.gen::<f64>() < p
-        };
-        if !clean {
-            // The device vanishes; its lease (and PTR) lingers until expiry.
-            return;
-        }
-        let identity = self.devices[d_idx].device.identity.clone();
-        let xid = self.xid_counter;
-        self.xid_counter = self.xid_counter.wrapping_add(1);
-        let sub = &mut self.networks[net_idx].subnets[sub_idx];
-        let (Some(dhcp), Some(ipam)) = (sub.dhcp.as_mut(), sub.ipam.as_mut()) else {
-            return;
-        };
-        let server_id = sub
-            .spec
-            .prefix
-            .addrs()
-            .nth(1)
-            .expect("pools are at least /30");
-        let release = identity.release(xid, addr, server_id);
-        let (_, events) = dhcp.handle(&release, at);
-        for e in &events {
-            ipam.apply(e);
-        }
-        ipam.flush(at);
-    }
-
-    fn sweep(&mut self, net_idx: usize, sub_idx: usize, at: SimTime) {
-        self.networks[net_idx].subnets[sub_idx].next_sweep = None;
-        // Renew leases of devices that are still online.
-        let due: Vec<(rdns_dhcp::MacAddr, Ipv4Addr)> = {
-            let sub = &self.networks[net_idx].subnets[sub_idx];
-            let Some(dhcp) = sub.dhcp.as_ref() else {
-                return;
-            };
-            dhcp.leases()
-                .iter_active()
-                .filter(|l| l.expires <= at)
-                .map(|l| (l.mac, l.addr))
-                .collect()
-        };
-        for (_mac, addr) in &due {
-            if let Some(&d_idx) = self.online.get(addr) {
-                // Still online: renew through the protocol.
-                let identity = self.devices[d_idx].device.identity.clone();
-                let xid = self.xid_counter;
-                self.xid_counter = self.xid_counter.wrapping_add(1);
-                let sub = &mut self.networks[net_idx].subnets[sub_idx];
-                if let Some(dhcp) = sub.dhcp.as_mut() {
-                    let renew = identity.renew(xid, *addr);
-                    let (_, events) = dhcp.handle(&renew, at);
-                    if let Some(ipam) = sub.ipam.as_mut() {
-                        for e in &events {
-                            ipam.apply(e);
-                        }
-                        ipam.flush(at);
-                    }
-                }
-            }
-        }
-        // Expire the rest.
-        let next_expiry = {
-            let sub = &mut self.networks[net_idx].subnets[sub_idx];
-            let Some(dhcp) = sub.dhcp.as_mut() else {
-                return;
-            };
-            let events = dhcp.tick(at);
-            if let Some(ipam) = sub.ipam.as_mut() {
-                for e in &events {
-                    ipam.apply(e);
-                }
-                ipam.flush(at);
-            }
-            dhcp.next_expiry()
-        };
-        self.maybe_schedule_sweep(net_idx, sub_idx, next_expiry);
-    }
-
-    fn maybe_schedule_sweep(
-        &mut self,
-        net_idx: usize,
-        sub_idx: usize,
-        next_expiry: Option<SimTime>,
-    ) {
-        let Some(t) = next_expiry else {
-            return;
-        };
-        let sub = &mut self.networks[net_idx].subnets[sub_idx];
-        match sub.next_sweep {
-            Some(existing) if existing <= t => {}
-            _ => {
-                sub.next_sweep = Some(t);
-                self.push(t, Event::Sweep(net_idx, sub_idx));
-            }
-        }
-    }
-
     /// Check internal consistency; panics with a description on violation.
     /// Cheap enough to call from long-running tests after every simulated
     /// day.
     pub fn check_invariants(&self) {
-        // online map ↔ device state bijection.
-        for (addr, &d_idx) in &self.online {
-            assert_eq!(
-                self.devices[d_idx].online_at,
-                Some(*addr),
-                "online map points at a device that disagrees"
-            );
-        }
-        let online_devices = self
-            .devices
-            .iter()
-            .filter(|d| d.online_at.is_some())
-            .count();
-        assert_eq!(
-            online_devices,
-            self.online.len(),
-            "device online flags out of sync with the online map"
-        );
-        // Every online device holds an active lease at its address.
-        for d in &self.devices {
-            let (Some(addr), Some(sub_idx)) = (d.online_at, d.online_sub) else {
-                continue;
-            };
-            let sub = &self.networks[d.net_idx].subnets[sub_idx];
-            let dhcp = sub.dhcp.as_ref().expect("online devices live on DHCP subnets");
-            let lease = dhcp
-                .leases()
-                .lease_at(addr)
-                .unwrap_or_else(|| panic!("online device at {addr} has no active lease"));
-            assert_eq!(lease.mac, d.device.identity.mac, "lease owned by someone else");
+        for shard in &self.shards {
+            shard.check_invariants();
         }
     }
 
     /// Devices whose (raw) name contains `needle`, with their network name —
     /// ground truth for the case studies.
     pub fn devices_named(&self, needle: &str) -> Vec<(String, String)> {
-        self.devices
+        let needle = needle.to_ascii_lowercase();
+        self.shards
             .iter()
-            .filter(|d| {
-                d.device
-                    .device_name
-                    .to_ascii_lowercase()
-                    .contains(&needle.to_ascii_lowercase())
-            })
-            .map(|d| {
-                (
-                    d.device.device_name.clone(),
-                    self.networks[d.net_idx].spec.name.clone(),
-                )
+            .flat_map(|s| {
+                s.devices.iter().filter_map(|d| {
+                    if d.device.device_name.to_ascii_lowercase().contains(&needle) {
+                        Some((d.device.device_name.clone(), s.spec.name.clone()))
+                    } else {
+                        None
+                    }
+                })
             })
             .collect()
     }
@@ -911,66 +266,17 @@ impl World {
     }
 }
 
-/// Allocatable addresses of a pool prefix: skip network address, router
-/// (.1 of each /24's first address — we skip the first two) and broadcast.
-fn pool_addrs(prefix: &Ipv4Net) -> impl Iterator<Item = Ipv4Addr> + '_ {
-    let n = prefix.size();
-    prefix
-        .addrs()
-        .enumerate()
-        .filter(move |(i, _)| *i >= 2 && (*i as u32) < n - 1)
-        .map(|(_, a)| a)
-}
-
-/// Sample the device portfolio for one person.
-fn sample_device_set<R: Rng + ?Sized>(
-    kind: PersonKind,
-    housing: bool,
-    rng: &mut R,
-) -> Vec<DeviceKind> {
-    let phone = match rng.gen_range(0..10) {
-        0..=3 => DeviceKind::Iphone,
-        4..=5 => DeviceKind::AndroidPhone,
-        6..=7 => DeviceKind::GalaxyNote,
-        _ => DeviceKind::GenericPhone,
-    };
-    let laptop = match rng.gen_range(0..12) {
-        0..=2 => DeviceKind::MacbookPro,
-        3..=4 => DeviceKind::MacbookAir,
-        5..=6 => DeviceKind::DellLaptop,
-        7..=8 => DeviceKind::LenovoLaptop,
-        9 => DeviceKind::Chromebook,
-        _ => DeviceKind::GenericLaptop,
-    };
-    let mut out = vec![phone, laptop];
-    match kind {
-        PersonKind::Student => {
-            if rng.gen_bool(0.25) {
-                out.push(DeviceKind::Ipad);
-            }
-            if housing && rng.gen_bool(0.15) {
-                out.push(DeviceKind::Roku);
-            }
-        }
-        PersonKind::Employee => {
-            if rng.gen_bool(0.2) {
-                out.push(DeviceKind::WindowsDesktop);
-            }
-            if rng.gen_bool(0.1) {
-                out.push(DeviceKind::Ipad);
-            }
-        }
-        PersonKind::Resident => {
-            if rng.gen_bool(0.4) {
-                out.push(DeviceKind::Roku);
-            }
-            if rng.gen_bool(0.25) {
-                out.push(DeviceKind::WindowsDesktop);
-            }
-            if rng.gen_bool(0.2) {
-                out.push(DeviceKind::Ipad);
-            }
-        }
+/// Split shards into at most `workers` contiguous, order-preserving groups.
+fn partition<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let groups = workers.min(n).max(1);
+    let base = n / groups;
+    let rem = n % groups;
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(groups);
+    let mut iter = items.into_iter();
+    for g in 0..groups {
+        let take = base + usize::from(g < rem);
+        out.push(iter.by_ref().take(take).collect());
     }
     out
 }
@@ -978,6 +284,7 @@ fn sample_device_set<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::device::SessionStyle;
     use crate::spec::presets;
 
     fn tiny_world(start: Date) -> World {
@@ -985,14 +292,25 @@ mod tests {
             seed: 7,
             start,
             networks: vec![presets::academic_a(0.05)],
+            shards: 0,
         })
+    }
+
+    fn online_addrs(w: &World) -> Vec<Ipv4Addr> {
+        let mut addrs: Vec<Ipv4Addr> = w
+            .shards
+            .iter()
+            .flat_map(|s| s.online.keys().copied())
+            .collect();
+        addrs.sort();
+        addrs
     }
 
     #[test]
     fn world_builds_population() {
         let w = tiny_world(Date::from_ymd(2021, 11, 1));
         assert!(w.device_count() > 10);
-        assert!(!w.persons().is_empty());
+        assert!(w.persons().next().is_some());
         // Static infra was installed immediately.
         assert!(w.ptr_count() >= 40);
     }
@@ -1014,6 +332,7 @@ mod tests {
             seed: 9,
             start: Date::from_ymd(2021, 11, 1),
             networks: vec![presets::enterprise_a(0.2)],
+            shards: 0,
         });
         let date = Date::from_ymd(2021, 11, 2);
         w.step_until(SimTime::from_date_hms(date, 4, 0, 0));
@@ -1032,18 +351,15 @@ mod tests {
             seed: 11,
             start: Date::from_ymd(2021, 11, 1),
             networks: vec![presets::enterprise_b(0.2)], // ICMP blocked
+            shards: 0,
         });
         let date = Date::from_ymd(2021, 11, 2);
         w.step_until(SimTime::from_date_hms(date, 12, 0, 0));
         assert!(w.online_count() > 0);
         // Ground truth sees devices; ICMP sees nothing.
-        let online_addrs: Vec<Ipv4Addr> = w
-            .online
-            .keys()
-            .copied()
-            .collect();
-        assert!(online_addrs.iter().all(|a| !w.ping(*a)));
-        assert!(online_addrs.iter().any(|a| w.truth_online(*a)));
+        let addrs = online_addrs(&w);
+        assert!(addrs.iter().all(|a| !w.ping(*a)));
+        assert!(addrs.iter().any(|a| w.truth_online(*a)));
     }
 
     #[test]
@@ -1052,6 +368,7 @@ mod tests {
             seed: 13,
             start: Date::from_ymd(2021, 11, 1),
             networks: vec![presets::academic_a(0.05)],
+            shards: 0,
         });
         // Lecture-pool devices (the `campus` label) are gone at night once
         // their 1-hour leases expire; housing pools stay populated overnight,
@@ -1084,6 +401,7 @@ mod tests {
                 seed,
                 start: Date::from_ymd(2021, 11, 1),
                 networks: vec![presets::academic_a(0.05)],
+                shards: 0,
             });
             w.step_until(SimTime::from_date_hms(Date::from_ymd(2021, 11, 3), 15, 0, 0));
             let mut ptrs: Vec<(Ipv4Addr, String)> = Vec::new();
@@ -1093,6 +411,30 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42).1, run(43).1);
+    }
+
+    #[test]
+    fn shard_grouping_does_not_change_results() {
+        let run = |shards: usize| {
+            let mut w = World::new(WorldConfig {
+                seed: 42,
+                start: Date::from_ymd(2021, 11, 1),
+                networks: vec![
+                    presets::academic_a(0.05),
+                    presets::enterprise_a(0.2),
+                    presets::isp_a(0.3),
+                ],
+                shards,
+            });
+            w.step_until(SimTime::from_date_hms(Date::from_ymd(2021, 11, 2), 15, 0, 0));
+            let mut ptrs: Vec<(Ipv4Addr, String)> = Vec::new();
+            w.store().for_each_ptr(|a, n| ptrs.push((a, n.to_string())));
+            ptrs.sort();
+            (w.online_count(), ptrs)
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
     }
 
     #[test]
@@ -1142,6 +484,7 @@ mod tests {
             seed: 31,
             start: Date::from_ymd(2021, 11, 1),
             networks: vec![presets::academic_a(0.1)],
+            shards: 0,
         });
         // Run two weekdays; collect which /24s each hostname appeared in.
         use std::collections::{HashMap as Map, HashSet as Set};
@@ -1172,6 +515,7 @@ mod tests {
             seed: 1,
             start: Date::from_ymd(2021, 11, 1),
             networks: vec![presets::academic_a(0.05)],
+            shards: 0,
         });
         let map = w.building_map("Academic-A");
         assert_eq!(map.len(), 9); // 4 campus + 4 resnet + 1 staff
@@ -1186,19 +530,17 @@ mod tests {
             seed: 21,
             start: Date::from_ymd(2021, 11, 1),
             networks: vec![presets::isp_a(0.3)],
+            shards: 0,
         });
         // Find always-on devices (roku/desktop) after a few days: they must
         // be online even at 05:00.
         w.step_until(SimTime::from_date_hms(Date::from_ymd(2021, 11, 4), 5, 0, 0));
-        let always_on = w
-            .devices
-            .iter()
+        let devices = || w.shards.iter().flat_map(|s| s.devices.iter());
+        let always_on = devices()
             .filter(|d| d.device.kind.session_style() == SessionStyle::AlwaysOn)
             .count();
         if always_on > 0 {
-            let online_always_on = w
-                .devices
-                .iter()
+            let online_always_on = devices()
                 .filter(|d| {
                     d.device.kind.session_style() == SessionStyle::AlwaysOn
                         && d.online_at.is_some()
@@ -1206,5 +548,18 @@ mod tests {
                 .count();
             assert_eq!(online_always_on, always_on);
         }
+    }
+
+    #[test]
+    fn duplicate_network_names_are_rejected() {
+        let result = std::panic::catch_unwind(|| {
+            World::new(WorldConfig {
+                seed: 1,
+                start: Date::from_ymd(2021, 11, 1),
+                networks: vec![presets::academic_a(0.05), presets::academic_a(0.05)],
+                shards: 0,
+            })
+        });
+        assert!(result.is_err(), "duplicate names must be rejected");
     }
 }

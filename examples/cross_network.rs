@@ -43,6 +43,7 @@ fn main() {
     let from = Date::from_ymd(2021, 11, 1);
     let mut world = World::new(WorldConfig {
         seed: 0xB51A17,
+        shards: 0,
         start: from,
         networks: vec![campus, isp],
     });

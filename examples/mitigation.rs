@@ -46,6 +46,7 @@ fn run_policy(label: &str, dns_mode: Option<DynDnsMode>) {
     let start = Date::from_ymd(2021, 11, 1);
     let mut world = World::new(WorldConfig {
         seed: 99,
+        shards: 0,
         start,
         networks: vec![spec],
     });

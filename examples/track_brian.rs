@@ -19,6 +19,7 @@ fn main() {
     let weeks = 6;
     let mut world = World::new(WorldConfig {
         seed: 0xB51A17,
+        shards: 0,
         start: from,
         networks: vec![presets::academic_a(0.1)],
     });

@@ -20,6 +20,7 @@ fn main() {
     let start = Date::from_ymd(2021, 11, 1);
     let world = Arc::new(Mutex::new(World::new(WorldConfig {
         seed: 11,
+        shards: 0,
         start,
         networks: vec![presets::academic_a(0.05)],
     })));

@@ -36,6 +36,7 @@
 //! let start = Date::from_ymd(2021, 11, 1);
 //! let mut world = World::new(WorldConfig {
 //!     seed: 42,
+//!     shards: 0,
 //!     start,
 //!     networks: vec![presets::academic_a(0.05)],
 //! });

@@ -36,6 +36,7 @@ fn supplemental_campaign_is_deterministic() {
         let from = Date::from_ymd(2021, 11, 1);
         let mut world = World::new(WorldConfig {
             seed: 77,
+            shards: 0,
             start: from,
             networks: vec![presets::isp_a(0.2)],
         });
@@ -56,6 +57,7 @@ fn world_state_is_deterministic_across_runs() {
         let from = Date::from_ymd(2021, 11, 1);
         let mut world = World::new(WorldConfig {
             seed,
+            shards: 0,
             start: from,
             networks: vec![presets::academic_c(0.1)],
         });

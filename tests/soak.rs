@@ -14,6 +14,7 @@ fn run_with_invariants(networks: Vec<rdns_netsim::NetworkSpec>, days: i64) {
     let start = Date::from_ymd(2021, 10, 1);
     let mut world = World::new(WorldConfig {
         seed: 0xB51A17,
+        shards: 0,
         start,
         networks,
     });
@@ -45,6 +46,7 @@ fn holiday_transitions_hold_invariants() {
     let start = Date::from_ymd(2021, 11, 20);
     let mut world = World::new(WorldConfig {
         seed: 7,
+        shards: 0,
         start,
         networks: vec![presets::academic_a(0.08)],
     });

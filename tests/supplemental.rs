@@ -74,6 +74,7 @@ fn icmp_blocking_hides_hosts_but_not_records() {
     let from = Date::from_ymd(2021, 11, 1);
     let mut world = World::new(WorldConfig {
         seed: 5,
+        shards: 0,
         start: from,
         networks: vec![presets::enterprise_b(0.1)],
     });

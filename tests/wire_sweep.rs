@@ -31,15 +31,16 @@ fn all_subnet_addrs() -> Vec<Ipv4Addr> {
         .collect()
 }
 
-/// A world fast-forwarded 10 simulated hours into a weekday, so lecture
-/// halls, housing and the static infrastructure have all published records.
+/// A world fast-forwarded to noon of a weekday, so lecture halls, housing
+/// and the static infrastructure have all published records.
 fn populated_world() -> World {
     let mut world = World::new(WorldConfig {
         seed: 11,
+        shards: 0,
         start: start_date(),
         networks: vec![presets::academic_a(0.05)],
     });
-    world.step_until(SimTime::from_date(start_date()) + SimDuration::hours(10));
+    world.step_until(SimTime::from_date(start_date()) + SimDuration::hours(12));
     world
 }
 
