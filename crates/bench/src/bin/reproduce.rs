@@ -16,6 +16,7 @@ use rdns_core::experiments::{
 use rdns_core::experiments::section5::LeakStudy;
 use rdns_core::experiments::section6::SupplementalStudy;
 use rdns_model::Date;
+use rdns_telemetry::{Determinism, Registry};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -45,12 +46,21 @@ fn main() {
         .collect();
     println!("# rdns-privacy reproduction — scale {scale:?}");
     let t0 = Instant::now();
+    // Stage timings land in a wall-clock histogram; set RDNS_METRICS=1 to
+    // dump the exposition to stderr at exit (see OBSERVABILITY.md).
+    let registry = Registry::new();
+    let stage_wall = registry.histogram(
+        "rdns_bench_stage_wall_us",
+        "Wall-clock time per reproduction stage, microseconds.",
+        Determinism::WallClock,
+    );
 
     // §4/§5 study feeds Table 1 and Figs. 1–4.
     let leak_names = ["table1", "fig1", "fig2", "fig3", "fig4"];
     if leak_names.iter().any(|n| wanted(&selected, n)) {
         let started = Instant::now();
         let study = LeakStudy::run(&scale);
+        stage_wall.observe_duration(started.elapsed());
         eprintln!("[leak study: {:?}]", started.elapsed());
         if wanted(&selected, "table1") {
             banner("Table 1 — dataset statistics");
@@ -93,6 +103,7 @@ fn main() {
     if supp_names.iter().any(|n| wanted(&selected, n)) {
         let started = Instant::now();
         let study = SupplementalStudy::run(&scale);
+        stage_wall.observe_duration(started.elapsed());
         eprintln!("[supplemental study: {:?}]", started.elapsed());
         if wanted(&selected, "table3") {
             banner("Table 3 — supplemental measurement statistics");
@@ -182,5 +193,8 @@ fn main() {
         print!("{}", lease_ablation(&scale).render());
     }
 
+    if std::env::var_os("RDNS_METRICS").is_some() {
+        eprint!("{}", registry.render_prometheus());
+    }
     eprintln!("\n[total: {:?}]", t0.elapsed());
 }

@@ -6,6 +6,7 @@
 //! here as keyword heuristics so the whole pipeline runs unattended.
 
 use rayon::prelude::*;
+use rdns_telemetry::{Determinism, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -91,6 +92,24 @@ impl TypeBreakdown {
             *b.counts.entry(classify_suffix(s)).or_insert(0) += 1;
             b.total += 1;
         }
+        b
+    }
+
+    /// Like [`TypeBreakdown::from_suffixes`], reporting the number of rows
+    /// classified to `registry` as `rdns_core_rows_classified_total`. The
+    /// count is a pure function of the input, hence seed-stable.
+    pub fn from_suffixes_metered<'a, I: IntoIterator<Item = &'a str>>(
+        suffixes: I,
+        registry: &Registry,
+    ) -> TypeBreakdown {
+        let b = TypeBreakdown::from_suffixes(suffixes);
+        registry
+            .counter(
+                "rdns_core_rows_classified_total",
+                "Suffix rows classified into the Fig. 4 network taxonomy.",
+                Determinism::SeedStable,
+            )
+            .add(b.total as u64);
         b
     }
 

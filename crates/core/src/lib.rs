@@ -36,4 +36,6 @@ pub use names::{match_given_names, MATCH_GIVEN_NAMES};
 pub use redact::Pii;
 pub use suffix::{identify_leaking_suffixes, LeakParams, SuffixStats};
 pub use terms::{extract_terms, is_router_level, TermCounts, DEVICE_TERMS, GENERIC_TERMS};
-pub use timing::{build_groups, par_build_groups, ActivityGroup, GroupFunnel, RemovalDelays};
+pub use timing::{
+    build_groups, build_groups_metered, par_build_groups, ActivityGroup, GroupFunnel, RemovalDelays,
+};

@@ -114,6 +114,24 @@ pub fn build_groups(log: &ScanLog) -> Vec<ActivityGroup> {
     groups
 }
 
+/// Like [`build_groups`], reporting the number of groups built to
+/// `registry` as `rdns_core_groups_built_total`. Grouping is a pure
+/// function of the scan log, hence seed-stable.
+pub fn build_groups_metered(
+    log: &ScanLog,
+    registry: &rdns_telemetry::Registry,
+) -> Vec<ActivityGroup> {
+    let groups = build_groups(log);
+    registry
+        .counter(
+            "rdns_core_groups_built_total",
+            "Activity groups built from merged scan-log streams.",
+            rdns_telemetry::Determinism::SeedStable,
+        )
+        .add(groups.len() as u64);
+    groups
+}
+
 /// [`build_groups`] with the per-address work fanned out across the rayon
 /// pool. Addresses are independent; results are flattened in ascending
 /// address order and renumbered exactly like the sequential path, so the

@@ -2,6 +2,7 @@
 
 use rdns_dns::{DnsStore, ZoneStore};
 use rdns_model::{Date, Hostname, Slash24};
+use rdns_telemetry::{Counter, Determinism, Gauge, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashSet};
 use std::net::Ipv4Addr;
@@ -86,12 +87,51 @@ impl From<rdns_scan::WireSnapshot> for DailySnapshot {
 #[derive(Debug, Clone)]
 pub struct Snapshotter<S: DnsStore = ZoneStore> {
     store: S,
+    metrics: SnapMetrics,
+}
+
+/// Telemetry cells for [`Snapshotter`]. Unregistered (free-floating) by
+/// default; [`Snapshotter::attach_registry`] swaps in registry-backed cells.
+#[derive(Debug, Clone, Default)]
+struct SnapMetrics {
+    snapshots: Counter,
+    last_records: Gauge,
+}
+
+impl SnapMetrics {
+    fn with_registry(registry: &Registry) -> SnapMetrics {
+        SnapMetrics {
+            snapshots: registry.counter(
+                "rdns_data_snapshots_total",
+                "Full-store snapshots taken.",
+                Determinism::SeedStable,
+            ),
+            last_records: registry.gauge(
+                "rdns_data_last_snapshot_records",
+                "PTR records in the most recent snapshot.",
+                Determinism::SeedStable,
+            ),
+        }
+    }
 }
 
 impl<S: DnsStore> Snapshotter<S> {
     /// Observe `store`.
     pub fn new(store: S) -> Snapshotter<S> {
-        Snapshotter { store }
+        Snapshotter {
+            store,
+            metrics: SnapMetrics::default(),
+        }
+    }
+
+    /// Report snapshot metrics (`rdns_data_*`) to `registry`. Call once,
+    /// before taking snapshots; prior counts carry over. Clones made after
+    /// attaching share the same metric cells.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let metrics = SnapMetrics::with_registry(registry);
+        metrics.snapshots.absorb(&self.metrics.snapshots);
+        metrics.last_records.set(self.metrics.last_records.get());
+        self.metrics = metrics;
     }
 
     /// Take a full snapshot dated `date`.
@@ -100,6 +140,8 @@ impl<S: DnsStore> Snapshotter<S> {
         self.store.visit_ptrs(&mut |addr, name| {
             records.insert(addr, name.to_hostname());
         });
+        self.metrics.snapshots.inc();
+        self.metrics.last_records.set(records.len() as i64);
         DailySnapshot { date, records }
     }
 }

@@ -9,6 +9,7 @@ use crate::lease::{Lease, LeaseDb, LeaseError};
 use crate::message::{DhcpMessage, MessageType, OpCode};
 use crate::options::DhcpOption;
 use rdns_model::{SimDuration, SimTime};
+use rdns_telemetry::{Counter, Determinism, Histogram, Registry};
 use std::net::Ipv4Addr;
 
 /// Server configuration.
@@ -78,11 +79,64 @@ impl LeaseEvent {
     }
 }
 
+/// Registry-backed counters behind a [`DhcpServer`]. Lease traffic is a pure
+/// function of the simulation seed, so everything here — including the lease
+/// lifetime histogram, which observes *simulated* seconds — is
+/// [`Determinism::SeedStable`].
+#[derive(Debug, Clone, Default)]
+struct DhcpMetrics {
+    grants: Counter,
+    renews: Counter,
+    releases: Counter,
+    expiries: Counter,
+    /// Bound lifetime (simulated seconds) of leases that ended, by RELEASE or
+    /// expiry — the distribution behind the paper's Fig. 7 PTR lifetimes.
+    lease_lifetime: Histogram,
+}
+
+impl DhcpMetrics {
+    fn with_registry(registry: &Registry) -> DhcpMetrics {
+        let c = |name, help| registry.counter(name, help, Determinism::SeedStable);
+        DhcpMetrics {
+            grants: c("rdns_dhcp_grants_total", "New leases allocated (DHCPACK to a fresh request)."),
+            renews: c("rdns_dhcp_renews_total", "Leases renewed before expiry."),
+            releases: c(
+                "rdns_dhcp_releases_total",
+                "Leases ended by client RELEASE or DECLINE.",
+            ),
+            expiries: c(
+                "rdns_dhcp_expiries_total",
+                "Leases that ran out without renewal.",
+            ),
+            lease_lifetime: registry.histogram(
+                "rdns_dhcp_lease_lifetime_s",
+                "Bound lifetime of ended leases, simulated seconds.",
+                Determinism::SeedStable,
+            ),
+        }
+    }
+
+    fn absorb(&self, old: &DhcpMetrics) {
+        self.grants.absorb(&old.grants);
+        self.renews.absorb(&old.renews);
+        self.releases.absorb(&old.releases);
+        self.expiries.absorb(&old.expiries);
+        self.lease_lifetime.absorb(&old.lease_lifetime);
+    }
+
+    fn lease_ended(&self, lease: &Lease, now: SimTime) {
+        self.lease_lifetime.observe(now.since_sat(lease.start).as_secs());
+    }
+}
+
 /// A DHCP server over one address pool.
+///
+/// Clones share their metric cells (see [`DhcpServer::attach_registry`]).
 #[derive(Debug, Clone)]
 pub struct DhcpServer {
     config: ServerConfig,
     leases: LeaseDb,
+    metrics: DhcpMetrics,
 }
 
 impl DhcpServer {
@@ -91,7 +145,17 @@ impl DhcpServer {
         DhcpServer {
             config,
             leases: LeaseDb::new(pool),
+            metrics: DhcpMetrics::default(),
         }
+    }
+
+    /// Route this server's lease counters through `registry` (as
+    /// `rdns_dhcp_*`). Counts accumulated so far are carried over; call once
+    /// per server.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let metrics = DhcpMetrics::with_registry(registry);
+        metrics.absorb(&self.metrics);
+        self.metrics = metrics;
     }
 
     /// Immutable access to the lease table.
@@ -121,7 +185,11 @@ impl DhcpServer {
             Some(MessageType::Request) => self.commit(msg, now),
             Some(MessageType::Release) => {
                 let events = match self.leases.release(msg.chaddr) {
-                    Ok(lease) => vec![LeaseEvent::Released { lease, at: now }],
+                    Ok(lease) => {
+                        self.metrics.releases.inc();
+                        self.metrics.lease_ended(&lease, now);
+                        vec![LeaseEvent::Released { lease, at: now }]
+                    }
                     Err(_) => Vec::new(),
                 };
                 (None, events) // RELEASE gets no reply (RFC 2131 §4.4.6)
@@ -134,6 +202,8 @@ impl DhcpServer {
                 let events = match self.leases.release(msg.chaddr) {
                     Ok(lease) => {
                         self.leases.quarantine(lease.addr);
+                        self.metrics.releases.inc();
+                        self.metrics.lease_ended(&lease, now);
                         vec![LeaseEvent::Released { lease, at: now }]
                     }
                     Err(_) => {
@@ -154,7 +224,11 @@ impl DhcpServer {
         self.leases
             .expire_before(now)
             .into_iter()
-            .map(|lease| LeaseEvent::Expired { lease, at: now })
+            .map(|lease| {
+                self.metrics.expiries.inc();
+                self.metrics.lease_ended(&lease, now);
+                LeaseEvent::Expired { lease, at: now }
+            })
             .collect()
     }
 
@@ -174,6 +248,7 @@ impl DhcpServer {
             return match self.leases.renew(msg.chaddr, now, self.config.lease_time) {
                 Ok(lease) => {
                     let lease = lease.clone();
+                    self.metrics.renews.inc();
                     let reply = self.reply(msg, MessageType::Ack, lease.addr);
                     (Some(reply), vec![LeaseEvent::Renewed { lease, at: now }])
                 }
@@ -199,6 +274,7 @@ impl DhcpServer {
                 let client_fqdn = msg
                     .client_fqdn()
                     .map(|(no_updates, name)| (no_updates, name.to_string()));
+                self.metrics.grants.inc();
                 let reply = self.reply(msg, MessageType::Ack, lease.addr);
                 (
                     Some(reply),

@@ -11,9 +11,10 @@ use crate::message::{Message, Question, Rcode, RecordType, ResourceRecord};
 use crate::name::DnsName;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rdns_telemetry::{Counter, Determinism, Histogram, Registry};
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tokio::net::UdpSocket;
 use tokio::time::timeout;
 
@@ -100,11 +101,65 @@ pub struct ResolverStats {
     pub tcp_retries: u64,
 }
 
+/// Registry-backed counters behind a [`Resolver`]. Everything here is
+/// [`Determinism::WallClock`]: retries and timeouts depend on host timing.
+#[derive(Debug, Default)]
+struct ResolverMetrics {
+    queries_sent: Counter,
+    responses: Counter,
+    timeouts: Counter,
+    id_mismatches: Counter,
+    tcp_retries: Counter,
+    latency: Histogram,
+}
+
+impl ResolverMetrics {
+    fn with_registry(registry: &Registry) -> ResolverMetrics {
+        let c = |name, help| registry.counter(name, help, Determinism::WallClock);
+        ResolverMetrics {
+            queries_sent: c(
+                "rdns_dns_resolver_queries_total",
+                "Queries issued by the serial resolver (including retries).",
+            ),
+            responses: c(
+                "rdns_dns_resolver_responses_total",
+                "Answers received by the serial resolver (any rcode).",
+            ),
+            timeouts: c(
+                "rdns_dns_resolver_timeouts_total",
+                "Serial-resolver attempts that timed out.",
+            ),
+            id_mismatches: c(
+                "rdns_dns_resolver_id_mismatch_total",
+                "Responses discarded due to message-ID mismatch.",
+            ),
+            tcp_retries: c(
+                "rdns_dns_resolver_tcp_retries_total",
+                "Truncated UDP responses retried over TCP.",
+            ),
+            latency: registry.histogram(
+                "rdns_dns_resolver_latency_us",
+                "Per-lookup wall-clock latency of answered queries, microseconds.",
+                Determinism::WallClock,
+            ),
+        }
+    }
+
+    fn absorb(&self, old: &ResolverMetrics) {
+        self.queries_sent.absorb(&old.queries_sent);
+        self.responses.absorb(&old.responses);
+        self.timeouts.absorb(&old.timeouts);
+        self.id_mismatches.absorb(&old.id_mismatches);
+        self.tcp_retries.absorb(&old.tcp_retries);
+        self.latency.absorb(&old.latency);
+    }
+}
+
 /// An async DNS stub resolver over UDP.
 pub struct Resolver {
     socket: UdpSocket,
     config: ResolverConfig,
-    stats: ResolverStats,
+    metrics: ResolverMetrics,
     /// Per-resolver ID generator, seeded from `config.id_seed` (or entropy).
     id_rng: SmallRng,
 }
@@ -119,14 +174,29 @@ impl Resolver {
         Ok(Resolver {
             socket,
             config,
-            stats: ResolverStats::default(),
+            metrics: ResolverMetrics::default(),
             id_rng,
         })
     }
 
     /// Accumulated statistics.
     pub fn stats(&self) -> ResolverStats {
-        self.stats
+        ResolverStats {
+            queries_sent: self.metrics.queries_sent.get(),
+            responses: self.metrics.responses.get(),
+            timeouts: self.metrics.timeouts.get(),
+            id_mismatches: self.metrics.id_mismatches.get(),
+            tcp_retries: self.metrics.tcp_retries.get(),
+        }
+    }
+
+    /// Route this resolver's counters and latency histogram through
+    /// `registry` (as `rdns_dns_resolver_*`). Counts accumulated so far are
+    /// carried over; call once.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let metrics = ResolverMetrics::with_registry(registry);
+        metrics.absorb(&self.metrics);
+        self.metrics = metrics;
     }
 
     /// Next message ID from the per-resolver sequence.
@@ -137,20 +207,22 @@ impl Resolver {
     /// Issue a query and classify the outcome.
     pub async fn query(&mut self, qname: &DnsName, qtype: RecordType) -> io::Result<LookupOutcome> {
         let mut buf = vec![0u8; 1500];
+        let lookup_start = Instant::now();
         for _attempt in 0..self.config.attempts.max(1) {
             let id: u16 = self.next_id();
             let msg = Message::query(id, Question::new(qname.clone(), qtype));
             self.socket
                 .send_to(&msg.encode(), self.config.server)
                 .await?;
-            self.stats.queries_sent += 1;
+            self.metrics.queries_sent.inc();
 
             match timeout(self.config.timeout, self.recv_matching(id, &mut buf)).await {
                 Ok(Ok(resp)) => {
-                    self.stats.responses += 1;
+                    self.metrics.responses.inc();
+                    self.metrics.latency.observe_duration(lookup_start.elapsed());
                     if resp.header.truncated && self.config.tcp_fallback {
                         // RFC 1035: retry the query over TCP.
-                        self.stats.tcp_retries += 1;
+                        self.metrics.tcp_retries.inc();
                         match timeout(self.config.timeout, query_tcp(self.config.server, &msg))
                             .await
                         {
@@ -166,7 +238,7 @@ impl Resolver {
                 }
                 Ok(Err(e)) => return Err(e),
                 Err(_elapsed) => {
-                    self.stats.timeouts += 1;
+                    self.metrics.timeouts.inc();
                     continue;
                 }
             }
@@ -189,7 +261,7 @@ impl Resolver {
             match Message::decode(&buf[..n]) {
                 Ok(m) if m.header.id == id && m.header.response => return Ok(m),
                 Ok(_) => {
-                    self.stats.id_mismatches += 1;
+                    self.metrics.id_mismatches.inc();
                     continue;
                 }
                 Err(_) => continue,

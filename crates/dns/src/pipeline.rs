@@ -25,12 +25,13 @@ use crate::name::DnsName;
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rdns_telemetry::{Counter, Determinism, Gauge, Histogram, Registry};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Ipv4Addr, SocketAddr};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tokio::net::UdpSocket;
 use tokio::sync::{oneshot, watch, Semaphore};
 use tokio::task::JoinHandle;
@@ -85,32 +86,75 @@ impl PipelinedConfig {
     }
 }
 
-/// Counters kept by a pipelined resolver (relaxed atomics; queries run
-/// concurrently).
+/// Counters kept by a pipelined resolver: a typed facade over
+/// [`rdns_telemetry`] primitives (queries run concurrently, so every cell is
+/// a shared atomic). All of them are wall-clock metrics — retry and timeout
+/// counts depend on host timing.
 #[derive(Debug, Default)]
 pub struct PipelinedStats {
     /// Queries issued (including retries).
-    pub queries_sent: AtomicU64,
+    pub queries_sent: Counter,
     /// Responses routed to a waiting query.
-    pub responses: AtomicU64,
+    pub responses: Counter,
     /// Attempts that timed out.
-    pub timeouts: AtomicU64,
+    pub timeouts: Counter,
     /// Datagrams with no waiting query (late retransmissions, strays) or
     /// that failed to decode.
-    pub unmatched: AtomicU64,
+    pub unmatched: Counter,
     /// Truncated UDP responses retried over TCP.
-    pub tcp_retries: AtomicU64,
+    pub tcp_retries: Counter,
+    /// Per-lookup wall-clock latency of answered queries, microseconds.
+    pub latency: Histogram,
+    /// Lookups currently holding an in-flight permit.
+    pub in_flight: Gauge,
 }
 
 impl PipelinedStats {
+    /// Registry-backed stats: cells live under `rdns_dns_pipeline_*`.
+    pub fn with_registry(registry: &Registry) -> PipelinedStats {
+        let c = |name, help| registry.counter(name, help, Determinism::WallClock);
+        PipelinedStats {
+            queries_sent: c(
+                "rdns_dns_pipeline_queries_total",
+                "Queries issued by the pipelined resolver (including retries).",
+            ),
+            responses: c(
+                "rdns_dns_pipeline_responses_total",
+                "Responses routed to a waiting query.",
+            ),
+            timeouts: c(
+                "rdns_dns_pipeline_timeouts_total",
+                "Pipelined-resolver attempts that timed out.",
+            ),
+            unmatched: c(
+                "rdns_dns_pipeline_unmatched_total",
+                "Datagrams with no waiting query, or that failed to decode.",
+            ),
+            tcp_retries: c(
+                "rdns_dns_pipeline_tcp_retries_total",
+                "Truncated UDP responses retried over TCP.",
+            ),
+            latency: registry.histogram(
+                "rdns_dns_pipeline_latency_us",
+                "Per-lookup wall-clock latency of answered queries, microseconds.",
+                Determinism::WallClock,
+            ),
+            in_flight: registry.gauge(
+                "rdns_dns_pipeline_in_flight",
+                "Lookups currently holding an in-flight permit.",
+                Determinism::WallClock,
+            ),
+        }
+    }
+
     /// Snapshot all counters as plain values.
     pub fn snapshot(&self) -> PipelinedStatsSnapshot {
         PipelinedStatsSnapshot {
-            queries_sent: self.queries_sent.load(Ordering::Relaxed),
-            responses: self.responses.load(Ordering::Relaxed),
-            timeouts: self.timeouts.load(Ordering::Relaxed),
-            unmatched: self.unmatched.load(Ordering::Relaxed),
-            tcp_retries: self.tcp_retries.load(Ordering::Relaxed),
+            queries_sent: self.queries_sent.get(),
+            responses: self.responses.get(),
+            timeouts: self.timeouts.get(),
+            unmatched: self.unmatched.get(),
+            tcp_retries: self.tcp_retries.get(),
         }
     }
 }
@@ -128,6 +172,16 @@ pub struct PipelinedStatsSnapshot {
     pub unmatched: u64,
     /// TCP retries after truncation.
     pub tcp_retries: u64,
+}
+
+/// Decrements the wrapped gauge on drop, so every exit path of a lookup
+/// releases its in-flight slot exactly once.
+struct GaugeGuard(Gauge);
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
 }
 
 /// In-flight queries awaiting responses, keyed by DNS message ID.
@@ -156,9 +210,26 @@ pub struct PipelinedResolver {
 impl PipelinedResolver {
     /// Bind an ephemeral local socket and start the demux task.
     pub async fn new(config: PipelinedConfig) -> io::Result<PipelinedResolver> {
+        PipelinedResolver::with_stats(config, PipelinedStats::default()).await
+    }
+
+    /// Like [`PipelinedResolver::new`], with the counters routed through
+    /// `registry` (as `rdns_dns_pipeline_*`). The registration happens before
+    /// the demux task starts, so no increment is lost.
+    pub async fn new_with_registry(
+        config: PipelinedConfig,
+        registry: &Registry,
+    ) -> io::Result<PipelinedResolver> {
+        PipelinedResolver::with_stats(config, PipelinedStats::with_registry(registry)).await
+    }
+
+    async fn with_stats(
+        config: PipelinedConfig,
+        stats: PipelinedStats,
+    ) -> io::Result<PipelinedResolver> {
         let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
         let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
-        let stats = Arc::new(PipelinedStats::default());
+        let stats = Arc::new(stats);
         let closed = Arc::new(AtomicBool::new(false));
         let (shutdown_tx, shutdown_rx) = watch::channel(false);
         let demux = tokio::spawn(demux_loop(
@@ -218,6 +289,9 @@ impl PipelinedResolver {
             .acquire_owned()
             .await
             .expect("semaphore never closed");
+        self.stats.in_flight.add(1);
+        let _in_flight = GaugeGuard(self.stats.in_flight.clone());
+        let lookup_start = Instant::now();
         for _attempt in 0..self.config.attempts.max(1) {
             if self.closed.load(Ordering::Acquire) {
                 // Demux gone: nobody can route a response to us.
@@ -229,14 +303,15 @@ impl PipelinedResolver {
                 self.unregister(id);
                 return Err(e);
             }
-            self.stats.queries_sent.fetch_add(1, Ordering::Relaxed);
+            self.stats.queries_sent.inc();
 
             match timeout(self.config.timeout, rx).await {
                 Ok(Ok(resp)) => {
-                    self.stats.responses.fetch_add(1, Ordering::Relaxed);
+                    self.stats.responses.inc();
+                    self.stats.latency.observe_duration(lookup_start.elapsed());
                     if resp.header.truncated && self.config.tcp_fallback {
                         // RFC 1035: retry the query over TCP.
-                        self.stats.tcp_retries.fetch_add(1, Ordering::Relaxed);
+                        self.stats.tcp_retries.inc();
                         match timeout(self.config.timeout, query_tcp(self.config.server, &msg))
                             .await
                         {
@@ -256,7 +331,7 @@ impl PipelinedResolver {
                 }
                 Err(_elapsed) => {
                     self.unregister(id);
-                    self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.stats.timeouts.inc();
                     continue;
                 }
             }
@@ -319,7 +394,7 @@ async fn demux_loop(
             recv = socket.recv_from(&mut buf) => {
                 let Ok((n, peer)) = recv else { break };
                 if peer != server {
-                    stats.unmatched.fetch_add(1, Ordering::Relaxed);
+                    stats.unmatched.inc();
                     continue; // spoofed / stray datagram
                 }
                 match Message::decode(&buf[..n]) {
@@ -330,16 +405,16 @@ async fn demux_loop(
                             // dropped its receiver — a late response.
                             Some(tx) => {
                                 if tx.send(m).is_err() {
-                                    stats.unmatched.fetch_add(1, Ordering::Relaxed);
+                                    stats.unmatched.inc();
                                 }
                             }
                             None => {
-                                stats.unmatched.fetch_add(1, Ordering::Relaxed);
+                                stats.unmatched.inc();
                             }
                         }
                     }
                     _ => {
-                        stats.unmatched.fetch_add(1, Ordering::Relaxed);
+                        stats.unmatched.inc();
                     }
                 }
             }

@@ -10,9 +10,9 @@ use crate::message::{Message, Opcode, Rcode};
 use crate::zone::{LookupResult, ZoneStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use rdns_telemetry::{Counter, Determinism, Registry};
 use std::io;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tokio::net::UdpSocket;
 use tokio::sync::watch;
@@ -45,43 +45,86 @@ impl Default for FaultConfig {
     }
 }
 
-/// Counters exposed by the server.
+/// Counters exposed by the server: a typed facade over
+/// [`rdns_telemetry::Counter`] cells. A default-constructed `ServerStats` is
+/// unregistered (counters work but render nowhere); route it through a
+/// [`Registry`] with [`UdpServer::with_registry`].
 #[derive(Debug, Default)]
 pub struct ServerStats {
     /// Datagrams received.
-    pub received: AtomicU64,
+    pub received: Counter,
     /// Datagrams that failed to parse.
-    pub malformed: AtomicU64,
+    pub malformed: Counter,
     /// Responses with at least one answer record.
-    pub answered: AtomicU64,
+    pub answered: Counter,
     /// NXDOMAIN responses.
-    pub nxdomain: AtomicU64,
+    pub nxdomain: Counter,
     /// NoError/NoData responses.
-    pub nodata: AtomicU64,
+    pub nodata: Counter,
     /// SERVFAIL responses (injected faults).
-    pub servfail: AtomicU64,
+    pub servfail: Counter,
     /// REFUSED responses (out-of-bailiwick queries).
-    pub refused: AtomicU64,
+    pub refused: Counter,
     /// Queries dropped by fault injection.
-    pub dropped: AtomicU64,
+    pub dropped: Counter,
 }
 
 impl ServerStats {
-    fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Registry-backed stats: every counter lives under `rdns_dns_server_*`.
+    /// Server counters are classed [`Determinism::WallClock`] — what a wire
+    /// server sees depends on client retries and kernel timing.
+    pub fn with_registry(registry: &Registry) -> ServerStats {
+        let c = |name, help| registry.counter(name, help, Determinism::WallClock);
+        ServerStats {
+            received: c("rdns_dns_server_received_total", "Datagrams received."),
+            malformed: c(
+                "rdns_dns_server_malformed_total",
+                "Datagrams that failed to parse as DNS queries.",
+            ),
+            answered: c(
+                "rdns_dns_server_answered_total",
+                "Responses carrying at least one answer record.",
+            ),
+            nxdomain: c("rdns_dns_server_nxdomain_total", "NXDOMAIN responses."),
+            nodata: c("rdns_dns_server_nodata_total", "NoError/NoData responses."),
+            servfail: c(
+                "rdns_dns_server_servfail_total",
+                "SERVFAIL responses (injected faults).",
+            ),
+            refused: c(
+                "rdns_dns_server_refused_total",
+                "REFUSED responses (out-of-bailiwick queries).",
+            ),
+            dropped: c(
+                "rdns_dns_server_dropped_total",
+                "Queries dropped by fault injection.",
+            ),
+        }
+    }
+
+    /// Fold counts accumulated before registration into this facade.
+    fn absorb(&self, old: &ServerStats) {
+        self.received.absorb(&old.received);
+        self.malformed.absorb(&old.malformed);
+        self.answered.absorb(&old.answered);
+        self.nxdomain.absorb(&old.nxdomain);
+        self.nodata.absorb(&old.nodata);
+        self.servfail.absorb(&old.servfail);
+        self.refused.absorb(&old.refused);
+        self.dropped.absorb(&old.dropped);
     }
 
     /// Snapshot all counters as plain values.
     pub fn snapshot(&self) -> ServerStatsSnapshot {
         ServerStatsSnapshot {
-            received: self.received.load(Ordering::Relaxed),
-            malformed: self.malformed.load(Ordering::Relaxed),
-            answered: self.answered.load(Ordering::Relaxed),
-            nxdomain: self.nxdomain.load(Ordering::Relaxed),
-            nodata: self.nodata.load(Ordering::Relaxed),
-            servfail: self.servfail.load(Ordering::Relaxed),
-            refused: self.refused.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
+            received: self.received.get(),
+            malformed: self.malformed.get(),
+            answered: self.answered.get(),
+            nxdomain: self.nxdomain.get(),
+            nodata: self.nodata.get(),
+            servfail: self.servfail.get(),
+            refused: self.refused.get(),
+            dropped: self.dropped.get(),
         }
     }
 }
@@ -126,18 +169,18 @@ impl ServerCore {
         let query = match Message::decode(datagram) {
             Ok(m) => m,
             Err(_) => {
-                ServerStats::bump(&self.stats.malformed);
+                self.stats.malformed.inc();
                 return None;
             }
         };
         if query.header.response {
             // Not a query at all; ignore silently like BIND does.
-            ServerStats::bump(&self.stats.malformed);
+            self.stats.malformed.inc();
             return None;
         }
 
         if self.faults.drop_probability > 0.0 && rng.gen::<f64>() < self.faults.drop_probability {
-            ServerStats::bump(&self.stats.dropped);
+            self.stats.dropped.inc();
             return None;
         }
 
@@ -158,13 +201,13 @@ impl ServerCore {
 
     fn answer(&self, query: &Message, rng: &mut SmallRng) -> Message {
         if query.header.opcode != Opcode::Query || query.questions.len() != 1 {
-            ServerStats::bump(&self.stats.malformed);
+            self.stats.malformed.inc();
             return Message::response_to(query, Rcode::NotImp);
         }
         if self.faults.servfail_probability > 0.0
             && rng.gen::<f64>() < self.faults.servfail_probability
         {
-            ServerStats::bump(&self.stats.servfail);
+            self.stats.servfail.inc();
             return Message::response_to(query, Rcode::ServFail);
         }
         let resp = answer_from_store(&self.store, query);
@@ -175,7 +218,7 @@ impl ServerCore {
             (Rcode::Refused, _) => &self.stats.refused,
             _ => &self.stats.malformed,
         };
-        ServerStats::bump(counter);
+        counter.inc();
         resp
     }
 
@@ -199,7 +242,7 @@ impl ServerCore {
                 }
                 recv = socket.recv_from(&mut buf) => {
                     let (len, peer) = recv?;
-                    ServerStats::bump(&self.stats.received);
+                    self.stats.received.inc();
                     if let Some(reply) = self.handle_datagram(&buf[..len], &mut rng) {
                         // Best-effort send; a full socket buffer is the
                         // client's timeout problem, mirroring real servers.
@@ -254,6 +297,19 @@ impl UdpServer {
     /// Serve with `n` concurrent worker tasks (clamped to at least 1).
     pub fn with_workers(mut self, n: usize) -> UdpServer {
         self.workers = n.max(1);
+        self
+    }
+
+    /// Route the server's counters through `registry` (as
+    /// `rdns_dns_server_*`). Counts accumulated so far are carried over.
+    /// Must be called before [`UdpServer::run`], while the core is still
+    /// exclusively owned by the builder.
+    pub fn with_registry(mut self, registry: &Registry) -> UdpServer {
+        let core = Arc::get_mut(&mut self.core)
+            .expect("with_registry must be called before the server starts");
+        let stats = ServerStats::with_registry(registry);
+        stats.absorb(&core.stats);
+        core.stats = Arc::new(stats);
         self
     }
 

@@ -4,6 +4,7 @@ use crate::naming::{hashed_label, sanitize_label};
 use rdns_dhcp::{LeaseEvent, MacAddr};
 use rdns_dns::{DnsName, DnsStore, ZoneStore};
 use rdns_model::{SimDuration, SimTime};
+use rdns_telemetry::{Counter, Determinism, Registry};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
@@ -108,6 +109,36 @@ pub struct IpamStats {
     pub suppressed: u64,
 }
 
+/// Registry-backed counters behind an [`Ipam`]. Carry-over decisions are a
+/// pure function of lease traffic, so all of them are
+/// [`Determinism::SeedStable`].
+#[derive(Debug, Clone, Default)]
+struct IpamMetrics {
+    added: Counter,
+    removed: Counter,
+    suppressed: Counter,
+}
+
+impl IpamMetrics {
+    fn with_registry(registry: &Registry) -> IpamMetrics {
+        let c = |name, help| registry.counter(name, help, Determinism::SeedStable);
+        IpamMetrics {
+            added: c("rdns_ipam_added_total", "PTR additions committed."),
+            removed: c("rdns_ipam_removed_total", "PTR removals committed."),
+            suppressed: c(
+                "rdns_ipam_suppressed_total",
+                "Lease events that produced no DNS change.",
+            ),
+        }
+    }
+
+    fn absorb(&self, old: &IpamMetrics) {
+        self.added.absorb(&old.added);
+        self.removed.absorb(&old.removed);
+        self.suppressed.absorb(&old.suppressed);
+    }
+}
+
 /// An entry in the audit trail.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditEntry {
@@ -129,12 +160,15 @@ struct Pending {
 /// lock-striped [`ZoneStore`] (the default), while the serial simulation
 /// baseline drives the same policy logic against a
 /// [`rdns_dns::CoarseZoneStore`].
+/// Note on cloning: clones share the same metric cells, so after
+/// [`Ipam::attach_registry`] the counters reported by [`Ipam::stats`] are the
+/// aggregate across all clones.
 #[derive(Debug, Clone)]
 pub struct Ipam<S: DnsStore = ZoneStore> {
     config: IpamConfig,
     store: S,
     queue: VecDeque<Pending>,
-    stats: IpamStats,
+    metrics: IpamMetrics,
     audit: Vec<AuditEntry>,
     audit_enabled: bool,
 }
@@ -146,10 +180,19 @@ impl<S: DnsStore> Ipam<S> {
             config,
             store,
             queue: VecDeque::new(),
-            stats: IpamStats::default(),
+            metrics: IpamMetrics::default(),
             audit: Vec::new(),
             audit_enabled: false,
         }
+    }
+
+    /// Route this engine's counters through `registry` (as `rdns_ipam_*`).
+    /// Counts accumulated so far — e.g. by [`Ipam::preprovision`] during
+    /// world construction — are carried over; call once per engine.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let metrics = IpamMetrics::with_registry(registry);
+        metrics.absorb(&self.metrics);
+        self.metrics = metrics;
     }
 
     /// Keep an in-memory audit trail of committed changes (off by default;
@@ -165,7 +208,11 @@ impl<S: DnsStore> Ipam<S> {
 
     /// Engine counters.
     pub fn stats(&self) -> IpamStats {
-        self.stats
+        IpamStats {
+            added: self.metrics.added.get(),
+            removed: self.metrics.removed.get(),
+            suppressed: self.metrics.suppressed.get(),
+        }
     }
 
     /// The configured policy.
@@ -203,7 +250,7 @@ impl<S: DnsStore> Ipam<S> {
                 if self.config.honor_no_update_flag
                     && client_fqdn.as_ref().is_some_and(|(n, _)| *n)
                 {
-                    self.stats.suppressed += 1;
+                    self.metrics.suppressed.inc();
                     return;
                 }
                 match self.derive_target(lease.addr, lease.mac, lease.host_name.as_deref()) {
@@ -215,14 +262,14 @@ impl<S: DnsStore> Ipam<S> {
                         },
                     ),
                     None => {
-                        self.stats.suppressed += 1;
+                        self.metrics.suppressed.inc();
                         return;
                     }
                 }
             }
             LeaseEvent::Renewed { .. } => {
                 // Renewal keeps the binding; nothing to change.
-                self.stats.suppressed += 1;
+                self.metrics.suppressed.inc();
                 return;
             }
             LeaseEvent::Released { lease, at } | LeaseEvent::Expired { lease, at } => {
@@ -231,7 +278,7 @@ impl<S: DnsStore> Ipam<S> {
                         (*at, DnsChange::RemovePtr { addr: lease.addr })
                     }
                     PtrPolicy::FixedForm { .. } | PtrPolicy::NoUpdate => {
-                        self.stats.suppressed += 1;
+                        self.metrics.suppressed.inc();
                         return;
                     }
                 }
@@ -272,7 +319,7 @@ impl<S: DnsStore> Ipam<S> {
                     self.store.set_a(target, *addr, self.config.ttl);
                 }
                 self.store.set_ptr(*addr, target.clone(), self.config.ttl);
-                self.stats.added += 1;
+                self.metrics.added.inc();
             }
             DnsChange::RemovePtr { addr } => {
                 if self.config.maintain_forward {
@@ -283,7 +330,7 @@ impl<S: DnsStore> Ipam<S> {
                     }
                 }
                 self.store.remove_ptr(*addr);
-                self.stats.removed += 1;
+                self.metrics.removed.inc();
             }
         }
         if self.audit_enabled {

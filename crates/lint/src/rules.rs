@@ -40,6 +40,7 @@ pub const ALL_RULES: &[&str] = &[
     "sleep-in-async",
     "hash-iter-ordered",
     "pii-display",
+    "raw-atomic-stats",
 ];
 
 /// Crates whose output must be a pure function of their inputs: the
@@ -151,6 +152,7 @@ pub fn check_file(origin: &FileOrigin, lexed: &Lexed) -> Vec<Finding> {
     rule_sleep_in_async(origin, tokens, &mut out);
     rule_hash_iter_ordered(origin, tokens, &test_ranges, &sink_spans, &mut out);
     rule_pii_display(origin, tokens, &test_ranges, &sink_spans, &mut out);
+    rule_raw_atomic_stats(origin, tokens, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -695,6 +697,36 @@ fn interpolated_idents(fmt: &str) -> Vec<String> {
         i = j + 1;
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// telemetry
+// ---------------------------------------------------------------------------
+
+/// Counters belong in the telemetry registry, not in hand-rolled
+/// `AtomicU64` fields: registry-backed cells get naming, exposition, and
+/// the determinism contract for free, and stay aggregatable across
+/// components. The rule flags the `AtomicU64` type name anywhere in
+/// `crates/*` outside `crates/telemetry` (which implements the
+/// primitives). Atomics that are genuinely not statistics — sequence
+/// numbers, one-shot flags wider than a bool — take a justified
+/// `lint:allow(raw-atomic-stats)`.
+fn rule_raw_atomic_stats(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Finding>) {
+    if !origin.is_crate() || origin.crate_name.as_deref() == Some("telemetry") {
+        return;
+    }
+    for t in tokens {
+        if t.is_ident("AtomicU64") {
+            out.push(finding(
+                origin,
+                t.line,
+                "raw-atomic-stats",
+                "hand-rolled AtomicU64 counter outside crates/telemetry; use a registry-backed \
+                 rdns_telemetry::Counter (named, rendered, determinism-classified) instead"
+                    .to_string(),
+            ));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

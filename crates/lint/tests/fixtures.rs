@@ -124,10 +124,33 @@ fn allow_fixture() {
 }
 
 #[test]
+fn raw_atomic_fixture() {
+    let bad = include_str!("fixtures/bad_raw_atomic.rs");
+    assert_eq!(
+        findings("crates/scan/src/bad.rs", bad),
+        vec![(1, "raw-atomic-stats"), (4, "raw-atomic-stats")]
+    );
+    // Registry-backed counters pass; a justified allow covers the one
+    // atomic that is genuinely not a statistic.
+    let good = include_str!("fixtures/good_raw_atomic.rs");
+    assert_eq!(findings("crates/scan/src/good.rs", good), vec![]);
+}
+
+#[test]
+fn raw_atomic_rule_exempts_telemetry_and_shims() {
+    // crates/telemetry implements the counter primitives; shims sit below
+    // the policy layer entirely.
+    let bad = include_str!("fixtures/bad_raw_atomic.rs");
+    assert_eq!(findings("crates/telemetry/src/bad.rs", bad), vec![]);
+    assert_eq!(findings("shims/tokio/src/bad.rs", bad), vec![]);
+}
+
+#[test]
 fn every_rule_is_exercised_by_a_fixture() {
     // Guards against adding a rule without fixture coverage.
     let covered = ["thread-rng", "entropy-source", "std-sync-lock",
-        "sleep-in-async", "hash-iter-ordered", "pii-display"];
+        "sleep-in-async", "hash-iter-ordered", "pii-display",
+        "raw-atomic-stats"];
     for rule in rdns_lint::ALL_RULES {
         assert!(covered.contains(rule), "rule `{rule}` has no fixture");
     }

@@ -1,0 +1,11 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct SweepStats {
+    probes: AtomicU64,
+}
+
+impl SweepStats {
+    pub fn bump(&self) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,25 @@
+use rdns_telemetry::{Counter, Determinism, Registry};
+
+pub struct SweepStats {
+    probes: Counter,
+}
+
+impl SweepStats {
+    pub fn with_registry(registry: &Registry) -> SweepStats {
+        SweepStats {
+            probes: registry.counter(
+                "rdns_scan_probes_total",
+                "Probes sent.",
+                Determinism::SeedStable,
+            ),
+        }
+    }
+
+    pub fn bump(&self) {
+        self.probes.inc();
+    }
+}
+
+// Not a statistic: a monotonic id source, justified.
+// lint:allow(raw-atomic-stats) -- query-id sequence, not a metric
+pub static NEXT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);

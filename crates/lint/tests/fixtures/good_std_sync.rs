@@ -1,9 +1,9 @@
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 pub struct Shared {
     data: Arc<Mutex<u32>>,
     lock: RwLock<u8>,
-    n: AtomicU64,
+    n: AtomicUsize,
 }

@@ -6,6 +6,12 @@
 //! supplemental-measurement pipeline truncates timestamps to 5-minute bins
 //! before merging ICMP and rDNS data points (§6.1); [`SimTime::truncate`]
 //! implements that.
+//!
+//! The virtual clock is also what makes simulation-derived telemetry
+//! reproducible: metrics measured in [`SimTime`] / [`SimDuration`] units
+//! (e.g. DHCP lease lifetimes) are `seed_stable` under the determinism
+//! contract in `OBSERVABILITY.md`, whereas anything measured on the host
+//! wall clock is not.
 
 use crate::date::Date;
 use serde::{Deserialize, Serialize};

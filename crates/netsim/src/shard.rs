@@ -32,6 +32,7 @@ use rdns_dhcp::{acquire, AnonymityMode, ClientIdentity, DhcpServer, ServerConfig
 use rdns_dns::{DnsName, DnsStore};
 use rdns_ipam::{Ipam, IpamConfig, PtrPolicy};
 use rdns_model::{Date, DeviceId, Ipv4Net, PersonId, SimDuration, SimTime};
+use rdns_telemetry::{Counter, Determinism, Histogram, Registry};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::net::Ipv4Addr;
@@ -90,6 +91,15 @@ pub(crate) struct DeviceRt {
     pub(crate) always_on_started: bool,
 }
 
+/// Per-shard telemetry. The event counter is seed-stable (the event sequence
+/// is a pure function of seed and network); the step wall-time histogram is
+/// host timing and therefore wall-clock.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ShardMetrics {
+    pub(crate) events: Counter,
+    pub(crate) step_wall: Histogram,
+}
+
 /// One network's independent event loop.
 pub(crate) struct Shard<S: DnsStore> {
     /// Interned network spec.
@@ -105,6 +115,7 @@ pub(crate) struct Shard<S: DnsStore> {
     pub(crate) online: HashMap<Ipv4Addr, usize>,
     pub(crate) xid_counter: u32,
     pub(crate) clock: SimTime,
+    pub(crate) metrics: ShardMetrics,
 }
 
 fn push_event(
@@ -355,14 +366,48 @@ impl<S: DnsStore> Shard<S> {
             online: HashMap::new(),
             xid_counter: 1,
             clock,
+            metrics: ShardMetrics::default(),
         };
         push_event(&mut shard.queue, &mut shard.seq, clock, Event::PlanDay);
         shard
     }
 
+    /// Route this shard's metrics — and those of its DHCP servers and IPAM
+    /// engines — through `registry`. Shard-level series are labelled by
+    /// network (`rdns_netsim_*{network="..."}`); the DHCP/IPAM counters are
+    /// workspace-global and aggregate across shards. Counts accumulated
+    /// during construction (e.g. fixed-form preprovisioning) carry over.
+    pub(crate) fn attach_registry(&mut self, registry: &Registry) {
+        let label = |base: &str| format!("{base}{{network=\"{}\"}}", self.spec.name);
+        let metrics = ShardMetrics {
+            events: registry.counter(
+                &label("rdns_netsim_events_total"),
+                "Simulation events dispatched, by network shard.",
+                Determinism::SeedStable,
+            ),
+            step_wall: registry.histogram(
+                &label("rdns_netsim_step_wall_us"),
+                "Wall-clock time per step_until call, microseconds, by network shard.",
+                Determinism::WallClock,
+            ),
+        };
+        metrics.events.absorb(&self.metrics.events);
+        metrics.step_wall.absorb(&self.metrics.step_wall);
+        self.metrics = metrics;
+        for sub in &mut self.subnets {
+            if let Some(dhcp) = sub.dhcp.as_mut() {
+                dhcp.attach_registry(registry);
+            }
+            if let Some(ipam) = sub.ipam.as_mut() {
+                ipam.attach_registry(registry);
+            }
+        }
+    }
+
     /// Process every event up to and including `target`, then set the clock
     /// to `target`.
     pub(crate) fn step_until(&mut self, target: SimTime) {
+        let span = self.metrics.step_wall.start_span();
         while let Some(Reverse((at, _, _))) = self.queue.peek() {
             if *at > target {
                 break;
@@ -372,9 +417,11 @@ impl<S: DnsStore> Shard<S> {
             self.dispatch(at, event);
         }
         self.clock = target;
+        drop(span);
     }
 
     fn dispatch(&mut self, at: SimTime, event: Event) {
+        self.metrics.events.inc();
         match event {
             Event::PlanDay => self.plan_day(at),
             Event::Join(d) => {

@@ -20,6 +20,7 @@ use crate::spec::{IcmpPolicy, NetworkSpec, SubnetRole};
 use rayon::prelude::*;
 use rdns_dns::ZoneStore;
 use rdns_model::{Date, Ipv4Net, SimDuration, SimTime};
+use rdns_telemetry::Registry;
 use std::net::Ipv4Addr;
 
 /// World construction parameters.
@@ -92,6 +93,18 @@ impl World {
     /// The shared DNS store (the "global DNS" of the simulation).
     pub fn store(&self) -> &ZoneStore {
         &self.store
+    }
+
+    /// Route every shard's telemetry — per-network event counters and step
+    /// wall-time histograms, plus the DHCP and IPAM counters underneath —
+    /// through `registry`. Counts accumulated during construction (e.g.
+    /// fixed-form preprovisioning) are carried over, so attaching right after
+    /// [`World::new`] loses nothing. The seed-stable series are identical
+    /// across shard counts; see `OBSERVABILITY.md` for the contract.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        for shard in &mut self.shards {
+            shard.attach_registry(registry);
+        }
     }
 
     /// Current simulation time.

@@ -21,6 +21,7 @@ use crate::probe::RdnsOutcome;
 use crate::ratelimit::TokenBucket;
 use rdns_dns::PipelinedResolver;
 use rdns_model::{Date, Hostname, SimDuration, SimTime};
+use rdns_telemetry::{Counter, Determinism, Registry};
 use std::collections::BTreeMap;
 use std::future::Future;
 use std::net::Ipv4Addr;
@@ -104,16 +105,53 @@ impl SweepReport {
     }
 }
 
+/// Registry-backed sweep counters. `probes` is seed-stable (a sweep sends
+/// exactly one probe per target, whatever the timing); stall and retry
+/// counts depend on host timing and are wall-clock.
+#[derive(Debug, Default)]
+struct SweepMetrics {
+    probes: Counter,
+    rate_stalls: Counter,
+    retries: Counter,
+}
+
+impl SweepMetrics {
+    fn with_registry(registry: &Registry) -> SweepMetrics {
+        SweepMetrics {
+            probes: registry.counter(
+                "rdns_scan_probes_total",
+                "Target addresses probed (one per target per sweep).",
+                Determinism::SeedStable,
+            ),
+            rate_stalls: registry.counter(
+                "rdns_scan_rate_stalls_total",
+                "Worker waits on an empty token bucket.",
+                Determinism::WallClock,
+            ),
+            retries: registry.counter(
+                "rdns_scan_retries_total",
+                "Resolver attempts beyond the first, per target.",
+                Determinism::WallClock,
+            ),
+        }
+    }
+}
+
 /// Sweeps a target list through a [`PipelinedResolver`].
 pub struct WireSweeper {
     resolver: PipelinedResolver,
     config: SweepConfig,
+    metrics: SweepMetrics,
 }
 
 impl WireSweeper {
     /// Sweep through `resolver` with the given knobs.
     pub fn new(resolver: PipelinedResolver, config: SweepConfig) -> WireSweeper {
-        WireSweeper { resolver, config }
+        WireSweeper {
+            resolver,
+            config,
+            metrics: SweepMetrics::default(),
+        }
     }
 
     /// Connect a fresh pipelined resolver to `server`, sized so the resolver
@@ -122,10 +160,38 @@ impl WireSweeper {
         server: std::net::SocketAddr,
         config: SweepConfig,
     ) -> std::io::Result<WireSweeper> {
+        WireSweeper::connect_inner(server, config, None).await
+    }
+
+    /// Like [`WireSweeper::connect`], with both the sweeper's counters
+    /// (`rdns_scan_*`) and the underlying pipelined resolver's counters
+    /// (`rdns_dns_pipeline_*`) routed through `registry`.
+    pub async fn connect_with_registry(
+        server: std::net::SocketAddr,
+        config: SweepConfig,
+        registry: &Registry,
+    ) -> std::io::Result<WireSweeper> {
+        WireSweeper::connect_inner(server, config, Some(registry)).await
+    }
+
+    async fn connect_inner(
+        server: std::net::SocketAddr,
+        config: SweepConfig,
+        registry: Option<&Registry>,
+    ) -> std::io::Result<WireSweeper> {
         let mut resolver_config = rdns_dns::PipelinedConfig::new(server);
         resolver_config.max_in_flight = resolver_config.max_in_flight.max(config.concurrency);
-        let resolver = PipelinedResolver::new(resolver_config).await?;
-        Ok(WireSweeper::new(resolver, config))
+        let resolver = match registry {
+            Some(registry) => {
+                rdns_dns::PipelinedResolver::new_with_registry(resolver_config, registry).await?
+            }
+            None => PipelinedResolver::new(resolver_config).await?,
+        };
+        let mut sweeper = WireSweeper::new(resolver, config);
+        if let Some(registry) = registry {
+            sweeper.metrics = SweepMetrics::with_registry(registry);
+        }
+        Ok(sweeper)
     }
 
     /// The underlying resolver.
@@ -160,6 +226,7 @@ impl WireSweeper {
         let outcomes: Mutex<Vec<(Ipv4Addr, RdnsOutcome)>> =
             Mutex::new(Vec::with_capacity(order.len()));
 
+        let attempts_before = self.resolver.stats().snapshot().queries_sent;
         let workers = self.config.concurrency.min(order.len().max(1));
         let worker_futs: Vec<_> = (0..workers)
             .map(|_| {
@@ -168,6 +235,7 @@ impl WireSweeper {
                 let outcomes = &outcomes;
                 let bucket = &bucket;
                 let resolver = &self.resolver;
+                let metrics = &self.metrics;
                 async move {
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -179,9 +247,11 @@ impl WireSweeper {
                                 if bucket.lock().try_take(now) {
                                     break;
                                 }
+                                metrics.rate_stalls.inc();
                                 tokio::time::sleep(Duration::from_millis(2)).await;
                             }
                         }
+                        metrics.probes.inc();
                         let outcome = RdnsOutcome::from_lookup(resolver.reverse(addr).await);
                         outcomes.lock().push((addr, outcome));
                     }
@@ -189,6 +259,11 @@ impl WireSweeper {
             })
             .collect();
         drive_all(worker_futs).await;
+        // Attempts beyond one-per-target are retries (timeout re-sends).
+        let attempts = self.resolver.stats().snapshot().queries_sent - attempts_before;
+        self.metrics
+            .retries
+            .add(attempts.saturating_sub(order.len() as u64));
 
         let elapsed = started.elapsed();
         let mut report = SweepReport {

@@ -1,0 +1,170 @@
+//! CI scrape check: validate the Prometheus exposition printed by
+//! `examples/wire_sweep.rs` and cross-check it against the metric catalogue
+//! in `OBSERVABILITY.md`.
+//!
+//! ```text
+//! cargo run --release --example wire_sweep > sweep.out
+//! cargo run -p rdns-telemetry --bin scrape_check -- sweep.out OBSERVABILITY.md
+//! ```
+//!
+//! The example wraps its exposition in `=== BEGIN PROMETHEUS ===` /
+//! `=== END PROMETHEUS ===` markers; `OBSERVABILITY.md` lists the metric
+//! families the worked example must expose between
+//! `<!-- scrape-expect:begin -->` and `<!-- scrape-expect:end -->`.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [sweep_path, catalogue_path] = args.as_slice() else {
+        eprintln!("usage: scrape_check <example-output> <OBSERVABILITY.md>");
+        return ExitCode::from(2);
+    };
+    let output = match std::fs::read_to_string(sweep_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scrape_check: cannot read {sweep_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let catalogue = match std::fs::read_to_string(catalogue_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("scrape_check: cannot read {catalogue_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let exposition = match extract(&output, "=== BEGIN PROMETHEUS ===", "=== END PROMETHEUS ===") {
+        Some(text) => text,
+        None => {
+            eprintln!("scrape_check: no PROMETHEUS marker block in {sweep_path}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let families = match parse_exposition(exposition) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("scrape_check: exposition does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let expected = expected_families(&catalogue);
+    if expected.is_empty() {
+        eprintln!("scrape_check: no scrape-expect block in {catalogue_path}");
+        return ExitCode::FAILURE;
+    }
+
+    let missing: Vec<&String> = expected.iter().filter(|f| !families.contains(*f)).collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "scrape_check: {} catalogued families missing from the scrape:",
+            missing.len()
+        );
+        for f in missing {
+            eprintln!("  {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "scrape_check: OK — {} families scraped, all {} catalogued families present",
+        families.len(),
+        expected.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn extract<'a>(text: &'a str, begin: &str, end: &str) -> Option<&'a str> {
+    let start = text.find(begin)? + begin.len();
+    let stop = text[start..].find(end)? + start;
+    Some(&text[start..stop])
+}
+
+/// Parse the text exposition: every sample line must carry a numeric value
+/// and belong to a family announced by `# HELP` + `# TYPE` lines above it.
+/// Returns the set of announced families.
+fn parse_exposition(text: &str) -> Result<BTreeSet<String>, String> {
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    let mut samples = 0usize;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or_default();
+            helped.insert(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or_default();
+            let kind = parts.next().unwrap_or_default();
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {}: unknown TYPE {kind:?}", lineno + 1));
+            }
+            if !helped.contains(name) {
+                return Err(format!("line {}: TYPE {name} before its HELP", lineno + 1));
+            }
+            typed.insert(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment (e.g. # DETERMINISM)
+        }
+        let (name_part, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: sample without value", lineno + 1))?;
+        value
+            .parse::<f64>()
+            .map_err(|_| format!("line {}: non-numeric value {value:?}", lineno + 1))?;
+        let base = name_part.split('{').next().unwrap_or_default();
+        if base.is_empty() || !base.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {}: bad metric name {base:?}", lineno + 1));
+        }
+        let family_known = typed.contains(base)
+            || ["_bucket", "_sum", "_count"].iter().any(|suffix| {
+                base.strip_suffix(suffix).is_some_and(|stem| typed.contains(stem))
+            });
+        if !family_known {
+            return Err(format!(
+                "line {}: sample {base} has no preceding HELP/TYPE",
+                lineno + 1
+            ));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("no sample lines".to_string());
+    }
+    Ok(typed)
+}
+
+/// Backtick-quoted names inside the scrape-expect block of the catalogue.
+fn expected_families(catalogue: &str) -> BTreeSet<String> {
+    let Some(block) = extract(
+        catalogue,
+        "<!-- scrape-expect:begin -->",
+        "<!-- scrape-expect:end -->",
+    ) else {
+        return BTreeSet::new();
+    };
+    let mut out = BTreeSet::new();
+    for line in block.lines() {
+        let mut rest = line;
+        while let Some(start) = rest.find('`') {
+            let Some(len) = rest[start + 1..].find('`') else { break };
+            let name = &rest[start + 1..start + 1 + len];
+            if name.starts_with("rdns_") {
+                out.insert(name.to_string());
+            }
+            rest = &rest[start + 1 + len + 1..];
+        }
+    }
+    out
+}

@@ -1,0 +1,679 @@
+//! Unified telemetry for the rDNS measurement pipeline.
+//!
+//! The paper's methodology is only auditable if the pipeline can account for
+//! what it actually did: how many PTR probes went out, how many timed out
+//! versus answered NXDOMAIN, how long lookups took, how many lease events the
+//! simulated campus generated. This crate provides the one place all of that
+//! is recorded:
+//!
+//! * [`Counter`] — monotonically increasing event count.
+//! * [`Gauge`] — a signed level that can move both ways.
+//! * [`Histogram`] — log₂-bucketed value distribution with a span-timing
+//!   helper for wall-clock latencies.
+//! * [`Registry`] — a named, get-or-create store of the above, with
+//!   Prometheus-style text exposition ([`Registry::render_prometheus`]) and a
+//!   stable JSON export ([`Registry::render_json`]).
+//!
+//! # Determinism contract
+//!
+//! Every metric is registered with a [`Determinism`] class. `SeedStable`
+//! metrics are pure functions of the simulation seed and must be byte-stable
+//! across runs and across shard counts; `WallClock` metrics (latency
+//! histograms, timing-dependent retry counters) are exempt and are marked
+//! `"deterministic": false` in the JSON export.
+//! [`Registry::render_json_deterministic`] strips them entirely, which is
+//! what the reproducibility tests compare. See `OBSERVABILITY.md` at the
+//! repository root for the full metric catalogue and naming convention.
+//!
+//! All handles are cheap clones of shared atomics, so a component can keep
+//! its own handle while the registry renders concurrently.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+// This crate is deliberately stdlib-only (every other crate links it), so
+// the workspace's parking_lot lock policy cannot apply here.
+// lint:allow(std-sync-lock) -- stdlib-only crate, parking_lot unavailable
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a metric behaves under the workspace's reproducibility contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Determinism {
+    /// A pure function of the simulation seed: identical across runs and
+    /// across shard counts. Compared byte-for-byte by the determinism tests.
+    SeedStable,
+    /// Depends on host timing (latencies, retries, rate-limit stalls).
+    /// Exported with `"deterministic": false` and excluded from
+    /// [`Registry::render_json_deterministic`].
+    WallClock,
+}
+
+impl Determinism {
+    fn label(self) -> &'static str {
+        match self {
+            Determinism::SeedStable => "seed_stable",
+            Determinism::WallClock => "wall_clock",
+        }
+    }
+}
+
+/// A monotonically increasing event counter.
+///
+/// Cloning a `Counter` clones the *handle*: both handles update the same
+/// underlying cell, which is how a component and the [`Registry`] share one
+/// metric.
+///
+/// ```
+/// use rdns_telemetry::Counter;
+///
+/// let probes = Counter::default();
+/// let handle = probes.clone();
+/// probes.inc();
+/// handle.add(2);
+/// assert_eq!(probes.get(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Fold another counter's current value into this one.
+    ///
+    /// Used when a component built before a registry existed is re-pointed at
+    /// a registry cell: the pre-registration count must not be lost. Call it
+    /// once per absorbed handle.
+    pub fn absorb(&self, old: &Counter) {
+        self.add(old.get());
+    }
+}
+
+/// A signed level that can move in both directions (e.g. queries in flight).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Move up by `n`.
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Move down by `n`.
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramCells {
+    /// `buckets[i]` counts observations `v` with `bit_length(v) == i`, i.e.
+    /// bucket `i` has the inclusive upper bound `2^i - 1`.
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for HistogramCells {
+    fn default() -> HistogramCells {
+        HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucketed histogram.
+///
+/// Bucket `i` covers values with upper bound `2^i − 1`, so the 64 buckets
+/// span the full `u64` range with constant memory and a branch-free insert.
+/// Latency observations are recorded in microseconds via
+/// [`Histogram::observe_duration`] or the [`SpanTimer`] guard.
+///
+/// ```
+/// use rdns_telemetry::Histogram;
+///
+/// let h = Histogram::default();
+/// h.observe(0);
+/// h.observe(3);
+/// h.observe(200);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.sum(), 203);
+/// // 0 lands in bucket 0 (le 0), 3 in bucket 2 (le 3), 200 in bucket 8 (le 255).
+/// assert_eq!(h.bucket_counts()[2], 1);
+/// assert_eq!(h.bucket_counts()[8], 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramCells>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = (64 - v.leading_zeros()) as usize; // bit length; 0 for v == 0
+        self.0.buckets[idx.min(BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a wall-clock duration in microseconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Start a span: the elapsed wall time is recorded (in microseconds)
+    /// when the returned guard is dropped.
+    pub fn start_span(&self) -> SpanTimer {
+        SpanTimer {
+            hist: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts; index `i` has upper bound
+    /// `2^i − 1`.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Fold another histogram's cells into this one (see [`Counter::absorb`]).
+    pub fn absorb(&self, old: &Histogram) {
+        for (i, n) in old.bucket_counts().into_iter().enumerate() {
+            if n > 0 {
+                self.0.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.0.sum.fetch_add(old.sum(), Ordering::Relaxed);
+        self.0.count.fetch_add(old.count(), Ordering::Relaxed);
+    }
+}
+
+/// Guard returned by [`Histogram::start_span`]; records the elapsed wall
+/// time into the histogram on drop.
+#[derive(Debug)]
+pub struct SpanTimer {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.hist.observe_duration(self.start.elapsed());
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    help: String,
+    det: Determinism,
+    metric: Metric,
+}
+
+/// A named store of metrics with get-or-create registration.
+///
+/// Names follow `rdns_<layer>_<name>_<unit>` (see `OBSERVABILITY.md`) and may
+/// carry a Prometheus-style label suffix, e.g.
+/// `rdns_netsim_events_total{network="Academic-A"}`. The registry keeps
+/// metrics in a `BTreeMap`, so every export is emitted in one deterministic
+/// order. Cloning a `Registry` clones a handle to the same store.
+///
+/// ```
+/// use rdns_telemetry::{Determinism, Registry};
+///
+/// let reg = Registry::new();
+/// reg.counter("rdns_demo_events_total", "Demo events.", Determinism::SeedStable)
+///     .add(3);
+/// let text = reg.render_prometheus();
+/// assert!(text.contains("# HELP rdns_demo_events_total Demo events."));
+/// assert!(text.contains("# TYPE rdns_demo_events_total counter"));
+/// assert!(text.contains("rdns_demo_events_total 3"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<String, Entry>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create a counter.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind or with a
+    /// different determinism class.
+    pub fn counter(&self, name: &str, help: &str, det: Determinism) -> Counter {
+        match self.register(name, help, det, || Metric::Counter(Counter::default())) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create a gauge (panics on kind/determinism mismatch).
+    pub fn gauge(&self, name: &str, help: &str, det: Determinism) -> Gauge {
+        match self.register(name, help, det, || Metric::Gauge(Gauge::default())) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Get or create a histogram (panics on kind/determinism mismatch).
+    pub fn histogram(&self, name: &str, help: &str, det: Determinism) -> Histogram {
+        match self.register(name, help, det, || Metric::Histogram(Histogram::default())) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as a {}", other.kind()),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        help: &str,
+        det: Determinism,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut map = self.inner.lock().expect("telemetry registry poisoned");
+        let entry = map.entry(name.to_string()).or_insert_with(|| Entry {
+            help: help.to_string(),
+            det,
+            metric: make(),
+        });
+        assert_eq!(
+            entry.det, det,
+            "{name} already registered as {}",
+            entry.det.label()
+        );
+        entry.metric.clone()
+    }
+
+    /// Number of registered metrics (labeled variants count individually).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("telemetry registry poisoned").len()
+    }
+
+    /// Whether no metric has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Prometheus text exposition of every metric.
+    ///
+    /// `# HELP` and `# TYPE` are emitted once per metric *family* (the name
+    /// up to any `{label}` suffix), followed by one sample line per labeled
+    /// variant; histograms expand to cumulative `_bucket{le="..."}` lines
+    /// plus `_sum` and `_count`. An extra `# DETERMINISM <family>
+    /// seed_stable|wall_clock` comment documents the reproducibility class
+    /// (plain comments are ignored by Prometheus parsers).
+    pub fn render_prometheus(&self) -> String {
+        let map = self.inner.lock().expect("telemetry registry poisoned");
+        let mut families: BTreeMap<&str, Vec<(&String, &Entry)>> = BTreeMap::new();
+        for (name, entry) in map.iter() {
+            families.entry(family_of(name)).or_default().push((name, entry));
+        }
+        let mut out = String::new();
+        for (family, entries) in families {
+            let head = entries[0].1;
+            let _ = writeln!(out, "# HELP {family} {}", head.help);
+            let _ = writeln!(out, "# TYPE {family} {}", head.metric.kind());
+            let _ = writeln!(out, "# DETERMINISM {family} {}", head.det.label());
+            for (name, entry) in entries {
+                match &entry.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name} {}", c.get());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{name} {}", g.get());
+                    }
+                    Metric::Histogram(h) => render_prom_histogram(&mut out, name, h),
+                }
+            }
+        }
+        out
+    }
+
+    /// Stable JSON export of every metric.
+    ///
+    /// One metric per line, sorted by name, integers only — byte-identical
+    /// output for identical metric states. Each metric carries
+    /// `"deterministic": true|false` per its [`Determinism`] class.
+    pub fn render_json(&self) -> String {
+        self.render_json_filtered(false)
+    }
+
+    /// Like [`Registry::render_json`] but with every [`Determinism::WallClock`]
+    /// metric stripped. This is the artifact the determinism tests compare
+    /// byte-for-byte across runs and shard counts.
+    pub fn render_json_deterministic(&self) -> String {
+        self.render_json_filtered(true)
+    }
+
+    fn render_json_filtered(&self, deterministic_only: bool) -> String {
+        let map = self.inner.lock().expect("telemetry registry poisoned");
+        let mut out = String::from("{\n  \"metrics\": [");
+        let mut first = true;
+        for (name, entry) in map.iter() {
+            if deterministic_only && entry.det == Determinism::WallClock {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"name\": \"{}\", \"kind\": \"{}\", \"deterministic\": {}",
+                json_escape(name),
+                entry.metric.kind(),
+                entry.det == Determinism::SeedStable
+            );
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    let _ = write!(out, ", \"value\": {}", c.get());
+                }
+                Metric::Gauge(g) => {
+                    let _ = write!(out, ", \"value\": {}", g.get());
+                }
+                Metric::Histogram(h) => {
+                    let _ = write!(out, ", \"count\": {}, \"sum\": {}", h.count(), h.sum());
+                    out.push_str(", \"buckets\": [");
+                    let mut first_b = true;
+                    for (i, n) in h.bucket_counts().into_iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        if !first_b {
+                            out.push_str(", ");
+                        }
+                        first_b = false;
+                        let _ = write!(out, "[{}, {n}]", le_bound(i));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`2^i − 1`, saturating at `u64::MAX`).
+fn le_bound(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// The metric family: the name up to any `{label}` suffix.
+fn family_of(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Split `base{labels}` into the base name and the inner label text.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+fn render_prom_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let (base, labels) = split_labels(name);
+    let counts = h.bucket_counts();
+    let highest = counts.iter().rposition(|&n| n > 0);
+    let mut cumulative = 0u64;
+    if let Some(hi) = highest {
+        for (i, n) in counts.iter().enumerate().take(hi + 1) {
+            cumulative += n;
+            let le = le_bound(i);
+            let _ = match labels {
+                Some(l) => writeln!(out, "{base}_bucket{{{l},le=\"{le}\"}} {cumulative}"),
+                None => writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cumulative}"),
+            };
+        }
+    }
+    let (inf, sum, count) = (h.count(), h.sum(), h.count());
+    let _ = match labels {
+        Some(l) => {
+            let _ = writeln!(out, "{base}_bucket{{{l},le=\"+Inf\"}} {inf}");
+            let _ = writeln!(out, "{base}_sum{{{l}}} {sum}");
+            writeln!(out, "{base}_count{{{l}}} {count}")
+        }
+        None => {
+            let _ = writeln!(out, "{base}_bucket{{le=\"+Inf\"}} {inf}");
+            let _ = writeln!(out, "{base}_sum {sum}");
+            writeln!(out, "{base}_count {count}")
+        }
+    };
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_shares_cell_across_clones() {
+        let reg = Registry::new();
+        let a = reg.counter("rdns_t_a_total", "a", Determinism::SeedStable);
+        let b = reg.counter("rdns_t_a_total", "a", Determinism::SeedStable);
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("rdns_t_x_total", "x", Determinism::SeedStable);
+        reg.gauge("rdns_t_x_total", "x", Determinism::SeedStable);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn determinism_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("rdns_t_y_total", "y", Determinism::SeedStable);
+        reg.counter("rdns_t_y_total", "y", Determinism::WallClock);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 4, 255, 256, u64::MAX] {
+            h.observe(v);
+        }
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1); // 0
+        assert_eq!(counts[1], 1); // 1
+        assert_eq!(counts[2], 2); // 2, 3
+        assert_eq!(counts[3], 1); // 4
+        assert_eq!(counts[8], 1); // 255
+        assert_eq!(counts[9], 1); // 256
+        assert_eq!(counts[63], 1); // u64::MAX clamps to top bucket
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let h = Histogram::default();
+        {
+            let _guard = h.start_span();
+        }
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_counts() {
+        let old = Counter::default();
+        old.add(7);
+        let new = Counter::default();
+        new.absorb(&old);
+        assert_eq!(new.get(), 7);
+
+        let oh = Histogram::default();
+        oh.observe(3);
+        oh.observe(100);
+        let nh = Histogram::default();
+        nh.observe(1);
+        nh.absorb(&oh);
+        assert_eq!(nh.count(), 3);
+        assert_eq!(nh.sum(), 104);
+    }
+
+    #[test]
+    fn labeled_families_render_once() {
+        let reg = Registry::new();
+        reg.counter(
+            "rdns_t_events_total{network=\"A\"}",
+            "Events.",
+            Determinism::SeedStable,
+        )
+        .add(2);
+        reg.counter(
+            "rdns_t_events_total{network=\"B\"}",
+            "Events.",
+            Determinism::SeedStable,
+        )
+        .add(5);
+        let text = reg.render_prometheus();
+        assert_eq!(text.matches("# TYPE rdns_t_events_total counter").count(), 1);
+        assert!(text.contains("rdns_t_events_total{network=\"A\"} 2"));
+        assert!(text.contains("rdns_t_events_total{network=\"B\"} 5"));
+        assert!(text.contains("# DETERMINISM rdns_t_events_total seed_stable"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_le_label() {
+        let reg = Registry::new();
+        let h = reg.histogram(
+            "rdns_t_wall_us{network=\"A\"}",
+            "Wall time.",
+            Determinism::WallClock,
+        );
+        h.observe(3);
+        let text = reg.render_prometheus();
+        assert!(text.contains("rdns_t_wall_us_bucket{network=\"A\",le=\"3\"} 1"));
+        assert!(text.contains("rdns_t_wall_us_bucket{network=\"A\",le=\"+Inf\"} 1"));
+        assert!(text.contains("rdns_t_wall_us_sum{network=\"A\"} 3"));
+        assert!(text.contains("rdns_t_wall_us_count{network=\"A\"} 1"));
+    }
+
+    #[test]
+    fn json_deterministic_strips_wall_clock() {
+        let reg = Registry::new();
+        reg.counter("rdns_t_seed_total", "s", Determinism::SeedStable).inc();
+        reg.counter("rdns_t_wall_total", "w", Determinism::WallClock).inc();
+        let full = reg.render_json();
+        let det = reg.render_json_deterministic();
+        assert!(full.contains("rdns_t_wall_total"));
+        assert!(full.contains("\"deterministic\": false"));
+        assert!(!det.contains("rdns_t_wall_total"));
+        assert!(det.contains("rdns_t_seed_total"));
+    }
+
+    #[test]
+    fn json_escapes_label_quotes() {
+        let reg = Registry::new();
+        reg.counter(
+            "rdns_t_l_total{network=\"A\"}",
+            "l",
+            Determinism::SeedStable,
+        );
+        let json = reg.render_json();
+        assert!(json.contains("rdns_t_l_total{network=\\\"A\\\"}"));
+    }
+
+    #[test]
+    fn export_is_stable_across_insertion_order() {
+        let a = Registry::new();
+        a.counter("rdns_t_b_total", "b", Determinism::SeedStable).inc();
+        a.counter("rdns_t_a_total", "a", Determinism::SeedStable).add(2);
+        let b = Registry::new();
+        b.counter("rdns_t_a_total", "a", Determinism::SeedStable).add(2);
+        b.counter("rdns_t_b_total", "b", Determinism::SeedStable).inc();
+        assert_eq!(a.render_json(), b.render_json());
+        assert_eq!(a.render_prometheus(), b.render_prometheus());
+    }
+}

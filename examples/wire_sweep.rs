@@ -8,7 +8,10 @@
 //!
 //! The sweep runs twice — once serially, once with 256 queries in flight —
 //! and verifies both snapshots against the zone store's ground truth before
-//! printing throughput.
+//! printing throughput. Every layer reports into one telemetry [`Registry`],
+//! whose Prometheus exposition is printed between `=== BEGIN PROMETHEUS ===`
+//! and `=== END PROMETHEUS ===` markers at the end (see OBSERVABILITY.md);
+//! CI scrapes that block.
 
 use rdns_data::{DailySnapshot, Snapshotter};
 use rdns_dns::{FaultConfig, UdpServer};
@@ -16,9 +19,11 @@ use rdns_model::{Date, SimDuration, SimTime};
 use rdns_netsim::spec::presets;
 use rdns_netsim::{World, WorldConfig};
 use rdns_scan::{SweepConfig, SweepReport, WireSweeper};
+use rdns_telemetry::Registry;
 use std::net::Ipv4Addr;
 
 fn main() {
+    let registry = Registry::new();
     let start = Date::from_ymd(2021, 11, 1);
     let mut world = World::new(WorldConfig {
         seed: 11,
@@ -26,10 +31,13 @@ fn main() {
         start,
         networks: vec![presets::academic_a(0.05)],
     });
+    world.attach_registry(&registry);
     // Mid-morning on a weekday: lecture halls and housing are populated.
     world.step_until(SimTime::from_date(start) + SimDuration::hours(10));
     let store = world.store().clone();
-    let truth = Snapshotter::new(store.clone()).take(start);
+    let mut snapper = Snapshotter::new(store.clone());
+    snapper.attach_registry(&registry);
+    let truth = snapper.take(start);
 
     // Every subnet of the network, including static infrastructure: a full
     // sweep covers the whole announced space, not just DHCP pools.
@@ -49,7 +57,8 @@ fn main() {
         let server = UdpServer::bind("127.0.0.1:0".parse().unwrap(), store, FaultConfig::default())
             .await
             .expect("bind DNS server")
-            .with_workers(4);
+            .with_workers(4)
+            .with_registry(&registry);
         let addr = server.local_addr().expect("local addr");
         println!(
             "authoritative DNS on {addr} (4 workers), {} targets, {} PTRs published",
@@ -60,9 +69,10 @@ fn main() {
 
         let mut reports = Vec::new();
         for concurrency in [1usize, 256] {
-            let sweeper = WireSweeper::connect(addr, SweepConfig::new(concurrency))
-                .await
-                .expect("connect sweeper");
+            let sweeper =
+                WireSweeper::connect_with_registry(addr, SweepConfig::new(concurrency), &registry)
+                    .await
+                    .expect("connect sweeper");
             reports.push(sweeper.sweep(&targets, start).await);
             sweeper.into_resolver().shutdown().await;
         }
@@ -80,6 +90,10 @@ fn main() {
         "\nsnapshots identical to ground truth at both levels; speedup {:.1}x",
         pipelined.queries_per_sec() / serial.queries_per_sec()
     );
+
+    println!("\n=== BEGIN PROMETHEUS ===");
+    print!("{}", registry.render_prometheus());
+    println!("=== END PROMETHEUS ===");
 }
 
 fn print_report(label: &str, report: &SweepReport) {

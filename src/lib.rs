@@ -24,7 +24,10 @@
 //!   datasets,
 //! * [`analysis`] (the `rdns-core` crate) — the paper's methodology:
 //!   dynamicity detection, leak identification, timing analysis, and the
-//!   three case studies.
+//!   three case studies,
+//! * [`telemetry`] — the metrics registry every layer reports into, with
+//!   Prometheus-style exposition and a per-metric determinism contract
+//!   (see `OBSERVABILITY.md`).
 //!
 //! ## Quickstart
 //!
@@ -60,3 +63,4 @@ pub use rdns_ipam as ipam;
 pub use rdns_model as model;
 pub use rdns_netsim as netsim;
 pub use rdns_scan as scan;
+pub use rdns_telemetry as telemetry;

@@ -1,0 +1,166 @@
+//! Telemetry determinism: the `seed_stable` half of the contract in
+//! OBSERVABILITY.md.
+//!
+//! One fixed-seed pipeline — a three-network world, a daily snapshot, a
+//! wire sweep over real UDP, and the metered analysis paths — reports into
+//! a fresh [`Registry`]; `render_json_deterministic()` (which strips every
+//! `wall_clock` metric) must then be **byte-identical**:
+//!
+//! 1. across two identical runs, and
+//! 2. across shard counts 1, 2 and 8 — parallelism is an execution detail,
+//!    never visible in seed-stable metrics.
+
+use rdns_core::{build_groups_metered, TypeBreakdown};
+use rdns_data::Snapshotter;
+use rdns_dns::{FaultConfig, UdpServer};
+use rdns_model::{Date, SimDuration, SimTime};
+use rdns_netsim::spec::presets;
+use rdns_netsim::{World, WorldConfig};
+use rdns_scan::{RdnsOutcome, ScanLog, SweepConfig, WireSweeper};
+use rdns_telemetry::Registry;
+use std::net::Ipv4Addr;
+
+fn start_date() -> Date {
+    Date::from_ymd(2021, 11, 1)
+}
+
+/// A small fixed target list: the first /24 of the Academic-A plan. The
+/// sweep's seed-stable probe counter depends only on this list, so keeping
+/// it small keeps the wire leg fast without weakening the byte-identity
+/// assertion.
+fn sweep_targets() -> Vec<Ipv4Addr> {
+    presets::academic_a(0.05)
+        .subnets
+        .iter()
+        .flat_map(|s| s.prefix.addrs())
+        .take(256)
+        .collect()
+}
+
+/// A tiny hand-built supplemental log for the metered grouping path.
+fn scan_log() -> ScanLog {
+    let mut log = ScanLog::new();
+    let t0 = SimTime::from_date_hms(start_date(), 9, 0, 0);
+    let addr = Ipv4Addr::new(192, 0, 2, 7);
+    for i in 0..6u64 {
+        log.push_icmp(t0 + SimDuration::mins(30 * i), addr, i < 4);
+        log.push_rdns(
+            t0 + SimDuration::mins(30 * i),
+            addr,
+            if i < 4 {
+                RdnsOutcome::Ptr(rdns_model::Hostname::new("brians-iphone.example.edu"))
+            } else {
+                RdnsOutcome::NxDomain
+            },
+        );
+    }
+    log
+}
+
+/// Run the whole instrumented pipeline at one shard setting and return the
+/// deterministic JSON export.
+fn full_run(shards: usize) -> String {
+    let registry = Registry::new();
+
+    // Simulate a day and a bit, so leases expire and schedules roll over.
+    let mut world = World::new(WorldConfig {
+        seed: 0xB51A17,
+        shards,
+        start: start_date(),
+        networks: vec![
+            presets::academic_a(0.05),
+            presets::enterprise_a(0.2),
+            presets::isp_a(0.3),
+        ],
+    });
+    world.attach_registry(&registry);
+    world.step_until(SimTime::from_date(start_date()) + SimDuration::hours(26));
+
+    let store = world.store().clone();
+    let mut snapper = Snapshotter::new(store.clone());
+    snapper.attach_registry(&registry);
+    let snapshot = snapper.take(start_date().plus_days(1));
+
+    // Wire leg: serve the store over UDP and sweep a fixed target list.
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .expect("runtime");
+    rt.block_on(async {
+        let server =
+            UdpServer::bind("127.0.0.1:0".parse().unwrap(), store, FaultConfig::default())
+                .await
+                .expect("bind DNS server")
+                .with_workers(2)
+                .with_registry(&registry);
+        let addr = server.local_addr().expect("local addr");
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+        let sweeper = WireSweeper::connect_with_registry(addr, SweepConfig::new(32), &registry)
+            .await
+            .expect("connect sweeper");
+        sweeper.sweep(&sweep_targets(), start_date().plus_days(1)).await;
+        sweeper.into_resolver().shutdown().await;
+        shutdown.shutdown();
+    });
+
+    // Analysis legs: metered classification over the snapshot's suffixes and
+    // metered grouping over a fixed supplemental log.
+    let suffixes: Vec<String> = snapshot
+        .records
+        .values()
+        .map(|h| h.to_string())
+        .collect();
+    TypeBreakdown::from_suffixes_metered(suffixes.iter().map(String::as_str), &registry);
+    build_groups_metered(&scan_log(), &registry);
+
+    registry.render_json_deterministic()
+}
+
+#[test]
+fn deterministic_export_is_byte_identical_across_runs() {
+    let a = full_run(0);
+    let b = full_run(0);
+    assert_eq!(a, b, "two identical seeded runs diverge");
+
+    // The export must carry every seed-stable layer...
+    for family in [
+        "rdns_netsim_events_total",
+        "rdns_dhcp_grants_total",
+        "rdns_dhcp_lease_lifetime_s",
+        "rdns_ipam_added_total",
+        "rdns_scan_probes_total",
+        "rdns_core_rows_classified_total",
+        "rdns_core_groups_built_total",
+        "rdns_data_snapshots_total",
+    ] {
+        assert!(a.contains(family), "deterministic export misses {family}");
+    }
+    // ...and none of the wall-clock ones.
+    for family in [
+        "rdns_dns_server_received_total",
+        "rdns_dns_pipeline_latency_us",
+        "rdns_scan_retries_total",
+        "rdns_netsim_step_wall_us",
+        "\"deterministic\": false",
+    ] {
+        assert!(
+            !a.contains(family),
+            "wall-clock entry {family} leaked into the deterministic export"
+        );
+    }
+}
+
+#[test]
+fn deterministic_export_is_invariant_across_shard_counts() {
+    let one = full_run(1);
+    let two = full_run(2);
+    let eight = full_run(8);
+    assert_eq!(one, two, "1-shard vs 2-shard exports diverge");
+    assert_eq!(one, eight, "1-shard vs 8-shard exports diverge");
+    assert!(
+        one.contains("rdns_dhcp_grants_total"),
+        "export must have simulated signal for the comparison to mean anything"
+    );
+}
