@@ -1,0 +1,228 @@
+//! Serve-path SLO benchmark: open-loop latency plus capacity ceiling.
+//!
+//! The wire bench measures how fast *one sweeper* can drain the zone; this
+//! bench measures the other side of the paper's ecosystem — an operator's
+//! authoritative front serving a crowd. Two lanes:
+//!
+//! * **latency** — the open-loop generator offers a fixed rate (the
+//!   workload a real resolver population would) against the headline
+//!   sharded configuration, and the per-query round trips report
+//!   p50/p99/p999.
+//! * **saturation** — a windowed closed loop drives each shard count
+//!   flat-out; completions per second is the capacity of that
+//!   configuration. The headline point gates the SLO regression test in
+//!   `rdns-bench` (≥45k qps at ≥4 shards, 2x the pipelined sweep).
+//!
+//! Run modes follow the criterion shim's convention: with `--bench` in the
+//! args (as `cargo bench` passes) the full universe is measured and the
+//! result written to `BENCH_serve.json` at the repository root; otherwise
+//! (`cargo test` executing the bench target) a small smoke run happens and
+//! nothing is written.
+
+use rdns_bench::{ServeBenchReport, ServeLatencyLane, ServeSaturationLane};
+use rdns_dns::{FaultConfig, ShardedShutdownHandle, ShardedUdpServer, ZoneStore};
+use rdns_loadgen::{
+    measure_saturation, ArrivalProcess, LoadConfig, LoadGenerator, SaturationConfig,
+};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+const WORKERS_PER_SHARD: usize = 1;
+const HEADLINE_SHARDS: usize = 4;
+
+/// `zones` /24 blocks under 10.81.x.0, PTRs on alternating addresses.
+fn build_store(zones: u8) -> (ZoneStore, Vec<Ipv4Addr>, u64) {
+    let store = ZoneStore::new();
+    let mut targets = Vec::new();
+    let mut ptrs = 0u64;
+    for z in 0..zones {
+        store.ensure_reverse_zone(Ipv4Addr::new(10, 81, z, 1));
+        for h in 0..=255u8 {
+            let addr = Ipv4Addr::new(10, 81, z, h);
+            targets.push(addr);
+            if h % 2 == 0 {
+                store.set_ptr(
+                    addr,
+                    format!("client-{z}-{h}.resnet.example.edu").parse().unwrap(),
+                    300,
+                );
+                ptrs += 1;
+            }
+        }
+    }
+    (store, targets, ptrs)
+}
+
+fn spawn_shards(
+    rt: &tokio::runtime::Runtime,
+    store: ZoneStore,
+    shards: usize,
+) -> (Vec<SocketAddr>, ShardedShutdownHandle) {
+    rt.block_on(async {
+        let server = ShardedUdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            store,
+            FaultConfig::default(),
+            shards,
+        )
+        .await
+        .expect("bind sharded server")
+        .with_workers(WORKERS_PER_SHARD);
+        let addrs = server.addrs().expect("shard addrs");
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+        (addrs, shutdown)
+    })
+}
+
+/// Knobs that differ between the smoke and measure latency lanes. Smoke
+/// shrinks everything and tolerates stray failures (shared CI cores);
+/// measure mode is strict.
+struct LatencyLaneSpec {
+    shards: usize,
+    clients: usize,
+    offered_qps: f64,
+    duration: Duration,
+    strict: bool,
+}
+
+fn run_latency_lane(
+    rt: &tokio::runtime::Runtime,
+    store: &ZoneStore,
+    targets: &[Ipv4Addr],
+    spec: &LatencyLaneSpec,
+) -> ServeLatencyLane {
+    let (addrs, shutdown) = spawn_shards(rt, store.clone(), spec.shards);
+    let report = LoadGenerator::new(LoadConfig {
+        seed: 0x5E27E,
+        rate_qps: spec.offered_qps,
+        duration: spec.duration,
+        process: ArrivalProcess::Poisson,
+        clients: spec.clients,
+        workers: 2,
+        rate_ceiling: None,
+        drain_grace: Duration::from_secs(3),
+    })
+    .run(&addrs, targets)
+    .expect("latency lane");
+    shutdown.shutdown();
+    if spec.strict {
+        assert_eq!(
+            report.failed(),
+            0,
+            "latency lane must complete cleanly: {report:?}"
+        );
+    }
+    ServeLatencyLane {
+        offered_qps: spec.offered_qps,
+        sent: report.sent,
+        completed: report.completed(),
+        failed: report.failed(),
+        elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+        p50_us: report.p50_us.unwrap_or(0),
+        p99_us: report.p99_us.unwrap_or(0),
+        p999_us: report.p999_us.unwrap_or(0),
+    }
+}
+
+fn run_saturation_lane(
+    rt: &tokio::runtime::Runtime,
+    store: &ZoneStore,
+    targets: &[Ipv4Addr],
+    shards: usize,
+    total: u64,
+) -> ServeSaturationLane {
+    let (addrs, shutdown) = spawn_shards(rt, store.clone(), shards);
+    let report = measure_saturation(
+        &addrs,
+        targets,
+        &SaturationConfig {
+            total_queries: total,
+            window_per_shard: 64,
+            seed: 0xCAFE,
+            time_limit: Duration::from_secs(60),
+        },
+    )
+    .expect("saturation lane");
+    shutdown.shutdown();
+    assert!(
+        !report.timed_out,
+        "saturation lane must finish its quota: {report:?}"
+    );
+    ServeSaturationLane {
+        socket_shards: shards as u64,
+        completed: report.completed,
+        elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
+        qps: report.qps,
+    }
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    // Smoke mode (cargo test): one /24, short lanes, no report file.
+    let (zones, offered, lane_secs, shard_counts, total) = if measure {
+        (16u8, 10_000.0, 3.0, vec![1usize, 2, HEADLINE_SHARDS], 150_000u64)
+    } else {
+        (1, 1_000.0, 0.3, vec![2], 3_000)
+    };
+
+    let (store, targets, ptrs) = build_store(zones);
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .build()
+        .expect("runtime");
+
+    let (latency_shards, clients) = if measure { (HEADLINE_SHARDS, 2000) } else { (2, 200) };
+    let latency = run_latency_lane(
+        &rt,
+        &store,
+        &targets,
+        &LatencyLaneSpec {
+            shards: latency_shards,
+            clients,
+            offered_qps: offered,
+            duration: Duration::from_secs_f64(lane_secs),
+            strict: measure,
+        },
+    );
+    println!(
+        "bench serve_path/latency: {} sent at {:.0} q/s offered, p50 {}µs p99 {}µs p999 {}µs ({} failed)",
+        latency.sent, latency.offered_qps, latency.p50_us, latency.p99_us, latency.p999_us,
+        latency.failed
+    );
+
+    let mut saturation = Vec::new();
+    for &shards in &shard_counts {
+        let lane = run_saturation_lane(&rt, &store, &targets, shards, total);
+        println!(
+            "bench serve_path/saturation: shards={} {:.0} q/s ({} completed in {:.0} ms)",
+            lane.socket_shards, lane.qps, lane.completed, lane.elapsed_ms
+        );
+        saturation.push(lane);
+    }
+
+    if !measure {
+        println!("bench serve_path: ok (smoke mode)");
+        return;
+    }
+
+    let saturation_qps = saturation
+        .iter()
+        .find(|l| l.socket_shards == HEADLINE_SHARDS as u64)
+        .map(|l| l.qps)
+        .expect("headline shard count measured");
+    let report = ServeBenchReport {
+        schema_version: 1,
+        bench: "serve_path".into(),
+        addresses: targets.len() as u64,
+        ptr_records: ptrs,
+        socket_shards: HEADLINE_SHARDS as u64,
+        workers_per_shard: WORKERS_PER_SHARD as u64,
+        latency,
+        saturation,
+        saturation_qps,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, report.to_json().expect("serialize report") + "\n")
+        .expect("write BENCH_serve.json");
+    println!("wrote {path}");
+}

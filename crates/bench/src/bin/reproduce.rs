@@ -6,7 +6,7 @@
 //!
 //! With no experiment arguments, everything runs. Experiment names:
 //! `table1 fig1 fig2 fig3 fig4 validation table2 table3 table4 table5
-//! fig6 fig7a fig7b fig8 fig9 fig10 fig11 ablation claims`.
+//! fig6 fig7a fig7b fig8 fig9 fig10 fig11 ablation claims serve`.
 
 use rdns_bench::parse_scale;
 use rdns_core::experiments::{
@@ -28,6 +28,97 @@ fn banner(title: &str) {
     println!("\n================================================================");
     println!("{title}");
     println!("================================================================");
+}
+
+/// The production-service demo: a seeded world publishes its reverse zones
+/// through a sharded UDP front while the open-loop generator plays a
+/// resolver population against it. Prints the latency SLO view.
+fn serve_stage(scale: &Scale, registry: &Registry) {
+    use rdns_dns::{FaultConfig, ShardedUdpServer};
+    use rdns_loadgen::{ArrivalProcess, LoadConfig, LoadGenerator};
+    use rdns_netsim::{spec::presets, World, WorldConfig};
+    use std::time::Duration;
+
+    let (rate_qps, secs, shards) = match scale {
+        s if *s == Scale::paper() => (10_000.0, 5.0, 4usize),
+        s if *s == Scale::small() => (5_000.0, 2.0, 4),
+        _ => (1_000.0, 0.5, 2),
+    };
+    let start = Date::from_ymd(2021, 11, 1);
+    let mut world = World::new(WorldConfig {
+        seed: 0x5E27E,
+        shards: 0,
+        start,
+        networks: vec![
+            presets::academic_a(0.1),
+            presets::isp_a(0.2),
+            presets::enterprise_b(0.1),
+        ],
+    });
+    world.run_days(start.plus_days(2), |_, _| {});
+    let targets = world.all_scan_targets();
+    println!(
+        "world: {} scannable addresses, {} PTRs live",
+        targets.len(),
+        world.ptr_count()
+    );
+
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .build()
+        .expect("runtime");
+    let (addrs, shutdown) = rt.block_on(async {
+        let server = ShardedUdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            world.store().clone(),
+            FaultConfig::default(),
+            shards,
+        )
+        .await
+        .expect("bind sharded server")
+        .with_registry(registry)
+        .with_workers(1);
+        let addrs = server.addrs().expect("shard addrs");
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+        (addrs, shutdown)
+    });
+
+    let report = LoadGenerator::new(LoadConfig {
+        seed: 0x10AD,
+        rate_qps,
+        duration: Duration::from_secs_f64(secs),
+        process: ArrivalProcess::Poisson,
+        clients: 1000,
+        workers: 2,
+        rate_ceiling: None,
+        drain_grace: Duration::from_secs(3),
+    })
+    .with_registry(registry)
+    .run(&addrs, &targets)
+    .expect("serve load");
+    shutdown.shutdown();
+
+    // The offered side is seed-stable (stdout, diffable across thread
+    // counts); the observed side is wall-clock and goes to stderr like the
+    // stage timings.
+    println!(
+        "offered {:.0} q/s for {:.1} s over {} shards: {} sent, {} answered, {} nxdomain, {} failed",
+        rate_qps,
+        secs,
+        shards,
+        report.sent,
+        report.answered,
+        report.nxdomain,
+        report.failed()
+    );
+    eprintln!(
+        "[serve wall-clock: {:.0} q/s achieved, p50 {}µs p99 {}µs p999 {}µs, peak in-flight {}]",
+        report.offered_qps,
+        report.p50_us.unwrap_or(0),
+        report.p99_us.unwrap_or(0),
+        report.p999_us.unwrap_or(0),
+        report.max_in_flight
+    );
 }
 
 fn main() {
@@ -191,6 +282,14 @@ fn main() {
         print!("{}", release_ablation(&scale).render());
         banner("Ablation — lease time vs record lingering (§6.2)");
         print!("{}", lease_ablation(&scale).render());
+    }
+
+    if wanted(&selected, "serve") {
+        banner("Serve path — sharded authoritative front under open-loop load");
+        let started = Instant::now();
+        serve_stage(&scale, &registry);
+        stage_wall.observe_duration(started.elapsed());
+        eprintln!("[serve stage: {:?}]", started.elapsed());
     }
 
     if std::env::var_os("RDNS_METRICS").is_some() {

@@ -125,6 +125,80 @@ impl SimBenchReport {
     }
 }
 
+/// The open-loop latency lane of the serve benchmark: a fixed offered rate
+/// replayed by the load generator, with SLO quantiles from the merged
+/// per-shard latency histograms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeLatencyLane {
+    /// Offered rate the schedule was generated for, queries per second.
+    pub offered_qps: f64,
+    /// Queries dispatched.
+    pub sent: u64,
+    /// Queries answered (any rcode).
+    pub completed: u64,
+    /// Queries that failed outright (SERVFAIL, timeout, unmatched).
+    pub failed: u64,
+    /// Wall-clock duration of the lane including drain.
+    pub elapsed_ms: f64,
+    /// Median round-trip latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: u64,
+}
+
+/// One closed-loop capacity point of the serve benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSaturationLane {
+    /// Socket shards serving this point.
+    pub socket_shards: u64,
+    /// Queries completed.
+    pub completed: u64,
+    /// Wall-clock duration of the point.
+    pub elapsed_ms: f64,
+    /// Completions per second: measured serve capacity.
+    pub qps: f64,
+}
+
+/// Machine-readable result of `cargo bench -p rdns-bench --bench serve`,
+/// written to `BENCH_serve.json` at the repository root. The schema is
+/// pinned by [`ServeBenchReport::from_json`] — a field rename or removal
+/// fails the `serve_bench_report` tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeBenchReport {
+    /// Report schema version; bump on breaking changes.
+    pub schema_version: u32,
+    /// Benchmark identifier.
+    pub bench: String,
+    /// Total distinct target addresses in the served universe.
+    pub addresses: u64,
+    /// PTR records published in the authoritative store.
+    pub ptr_records: u64,
+    /// Socket shards in the headline configuration.
+    pub socket_shards: u64,
+    /// Worker tasks per socket shard.
+    pub workers_per_shard: u64,
+    /// The open-loop latency lane at the headline shard count.
+    pub latency: ServeLatencyLane,
+    /// Closed-loop capacity points across shard counts.
+    pub saturation: Vec<ServeSaturationLane>,
+    /// Peak capacity at the headline shard count, queries per second.
+    pub saturation_qps: f64,
+}
+
+impl ServeBenchReport {
+    /// Serialize for `BENCH_serve.json`.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Parse `BENCH_serve.json`; errors double as schema violations.
+    pub fn from_json(text: &str) -> serde_json::Result<ServeBenchReport> {
+        serde_json::from_str(text)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +265,101 @@ mod tests {
             recomputed,
             report.speedup
         );
+    }
+
+    fn sample_serve_report() -> ServeBenchReport {
+        ServeBenchReport {
+            schema_version: 1,
+            bench: "serve_path".into(),
+            addresses: 4096,
+            ptr_records: 2048,
+            socket_shards: 4,
+            workers_per_shard: 1,
+            latency: ServeLatencyLane {
+                offered_qps: 10_000.0,
+                sent: 30_000,
+                completed: 30_000,
+                failed: 0,
+                elapsed_ms: 3_100.0,
+                p50_us: 180,
+                p99_us: 900,
+                p999_us: 2_400,
+            },
+            saturation: vec![
+                ServeSaturationLane {
+                    socket_shards: 1,
+                    completed: 150_000,
+                    elapsed_ms: 3_000.0,
+                    qps: 50_000.0,
+                },
+                ServeSaturationLane {
+                    socket_shards: 4,
+                    completed: 150_000,
+                    elapsed_ms: 1_600.0,
+                    qps: 93_750.0,
+                },
+            ],
+            saturation_qps: 93_750.0,
+        }
+    }
+
+    #[test]
+    fn serve_bench_report_roundtrips() {
+        let report = sample_serve_report();
+        let back = ServeBenchReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    /// The committed `BENCH_serve.json` at the repository root must parse
+    /// against the current schema and clear the serve-path SLO gate: at
+    /// least 4 socket shards sustaining ≥ 2x the pipelined sweep rate
+    /// recorded in BENCH_wire.json (22.1k qps → gate at 45k).
+    #[test]
+    fn committed_serve_bench_report_satisfies_schema() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("BENCH_serve.json missing at repo root ({e}); regenerate with `cargo bench -p rdns-bench --bench serve`"));
+        let report = ServeBenchReport::from_json(&text).expect("schema violation");
+        assert_eq!(report.schema_version, 1);
+        assert_eq!(report.bench, "serve_path");
+        assert!(report.addresses >= 4096, "universe too small: {}", report.addresses);
+        assert!(report.ptr_records > 0);
+        assert!(
+            report.socket_shards >= 4,
+            "headline config must shard the socket ≥4 ways, got {}",
+            report.socket_shards
+        );
+        assert!(report.workers_per_shard >= 1);
+        // Latency lane: clean completion and ordered quantiles.
+        assert!(report.latency.sent > 0);
+        assert_eq!(
+            report.latency.failed, 0,
+            "the latency lane must complete without failures"
+        );
+        assert!(report.latency.p50_us <= report.latency.p99_us);
+        assert!(report.latency.p99_us <= report.latency.p999_us);
+        assert!(report.latency.p50_us > 0);
+        // Saturation: the headline point must clear the 45k qps gate.
+        assert!(
+            report.saturation_qps >= 45_000.0,
+            "sharded serve path must sustain ≥45k qps (2x the pipelined sweep), got {:.0}",
+            report.saturation_qps
+        );
+        let headline = report
+            .saturation
+            .iter()
+            .find(|l| l.socket_shards == report.socket_shards)
+            .expect("saturation lanes must include the headline shard count");
+        assert!(
+            (headline.qps - report.saturation_qps).abs() / report.saturation_qps < 0.05,
+            "saturation_qps must match the headline lane: {} vs {}",
+            headline.qps,
+            report.saturation_qps
+        );
+        for lane in &report.saturation {
+            assert!(lane.qps > 0.0);
+            assert!(lane.completed > 0);
+        }
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub use client::{LookupOutcome, Resolver, ResolverConfig};
 pub use message::{Message, Opcode, Question, Rcode, RecordClass, RecordData, RecordType, ResourceRecord};
 pub use name::{DnsName, NameError};
 pub use pipeline::{PipelinedConfig, PipelinedResolver, PipelinedStats, PipelinedStatsSnapshot};
-pub use server::{answer_from_store, FaultConfig, ServerStats, TcpServer, UdpServer, DEFAULT_SERVER_WORKERS};
+pub use server::{
+    answer_from_store, FaultConfig, ServerStats, ShardedShutdownHandle, ShardedUdpServer,
+    TcpServer, UdpServer, DEFAULT_SERVER_WORKERS,
+};
 pub use wire::{WireError, WireReader, WireWriter};
 pub use zone::{CoarseZoneStore, DnsStore, LookupResult, Zone, ZoneSet, ZoneStore};

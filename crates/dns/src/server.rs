@@ -74,7 +74,27 @@ impl ServerStats {
     /// Server counters are classed [`Determinism::WallClock`] — what a wire
     /// server sees depends on client retries and kernel timing.
     pub fn with_registry(registry: &Registry) -> ServerStats {
-        let c = |name, help| registry.counter(name, help, Determinism::WallClock);
+        Self::registered(registry, "")
+    }
+
+    /// Like [`ServerStats::with_registry`] but with a Prometheus-style label
+    /// suffix on every counter name, e.g. `labels = "shard=\"3\""` yields
+    /// `rdns_dns_server_received_total{shard="3"}`. Used by
+    /// [`ShardedUdpServer`] so each socket shard renders as its own sample
+    /// line within the shared metric family.
+    pub fn with_registry_labeled(registry: &Registry, labels: &str) -> ServerStats {
+        let suffix = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        Self::registered(registry, &suffix)
+    }
+
+    fn registered(registry: &Registry, suffix: &str) -> ServerStats {
+        let c = |name: &str, help| {
+            registry.counter(&format!("{name}{suffix}"), help, Determinism::WallClock)
+        };
         ServerStats {
             received: c("rdns_dns_server_received_total", "Datagrams received."),
             malformed: c(
@@ -369,6 +389,134 @@ impl UdpServer {
     /// Build the authoritative answer for `query` (pure; used by tests too).
     pub fn answer(&self, query: &Message, rng: &mut SmallRng) -> Message {
         self.core.answer(query, rng)
+    }
+}
+
+/// Per-shard seed spacing for the fault RNG. A different constant from
+/// [`WORKER_SEED_STRIDE`] so that (shard, worker) pairs never collide, and
+/// shard 0 reproduces the unsharded server's fault sequence exactly.
+const SHARD_SEED_STRIDE: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// SO_REUSEPORT-style sharded UDP front: `n` independent sockets, each with
+/// its own worker pool, all answering from one shared lock-striped
+/// [`ZoneStore`].
+///
+/// Real deployments spread load across a socket group with `SO_REUSEPORT`
+/// and let the kernel hash flows onto sockets. The shim runtime has no
+/// kernel-side distribution, so the client picks the shard instead (the
+/// load generator assigns each client to `client % shards`) — the serving
+/// economics are the same: independent receive queues, no shared socket
+/// lock, contention only on the striped zone-store reads.
+///
+/// Shards are homogeneous. Per-shard observability goes through
+/// [`ShardedUdpServer::with_registry`], which labels every counter with
+/// `shard="k"`.
+pub struct ShardedUdpServer {
+    shards: Vec<UdpServer>,
+}
+
+impl ShardedUdpServer {
+    /// Bind `n` sockets (clamped to at least 1) on `addr` — use port 0 so
+    /// every shard gets its own ephemeral port. Shard `k` derives its fault
+    /// seed as `faults.seed ^ k·SHARD_SEED_STRIDE`, so fault decisions stay
+    /// reproducible per shard and uncorrelated across shards.
+    pub async fn bind(
+        addr: SocketAddr,
+        store: ZoneStore,
+        faults: FaultConfig,
+        n: usize,
+    ) -> io::Result<ShardedUdpServer> {
+        let mut shards = Vec::with_capacity(n.max(1));
+        for k in 0..n.max(1) as u64 {
+            let shard_faults = FaultConfig {
+                seed: faults.seed ^ k.wrapping_mul(SHARD_SEED_STRIDE),
+                ..faults
+            };
+            shards.push(UdpServer::bind(addr, store.clone(), shard_faults).await?);
+        }
+        Ok(ShardedUdpServer { shards })
+    }
+
+    /// Serve with `n` worker tasks per shard (clamped to at least 1).
+    pub fn with_workers(mut self, n: usize) -> ShardedUdpServer {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_workers(n))
+            .collect();
+        self
+    }
+
+    /// Route every shard's counters through `registry`, labeled
+    /// `rdns_dns_server_*{shard="k"}`. Must precede [`ShardedUdpServer::run`].
+    pub fn with_registry(mut self, registry: &Registry) -> ShardedUdpServer {
+        for (k, shard) in self.shards.iter_mut().enumerate() {
+            let core = Arc::get_mut(&mut shard.core)
+                .expect("with_registry must be called before the server starts");
+            let stats =
+                ServerStats::with_registry_labeled(registry, &format!("shard=\"{k}\""));
+            stats.absorb(&core.stats);
+            core.stats = Arc::new(stats);
+        }
+        self
+    }
+
+    /// Number of socket shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The bound address of every shard, in shard order.
+    pub fn addrs(&self) -> io::Result<Vec<SocketAddr>> {
+        self.shards.iter().map(|s| s.local_addr()).collect()
+    }
+
+    /// Per-shard statistics handles, in shard order.
+    pub fn stats(&self) -> Vec<Arc<ServerStats>> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// One handle that stops every shard.
+    pub fn shutdown_handle(&self) -> ShardedShutdownHandle {
+        ShardedShutdownHandle {
+            handles: self.shards.iter().map(|s| s.shutdown_handle()).collect(),
+        }
+    }
+
+    /// Serve all shards until shut down; resolves once every shard's worker
+    /// pool has exited, with the first shard error (if any).
+    pub async fn run(self) -> io::Result<()> {
+        let handles: Vec<_> = self
+            .shards
+            .into_iter()
+            .map(|s| tokio::spawn(s.run()))
+            .collect();
+        let mut result = Ok(());
+        for handle in handles {
+            let outcome = match handle.await {
+                Ok(r) => r,
+                Err(_) => Err(io::Error::other("server shard panicked")),
+            };
+            if result.is_ok() {
+                result = outcome;
+            }
+        }
+        result
+    }
+}
+
+/// Stops every shard of a [`ShardedUdpServer`].
+#[derive(Debug, Clone)]
+pub struct ShardedShutdownHandle {
+    handles: Vec<ShutdownHandle>,
+}
+
+impl ShardedShutdownHandle {
+    /// Request shutdown on all shards.
+    pub fn shutdown(&self) {
+        for h in &self.handles {
+            h.shutdown();
+        }
     }
 }
 
@@ -679,6 +827,101 @@ mod tests {
         assert_eq!(
             resp.first_ptr().unwrap().to_string(),
             "brians-iphone.example.edu."
+        );
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn sharded_server_answers_on_every_shard() {
+        let store = test_store();
+        let server = ShardedUdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            store,
+            FaultConfig::default(),
+            3,
+        )
+        .await
+        .unwrap();
+        assert_eq!(server.shard_count(), 3);
+        let addrs = server.addrs().unwrap();
+        assert_eq!(addrs.len(), 3);
+        // Ephemeral binding must give every shard a distinct port.
+        let mut ports: Vec<u16> = addrs.iter().map(|a| a.port()).collect();
+        ports.dedup();
+        assert_eq!(ports.len(), 3, "shards must not share a port: {addrs:?}");
+        let shutdown = server.shutdown_handle();
+        let stats = server.stats();
+        tokio::spawn(server.run());
+
+        for (k, addr) in addrs.iter().enumerate() {
+            let q = Message::query(k as u16, Question::ptr_for("192.0.2.34".parse().unwrap()));
+            let resp = raw_query(*addr, &q).await;
+            assert_eq!(resp.header.rcode, Rcode::NoError, "shard {k}");
+            assert_eq!(resp.header.id, k as u16);
+        }
+        for (k, s) in stats.iter().enumerate() {
+            assert_eq!(s.snapshot().answered, 1, "shard {k} must have answered once");
+        }
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn sharded_server_shares_one_live_store() {
+        let store = test_store();
+        let server = ShardedUdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            store.clone(),
+            FaultConfig::default(),
+            2,
+        )
+        .await
+        .unwrap();
+        let addrs = server.addrs().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+
+        // A record added after bind is visible through every shard: all
+        // sockets answer from the same striped store, not copies.
+        let target: Ipv4Addr = "192.0.2.77".parse().unwrap();
+        store.set_ptr(target, "shared-device.example.edu".parse().unwrap(), 300);
+        for (k, addr) in addrs.iter().enumerate() {
+            let q = Message::query(40 + k as u16, Question::ptr_for(target));
+            let resp = raw_query(*addr, &q).await;
+            assert_eq!(resp.header.rcode, Rcode::NoError, "shard {k}");
+            assert_eq!(
+                resp.first_ptr().unwrap().to_string(),
+                "shared-device.example.edu."
+            );
+        }
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn sharded_registry_labels_counters_per_shard() {
+        let registry = Registry::new();
+        let server = ShardedUdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            test_store(),
+            FaultConfig::default(),
+            2,
+        )
+        .await
+        .unwrap()
+        .with_registry(&registry);
+        let addrs = server.addrs().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+
+        let q = Message::query(11, Question::ptr_for("192.0.2.34".parse().unwrap()));
+        let _ = raw_query(addrs[1], &q).await;
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("rdns_dns_server_answered_total{shard=\"1\"} 1"),
+            "queried shard must show its labeled count: {text}"
+        );
+        assert!(
+            text.contains("rdns_dns_server_answered_total{shard=\"0\"} 0"),
+            "idle shard must render zero: {text}"
         );
         shutdown.shutdown();
     }

@@ -1,0 +1,504 @@
+//! Open-loop dispatch: thousands of logical clients, a few OS threads.
+//!
+//! The generator materialises an [`ArrivalSchedule`] and replays it against
+//! a sharded serve front in wall-clock time. Logical clients are cheap — a
+//! client is a (shard assignment, ChaCha8 message-ID stream) pair — so
+//! "thousands of concurrent clients" costs thousands of RNG states, not
+//! thousands of threads. Dispatch runs on `config.workers` OS threads, each
+//! owning one connected nonblocking socket per shard plus a 65536-slot
+//! in-flight table per socket, so the receive path never takes a lock.
+//!
+//! Assignment is stable and deterministic: event *i* belongs to client
+//! `i % clients`, client *c* is dispatched by worker `c % workers` through
+//! shard `c % shards`. The timeline itself never depends on any of these
+//! (see [`crate::schedule`]).
+
+use crate::schedule::{ArrivalSchedule, LoadConfig};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rdns_dns::{Message, Question};
+use rdns_model::SimTime;
+use rdns_scan::TokenBucket;
+use rdns_telemetry::{Counter, Determinism, Gauge, Histogram, Registry};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// Per-client seed spacing for the message-ID streams.
+const CLIENT_STREAM: u64 = 0xC11E_4700_0003;
+const CLIENT_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A dispatch is "late" when it fires this far behind its scheduled instant.
+const LATE_THRESHOLD_NANOS: u64 = 1_000_000;
+
+/// Idle sleep while waiting for a distant arrival or a straggling response:
+/// long enough to hand the core to the server threads, short enough to stay
+/// within the late threshold.
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Slot sentinel: no query in flight under this message ID.
+const VACANT: u64 = u64::MAX;
+
+/// Wall-clock telemetry cells for the generator, one set per run. All
+/// metrics are [`Determinism::WallClock`]: offered load replays a seeded
+/// schedule, but completions, latencies, and drops depend on real kernel
+/// timing.
+#[derive(Debug)]
+pub struct LoadStats {
+    /// Queries dispatched onto the wire.
+    pub sent: Counter,
+    /// Responses with answers.
+    pub answered: Counter,
+    /// NXDOMAIN responses.
+    pub nxdomain: Counter,
+    /// NoError responses without answers.
+    pub nodata: Counter,
+    /// SERVFAIL responses.
+    pub servfail: Counter,
+    /// Responses that matched no in-flight query (late duplicates, evicted
+    /// slots) or carried an unexpected rcode.
+    pub unmatched: Counter,
+    /// Queries never answered within the drain grace.
+    pub timeout: Counter,
+    /// Dispatches that fired >1ms behind schedule (open-loop fidelity).
+    pub late: Counter,
+    /// Dispatches delayed by the optional token-bucket ceiling.
+    pub throttled: Counter,
+    /// `send(2)` failures (full socket buffer).
+    pub send_failed: Counter,
+    /// Queries currently awaiting a response.
+    pub in_flight: Gauge,
+    /// Per-shard query latency in microseconds, indexed by shard.
+    pub latency_us: Vec<Histogram>,
+}
+
+impl LoadStats {
+    /// Unregistered cells (counters work but render nowhere).
+    pub fn unregistered(shards: usize) -> LoadStats {
+        LoadStats {
+            sent: Counter::default(),
+            answered: Counter::default(),
+            nxdomain: Counter::default(),
+            nodata: Counter::default(),
+            servfail: Counter::default(),
+            unmatched: Counter::default(),
+            timeout: Counter::default(),
+            late: Counter::default(),
+            throttled: Counter::default(),
+            send_failed: Counter::default(),
+            in_flight: Gauge::default(),
+            latency_us: (0..shards.max(1)).map(|_| Histogram::default()).collect(),
+        }
+    }
+
+    /// Registry-backed cells under `rdns_loadgen_*`; the latency histogram
+    /// is labeled per socket shard.
+    pub fn with_registry(registry: &Registry, shards: usize) -> LoadStats {
+        let c = |name, help| registry.counter(name, help, Determinism::WallClock);
+        LoadStats {
+            sent: c("rdns_loadgen_sent_total", "Queries dispatched onto the wire."),
+            answered: c(
+                "rdns_loadgen_answered_total",
+                "Responses carrying at least one answer record.",
+            ),
+            nxdomain: c("rdns_loadgen_nxdomain_total", "NXDOMAIN responses."),
+            nodata: c("rdns_loadgen_nodata_total", "NoError/NoData responses."),
+            servfail: c("rdns_loadgen_servfail_total", "SERVFAIL responses."),
+            unmatched: c(
+                "rdns_loadgen_unmatched_total",
+                "Responses matching no in-flight query, or unexpected rcodes.",
+            ),
+            timeout: c(
+                "rdns_loadgen_timeout_total",
+                "Queries unanswered within the drain grace.",
+            ),
+            late: c(
+                "rdns_loadgen_late_total",
+                "Dispatches that fired more than 1ms behind schedule.",
+            ),
+            throttled: c(
+                "rdns_loadgen_throttled_total",
+                "Dispatches delayed by the token-bucket rate ceiling.",
+            ),
+            send_failed: c(
+                "rdns_loadgen_send_failed_total",
+                "UDP send failures (full socket buffer).",
+            ),
+            in_flight: registry.gauge(
+                "rdns_loadgen_in_flight",
+                "Queries currently awaiting a response.",
+                Determinism::WallClock,
+            ),
+            latency_us: (0..shards.max(1))
+                .map(|k| {
+                    registry.histogram(
+                        &format!("rdns_loadgen_latency_us{{shard=\"{k}\"}}"),
+                        "Query round-trip latency in microseconds, per socket shard.",
+                        Determinism::WallClock,
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Outcome of a load run: plain-value counters plus the latency SLO view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Queries dispatched.
+    pub sent: u64,
+    /// Responses with answers.
+    pub answered: u64,
+    /// NXDOMAIN responses.
+    pub nxdomain: u64,
+    /// NoError/NoData responses.
+    pub nodata: u64,
+    /// SERVFAIL responses.
+    pub servfail: u64,
+    /// Unmatched or unclassifiable responses.
+    pub unmatched: u64,
+    /// Queries unanswered within the drain grace.
+    pub timeouts: u64,
+    /// Dispatches >1ms behind schedule.
+    pub late: u64,
+    /// Dispatches delayed by the rate ceiling.
+    pub throttled: u64,
+    /// UDP send failures.
+    pub send_failed: u64,
+    /// Peak concurrently-in-flight queries observed by any worker.
+    pub max_in_flight: i64,
+    /// Wall-clock duration of the run including drain.
+    pub elapsed: Duration,
+    /// Offered rate actually achieved: sent / elapsed.
+    pub offered_qps: f64,
+    /// Completion rate: (answered+nxdomain+nodata+servfail) / elapsed.
+    pub completed_qps: f64,
+    /// Median latency in microseconds (log2-bucket estimate).
+    pub p50_us: Option<u64>,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: Option<u64>,
+    /// 99.9th-percentile latency in microseconds.
+    pub p999_us: Option<u64>,
+    /// Latency observations per socket shard.
+    pub latency_counts: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Queries that failed outright: SERVFAIL, timeout, unmatched, or
+    /// unsendable. NXDOMAIN/NoData are *not* failures — they are correct
+    /// authoritative answers about absent names.
+    pub fn failed(&self) -> u64 {
+        self.servfail + self.timeouts + self.unmatched + self.send_failed
+    }
+
+    /// Responses accounted for (every class except timeouts).
+    pub fn completed(&self) -> u64 {
+        self.answered + self.nxdomain + self.nodata + self.servfail
+    }
+}
+
+/// The open-loop load generator.
+pub struct LoadGenerator {
+    config: LoadConfig,
+    registry: Option<Registry>,
+}
+
+impl LoadGenerator {
+    /// A generator replaying `config`'s schedule.
+    pub fn new(config: LoadConfig) -> LoadGenerator {
+        LoadGenerator {
+            config,
+            registry: None,
+        }
+    }
+
+    /// Route telemetry through `registry` (as `rdns_loadgen_*`).
+    pub fn with_registry(mut self, registry: &Registry) -> LoadGenerator {
+        self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Run the schedule against the shard sockets at `addrs`, querying the
+    /// PTR names of `targets`. Blocks until every query is answered or the
+    /// drain grace expires.
+    pub fn run(&self, addrs: &[SocketAddr], targets: &[Ipv4Addr]) -> io::Result<LoadReport> {
+        assert!(!addrs.is_empty(), "need at least one shard address");
+        let shards = addrs.len();
+        let stats = match &self.registry {
+            Some(r) => LoadStats::with_registry(r, shards),
+            None => LoadStats::unregistered(shards),
+        };
+        let schedule = ArrivalSchedule::generate(&self.config, targets);
+        let clients = self.config.clients.max(1);
+        let workers = self.config.workers.max(1).min(clients);
+
+        // Pre-encode one query template per distinct target; workers patch
+        // the two ID bytes per dispatch instead of re-encoding.
+        let mut template_index: HashMap<Ipv4Addr, usize> = HashMap::new();
+        let mut templates: Vec<Vec<u8>> = Vec::new();
+        let mut worker_events: Vec<Vec<WorkerEvent>> = vec![Vec::new(); workers];
+        for (i, e) in schedule.events().iter().enumerate() {
+            let pkt = *template_index.entry(e.target).or_insert_with(|| {
+                templates.push(Message::query(0, Question::ptr_for(e.target)).encode());
+                templates.len() - 1
+            });
+            let client = i % clients;
+            worker_events[client % workers].push(WorkerEvent {
+                at_nanos: e.at_nanos,
+                pkt,
+                shard: client % shards,
+                local_client: client / workers,
+            });
+        }
+
+        let start = Instant::now();
+        let max_seen = std::thread::scope(|scope| -> io::Result<Vec<i64>> {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, events) in worker_events.iter().enumerate() {
+                let stats = &stats;
+                let templates = &templates;
+                let config = &self.config;
+                handles.push(scope.spawn(move || {
+                    run_worker(w, workers, events, addrs, templates, config, stats, start)
+                }));
+            }
+            let mut maxes = Vec::with_capacity(workers);
+            for h in handles {
+                maxes.push(h.join().expect("load worker panicked")?);
+            }
+            Ok(maxes)
+        })?;
+
+        let elapsed = start.elapsed();
+        let merged = Histogram::default();
+        for h in &stats.latency_us {
+            merged.absorb(h);
+        }
+        let secs = elapsed.as_secs_f64().max(f64::EPSILON);
+        let report = LoadReport {
+            sent: stats.sent.get(),
+            answered: stats.answered.get(),
+            nxdomain: stats.nxdomain.get(),
+            nodata: stats.nodata.get(),
+            servfail: stats.servfail.get(),
+            unmatched: stats.unmatched.get(),
+            timeouts: stats.timeout.get(),
+            late: stats.late.get(),
+            throttled: stats.throttled.get(),
+            send_failed: stats.send_failed.get(),
+            max_in_flight: max_seen.into_iter().max().unwrap_or(0),
+            elapsed,
+            offered_qps: stats.sent.get() as f64 / secs,
+            completed_qps: (stats.answered.get()
+                + stats.nxdomain.get()
+                + stats.nodata.get()
+                + stats.servfail.get()) as f64
+                / secs,
+            p50_us: merged.quantile(0.50),
+            p99_us: merged.quantile(0.99),
+            p999_us: merged.quantile(0.999),
+            latency_counts: stats.latency_us.iter().map(|h| h.count()).collect(),
+        };
+        Ok(report)
+    }
+}
+
+/// One event as a worker sees it: resolved template, shard, and the
+/// worker-local client slot that owns the message-ID stream.
+#[derive(Debug, Clone, Copy)]
+struct WorkerEvent {
+    at_nanos: u64,
+    pkt: usize,
+    shard: usize,
+    local_client: usize,
+}
+
+/// Per-socket in-flight bookkeeping: send instant by message ID.
+struct ShardState {
+    sock: UdpSocket,
+    slots: Vec<u64>,
+    in_flight: i64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    worker: usize,
+    workers: usize,
+    events: &[WorkerEvent],
+    addrs: &[SocketAddr],
+    templates: &[Vec<u8>],
+    config: &LoadConfig,
+    stats: &LoadStats,
+    start: Instant,
+) -> io::Result<i64> {
+    let mut shards = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        sock.connect(addr)?;
+        sock.set_nonblocking(true)?;
+        shards.push(ShardState {
+            sock,
+            slots: vec![VACANT; 1 << 16],
+            in_flight: 0,
+        });
+    }
+    // Per-client message-ID streams, lazily seeded: local slot l belongs to
+    // global client l·workers + worker.
+    let mut id_rngs: Vec<Option<ChaCha8Rng>> = Vec::new();
+    // Per-worker slice of the optional ceiling. The scanner's bucket ticks
+    // on whole sim-seconds, far too coarse for pacing (a 1s refill releases
+    // the whole second's quota as one burst, overflowing UDP buffers), so
+    // we feed it wall-milliseconds as if they were seconds and divide the
+    // rate by 1000: same bucket, millisecond pacing.
+    let mut ceiling = config.rate_ceiling.map(|rate| {
+        let per_tick = rate / workers as f64 / 1_000.0;
+        let burst = per_tick.ceil().max(1.0) as u32;
+        TokenBucket::new(per_tick, burst, SimTime(0))
+    });
+    let mut throttled_event: Option<usize> = None;
+
+    let mut buf = [0u8; 1500];
+    let mut next = 0usize;
+    let mut max_in_flight = 0i64;
+    let deadline_grace = config.drain_grace;
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        let now_nanos = start.elapsed().as_nanos() as u64;
+        // Dispatch everything due.
+        while next < events.len() && events[next].at_nanos <= now_nanos {
+            if let Some(bucket) = ceiling.as_mut() {
+                let tick = SimTime((now_nanos / 1_000_000) as i64);
+                if !bucket.try_take(tick) {
+                    // Count each *event* deferred once, not every retry.
+                    if throttled_event != Some(next) {
+                        throttled_event = Some(next);
+                        stats.throttled.inc();
+                    }
+                    break;
+                }
+            }
+            let e = events[next];
+            next += 1;
+            if now_nanos - e.at_nanos > LATE_THRESHOLD_NANOS {
+                stats.late.inc();
+            }
+            if id_rngs.len() <= e.local_client {
+                id_rngs.resize_with(e.local_client + 1, || None);
+            }
+            let rng = id_rngs[e.local_client].get_or_insert_with(|| {
+                let client = (e.local_client * workers + worker) as u64;
+                ChaCha8Rng::seed_from_u64(
+                    config.seed ^ CLIENT_STREAM ^ client.wrapping_mul(CLIENT_STRIDE),
+                )
+            });
+            let id = (rng.next_u32() & 0xFFFF) as u16;
+            let shard = &mut shards[e.shard];
+            let mut pkt = templates[e.pkt].clone();
+            pkt[0] = (id >> 8) as u8;
+            pkt[1] = id as u8;
+            match shard.sock.send(&pkt) {
+                Ok(_) => {
+                    if shard.slots[id as usize] != VACANT {
+                        // ID collision: the older query can no longer be
+                        // matched; account it as a timeout now.
+                        stats.timeout.inc();
+                        stats.in_flight.sub(1);
+                        shard.in_flight -= 1;
+                    }
+                    shard.slots[id as usize] = now_nanos;
+                    shard.in_flight += 1;
+                    stats.sent.inc();
+                    stats.in_flight.add(1);
+                    max_in_flight = max_in_flight.max(stats.in_flight.get());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    stats.send_failed.inc();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain responses on every shard socket.
+        let mut received_any = false;
+        for (k, shard) in shards.iter_mut().enumerate() {
+            loop {
+                match shard.sock.recv(&mut buf) {
+                    Ok(n) => {
+                        received_any = true;
+                        classify(&buf[..n], shard, k, stats, start);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let in_flight: i64 = shards.iter().map(|s| s.in_flight).sum();
+        if next >= events.len() {
+            if in_flight == 0 {
+                return Ok(max_in_flight);
+            }
+            let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + deadline_grace);
+            if Instant::now() >= deadline {
+                // Give up on the stragglers.
+                for shard in &mut shards {
+                    let remaining = shard.in_flight;
+                    stats.timeout.add(remaining as u64);
+                    stats.in_flight.sub(remaining);
+                    shard.in_flight = 0;
+                }
+                return Ok(max_in_flight);
+            }
+            if !received_any {
+                std::thread::sleep(IDLE_SLEEP);
+            }
+            continue;
+        }
+        // Sleep only when the next arrival is comfortably far (or the
+        // ceiling is holding it back); otherwise spin through another drain
+        // pass to keep dispatch jitter low.
+        let throttling = throttled_event == Some(next);
+        let wait = events[next].at_nanos.saturating_sub(start.elapsed().as_nanos() as u64);
+        let idle = !received_any && (throttling || (wait > 500_000 && in_flight == 0));
+        if idle {
+            std::thread::sleep(IDLE_SLEEP);
+        } else if wait > 100_000 {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Header-only response classification: enough to account the query without
+/// decoding names. Bytes 0-1 are the ID, byte 3's low nibble the RCODE,
+/// bytes 6-7 ANCOUNT.
+fn classify(
+    buf: &[u8],
+    shard: &mut ShardState,
+    shard_idx: usize,
+    stats: &LoadStats,
+    start: Instant,
+) {
+    if buf.len() < 12 {
+        stats.unmatched.inc();
+        return;
+    }
+    let id = u16::from_be_bytes([buf[0], buf[1]]) as usize;
+    let sent_at = shard.slots[id];
+    if sent_at == VACANT {
+        stats.unmatched.inc();
+        return;
+    }
+    shard.slots[id] = VACANT;
+    shard.in_flight -= 1;
+    stats.in_flight.sub(1);
+    let latency_ns = (start.elapsed().as_nanos() as u64).saturating_sub(sent_at);
+    stats.latency_us[shard_idx].observe(latency_ns / 1_000);
+    let rcode = buf[3] & 0x0F;
+    let ancount = u16::from_be_bytes([buf[6], buf[7]]);
+    match (rcode, ancount) {
+        (0, 0) => stats.nodata.inc(),
+        (0, _) => stats.answered.inc(),
+        (3, _) => stats.nxdomain.inc(),
+        (2, _) => stats.servfail.inc(),
+        _ => stats.unmatched.inc(),
+    }
+}

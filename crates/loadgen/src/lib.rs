@@ -1,0 +1,30 @@
+//! rdns-loadgen: open-loop resolver load for the serve path.
+//!
+//! The paper's sweep universe is served by real operators to millions of
+//! clients; this crate supplies the client side of that story for the
+//! reproduction. It offers load to a [`rdns_dns::ShardedUdpServer`] three
+//! ways:
+//!
+//! * [`schedule`] — a deterministic open-loop arrival timeline (Poisson or
+//!   uniform), a pure function of the seed. The schedule *is* the workload:
+//!   everything downstream merely replays it.
+//! * [`generator`] — thousands of seeded logical clients replaying the
+//!   timeline in wall-clock time over a few worker threads, recording
+//!   per-shard latency into wall-clock telemetry histograms.
+//! * [`saturation`] — a windowed closed-loop probe that measures the serve
+//!   path's capacity ceiling in queries per second.
+//!
+//! Determinism contract: the *offered* load (arrival instants, target
+//! order, per-client DNS message IDs) is seed-stable; the *observed* side
+//! (latency, completion counts, drops) is wall-clock and must never feed
+//! seed-stable state. Reuses the scanner's [`rdns_scan::Permutation`] for
+//! burst-free target walks and [`rdns_scan::TokenBucket`] as an optional
+//! rate ceiling.
+
+pub mod generator;
+pub mod saturation;
+pub mod schedule;
+
+pub use generator::{LoadGenerator, LoadReport, LoadStats};
+pub use saturation::{measure_saturation, SaturationConfig, SaturationReport};
+pub use schedule::{ArrivalProcess, ArrivalSchedule, LoadConfig, QueryEvent};

@@ -1,0 +1,133 @@
+//! Closed-loop saturation probe: how fast *can* the serve path go?
+//!
+//! The open-loop generator measures latency at a chosen offered rate; this
+//! probe measures the ceiling. It keeps a fixed window of queries in flight
+//! per shard socket and counts completions — a windowed closed loop, the
+//! same discipline the pipelined sweeper uses, but with the lean wire path
+//! (pre-encoded packets, header-only decode) so the probe itself is not the
+//! bottleneck.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rdns_dns::{Message, Question};
+use rdns_scan::Permutation;
+use std::io;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::time::{Duration, Instant};
+
+/// Configuration for a saturation run.
+#[derive(Debug, Clone)]
+pub struct SaturationConfig {
+    /// Total completions to collect before stopping.
+    pub total_queries: u64,
+    /// In-flight window per shard socket.
+    pub window_per_shard: u64,
+    /// Seed for the target walk.
+    pub seed: u64,
+    /// Hard wall-clock cap; the probe reports whatever completed by then.
+    pub time_limit: Duration,
+}
+
+impl Default for SaturationConfig {
+    fn default() -> Self {
+        SaturationConfig {
+            total_queries: 100_000,
+            window_per_shard: 64,
+            seed: 1,
+            time_limit: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of a saturation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaturationReport {
+    /// Queries completed (any response).
+    pub completed: u64,
+    /// Queries sent.
+    pub sent: u64,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// Completions per second: the serve path's measured capacity.
+    pub qps: f64,
+    /// Whether the run hit the time limit before `total_queries`.
+    pub timed_out: bool,
+}
+
+/// Drive the shard sockets at `addrs` flat-out and measure completion rate.
+pub fn measure_saturation(
+    addrs: &[SocketAddr],
+    targets: &[Ipv4Addr],
+    config: &SaturationConfig,
+) -> io::Result<SaturationReport> {
+    assert!(!addrs.is_empty(), "need at least one shard address");
+    assert!(!targets.is_empty(), "need at least one target");
+    let shards = addrs.len();
+    // Pre-encode every target's query in permuted order; the send loop
+    // cycles through the deck patching IDs.
+    let deck: Vec<Vec<u8>> = Permutation::new(targets.len() as u64, config.seed)
+        .map(|i| Message::query(0, Question::ptr_for(targets[i as usize])).encode())
+        .collect();
+    let socks: Vec<UdpSocket> = addrs
+        .iter()
+        .map(|a| {
+            let s = UdpSocket::bind("127.0.0.1:0")?;
+            s.connect(a)?;
+            s.set_nonblocking(true)?;
+            Ok(s)
+        })
+        .collect::<io::Result<_>>()?;
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut sent = vec![0u64; shards];
+    let mut recvd = vec![0u64; shards];
+    let mut buf = [0u8; 1500];
+    let mut next_pkt = 0usize;
+    let mut seq: u16 = rng.gen();
+    let mut total_sent = 0u64;
+    let mut total_recvd = 0u64;
+    let start = Instant::now();
+    let mut timed_out = false;
+    while total_recvd < config.total_queries {
+        for k in 0..shards {
+            while total_sent < config.total_queries && sent[k] - recvd[k] < config.window_per_shard
+            {
+                let mut pkt = deck[next_pkt].clone();
+                next_pkt = (next_pkt + 1) % deck.len();
+                seq = seq.wrapping_add(1);
+                pkt[0] = (seq >> 8) as u8;
+                pkt[1] = seq as u8;
+                match socks[k].send(&pkt) {
+                    Ok(_) => {
+                        sent[k] += 1;
+                        total_sent += 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            loop {
+                match socks[k].recv(&mut buf) {
+                    Ok(_) => {
+                        recvd[k] += 1;
+                        total_recvd += 1;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if start.elapsed() > config.time_limit {
+            timed_out = true;
+            break;
+        }
+    }
+    let elapsed = start.elapsed();
+    Ok(SaturationReport {
+        completed: total_recvd,
+        sent: total_sent,
+        elapsed,
+        qps: total_recvd as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        timed_out,
+    })
+}

@@ -1,0 +1,284 @@
+//! Deterministic open-loop arrival schedules.
+//!
+//! An open-loop generator decides *when* to send from an arrival process,
+//! not from response completions — the client population keeps offering
+//! load even when the server lags, which is what exposes queueing collapse
+//! (closed-loop harnesses self-throttle and hide it). The INET/OMNeT++ DNS
+//! models drive their resolver workloads the same way.
+//!
+//! The whole timeline — arrival instants and query targets — is a pure
+//! function of `(seed, process, rate, duration, targets)`. Client count and
+//! worker count are dispatch concerns: they partition the timeline but never
+//! reshape it, so two runs with the same seed offer byte-identical load no
+//! matter how the work is spread ([`ArrivalSchedule::timeline_bytes`] is the
+//! canonical encoding that pins this).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rdns_scan::Permutation;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+/// Stream-splitting constants: each consumer of the seed XORs its own tag so
+/// the arrival clock, target walk, and per-client ID streams stay
+/// uncorrelated.
+const ARRIVAL_STREAM: u64 = 0xA551_7AC0_0001;
+const TARGET_STREAM: u64 = 0x7A26_E700_0002;
+const CYCLE_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The inter-arrival process of the offered load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrivals (memoryless): the realistic model for
+    /// many independent resolver clients.
+    Poisson,
+    /// Fixed inter-arrivals: a metronome, useful for SLO floors because the
+    /// offered rate has zero variance.
+    Uniform,
+}
+
+/// Configuration for a load run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Master seed; every derived stream (arrivals, target order, per-client
+    /// message IDs) is a pure function of it.
+    pub seed: u64,
+    /// Offered rate in queries per second.
+    pub rate_qps: f64,
+    /// How long the schedule runs.
+    pub duration: Duration,
+    /// Inter-arrival process.
+    pub process: ArrivalProcess,
+    /// Logical client population. Affects only dispatch (which client sends
+    /// each query, hence which socket shard receives it) — never the
+    /// timeline.
+    pub clients: usize,
+    /// Dispatch worker threads. Affects only how clients are partitioned
+    /// across OS threads — never the timeline.
+    pub workers: usize,
+    /// Optional safety ceiling in queries per second, enforced with the
+    /// scanner's [`rdns_scan::TokenBucket`]. `None` trusts the schedule.
+    pub rate_ceiling: Option<f64>,
+    /// How long to wait for in-flight responses after the last dispatch.
+    pub drain_grace: Duration,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            seed: 0,
+            rate_qps: 1000.0,
+            duration: Duration::from_secs(1),
+            process: ArrivalProcess::Poisson,
+            clients: 1000,
+            workers: 2,
+            rate_ceiling: None,
+            drain_grace: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One scheduled query: fire at `at_nanos` (relative to run start) against
+/// `target`'s PTR name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryEvent {
+    /// Nanoseconds after run start.
+    pub at_nanos: u64,
+    /// The IPv4 address whose reverse name is queried.
+    pub target: Ipv4Addr,
+}
+
+/// A fully materialised, time-ordered query timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    events: Vec<QueryEvent>,
+}
+
+impl ArrivalSchedule {
+    /// Generate the timeline for `config` over `targets`.
+    ///
+    /// Arrival instants come from a dedicated ChaCha8 stream; targets are
+    /// visited in ZMap-style permuted order (no destination sees a burst of
+    /// consecutive queries), re-permuted with a rotated seed on each full
+    /// cycle. `config.clients` and `config.workers` are deliberately unused.
+    pub fn generate(config: &LoadConfig, targets: &[Ipv4Addr]) -> ArrivalSchedule {
+        assert!(config.rate_qps > 0.0, "rate must be positive");
+        let horizon = config.duration.as_nanos() as u64;
+        if targets.is_empty() || horizon == 0 {
+            return ArrivalSchedule { events: Vec::new() };
+        }
+        let mut arrivals = ChaCha8Rng::seed_from_u64(config.seed ^ ARRIVAL_STREAM);
+        let mut walk = TargetWalk::new(config.seed, targets.len() as u64);
+        let interval_nanos = 1e9 / config.rate_qps;
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        let mut i = 0u64;
+        loop {
+            let at = match config.process {
+                ArrivalProcess::Poisson => {
+                    // Exponential inter-arrival: -ln(1-U)/λ, U ∈ [0,1).
+                    let u: f64 = arrivals.gen();
+                    t += -(1.0 - u).ln() * interval_nanos;
+                    t
+                }
+                ArrivalProcess::Uniform => {
+                    i += 1;
+                    (i - 1) as f64 * interval_nanos
+                }
+            };
+            let at_nanos = at as u64;
+            if at_nanos >= horizon {
+                return ArrivalSchedule { events };
+            }
+            events.push(QueryEvent {
+                at_nanos,
+                target: targets[walk.next_index() as usize],
+            });
+        }
+    }
+
+    /// The events in time order.
+    pub fn events(&self) -> &[QueryEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled queries.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The offered timeline as a canonical byte string: 12 bytes per event
+    /// (big-endian nanoseconds, then the four target octets). Two schedules
+    /// offer identical load if and only if their timeline bytes match.
+    pub fn timeline_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.events.len() * 12);
+        for e in &self.events {
+            out.extend_from_slice(&e.at_nanos.to_be_bytes());
+            out.extend_from_slice(&e.target.octets());
+        }
+        out
+    }
+}
+
+/// Endless permuted walk over `0..n`: each full cycle re-keys the
+/// [`Permutation`] so consecutive cycles differ, yet the whole walk stays a
+/// pure function of the seed.
+struct TargetWalk {
+    seed: u64,
+    n: u64,
+    cycle: u64,
+    perm: Permutation,
+}
+
+impl TargetWalk {
+    fn new(seed: u64, n: u64) -> TargetWalk {
+        TargetWalk {
+            seed,
+            n,
+            cycle: 0,
+            perm: Permutation::new(n, seed ^ TARGET_STREAM),
+        }
+    }
+
+    fn next_index(&mut self) -> u64 {
+        loop {
+            if let Some(i) = self.perm.next() {
+                return i;
+            }
+            self.cycle += 1;
+            self.perm = Permutation::new(
+                self.n,
+                self.seed ^ TARGET_STREAM ^ self.cycle.wrapping_mul(CYCLE_STRIDE),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(n: u8) -> Vec<Ipv4Addr> {
+        (0..n).map(|h| Ipv4Addr::new(10, 0, 0, h)).collect()
+    }
+
+    fn config(process: ArrivalProcess) -> LoadConfig {
+        LoadConfig {
+            seed: 42,
+            rate_qps: 10_000.0,
+            duration: Duration::from_millis(100),
+            process,
+            ..LoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn uniform_schedule_is_a_metronome() {
+        let s = ArrivalSchedule::generate(&config(ArrivalProcess::Uniform), &targets(16));
+        assert_eq!(s.len(), 1000, "10k qps over 100ms");
+        let gaps: Vec<u64> = s
+            .events()
+            .windows(2)
+            .map(|w| w[1].at_nanos - w[0].at_nanos)
+            .collect();
+        assert!(
+            gaps.iter().all(|g| (99_000..=101_000).contains(g)),
+            "uniform gaps must all be ~100µs"
+        );
+    }
+
+    #[test]
+    fn poisson_schedule_hits_the_rate_on_average() {
+        let s = ArrivalSchedule::generate(&config(ArrivalProcess::Poisson), &targets(16));
+        // 1000 expected arrivals; 4σ ≈ 126.
+        assert!(
+            (850..=1150).contains(&s.len()),
+            "poisson count {} too far from 1000",
+            s.len()
+        );
+        assert!(
+            s.events().windows(2).all(|w| w[0].at_nanos <= w[1].at_nanos),
+            "events must be time-ordered"
+        );
+    }
+
+    #[test]
+    fn targets_are_spread_not_bursty() {
+        let s = ArrivalSchedule::generate(&config(ArrivalProcess::Uniform), &targets(64));
+        let repeats = s
+            .events()
+            .windows(2)
+            .filter(|w| w[0].target == w[1].target)
+            .count();
+        assert!(repeats < 40, "permuted walk must not hammer one target: {repeats}");
+        // Every target is visited (1000 events over 64 targets ≥ 15 cycles).
+        let distinct: std::collections::BTreeSet<Ipv4Addr> =
+            s.events().iter().map(|e| e.target).collect();
+        assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn empty_inputs_make_empty_schedules() {
+        assert!(ArrivalSchedule::generate(&config(ArrivalProcess::Poisson), &[]).is_empty());
+        let zero = LoadConfig {
+            duration: Duration::ZERO,
+            ..config(ArrivalProcess::Uniform)
+        };
+        assert!(ArrivalSchedule::generate(&zero, &targets(4)).is_empty());
+    }
+
+    #[test]
+    fn timeline_bytes_roundtrip_identity() {
+        let s = ArrivalSchedule::generate(&config(ArrivalProcess::Poisson), &targets(8));
+        let bytes = s.timeline_bytes();
+        assert_eq!(bytes.len(), s.len() * 12);
+        let first = &bytes[..12];
+        assert_eq!(&first[..8], &s.events()[0].at_nanos.to_be_bytes());
+        assert_eq!(&first[8..], &s.events()[0].target.octets());
+    }
+}

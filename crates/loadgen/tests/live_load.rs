@@ -1,0 +1,174 @@
+//! End-to-end: the generator and the saturation probe against a live
+//! sharded server. Rates here are deliberately modest — CI boxes share
+//! cores — the SLO-grade numbers live in the serve bench.
+
+use rdns_dns::{FaultConfig, ShardedUdpServer, ZoneStore};
+use rdns_loadgen::{
+    measure_saturation, ArrivalProcess, LoadConfig, LoadGenerator, SaturationConfig,
+};
+use rdns_telemetry::Registry;
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+fn test_store() -> (ZoneStore, Vec<Ipv4Addr>) {
+    let store = ZoneStore::new();
+    let mut targets = Vec::new();
+    store.ensure_reverse_zone(Ipv4Addr::new(10, 77, 0, 1));
+    for h in 0..=255u8 {
+        let addr = Ipv4Addr::new(10, 77, 0, h);
+        targets.push(addr);
+        // Half the names exist: answered and NXDOMAIN paths both exercised.
+        if h % 2 == 0 {
+            store.set_ptr(
+                addr,
+                format!("host-{h}.resnet.example.edu").parse().unwrap(),
+                300,
+            );
+        }
+    }
+    (store, targets)
+}
+
+fn spawn_shards(store: ZoneStore, n: usize) -> (Vec<SocketAddr>, rdns_dns::ShardedShutdownHandle) {
+    let rt = tokio::runtime::Builder::new_multi_thread().build().unwrap();
+    rt.block_on(async {
+        let server = ShardedUdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            store,
+            FaultConfig::default(),
+            n,
+        )
+        .await
+        .unwrap();
+        let addrs = server.addrs().unwrap();
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+        (addrs, shutdown)
+    })
+}
+
+#[test]
+fn generator_completes_cleanly_against_live_shards() {
+    let (store, targets) = test_store();
+    let (addrs, shutdown) = spawn_shards(store, 2);
+    let registry = Registry::new();
+    let report = LoadGenerator::new(LoadConfig {
+        seed: 11,
+        rate_qps: 2_000.0,
+        duration: Duration::from_millis(500),
+        process: ArrivalProcess::Poisson,
+        clients: 500,
+        workers: 2,
+        rate_ceiling: None,
+        drain_grace: Duration::from_secs(2),
+    })
+    .with_registry(&registry)
+    .run(&addrs, &targets)
+    .unwrap();
+    shutdown.shutdown();
+
+    assert!(report.sent > 500, "should offer ~1000 queries: {report:?}");
+    assert_eq!(report.failed(), 0, "no faults configured: {report:?}");
+    assert_eq!(
+        report.completed(),
+        report.sent,
+        "every query must be answered: {report:?}"
+    );
+    assert!(report.answered > 0, "even targets have PTRs: {report:?}");
+    assert!(report.nxdomain > 0, "odd targets are NXDOMAIN: {report:?}");
+    assert!(report.max_in_flight > 0);
+    assert_eq!(report.latency_counts.len(), 2);
+    for (k, n) in report.latency_counts.iter().enumerate() {
+        assert!(*n > 0, "shard {k} must have observed latency samples");
+    }
+    assert!(report.p50_us.is_some() && report.p99_us.is_some() && report.p999_us.is_some());
+    assert!(report.p50_us <= report.p99_us && report.p99_us <= report.p999_us);
+
+    // The registry view carries the same story: labeled per-shard latency
+    // histograms with quantile estimates (wall-clock class).
+    let json = registry.render_json();
+    assert!(json.contains(r#"rdns_loadgen_latency_us{shard=\"0\"}"#));
+    assert!(json.contains(r#"rdns_loadgen_latency_us{shard=\"1\"}"#));
+    assert!(json.contains("\"p999\""));
+    // And the deterministic render drops every wall-clock loadgen metric.
+    assert!(!registry.render_json_deterministic().contains("rdns_loadgen"));
+}
+
+#[test]
+fn generator_load_is_spread_across_all_shards() {
+    let (store, targets) = test_store();
+    let (addrs, shutdown) = spawn_shards(store.clone(), 4);
+    let report = LoadGenerator::new(LoadConfig {
+        seed: 3,
+        rate_qps: 2_000.0,
+        duration: Duration::from_millis(300),
+        process: ArrivalProcess::Uniform,
+        clients: 400,
+        workers: 2,
+        rate_ceiling: None,
+        drain_grace: Duration::from_secs(2),
+    })
+    .run(&addrs, &targets)
+    .unwrap();
+    shutdown.shutdown();
+    assert_eq!(report.latency_counts.len(), 4);
+    for (k, n) in report.latency_counts.iter().enumerate() {
+        assert!(*n > 0, "client % 4 assignment must load shard {k}: {report:?}");
+    }
+}
+
+#[test]
+fn rate_ceiling_throttles_an_over_eager_schedule() {
+    let (store, targets) = test_store();
+    let (addrs, shutdown) = spawn_shards(store, 1);
+    // Offer 5k qps but cap at 500: the bucket must intervene.
+    let report = LoadGenerator::new(LoadConfig {
+        seed: 5,
+        rate_qps: 5_000.0,
+        duration: Duration::from_millis(400),
+        process: ArrivalProcess::Uniform,
+        clients: 100,
+        workers: 1,
+        rate_ceiling: Some(500.0),
+        drain_grace: Duration::from_secs(2),
+    })
+    .run(&addrs, &targets)
+    .unwrap();
+    shutdown.shutdown();
+    assert!(
+        report.throttled > 0,
+        "a 10x over-offered schedule must hit the ceiling: {report:?}"
+    );
+    // The ceiling defers, it doesn't drop: all 2000 queries go out, but
+    // paced at ≤500 qps — the wall-clock rate is what the cap promises.
+    assert_eq!(report.sent, 2000, "{report:?}");
+    assert!(
+        report.offered_qps < 750.0,
+        "the achieved send rate must respect the 500 qps ceiling: {report:?}"
+    );
+    assert!(
+        report.elapsed >= Duration::from_secs(3),
+        "pacing 2000 queries at 500 qps must stretch the run: {report:?}"
+    );
+}
+
+#[test]
+fn saturation_probe_measures_positive_capacity() {
+    let (store, targets) = test_store();
+    let (addrs, shutdown) = spawn_shards(store, 2);
+    let report = measure_saturation(
+        &addrs,
+        &targets,
+        &SaturationConfig {
+            total_queries: 5_000,
+            window_per_shard: 32,
+            seed: 9,
+            time_limit: Duration::from_secs(20),
+        },
+    )
+    .unwrap();
+    shutdown.shutdown();
+    assert!(!report.timed_out, "5k queries must finish fast: {report:?}");
+    assert_eq!(report.completed, 5_000);
+    assert!(report.qps > 1_000.0, "loopback capacity sanity: {report:?}");
+}

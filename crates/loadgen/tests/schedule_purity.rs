@@ -1,0 +1,88 @@
+//! Satellite pin: the open-loop arrival schedule is a pure function of the
+//! seed. Client and worker counts partition the dispatch of a timeline;
+//! they must never change the timeline itself, or two "identical" load
+//! runs with different thread counts would offer different workloads and
+//! every cross-configuration comparison would be meaningless.
+
+use proptest::prelude::*;
+use rdns_loadgen::{ArrivalProcess, ArrivalSchedule, LoadConfig};
+use std::net::Ipv4Addr;
+use std::time::Duration;
+
+fn targets(n: u16) -> Vec<Ipv4Addr> {
+    (0..n)
+        .map(|i| Ipv4Addr::new(10, 50, (i >> 8) as u8, i as u8))
+        .collect()
+}
+
+fn config(
+    seed: u64,
+    process: ArrivalProcess,
+    clients: usize,
+    workers: usize,
+) -> LoadConfig {
+    LoadConfig {
+        seed,
+        rate_qps: 20_000.0,
+        duration: Duration::from_millis(50),
+        process,
+        clients,
+        workers,
+        ..LoadConfig::default()
+    }
+}
+
+proptest! {
+    /// Same seed → byte-identical timeline, no matter how many clients or
+    /// worker threads will later replay it.
+    #[test]
+    fn prop_timeline_pure_in_seed(
+        seed in 0u64..10_000,
+        process_sel in 0u8..2,
+        clients in 1usize..5_000,
+        workers in 1usize..16,
+        n_targets in 1u16..512,
+    ) {
+        let process = if process_sel == 0 {
+            ArrivalProcess::Poisson
+        } else {
+            ArrivalProcess::Uniform
+        };
+        let t = targets(n_targets);
+        let reference =
+            ArrivalSchedule::generate(&config(seed, process, 1, 1), &t).timeline_bytes();
+        let varied =
+            ArrivalSchedule::generate(&config(seed, process, clients, workers), &t)
+                .timeline_bytes();
+        prop_assert_eq!(&reference, &varied,
+            "clients={} workers={} must not reshape the timeline", clients, workers);
+    }
+
+    /// Different seeds → distinct timelines (target order alone guarantees
+    /// divergence even for the uniform metronome).
+    #[test]
+    fn prop_distinct_seeds_distinct_timelines(
+        seed in 0u64..10_000,
+        process_sel in 0u8..2,
+    ) {
+        let process = if process_sel == 0 {
+            ArrivalProcess::Poisson
+        } else {
+            ArrivalProcess::Uniform
+        };
+        let t = targets(64);
+        let a = ArrivalSchedule::generate(&config(seed, process, 10, 2), &t);
+        let b = ArrivalSchedule::generate(&config(seed ^ 0xDEAD_BEEF, process, 10, 2), &t);
+        prop_assert!(!a.is_empty());
+        prop_assert_ne!(a.timeline_bytes(), b.timeline_bytes());
+    }
+}
+
+#[test]
+fn timeline_stable_across_repeated_generation() {
+    let t = targets(100);
+    let c = config(7, ArrivalProcess::Poisson, 100, 4);
+    let a = ArrivalSchedule::generate(&c, &t).timeline_bytes();
+    let b = ArrivalSchedule::generate(&c, &t).timeline_bytes();
+    assert_eq!(a, b);
+}

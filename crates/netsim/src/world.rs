@@ -171,6 +171,26 @@ impl World {
             .collect()
     }
 
+    /// Every scannable address across every network: the dynamic-pool
+    /// prefixes of [`World::scan_targets`] expanded to individual
+    /// addresses. This is the target universe offered to the serve path —
+    /// a load generator or sweeper attaches to the world by querying these
+    /// against a server on [`World::store`].
+    pub fn all_scan_targets(&self) -> Vec<Ipv4Addr> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.subnets.iter().filter_map(|sub| match sub.spec.role {
+                    SubnetRole::DynamicClients { .. } | SubnetRole::FixedFormDhcp { .. } => {
+                        Some(sub.spec.prefix)
+                    }
+                    _ => None,
+                })
+            })
+            .flat_map(|prefix| prefix.addrs().collect::<Vec<_>>())
+            .collect()
+    }
+
     /// ICMP echo against `addr`: answers only when the network's ingress is
     /// open, a device is online there, and that device's host firewall
     /// permits echo (§6.2).
@@ -478,6 +498,22 @@ mod tests {
         let targets = w.scan_targets("Academic-A");
         assert_eq!(targets.len(), 9); // 4 campus + 4 resnet + 1 staff
         assert!(w.scan_targets("Nonexistent").is_empty());
+    }
+
+    #[test]
+    fn all_scan_targets_expand_every_dynamic_prefix() {
+        let w = tiny_world(Date::from_ymd(2021, 11, 1));
+        let per_net: usize = w
+            .scan_targets("Academic-A")
+            .iter()
+            .map(|p| p.size() as usize)
+            .sum();
+        let all = w.all_scan_targets();
+        assert_eq!(all.len(), per_net, "tiny world has one network");
+        // Expansion covers each prefix completely.
+        for prefix in w.scan_targets("Academic-A") {
+            assert!(all.iter().filter(|a| prefix.contains(**a)).count() == prefix.size() as usize);
+        }
     }
 
     #[test]

@@ -218,6 +218,57 @@ impl Histogram {
             .collect()
     }
 
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) by linear interpolation
+    /// inside the log₂ bucket that holds the target rank.
+    ///
+    /// Bucket `i` covers `[2^(i-1), 2^i − 1]` (bucket 0 holds exactly 0), so
+    /// the estimate walks the cumulative counts to the bucket containing
+    /// rank `⌈q·count⌉` and interpolates between the bucket's bounds by the
+    /// rank's position among the bucket's observations. The error is bounded
+    /// by the bucket width — under 2x, which is what a log₂ sketch promises.
+    /// Returns `None` while the histogram is empty.
+    ///
+    /// ```
+    /// use rdns_telemetry::Histogram;
+    ///
+    /// let h = Histogram::default();
+    /// assert_eq!(h.quantile(0.5), None);
+    /// for v in 1..=1023u64 {
+    ///     h.observe(v);
+    /// }
+    /// // Rank 512 is the first observation of bucket [512, 1023].
+    /// assert_eq!(h.quantile(0.5), Some(512));
+    /// assert_eq!(h.quantile(1.0), Some(1023));
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // The rank-th smallest observation, 1-based; q = 0 degenerates to
+        // the minimum.
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (i, n) in self.bucket_counts().into_iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cumulative + n >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                let hi = le_bound(i);
+                // 0-based position of the rank inside this bucket's n
+                // observations, spread evenly across the bucket's range.
+                let pos = (rank - cumulative - 1) as f64;
+                let frac = if n > 1 { pos / (n - 1) as f64 } else { 1.0 };
+                return Some(lo + ((hi - lo) as f64 * frac).round() as u64);
+            }
+            cumulative += n;
+        }
+        // Unreachable: count > 0 guarantees a bucket holds the rank.
+        Some(le_bound(BUCKETS - 1))
+    }
+
     /// Fold another histogram's cells into this one (see [`Counter::absorb`]).
     pub fn absorb(&self, old: &Histogram) {
         for (i, n) in old.bucket_counts().into_iter().enumerate() {
@@ -437,6 +488,19 @@ impl Registry {
                 }
                 Metric::Histogram(h) => {
                     let _ = write!(out, ", \"count\": {}, \"sum\": {}", h.count(), h.sum());
+                    // Latency-style (wall-clock) histograms carry their SLO
+                    // quantiles; seed-stable histograms stay raw-bucket-only
+                    // so the deterministic export never contains estimates.
+                    if entry.det == Determinism::WallClock {
+                        if let (Some(p50), Some(p99), Some(p999)) =
+                            (h.quantile(0.50), h.quantile(0.99), h.quantile(0.999))
+                        {
+                            let _ = write!(
+                                out,
+                                ", \"p50\": {p50}, \"p99\": {p99}, \"p999\": {p999}"
+                            );
+                        }
+                    }
                     out.push_str(", \"buckets\": [");
                     let mut first_b = true;
                     for (i, n) in h.bucket_counts().into_iter().enumerate() {
@@ -573,6 +637,106 @@ mod tests {
         assert_eq!(counts[9], 1); // 256
         assert_eq!(counts[63], 1); // u64::MAX clamps to top bucket
         assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn quantile_of_uniform_1_to_1000() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // p50: rank 500 sits in bucket [256, 511] (cum 255 before, 256 in
+        // bucket): pos 244/255 → 256 + 255·(244/255) = 500 exactly.
+        assert_eq!(h.quantile(0.50), Some(500));
+        // p99: rank 990 is in bucket [512, 1023], which holds observations
+        // 512..=1000 (489 of them): pos 478/488 → 512 + 511·(478/488) ≈ 1013.
+        assert_eq!(h.quantile(0.99), Some(1013));
+        // p999: rank 999 is the second-to-last in the bucket: pos 487/488
+        // → 512 + 511·(487/488) ≈ 1022, one notch below the bucket top.
+        assert_eq!(h.quantile(0.999), Some(1022));
+        // p100: the final rank interpolates exactly to the bucket top.
+        assert_eq!(h.quantile(1.0), Some(1023));
+    }
+
+    #[test]
+    fn quantile_of_point_mass() {
+        let h = Histogram::default();
+        for _ in 0..10_000 {
+            h.observe(100); // bucket [64, 127]
+        }
+        // Every rank lands in one bucket; the spread interpolation walks
+        // the bucket range, staying within the log₂ error bound of 100.
+        for q in [0.5, 0.99, 0.999] {
+            let est = h.quantile(q).unwrap();
+            assert!((64..=127).contains(&est), "q={q} → {est}");
+        }
+        assert_eq!(h.quantile(0.0), Some(64), "minimum maps to bucket floor");
+    }
+
+    #[test]
+    fn quantile_of_bimodal_fast_slow() {
+        // 99 fast (1 µs) + 1 slow (1 000 000 µs): the p50/p99 stay on the
+        // fast mode, the p999 exposes the straggler's bucket.
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.observe(1);
+        }
+        h.observe(1_000_000);
+        assert_eq!(h.quantile(0.50), Some(1));
+        assert_eq!(h.quantile(0.99), Some(1));
+        let p999 = h.quantile(0.999).unwrap();
+        assert!(
+            (524_288..=1_048_575).contains(&p999),
+            "p999 must land in the straggler's bucket, got {p999}"
+        );
+    }
+
+    #[test]
+    fn quantile_empty_and_single() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), None);
+        h.observe(0);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.quantile(1.0), Some(0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::default();
+        let mut v = 1u64;
+        for i in 0..1000u64 {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(i) % 100_000;
+            h.observe(v);
+        }
+        let mut last = 0u64;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!(est >= last, "quantile must be monotone: q={q} {est} < {last}");
+            last = est;
+        }
+    }
+
+    #[test]
+    fn json_export_carries_quantiles_for_wall_clock_histograms() {
+        let reg = Registry::new();
+        let wall = reg.histogram("rdns_t_wall_us", "w", Determinism::WallClock);
+        let seed = reg.histogram("rdns_t_seed_s", "s", Determinism::SeedStable);
+        for v in 1..=1000u64 {
+            wall.observe(v);
+            seed.observe(v);
+        }
+        let json = reg.render_json();
+        assert!(
+            json.contains("\"name\": \"rdns_t_wall_us\", \"kind\": \"histogram\", \"deterministic\": false, \"count\": 1000, \"sum\": 500500, \"p50\": 500, \"p99\": 1013, \"p999\": 1022"),
+            "wall-clock histogram must export its quantiles: {json}"
+        );
+        // Seed-stable histograms must NOT carry estimates — they are part of
+        // the byte-identity contract.
+        let seed_line = json
+            .lines()
+            .find(|l| l.contains("rdns_t_seed_s"))
+            .expect("seed histogram exported");
+        assert!(!seed_line.contains("p50"), "seed-stable export must stay raw: {seed_line}");
     }
 
     #[test]

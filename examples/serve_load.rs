@@ -1,0 +1,105 @@
+//! Serve-path demo: a resolver population against a sharded authoritative
+//! front. A seeded world publishes its reverse zones through N independent
+//! UDP sockets (SO_REUSEPORT-style, one shared zone store); the open-loop
+//! generator plays thousands of concurrent clients at a fixed offered rate
+//! and reports the latency SLO view.
+//!
+//! ```text
+//! cargo run --release --example serve_load
+//! ```
+//!
+//! Every layer reports into one telemetry [`Registry`], whose Prometheus
+//! exposition is printed between `=== BEGIN PROMETHEUS ===` markers at the
+//! end (see OBSERVABILITY.md).
+
+use rdns_dns::{FaultConfig, ShardedUdpServer};
+use rdns_loadgen::{ArrivalProcess, LoadConfig, LoadGenerator};
+use rdns_model::{Date, SimDuration, SimTime};
+use rdns_netsim::spec::presets;
+use rdns_netsim::{World, WorldConfig};
+use rdns_telemetry::Registry;
+use std::time::Duration;
+
+const SOCKET_SHARDS: usize = 4;
+const RATE_QPS: f64 = 5_000.0;
+
+fn main() {
+    let registry = Registry::new();
+    let start = Date::from_ymd(2021, 11, 1);
+    let mut world = World::new(WorldConfig {
+        seed: 0x5E27E,
+        shards: 0,
+        start,
+        networks: vec![presets::academic_a(0.1), presets::isp_a(0.2)],
+    });
+    world.attach_registry(&registry);
+    // A weekday noon: housing, lecture halls and the ISP pool are populated.
+    world.step_until(SimTime::from_date(start) + SimDuration::hours(12));
+    let targets = world.all_scan_targets();
+    println!(
+        "world: {} scannable addresses, {} PTRs live",
+        targets.len(),
+        world.ptr_count()
+    );
+
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .build()
+        .expect("runtime");
+    let (addrs, shutdown) = rt.block_on(async {
+        let server = ShardedUdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            world.store().clone(),
+            FaultConfig::default(),
+            SOCKET_SHARDS,
+        )
+        .await
+        .expect("bind sharded server")
+        .with_registry(&registry)
+        .with_workers(1);
+        let addrs = server.addrs().expect("shard addrs");
+        println!("authoritative front: {SOCKET_SHARDS} socket shards on {addrs:?}");
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+        (addrs, shutdown)
+    });
+
+    let report = LoadGenerator::new(LoadConfig {
+        seed: 0x10AD,
+        rate_qps: RATE_QPS,
+        duration: Duration::from_secs(3),
+        process: ArrivalProcess::Poisson,
+        clients: 1000,
+        workers: 2,
+        rate_ceiling: None,
+        drain_grace: Duration::from_secs(3),
+    })
+    .with_registry(&registry)
+    .run(&addrs, &targets)
+    .expect("load run");
+    shutdown.shutdown();
+
+    println!(
+        "offered {:.0} q/s: {} sent, {} answered, {} nxdomain, {} failed ({:.0} q/s completed)",
+        report.offered_qps,
+        report.sent,
+        report.answered,
+        report.nxdomain,
+        report.failed(),
+        report.completed_qps,
+    );
+    println!(
+        "latency: p50 {}µs  p99 {}µs  p999 {}µs  (peak in-flight {})",
+        report.p50_us.unwrap_or(0),
+        report.p99_us.unwrap_or(0),
+        report.p999_us.unwrap_or(0),
+        report.max_in_flight
+    );
+    for (shard, count) in report.latency_counts.iter().enumerate() {
+        println!("  shard {shard}: {count} completions");
+    }
+    assert_eq!(report.failed(), 0, "demo load must complete cleanly");
+
+    println!("\n=== BEGIN PROMETHEUS ===");
+    print!("{}", registry.render_prometheus());
+    println!("=== END PROMETHEUS ===");
+}

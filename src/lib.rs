@@ -20,6 +20,9 @@
 //!   enterprise and government networks with realistic device naming,
 //!   weekly schedules, holidays and COVID-19 occupancy phases,
 //! * [`scan`] — ZMap-like sweeps and the paper's reactive back-off prober,
+//! * [`loadgen`] — the open-loop serve-path load generator: a seeded
+//!   resolver crowd driving the sharded authoritative front at a fixed
+//!   offered rate (see `BENCH_serve.json`),
 //! * [`data`] — OpenINTEL-like daily and Rapid7-like weekly snapshot
 //!   datasets,
 //! * [`analysis`] (the `rdns-core` crate) — the paper's methodology:
@@ -60,6 +63,7 @@ pub use rdns_data as data;
 pub use rdns_dhcp as dhcp;
 pub use rdns_dns as dns;
 pub use rdns_ipam as ipam;
+pub use rdns_loadgen as loadgen;
 pub use rdns_model as model;
 pub use rdns_netsim as netsim;
 pub use rdns_scan as scan;

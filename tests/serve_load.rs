@@ -1,0 +1,166 @@
+//! Serve-path integration: the sweep's view of a zone must not depend on
+//! how hard the authoritative front is being hammered.
+//!
+//! The differential test takes a [`WireSweeper`] snapshot of a seeded world
+//! twice — once against an idle sharded server, once while the open-loop
+//! generator offers 10k q/s across every shard — and requires the two
+//! snapshots to be byte-identical at 1, 2 and 8 socket shards. Load may
+//! move latency; it must never move data.
+//!
+//! The low-rate smoke is what the `serve-path` CI job runs on every push:
+//! 1k q/s over 2 shards with a deliberately generous p99 bound, catching
+//! serve-path regressions without depending on CI-runner horsepower.
+
+use rdns_dns::{FaultConfig, PipelinedConfig, PipelinedResolver, ShardedUdpServer};
+use rdns_loadgen::{ArrivalProcess, LoadConfig, LoadGenerator, LoadReport};
+use rdns_model::{Date, SimDuration, SimTime};
+use rdns_netsim::{spec::presets, World, WorldConfig};
+use rdns_scan::{SweepConfig, WireSnapshot, WireSweeper};
+use std::net::{Ipv4Addr, SocketAddr};
+use std::time::Duration;
+
+fn sweep_date() -> Date {
+    Date::from_ymd(2021, 11, 1)
+}
+
+/// A seeded world fast-forwarded to a weekday noon, so housing, lecture
+/// halls and office subnets have all published PTRs.
+fn populated_world() -> World {
+    let mut world = World::new(WorldConfig {
+        seed: 0x5E27E,
+        shards: 0,
+        start: sweep_date(),
+        networks: vec![presets::academic_a(0.08)],
+    });
+    world.step_until(SimTime::from_date(sweep_date()) + SimDuration::hours(12));
+    world
+}
+
+async fn spawn_shards(
+    world: &World,
+    shards: usize,
+) -> (Vec<SocketAddr>, rdns_dns::ShardedShutdownHandle) {
+    let server = ShardedUdpServer::bind(
+        "127.0.0.1:0".parse().unwrap(),
+        world.store().clone(),
+        FaultConfig::default(),
+        shards,
+    )
+    .await
+    .expect("bind sharded server")
+    .with_workers(1);
+    let addrs = server.addrs().expect("shard addrs");
+    let shutdown = server.shutdown_handle();
+    tokio::spawn(server.run());
+    (addrs, shutdown)
+}
+
+/// A sweeper provisioned for a contended wire: longer per-attempt timeout
+/// and more retries than the loopback default, so queueing delay under
+/// load shows up as latency rather than as lost records.
+async fn robust_sweeper(addr: SocketAddr) -> WireSweeper {
+    let config = PipelinedConfig {
+        timeout: Duration::from_secs(2),
+        attempts: 4,
+        ..PipelinedConfig::new(addr)
+    };
+    let resolver = PipelinedResolver::new(config).await.expect("bind resolver");
+    WireSweeper::new(resolver, SweepConfig::new(64))
+}
+
+async fn sweep_once(addr: SocketAddr, targets: &[Ipv4Addr]) -> WireSnapshot {
+    let sweeper = robust_sweeper(addr).await;
+    let report = sweeper.sweep(targets, sweep_date()).await;
+    assert_eq!(report.queried as usize, targets.len());
+    assert_eq!(report.failures, 0, "sweep hit hard failures: {report:?}");
+    sweeper.into_resolver().shutdown().await;
+    report.snapshot
+}
+
+/// Offer `rate_qps` across `addrs` from a background thread for `secs`
+/// seconds; returns the join handle so callers can overlap work with it.
+fn offer_load(
+    addrs: Vec<SocketAddr>,
+    targets: Vec<Ipv4Addr>,
+    rate_qps: f64,
+    secs: f64,
+) -> std::thread::JoinHandle<LoadReport> {
+    std::thread::spawn(move || {
+        LoadGenerator::new(LoadConfig {
+            seed: 0x10AD,
+            rate_qps,
+            duration: Duration::from_secs_f64(secs),
+            process: ArrivalProcess::Poisson,
+            clients: 1000,
+            workers: 2,
+            rate_ceiling: None,
+            drain_grace: Duration::from_secs(3),
+        })
+        .run(&addrs, &targets)
+        .expect("load generator")
+    })
+}
+
+/// Satellite: a WireSweeper snapshot taken while the generator offers
+/// 10k q/s must be byte-identical to a no-load sweep of the same world,
+/// at every shard count the acceptance criteria name.
+#[tokio::test]
+async fn sweep_under_load_is_identical_to_idle_sweep() {
+    let world = populated_world();
+    let targets = world.all_scan_targets();
+    assert!(
+        targets.len() > 500,
+        "world too small to make contention plausible: {} targets",
+        targets.len()
+    );
+
+    for shards in [1usize, 2, 8] {
+        let (addrs, shutdown) = spawn_shards(&world, shards).await;
+
+        let idle = sweep_once(addrs[0], &targets).await;
+        assert!(
+            !idle.records.is_empty(),
+            "shards={shards}: idle sweep found no records"
+        );
+
+        // The generator floods every shard — including the one the sweep
+        // reads — for long enough to cover the concurrent sweep.
+        let load = offer_load(addrs.clone(), targets.clone(), 10_000.0, 2.0);
+        let loaded = sweep_once(addrs[0], &targets).await;
+        let report = load.join().expect("generator thread");
+        shutdown.shutdown();
+
+        assert!(
+            report.sent > 0 && report.completed() > 0,
+            "shards={shards}: generator never got load onto the wire: {report:?}"
+        );
+        assert_eq!(
+            idle, loaded,
+            "shards={shards}: 10k q/s of background load changed the sweep's view of the zone"
+        );
+    }
+}
+
+/// CI smoke for the `serve-path` job: low rate, 2 shards, and a p99 bound
+/// generous enough to hold on a busy shared runner. Catches gross serve
+/// regressions (lost answers, seconds-long tails), not microseconds.
+#[tokio::test]
+async fn low_rate_smoke_holds_generous_p99() {
+    let world = populated_world();
+    let targets = world.all_scan_targets();
+    let (addrs, shutdown) = spawn_shards(&world, 2).await;
+
+    let report = offer_load(addrs, targets, 1_000.0, 1.0)
+        .join()
+        .expect("generator thread");
+    shutdown.shutdown();
+
+    assert_eq!(report.failed(), 0, "smoke load must complete cleanly: {report:?}");
+    assert_eq!(report.completed(), report.sent);
+    assert!(report.answered > 0, "no PTR ever answered: {report:?}");
+    let p99 = report.p99_us.expect("latency histogram populated");
+    assert!(
+        p99 < 250_000,
+        "p99 {p99}µs blows even the generous 250ms smoke bound: {report:?}"
+    );
+}

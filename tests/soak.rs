@@ -58,3 +58,90 @@ fn holiday_transitions_hold_invariants() {
 fn quarter_at_paper_scale() {
     run_with_invariants(presets::table4_networks(0.5), 90);
 }
+
+/// Serve-soak: the authoritative front keeps answering cleanly while the
+/// zone underneath it churns. A sharded world steps three simulated days
+/// of DHCP lease traffic in the foreground; the open-loop generator holds
+/// a fixed rate against a 2-socket sharded server over the same live
+/// store. Lookups may flip between answer and NXDOMAIN as records come
+/// and go, but nothing may fail, in-flight must stay bounded, and every
+/// socket shard must have seen traffic.
+#[test]
+fn serve_soak_three_days_of_churn_under_fixed_rate() {
+    use rdns_dns::{FaultConfig, ShardedUdpServer};
+    use rdns_loadgen::{ArrivalProcess, LoadConfig, LoadGenerator};
+    use std::time::Duration;
+
+    const SOCKET_SHARDS: usize = 2;
+    const CLIENTS: usize = 500;
+
+    let start = Date::from_ymd(2021, 11, 1);
+    let mut world = World::new(WorldConfig {
+        seed: 0xB51A17,
+        shards: 2,
+        start,
+        networks: vec![presets::academic_a(0.08), presets::enterprise_b(0.1)],
+    });
+    // One warm-up day so the generator starts against a populated zone.
+    world.run_days(start, |_, _| {});
+    let targets = world.all_scan_targets();
+
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .build()
+        .expect("runtime");
+    let (addrs, shutdown) = rt.block_on(async {
+        let server = ShardedUdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            world.store().clone(),
+            FaultConfig::default(),
+            SOCKET_SHARDS,
+        )
+        .await
+        .expect("bind sharded server")
+        .with_workers(1);
+        let addrs = server.addrs().expect("shard addrs");
+        let shutdown = server.shutdown_handle();
+        tokio::spawn(server.run());
+        (addrs, shutdown)
+    });
+
+    let generator = std::thread::spawn(move || {
+        LoadGenerator::new(LoadConfig {
+            seed: 0x50AC,
+            rate_qps: 1_500.0,
+            duration: Duration::from_secs_f64(2.0),
+            process: ArrivalProcess::Poisson,
+            clients: CLIENTS,
+            workers: 2,
+            rate_ceiling: None,
+            drain_grace: Duration::from_secs(3),
+        })
+        .run(&addrs, &targets)
+        .expect("soak load")
+    });
+
+    // Three simulated days of churn concurrent with the load: leases
+    // renew, expire and hand PTRs between clients while queries land.
+    world.run_days(start.plus_days(3), |w, _day| w.check_invariants());
+    world.check_invariants();
+
+    let report = generator.join().expect("generator thread");
+    shutdown.shutdown();
+
+    assert_eq!(
+        report.failed(),
+        0,
+        "lookups against live records must never fail: {report:?}"
+    );
+    assert_eq!(report.completed(), report.sent);
+    assert!(report.answered > 0, "no live PTR ever answered: {report:?}");
+    assert!(
+        report.max_in_flight > 0 && report.max_in_flight <= CLIENTS as i64,
+        "in-flight gauge must stay bounded by the client population: {}",
+        report.max_in_flight
+    );
+    assert_eq!(report.latency_counts.len(), SOCKET_SHARDS);
+    for (shard, &count) in report.latency_counts.iter().enumerate() {
+        assert!(count > 0, "socket shard {shard} saw no completed queries");
+    }
+}
