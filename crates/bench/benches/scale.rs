@@ -1,0 +1,222 @@
+//! Single-machine scale: the 1M-device, 100k-subnet gate.
+//!
+//! Two phases, both against the production (interned) engine:
+//!
+//! 1. **PTR storage** — pre-create one reverse zone per /24 pool, snapshot
+//!    the live-heap baseline, then install ~1M PTR records and read the
+//!    counting allocator's high-water mark. `bytes_per_ptr` is that marginal
+//!    peak divided by the record count: the per-record price of the
+//!    `PtrTable` columns plus interned hostname text, explicitly excluding
+//!    the per-subnet zone directory. A full `Snapshotter` sweep over the
+//!    populated store times the §3 snapshot path (`sweep_qps`).
+//! 2. **World stepping** — build a `scale_fleet` world (hundreds of ISP-like
+//!    /16s, every /24 a carry-over DHCP pool) and step one simulated day,
+//!    yielding `devices_per_sec` and the ≥1-day-per-minute headline.
+//!
+//! Run modes follow the criterion shim's convention: with `--bench` in the
+//! args the full 1M-device fleet is measured and the result written to
+//! `BENCH_scale.json` at the repository root; with `RDNS_SCALE_CI=1` in the
+//! environment a ~100k-device CI variant runs without writing; otherwise
+//! (`cargo test` executing the bench target) a tiny smoke fleet runs once.
+
+use rdns_bench::{CountingAlloc, ScaleBenchReport};
+use rdns_data::Snapshotter;
+use rdns_dns::ZoneStore;
+use rdns_model::Date;
+use rdns_netsim::spec::presets;
+use rdns_netsim::{World, WorldConfig};
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc::new();
+
+const SEED: u64 = 0x5CA1E;
+
+/// Fleet dimensions for one run mode.
+struct FleetSize {
+    networks: usize,
+    subnets_per_network: usize,
+    persons_per_subnet: usize,
+    /// PTR records installed per /24 in the storage phase.
+    ptrs_per_subnet: u32,
+}
+
+impl FleetSize {
+    fn subnets(&self) -> u64 {
+        (self.networks * self.subnets_per_network) as u64
+    }
+}
+
+/// The measured universe: 400 /16s of 256 pool /24s each — 102,400 subnets,
+/// ~1.17M devices (4 residents per pool at ~2.85 devices each).
+const FULL: FleetSize = FleetSize {
+    networks: 400,
+    subnets_per_network: 256,
+    persons_per_subnet: 4,
+    ptrs_per_subnet: 10,
+};
+
+/// CI variant: same shape, one tenth the networks (~117k devices).
+const CI: FleetSize = FleetSize {
+    networks: 40,
+    subnets_per_network: 256,
+    persons_per_subnet: 4,
+    ptrs_per_subnet: 10,
+};
+
+/// Smoke fleet for `cargo test`.
+const SMOKE: FleetSize = FleetSize {
+    networks: 2,
+    subnets_per_network: 8,
+    persons_per_subnet: 2,
+    ptrs_per_subnet: 4,
+};
+
+struct PtrPhase {
+    installed: u64,
+    bytes_peak: u64,
+    bytes_per_ptr: f64,
+    install_elapsed_ms: f64,
+    sweep_elapsed_ms: f64,
+    sweep_qps: f64,
+}
+
+/// Install `ptrs_per_subnet` PTRs into every pool /24 of the fleet's address
+/// plan and measure the marginal heap cost, then time one snapshot sweep.
+fn ptr_phase(size: &FleetSize) -> PtrPhase {
+    let store = ZoneStore::new();
+    // Zone directory first: per-subnet, not per-record, so outside the
+    // baseline window.
+    for n in 0..size.networks {
+        for s in 0..size.subnets_per_network {
+            let base = (10u32 << 24) | ((n as u32) << 16) | ((s as u32) << 8);
+            store.ensure_reverse_zone(Ipv4Addr::from(base | 1));
+        }
+    }
+
+    let baseline = ALLOC.current() as u64;
+    ALLOC.reset_peak();
+    let t = Instant::now();
+    let mut installed = 0u64;
+    for n in 0..size.networks {
+        for s in 0..size.subnets_per_network {
+            let base = (10u32 << 24) | ((n as u32) << 16) | ((s as u32) << 8);
+            for h in 0..size.ptrs_per_subnet {
+                let addr = Ipv4Addr::from(base | (h + 10));
+                let [a, b, c, d] = addr.octets();
+                let target = format!("{a}-{b}-{c}-{d}.dyn.scale-{n}.example.net")
+                    .parse()
+                    .expect("synthesized hostname is valid");
+                assert!(store.set_ptr(addr, target, 3600), "zone missing for {addr}");
+                installed += 1;
+            }
+        }
+    }
+    let install_elapsed = t.elapsed();
+    let bytes_peak = (ALLOC.peak() as u64).saturating_sub(baseline);
+    assert_eq!(store.ptr_count() as u64, installed);
+
+    let snapper = Snapshotter::new(store);
+    let t = Instant::now();
+    let snap = snapper.take(Date::from_ymd(2021, 11, 1));
+    let sweep_elapsed = t.elapsed();
+    assert_eq!(snap.records.len() as u64, installed, "sweep lost records");
+
+    PtrPhase {
+        installed,
+        bytes_peak,
+        bytes_per_ptr: bytes_peak as f64 / installed as f64,
+        install_elapsed_ms: install_elapsed.as_secs_f64() * 1e3,
+        sweep_elapsed_ms: sweep_elapsed.as_secs_f64() * 1e3,
+        sweep_qps: installed as f64 / sweep_elapsed.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    let ci = std::env::var("RDNS_SCALE_CI").is_ok_and(|v| v == "1");
+    let size = if measure {
+        &FULL
+    } else if ci {
+        &CI
+    } else {
+        &SMOKE
+    };
+    let sim_days = 1u64;
+    let start = Date::from_ymd(2021, 11, 1);
+
+    // Phase 1: per-record PTR storage cost plus the snapshot sweep.
+    let ptr = ptr_phase(size);
+    println!(
+        "bench scale/ptr_storage: {} PTRs in {:.1} ms, peak {:.1} MiB marginal ({:.1} bytes/PTR)",
+        ptr.installed,
+        ptr.install_elapsed_ms,
+        ptr.bytes_peak as f64 / (1024.0 * 1024.0),
+        ptr.bytes_per_ptr
+    );
+    println!(
+        "bench scale/sweep: {} PTRs in {:.1} ms ({:.0} PTRs/s)",
+        ptr.installed, ptr.sweep_elapsed_ms, ptr.sweep_qps
+    );
+
+    // Phase 2: build the fleet and step one simulated day.
+    let t = Instant::now();
+    let mut world = World::new(WorldConfig {
+        seed: SEED,
+        shards: 0,
+        start,
+        networks: presets::scale_fleet(
+            size.networks,
+            size.subnets_per_network,
+            size.persons_per_subnet,
+        ),
+    });
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    let devices = world.device_count() as u64;
+    println!(
+        "bench scale/build: {} devices across {} subnets in {:.1} ms",
+        devices,
+        size.subnets(),
+        build_ms
+    );
+
+    let t = Instant::now();
+    world.run_days(start.plus_days(sim_days as i64 - 1), |_, _| {});
+    let step_elapsed = t.elapsed();
+    assert!(world.ptr_count() > 0, "fleet published no PTRs");
+    let days_per_min = sim_days as f64 * 60.0 / step_elapsed.as_secs_f64();
+    let devices_per_sec = (devices * sim_days) as f64 / step_elapsed.as_secs_f64();
+    println!(
+        "bench scale/step: {sim_days} day(s) in {:.1} ms ({:.2} days/min, {:.0} device-days/s)",
+        step_elapsed.as_secs_f64() * 1e3,
+        days_per_min,
+        devices_per_sec
+    );
+
+    if !measure {
+        println!("bench scale: ok ({} mode)", if ci { "ci" } else { "smoke" });
+        return;
+    }
+
+    let report = ScaleBenchReport {
+        schema_version: 1,
+        bench: "scale".into(),
+        networks: size.networks as u64,
+        subnets: size.subnets(),
+        devices,
+        sim_days,
+        step_elapsed_ms: step_elapsed.as_secs_f64() * 1e3,
+        devices_per_sec,
+        days_per_min,
+        ptr_records: ptr.installed,
+        ptr_bytes_peak: ptr.bytes_peak,
+        bytes_per_ptr: ptr.bytes_per_ptr,
+        sweep_elapsed_ms: ptr.sweep_elapsed_ms,
+        sweep_qps: ptr.sweep_qps,
+    };
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, report.to_json().expect("serialize report") + "\n")
+        .expect("write BENCH_scale.json");
+    println!("wrote {path}");
+}

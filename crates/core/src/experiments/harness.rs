@@ -3,7 +3,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rdns_data::{Cadence, Snapshotter, SnapshotSeries};
+use rdns_data::{Cadence, DeltaSeries, Snapshotter, SnapshotSeries};
 use rdns_model::{Date, SimDuration, SimTime, Weekday};
 use rdns_netsim::World;
 use rdns_scan::{Prober, RdnsOutcome, ReactiveConfig, ReactiveScanner, ScanLog};
@@ -32,6 +32,27 @@ pub fn collect_series(
     series
 }
 
+/// Like [`collect_series`], but delta-encoded: each day is pushed straight
+/// into a [`DeltaSeries`], so the collection never holds more than one full
+/// day plus the churn — the memory shape long windows over large worlds
+/// need.
+pub fn collect_delta_series(
+    world: &mut World,
+    from: Date,
+    to: Date,
+    cadence: Cadence,
+) -> DeltaSeries {
+    let snapper = Snapshotter::new(world.store().clone());
+    let mut series = DeltaSeries::new(cadence);
+    let mut day = from;
+    while day <= to {
+        world.step_until(SimTime::from_date_hms(day, SNAPSHOT_HOUR, 0, 0));
+        series.push(snapper.take(day));
+        day = day.plus_days(cadence.interval_days());
+    }
+    series
+}
+
 /// Collect daily and weekly series simultaneously (OpenINTEL + Rapid7 over
 /// the same world, like §3's two datasets). The weekly series samples
 /// Tuesdays, "a single weekday every week".
@@ -48,6 +69,7 @@ pub fn collect_dual_series(
         world.step_until(SimTime::from_date_hms(day, SNAPSHOT_HOUR, 0, 0));
         let snap = snapper.take(day);
         if day.weekday() == Weekday::Tuesday {
+            // lint:allow(snapshot-clone) -- the weekly provider (Rapid7 vs OpenINTEL) owns an independent copy of its sample days
             weekly.push(snap.clone());
         }
         daily.push(snap);

@@ -4,11 +4,11 @@ use crate::dynamicity::{
     identify_dynamic_par, prefix_dynamicity, summarize_fractions, ConfusionMatrix,
     DynamicityParams, FractionSummary,
 };
-use crate::experiments::harness::collect_series;
+use crate::experiments::harness::collect_delta_series;
 use crate::experiments::section5::LeakStudy;
 use crate::experiments::Scale;
 use crate::report::TextTable;
-use rdns_data::{Cadence, ColumnarSeries};
+use rdns_data::Cadence;
 use rdns_model::{Date, Slash24};
 use rdns_netsim::spec::{presets, DynDnsMode, SubnetRole};
 use rdns_netsim::{World, WorldConfig};
@@ -128,8 +128,10 @@ pub fn validation(scale: &Scale) -> Validation {
         start: from,
         networks: vec![spec],
     });
-    let series = collect_series(&mut world, from, to, Cadence::Daily);
-    let matrix = ColumnarSeries::from_series(&series).counts_matrix();
+    // Delta-collected, then streamed into the columnar view: the whole
+    // window is never held in row form.
+    let series = collect_delta_series(&mut world, from, to, Cadence::Daily);
+    let matrix = series.to_columnar().counts_matrix();
     let params = DynamicityParams {
         min_daily_addrs: scale.min_daily_addrs,
         ..DynamicityParams::default()

@@ -10,17 +10,22 @@
 //! * [`columnar`] — the analysis-side layout: sorted address columns plus
 //!   an interned hostname pool shared across days, sharded per day for
 //!   rayon fan-out.
+//! * [`delta`] — the storage-side layout: day 0 in full plus per-day
+//!   adds/renames/removes, with lazy materialization and a bounded-memory
+//!   streaming walk, so a long window costs churn, not days × records.
 //! * [`stats`] — summary statistics in the shape of Table 1 and Table 3.
 //! * [`persist`] — on-disk storage: series as JSON, scan logs as CSV pairs.
 //!
 //! Snapshots serialize to JSON for offline reuse.
 
 pub mod columnar;
+pub mod delta;
 pub mod persist;
 pub mod snapshot;
 pub mod stats;
 
 pub use columnar::{ColumnarDay, ColumnarSeries, NameId, NamePool};
+pub use delta::{DeltaSeries, DeltaSnapshot};
 pub use persist::{load_scan_log, load_series, save_scan_log, save_series, PersistError};
 pub use snapshot::{Cadence, DailySnapshot, Snapshotter, SnapshotSeries};
 pub use stats::{ScanDatasetStats, SnapshotDatasetStats};

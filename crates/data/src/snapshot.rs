@@ -56,13 +56,31 @@ impl DailySnapshot {
         self.records.is_empty()
     }
 
+    /// Per-/24 record counts as `(block prefix, count)`, ascending by
+    /// prefix. The `BTreeMap` keys are already address-sorted, so this is a
+    /// single run-length pass (`addr >> 8` changes ⇒ new block) with no
+    /// per-address map lookups — the same shape as
+    /// [`crate::ColumnarDay::slash24_runs`].
+    pub fn slash24_runs(&self) -> Vec<(u32, u32)> {
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for addr in self.records.keys() {
+            let prefix = u32::from(*addr) >> 8;
+            match runs.last_mut() {
+                Some((p, n)) if *p == prefix => *n += 1,
+                _ => runs.push((prefix, 1)),
+            }
+        }
+        runs
+    }
+
     /// Unique addresses-with-PTR per /24 block, in block order.
     pub fn counts_by_slash24(&self) -> BTreeMap<Slash24, u32> {
-        let mut out: BTreeMap<Slash24, u32> = BTreeMap::new();
-        for addr in self.records.keys() {
-            *out.entry(Slash24::containing(*addr)).or_insert(0) += 1;
-        }
-        out
+        self.slash24_runs()
+            .into_iter()
+            .map(|(prefix, count)| {
+                (Slash24::containing(Ipv4Addr::from(prefix << 8)), count)
+            })
+            .collect()
     }
 
     /// Records within a predicate over addresses (e.g. one subnet).
@@ -137,8 +155,10 @@ impl<S: DnsStore> Snapshotter<S> {
     /// Take a full snapshot dated `date`.
     pub fn take(&self, date: Date) -> DailySnapshot {
         let mut records = BTreeMap::new();
-        self.store.visit_ptrs(&mut |addr, name| {
-            records.insert(addr, name.to_hostname());
+        // The hostname visit lends the interned PTR text directly (no
+        // intermediate `DnsName` materialisation on the fast path).
+        self.store.visit_ptr_hostnames(&mut |addr, name| {
+            records.insert(addr, Hostname::new(name));
         });
         self.metrics.snapshots.inc();
         self.metrics.last_records.set(records.len() as i64);
@@ -224,7 +244,8 @@ impl SnapshotSeries {
         let days = self.snapshots.len();
         let mut out: BTreeMap<Slash24, Vec<u32>> = BTreeMap::new();
         for (i, snap) in self.snapshots.iter().enumerate() {
-            for (block, count) in snap.counts_by_slash24() {
+            for (prefix, count) in snap.slash24_runs() {
+                let block = Slash24::containing(Ipv4Addr::from(prefix << 8));
                 out.entry(block).or_insert_with(|| vec![0; days])[i] = count;
             }
         }

@@ -26,6 +26,10 @@ pub enum LeaseState {
 }
 
 /// One address binding.
+///
+/// A materialised *view*: the database stores bindings columnarly (see
+/// [`LeaseDb`]) and builds a `Lease` on demand when a caller needs the whole
+/// record.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Lease {
     /// The bound address.
@@ -62,96 +66,153 @@ impl fmt::Display for LeaseError {
 
 impl std::error::Error for LeaseError {}
 
-/// The server-side lease table over a fixed address pool.
+/// The server-side lease table over a fixed address pool, stored
+/// struct-of-arrays.
 ///
-/// Beyond the primary tables, two incrementally-maintained indexes keep the
-/// simulator's hot path cheap: `expiry` orders active bindings by expiry
-/// time (O(log n) [`LeaseDb::next_expiry`] / range-scan
-/// [`LeaseDb::expire_before`] instead of full-table sweeps), and
-/// `free_unreserved` materialises "free and not some client's sticky
-/// address" so [`LeaseDb::peek_offer`] no longer rebuilds a reservation set
-/// per call.
+/// The pool is a sorted address arena; every index below is a `u32` offset
+/// into it, so a binding costs a handful of column slots instead of a
+/// `Lease` struct per map entry, and because index order equals address
+/// order, ordered walks (offers, expiry output) come out of plain integer
+/// sets. Two incrementally-maintained indexes keep the simulator's hot path
+/// cheap: `expiry` orders active bindings by expiry time (O(log n)
+/// [`LeaseDb::next_expiry`] / range-scan [`LeaseDb::expire_before`] instead
+/// of full-table sweeps), and `free_unreserved` materialises "free and not
+/// some client's sticky address" so [`LeaseDb::peek_offer`] no longer
+/// rebuilds a reservation set per call. Expiry stays keyed by
+/// `(SimTime, MacAddr)` — the tie-break order of simultaneous expiries is
+/// part of the simulator's determinism contract.
 #[derive(Debug, Clone)]
 pub struct LeaseDb {
-    active: HashMap<MacAddr, Lease>,
-    by_addr: HashMap<Ipv4Addr, MacAddr>,
-    free: BTreeSet<Ipv4Addr>,
-    /// Last address each client held, for sticky reallocation.
-    last_binding: HashMap<MacAddr, Ipv4Addr>,
-    pool_size: usize,
+    /// Allocatable addresses, sorted ascending and deduplicated. The index
+    /// of an address here is its identity in every column and set below.
+    pool: Vec<Ipv4Addr>,
+    /// Column: hardware address of the binding (valid while `bound`).
+    macs: Vec<MacAddr>,
+    /// Column: Host Name option of the binding (valid while `bound`).
+    host_names: Vec<Option<String>>,
+    /// Column: when the binding began (valid while `bound`).
+    starts: Vec<SimTime>,
+    /// Column: when the binding lapses (valid while `bound`).
+    expires: Vec<SimTime>,
+    /// Column: whether the address is currently bound.
+    bound: Vec<bool>,
+    /// Column: how many clients' sticky binding points at the address.
+    reserved: Vec<u32>,
+    /// mac → bound address index.
+    active: HashMap<MacAddr, u32>,
+    /// Last address index each client held, for sticky reallocation.
+    last_binding: HashMap<MacAddr, u32>,
+    /// Unbound, unquarantined address indexes (ascending == address order).
+    free: BTreeSet<u32>,
+    /// Free indexes that are nobody's sticky binding.
+    free_unreserved: BTreeSet<u32>,
     /// Active bindings ordered by expiry time.
     expiry: BTreeSet<(SimTime, MacAddr)>,
-    /// How many clients' `last_binding` points at each address.
-    reserved: HashMap<Ipv4Addr, u32>,
-    /// Free addresses that are nobody's sticky binding.
-    free_unreserved: BTreeSet<Ipv4Addr>,
+    pool_size: usize,
 }
 
 impl LeaseDb {
     /// Create a database over the given allocatable addresses.
     pub fn new<I: IntoIterator<Item = Ipv4Addr>>(pool: I) -> LeaseDb {
-        let free: BTreeSet<Ipv4Addr> = pool.into_iter().collect();
-        let pool_size = free.len();
+        let pool: Vec<Ipv4Addr> = {
+            let sorted: BTreeSet<Ipv4Addr> = pool.into_iter().collect();
+            sorted.into_iter().collect()
+        };
+        let n = pool.len();
         LeaseDb {
+            macs: vec![MacAddr([0; 6]); n],
+            host_names: vec![None; n],
+            starts: vec![SimTime::default(); n],
+            expires: vec![SimTime::default(); n],
+            bound: vec![false; n],
+            reserved: vec![0; n],
             active: HashMap::new(),
-            by_addr: HashMap::new(),
-            free_unreserved: free.clone(),
-            free,
             last_binding: HashMap::new(),
-            pool_size,
+            free: (0..n as u32).collect(),
+            free_unreserved: (0..n as u32).collect(),
             expiry: BTreeSet::new(),
-            reserved: HashMap::new(),
+            pool_size: n,
+            pool,
         }
     }
 
-    /// Record `addr` as `mac`'s sticky binding, keeping the reservation
+    /// The arena index of `addr`, if it belongs to the pool.
+    fn index_of(&self, addr: Ipv4Addr) -> Option<u32> {
+        self.pool.binary_search(&addr).ok().map(|i| i as u32)
+    }
+
+    /// Materialise the active binding at index `ai` as a [`Lease`].
+    fn lease_row(&self, ai: u32) -> Lease {
+        let i = ai as usize;
+        Lease {
+            addr: self.pool[i],
+            mac: self.macs[i],
+            host_name: self.host_names[i].clone(),
+            start: self.starts[i],
+            expires: self.expires[i],
+            state: LeaseState::Active,
+        }
+    }
+
+    /// Record index `ai` as `mac`'s sticky binding, keeping the reservation
     /// refcounts and the `free_unreserved` index in sync.
-    fn reserve(&mut self, mac: MacAddr, addr: Ipv4Addr) {
-        if let Some(old) = self.last_binding.insert(mac, addr) {
-            if old == addr {
+    fn reserve(&mut self, mac: MacAddr, ai: u32) {
+        if let Some(old) = self.last_binding.insert(mac, ai) {
+            if old == ai {
                 return;
             }
             self.release_reservation(old);
         }
-        let count = self.reserved.entry(addr).or_insert(0);
-        *count += 1;
-        if *count == 1 {
-            self.free_unreserved.remove(&addr);
+        self.reserved[ai as usize] += 1;
+        if self.reserved[ai as usize] == 1 {
+            self.free_unreserved.remove(&ai);
         }
     }
 
-    /// Drop one reservation on `addr`.
-    fn release_reservation(&mut self, addr: Ipv4Addr) {
-        if let Some(count) = self.reserved.get_mut(&addr) {
+    /// Drop one reservation on index `ai`.
+    fn release_reservation(&mut self, ai: u32) {
+        let count = &mut self.reserved[ai as usize];
+        if *count > 0 {
             *count -= 1;
-            if *count == 0 {
-                self.reserved.remove(&addr);
-                if self.free.contains(&addr) {
-                    self.free_unreserved.insert(addr);
-                }
+            if *count == 0 && self.free.contains(&ai) {
+                self.free_unreserved.insert(ai);
             }
         }
     }
 
     /// Forget `mac`'s sticky binding entirely.
     fn unreserve_mac(&mut self, mac: MacAddr) {
-        if let Some(addr) = self.last_binding.remove(&mac) {
-            self.release_reservation(addr);
+        if let Some(ai) = self.last_binding.remove(&mac) {
+            self.release_reservation(ai);
         }
     }
 
-    /// Return `addr` to the free pool.
-    fn put_free(&mut self, addr: Ipv4Addr) {
-        self.free.insert(addr);
-        if !self.reserved.contains_key(&addr) {
-            self.free_unreserved.insert(addr);
+    /// Return index `ai` to the free pool.
+    fn put_free(&mut self, ai: u32) {
+        self.free.insert(ai);
+        if self.reserved[ai as usize] == 0 {
+            self.free_unreserved.insert(ai);
         }
     }
 
-    /// Take `addr` out of the free pool.
-    fn take_free(&mut self, addr: Ipv4Addr) {
-        self.free.remove(&addr);
-        self.free_unreserved.remove(&addr);
+    /// Take index `ai` out of the free pool.
+    fn take_free(&mut self, ai: u32) {
+        self.free.remove(&ai);
+        self.free_unreserved.remove(&ai);
+    }
+
+    /// Unbind index `ai`, returning the binding's fields (host name moved
+    /// out, not cloned).
+    fn unbind(&mut self, ai: u32) -> (MacAddr, Option<String>, SimTime, SimTime) {
+        let i = ai as usize;
+        debug_assert!(self.bound[i]);
+        self.bound[i] = false;
+        (
+            self.macs[i],
+            self.host_names[i].take(),
+            self.starts[i],
+            self.expires[i],
+        )
     }
 
     /// Number of currently active leases.
@@ -169,11 +230,10 @@ impl LeaseDb {
         self.free.len()
     }
 
-    /// The address that would be offered to `mac` right now (sticky when
-    /// possible), without committing anything.
-    pub fn peek_offer(&self, mac: MacAddr) -> Option<Ipv4Addr> {
-        if let Some(lease) = self.active.get(&mac) {
-            return Some(lease.addr);
+    /// The index that would be offered to `mac` right now.
+    fn peek_offer_index(&self, mac: MacAddr) -> Option<u32> {
+        if let Some(&ai) = self.active.get(&mac) {
+            return Some(ai);
         }
         if let Some(prev) = self.last_binding.get(&mac) {
             if self.free.contains(prev) {
@@ -189,6 +249,12 @@ impl LeaseDb {
             .copied()
     }
 
+    /// The address that would be offered to `mac` right now (sticky when
+    /// possible), without committing anything.
+    pub fn peek_offer(&self, mac: MacAddr) -> Option<Ipv4Addr> {
+        self.peek_offer_index(mac).map(|ai| self.pool[ai as usize])
+    }
+
     /// Allocate (or re-confirm) a binding for `mac`.
     pub fn allocate(
         &mut self,
@@ -196,36 +262,28 @@ impl LeaseDb {
         host_name: Option<String>,
         now: SimTime,
         lease_time: SimDuration,
-    ) -> Result<&Lease, LeaseError> {
-        if let Some(existing) = self.active.get(&mac) {
-            let addr = existing.addr;
-            self.expiry.remove(&(existing.expires, mac));
-            let lease = self.active.get_mut(&mac).expect("binding just checked");
-            lease.expires = now + lease_time;
-            lease.host_name = host_name;
-            debug_assert_eq!(lease.addr, addr);
-            self.expiry.insert((lease.expires, mac));
-            return Ok(self.active.get(&mac).expect("binding just updated"));
+    ) -> Result<Lease, LeaseError> {
+        if let Some(&ai) = self.active.get(&mac) {
+            let i = ai as usize;
+            self.expiry.remove(&(self.expires[i], mac));
+            self.expires[i] = now + lease_time;
+            self.host_names[i] = host_name;
+            self.expiry.insert((self.expires[i], mac));
+            return Ok(self.lease_row(ai));
         }
-        let addr = self.peek_offer(mac).ok_or(LeaseError::PoolExhausted)?;
-        debug_assert!(self.free.contains(&addr));
-        self.take_free(addr);
-        self.by_addr.insert(addr, mac);
-        self.reserve(mac, addr);
-        let expires = now + lease_time;
-        self.expiry.insert((expires, mac));
-        self.active.insert(
-            mac,
-            Lease {
-                addr,
-                mac,
-                host_name,
-                start: now,
-                expires,
-                state: LeaseState::Active,
-            },
-        );
-        Ok(self.active.get(&mac).expect("binding just inserted"))
+        let ai = self.peek_offer_index(mac).ok_or(LeaseError::PoolExhausted)?;
+        debug_assert!(self.free.contains(&ai));
+        self.take_free(ai);
+        let i = ai as usize;
+        self.macs[i] = mac;
+        self.host_names[i] = host_name;
+        self.starts[i] = now;
+        self.expires[i] = now + lease_time;
+        self.bound[i] = true;
+        self.active.insert(mac, ai);
+        self.reserve(mac, ai);
+        self.expiry.insert((self.expires[i], mac));
+        Ok(self.lease_row(ai))
     }
 
     /// Renew an active binding.
@@ -234,13 +292,14 @@ impl LeaseDb {
         mac: MacAddr,
         now: SimTime,
         lease_time: SimDuration,
-    ) -> Result<&Lease, LeaseError> {
-        match self.active.get_mut(&mac) {
-            Some(lease) => {
-                self.expiry.remove(&(lease.expires, mac));
-                lease.expires = now + lease_time;
-                self.expiry.insert((lease.expires, mac));
-                Ok(&*lease)
+    ) -> Result<Lease, LeaseError> {
+        match self.active.get(&mac) {
+            Some(&ai) => {
+                let i = ai as usize;
+                self.expiry.remove(&(self.expires[i], mac));
+                self.expires[i] = now + lease_time;
+                self.expiry.insert((self.expires[i], mac));
+                Ok(self.lease_row(ai))
             }
             None => Err(LeaseError::NoBinding(mac)),
         }
@@ -248,15 +307,21 @@ impl LeaseDb {
 
     /// Release an active binding (clean departure). Returns the final lease.
     pub fn release(&mut self, mac: MacAddr) -> Result<Lease, LeaseError> {
-        let mut lease = self
+        let ai = self
             .active
             .remove(&mac)
             .ok_or(LeaseError::NoBinding(mac))?;
-        lease.state = LeaseState::Released;
-        self.expiry.remove(&(lease.expires, mac));
-        self.by_addr.remove(&lease.addr);
-        self.put_free(lease.addr);
-        Ok(lease)
+        let (mac, host_name, start, expires) = self.unbind(ai);
+        self.expiry.remove(&(expires, mac));
+        self.put_free(ai);
+        Ok(Lease {
+            addr: self.pool[ai as usize],
+            mac,
+            host_name,
+            start,
+            expires,
+            state: LeaseState::Released,
+        })
     }
 
     /// Quarantine an address reported in-conflict (DHCPDECLINE, RFC 2131
@@ -264,17 +329,20 @@ impl LeaseDb {
     /// pool until an operator intervenes. Returns whether the address was
     /// part of this pool.
     pub fn quarantine(&mut self, addr: Ipv4Addr) -> bool {
-        let was_bound = if let Some(mac) = self.by_addr.remove(&addr) {
-            if let Some(lease) = self.active.remove(&mac) {
-                self.expiry.remove(&(lease.expires, mac));
-            }
+        let Some(ai) = self.index_of(addr) else {
+            return false;
+        };
+        let was_bound = if self.bound[ai as usize] {
+            let (mac, _, _, expires) = self.unbind(ai);
+            self.active.remove(&mac);
+            self.expiry.remove(&(expires, mac));
             self.unreserve_mac(mac);
             true
         } else {
             false
         };
-        let was_free = self.free.remove(&addr);
-        self.free_unreserved.remove(&addr);
+        let was_free = self.free.remove(&ai);
+        self.free_unreserved.remove(&ai);
         if was_bound || was_free {
             self.pool_size = self.pool_size.saturating_sub(1);
             true
@@ -284,24 +352,37 @@ impl LeaseDb {
     }
 
     /// Expire all bindings whose lease time has passed at `now`. Returns the
-    /// expired leases (state set to [`LeaseState::Expired`]). Walks only the
-    /// due prefix of the expiry index, not the whole table.
+    /// expired leases (state set to [`LeaseState::Expired`]) ordered by
+    /// address. Walks only the due prefix of the expiry index, not the whole
+    /// table, and moves each binding out of the columns instead of cloning.
     pub fn expire_before(&mut self, now: SimTime) -> Vec<Lease> {
-        let mut out = Vec::new();
+        let mut due: Vec<u32> = Vec::new();
         loop {
             let (t, mac) = match self.expiry.iter().next() {
                 Some(&(t, mac)) if t <= now => (t, mac),
                 _ => break,
             };
             self.expiry.remove(&(t, mac));
-            let mut lease = self.active.remove(&mac).expect("indexed as active");
-            lease.state = LeaseState::Expired;
-            self.by_addr.remove(&lease.addr);
-            self.put_free(lease.addr);
-            out.push(lease);
+            let ai = self.active.remove(&mac).expect("indexed as active");
+            due.push(ai);
         }
-        out.sort_by_key(|l| l.addr);
-        out
+        // Index order is address order, so a numeric sort replaces the old
+        // sort over cloned `Lease` records.
+        due.sort_unstable();
+        due.into_iter()
+            .map(|ai| {
+                let (mac, host_name, start, expires) = self.unbind(ai);
+                self.put_free(ai);
+                Lease {
+                    addr: self.pool[ai as usize],
+                    mac,
+                    host_name,
+                    start,
+                    expires,
+                    state: LeaseState::Expired,
+                }
+            })
+            .collect()
     }
 
     /// Active bindings due at or before `at`, ordered by `(expiry, mac)`:
@@ -310,7 +391,7 @@ impl LeaseDb {
         self.expiry
             .iter()
             .take_while(|(t, _)| *t <= at)
-            .map(|(_, mac)| (*mac, self.active[mac].addr))
+            .map(|(_, mac)| (*mac, self.pool[self.active[mac] as usize]))
             .collect()
     }
 
@@ -321,18 +402,19 @@ impl LeaseDb {
     }
 
     /// Active lease for an address.
-    pub fn lease_at(&self, addr: Ipv4Addr) -> Option<&Lease> {
-        self.by_addr.get(&addr).and_then(|mac| self.active.get(mac))
+    pub fn lease_at(&self, addr: Ipv4Addr) -> Option<Lease> {
+        let ai = self.index_of(addr)?;
+        self.bound[ai as usize].then(|| self.lease_row(ai))
     }
 
     /// Active lease for a client.
-    pub fn lease_of(&self, mac: MacAddr) -> Option<&Lease> {
-        self.active.get(&mac)
+    pub fn lease_of(&self, mac: MacAddr) -> Option<Lease> {
+        self.active.get(&mac).map(|&ai| self.lease_row(ai))
     }
 
     /// Iterate active leases (unordered).
-    pub fn iter_active(&self) -> impl Iterator<Item = &Lease> {
-        self.active.values()
+    pub fn iter_active(&self) -> impl Iterator<Item = Lease> + '_ {
+        self.active.values().map(|&ai| self.lease_row(ai))
     }
 }
 
@@ -355,8 +437,7 @@ mod tests {
         let mac = MacAddr::from_seed(1);
         let lease = db
             .allocate(mac, Some("brians-iphone".into()), t0(), SimDuration::hours(1))
-            .unwrap()
-            .clone();
+            .unwrap();
         assert_eq!(lease.state, LeaseState::Active);
         assert_eq!(lease.expires, t0() + SimDuration::hours(1));
         assert_eq!(db.active_count(), 1);
@@ -365,6 +446,7 @@ mod tests {
 
         let released = db.release(mac).unwrap();
         assert_eq!(released.state, LeaseState::Released);
+        assert_eq!(released.host_name.as_deref(), Some("brians-iphone"));
         assert_eq!(db.active_count(), 0);
         assert_eq!(db.free_count(), 3);
         assert!(db.release(mac).is_err());
@@ -434,6 +516,7 @@ mod tests {
         let expired = db.expire_before(t0() + SimDuration::hours(1));
         assert_eq!(expired.len(), 1);
         assert_eq!(expired[0].mac, a);
+        assert_eq!(expired[0].host_name.as_deref(), Some("a"));
         assert_eq!(expired[0].state, LeaseState::Expired);
         assert_eq!(db.active_count(), 1);
 
@@ -490,8 +573,7 @@ mod tests {
                 t0() + SimDuration::mins(10),
                 SimDuration::hours(1),
             )
-            .unwrap()
-            .clone();
+            .unwrap();
         assert_eq!(again.addr, first);
         assert_eq!(again.host_name.as_deref(), Some("new-name"));
         assert_eq!(db.active_count(), 1);

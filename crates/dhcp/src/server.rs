@@ -247,7 +247,6 @@ impl DhcpServer {
         if renewing {
             return match self.leases.renew(msg.chaddr, now, self.config.lease_time) {
                 Ok(lease) => {
-                    let lease = lease.clone();
                     self.metrics.renews.inc();
                     let reply = self.reply(msg, MessageType::Ack, lease.addr);
                     (Some(reply), vec![LeaseEvent::Renewed { lease, at: now }])
@@ -262,7 +261,6 @@ impl DhcpServer {
             .allocate(msg.chaddr, host_name, now, self.config.lease_time)
         {
             Ok(lease) => {
-                let lease = lease.clone();
                 // Honour the requested address only when it matches what we
                 // allocate; otherwise NAK so the client restarts.
                 if let Some(wanted) = msg.requested_ip() {

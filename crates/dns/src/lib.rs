@@ -11,6 +11,9 @@
 //! * [`message`] — headers, questions, resource records and full messages,
 //! * [`zone`] — authoritative zone data with dynamic-update semantics (the
 //!   DHCP/IPAM side adds and removes PTR records at runtime),
+//! * [`ptr_table`] — interned columnar PTR storage backing the /24 reverse
+//!   zones, byte-identical in behaviour to the general representation at a
+//!   fraction of the per-record memory,
 //! * [`server`] — a tokio-based authoritative UDP server with configurable
 //!   fault injection (SERVFAIL, drops, latency) reproducing the error modes
 //!   of Fig. 6,
@@ -28,6 +31,7 @@ pub mod client;
 pub mod message;
 pub mod name;
 pub mod pipeline;
+pub mod ptr_table;
 pub mod server;
 pub mod wire;
 pub mod zone;
@@ -37,6 +41,7 @@ pub use client::{LookupOutcome, Resolver, ResolverConfig};
 pub use message::{Message, Opcode, Question, Rcode, RecordClass, RecordData, RecordType, ResourceRecord};
 pub use name::{DnsName, NameError};
 pub use pipeline::{PipelinedConfig, PipelinedResolver, PipelinedStats, PipelinedStatsSnapshot};
+pub use ptr_table::PtrTable;
 pub use server::{
     answer_from_store, FaultConfig, ServerStats, ShardedShutdownHandle, ShardedUdpServer,
     TcpServer, UdpServer, DEFAULT_SERVER_WORKERS,

@@ -1,0 +1,330 @@
+//! Interned columnar PTR storage for /24 reverse zones.
+//!
+//! A reverse zone for one /24 holds at most 256 PTR records, each keyed by
+//! the host octet of the address. The general [`crate::zone::Zone`] stores
+//! such a record as a `BTreeMap<DnsName, Vec<ResourceRecord>>` entry — a
+//! six-label owner name (six heap `String`s plus a `Vec`), a cloned target
+//! `DnsName` (typically four more `String`s) and the record envelope —
+//! several hundred heap bytes per PTR before the map node overhead. At the
+//! paper's scale (6.15M /24s swept daily) that representation caps the
+//! simulated universe at a few tens of thousands of devices per machine.
+//!
+//! [`PtrTable`] replaces that hot path with three parallel columns sorted by
+//! host octet — `octets: Vec<u8>`, `ids: Vec<u32>`, `ttls: Vec<u32>` — plus a
+//! per-zone pool of interned target hostnames (`Box<str>`, lower-case, no
+//! trailing dot, exactly the [`rdns_model::Hostname`] normal form). One PTR
+//! costs 9 bytes of columns plus the hostname text, an order of magnitude
+//! under the general representation.
+//!
+//! The contract with the general zone is *byte identity*: every answer,
+//! serial bump, count and visit order must be indistinguishable from the
+//! `BTreeMap` path. The subtle part is iteration order — `DnsName`'s `Ord`
+//! compares labels as strings, so the legacy map yields host octets in
+//! *decimal-string* order (`0, 1, 10, 100, …, 109, 11, 110, …`), not numeric
+//! order. [`PtrTable::visit`] replays that exact order through a
+//! compile-time permutation table.
+
+use crate::name::DnsName;
+
+/// Host octets 0..=255 in decimal-string (DNS label) order.
+///
+/// `BTreeMap<DnsName, _>` orders six-label reverse names by their first
+/// label as a string; visiting interned records must match byte for byte.
+const OCTETS_IN_NAME_ORDER: [u8; 256] = {
+    // Decimal digits of `v`, most significant first.
+    const fn dec_digits(v: u8) -> ([u8; 3], usize) {
+        if v == 0 {
+            return ([b'0', 0, 0], 1);
+        }
+        let mut tmp = [0u8; 3];
+        let mut n = 0;
+        let mut v = v;
+        while v > 0 {
+            tmp[n] = b'0' + v % 10;
+            v /= 10;
+            n += 1;
+        }
+        let mut out = [0u8; 3];
+        let mut i = 0;
+        while i < n {
+            out[i] = tmp[n - 1 - i];
+            i += 1;
+        }
+        (out, n)
+    }
+    const fn dec_lt(a: u8, b: u8) -> bool {
+        let (da, la) = dec_digits(a);
+        let (db, lb) = dec_digits(b);
+        let min = if la < lb { la } else { lb };
+        let mut i = 0;
+        while i < min {
+            if da[i] != db[i] {
+                return da[i] < db[i];
+            }
+            i += 1;
+        }
+        la < lb
+    }
+    let mut v = [0u8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        v[i] = i as u8;
+        i += 1;
+    }
+    // Insertion sort by decimal-string order (evaluated at compile time).
+    let mut i = 1usize;
+    while i < 256 {
+        let mut j = i;
+        while j > 0 && dec_lt(v[j], v[j - 1]) {
+            let t = v[j];
+            v[j] = v[j - 1];
+            v[j - 1] = t;
+            j -= 1;
+        }
+        i += 1;
+    }
+    v
+};
+
+/// Parse a canonical decimal octet label (`"0"`..`"255"`, no leading zeros).
+pub fn parse_octet_label(label: &str) -> Option<u8> {
+    if label.is_empty() || label.len() > 3 {
+        return None;
+    }
+    if label.len() > 1 && label.starts_with('0') {
+        return None;
+    }
+    if !label.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    label.parse::<u8>().ok()
+}
+
+/// If `apex` is a canonical /24 reverse apex (`c.b.a.in-addr.arpa`), return
+/// the 24-bit network prefix `a<<16 | b<<8 | c`.
+pub fn reverse24_prefix(apex: &DnsName) -> Option<u32> {
+    let labels = apex.labels();
+    if labels.len() != 5 || labels[3] != "in-addr" || labels[4] != "arpa" {
+        return None;
+    }
+    let c = parse_octet_label(&labels[0])?;
+    let b = parse_octet_label(&labels[1])?;
+    let a = parse_octet_label(&labels[2])?;
+    Some((a as u32) << 16 | (b as u32) << 8 | c as u32)
+}
+
+/// The interned hostname text for a PTR target, or `None` when the target
+/// cannot round-trip through presentation form (a label containing `.`).
+/// Such targets — never produced by the IPAM layer — fall back to the
+/// general record map.
+pub fn intern_target(target: &DnsName) -> Option<Box<str>> {
+    let labels = target.labels();
+    if labels.iter().any(|l| l.contains('.')) {
+        return None;
+    }
+    Some(labels.join(".").into_boxed_str())
+}
+
+/// Columnar PTR records for one /24 reverse zone.
+///
+/// Rows are kept sorted by host octet; targets are interned hostnames
+/// addressed by `u32` id (freed ids are reused so the pool never exceeds
+/// 256 live entries).
+#[derive(Debug, Clone, Default)]
+pub struct PtrTable {
+    /// The covered /24 network prefix: `u32::from(addr) >> 8`.
+    prefix: u32,
+    /// Host octets with a PTR, sorted ascending.
+    octets: Vec<u8>,
+    /// Parallel to `octets`: interned target-name id.
+    ids: Vec<u32>,
+    /// Parallel to `octets`: record TTL.
+    ttls: Vec<u32>,
+    /// Id → interned hostname text (`None` = free slot).
+    names: Vec<Option<Box<str>>>,
+    /// Reusable slots in `names`.
+    free_ids: Vec<u32>,
+}
+
+impl PtrTable {
+    /// A table for the /24 reverse zone at `apex`, or `None` when the apex
+    /// is not a canonical `c.b.a.in-addr.arpa` name.
+    pub fn for_apex(apex: &DnsName) -> Option<PtrTable> {
+        Some(PtrTable {
+            prefix: reverse24_prefix(apex)?,
+            ..PtrTable::default()
+        })
+    }
+
+    /// The covered /24 network prefix (`u32::from(addr) >> 8`).
+    pub fn prefix(&self) -> u32 {
+        self.prefix
+    }
+
+    /// The full address for a host octet in this table's /24.
+    pub fn addr_of(&self, octet: u8) -> std::net::Ipv4Addr {
+        std::net::Ipv4Addr::from(self.prefix << 8 | octet as u32)
+    }
+
+    /// Number of PTR records.
+    pub fn len(&self) -> usize {
+        self.octets.len()
+    }
+
+    /// Whether the table holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.octets.is_empty()
+    }
+
+    /// Whether a PTR exists for `octet`.
+    pub fn contains(&self, octet: u8) -> bool {
+        self.octets.binary_search(&octet).is_ok()
+    }
+
+    /// The interned target text and TTL for `octet`.
+    pub fn get(&self, octet: u8) -> Option<(&str, u32)> {
+        let row = self.octets.binary_search(&octet).ok()?;
+        let name = self.names[self.ids[row] as usize]
+            .as_deref()
+            .expect("live row points at a live name");
+        Some((name, self.ttls[row]))
+    }
+
+    /// Install or replace the PTR for `octet` (last-writer-wins, exactly
+    /// like the general zone's upsert).
+    pub fn set(&mut self, octet: u8, text: Box<str>, ttl: u32) {
+        match self.octets.binary_search(&octet) {
+            Ok(row) => {
+                self.names[self.ids[row] as usize] = Some(text);
+                self.ttls[row] = ttl;
+            }
+            Err(row) => {
+                let id = match self.free_ids.pop() {
+                    Some(id) => {
+                        self.names[id as usize] = Some(text);
+                        id
+                    }
+                    None => {
+                        self.names.push(Some(text));
+                        (self.names.len() - 1) as u32
+                    }
+                };
+                self.octets.insert(row, octet);
+                self.ids.insert(row, id);
+                self.ttls.insert(row, ttl);
+            }
+        }
+    }
+
+    /// Remove the PTR for `octet`. Returns whether one existed.
+    pub fn remove(&mut self, octet: u8) -> bool {
+        match self.octets.binary_search(&octet) {
+            Ok(row) => {
+                let id = self.ids[row];
+                self.names[id as usize] = None;
+                self.free_ids.push(id);
+                self.octets.remove(row);
+                self.ids.remove(row);
+                self.ttls.remove(row);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Visit every record as `(octet, target text, ttl)` in the order the
+    /// general `BTreeMap` representation would yield them (decimal-string
+    /// order of the host octet).
+    pub fn visit<F: FnMut(u8, &str, u32)>(&self, mut f: F) {
+        if self.octets.is_empty() {
+            return;
+        }
+        for &octet in OCTETS_IN_NAME_ORDER.iter() {
+            if let Ok(row) = self.octets.binary_search(&octet) {
+                let name = self.names[self.ids[row] as usize]
+                    .as_deref()
+                    .expect("live row points at a live name");
+                f(octet, name, self.ttls[row]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octet_order_matches_string_sort() {
+        let mut expect: Vec<u8> = (0..=255).collect();
+        expect.sort_by_key(|o| o.to_string());
+        assert_eq!(OCTETS_IN_NAME_ORDER.to_vec(), expect);
+    }
+
+    #[test]
+    fn canonical_octet_labels() {
+        assert_eq!(parse_octet_label("0"), Some(0));
+        assert_eq!(parse_octet_label("255"), Some(255));
+        assert_eq!(parse_octet_label("01"), None);
+        assert_eq!(parse_octet_label("256"), None);
+        assert_eq!(parse_octet_label(""), None);
+        assert_eq!(parse_octet_label("1a"), None);
+    }
+
+    #[test]
+    fn apex_prefix_extraction() {
+        let apex: DnsName = "2.0.192.in-addr.arpa".parse().unwrap();
+        assert_eq!(reverse24_prefix(&apex), Some(0xC0_00_02));
+        let broad: DnsName = "in-addr.arpa".parse().unwrap();
+        assert_eq!(reverse24_prefix(&broad), None);
+        let noncanonical: DnsName = "02.0.192.in-addr.arpa".parse().unwrap();
+        assert_eq!(reverse24_prefix(&noncanonical), None);
+    }
+
+    #[test]
+    fn set_get_remove_reuse() {
+        let apex: DnsName = "2.0.192.in-addr.arpa".parse().unwrap();
+        let mut t = PtrTable::for_apex(&apex).unwrap();
+        assert!(t.is_empty());
+        t.set(34, "a.example.org".into(), 300);
+        t.set(5, "b.example.org".into(), 600);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(34), Some(("a.example.org", 300)));
+        // Replacement keeps one row and swaps the interned text.
+        t.set(34, "c.example.org".into(), 120);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(34), Some(("c.example.org", 120)));
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        // The freed id slot is reused, not leaked.
+        t.set(200, "d.example.org".into(), 60);
+        assert_eq!(t.names.iter().filter(|n| n.is_some()).count(), 2);
+        assert_eq!(t.addr_of(200).to_string(), "192.0.2.200");
+    }
+
+    #[test]
+    fn visit_order_is_string_order() {
+        let apex: DnsName = "2.0.192.in-addr.arpa".parse().unwrap();
+        let mut t = PtrTable::for_apex(&apex).unwrap();
+        for oc in [5u8, 100, 2, 34, 0, 255, 10] {
+            t.set(oc, format!("h{oc}.example.org").into_boxed_str(), 300);
+        }
+        let mut seen = Vec::new();
+        t.visit(|oc, _, _| seen.push(oc));
+        let mut expect = vec![5u8, 100, 2, 34, 0, 255, 10];
+        expect.sort_by_key(|o| o.to_string());
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn intern_round_trips_through_presentation_form() {
+        let target: DnsName = "Brians-iPhone.Example.EDU".parse().unwrap();
+        let text = intern_target(&target).unwrap();
+        assert_eq!(&*text, "brians-iphone.example.edu");
+        let back: DnsName = text.parse().unwrap();
+        assert_eq!(back, target);
+        // A label containing a dot cannot round-trip and is rejected.
+        let tricky = DnsName::from_labels(["a.b", "example", "org"]).unwrap();
+        assert!(intern_target(&tricky).is_none());
+    }
+}

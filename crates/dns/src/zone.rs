@@ -18,9 +18,11 @@
 
 use crate::message::{RecordData, RecordType, ResourceRecord};
 use crate::name::DnsName;
+use crate::ptr_table::{self, PtrTable};
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Result of an authoritative lookup.
@@ -51,6 +53,11 @@ pub struct Zone {
     /// Records by owner name, then by type.
     records: BTreeMap<DnsName, Vec<ResourceRecord>>,
     serial: u32,
+    /// Interned columnar PTR storage; `Some` only for canonical /24 reverse
+    /// zones built with [`Zone::new_interned`]. Every observable behaviour
+    /// (answers, serials, counts, visit order) is byte-identical to the
+    /// general map — the table is purely a memory representation.
+    ptr: Option<PtrTable>,
 }
 
 impl Zone {
@@ -83,7 +90,36 @@ impl Zone {
             ns,
             records: BTreeMap::new(),
             serial,
+            ptr: None,
         }
+    }
+
+    /// Create a zone that stores PTR records in an interned [`PtrTable`]
+    /// when the apex is a canonical /24 reverse apex (`c.b.a.in-addr.arpa`);
+    /// any other apex gets the general representation, so this is always a
+    /// safe drop-in for [`Zone::new`].
+    pub fn new_interned(apex: DnsName) -> Zone {
+        let table = PtrTable::for_apex(&apex);
+        let mut zone = Zone::new(apex);
+        zone.ptr = table;
+        zone
+    }
+
+    /// Whether PTR records are held in the interned columnar table.
+    pub fn is_interned(&self) -> bool {
+        self.ptr.is_some()
+    }
+
+    /// If this zone is interned and `name` is the canonical child
+    /// `o.c.b.a.in-addr.arpa` of the apex, return the host octet `o`.
+    fn table_octet(&self, name: &DnsName) -> Option<u8> {
+        self.ptr.as_ref()?;
+        let labels = name.labels();
+        let apex_labels = self.apex.labels();
+        if labels.len() != apex_labels.len() + 1 || labels[1..] != apex_labels[..] {
+            return None;
+        }
+        ptr_table::parse_octet_label(&labels[0])
     }
 
     /// The zone apex name.
@@ -103,12 +139,104 @@ impl Zone {
 
     /// Number of record owner names (excluding apex SOA/NS bookkeeping).
     pub fn name_count(&self) -> usize {
-        self.records.len()
+        let mut n = self.records.len();
+        if let Some(table) = &self.ptr {
+            n += table.len();
+            if !self.records.is_empty() {
+                // An owner name may carry non-PTR records in the map while
+                // its PTR lives in the table; don't double-count it.
+                let mut overlap = 0usize;
+                table.visit(|octet, _, _| {
+                    if let Ok(child) = self.apex.child(&octet.to_string()) {
+                        if self.records.contains_key(&child) {
+                            overlap += 1;
+                        }
+                    }
+                });
+                n -= overlap;
+            }
+        }
+        n
     }
 
-    /// Iterate all records (excluding apex SOA/NS).
+    /// Iterate the general-map records (excluding apex SOA/NS and any
+    /// interned PTRs, which have no materialized `ResourceRecord` to lend
+    /// out — use [`Zone::visit_ptrs`] to see every PTR).
     pub fn iter_records(&self) -> impl Iterator<Item = &ResourceRecord> {
         self.records.values().flatten()
+    }
+
+    /// Total PTR record count (interned table + general map).
+    pub fn ptr_count(&self) -> usize {
+        self.ptr.as_ref().map_or(0, PtrTable::len)
+            + self
+                .iter_records()
+                .filter(|rr| rr.data.rtype() == RecordType::PTR)
+                .count()
+    }
+
+    /// Run `f` over every PTR record as `(addr, target)`, in exactly the
+    /// owner-name order the general `BTreeMap` representation yields.
+    pub fn visit_ptrs<F: FnMut(Ipv4Addr, &DnsName)>(&self, f: &mut F) {
+        let map_has_ptrs = self
+            .iter_records()
+            .any(|rr| rr.data.rtype() == RecordType::PTR);
+        if let Some(table) = &self.ptr {
+            if !map_has_ptrs {
+                table.visit(|octet, text, _| {
+                    let target = DnsName::parse(text).expect("interned text is a valid name");
+                    f(table.addr_of(octet), &target);
+                });
+                return;
+            }
+            // Rare: PTRs in both stores (unrepresentable targets fall back
+            // to the map). Merge in owner-name order.
+            let mut rows: Vec<(DnsName, Ipv4Addr, DnsName)> = Vec::new();
+            table.visit(|octet, text, _| {
+                let addr = table.addr_of(octet);
+                let target = DnsName::parse(text).expect("interned text is a valid name");
+                rows.push((DnsName::reverse_v4(addr), addr, target));
+            });
+            for rr in self.iter_records() {
+                if let RecordData::Ptr(target) = &rr.data {
+                    if let Ok(addr) = rr.name.parse_reverse_v4() {
+                        rows.push((rr.name.clone(), addr, target.clone()));
+                    }
+                }
+            }
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            for (_, addr, target) in &rows {
+                f(*addr, target);
+            }
+            return;
+        }
+        for rr in self.iter_records() {
+            if let RecordData::Ptr(target) = &rr.data {
+                if let Ok(addr) = rr.name.parse_reverse_v4() {
+                    f(addr, target);
+                }
+            }
+        }
+    }
+
+    /// Run `f` over every PTR record as `(addr, hostname text)` — the
+    /// normalized [`rdns_model::Hostname`] form (lower-case, no trailing
+    /// dot). Interned zones lend the stored text without rebuilding a
+    /// `DnsName`, which is the snapshot sweep's zero-copy fast path.
+    pub fn visit_ptr_hostnames<F: FnMut(Ipv4Addr, &str)>(&self, f: &mut F) {
+        let map_has_ptrs = self
+            .iter_records()
+            .any(|rr| rr.data.rtype() == RecordType::PTR);
+        if let Some(table) = &self.ptr {
+            if !map_has_ptrs {
+                table.visit(|octet, text, _| f(table.addr_of(octet), text));
+                return;
+            }
+        }
+        self.visit_ptrs(&mut |addr, target| {
+            let hostname = target.to_hostname();
+            f(addr, hostname.as_str());
+        });
     }
 
     fn bump_serial(&mut self) {
@@ -129,19 +257,137 @@ impl Zone {
     pub fn upsert(&mut self, rr: ResourceRecord) {
         debug_assert!(self.is_authoritative_for(&rr.name));
         let rtype = rr.data.rtype();
+        if rtype == RecordType::PTR {
+            if let Some(octet) = self.table_octet(&rr.name) {
+                if let RecordData::Ptr(target) = &rr.data {
+                    if let Some(text) = ptr_table::intern_target(target) {
+                        // The PTR for this octet lives in exactly one place:
+                        // purge any map-resident copy, then intern.
+                        self.purge_map_ptr(&rr.name);
+                        let table = self.ptr.as_mut().expect("table_octet implies table");
+                        table.set(octet, text, rr.ttl);
+                        self.bump_serial();
+                        return;
+                    }
+                }
+                // Unrepresentable target: store in the map, keeping the
+                // single-home invariant by dropping any interned copy.
+                let table = self.ptr.as_mut().expect("table_octet implies table");
+                table.remove(octet);
+            }
+        }
         let entry = self.records.entry(rr.name.clone()).or_default();
         entry.retain(|existing| existing.data.rtype() != rtype);
         entry.push(rr);
         self.bump_serial();
     }
 
+    /// Drop a map-resident PTR on `name` without touching the serial.
+    fn purge_map_ptr(&mut self, name: &DnsName) {
+        if self.records.is_empty() {
+            return;
+        }
+        if let Some(entry) = self.records.get_mut(name) {
+            entry.retain(|rr| rr.data.rtype() != RecordType::PTR);
+            if entry.is_empty() {
+                self.records.remove(name);
+            }
+        }
+    }
+
+    /// Install or replace the PTR for `addr` without materializing the
+    /// six-label owner name when the zone is interned — the allocation-free
+    /// hot path behind [`ZoneStore::set_ptr`]. Falls back to the general
+    /// upsert for non-interned zones or foreign /24s.
+    pub(crate) fn set_ptr_octet(&mut self, addr: Ipv4Addr, target: &DnsName, ttl: u32) {
+        let in_table = self
+            .ptr
+            .as_ref()
+            .is_some_and(|t| t.prefix() == u32::from(addr) >> 8);
+        if in_table {
+            if let Some(text) = ptr_table::intern_target(target) {
+                if !self.records.is_empty() {
+                    self.purge_map_ptr(&DnsName::reverse_v4(addr));
+                }
+                let table = self.ptr.as_mut().expect("checked above");
+                table.set(addr.octets()[3], text, ttl);
+                self.bump_serial();
+                return;
+            }
+        }
+        self.upsert(ResourceRecord::ptr(addr, target.clone(), ttl));
+    }
+
+    /// Remove the PTR for `addr`; the interned counterpart of
+    /// [`Zone::set_ptr_octet`]. Returns whether a record existed.
+    pub(crate) fn remove_ptr_octet(&mut self, addr: Ipv4Addr) -> bool {
+        let in_table = self
+            .ptr
+            .as_ref()
+            .is_some_and(|t| t.prefix() == u32::from(addr) >> 8);
+        if in_table {
+            let mut removed = self
+                .ptr
+                .as_mut()
+                .expect("checked above")
+                .remove(addr.octets()[3]) as usize;
+            if !self.records.is_empty() {
+                let name = DnsName::reverse_v4(addr);
+                if let Some(entry) = self.records.get_mut(&name) {
+                    let before = entry.len();
+                    entry.retain(|rr| rr.data.rtype() != RecordType::PTR);
+                    removed += before - entry.len();
+                    if entry.is_empty() {
+                        self.records.remove(&name);
+                    }
+                }
+            }
+            if removed > 0 {
+                self.bump_serial();
+            }
+            return removed > 0;
+        }
+        self.remove(&DnsName::reverse_v4(addr), RecordType::PTR) > 0
+    }
+
+    /// Direct PTR read for `addr` without building the owner name on the
+    /// interned path.
+    pub(crate) fn get_ptr_octet(&self, addr: Ipv4Addr) -> Option<DnsName> {
+        let in_table = self
+            .ptr
+            .as_ref()
+            .is_some_and(|t| t.prefix() == u32::from(addr) >> 8);
+        if in_table {
+            let table = self.ptr.as_ref().expect("checked above");
+            if let Some((text, _)) = table.get(addr.octets()[3]) {
+                return Some(DnsName::parse(text).expect("interned text is a valid name"));
+            }
+            if self.records.is_empty() {
+                return None;
+            }
+        }
+        match self.lookup(&DnsName::reverse_v4(addr), RecordType::PTR) {
+            LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
+                RecordData::Ptr(t) => Some(t),
+                _ => None,
+            }),
+            _ => None,
+        }
+    }
+
     /// Remove all records of `rtype` on `name`. Returns how many were removed.
     pub fn remove(&mut self, name: &DnsName, rtype: RecordType) -> usize {
         let mut removed = 0;
+        if rtype == RecordType::PTR {
+            if let Some(octet) = self.table_octet(name) {
+                let table = self.ptr.as_mut().expect("table_octet implies table");
+                removed += table.remove(octet) as usize;
+            }
+        }
         if let Some(entry) = self.records.get_mut(name) {
             let before = entry.len();
             entry.retain(|rr| rr.data.rtype() != rtype);
-            removed = before - entry.len();
+            removed += before - entry.len();
             if entry.is_empty() {
                 self.records.remove(name);
             }
@@ -171,13 +417,24 @@ impl Zone {
             }
             return LookupResult::Answer(out);
         }
+        // Interned PTRs have no map entry; materialize on demand. The name
+        // "exists" (NoData rather than NXDOMAIN) whenever either store
+        // holds a record for it.
+        let table_entry = self
+            .table_octet(qname)
+            .and_then(|octet| self.ptr.as_ref().and_then(|t| t.get(octet)));
         match self.records.get(qname) {
             Some(rrs) => {
-                let matched: Vec<ResourceRecord> = rrs
+                let mut matched: Vec<ResourceRecord> = rrs
                     .iter()
                     .filter(|rr| rr.data.rtype() == qtype)
                     .cloned()
                     .collect();
+                if qtype == RecordType::PTR {
+                    if let Some((text, ttl)) = table_entry {
+                        matched.push(materialize_ptr(qname, text, ttl));
+                    }
+                }
                 if matched.is_empty() {
                     LookupResult::NoData {
                         soa: self.soa.clone(),
@@ -186,11 +443,25 @@ impl Zone {
                     LookupResult::Answer(matched)
                 }
             }
-            None => LookupResult::NxDomain {
-                soa: self.soa.clone(),
+            None => match table_entry {
+                Some((text, ttl)) if qtype == RecordType::PTR => {
+                    LookupResult::Answer(vec![materialize_ptr(qname, text, ttl)])
+                }
+                Some(_) => LookupResult::NoData {
+                    soa: self.soa.clone(),
+                },
+                None => LookupResult::NxDomain {
+                    soa: self.soa.clone(),
+                },
             },
         }
     }
+}
+
+/// Rebuild the full `ResourceRecord` for an interned PTR entry.
+fn materialize_ptr(owner: &DnsName, text: &str, ttl: u32) -> ResourceRecord {
+    let target = DnsName::parse(text).expect("interned text is a valid name");
+    ResourceRecord::new(owner.clone(), ttl, RecordData::Ptr(target))
 }
 
 /// A set of zones with longest-match routing.
@@ -275,6 +546,18 @@ pub trait DnsStore: Clone + Send + Sync + 'static {
     /// Run `f` over every PTR record as `(addr, target)`, in deterministic
     /// apex-then-owner order.
     fn visit_ptrs(&self, f: &mut dyn FnMut(Ipv4Addr, &DnsName));
+    /// Run `f` over every PTR record as `(addr, hostname text)` in the same
+    /// order as [`DnsStore::visit_ptrs`], where the text is the normalized
+    /// [`rdns_model::Hostname`] form (lower-case, no trailing dot).
+    ///
+    /// Snapshotters should prefer this: interned stores lend the stored
+    /// text directly instead of materializing a `DnsName` per record.
+    fn visit_ptr_hostnames(&self, f: &mut dyn FnMut(Ipv4Addr, &str)) {
+        self.visit_ptrs(&mut |addr, name| {
+            let hostname = name.to_hostname();
+            f(addr, hostname.as_str());
+        });
+    }
 }
 
 /// Shared, concurrently-updatable zone data with per-zone lock striping.
@@ -288,12 +571,44 @@ pub trait DnsStore: Clone + Send + Sync + 'static {
 #[derive(Debug, Clone, Default)]
 pub struct ZoneStore {
     directory: Arc<RwLock<BTreeMap<DnsName, Arc<RwLock<Zone>>>>>,
+    /// Fast index for the PTR hot path: /24 network prefix
+    /// (`u32::from(addr) >> 8`) → the stripe of its reverse zone. Lets
+    /// `set_ptr`/`get_ptr`/`remove_ptr` skip building the six-label reverse
+    /// name and walking the suffix directory. Key lookups only — never
+    /// iterated into output.
+    rev24: Arc<RwLock<HashMap<u32, Arc<RwLock<Zone>>>>>,
+    /// Count of reverse apexes *deeper* than a /24 (6+ labels under
+    /// `in-addr.arpa`). Nonzero disables the `rev24` shortcut, because a
+    /// deeper zone could win longest-match routing over the /24.
+    deep_reverse: Arc<AtomicUsize>,
 }
 
 impl ZoneStore {
     /// An empty store.
     pub fn new() -> ZoneStore {
         ZoneStore::default()
+    }
+
+    /// Record a new zone in the fast-path indexes.
+    fn index_zone(&self, apex: &DnsName, stripe: &Arc<RwLock<Zone>>) {
+        if let Some(prefix) = ptr_table::reverse24_prefix(apex) {
+            self.rev24.write().insert(prefix, Arc::clone(stripe));
+            return;
+        }
+        let in_addr_arpa: DnsName = DnsName::from_labels(["in-addr", "arpa"])
+            .expect("static name is valid");
+        if apex.label_count() >= 6 && apex.is_subdomain_of(&in_addr_arpa) {
+            self.deep_reverse.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The /24 reverse-zone stripe for `addr` when the shortcut is valid
+    /// (the zone exists and no deeper reverse zone could shadow it).
+    fn rev24_stripe(&self, addr: Ipv4Addr) -> Option<Arc<RwLock<Zone>>> {
+        if self.deep_reverse.load(Ordering::Relaxed) != 0 {
+            return None;
+        }
+        self.rev24.read().get(&(u32::from(addr) >> 8)).cloned()
     }
 
     /// The stripe holding the longest-match zone for `name`, if any.
@@ -331,26 +646,33 @@ impl ZoneStore {
     /// Add a zone, replacing any existing zone at the same apex.
     pub fn add_zone(&self, zone: Zone) {
         let apex = zone.apex().clone();
-        self.directory
-            .write()
-            .insert(apex, Arc::new(RwLock::new(zone)));
+        let stripe = Arc::new(RwLock::new(zone));
+        self.index_zone(&apex, &stripe);
+        self.directory.write().insert(apex, stripe);
     }
 
     /// Ensure a reverse zone exists for the /24 containing `addr`.
     pub fn ensure_reverse_zone(&self, addr: Ipv4Addr) {
+        // Hot path: one hash probe instead of building the apex name.
+        if self.rev24.read().contains_key(&(u32::from(addr) >> 8)) {
+            return;
+        }
         let apex = DnsName::reverse_v4_zone24(addr.into());
         self.ensure_zone(apex);
     }
 
     /// Ensure a zone with the given apex exists (used for forward zones
     /// when the IPAM layer also maintains A records — §10 future work).
+    /// Reverse /24 zones get the interned PTR representation.
     pub fn ensure_zone(&self, apex: DnsName) {
         if self.directory.read().contains_key(&apex) {
             return;
         }
         let mut dir = self.directory.write();
-        if !dir.contains_key(&apex) {
-            dir.insert(apex.clone(), Arc::new(RwLock::new(Zone::new(apex))));
+        if let std::collections::btree_map::Entry::Vacant(slot) = dir.entry(apex.clone()) {
+            let stripe = Arc::new(RwLock::new(Zone::new_interned(apex)));
+            slot.insert(Arc::clone(&stripe));
+            self.index_zone(stripe.read().apex(), &stripe);
         }
     }
 
@@ -395,6 +717,10 @@ impl ZoneStore {
 
     /// Install or replace the PTR record for `addr`.
     pub fn set_ptr(&self, addr: Ipv4Addr, target: DnsName, ttl: u32) -> bool {
+        if let Some(stripe) = self.rev24_stripe(addr) {
+            stripe.write().set_ptr_octet(addr, &target, ttl);
+            return true;
+        }
         let name = DnsName::reverse_v4(addr);
         match self.stripe_for(&name) {
             Some(stripe) => {
@@ -407,6 +733,9 @@ impl ZoneStore {
 
     /// Remove the PTR record for `addr`. Returns whether one existed.
     pub fn remove_ptr(&self, addr: Ipv4Addr) -> bool {
+        if let Some(stripe) = self.rev24_stripe(addr) {
+            return stripe.write().remove_ptr_octet(addr);
+        }
         let name = DnsName::reverse_v4(addr);
         match self.stripe_for(&name) {
             Some(stripe) => stripe.write().remove(&name, RecordType::PTR) > 0,
@@ -416,6 +745,9 @@ impl ZoneStore {
 
     /// Direct (in-process) PTR lookup: the fast path used by snapshotters.
     pub fn get_ptr(&self, addr: Ipv4Addr) -> Option<DnsName> {
+        if let Some(stripe) = self.rev24_stripe(addr) {
+            return stripe.read().get_ptr_octet(addr);
+        }
         let name = DnsName::reverse_v4(addr);
         match self.lookup(&name, RecordType::PTR) {
             LookupResult::Answer(rrs) => rrs.into_iter().find_map(|rr| match rr.data {
@@ -466,6 +798,15 @@ impl ZoneStore {
     /// Full lookup with authoritative semantics (for the wire server).
     /// Pins exactly one zone stripe, never the whole store.
     pub fn lookup(&self, qname: &DnsName, qtype: RecordType) -> LookupResult {
+        // Canonical full reverse names route by /24 prefix without the
+        // clone-per-level suffix walk — the sweep-path fast lane.
+        if qname.label_count() == 6 {
+            if let Ok(addr) = qname.parse_reverse_v4() {
+                if let Some(stripe) = self.rev24_stripe(addr) {
+                    return stripe.read().lookup(qname, qtype);
+                }
+            }
+        }
         match self.stripe_for(qname) {
             Some(stripe) => stripe.read().lookup(qname, qtype),
             None => LookupResult::NotAuthoritative,
@@ -477,13 +818,7 @@ impl ZoneStore {
     pub fn ptr_count(&self) -> usize {
         self.stripes()
             .into_iter()
-            .map(|(_, stripe)| {
-                stripe
-                    .read()
-                    .iter_records()
-                    .filter(|rr| rr.data.rtype() == RecordType::PTR)
-                    .count()
-            })
+            .map(|(_, stripe)| stripe.read().ptr_count())
             .sum()
     }
 
@@ -504,13 +839,15 @@ impl ZoneStore {
             Some(stripe) => Arc::clone(stripe),
             None => return,
         };
-        let zone = stripe.read();
-        for rr in zone.iter_records() {
-            if let RecordData::Ptr(target) = &rr.data {
-                if let Ok(addr) = rr.name.parse_reverse_v4() {
-                    f(addr, target);
-                }
-            }
+        stripe.read().visit_ptrs(f);
+    }
+
+    /// Run `f` over every PTR record as `(addr, hostname text)`, zone by
+    /// zone. Interned zones lend their stored text without rebuilding the
+    /// target name — the snapshot sweep's zero-copy path.
+    pub fn for_each_ptr_hostname<F: FnMut(Ipv4Addr, &str)>(&self, mut f: F) {
+        for (_, stripe) in self.stripes() {
+            stripe.read().visit_ptr_hostnames(&mut f);
         }
     }
 }
@@ -542,6 +879,9 @@ impl DnsStore for ZoneStore {
     }
     fn visit_ptrs(&self, f: &mut dyn FnMut(Ipv4Addr, &DnsName)) {
         self.for_each_ptr(|addr, name| f(addr, name));
+    }
+    fn visit_ptr_hostnames(&self, f: &mut dyn FnMut(Ipv4Addr, &str)) {
+        self.for_each_ptr_hostname(|addr, text| f(addr, text));
     }
 }
 
@@ -946,6 +1286,151 @@ mod tests {
                 "in-addr.arpa".parse().unwrap(),
             ]
         );
+    }
+
+    /// Run an identical op sequence against a general and an interned zone
+    /// and require byte-identical observables at every step.
+    fn differential_zone_ops(ops: &[(u8, Option<&str>)]) {
+        let apex: DnsName = "2.0.192.in-addr.arpa".parse().unwrap();
+        let mut general = Zone::new(apex.clone());
+        let mut interned = Zone::new_interned(apex.clone());
+        assert!(!general.is_interned());
+        assert!(interned.is_interned());
+        for &(octet, target) in ops {
+            let a = Ipv4Addr::new(192, 0, 2, octet);
+            match target {
+                Some(t) => {
+                    let rr = ResourceRecord::ptr(a, t.parse().unwrap(), 300);
+                    general.upsert(rr.clone());
+                    interned.upsert(rr);
+                }
+                None => {
+                    let name = DnsName::reverse_v4(a);
+                    let g = general.remove(&name, RecordType::PTR);
+                    let i = interned.remove(&name, RecordType::PTR);
+                    assert_eq!(g, i, "remove count diverged at octet {octet}");
+                }
+            }
+            assert_eq!(general.serial(), interned.serial(), "serial diverged");
+            assert_eq!(general.name_count(), interned.name_count());
+            assert_eq!(general.ptr_count(), interned.ptr_count());
+        }
+        // Full-zone sweep: same records in the same order.
+        let mut g_seen = Vec::new();
+        general.visit_ptrs(&mut |a, n| g_seen.push((a, n.to_string())));
+        let mut i_seen = Vec::new();
+        interned.visit_ptrs(&mut |a, n| i_seen.push((a, n.to_string())));
+        assert_eq!(g_seen, i_seen);
+        let mut i_hosts = Vec::new();
+        interned.visit_ptr_hostnames(&mut |a, h| i_hosts.push((a, h.to_string())));
+        let g_hosts: Vec<(Ipv4Addr, String)> = g_seen
+            .iter()
+            .map(|(a, n)| (*a, n.trim_end_matches('.').to_string()))
+            .collect();
+        assert_eq!(g_hosts, i_hosts);
+        // Every possible query agrees, including NoData/NXDOMAIN shapes.
+        for octet in 0..=255u8 {
+            let q = DnsName::reverse_v4(Ipv4Addr::new(192, 0, 2, octet));
+            for qtype in [RecordType::PTR, RecordType::TXT, RecordType::A] {
+                assert_eq!(
+                    general.lookup(&q, qtype),
+                    interned.lookup(&q, qtype),
+                    "lookup diverged at octet {octet} qtype {qtype:?}"
+                );
+            }
+        }
+        assert_eq!(
+            general.lookup(&apex, RecordType::SOA),
+            interned.lookup(&apex, RecordType::SOA)
+        );
+    }
+
+    #[test]
+    fn interned_zone_matches_general_zone() {
+        differential_zone_ops(&[
+            (34, Some("a.example.org")),
+            (5, Some("b.example.org")),
+            (34, Some("c.example.org")), // replace
+            (5, None),                   // remove
+            (5, None),                   // double remove (no serial bump)
+            (0, Some("zero.example.org")),
+            (255, Some("top.example.org")),
+            (100, Some("mid.example.org")),
+            (10, Some("ten.example.org")),
+            (2, Some("two.example.org")),
+        ]);
+    }
+
+    #[test]
+    fn interned_zone_visit_order_is_string_order() {
+        // Octets whose decimal strings sort differently from their values.
+        differential_zone_ops(&[
+            (200, Some("a.example.org")),
+            (30, Some("b.example.org")),
+            (4, Some("c.example.org")),
+            (100, Some("d.example.org")),
+            (25, Some("e.example.org")),
+            (0, Some("f.example.org")),
+        ]);
+    }
+
+    #[test]
+    fn interned_zone_mixed_record_types() {
+        // Non-PTR records on an octet owner name live in the general map of
+        // both representations; answers and existence semantics must agree.
+        let apex: DnsName = "2.0.192.in-addr.arpa".parse().unwrap();
+        let mut general = Zone::new(apex.clone());
+        let mut interned = Zone::new_interned(apex.clone());
+        let owner = DnsName::reverse_v4(addr("192.0.2.7"));
+        for zone in [&mut general, &mut interned] {
+            zone.upsert(ResourceRecord::ptr(
+                addr("192.0.2.7"),
+                "h7.example.org".parse().unwrap(),
+                300,
+            ));
+            zone.upsert(ResourceRecord::new(
+                owner.clone(),
+                300,
+                RecordData::Txt(vec!["probe".into()]),
+            ));
+        }
+        for qtype in [RecordType::PTR, RecordType::TXT, RecordType::A] {
+            assert_eq!(general.lookup(&owner, qtype), interned.lookup(&owner, qtype));
+        }
+        assert_eq!(general.name_count(), 1);
+        assert_eq!(interned.name_count(), 1);
+        // Removing the TXT leaves the PTR visible in both.
+        assert_eq!(general.remove(&owner, RecordType::TXT), 1);
+        assert_eq!(interned.remove(&owner, RecordType::TXT), 1);
+        assert_eq!(general.lookup(&owner, RecordType::PTR), interned.lookup(&owner, RecordType::PTR));
+        assert_eq!(interned.name_count(), 1);
+        assert_eq!(general.remove(&owner, RecordType::PTR), 1);
+        assert_eq!(interned.remove(&owner, RecordType::PTR), 1);
+        assert_eq!(interned.name_count(), 0);
+        assert!(matches!(
+            interned.lookup(&owner, RecordType::PTR),
+            LookupResult::NxDomain { .. }
+        ));
+    }
+
+    #[test]
+    fn rev24_fast_path_agrees_with_suffix_walk() {
+        // The store-level shortcut must be observably identical to the
+        // general longest-match walk, including when a deeper reverse zone
+        // disables it.
+        let store = ZoneStore::new();
+        let a = addr("192.0.2.34");
+        store.ensure_reverse_zone(a);
+        assert!(store.set_ptr(a, "fast.example.org".parse().unwrap(), 300));
+        assert_eq!(store.get_ptr(a).unwrap().to_string(), "fast.example.org.");
+        // A deeper reverse apex forces the slow path; answers must hold.
+        store.ensure_zone("34.2.0.192.in-addr.arpa".parse().unwrap());
+        // The deep zone now wins longest-match for that one address: the
+        // /24's record is shadowed, exactly as the suffix walk decides.
+        assert_eq!(store.get_ptr(a), None);
+        let other = addr("192.0.2.35");
+        assert!(store.set_ptr(other, "slow.example.org".parse().unwrap(), 300));
+        assert_eq!(store.get_ptr(other).unwrap().to_string(), "slow.example.org.");
     }
 
     #[test]

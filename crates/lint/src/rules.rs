@@ -41,6 +41,7 @@ pub const ALL_RULES: &[&str] = &[
     "hash-iter-ordered",
     "pii-display",
     "raw-atomic-stats",
+    "snapshot-clone",
 ];
 
 /// Crates whose output must be a pure function of their inputs: the
@@ -153,6 +154,7 @@ pub fn check_file(origin: &FileOrigin, lexed: &Lexed) -> Vec<Finding> {
     rule_hash_iter_ordered(origin, tokens, &test_ranges, &sink_spans, &mut out);
     rule_pii_display(origin, tokens, &test_ranges, &sink_spans, &mut out);
     rule_raw_atomic_stats(origin, tokens, &mut out);
+    rule_snapshot_clone(origin, tokens, &test_ranges, &mut out);
 
     out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
     out
@@ -726,6 +728,142 @@ fn rule_raw_atomic_stats(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Fi
                     .to_string(),
             ));
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// snapshot memory discipline
+// ---------------------------------------------------------------------------
+
+/// Types whose clones copy a whole day (or window) of PTR records. With the
+/// delta/columnar layouts in `crates/data`, analysis code should stream,
+/// materialize lazily, or borrow — never duplicate the row form.
+const SNAPSHOT_TYPES: &[&str] = &["DailySnapshot", "SnapshotSeries"];
+
+/// A cloned [`DailySnapshot`]/[`SnapshotSeries`] copies every record in the
+/// day (or every day in the window) — exactly the per-day duplication the
+/// delta representation exists to avoid. The rule tracks identifiers bound
+/// to those types (ascriptions, `DailySnapshot::…`/`SnapshotSeries::…`
+/// inits, and `Snapshotter…take(…)` results) and flags `.clone()` on them
+/// outside `crates/data` (the representation layer itself) and outside test
+/// code. A clone that genuinely must own a second dataset takes a justified
+/// `lint:allow(snapshot-clone)`.
+fn rule_snapshot_clone(
+    origin: &FileOrigin,
+    tokens: &[Token],
+    test_ranges: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !origin.is_crate() || origin.crate_name.as_deref() == Some("data") {
+        return;
+    }
+    let snapshot_idents = collect_snapshot_idents(tokens);
+    if snapshot_idents.is_empty() {
+        return;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident
+            || !snapshot_idents.contains(&t.text)
+            || in_ranges(test_ranges, t.line)
+        {
+            continue;
+        }
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct('.'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_ident("clone"))
+            && tokens.get(i + 3).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(finding(
+                origin,
+                t.line,
+                "snapshot-clone",
+                format!(
+                    "`{}` (a snapshot type) is cloned outside crates/data, copying a whole \
+                     day/window of records; stream via DeltaSeries/for_each_day, borrow, or \
+                     justify with lint:allow(snapshot-clone)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Identifiers bound to snapshot types in this file: `name: …DailySnapshot`
+/// ascriptions (params, fields, lets), `let name = SnapshotSeries::…` inits,
+/// and `let name = <snapper>.take(…)` where `<snapper>` is itself bound to a
+/// [`Snapshotter`].
+fn collect_snapshot_idents(tokens: &[Token]) -> Vec<String> {
+    let mut set: Vec<String> = Vec::new();
+    let mut snappers: Vec<String> = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `name :` (not `::`) followed shortly by a snapshot(ter) type.
+        if tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            for tk in tokens.iter().take((i + 10).min(tokens.len())).skip(i + 2) {
+                let filler = tk.is_punct('&')
+                    || tk.is_punct(':')
+                    || tk.kind == TokenKind::Lifetime
+                    || tk.is_ident("mut")
+                    || tk.is_ident("rdns_data")
+                    || tk.is_ident("snapshot");
+                if SNAPSHOT_TYPES.iter().any(|ty| tk.is_ident(ty)) {
+                    push_unique(&mut set, &t.text);
+                    break;
+                }
+                if tk.is_ident("Snapshotter") {
+                    push_unique(&mut snappers, &t.text);
+                    break;
+                }
+                if !filler {
+                    break;
+                }
+            }
+        }
+        // `let [mut] name … = [path ::]Type ::` inits.
+        if t.is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|n| n.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = tokens.get(j).filter(|n| n.kind == TokenKind::Ident) else {
+                continue;
+            };
+            let Some(eq) = find_at_depth(tokens, j + 1, j + 25, |tk| tk.is_punct('=')) else {
+                continue;
+            };
+            for k in eq + 1..(eq + 6).min(tokens.len()) {
+                let next_is_path = tokens.get(k + 1).is_some_and(|n| n.is_punct(':'));
+                if SNAPSHOT_TYPES.iter().any(|ty| tokens[k].is_ident(ty)) && next_is_path {
+                    push_unique(&mut set, &name.text);
+                    break;
+                }
+                if tokens[k].is_ident("Snapshotter") && next_is_path {
+                    push_unique(&mut snappers, &name.text);
+                    break;
+                }
+                // `let snap = snapper.take(day);` — a Snapshotter's take()
+                // returns a DailySnapshot.
+                if tokens[k].kind == TokenKind::Ident
+                    && snappers.contains(&tokens[k].text)
+                    && tokens.get(k + 1).is_some_and(|n| n.is_punct('.'))
+                    && tokens.get(k + 2).is_some_and(|n| n.is_ident("take"))
+                    && tokens.get(k + 3).is_some_and(|n| n.is_punct('('))
+                {
+                    push_unique(&mut set, &name.text);
+                    break;
+                }
+            }
+        }
+    }
+    set
+}
+
+fn push_unique(set: &mut Vec<String>, s: &str) {
+    if !set.iter().any(|x| x == s) {
+        set.push(s.to_string());
     }
 }
 

@@ -146,11 +146,31 @@ fn raw_atomic_rule_exempts_telemetry_and_shims() {
 }
 
 #[test]
+fn snapshot_clone_fixture() {
+    let bad = include_str!("fixtures/bad_snapshot_clone.rs");
+    assert_eq!(
+        findings("crates/core/src/bad.rs", bad),
+        vec![(4, "snapshot-clone"), (10, "snapshot-clone")]
+    );
+    // Streaming consumption and a justified allow both pass.
+    let good = include_str!("fixtures/good_snapshot_clone.rs");
+    assert_eq!(findings("crates/core/src/good.rs", good), vec![]);
+}
+
+#[test]
+fn snapshot_clone_rule_exempts_the_representation_layer() {
+    // crates/data implements the snapshot types; its internal clones (delta
+    // base materialization, columnar conversion) are the representation.
+    let bad = include_str!("fixtures/bad_snapshot_clone.rs");
+    assert_eq!(findings("crates/data/src/bad.rs", bad), vec![]);
+}
+
+#[test]
 fn every_rule_is_exercised_by_a_fixture() {
     // Guards against adding a rule without fixture coverage.
     let covered = ["thread-rng", "entropy-source", "std-sync-lock",
         "sleep-in-async", "hash-iter-ordered", "pii-display",
-        "raw-atomic-stats"];
+        "raw-atomic-stats", "snapshot-clone"];
     for rule in rdns_lint::ALL_RULES {
         assert!(covered.contains(rule), "rule `{rule}` has no fixture");
     }

@@ -1,0 +1,11 @@
+use rdns_data::{Cadence, DailySnapshot, SnapshotSeries, Snapshotter};
+
+pub fn relay(series: &SnapshotSeries) -> SnapshotSeries {
+    series.clone()
+}
+
+pub fn fork(day: Date) -> (DailySnapshot, DailySnapshot) {
+    let snapper = Snapshotter::new(store());
+    let snap = snapper.take(day);
+    (snap.clone(), snap)
+}

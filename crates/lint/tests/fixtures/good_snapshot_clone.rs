@@ -1,0 +1,17 @@
+use rdns_data::{DeltaSeries, SnapshotSeries};
+
+pub fn total(series: &SnapshotSeries) -> u64 {
+    series.total_responses()
+}
+
+pub fn stream(series: &DeltaSeries) -> usize {
+    let mut days = 0;
+    series.for_each_day(|_| days += 1);
+    days
+}
+
+// A second provider's dataset is an independently owned copy by design.
+pub fn second_provider(series: &SnapshotSeries) -> SnapshotSeries {
+    // lint:allow(snapshot-clone) -- the second provider owns its dataset
+    series.clone()
+}

@@ -523,6 +523,59 @@ pub mod presets {
         }
     }
 
+    /// A synthetic access-provider fleet for the scale bench: `networks`
+    /// organisations of `subnets_per_network` /24 DHCP pools each (one /16
+    /// of address space per organisation, carved from 10/8 upward), with
+    /// `persons_per_subnet` residents per pool. Twelve-hour leases, flat
+    /// occupancy and no holiday calendar keep the event mix that of a quiet
+    /// access network, so worlds of millions of devices stay steppable;
+    /// carry-over rDNS makes every pool publish PTRs.
+    pub fn scale_fleet(
+        networks: usize,
+        subnets_per_network: usize,
+        persons_per_subnet: usize,
+    ) -> Vec<NetworkSpec> {
+        assert!(subnets_per_network <= 256, "one /16 per network");
+        (0..networks)
+            .map(|n| {
+                let base = (10u32 << 24) | ((n as u32) << 16);
+                let subnets = (0..subnets_per_network)
+                    .map(|s| SubnetSpec {
+                        prefix: Ipv4Net::new(
+                            std::net::Ipv4Addr::from(base | ((s as u32) << 8)),
+                            24,
+                        )
+                        .expect("fleet prefixes are valid"),
+                        label: "pool".into(),
+                        role: SubnetRole::DynamicClients {
+                            persons: persons_per_subnet,
+                            person_kind: PersonKind::Resident,
+                            dns: DynDnsMode::CarryOver,
+                        },
+                        building: BuildingTag::None,
+                    })
+                    .collect();
+                NetworkSpec {
+                    name: format!("Scale-{n:05}"),
+                    ntype: NetworkType::Isp,
+                    suffix: format!("scale-{n}.example.net"),
+                    announced: vec![Ipv4Net::new(std::net::Ipv4Addr::from(base), 16)
+                        .expect("fleet prefixes are valid")],
+                    subnets,
+                    icmp: IcmpPolicy::Open,
+                    lease_time: SimDuration::hours(12),
+                    clean_release_prob: 0.4,
+                    anonymity_fraction: 0.05,
+                    device_ping_rate: 0.3,
+                    calendar: HolidayCalendar::None,
+                    occupancy_education: OccupancyTimeline::flat(),
+                    occupancy_housing: OccupancyTimeline::flat(),
+                    seed_persons: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
     /// All nine Table-4 networks at the given population scale.
     pub fn table4_networks(scale: f64) -> Vec<NetworkSpec> {
         vec![
@@ -630,6 +683,24 @@ mod tests {
                     netw.name,
                     sn.prefix
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn scale_fleet_shape() {
+        let fleet = presets::scale_fleet(3, 256, 4);
+        assert_eq!(fleet.len(), 3);
+        let total_subnets: usize = fleet.iter().map(|n| n.subnets.len()).sum();
+        assert_eq!(total_subnets, 3 * 256);
+        let mut seen = std::collections::HashSet::new();
+        for netw in &fleet {
+            assert_eq!(netw.population(), 256 * 4);
+            assert_eq!(netw.announced.len(), 1);
+            assert_eq!(netw.announced[0].len(), 16);
+            for sn in &netw.subnets {
+                assert!(netw.announced[0].covers(&sn.prefix), "{}", sn.prefix);
+                assert!(seen.insert(sn.prefix), "duplicate prefix {}", sn.prefix);
             }
         }
     }
