@@ -255,6 +255,48 @@ mod tests {
         assert_eq!(grid, tl.render_redacted(from, to));
     }
 
+    proptest::proptest! {
+        /// The pii-escape satellite regression: for any owner name and any
+        /// device mix, the redacted matrix never contains a raw owner name
+        /// (neither as a row label nor smuggled through width padding).
+        #[test]
+        fn prop_render_redacted_never_leaks_owner_names(
+            // `[g-z]` is disjoint from hex digits, so a short random name
+            // can never coincide with a substring of a `[pii:xxxxxxxx]`
+            // fingerprint.
+            name in "[g-z]{3,12}",
+            devices in proptest::collection::vec("[g-z]{2,8}", 1..4),
+            day_offsets in proptest::collection::vec(0u32..14, 1..8),
+        ) {
+            let mut log = ScanLog::new();
+            let base = Date::from_ymd(2021, 11, 15);
+            for (i, (dev, off)) in
+                devices.iter().zip(day_offsets.iter().cycle()).enumerate()
+            {
+                let host = format!("{name}s-{dev}.campus.example.edu");
+                let addr = Ipv4Addr::from(u32::from(Ipv4Addr::new(10, 1, 1, 1)) + i as u32);
+                log.push_rdns(
+                    t(base.plus_days(*off as i64), (i % 24) as u8),
+                    addr,
+                    RdnsOutcome::Ptr(Hostname::new(&host)),
+                );
+            }
+            let tl = track_devices(&log, &name);
+            proptest::prop_assert!(!tl.hosts.is_empty());
+            let grid = tl.render_redacted(base, base.plus_days(14));
+            proptest::prop_assert!(
+                !grid.contains(&name),
+                "raw owner name `{name}` leaked into the redacted render:\n{grid}"
+            );
+            for host in &tl.hosts {
+                proptest::prop_assert!(!grid.contains(host.as_str()));
+            }
+            // The revealed render, by contrast, does show the names — the
+            // disclosure is the difference between the two surfaces.
+            proptest::prop_assert!(tl.render(base, base.plus_days(14)).contains(&name));
+        }
+    }
+
     #[test]
     fn case_insensitive_needle() {
         let tl = track_devices(&log_with_brians(), "BRIAN");

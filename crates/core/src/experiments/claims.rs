@@ -158,7 +158,6 @@ pub fn check_claims(scale: &Scale) -> ClaimsReport {
             id: 4,
             claim: "specific clients are trackable from outside",
             passed: !timeline.hosts.is_empty() && tracked_days >= 5,
-            // lint:allow(pii-display) -- only the device *count* reaches the string; no names are formatted
             evidence: format!(
                 "{} brian-named devices tracked over {tracked_days} device-days",
                 timeline.hosts.len()

@@ -5,8 +5,9 @@
 //! path of least resistance*. This module inverts that default: a value
 //! wrapped in [`Pii`] formats as a stable redacted fingerprint, and getting
 //! the raw text back requires the explicit — and greppable — [`Pii::reveal`]
-//! call. The workspace lint (`rdns-lint`, rule `pii-display`) enforces that
-//! owner-derived identifiers only reach formatting macros through this type.
+//! call. The workspace lint (`rdns-lint`, rule `pii-escape`) taint-tracks
+//! owner-derived values from source fns to formatting sinks and enforces
+//! that they only get there through this type.
 //!
 //! `reveal()` is not a loophole; it is the audit trail. Legitimate call
 //! sites are the paper's own case-study renderings (§7 "Life of Brian(s)"
@@ -35,12 +36,14 @@ impl<T> Pii<T> {
     ///
     /// Call sites are policy-audited (grep for `.reveal()`): they must be
     /// case-study/report code where disclosure is the point, or tests.
+    // lint:taint(unwrap)
     pub fn reveal(&self) -> &T {
         &self.0
     }
 
     /// Unwrap, dropping the PII marking. Prefer [`Pii::reveal`] at format
     /// sites so the disclosure stays visible at the point of use.
+    // lint:taint(unwrap)
     pub fn into_inner(self) -> T {
         self.0
     }

@@ -263,7 +263,14 @@ impl ServerCore {
                 recv = socket.recv_from(&mut buf) => {
                     let (len, peer) = recv?;
                     self.stats.received.inc();
-                    if let Some(reply) = self.handle_datagram(&buf[..len], &mut rng) {
+                    // `recv_from` can't report more than the buffer holds,
+                    // but the serve loop must not be one kernel quirk away
+                    // from a panic: an impossible length counts as malformed.
+                    let Some(datagram) = buf.get(..len) else {
+                        self.stats.malformed.inc();
+                        continue;
+                    };
+                    if let Some(reply) = self.handle_datagram(datagram, &mut rng) {
                         // Best-effort send; a full socket buffer is the
                         // client's timeout problem, mirroring real servers.
                         let _ = socket.send_to(&reply, peer).await;
@@ -525,7 +532,9 @@ pub fn answer_from_store(store: &ZoneStore, query: &Message) -> Message {
     if query.header.opcode != Opcode::Query || query.questions.len() != 1 {
         return Message::response_to(query, Rcode::NotImp);
     }
-    let q = &query.questions[0];
+    let Some(q) = query.questions.first() else {
+        return Message::response_to(query, Rcode::NotImp);
+    };
     match store.lookup(&q.qname, q.qtype) {
         LookupResult::Answer(rrs) => {
             let mut resp = Message::response_to(query, Rcode::NoError);
@@ -670,6 +679,19 @@ mod tests {
         let mut buf = vec![0u8; 1500];
         let (n, _) = sock.recv_from(&mut buf).await.unwrap();
         Message::decode(&buf[..n]).unwrap()
+    }
+
+    #[test]
+    fn zero_question_query_answers_notimp_without_panicking() {
+        // The decode path hands `answer_from_store` whatever parsed; a
+        // question-free query must branch into NotImp, not index into an
+        // empty `questions` vec.
+        let store = test_store();
+        let mut q = Message::query(9, Question::ptr_for("192.0.2.34".parse().unwrap()));
+        q.questions.clear();
+        let resp = answer_from_store(&store, &q);
+        assert_eq!(resp.header.rcode, Rcode::NotImp);
+        assert_eq!(resp.header.id, 9);
     }
 
     #[tokio::test]

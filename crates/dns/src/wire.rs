@@ -66,52 +66,59 @@ impl<'a> WireReader<'a> {
         self.buf.len().saturating_sub(self.pos)
     }
 
-    fn need(&self, n: usize) -> Result<(), WireError> {
-        if self.remaining() < n {
-            Err(WireError::Truncated {
-                at: self.pos,
-                need: n - self.remaining(),
-            })
-        } else {
-            Ok(())
+    /// The error for a read of `n` octets that ran off the buffer. The
+    /// subtraction saturates: the serve path decodes attacker-controlled
+    /// datagrams, so even the error constructor must be panic-free.
+    fn truncated(&self, n: usize) -> WireError {
+        WireError::Truncated {
+            at: self.pos,
+            need: n.saturating_sub(self.remaining()),
         }
     }
 
     /// Read one octet.
     pub fn read_u8(&mut self) -> Result<u8, WireError> {
-        self.need(1)?;
-        let v = self.buf[self.pos];
-        self.pos += 1;
-        Ok(v)
+        match self.buf.get(self.pos) {
+            Some(&v) => {
+                self.pos += 1;
+                Ok(v)
+            }
+            None => Err(self.truncated(1)),
+        }
     }
 
     /// Read a big-endian u16.
     pub fn read_u16(&mut self) -> Result<u16, WireError> {
-        self.need(2)?;
-        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
-        self.pos += 2;
-        Ok(v)
+        match self.buf.get(self.pos..self.pos.saturating_add(2)) {
+            Some(&[a, b]) => {
+                self.pos += 2;
+                Ok(u16::from_be_bytes([a, b]))
+            }
+            _ => Err(self.truncated(2)),
+        }
     }
 
     /// Read a big-endian u32.
     pub fn read_u32(&mut self) -> Result<u32, WireError> {
-        self.need(4)?;
-        let v = u32::from_be_bytes([
-            self.buf[self.pos],
-            self.buf[self.pos + 1],
-            self.buf[self.pos + 2],
-            self.buf[self.pos + 3],
-        ]);
-        self.pos += 4;
-        Ok(v)
+        match self.buf.get(self.pos..self.pos.saturating_add(4)) {
+            Some(&[a, b, c, d]) => {
+                self.pos += 4;
+                Ok(u32::from_be_bytes([a, b, c, d]))
+            }
+            _ => Err(self.truncated(4)),
+        }
     }
 
     /// Read `n` raw octets.
     pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        self.need(n)?;
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+        let end = self.pos.saturating_add(n);
+        match self.buf.get(self.pos..end) {
+            Some(s) => {
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(self.truncated(n)),
+        }
     }
 
     /// Read a (possibly compressed) domain name starting at the cursor. The
@@ -289,6 +296,42 @@ mod tests {
         assert_eq!(r.read_bytes(3).unwrap(), b"xyz");
         assert_eq!(r.remaining(), 0);
         assert!(r.read_u8().is_err());
+    }
+
+    #[test]
+    fn short_reads_error_without_advancing() {
+        // One fixed-site test per `.get()`-based reader: a partial field
+        // errs as Truncated and leaves the cursor where it was, so the
+        // serve path can account the datagram and move on.
+        let mut r = WireReader::new(&[0xAB]);
+        assert!(matches!(
+            r.read_u16(),
+            Err(WireError::Truncated { at: 0, need: 1 })
+        ));
+        assert!(matches!(
+            r.read_u32(),
+            Err(WireError::Truncated { at: 0, need: 3 })
+        ));
+        assert!(matches!(
+            r.read_bytes(2),
+            Err(WireError::Truncated { at: 0, need: 1 })
+        ));
+        // The failed reads consumed nothing.
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        assert!(matches!(
+            r.read_u8(),
+            Err(WireError::Truncated { at: 1, need: 1 })
+        ));
+    }
+
+    #[test]
+    fn huge_length_request_saturates_instead_of_overflowing() {
+        // `pos + n` on an attacker-supplied length must not overflow; the
+        // reader saturates and reports how much was actually missing.
+        let mut r = WireReader::new(&[1, 2, 3]);
+        assert!(r.read_bytes(usize::MAX).is_err());
+        assert_eq!(r.position(), 0);
+        assert_eq!(r.read_bytes(3).unwrap(), &[1, 2, 3]);
     }
 
     #[test]

@@ -21,10 +21,11 @@ struct Suppression {
 pub fn apply(origin: &FileOrigin, comments: &[Comment], findings: Vec<Finding>) -> Vec<Finding> {
     let mut suppressions: Vec<Suppression> = Vec::new();
     let mut meta: Vec<Finding> = Vec::new();
-    let mut malformed = |line: u32, message: String| {
+    let mut malformed = |line: u32, col: u32, message: String| {
         meta.push(Finding {
             file: origin.rel_path.clone(),
             line,
+            col,
             rule: "allow-malformed",
             message,
         });
@@ -42,6 +43,7 @@ pub fn apply(origin: &FileOrigin, comments: &[Comment], findings: Vec<Finding>) 
         let Some(open_rel) = rest.find('(') else {
             malformed(
                 c.line,
+                c.col,
                 "lint:allow without a rule list; write lint:allow(rule-name) -- reason"
                     .to_string(),
             );
@@ -51,13 +53,18 @@ pub fn apply(origin: &FileOrigin, comments: &[Comment], findings: Vec<Finding>) 
         if !rest[..open_rel].trim().is_empty() {
             malformed(
                 c.line,
+                c.col,
                 "lint:allow without a rule list; write lint:allow(rule-name) -- reason"
                     .to_string(),
             );
             continue;
         }
         let Some(close_rel) = rest[open_rel..].find(')').map(|k| open_rel + k) else {
-            malformed(c.line, "lint:allow( with no closing parenthesis".to_string());
+            malformed(
+                c.line,
+                c.col,
+                "lint:allow( with no closing parenthesis".to_string(),
+            );
             continue;
         };
         let names: Vec<&str> = rest[open_rel + 1..close_rel]
@@ -66,7 +73,7 @@ pub fn apply(origin: &FileOrigin, comments: &[Comment], findings: Vec<Finding>) 
             .filter(|s| !s.is_empty())
             .collect();
         if names.is_empty() {
-            malformed(c.line, "lint:allow() names no rules".to_string());
+            malformed(c.line, c.col, "lint:allow() names no rules".to_string());
             continue;
         }
         // Mandatory justification: `-- <nonempty text>` after the list.
@@ -75,6 +82,7 @@ pub fn apply(origin: &FileOrigin, comments: &[Comment], findings: Vec<Finding>) 
         if reason.is_none_or(str::is_empty) {
             malformed(
                 c.line,
+                c.col,
                 format!(
                     "lint:allow({}) has no justification; append `-- <why this is safe>`",
                     names.join(", ")
@@ -86,6 +94,7 @@ pub fn apply(origin: &FileOrigin, comments: &[Comment], findings: Vec<Finding>) 
             if !ALL_RULES.contains(&name) {
                 malformed(
                     c.line,
+                    c.col,
                     format!("lint:allow names unknown rule `{name}` (see --list-rules)"),
                 );
                 continue;
@@ -107,6 +116,6 @@ pub fn apply(origin: &FileOrigin, comments: &[Comment], findings: Vec<Finding>) 
         })
         .collect();
     out.extend(meta);
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }

@@ -1,0 +1,598 @@
+//! Pass 2: flow rules over the symbol index and the `lint.toml` manifest.
+//!
+//! Where the token rules in [`crate::rules`] pattern-match one file at a
+//! time, these rules combine three inputs: the per-file token stream, the
+//! cross-file [`SymbolIndex`] (which fns return PII, which metric bindings
+//! are wall-clock), and the [`Manifest`] (which fn bodies are hot paths,
+//! which modules may disclose, which export fns are seed-stable).
+//!
+//! * `pii-escape` — a value originating from a PII-source fn reaches a
+//!   formatting sink, or a `Pii` wrapper is stripped (`reveal`/`into_inner`)
+//!   outside an allowlisted module. Taint is fn-local: every identifier
+//!   bound by a `let` whose initializer calls a PII source is tainted
+//!   (tuples over-taint deliberately — a false negative leaks a name, a
+//!   false positive costs one allowlist line).
+//! * `panic-in-hot-path` — unwrap/expect, indexing, panic-family macros,
+//!   and unchecked `-` inside manifest-declared hot fns.
+//! * `alloc-in-hot-path` — per-event allocation (constructor paths,
+//!   `vec!`/`format!`, `.clone()`-family methods) inside manifest-declared
+//!   alloc-free fns.
+//! * `determinism-flow` — wall-clock reads (`Instant::now`, `.elapsed()`,
+//!   reads of `WallClock`-classified metric bindings) inside
+//!   manifest-declared seed-stable export fns.
+
+use crate::index::{MetricClass, SymbolIndex};
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::manifest::Manifest;
+use crate::parse::{FnInfo, ParsedFile};
+use crate::rules::{
+    finding, format_sink_spans, in_ranges, interpolated_idents, match_path, statement_end,
+    test_line_ranges, FileOrigin, Finding,
+};
+use std::collections::HashSet;
+
+/// Run every flow rule over one file (pass 2).
+pub fn check_file(
+    origin: &FileOrigin,
+    lexed: &Lexed,
+    parsed: &ParsedFile,
+    index: &SymbolIndex,
+    manifest: &Manifest,
+) -> Vec<Finding> {
+    let tokens = &lexed.tokens;
+    let test_ranges = test_line_ranges(tokens);
+    let mut out = Vec::new();
+
+    rule_pii_escape(origin, tokens, parsed, index, manifest, &test_ranges, &mut out);
+    if let Some(hot) = manifest.hot_path_for(&origin.rel_path) {
+        for f in fns_named(parsed, &hot.panic_fns) {
+            rule_panic_in_hot_path(origin, tokens, f, &mut out);
+        }
+        for f in fns_named(parsed, &hot.alloc_fns) {
+            rule_alloc_in_hot_path(origin, tokens, f, &mut out);
+        }
+    }
+    if let Some(stable) = manifest.seed_stable_for(&origin.rel_path) {
+        for f in fns_named(parsed, &stable.fns) {
+            rule_determinism_flow(origin, tokens, f, index, &mut out);
+        }
+    }
+
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Fns whose bare or qualified name appears in `names`.
+fn fns_named<'p>(parsed: &'p ParsedFile, names: &'p [String]) -> impl Iterator<Item = &'p FnInfo> {
+    parsed
+        .fns
+        .iter()
+        .filter(|f| names.iter().any(|n| *n == f.name || *n == f.qualified))
+}
+
+// ---------------------------------------------------------------------------
+// pii-escape
+// ---------------------------------------------------------------------------
+
+fn rule_pii_escape(
+    origin: &FileOrigin,
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    index: &SymbolIndex,
+    manifest: &Manifest,
+    test_ranges: &[(u32, u32)],
+    out: &mut Vec<Finding>,
+) {
+    if !origin.is_crate() || manifest.pii_allowed(&origin.rel_path) {
+        return;
+    }
+    let sink_spans = format_sink_spans(tokens);
+
+    for f in &parsed.fns {
+        let TaintSets { tainted, wrapped } = taint_sets(tokens, f, index);
+
+        // Sinks inside this fn whose arguments carry taint.
+        for &(start, end) in &sink_spans {
+            if start <= f.body.0 || end >= f.body.1 {
+                continue;
+            }
+            let line = tokens[start].line;
+            if in_ranges(test_ranges, line) {
+                continue;
+            }
+            let span = &tokens[start..=end];
+            // A span that wraps through Pii is sanctioned: Display redacts.
+            // (Approximation: one Pii::new in a multi-argument call clears
+            // the whole span; the fixture suite pins this.)
+            if span.iter().any(|t| t.is_ident("Pii")) {
+                continue;
+            }
+            let mut hits: Vec<(usize, String)> = Vec::new();
+            for (off, t) in span.iter().enumerate() {
+                match t.kind {
+                    TokenKind::Ident if tainted.contains(&t.text) => {
+                        hits.push((start + off, t.text.clone()));
+                    }
+                    // A PII source called directly inside the sink.
+                    TokenKind::Ident
+                        if index.is_pii_source(&t.text)
+                            && span.get(off + 1).is_some_and(|n| n.is_punct('(')) =>
+                    {
+                        hits.push((start + off, format!("{}()", t.text)));
+                    }
+                    TokenKind::Str => {
+                        for name in interpolated_idents(&t.text) {
+                            if tainted.contains(&name) {
+                                hits.push((start + off, name));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let mut seen: HashSet<String> = HashSet::new();
+            for (idx, name) in hits {
+                if seen.insert(name.clone()) {
+                    out.push(finding(
+                        origin,
+                        &tokens[idx],
+                        "pii-escape",
+                        format!(
+                            "`{name}` flows from a PII source into a formatting sink in \
+                             `{}` without the Pii<_> redaction wrapper; wrap it, or \
+                             allowlist the module in lint.toml with a written reason",
+                            f.qualified
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // Pii unwraps (`.reveal()`, `.into_inner()`) on a Pii-carrying chain.
+        for k in f.body.0 + 1..f.body.1 {
+            let t = &tokens[k];
+            if t.kind != TokenKind::Ident || !index.is_pii_unwrap(&t.text) {
+                continue;
+            }
+            if !(k > 0
+                && tokens[k - 1].is_punct('.')
+                && tokens.get(k + 1).is_some_and(|n| n.is_punct('(')))
+            {
+                continue;
+            }
+            if in_ranges(test_ranges, t.line) {
+                continue;
+            }
+            let chain = receiver_chain_idents(tokens, k - 1);
+            if chain
+                .iter()
+                .any(|c| c == "Pii" || tainted.contains(c) || wrapped.contains(c))
+            {
+                out.push(finding(
+                    origin,
+                    t,
+                    "pii-escape",
+                    format!(
+                        ".{}() strips the Pii redaction wrapper in `{}`; disclosure \
+                         must live in a lint.toml-allowlisted module with a written \
+                         reason",
+                        t.text, f.qualified
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Fn-local taint state. `tainted` idents carry *raw* owner-derived text
+/// (flagged at formatting sinks); `wrapped` idents hold a `Pii<_>` value
+/// (safe to display — Display redacts — but flagged when the wrapper is
+/// stripped via `reveal`/`into_inner`).
+#[derive(Default)]
+struct TaintSets {
+    tainted: HashSet<String>,
+    wrapped: HashSet<String>,
+}
+
+/// Compute taint inside one fn body: every identifier bound by a `let`
+/// whose initializer (up to the statement end) calls a PII-source fn is
+/// tainted; bindings whose initializer mentions `Pii` or calls a qualified
+/// `Type::fn` known to return `Pii<_>` are wrapped. Tuple/struct patterns
+/// taint every bound name — deliberate over-taint (a false negative leaks a
+/// name, a false positive costs one allowlist line). Wrapper fns invoked as
+/// bare method calls (`h.redacted()`) are not tracked — only qualified
+/// paths — so `Vec::new()` can never look wrapped.
+fn taint_sets(tokens: &[Token], f: &FnInfo, index: &SymbolIndex) -> TaintSets {
+    let mut sets = TaintSets::default();
+    let mut k = f.body.0 + 1;
+    while k < f.body.1 {
+        if !tokens[k].is_ident("let") {
+            k += 1;
+            continue;
+        }
+        let stmt_end = statement_end(tokens, k).min(f.body.1);
+        // `if let` / `while let` have no trailing `;`: the initializer is
+        // the condition expression and ends at the block `{` (struct
+        // literals are not legal unparenthesized in condition position, so
+        // a depth-0 `{` is always the block). Without this bound the
+        // "initializer" swallows the whole block body and every statement
+        // in it cross-taints the condition's pattern idents.
+        let cond_let = tokens[k - 1].is_ident("if") || tokens[k - 1].is_ident("while");
+        // Split at the first top-level `=`.
+        let Some(eq) = (k + 1..stmt_end).find(|&j| {
+            tokens[j].is_punct('=')
+                && !tokens.get(j + 1).is_some_and(|n| n.is_punct('='))
+                && !tokens[j - 1].is_punct('=')
+                && !tokens[j - 1].is_punct('!')
+                && !tokens[j - 1].is_punct('<')
+                && !tokens[j - 1].is_punct('>')
+        }) else {
+            k = stmt_end + 1;
+            continue;
+        };
+        let init_end = init_end(tokens, eq + 1, stmt_end, cond_let);
+        let init = &tokens[eq + 1..init_end];
+        let calls_source = init.iter().enumerate().any(|(off, t)| {
+            t.kind == TokenKind::Ident
+                && index.is_pii_source(&t.text)
+                && init.get(off + 1).is_some_and(|n| n.is_punct('('))
+        });
+        let carries_taint = calls_source
+            || init
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && sets.tainted.contains(&t.text));
+        let calls_wrapper = init.iter().enumerate().any(|(off, t)| {
+            t.kind == TokenKind::Ident
+                && (t.is_ident("Pii")
+                    || (init.get(off + 1).is_some_and(|n| n.is_punct(':'))
+                        && init.get(off + 2).is_some_and(|n| n.is_punct(':'))
+                        && init.get(off + 3).is_some_and(|n| {
+                            n.kind == TokenKind::Ident
+                                && index.is_pii_wrapper(&format!("{}::{}", t.text, n.text))
+                        })))
+        });
+        let carries_wrap = calls_wrapper
+            || init
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && sets.wrapped.contains(&t.text));
+        if carries_taint || carries_wrap {
+            // Pattern idents between `let` and `=` (minus type ascription).
+            let colon = (k + 1..eq).find(|&j| {
+                tokens[j].is_punct(':') && !tokens.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            });
+            let pat_end = colon.unwrap_or(eq);
+            for t in &tokens[k + 1..pat_end] {
+                if t.kind == TokenKind::Ident && !t.is_ident("mut") {
+                    if carries_taint {
+                        sets.tainted.insert(t.text.clone());
+                    } else {
+                        sets.wrapped.insert(t.text.clone());
+                    }
+                }
+            }
+        }
+        k = init_end + 1;
+    }
+    sets
+}
+
+/// End of a `let` initializer starting at `from`: `limit` (the statement
+/// end), or earlier for forms whose initializer stops at a block. For
+/// `if let`/`while let` (`cond`) that is the first depth-0 `{`; for
+/// `let … else { … };` it is the depth-0 `else` (distinguished from an
+/// if/else chain in the initializer, where `else` follows a `}`).
+fn init_end(tokens: &[Token], from: usize, limit: usize, cond: bool) -> usize {
+    let mut depth = 0i32;
+    for j in from..limit {
+        let t = &tokens[j];
+        if t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('{') {
+            if cond && depth == 0 {
+                return j;
+            }
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if !cond
+            && depth == 0
+            && t.is_ident("else")
+            && (j == from || !tokens[j - 1].is_punct('}'))
+        {
+            return j;
+        }
+    }
+    limit
+}
+
+/// Identifiers in the method-receiver chain ending at the `.` at `dot_idx`,
+/// walking left over `ident`, `::`, `.`, and complete `(...)` groups.
+fn receiver_chain_idents(tokens: &[Token], dot_idx: usize) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut j = dot_idx;
+    while j > 0 {
+        let prev = &tokens[j - 1];
+        if prev.kind == TokenKind::Ident {
+            idents.push(prev.text.clone());
+            j -= 1;
+        } else if prev.is_punct('.') || prev.is_punct(':') {
+            j -= 1;
+        } else if prev.is_punct(')') {
+            // Skip the whole call/paren group.
+            let mut depth = 0i32;
+            let mut m = j - 1;
+            loop {
+                if tokens[m].is_punct(')') {
+                    depth += 1;
+                } else if tokens[m].is_punct('(') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if m == 0 {
+                    return idents;
+                }
+                m -= 1;
+            }
+            // Include idents inside the group (the `host` of `Pii::new(host)`).
+            for t in &tokens[m..j] {
+                if t.kind == TokenKind::Ident {
+                    idents.push(t.text.clone());
+                }
+            }
+            j = m;
+        } else {
+            break;
+        }
+    }
+    idents
+}
+
+// ---------------------------------------------------------------------------
+// panic-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// Macros that compile to a panic (assert-family included: a failed assert
+/// in the serve loop is still an abort under panic=abort).
+/// Keywords that may directly precede `[` without forming an index
+/// expression (patterns, array literals, returns of array literals).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "mut", "ref", "else", "return", "break", "match", "move",
+];
+
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+fn rule_panic_in_hot_path(
+    origin: &FileOrigin,
+    tokens: &[Token],
+    f: &FnInfo,
+    out: &mut Vec<Finding>,
+) {
+    let hot = |what: &str| {
+        format!(
+            "{what} inside hot-path fn `{}` (declared in lint.toml); branch into a \
+             typed telemetry counter instead of aborting the serve/sweep loop",
+            f.qualified
+        )
+    };
+    for k in f.body.0 + 1..f.body.1 {
+        let t = &tokens[k];
+        // `.unwrap()` / `.expect(…)`.
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && tokens[k - 1].is_punct('.')
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(finding(
+                origin,
+                t,
+                "panic-in-hot-path",
+                hot(&format!(".{}()", t.text)),
+            ));
+            continue;
+        }
+        // panic-family macros.
+        if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(finding(
+                origin,
+                t,
+                "panic-in-hot-path",
+                hot(&format!("{}!", t.text)),
+            ));
+            continue;
+        }
+        // Indexing: `expr[...]` — `[` directly after an ident, `)`, or `]`.
+        // Keywords lex as idents but introduce slice patterns or array
+        // literals (`let [hi, lo, ..] = …`, `for b in [..]`), not indexing.
+        if t.is_punct('[') {
+            let indexes = (tokens[k - 1].kind == TokenKind::Ident
+                && !NON_INDEX_KEYWORDS.iter().any(|kw| tokens[k - 1].is_ident(kw)))
+                || tokens[k - 1].is_punct(')')
+                || tokens[k - 1].is_punct(']');
+            if indexes {
+                out.push(finding(
+                    origin,
+                    t,
+                    "panic-in-hot-path",
+                    hot("slice/array indexing (panics out of bounds; use .get())"),
+                ));
+            }
+            continue;
+        }
+        // Unchecked binary `-` (underflow aborts in debug, wraps in
+        // release): operands on both sides, not `-=`, `->`, or unary.
+        if t.is_punct('-') {
+            let next = tokens.get(k + 1);
+            if next.is_some_and(|n| n.is_punct('=') || n.is_punct('>')) {
+                continue;
+            }
+            let lhs = tokens[k - 1].kind == TokenKind::Ident
+                || tokens[k - 1].kind == TokenKind::Number
+                || tokens[k - 1].is_punct(')')
+                || tokens[k - 1].is_punct(']');
+            let rhs = next.is_some_and(|n| {
+                n.kind == TokenKind::Ident || n.kind == TokenKind::Number || n.is_punct('(')
+            });
+            if lhs && rhs {
+                out.push(finding(
+                    origin,
+                    t,
+                    "panic-in-hot-path",
+                    hot("unchecked `-` (use saturating_sub/checked_sub)"),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// alloc-in-hot-path
+// ---------------------------------------------------------------------------
+
+/// `Type::method` constructor paths that allocate.
+const ALLOC_PATHS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("String", "new"),
+    ("String", "from"),
+    ("String", "with_capacity"),
+    ("Box", "new"),
+];
+
+/// Allocating macros.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Allocating methods (`.clone()` on hot-path types copies buffers).
+const ALLOC_METHODS: &[&str] = &["clone", "to_string", "to_vec", "to_owned"];
+
+fn rule_alloc_in_hot_path(
+    origin: &FileOrigin,
+    tokens: &[Token],
+    f: &FnInfo,
+    out: &mut Vec<Finding>,
+) {
+    let hot = |what: &str| {
+        format!(
+            "{what} allocates per event inside alloc-free fn `{}` (declared in \
+             lint.toml); reuse a scratch buffer sized at setup",
+            f.qualified
+        )
+    };
+    for k in f.body.0 + 1..f.body.1 {
+        let t = &tokens[k];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        for (ty, method) in ALLOC_PATHS {
+            if t.is_ident(ty) && match_path(tokens, k + 1, &[method]) {
+                out.push(finding(
+                    origin,
+                    t,
+                    "alloc-in-hot-path",
+                    hot(&format!("{ty}::{method}")),
+                ));
+            }
+        }
+        if ALLOC_MACROS.iter().any(|m| t.is_ident(m))
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('!'))
+        {
+            out.push(finding(
+                origin,
+                t,
+                "alloc-in-hot-path",
+                hot(&format!("{}!", t.text)),
+            ));
+        }
+        if ALLOC_METHODS.iter().any(|m| t.is_ident(m))
+            && tokens[k - 1].is_punct('.')
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(finding(
+                origin,
+                t,
+                "alloc-in-hot-path",
+                hot(&format!(".{}()", t.text)),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// determinism-flow
+// ---------------------------------------------------------------------------
+
+/// Read methods on metric handles whose values are timing-dependent.
+const METRIC_READS: &[&str] = &["get", "count", "sum", "quantile", "bucket_counts"];
+
+fn rule_determinism_flow(
+    origin: &FileOrigin,
+    tokens: &[Token],
+    f: &FnInfo,
+    index: &SymbolIndex,
+    out: &mut Vec<Finding>,
+) {
+    let stable = |what: &str| {
+        format!(
+            "{what} inside seed-stable export fn `{}` (declared in lint.toml); the \
+             artefact must be a pure function of the seed — export wall-clock data \
+             through the non-deterministic surface instead",
+            f.qualified
+        )
+    };
+    for k in f.body.0 + 1..f.body.1 {
+        let t = &tokens[k];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // Direct clock reads.
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && match_path(tokens, k + 1, &["now"])
+        {
+            out.push(finding(
+                origin,
+                t,
+                "determinism-flow",
+                stable(&format!("{}::now()", t.text)),
+            ));
+            continue;
+        }
+        if t.is_ident("elapsed")
+            && tokens[k - 1].is_punct('.')
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+        {
+            out.push(finding(origin, t, "determinism-flow", stable(".elapsed()")));
+            continue;
+        }
+        // Reads of a WallClock-classified metric binding:
+        // `<binding> . get ( … )`, `self . <binding> . quantile ( … )`.
+        if METRIC_READS.iter().any(|m| t.is_ident(m))
+            && tokens[k - 1].is_punct('.')
+            && tokens.get(k + 1).is_some_and(|n| n.is_punct('('))
+            && k >= 2
+            && tokens[k - 2].kind == TokenKind::Ident
+            && index.metric_class(&tokens[k - 2].text) == Some(MetricClass::WallClock)
+        {
+            out.push(finding(
+                origin,
+                t,
+                "determinism-flow",
+                stable(&format!(
+                    "`{}.{}()` reads a wall_clock metric",
+                    tokens[k - 2].text, t.text
+                )),
+            ));
+        }
+    }
+}

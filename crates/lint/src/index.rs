@@ -1,0 +1,281 @@
+//! Pass 1 output: the cross-file symbol index the flow rules consume.
+//!
+//! Built from every parsed file before any rule runs, so pass 2 can answer
+//! "is `sample` a PII source?" for a call in `crates/netsim` when the fn is
+//! declared in `crates/model`. Three facts are indexed:
+//!
+//! * **PII sources** — fns whose return type mentions `Pii`, or that carry a
+//!   `// lint:taint(source)` mark (owner-derived text behind a plain type).
+//! * **PII unwraps** — fns marked `// lint:taint(unwrap)`: the explicit,
+//!   greppable disclosure opt-outs (`reveal`, `into_inner`).
+//! * **metric classes** — identifiers bound to registry-backed metric
+//!   handles, classified `SeedStable` or `WallClock` from the `Determinism`
+//!   argument at the registration call. Both `let h = registry.histogram(…)`
+//!   bindings and `field: registry.counter(…)` struct-literal fields are
+//!   resolved; closure-wrapped registrations (`let c = |n, h| registry.
+//!   counter(n, h, Determinism::WallClock)`) classify the closure binding
+//!   itself, which is a documented approximation — handles minted through
+//!   the closure inherit no class and the rule stays silent on them.
+
+use crate::lexer::{Lexed, TokenKind};
+use crate::parse::{ParsedFile, Taint};
+use std::collections::{HashMap, HashSet};
+
+/// Determinism class of a metric binding, mirrored from `rdns_telemetry`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Identical across seeds-equal runs; safe in deterministic exports.
+    SeedStable,
+    /// Timing-dependent; must never feed a seed-stable artefact.
+    WallClock,
+}
+
+/// The workspace-wide symbol index.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Bare and `Type::`-qualified names of `lint:taint(source)` fns: their
+    /// return value is *raw* owner-derived text. Bare-name call-site
+    /// matching is deliberate — the mark is an explicit opt-in, so the
+    /// author owns the name's distinctiveness.
+    pub pii_sources: HashSet<String>,
+    /// `Type::fn`-qualified names of fns returning `Pii<_>`: their return
+    /// value is *wrapped* (safe to display, dangerous to unwrap). Qualified
+    /// only — `Pii::new` must not make every `Vec::new()` suspicious.
+    pub pii_wrappers: HashSet<String>,
+    /// Bare and qualified names of Pii-unwrapping fns (`lint:taint(unwrap)`).
+    pub pii_unwraps: HashSet<String>,
+    /// Metric binding name → class, unioned across files. A name registered
+    /// `WallClock` anywhere classifies as `WallClock` (conservative: the
+    /// determinism-flow rule exists to catch wall-clock reads).
+    pub metric_class: HashMap<String, MetricClass>,
+}
+
+impl SymbolIndex {
+    /// Whether a call to `name` (bare fn name as it appears at the call
+    /// site) returns raw owner-derived text.
+    pub fn is_pii_source(&self, name: &str) -> bool {
+        self.pii_sources.contains(name)
+    }
+
+    /// Whether the qualified call `Type::fn` returns a `Pii<_>` wrapper.
+    pub fn is_pii_wrapper(&self, qualified: &str) -> bool {
+        self.pii_wrappers.contains(qualified)
+    }
+
+    /// Whether method `name` strips a `Pii` wrapper.
+    pub fn is_pii_unwrap(&self, name: &str) -> bool {
+        self.pii_unwraps.contains(name)
+    }
+
+    /// The class of metric binding `name`, if registered anywhere.
+    pub fn metric_class(&self, name: &str) -> Option<MetricClass> {
+        self.metric_class.get(name).copied()
+    }
+}
+
+/// Build the index over every file of the workspace (pass 1).
+pub fn build<'a, I>(files: I) -> SymbolIndex
+where
+    I: IntoIterator<Item = (&'a Lexed, &'a ParsedFile)>,
+{
+    let mut idx = SymbolIndex::default();
+    for (lexed, parsed) in files {
+        index_fns(parsed, &mut idx);
+        index_metric_bindings(lexed, &mut idx);
+    }
+    idx
+}
+
+fn index_fns(parsed: &ParsedFile, idx: &mut SymbolIndex) {
+    for f in &parsed.fns {
+        if f.taint == Some(Taint::Source) {
+            idx.pii_sources.insert(f.name.clone());
+            idx.pii_sources.insert(f.qualified.clone());
+        }
+        if f.returns_pii {
+            idx.pii_wrappers.insert(f.qualified.clone());
+        }
+        if f.taint == Some(Taint::Unwrap) {
+            idx.pii_unwraps.insert(f.name.clone());
+            idx.pii_unwraps.insert(f.qualified.clone());
+        }
+    }
+}
+
+/// Registration methods on `rdns_telemetry::Registry`.
+const REGISTER_METHODS: &[&str] = &["counter", "gauge", "histogram"];
+
+fn index_metric_bindings(lexed: &Lexed, idx: &mut SymbolIndex) {
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        // `<recv> . counter ( … Determinism :: WallClock … )` — a method
+        // call, so the previous token must be `.`.
+        if !REGISTER_METHODS.iter().any(|m| t.is_ident(m)) {
+            continue;
+        }
+        if i == 0 || !tokens[i - 1].is_punct('.') {
+            continue;
+        }
+        let Some(open) = tokens
+            .get(i + 1)
+            .filter(|n| n.is_punct('('))
+            .map(|_| i + 1)
+        else {
+            continue;
+        };
+        let Some(close) = crate::rules::matching_delim(tokens, open, '(', ')') else {
+            continue;
+        };
+        let args = &tokens[open + 1..close];
+        let class = args.iter().find_map(|a| {
+            if a.is_ident("WallClock") {
+                Some(MetricClass::WallClock)
+            } else if a.is_ident("SeedStable") {
+                Some(MetricClass::SeedStable)
+            } else {
+                None
+            }
+        });
+        let Some(class) = class else {
+            continue; // a non-registry method that happens to share a name
+        };
+        let Some(binder) = resolve_binder(tokens, i) else {
+            continue;
+        };
+        // WallClock wins on conflict: flagging a read is recoverable (a
+        // justified allow), missing one is not.
+        idx.metric_class
+            .entry(binder)
+            .and_modify(|c| {
+                if class == MetricClass::WallClock {
+                    *c = MetricClass::WallClock;
+                }
+            })
+            .or_insert(class);
+    }
+}
+
+/// The identifier a registration call binds to: the `let [mut] name` opening
+/// the statement, or the `name :` struct-literal field directly before the
+/// receiver chain.
+fn resolve_binder(tokens: &[crate::lexer::Token], call_ident: usize) -> Option<String> {
+    // Walk left past the receiver chain (`registry . counter`, possibly
+    // `self . registry . counter`).
+    let mut j = call_ident;
+    while j >= 2
+        && tokens[j - 1].is_punct('.')
+        && tokens[j - 2].kind == TokenKind::Ident
+    {
+        j -= 2;
+    }
+    if j == 0 {
+        return None;
+    }
+    // Struct-literal field: `name : receiver…` (single colon).
+    if tokens[j - 1].is_punct(':')
+        && j >= 2
+        && !tokens.get(j.wrapping_sub(2)).is_some_and(|p| p.is_punct(':'))
+        && tokens[j - 2].kind == TokenKind::Ident
+    {
+        return Some(tokens[j - 2].text.clone());
+    }
+    // `let [mut] name [: Ty] = receiver…` (or `= |args| receiver…` for the
+    // closure-wrapped form).
+    let mut k = j;
+    // Skip back over closure parameter list `|a, b|` and `=`.
+    while k > 0 && !tokens[k - 1].is_punct('=') && !tokens[k - 1].is_punct(';') {
+        if tokens[k - 1].is_punct('{') || tokens[k - 1].is_punct('}') {
+            return None;
+        }
+        k -= 1;
+    }
+    if k == 0 || !tokens[k - 1].is_punct('=') {
+        return None;
+    }
+    // From `=`, scan left to `let`.
+    let mut s = k - 1;
+    while s > 0 && !tokens[s - 1].is_punct(';') && !tokens[s - 1].is_punct('{') {
+        s -= 1;
+        if tokens[s].is_ident("let") {
+            let mut n = s + 1;
+            if tokens.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            return tokens
+                .get(n)
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.clone());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parse::parse_file;
+
+    fn index_of(src: &str) -> SymbolIndex {
+        let lexed = lex(src);
+        let parsed = parse_file(&lexed);
+        build([(&lexed, &parsed)])
+    }
+
+    #[test]
+    fn pii_fns_are_indexed_bare_and_qualified() {
+        let idx = index_of(
+            "impl Hostname {\n\
+                 // lint:taint(source)\n\
+                 pub fn as_str(&self) -> &str { &self.0 }\n\
+             }\n\
+             impl Pii {\n\
+                 fn new(s: String) -> Pii<String> { Pii(s) }\n\
+             }\n",
+        );
+        assert!(idx.is_pii_source("as_str"));
+        assert!(idx.pii_sources.contains("Hostname::as_str"));
+        assert!(!idx.is_pii_source("other"));
+        // Pii-returning fns are wrappers, qualified only: a bare `new` call
+        // site must never match.
+        assert!(idx.is_pii_wrapper("Pii::new"));
+        assert!(!idx.is_pii_source("new"));
+    }
+
+    #[test]
+    fn metric_bindings_classify_from_registration() {
+        let idx = index_of(
+            "fn build(registry: &Registry) -> M {\n\
+                 let lat = registry.histogram(\"x\", \"h\", Determinism::WallClock);\n\
+                 M {\n\
+                     probes: registry.counter(\"p\", \"h\", Determinism::SeedStable),\n\
+                     stalls: registry.counter(\"s\", \"h\", Determinism::WallClock),\n\
+                     lat,\n\
+                 }\n\
+             }\n",
+        );
+        assert_eq!(idx.metric_class("lat"), Some(MetricClass::WallClock));
+        assert_eq!(idx.metric_class("probes"), Some(MetricClass::SeedStable));
+        assert_eq!(idx.metric_class("stalls"), Some(MetricClass::WallClock));
+        assert_eq!(idx.metric_class("registry"), None);
+    }
+
+    #[test]
+    fn closure_wrapped_registration_classifies_the_closure() {
+        let idx = index_of(
+            "fn build(registry: &Registry) {\n\
+                 let c = |name, help| registry.counter(name, help, Determinism::WallClock);\n\
+             }\n",
+        );
+        assert_eq!(idx.metric_class("c"), Some(MetricClass::WallClock));
+    }
+
+    #[test]
+    fn wall_clock_wins_on_conflicting_registrations() {
+        let idx = index_of(
+            "fn a(r: &Registry) { let m = r.counter(\"x\", \"h\", Determinism::SeedStable); }\n\
+             fn b(r: &Registry) { let m = r.counter(\"y\", \"h\", Determinism::WallClock); }\n",
+        );
+        assert_eq!(idx.metric_class("m"), Some(MetricClass::WallClock));
+    }
+}

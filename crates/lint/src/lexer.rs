@@ -42,6 +42,9 @@ pub struct Token {
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
+    /// 1-based byte column the token starts on (the opening quote/prefix for
+    /// string-like tokens).
+    pub col: u32,
 }
 
 impl Token {
@@ -65,6 +68,8 @@ pub struct Comment {
     pub line: u32,
     /// 1-based line the comment ends on (equals `line` for line comments).
     pub end_line: u32,
+    /// 1-based byte column of the opening `//` or `/*`.
+    pub col: u32,
 }
 
 /// Output of [`lex`]: code tokens and comments, separately.
@@ -80,6 +85,8 @@ struct Cursor<'a> {
     src: &'a [u8],
     pos: usize,
     line: u32,
+    /// Byte offset of the first byte of the current line.
+    line_start: usize,
 }
 
 impl<'a> Cursor<'a> {
@@ -91,11 +98,17 @@ impl<'a> Cursor<'a> {
         self.src.get(self.pos + off).copied()
     }
 
+    /// 1-based column of the cursor position on its line.
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start + 1) as u32
+    }
+
     fn bump(&mut self) -> Option<u8> {
         let b = self.peek()?;
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
+            self.line_start = self.pos;
         }
         Some(b)
     }
@@ -120,6 +133,7 @@ pub fn lex(src: &str) -> Lexed {
         src: src.as_bytes(),
         pos: 0,
         line: 1,
+        line_start: 0,
     };
     let mut out = Lexed::default();
 
@@ -132,6 +146,7 @@ pub fn lex(src: &str) -> Lexed {
         // Comments.
         if cur.starts_with("//") {
             let line = cur.line;
+            let col = cur.col();
             let start = cur.pos + 2;
             while let Some(c) = cur.peek() {
                 if c == b'\n' {
@@ -143,11 +158,13 @@ pub fn lex(src: &str) -> Lexed {
                 text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
                 line,
                 end_line: line,
+                col,
             });
             continue;
         }
         if cur.starts_with("/*") {
             let line = cur.line;
+            let col = cur.col();
             let start = cur.pos + 2;
             cur.bump();
             cur.bump();
@@ -172,6 +189,7 @@ pub fn lex(src: &str) -> Lexed {
                 text: String::from_utf8_lossy(&cur.src[start..end]).into_owned(),
                 line,
                 end_line: cur.line,
+                col,
             });
             continue;
         }
@@ -183,6 +201,7 @@ pub fn lex(src: &str) -> Lexed {
         // Identifiers / keywords.
         if is_ident_start(b) {
             let line = cur.line;
+            let col = cur.col();
             let start = cur.pos;
             while cur.peek().is_some_and(is_ident_continue) {
                 cur.bump();
@@ -191,6 +210,7 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::Ident,
                 text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
                 line,
+                col,
             });
             continue;
         }
@@ -199,6 +219,7 @@ pub fn lex(src: &str) -> Lexed {
         // three tokens).
         if b.is_ascii_digit() {
             let line = cur.line;
+            let col = cur.col();
             let start = cur.pos;
             while let Some(c) = cur.peek() {
                 let joins = c.is_ascii_alphanumeric()
@@ -215,26 +236,31 @@ pub fn lex(src: &str) -> Lexed {
                 kind: TokenKind::Number,
                 text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
                 line,
+                col,
             });
             continue;
         }
         // Strings.
         if b == b'"' {
-            lex_quoted_string(&mut cur, &mut out);
+            let col = cur.col();
+            lex_quoted_string(&mut cur, &mut out, col);
             continue;
         }
         // Char literal vs. lifetime.
         if b == b'\'' {
-            lex_char_or_lifetime(&mut cur, &mut out);
+            let col = cur.col();
+            lex_char_or_lifetime(&mut cur, &mut out, col);
             continue;
         }
         // Everything else: one punct char.
         let line = cur.line;
+        let col = cur.col();
         cur.bump();
         out.tokens.push(Token {
             kind: TokenKind::Punct,
             text: (b as char).to_string(),
             line,
+            col,
         });
     }
     out
@@ -244,6 +270,7 @@ pub fn lex(src: &str) -> Lexed {
 /// literal forms. Returns true when it consumed something.
 fn lex_raw_or_prefixed(cur: &mut Cursor, out: &mut Lexed) -> bool {
     let b0 = cur.peek().unwrap();
+    let col = cur.col();
     // r#ident (raw identifier): emit the ident without the r# prefix so
     // rules match `r#async` as `async`.
     if b0 == b'r'
@@ -261,6 +288,7 @@ fn lex_raw_or_prefixed(cur: &mut Cursor, out: &mut Lexed) -> bool {
             kind: TokenKind::Ident,
             text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
             line,
+            col,
         });
         return true;
     }
@@ -304,6 +332,7 @@ fn lex_raw_or_prefixed(cur: &mut Cursor, out: &mut Lexed) -> bool {
                 text: String::from_utf8_lossy(&cur.src[start..end.min(cur.src.len())])
                     .into_owned(),
                 line,
+                col,
             });
             return true;
         }
@@ -315,14 +344,14 @@ fn lex_raw_or_prefixed(cur: &mut Cursor, out: &mut Lexed) -> bool {
                 for _ in 0..plen {
                     cur.bump();
                 }
-                lex_quoted_string(cur, out);
+                lex_quoted_string(cur, out, col);
                 return true;
             }
             Some(b'\'') => {
                 for _ in 0..plen {
                     cur.bump();
                 }
-                lex_char_or_lifetime(cur, out);
+                lex_char_or_lifetime(cur, out, col);
                 return true;
             }
             _ => {}
@@ -331,8 +360,9 @@ fn lex_raw_or_prefixed(cur: &mut Cursor, out: &mut Lexed) -> bool {
     false
 }
 
-/// Consume a `"…"` string starting at the opening quote.
-fn lex_quoted_string(cur: &mut Cursor, out: &mut Lexed) {
+/// Consume a `"…"` string starting at the opening quote. `col` is the column
+/// of the literal's first byte (the prefix for `b"…"`-style forms).
+fn lex_quoted_string(cur: &mut Cursor, out: &mut Lexed, col: u32) {
     let line = cur.line;
     cur.bump(); // opening quote
     let start = cur.pos;
@@ -354,12 +384,13 @@ fn lex_quoted_string(cur: &mut Cursor, out: &mut Lexed) {
         kind: TokenKind::Str,
         text: String::from_utf8_lossy(&cur.src[start..end.min(cur.src.len())]).into_owned(),
         line,
+        col,
     });
 }
 
 /// Disambiguate `'a` (lifetime) from `'a'` / `'\n'` (char literal), starting
-/// at the quote.
-fn lex_char_or_lifetime(cur: &mut Cursor, out: &mut Lexed) {
+/// at the quote. `col` is the column of the literal's first byte.
+fn lex_char_or_lifetime(cur: &mut Cursor, out: &mut Lexed, col: u32) {
     let line = cur.line;
     // Lifetime: quote, ident-start, ident-continue*, NOT followed by a
     // closing quote right after the first char.
@@ -373,6 +404,7 @@ fn lex_char_or_lifetime(cur: &mut Cursor, out: &mut Lexed) {
             kind: TokenKind::Lifetime,
             text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
             line,
+            col,
         });
         return;
     }
@@ -402,6 +434,7 @@ fn lex_char_or_lifetime(cur: &mut Cursor, out: &mut Lexed) {
         kind: TokenKind::Char,
         text: String::from_utf8_lossy(&cur.src[start..end.min(cur.src.len())]).into_owned(),
         line,
+        col,
     });
 }
 
@@ -494,6 +527,21 @@ mod tests {
         let lexed = lex("a\nb\n\nc");
         let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn columns_are_one_based_and_reset_per_line() {
+        let lexed = lex("let x = foo();\n    bar(b\"s\");");
+        let at = |text: &str| {
+            let t = lexed.tokens.iter().find(|t| t.text == text).unwrap();
+            (t.line, t.col)
+        };
+        assert_eq!(at("let"), (1, 1));
+        assert_eq!(at("x"), (1, 5));
+        assert_eq!(at("foo"), (1, 9));
+        assert_eq!(at("bar"), (2, 5));
+        // A prefixed string's column is its first byte (the `b`), not the quote.
+        assert_eq!(at("s"), (2, 9));
     }
 
     #[test]

@@ -2,44 +2,95 @@
 //!
 //! The build is hermetic (no registry access), so policy that `clippy`
 //! cannot express — and that no third-party lint crate can be pulled in to
-//! check — is enforced here instead. The analyzer is stdlib-only: a small
-//! hand-rolled lexer ([`lexer`]) turns each source file into a token stream
-//! (so matches inside strings, comments, and doc text never count), and the
-//! rule families in [`rules`] walk that stream:
+//! check — is enforced here instead. The analyzer is stdlib-only and runs
+//! in two passes:
 //!
-//! * **determinism** — `thread-rng`, `entropy-source`, `hash-iter-ordered`
-//! * **concurrency hygiene** — `std-sync-lock`, `sleep-in-async`
-//! * **PII hygiene** — `pii-display` (the `rdns_core::redact::Pii<T>`
-//!   wrapper is the only sanctioned route from an owner-derived value to
-//!   formatted output)
+//! **Pass 1** lexes every file ([`lexer`] — matches inside strings,
+//! comments, and doc text never count), recovers the fn-level structure
+//! ([`parse`] — no `syn`, just body spans, impl qualification, `Pii` return
+//! types, and `lint:taint` marks), and builds the cross-file
+//! [`index::SymbolIndex`] plus the [`manifest::Manifest`] from `lint.toml`.
+//!
+//! **Pass 2** runs two rule families over each file:
+//!
+//! * token rules ([`rules`]) — `thread-rng`, `entropy-source`,
+//!   `std-sync-lock`, `sleep-in-async`, `hash-iter-ordered`,
+//!   `raw-atomic-stats`, `snapshot-clone`
+//! * flow rules ([`flow`]) — `pii-escape` (taint from PII-source fns to
+//!   formatting sinks, replacing the old naming-convention `pii-display`),
+//!   `panic-in-hot-path`, `alloc-in-hot-path`, `determinism-flow`
 //!
 //! Findings are suppressible per line via
 //! `// lint:allow(rule-name) -- reason` ([`allow`]); the justification text
-//! is mandatory. The binary (`cargo run -p rdns-lint -- --deny`) exits
-//! nonzero when findings remain, and the root crate runs the same pass from
-//! a `#[test]` so plain `cargo test` gates it.
+//! is mandatory. Outputs: text, JSON, and SARIF ([`report`]), plus the
+//! `lint-baseline.json` ratchet — pre-existing debt warns, anything new
+//! denies, and the baseline can only shrink. The binary
+//! (`cargo run -p rdns-lint -- --deny`) exits nonzero when non-baselined
+//! findings remain, and the root crate runs the same pass from a `#[test]`
+//! so plain `cargo test` gates it.
 
 pub mod allow;
+pub mod flow;
+pub mod index;
 pub mod lexer;
+pub mod manifest;
+pub mod parse;
+pub mod report;
 pub mod rules;
 
+pub use manifest::Manifest;
+pub use report::{Baseline, Ratchet};
 pub use rules::{FileOrigin, Finding, ALL_RULES};
 
 use std::path::{Path, PathBuf};
 
 /// Lint a single source text as if it lived at `rel_path` (workspace-relative,
-/// `/`-separated — e.g. `"crates/core/src/terms.rs"`). This is the seam the
-/// fixture tests use: the path decides which crate-scoped rules apply.
+/// `/`-separated — e.g. `"crates/core/src/terms.rs"`). This is the seam most
+/// fixture tests use: the path decides which crate-scoped rules apply, the
+/// manifest is empty (no hot paths, no allowlists), and the symbol index is
+/// built from this one file — so a fixture exercising `pii-escape` declares
+/// its own tainted source fns.
 pub fn analyze_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let origin = FileOrigin::from_rel_path(rel_path);
-    let raw = rules::check_file(&origin, &lexed);
-    allow::apply(&origin, &lexed.comments, raw)
+    analyze_workspace_sources("", &[(rel_path, src)]).expect("empty manifest always parses")
+}
+
+/// Lint a set of in-memory sources under a manifest: the full two-pass
+/// pipeline with no filesystem. This is the seam the hot-path/seed-stable
+/// fixtures use (they need `lint.toml` entries naming their fns), and
+/// [`lint_workspace`] is a thin file-reading wrapper around it.
+pub fn analyze_workspace_sources(
+    manifest_toml: &str,
+    files: &[(&str, &str)],
+) -> Result<Vec<Finding>, String> {
+    let manifest = manifest::parse(manifest_toml)?;
+
+    // Pass 1: lex + parse everything, then index across files.
+    let lexed: Vec<(String, lexer::Lexed)> = files
+        .iter()
+        .map(|(path, src)| (path.to_string(), lexer::lex(src)))
+        .collect();
+    let parsed: Vec<parse::ParsedFile> =
+        lexed.iter().map(|(_, l)| parse::parse_file(l)).collect();
+    let symbols = index::build(lexed.iter().map(|(_, l)| l).zip(parsed.iter()));
+
+    // Pass 2: token rules + flow rules per file, then allow suppression.
+    let mut out = Vec::new();
+    for ((path, lex), parsed) in lexed.iter().zip(parsed.iter()) {
+        let origin = FileOrigin::from_rel_path(path);
+        let mut raw = rules::check_file(&origin, lex);
+        raw.extend(flow::check_file(&origin, lex, parsed, &symbols, &manifest));
+        raw.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+        out.extend(allow::apply(&origin, &lex.comments, raw));
+    }
+    Ok(out)
 }
 
 /// Lint every `crates/*/src/**/*.rs` file plus `shims/tokio/src/**/*.rs`
-/// under the workspace root, in sorted path order.
+/// under the workspace root, in sorted path order, reading the manifest from
+/// `<root>/lint.toml` (missing manifest = empty manifest).
 pub fn lint_workspace(root: &Path) -> Vec<Finding> {
+    let manifest_toml = std::fs::read_to_string(root.join("lint.toml")).unwrap_or_default();
+
     let mut files: Vec<PathBuf> = Vec::new();
     if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
         for entry in entries.flatten() {
@@ -49,7 +100,7 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
     collect_rs(&root.join("shims/tokio/src"), &mut files);
     files.sort();
 
-    let mut out = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in files {
         let Ok(src) = std::fs::read_to_string(&file) else {
             continue;
@@ -61,9 +112,23 @@ pub fn lint_workspace(root: &Path) -> Vec<Finding> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        out.extend(analyze_source(&rel, &src));
+        sources.push((rel, src));
     }
-    out
+    let borrowed: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(p, s)| (p.as_str(), s.as_str()))
+        .collect();
+    match analyze_workspace_sources(&manifest_toml, &borrowed) {
+        Ok(findings) => findings,
+        // A broken manifest must fail loudly, not silently un-scope rules.
+        Err(e) => vec![Finding {
+            file: "lint.toml".to_string(),
+            line: 1,
+            col: 1,
+            rule: "allow-malformed",
+            message: format!("lint.toml does not parse: {e}"),
+        }],
+    }
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {

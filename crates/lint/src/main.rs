@@ -1,33 +1,95 @@
-//! CLI for the workspace lint: `cargo run -p rdns-lint -- [--deny] [--root P]`.
+//! CLI for the workspace lint.
+//!
+//! ```text
+//! rdns-lint [--deny] [--root P] [--format text|json|sarif] [--output F]
+//!           [--baseline F] [--write-baseline F]
+//! rdns-lint --assert-shrunk OLD NEW
+//! ```
 
+use rdns_lint::report::{self, Ratchet};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+struct Opts {
+    deny: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+    format: Format,
+    output: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    assert_shrunk: Option<(PathBuf, PathBuf)>,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut deny = false;
-    let mut list_rules = false;
-    let mut root: Option<PathBuf> = None;
+    let mut opts = Opts {
+        deny: false,
+        list_rules: false,
+        root: None,
+        format: Format::Text,
+        output: None,
+        baseline: None,
+        write_baseline: None,
+        assert_shrunk: None,
+    };
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--deny" => deny = true,
-            "--list-rules" => list_rules = true,
+            "--deny" => opts.deny = true,
+            "--list-rules" => opts.list_rules = true,
             "--root" => match args.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("rdns-lint: --root needs a path");
-                    return ExitCode::from(2);
+                Some(p) => opts.root = Some(PathBuf::from(p)),
+                None => return usage_err("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some("sarif") => opts.format = Format::Sarif,
+                _ => return usage_err("--format needs text|json|sarif"),
+            },
+            "--output" => match args.next() {
+                Some(p) => opts.output = Some(PathBuf::from(p)),
+                None => return usage_err("--output needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => opts.baseline = Some(PathBuf::from(p)),
+                None => return usage_err("--baseline needs a path"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(p) => opts.write_baseline = Some(PathBuf::from(p)),
+                None => return usage_err("--write-baseline needs a path"),
+            },
+            "--assert-shrunk" => match (args.next(), args.next()) {
+                (Some(old), Some(new)) => {
+                    opts.assert_shrunk = Some((PathBuf::from(old), PathBuf::from(new)));
                 }
+                _ => return usage_err("--assert-shrunk needs OLD and NEW paths"),
             },
             "--help" | "-h" => {
                 println!(
                     "rdns-lint: workspace static analysis (determinism, concurrency \
-                     hygiene, PII redaction)\n\n\
-                     usage: rdns-lint [--deny] [--root PATH] [--list-rules]\n\n\
-                     --deny        exit nonzero if any finding remains\n\
-                     --root PATH   workspace root (default: walk up from cwd)\n\
-                     --list-rules  print the rule names usable in lint:allow(...)"
+                     hygiene, PII taint flow, hot-path panic/alloc freedom)\n\n\
+                     usage: rdns-lint [--deny] [--root PATH] [--list-rules]\n\
+                            [--format text|json|sarif] [--output PATH]\n\
+                            [--baseline PATH] [--write-baseline PATH]\n\
+                            rdns-lint --assert-shrunk OLD NEW\n\n\
+                     --deny                exit nonzero if non-baselined findings remain\n\
+                     --root PATH           workspace root (default: walk up from cwd)\n\
+                     --list-rules          print the rule names usable in lint:allow(...)\n\
+                     --format FMT          findings as text (default), json, or sarif\n\
+                     --output PATH         write the rendered findings to a file\n\
+                     --baseline PATH       ratchet: baselined findings warn, new ones deny,\n\
+                                           stale baseline entries deny until rewritten\n\
+                     --write-baseline PATH regenerate the baseline from current findings\n\
+                     --assert-shrunk O N   exit nonzero if baseline N grew anywhere over O"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -38,14 +100,35 @@ fn main() -> ExitCode {
         }
     }
 
-    if list_rules {
+    if opts.list_rules {
         for rule in rdns_lint::ALL_RULES {
             println!("{rule}");
         }
         return ExitCode::SUCCESS;
     }
 
-    let root = match root.or_else(|| {
+    if let Some((old_path, new_path)) = &opts.assert_shrunk {
+        let old = match read_baseline(old_path) {
+            Ok(b) => b,
+            Err(code) => return code,
+        };
+        let new = match read_baseline(new_path) {
+            Ok(b) => b,
+            Err(code) => return code,
+        };
+        return match report::assert_shrunk(&old, &new) {
+            Ok(()) => {
+                eprintln!("rdns-lint: baseline only shrank");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("rdns-lint: baseline grew:\n{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let root = match opts.root.clone().or_else(|| {
         std::env::current_dir()
             .ok()
             .and_then(|cwd| rdns_lint::find_workspace_root(&cwd))
@@ -58,18 +141,97 @@ fn main() -> ExitCode {
     };
 
     let findings = rdns_lint::lint_workspace(&root);
-    for f in &findings {
-        println!("{f}");
+
+    let rendered = match opts.format {
+        Format::Text => {
+            let mut s = String::new();
+            for f in &findings {
+                s.push_str(&f.to_string());
+                s.push('\n');
+            }
+            s
+        }
+        Format::Json => report::render_json(&findings),
+        Format::Sarif => report::render_sarif(&findings),
+    };
+    match &opts.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("rdns-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
     }
-    if findings.is_empty() {
+
+    if let Some(path) = &opts.write_baseline {
+        let text = report::render_baseline(&report::baseline_of(&findings));
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("rdns-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("rdns-lint: baseline written to {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    // Ratchet against the baseline: baselined findings warn, new findings
+    // and stale entries deny.
+    let deniable = if let Some(path) = &opts.baseline {
+        let baseline = match read_baseline(path) {
+            Ok(b) => b,
+            Err(code) => return code,
+        };
+        let mut deny_count = 0u64;
+        for (file, rule, state) in report::ratchet(&report::baseline_of(&findings), &baseline) {
+            match state {
+                Ratchet::Baselined { count, .. } => {
+                    eprintln!("rdns-lint: warning: {file} [{rule}]: {count} baselined");
+                }
+                Ratchet::New { count, allowed } => {
+                    eprintln!(
+                        "rdns-lint: DENY: {file} [{rule}]: {count} found, {allowed} baselined"
+                    );
+                    deny_count += count - allowed;
+                }
+                Ratchet::Stale { count, allowed } => {
+                    eprintln!(
+                        "rdns-lint: DENY: {file} [{rule}]: baseline allows {allowed} but only \
+                         {count} remain; shrink the baseline (--write-baseline)"
+                    );
+                    deny_count += 1;
+                }
+            }
+        }
+        deny_count
+    } else {
+        findings.len() as u64
+    };
+
+    if deniable == 0 {
         eprintln!("rdns-lint: clean");
         ExitCode::SUCCESS
     } else {
-        eprintln!("rdns-lint: {} finding(s)", findings.len());
-        if deny {
+        eprintln!("rdns-lint: {deniable} non-baselined finding(s)");
+        if opts.deny {
             ExitCode::FAILURE
         } else {
             ExitCode::SUCCESS
         }
     }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("rdns-lint: {msg}");
+    ExitCode::from(2)
+}
+
+fn read_baseline(path: &std::path::Path) -> Result<rdns_lint::Baseline, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("rdns-lint: cannot read {}: {e}", path.display());
+        ExitCode::from(2)
+    })?;
+    report::parse_baseline(&text).map_err(|e| {
+        eprintln!("rdns-lint: {} does not parse: {e}", path.display());
+        ExitCode::from(2)
+    })
 }

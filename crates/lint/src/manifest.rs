@@ -1,0 +1,257 @@
+//! The `lint.toml` path manifest: which fn bodies are hot paths, which
+//! modules may disclose owner-derived text, and which export fns must be
+//! seed-stable.
+//!
+//! The crate is stdlib-only, so this is a hand parser for the small TOML
+//! subset the manifest actually uses: `[[section]]` array-of-table headers,
+//! `key = "string"`, `key = ["a", "b"]` single-line arrays, `#` comments,
+//! and blank lines. Anything else is a hard error — the manifest is policy,
+//! and a silently-skipped line would silently un-scope a rule.
+
+/// One hot-path declaration: panic-freedom (and optionally alloc-freedom)
+/// is enforced inside the named fns of one file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HotPath {
+    /// Workspace-relative file path (`/`-separated).
+    pub file: String,
+    /// Fns (bare or `Type::method`) whose bodies must not panic.
+    pub panic_fns: Vec<String>,
+    /// Fns whose bodies must additionally not allocate per event.
+    pub alloc_fns: Vec<String>,
+}
+
+/// One PII disclosure allowance: the `pii-escape` rule is off for files
+/// whose path starts with `path`. The justification is mandatory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PiiAllow {
+    /// Workspace-relative path prefix.
+    pub path: String,
+    /// Why disclosure is deliberate here.
+    pub reason: String,
+}
+
+/// One seed-stable declaration: the named fns of one file are export paths
+/// whose output must be a pure function of the seed, so wall-clock metric
+/// reads inside them are findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SeedStable {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Fns (bare or `Type::method`) that export seed-stable artefacts.
+    pub fns: Vec<String>,
+}
+
+/// Parsed manifest. [`Manifest::default`] (all empty) scopes every flow rule
+/// to nothing, which is what the single-file fixture seam uses.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// `[[hot_path]]` entries.
+    pub hot_paths: Vec<HotPath>,
+    /// `[[pii_allow]]` entries.
+    pub pii_allows: Vec<PiiAllow>,
+    /// `[[seed_stable]]` entries.
+    pub seed_stable: Vec<SeedStable>,
+}
+
+impl Manifest {
+    /// The hot-path entry for a file, if any.
+    pub fn hot_path_for(&self, rel_path: &str) -> Option<&HotPath> {
+        self.hot_paths.iter().find(|h| h.file == rel_path)
+    }
+
+    /// The seed-stable entry for a file, if any.
+    pub fn seed_stable_for(&self, rel_path: &str) -> Option<&SeedStable> {
+        self.seed_stable.iter().find(|s| s.file == rel_path)
+    }
+
+    /// Whether `pii-escape` is allowlisted for this file.
+    pub fn pii_allowed(&self, rel_path: &str) -> bool {
+        self.pii_allows.iter().any(|a| rel_path.starts_with(&a.path))
+    }
+}
+
+enum Section {
+    None,
+    HotPath,
+    PiiAllow,
+    SeedStable,
+}
+
+/// Parse the manifest text. Errors carry the 1-based line number.
+pub fn parse(text: &str) -> Result<Manifest, String> {
+    let mut m = Manifest::default();
+    let mut section = Section::None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            section = match header.trim() {
+                "hot_path" => {
+                    m.hot_paths.push(HotPath::default());
+                    Section::HotPath
+                }
+                "pii_allow" => {
+                    m.pii_allows.push(PiiAllow::default());
+                    Section::PiiAllow
+                }
+                "seed_stable" => {
+                    m.seed_stable.push(SeedStable::default());
+                    Section::SeedStable
+                }
+                other => return Err(format!("line {lineno}: unknown section [[{other}]]")),
+            };
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("line {lineno}: expected `key = value`, got `{line}`"));
+        };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        match (&section, key) {
+            (Section::HotPath, "file") => {
+                m.hot_paths.last_mut().expect("section pushed").file =
+                    parse_string(value, lineno)?;
+            }
+            (Section::HotPath, "panic_fns") => {
+                m.hot_paths.last_mut().expect("section pushed").panic_fns =
+                    parse_array(value, lineno)?;
+            }
+            (Section::HotPath, "alloc_fns") => {
+                m.hot_paths.last_mut().expect("section pushed").alloc_fns =
+                    parse_array(value, lineno)?;
+            }
+            (Section::PiiAllow, "path") => {
+                m.pii_allows.last_mut().expect("section pushed").path =
+                    parse_string(value, lineno)?;
+            }
+            (Section::PiiAllow, "reason") => {
+                m.pii_allows.last_mut().expect("section pushed").reason =
+                    parse_string(value, lineno)?;
+            }
+            (Section::SeedStable, "file") => {
+                m.seed_stable.last_mut().expect("section pushed").file =
+                    parse_string(value, lineno)?;
+            }
+            (Section::SeedStable, "fns") => {
+                m.seed_stable.last_mut().expect("section pushed").fns =
+                    parse_array(value, lineno)?;
+            }
+            (Section::None, _) => {
+                return Err(format!("line {lineno}: `{key}` outside any [[section]]"));
+            }
+            _ => return Err(format!("line {lineno}: unknown key `{key}` in this section")),
+        }
+    }
+
+    // A disclosure allowance with no written justification is the exact
+    // failure mode the pii-escape rule exists to prevent.
+    for a in &m.pii_allows {
+        if a.path.is_empty() {
+            return Err("[[pii_allow]] with no `path`".to_string());
+        }
+        if a.reason.trim().is_empty() {
+            return Err(format!("[[pii_allow]] for `{}` has no `reason`", a.path));
+        }
+    }
+    for h in &m.hot_paths {
+        if h.file.is_empty() {
+            return Err("[[hot_path]] with no `file`".to_string());
+        }
+    }
+    for s in &m.seed_stable {
+        if s.file.is_empty() {
+            return Err("[[seed_stable]] with no `file`".to_string());
+        }
+    }
+    Ok(m)
+}
+
+/// Drop a trailing `# comment` that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str, lineno: usize) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: expected a quoted string, got `{value}`"))
+}
+
+fn parse_array(value: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| format!("line {lineno}: expected a single-line [\"a\", \"b\"] array"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(item, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_three_sections() {
+        let m = parse(
+            r#"
+            # hot paths
+            [[hot_path]]
+            file = "crates/loadgen/src/generator.rs"  # per-event dispatch
+            panic_fns = ["dispatch_loop", "classify"]
+            alloc_fns = ["dispatch_loop"]
+
+            [[pii_allow]]
+            path = "crates/netsim/src/"
+            reason = "synthesis layer fabricates the names"
+
+            [[seed_stable]]
+            file = "crates/telemetry/src/lib.rs"
+            fns = ["render_json"]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.hot_paths.len(), 1);
+        assert_eq!(m.hot_paths[0].panic_fns, vec!["dispatch_loop", "classify"]);
+        assert_eq!(m.hot_paths[0].alloc_fns, vec!["dispatch_loop"]);
+        assert!(m.pii_allowed("crates/netsim/src/device.rs"));
+        assert!(!m.pii_allowed("crates/scan/src/probe.rs"));
+        assert_eq!(
+            m.seed_stable_for("crates/telemetry/src/lib.rs").unwrap().fns,
+            vec!["render_json"]
+        );
+    }
+
+    #[test]
+    fn pii_allow_without_reason_is_an_error() {
+        let err = parse("[[pii_allow]]\npath = \"crates/x/\"\n").unwrap_err();
+        assert!(err.contains("no `reason`"), "{err}");
+    }
+
+    #[test]
+    fn unknown_section_and_key_are_errors() {
+        assert!(parse("[[nope]]\n").is_err());
+        assert!(parse("[[hot_path]]\nfile = \"a\"\nbogus = \"b\"\n").is_err());
+        assert!(parse("stray = \"x\"\n").is_err());
+    }
+}

@@ -1,0 +1,268 @@
+//! Pass 1: a lightweight, stdlib-only syntax pass over the token stream.
+//!
+//! This is not a Rust parser — no `syn`, no AST. It recovers exactly the
+//! structure the flow rules ([`crate::flow`]) need: every `fn` item with its
+//! body token span, the impl-block type that qualifies it, whether its
+//! return type mentions `Pii`, and any `// lint:taint(...)` metadata comment
+//! attached to it. Everything else stays a flat token stream the rules walk
+//! within the recovered spans.
+
+use crate::lexer::{Comment, Lexed, Token, TokenKind};
+use crate::rules::{matching_delim, next_body_open};
+
+/// Taint metadata attached to a fn via a `// lint:taint(...)` comment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Taint {
+    /// `lint:taint(source)` — the fn's return value carries owner-derived
+    /// text (a PII source, even if its type is a plain `&str`).
+    Source,
+    /// `lint:taint(unwrap)` — the fn strips the `Pii` wrapper (an explicit
+    /// disclosure opt-out such as `reveal`/`into_inner`).
+    Unwrap,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// Bare fn name.
+    pub name: String,
+    /// `Type::name` when declared inside an `impl` block, else the bare name.
+    pub qualified: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token indices of the body `{` and `}` (inclusive). Fns without a body
+    /// (trait methods, extern decls) are not recorded.
+    pub body: (usize, usize),
+    /// Whether the return type (between `->` and the body `{`) mentions `Pii`.
+    pub returns_pii: bool,
+    /// Taint metadata from an attached `lint:taint` comment.
+    pub taint: Option<Taint>,
+}
+
+/// The parsed view of one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Every fn with a body, in source order.
+    pub fns: Vec<FnInfo>,
+}
+
+impl ParsedFile {
+    /// The innermost fn whose body span contains token index `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| i > f.body.0 && i < f.body.1)
+            .max_by_key(|f| f.body.0)
+    }
+}
+
+/// Parse one lexed file.
+pub fn parse_file(lexed: &Lexed) -> ParsedFile {
+    let tokens = &lexed.tokens;
+    let impls = impl_spans(tokens);
+    let taints = taint_comments(&lexed.comments);
+    let mut out = ParsedFile::default();
+
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1).filter(|n| n.kind == TokenKind::Ident) else {
+            continue; // `fn` in a type position (`fn(…) -> …`) has no name
+        };
+        let Some(open) = next_body_open(tokens, i + 2) else {
+            continue;
+        };
+        let Some(close) = matching_delim(tokens, open, '{', '}') else {
+            continue;
+        };
+        let self_ty = impls
+            .iter()
+            .filter(|s| i > s.open && i < s.close)
+            .max_by_key(|s| s.open)
+            .map(|s| s.self_ty.as_str());
+        let qualified = match self_ty {
+            Some(ty) => format!("{ty}::{}", name_tok.text),
+            None => name_tok.text.clone(),
+        };
+        out.fns.push(FnInfo {
+            name: name_tok.text.clone(),
+            qualified,
+            line: t.line,
+            sig_start: i,
+            body: (open, close),
+            returns_pii: returns_pii(&tokens[i..open]),
+            taint: None,
+        });
+    }
+    attach_taints(&taints, &mut out.fns);
+    out
+}
+
+struct ImplSpan {
+    self_ty: String,
+    open: usize,
+    close: usize,
+}
+
+/// Body spans of `impl` blocks with their self type: `impl Foo {`,
+/// `impl<T> Foo<T> {`, `impl Trait for Foo {`. The self type is the first
+/// identifier after `for` when present, else the first identifier after the
+/// `impl` generics.
+fn impl_spans(tokens: &[Token]) -> Vec<ImplSpan> {
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("impl") {
+            continue;
+        }
+        let Some(open) = next_body_open(tokens, i + 1) else {
+            continue;
+        };
+        let Some(close) = matching_delim(tokens, open, '{', '}') else {
+            continue;
+        };
+        let head = &tokens[i + 1..open];
+        // Skip the `<…>` generic parameter list if present.
+        let mut j = 0usize;
+        if head.first().is_some_and(|t| t.is_punct('<')) {
+            let mut depth = 0i32;
+            while j < head.len() {
+                if head[j].is_punct('<') {
+                    depth += 1;
+                } else if head[j].is_punct('>') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        let after_for = head
+            .iter()
+            .enumerate()
+            .skip(j)
+            .find(|(_, t)| t.is_ident("for"))
+            .map(|(k, _)| k + 1);
+        let ty_start = after_for.unwrap_or(j);
+        let Some(self_ty) = head[ty_start..]
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && !t.is_ident("mut") && !t.is_ident("dyn"))
+        else {
+            continue;
+        };
+        out.push(ImplSpan {
+            self_ty: self_ty.text.clone(),
+            open,
+            close,
+        });
+    }
+    out
+}
+
+/// Whether a fn signature (tokens from `fn` to the body `{`) returns `Pii`.
+fn returns_pii(sig: &[Token]) -> bool {
+    for (k, t) in sig.iter().enumerate() {
+        if t.is_punct('-') && sig.get(k + 1).is_some_and(|n| n.is_punct('>')) {
+            return sig[k + 2..].iter().any(|t| t.is_ident("Pii"));
+        }
+    }
+    false
+}
+
+/// `(end_line, taint)` of every well-formed `lint:taint(...)` comment.
+fn taint_comments(comments: &[Comment]) -> Vec<(u32, Taint)> {
+    let mut out = Vec::new();
+    for c in comments {
+        let trimmed = c.text.trim_start();
+        let Some(rest) = trimmed.strip_prefix("lint:taint(") else {
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            continue;
+        };
+        match rest[..close].trim() {
+            "source" => out.push((c.end_line, Taint::Source)),
+            "unwrap" => out.push((c.end_line, Taint::Unwrap)),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Attach each taint comment to the *first* fn starting on or after the
+/// comment's last line, within three lines (leaving room for attributes
+/// between the comment and the `fn`). Each comment marks exactly one fn.
+fn attach_taints(taints: &[(u32, Taint)], fns: &mut [FnInfo]) {
+    for &(end_line, taint) in taints {
+        if let Some(f) = fns
+            .iter_mut()
+            .filter(|f| f.line >= end_line && f.line <= end_line + 3)
+            .min_by_key(|f| f.line)
+        {
+            f.taint = Some(taint);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn fns_get_impl_qualification_and_body_spans() {
+        let lexed = lex(
+            "struct Foo;\n\
+             impl Foo {\n\
+                 fn bar(&self) -> u32 { 1 }\n\
+             }\n\
+             impl std::fmt::Display for Foo {\n\
+                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { Ok(()) }\n\
+             }\n\
+             fn free() {}\n",
+        );
+        let parsed = parse_file(&lexed);
+        let quals: Vec<&str> = parsed.fns.iter().map(|f| f.qualified.as_str()).collect();
+        assert_eq!(quals, vec!["Foo::bar", "Foo::fmt", "free"]);
+        for f in &parsed.fns {
+            assert!(lexed.tokens[f.body.0].is_punct('{'));
+            assert!(lexed.tokens[f.body.1].is_punct('}'));
+        }
+    }
+
+    #[test]
+    fn pii_return_and_taint_marks_are_detected() {
+        let lexed = lex(
+            "fn wrap(s: String) -> Pii<String> { Pii::new(s) }\n\
+             // lint:taint(source)\n\
+             pub fn as_str(&self) -> &str { &self.0 }\n\
+             // lint:taint(unwrap)\n\
+             #[inline]\n\
+             pub fn reveal(&self) -> &str { &self.0 }\n\
+             fn plain() -> u32 { 0 }\n",
+        );
+        let parsed = parse_file(&lexed);
+        let by_name = |n: &str| parsed.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(by_name("wrap").returns_pii);
+        assert_eq!(by_name("as_str").taint, Some(Taint::Source));
+        assert_eq!(by_name("reveal").taint, Some(Taint::Unwrap));
+        assert_eq!(by_name("plain").taint, None);
+        assert!(!by_name("plain").returns_pii);
+    }
+
+    #[test]
+    fn enclosing_fn_picks_the_innermost() {
+        let lexed = lex("fn outer() { fn inner() { work(); } }");
+        let parsed = parse_file(&lexed);
+        let work_idx = lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("work"))
+            .unwrap();
+        assert_eq!(parsed.enclosing_fn(work_idx).unwrap().name, "inner");
+    }
+}

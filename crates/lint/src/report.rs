@@ -1,0 +1,461 @@
+//! Machine-readable outputs and the baseline ratchet.
+//!
+//! Findings render three ways: the classic `file:line:col` text (via
+//! [`crate::rules::Finding`]'s `Display`), a JSON array, and SARIF 2.1.0
+//! (the minimal subset code-scanning UIs ingest). The baseline
+//! (`lint-baseline.json`) maps `file → rule → count` and ratchets debt:
+//! a finding whose count fits the baseline is a *warning*, one above it is
+//! a *denial*, and a baseline entry above the current count is *stale* —
+//! also a denial, so the committed file can only shrink.
+
+use crate::rules::{Finding, ALL_RULES};
+use std::collections::BTreeMap;
+
+/// `file → rule → count`, ordered so renders are byte-stable.
+pub type Baseline = BTreeMap<String, BTreeMap<String, u64>>;
+
+/// Render findings as a JSON array (sorted input order preserved).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \
+             \"message\": \"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(f.rule),
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Render findings as SARIF 2.1.0 (one run, one driver, every rule listed).
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut rules = String::new();
+    for (i, r) in ALL_RULES.iter().enumerate() {
+        if i > 0 {
+            rules.push(',');
+        }
+        rules.push_str(&format!("\n          {{\"id\": \"{}\"}}", json_escape(r)));
+    }
+    let mut results = String::new();
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        results.push_str(&format!(
+            "\n      {{\n        \"ruleId\": \"{}\",\n        \"level\": \"error\",\n        \
+             \"message\": {{\"text\": \"{}\"}},\n        \"locations\": [{{\
+             \"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]\n      }}",
+            json_escape(f.rule),
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line,
+            f.col
+        ));
+    }
+    format!(
+        "{{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [{{\n    \"tool\": {{\"driver\": {{\
+         \"name\": \"rdns-lint\", \"rules\": [{rules}\n        ]}}}},\n    \
+         \"results\": [{results}\n    ]\n  }}]\n}}\n"
+    )
+}
+
+/// Aggregate findings into baseline form.
+pub fn baseline_of(findings: &[Finding]) -> Baseline {
+    let mut b = Baseline::new();
+    for f in findings {
+        *b.entry(f.file.clone())
+            .or_default()
+            .entry(f.rule.to_string())
+            .or_insert(0) += 1;
+    }
+    b
+}
+
+/// Render a baseline as stable, diff-friendly JSON.
+pub fn render_baseline(b: &Baseline) -> String {
+    let mut out = String::from("{");
+    let mut first_file = true;
+    for (file, rules) in b {
+        if !first_file {
+            out.push(',');
+        }
+        first_file = false;
+        out.push_str(&format!("\n  \"{}\": {{", json_escape(file)));
+        let mut first_rule = true;
+        for (rule, count) in rules {
+            if !first_rule {
+                out.push(',');
+            }
+            first_rule = false;
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(rule), count));
+        }
+        out.push_str("\n  }");
+    }
+    if !b.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parse a baseline rendered by [`render_baseline`] (or hand-edited in the
+/// same two-level `{file: {rule: count}}` shape).
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let b = p.object_of_objects()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(b)
+}
+
+/// How one (file, rule) pair compares against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ratchet {
+    /// Count within baseline: report as a warning, do not deny.
+    Baselined { count: u64, allowed: u64 },
+    /// Count above baseline (or not in it): deny.
+    New { count: u64, allowed: u64 },
+    /// Baseline allows more than currently found: deny until rewritten,
+    /// so the committed file only ever shrinks.
+    Stale { count: u64, allowed: u64 },
+}
+
+/// Compare current findings against a baseline, per (file, rule).
+pub fn ratchet(current: &Baseline, baseline: &Baseline) -> Vec<(String, String, Ratchet)> {
+    let mut out = Vec::new();
+    for (file, rules) in current {
+        for (rule, &count) in rules {
+            let allowed = baseline
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .copied()
+                .unwrap_or(0);
+            let state = if count > allowed {
+                Ratchet::New { count, allowed }
+            } else if count < allowed {
+                Ratchet::Stale { count, allowed }
+            } else {
+                Ratchet::Baselined { count, allowed }
+            };
+            out.push((file.clone(), rule.clone(), state));
+        }
+    }
+    // Baseline entries with no current findings at all are stale too.
+    for (file, rules) in baseline {
+        for (rule, &allowed) in rules {
+            let gone = current
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .is_none();
+            if gone && allowed > 0 {
+                out.push((
+                    file.clone(),
+                    rule.clone(),
+                    Ratchet::Stale { count: 0, allowed },
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `Err` describing every way `new` fails to be a pure shrink of `old`.
+pub fn assert_shrunk(old: &Baseline, new: &Baseline) -> Result<(), String> {
+    let mut problems = Vec::new();
+    for (file, rules) in new {
+        for (rule, &count) in rules {
+            let was = old
+                .get(file)
+                .and_then(|r| r.get(rule))
+                .copied()
+                .unwrap_or(0);
+            if count > was {
+                problems.push(format!("{file} [{rule}]: {was} -> {count} (grew)"));
+            }
+        }
+    }
+    if problems.is_empty() {
+        Ok(())
+    } else {
+        Err(problems.join("\n"))
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal JSON parser for the exact baseline shape (the crate is
+/// stdlib-only). Strings support `\"`/`\\` escapes; numbers are unsigned
+/// integers; no nulls, arrays, bools, or deeper nesting.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {} (found `{}`)",
+                b as char,
+                self.pos,
+                self.bytes
+                    .get(self.pos)
+                    .map(|&c| (c as char).to_string())
+                    .unwrap_or_else(|| "EOF".to_string())
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    match self.bytes.get(self.pos + 1) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        other => {
+                            return Err(format!(
+                                "unsupported escape `\\{}` at byte {}",
+                                other.map(|&c| c as char).unwrap_or('?'),
+                                self.pos
+                            ))
+                        }
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a count at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad count at byte {start}"))
+    }
+
+    fn object_of_objects(&mut self) -> Result<Baseline, String> {
+        self.expect(b'{')?;
+        let mut out = Baseline::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let file = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            out.insert(file, self.object_of_counts()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object_of_counts(&mut self) -> Result<BTreeMap<String, u64>, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let rule = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            out.insert(rule, self.number()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(file: &str, line: u32, col: u32, rule: &'static str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col,
+            rule,
+            message: format!("a \"{rule}\" message"),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_render_and_parse() {
+        let findings = vec![
+            f("crates/a/src/x.rs", 3, 5, "thread-rng"),
+            f("crates/a/src/x.rs", 9, 1, "thread-rng"),
+            f("crates/b/src/y.rs", 1, 2, "pii-escape"),
+        ];
+        let b = baseline_of(&findings);
+        let text = render_baseline(&b);
+        assert_eq!(parse_baseline(&text).unwrap(), b);
+        assert_eq!(b["crates/a/src/x.rs"]["thread-rng"], 2);
+    }
+
+    #[test]
+    fn empty_baseline_roundtrips() {
+        let b = Baseline::new();
+        assert_eq!(parse_baseline(&render_baseline(&b)).unwrap(), b);
+        assert_eq!(parse_baseline("{}").unwrap(), b);
+    }
+
+    #[test]
+    fn ratchet_classifies_new_baselined_and_stale() {
+        let current = baseline_of(&[
+            f("a.rs", 1, 1, "thread-rng"),
+            f("a.rs", 2, 1, "thread-rng"),
+            f("b.rs", 1, 1, "pii-escape"),
+        ]);
+        let baseline = parse_baseline(
+            "{\"a.rs\": {\"thread-rng\": 2}, \"c.rs\": {\"snapshot-clone\": 1}}",
+        )
+        .unwrap();
+        let states = ratchet(&current, &baseline);
+        let by = |file: &str, rule: &str| {
+            states
+                .iter()
+                .find(|(fl, r, _)| fl == file && r == rule)
+                .map(|(_, _, s)| s.clone())
+                .unwrap()
+        };
+        assert_eq!(
+            by("a.rs", "thread-rng"),
+            Ratchet::Baselined { count: 2, allowed: 2 }
+        );
+        assert_eq!(
+            by("b.rs", "pii-escape"),
+            Ratchet::New { count: 1, allowed: 0 }
+        );
+        assert_eq!(
+            by("c.rs", "snapshot-clone"),
+            Ratchet::Stale { count: 0, allowed: 1 }
+        );
+    }
+
+    #[test]
+    fn assert_shrunk_rejects_growth_only() {
+        let old = parse_baseline("{\"a.rs\": {\"thread-rng\": 2}}").unwrap();
+        let same = old.clone();
+        let smaller = parse_baseline("{\"a.rs\": {\"thread-rng\": 1}}").unwrap();
+        let bigger = parse_baseline("{\"a.rs\": {\"thread-rng\": 3}}").unwrap();
+        let new_file =
+            parse_baseline("{\"a.rs\": {\"thread-rng\": 2}, \"b.rs\": {\"pii-escape\": 1}}")
+                .unwrap();
+        assert!(assert_shrunk(&old, &same).is_ok());
+        assert!(assert_shrunk(&old, &smaller).is_ok());
+        assert!(assert_shrunk(&old, &bigger).is_err());
+        assert!(assert_shrunk(&old, &new_file).is_err());
+    }
+
+    #[test]
+    fn json_and_sarif_are_well_formed_enough_to_grep() {
+        let findings = vec![f("crates/a/src/x.rs", 3, 7, "thread-rng")];
+        let json = render_json(&findings);
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"col\": 7"));
+        assert!(json.contains("\\\"thread-rng\\\""), "{json}");
+        let sarif = render_sarif(&findings);
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        assert!(sarif.contains("\"startLine\": 3"));
+        assert!(sarif.contains("\"startColumn\": 7"));
+        assert!(sarif.contains("\"name\": \"rdns-lint\""));
+        // Every rule is declared in the driver rules table.
+        for rule in ALL_RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{rule}\"")), "{rule}");
+        }
+    }
+}

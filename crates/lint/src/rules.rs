@@ -16,6 +16,8 @@ pub struct Finding {
     pub file: String,
     /// 1-based line.
     pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
     /// Rule name (kebab-case, as used in `lint:allow`).
     pub rule: &'static str,
     /// Human-readable explanation.
@@ -26,22 +28,27 @@ impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
         )
     }
 }
 
-/// Every rule name, for `--list-rules` and `lint:allow` validation.
+/// Every rule name, for `--list-rules` and `lint:allow` validation. The
+/// single-file token rules come first, the cross-file flow rules
+/// ([`crate::flow`]) last.
 pub const ALL_RULES: &[&str] = &[
     "thread-rng",
     "entropy-source",
     "std-sync-lock",
     "sleep-in-async",
     "hash-iter-ordered",
-    "pii-display",
     "raw-atomic-stats",
     "snapshot-clone",
+    "pii-escape",
+    "panic-in-hot-path",
+    "alloc-in-hot-path",
+    "determinism-flow",
 ];
 
 /// Crates whose output must be a pure function of their inputs: the
@@ -54,29 +61,8 @@ const SIM_CRATES: &[&str] = &["model", "netsim", "data", "core", "ipam"];
 /// order.
 const ORDERED_OUTPUT_CRATES: &[&str] = &["data", "core"];
 
-/// Identifiers that carry simulated person names. A lexer cannot do taint
-/// tracking, so the PII rule keys on the naming conventions this workspace
-/// actually uses for owner-derived values.
-const PII_IDENTS: &[&str] = &[
-    "host",
-    "hosts",
-    "hostname",
-    "hostnames",
-    "host_label",
-    "owner",
-    "owners",
-    "owner_name",
-    "person",
-    "persons",
-    "person_name",
-    "given_name",
-    "given_names",
-    "device_name",
-    "device_names",
-];
-
 /// Macros whose arguments end up as formatted text (stdout, strings, panics).
-const FORMAT_SINKS: &[&str] = &[
+pub(crate) const FORMAT_SINKS: &[&str] = &[
     "println",
     "print",
     "eprintln",
@@ -135,7 +121,7 @@ impl FileOrigin {
             .is_some_and(|c| names.contains(&c))
     }
 
-    fn is_crate(&self) -> bool {
+    pub(crate) fn is_crate(&self) -> bool {
         self.crate_name.is_some()
     }
 }
@@ -152,18 +138,23 @@ pub fn check_file(origin: &FileOrigin, lexed: &Lexed) -> Vec<Finding> {
     rule_std_sync_lock(origin, tokens, &mut out);
     rule_sleep_in_async(origin, tokens, &mut out);
     rule_hash_iter_ordered(origin, tokens, &test_ranges, &sink_spans, &mut out);
-    rule_pii_display(origin, tokens, &test_ranges, &sink_spans, &mut out);
     rule_raw_atomic_stats(origin, tokens, &mut out);
     rule_snapshot_clone(origin, tokens, &test_ranges, &mut out);
 
-    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
 }
 
-fn finding(origin: &FileOrigin, line: u32, rule: &'static str, message: String) -> Finding {
+pub(crate) fn finding(
+    origin: &FileOrigin,
+    at: &Token,
+    rule: &'static str,
+    message: String,
+) -> Finding {
     Finding {
         file: origin.rel_path.clone(),
-        line,
+        line: at.line,
+        col: at.col,
         rule,
         message,
     }
@@ -182,7 +173,7 @@ fn rule_thread_rng(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Finding>
         if t.is_ident("thread_rng") {
             out.push(finding(
                 origin,
-                t.line,
+                t,
                 "thread-rng",
                 "thread_rng() re-seeds from wall-clock entropy per call; use a per-component \
                  seeded SmallRng (seed knob + SmallRng::from_entropy() default on wire paths)"
@@ -202,7 +193,7 @@ fn rule_entropy_source(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Find
         if t.is_ident("from_entropy") {
             out.push(finding(
                 origin,
-                t.line,
+                t,
                 "entropy-source",
                 "from_entropy() in a simulation/analysis crate; thread results through the \
                  component's seed instead"
@@ -212,7 +203,7 @@ fn rule_entropy_source(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Find
         if t.is_ident("SystemTime") && match_path(tokens, i + 1, &["now"]) {
             out.push(finding(
                 origin,
-                t.line,
+                t,
                 "entropy-source",
                 "SystemTime::now() in a simulation/analysis crate; use the simulation clock \
                  (SimTime) so runs replay identically"
@@ -223,7 +214,7 @@ fn rule_entropy_source(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Find
 }
 
 /// Match `:: seg1 :: seg2 …` starting at `i`.
-fn match_path(tokens: &[Token], i: usize, segments: &[&str]) -> bool {
+pub(crate) fn match_path(tokens: &[Token], i: usize, segments: &[&str]) -> bool {
     let mut i = i;
     for seg in segments {
         if !(tokens.get(i).is_some_and(|t| t.is_punct(':'))
@@ -263,7 +254,7 @@ fn rule_std_sync_lock(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Findi
         if t.is_ident("sync") {
             for what in BANNED {
                 if match_path(tokens, i + 1, &[what]) {
-                    out.push(finding(origin, t.line, "std-sync-lock", msg(what)));
+                    out.push(finding(origin, t, "std-sync-lock", msg(what)));
                 }
             }
             // `use std::sync::{Arc, Mutex}` — scan the brace group.
@@ -276,7 +267,7 @@ fn rule_std_sync_lock(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Findi
                         if BANNED.iter().any(|w| item.is_ident(w)) {
                             out.push(finding(
                                 origin,
-                                item.line,
+                                item,
                                 "std-sync-lock",
                                 msg(&item.text),
                             ));
@@ -309,7 +300,7 @@ fn rule_sleep_in_async(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Find
             if tokens[j].is_ident("thread") && match_path(tokens, j + 1, &["sleep"]) {
                 out.push(finding(
                     origin,
-                    tokens[j].line,
+                    &tokens[j],
                     "sleep-in-async",
                     "thread::sleep inside async code blocks the executor thread; use \
                      tokio::time::sleep"
@@ -400,7 +391,7 @@ fn rule_hash_iter_ordered(
         if body_has_ordered_sink(&tokens[open + 1..close]) {
             out.push(finding(
                 origin,
-                t.line,
+                t,
                 "hash-iter-ordered",
                 "for-loop over a HashMap/HashSet feeds an ordered artefact (push/format); \
                  iterate a BTree container or sort first"
@@ -480,7 +471,7 @@ fn check_hash_chain(
     if sink_spans.iter().any(|&(s, e)| i > s && i < e) {
         return Some(finding(
             origin,
-            tokens[i].line,
+            &tokens[i],
             "hash-iter-ordered",
             format!(
                 "`{}` (a hash container) iterated directly inside a formatting macro; \
@@ -536,7 +527,7 @@ fn check_hash_chain(
     }
     Some(finding(
         origin,
-        tokens[i].line,
+        &tokens[i],
         "hash-iter-ordered",
         format!(
             "`{}` (a hash container) is collected into an ordered container without a \
@@ -600,77 +591,9 @@ fn body_has_ordered_sink(body: &[Token]) -> bool {
     false
 }
 
-// ---------------------------------------------------------------------------
-// PII
-// ---------------------------------------------------------------------------
-
-/// Owner-derived values (hostnames, host labels, owner names) must reach
-/// formatted output only through `rdns_core::redact::Pii<T>` — whose
-/// `Display` redacts — or its explicit, greppable `.reveal()` opt-out.
-/// The rule flags formatting macros in non-test code whose arguments
-/// mention a PII-conventioned identifier (as a bare argument or a `{ident}`
-/// interpolation) with neither `Pii` nor `reveal` in the same call.
-fn rule_pii_display(
-    origin: &FileOrigin,
-    tokens: &[Token],
-    test_ranges: &[(u32, u32)],
-    sink_spans: &[(usize, usize)],
-    out: &mut Vec<Finding>,
-) {
-    if !origin.is_crate() {
-        return;
-    }
-    for &(start, end) in sink_spans {
-        let line = tokens[start].line;
-        if in_ranges(test_ranges, line) {
-            continue;
-        }
-        let span = &tokens[start..=end];
-        if span
-            .iter()
-            .any(|t| t.is_ident("Pii") || t.is_ident("reveal"))
-        {
-            continue;
-        }
-        let mut hits: Vec<String> = Vec::new();
-        let mut push_hit = |s: &str| {
-            if !hits.iter().any(|h| h == s) {
-                hits.push(s.to_string());
-            }
-        };
-        for t in span {
-            match t.kind {
-                TokenKind::Ident if PII_IDENTS.contains(&t.text.as_str()) => {
-                    push_hit(&t.text);
-                }
-                TokenKind::Str => {
-                    for name in interpolated_idents(&t.text) {
-                        if PII_IDENTS.contains(&name.as_str()) {
-                            push_hit(&name);
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        for name in hits {
-            out.push(finding(
-                origin,
-                line,
-                "pii-display",
-                format!(
-                    "`{name}` (owner-derived, PII) reaches a formatting macro without the \
-                     Pii<_> redaction wrapper; wrap it, or call .reveal() where disclosure \
-                     is deliberate"
-                ),
-            ));
-        }
-    }
-}
-
 /// Identifiers interpolated in a format string: `{name}`, `{name:?}`,
 /// `{name:width$}`. `{{` escapes and positional `{}` / `{0}` are skipped.
-fn interpolated_idents(fmt: &str) -> Vec<String> {
+pub(crate) fn interpolated_idents(fmt: &str) -> Vec<String> {
     let mut out = Vec::new();
     let bytes = fmt.as_bytes();
     let mut i = 0usize;
@@ -721,7 +644,7 @@ fn rule_raw_atomic_stats(origin: &FileOrigin, tokens: &[Token], out: &mut Vec<Fi
         if t.is_ident("AtomicU64") {
             out.push(finding(
                 origin,
-                t.line,
+                t,
                 "raw-atomic-stats",
                 "hand-rolled AtomicU64 counter outside crates/telemetry; use a registry-backed \
                  rdns_telemetry::Counter (named, rendered, determinism-classified) instead"
@@ -774,7 +697,7 @@ fn rule_snapshot_clone(
         {
             out.push(finding(
                 origin,
-                t.line,
+                t,
                 "snapshot-clone",
                 format!(
                     "`{}` (a snapshot type) is cloned outside crates/data, copying a whole \
@@ -872,7 +795,7 @@ fn push_unique(set: &mut Vec<String>, s: &str) {
 // ---------------------------------------------------------------------------
 
 /// Token-index spans (inclusive of delimiters) of formatting-macro calls.
-fn format_sink_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+pub(crate) fn format_sink_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
     let mut spans = Vec::new();
     for (i, t) in tokens.iter().enumerate() {
         if !FORMAT_SINKS.iter().any(|m| t.is_ident(m)) {
@@ -900,7 +823,7 @@ fn format_sink_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
 /// Line ranges belonging to test code: bodies introduced by attributes
 /// containing the `test` ident (`#[test]`, `#[cfg(test)]`,
 /// `#[tokio::test]`), excluding `cfg(not(test))`.
-fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+pub(crate) fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
@@ -931,14 +854,14 @@ fn test_line_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
     ranges
 }
 
-fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+pub(crate) fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
     ranges.iter().any(|&(s, e)| line >= s && line <= e)
 }
 
 /// From `start`, find the `{` that opens the next item body, skipping over
 /// further attributes and signature tokens. Stops (returning `None`) at a
 /// `;` at depth 0 — items like `#[cfg(test)] use foo;` have no body.
-fn next_body_open(tokens: &[Token], start: usize) -> Option<usize> {
+pub(crate) fn next_body_open(tokens: &[Token], start: usize) -> Option<usize> {
     let mut depth = 0i32;
     let mut i = start;
     while i < tokens.len() {
@@ -962,7 +885,12 @@ fn next_body_open(tokens: &[Token], start: usize) -> Option<usize> {
 }
 
 /// Index of the closing delimiter matching the opener at `open_idx`.
-fn matching_delim(tokens: &[Token], open_idx: usize, open: char, close: char) -> Option<usize> {
+pub(crate) fn matching_delim(
+    tokens: &[Token],
+    open_idx: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
     let mut depth = 0i32;
     for (off, t) in tokens[open_idx..].iter().enumerate() {
         if t.is_punct(open) {
@@ -978,7 +906,7 @@ fn matching_delim(tokens: &[Token], open_idx: usize, open: char, close: char) ->
 }
 
 /// First index in `[start, limit)` matching `pred` at bracket depth 0.
-fn find_at_depth<F: Fn(&Token) -> bool>(
+pub(crate) fn find_at_depth<F: Fn(&Token) -> bool>(
     tokens: &[Token],
     start: usize,
     limit: usize,
@@ -1003,7 +931,7 @@ fn find_at_depth<F: Fn(&Token) -> bool>(
 
 /// Index just past the statement containing token `i` (the `;` at relative
 /// depth 0, or the end of an enclosing delimiter group).
-fn statement_end(tokens: &[Token], i: usize) -> usize {
+pub(crate) fn statement_end(tokens: &[Token], i: usize) -> usize {
     let mut depth = 0i32;
     for (j, t) in tokens.iter().enumerate().skip(i) {
         if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {

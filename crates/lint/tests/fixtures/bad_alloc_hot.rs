@@ -1,0 +1,7 @@
+pub fn dispatch(template: &[u8]) -> Vec<u8> {
+    let out = template.to_vec();
+    let msg = format!("{}", out.len());
+    let mut buf = Vec::new();
+    buf.extend_from_slice(msg.as_bytes());
+    buf
+}

@@ -1,0 +1,10 @@
+pub fn build(registry: &Registry) -> Exporter {
+    Exporter { lat: registry.histogram("lat", "h", Determinism::WallClock) }
+}
+impl Exporter {
+    pub fn render(&self) -> String {
+        let started = Instant::now();
+        let q = self.lat.quantile(0.5);
+        format!("{:?} {:?}", started.elapsed(), q)
+    }
+}

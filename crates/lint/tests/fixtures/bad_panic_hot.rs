@@ -1,0 +1,7 @@
+pub fn handle(buf: &[u8], idx: usize) -> u8 {
+    let v = buf[idx];
+    let w = buf.first().unwrap();
+    if idx > buf.len() { panic!("oob"); }
+    let d = idx - 1;
+    v.wrapping_add(*w).wrapping_add(d as u8)
+}

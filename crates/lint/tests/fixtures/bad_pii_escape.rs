@@ -1,0 +1,9 @@
+impl Hostname {
+    // lint:taint(source)
+    pub fn host_label(&self) -> &str { &self.0 }
+}
+pub fn leak(h: &Hostname) -> String {
+    let owner = h.host_label();
+    println!("device {owner}");
+    format!("owner is {}", owner)
+}

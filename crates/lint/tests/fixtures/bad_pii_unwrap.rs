@@ -1,0 +1,8 @@
+impl Pii {
+    // lint:taint(unwrap)
+    pub fn reveal(self) -> String { self.0 }
+}
+pub fn disclose(h: Hostname) -> String {
+    let wrapped = Pii::new(h);
+    wrapped.reveal()
+}

@@ -1,0 +1,8 @@
+pub fn dispatch(scratch: &mut Vec<u8>, template: &[u8]) {
+    scratch.clear();
+    scratch.extend_from_slice(template);
+}
+pub fn setup(len: usize) -> Vec<u8> {
+    // Not declared alloc-free in lint.toml: setup allocates once.
+    Vec::with_capacity(len)
+}

@@ -1,0 +1,12 @@
+pub fn build(registry: &Registry) -> Exporter {
+    Exporter { probes: registry.counter("probes", "h", Determinism::SeedStable) }
+}
+impl Exporter {
+    pub fn render(&self) -> String {
+        format!("probes {}", self.probes.get())
+    }
+    pub fn dashboard(&self) -> String {
+        // Not declared seed-stable in lint.toml: wall-clock reads are fine.
+        format!("{:?}", Instant::now())
+    }
+}

@@ -1,0 +1,12 @@
+pub fn handle(buf: &[u8], idx: usize) -> u8 {
+    if let [first, .., last] = buf {
+        return first.wrapping_add(*last);
+    }
+    let v = buf.get(idx).copied().unwrap_or(0);
+    let d = idx.saturating_sub(1);
+    v.wrapping_add(d as u8)
+}
+pub fn setup(sizes: &[usize]) -> usize {
+    // Not declared hot in lint.toml: setup may panic on bad config.
+    sizes[0] + sizes.iter().copied().max().unwrap()
+}

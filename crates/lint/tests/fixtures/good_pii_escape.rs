@@ -1,0 +1,14 @@
+impl Hostname {
+    // lint:taint(source)
+    pub fn host_label(&self) -> &str { &self.0 }
+}
+pub fn report(h: &Hostname) -> String {
+    let owner = h.host_label();
+    // Wrapping in Pii sanctions the sink: Display redacts.
+    format!("device {}", Pii::new(owner))
+}
+pub fn audit(h: &Hostname) -> String {
+    let owner = h.host_label();
+    // lint:allow(pii-escape) -- audit log is operator-only, never published
+    format!("raw owner {owner}")
+}

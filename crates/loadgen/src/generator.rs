@@ -321,6 +321,27 @@ struct ShardState {
     in_flight: i64,
 }
 
+/// Everything a worker allocates up front so that [`dispatch_loop`] — the
+/// per-query hot path, declared panic- and alloc-free in `lint.toml` — can
+/// run without touching the allocator: the shard sockets with their
+/// in-flight tables, the pre-sized per-client RNG slots, the pacing bucket,
+/// and the scratch packet buffer reused across dispatches.
+struct WorkerState {
+    shards: Vec<ShardState>,
+    /// Per-client message-ID streams, lazily seeded: local slot l belongs to
+    /// global client l·workers + worker. Pre-sized to the largest
+    /// `local_client` so the hot loop never grows it.
+    id_rngs: Vec<Option<ChaCha8Rng>>,
+    /// Per-worker slice of the optional ceiling. The scanner's bucket ticks
+    /// on whole sim-seconds, far too coarse for pacing (a 1s refill releases
+    /// the whole second's quota as one burst, overflowing UDP buffers), so
+    /// we feed it wall-milliseconds as if they were seconds and divide the
+    /// rate by 1000: same bucket, millisecond pacing.
+    ceiling: Option<TokenBucket>,
+    /// Outgoing packet scratch, sized for the largest template.
+    scratch: Vec<u8>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_worker(
     worker: usize,
@@ -343,21 +364,41 @@ fn run_worker(
             in_flight: 0,
         });
     }
-    // Per-client message-ID streams, lazily seeded: local slot l belongs to
-    // global client l·workers + worker.
-    let mut id_rngs: Vec<Option<ChaCha8Rng>> = Vec::new();
-    // Per-worker slice of the optional ceiling. The scanner's bucket ticks
-    // on whole sim-seconds, far too coarse for pacing (a 1s refill releases
-    // the whole second's quota as one burst, overflowing UDP buffers), so
-    // we feed it wall-milliseconds as if they were seconds and divide the
-    // rate by 1000: same bucket, millisecond pacing.
-    let mut ceiling = config.rate_ceiling.map(|rate| {
+    let local_clients = events.iter().map(|e| e.local_client + 1).max().unwrap_or(0);
+    let ceiling = config.rate_ceiling.map(|rate| {
         let per_tick = rate / workers as f64 / 1_000.0;
         let burst = per_tick.ceil().max(1.0) as u32;
         TokenBucket::new(per_tick, burst, SimTime(0))
     });
-    let mut throttled_event: Option<usize> = None;
+    let mut state = WorkerState {
+        shards,
+        id_rngs: vec![None; local_clients],
+        ceiling,
+        scratch: Vec::with_capacity(templates.iter().map(Vec::len).max().unwrap_or(0)),
+    };
+    dispatch_loop(
+        worker, workers, events, templates, config, stats, start, &mut state,
+    )
+}
 
+/// The per-query hot loop: replay due events, drain responses, pace.
+///
+/// Declared in `lint.toml` as panic- and alloc-free: every slot lookup is a
+/// `get`/`get_mut` that branches into a telemetry counter instead of
+/// indexing, timestamp arithmetic saturates, and the outgoing packet is
+/// built in `state.scratch` rather than cloning the template per dispatch.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_loop(
+    worker: usize,
+    workers: usize,
+    events: &[WorkerEvent],
+    templates: &[Vec<u8>],
+    config: &LoadConfig,
+    stats: &LoadStats,
+    start: Instant,
+    state: &mut WorkerState,
+) -> io::Result<i64> {
+    let mut throttled_event: Option<usize> = None;
     let mut buf = [0u8; 1500];
     let mut next = 0usize;
     let mut max_in_flight = 0i64;
@@ -366,8 +407,11 @@ fn run_worker(
     loop {
         let now_nanos = start.elapsed().as_nanos() as u64;
         // Dispatch everything due.
-        while next < events.len() && events[next].at_nanos <= now_nanos {
-            if let Some(bucket) = ceiling.as_mut() {
+        while let Some(&e) = events.get(next) {
+            if e.at_nanos > now_nanos {
+                break;
+            }
+            if let Some(bucket) = state.ceiling.as_mut() {
                 let tick = SimTime((now_nanos / 1_000_000) as i64);
                 if !bucket.try_take(tick) {
                     // Count each *event* deferred once, not every retry.
@@ -378,35 +422,52 @@ fn run_worker(
                     break;
                 }
             }
-            let e = events[next];
             next += 1;
-            if now_nanos - e.at_nanos > LATE_THRESHOLD_NANOS {
+            if now_nanos.saturating_sub(e.at_nanos) > LATE_THRESHOLD_NANOS {
                 stats.late.inc();
             }
-            if id_rngs.len() <= e.local_client {
-                id_rngs.resize_with(e.local_client + 1, || None);
-            }
-            let rng = id_rngs[e.local_client].get_or_insert_with(|| {
+            // Both lookups are infallible by construction (events were built
+            // from these very tables); the counter branches keep the loop
+            // panic-free even against a bookkeeping bug.
+            let Some(rng_slot) = state.id_rngs.get_mut(e.local_client) else {
+                stats.send_failed.inc();
+                continue;
+            };
+            let Some(template) = templates.get(e.pkt) else {
+                stats.send_failed.inc();
+                continue;
+            };
+            let Some(shard) = state.shards.get_mut(e.shard) else {
+                stats.send_failed.inc();
+                continue;
+            };
+            let rng = rng_slot.get_or_insert_with(|| {
                 let client = (e.local_client * workers + worker) as u64;
                 ChaCha8Rng::seed_from_u64(
                     config.seed ^ CLIENT_STREAM ^ client.wrapping_mul(CLIENT_STRIDE),
                 )
             });
             let id = (rng.next_u32() & 0xFFFF) as u16;
-            let shard = &mut shards[e.shard];
-            let mut pkt = templates[e.pkt].clone();
-            pkt[0] = (id >> 8) as u8;
-            pkt[1] = id as u8;
-            match shard.sock.send(&pkt) {
+            state.scratch.clear();
+            state.scratch.extend_from_slice(template);
+            if let [hi, lo, ..] = state.scratch.as_mut_slice() {
+                *hi = (id >> 8) as u8;
+                *lo = id as u8;
+            }
+            match shard.sock.send(&state.scratch) {
                 Ok(_) => {
-                    if shard.slots[id as usize] != VACANT {
+                    let Some(slot) = shard.slots.get_mut(id as usize) else {
+                        stats.send_failed.inc();
+                        continue;
+                    };
+                    if *slot != VACANT {
                         // ID collision: the older query can no longer be
                         // matched; account it as a timeout now.
                         stats.timeout.inc();
                         stats.in_flight.sub(1);
                         shard.in_flight -= 1;
                     }
-                    shard.slots[id as usize] = now_nanos;
+                    *slot = now_nanos;
                     shard.in_flight += 1;
                     stats.sent.inc();
                     stats.in_flight.add(1);
@@ -420,27 +481,28 @@ fn run_worker(
         }
         // Drain responses on every shard socket.
         let mut received_any = false;
-        for (k, shard) in shards.iter_mut().enumerate() {
+        for (k, shard) in state.shards.iter_mut().enumerate() {
             loop {
                 match shard.sock.recv(&mut buf) {
                     Ok(n) => {
                         received_any = true;
-                        classify(&buf[..n], shard, k, stats, start);
+                        let datagram = buf.get(..n).unwrap_or_default();
+                        classify(datagram, shard, k, stats, start);
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) => return Err(e),
                 }
             }
         }
-        let in_flight: i64 = shards.iter().map(|s| s.in_flight).sum();
-        if next >= events.len() {
+        let in_flight: i64 = state.shards.iter().map(|s| s.in_flight).sum();
+        let Some(upcoming) = events.get(next) else {
             if in_flight == 0 {
                 return Ok(max_in_flight);
             }
             let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + deadline_grace);
             if Instant::now() >= deadline {
                 // Give up on the stragglers.
-                for shard in &mut shards {
+                for shard in &mut state.shards {
                     let remaining = shard.in_flight;
                     stats.timeout.add(remaining as u64);
                     stats.in_flight.sub(remaining);
@@ -452,12 +514,12 @@ fn run_worker(
                 std::thread::sleep(IDLE_SLEEP);
             }
             continue;
-        }
+        };
         // Sleep only when the next arrival is comfortably far (or the
         // ceiling is holding it back); otherwise spin through another drain
         // pass to keep dispatch jitter low.
         let throttling = throttled_event == Some(next);
-        let wait = events[next].at_nanos.saturating_sub(start.elapsed().as_nanos() as u64);
+        let wait = upcoming.at_nanos.saturating_sub(start.elapsed().as_nanos() as u64);
         let idle = !received_any && (throttling || (wait > 500_000 && in_flight == 0));
         if idle {
             std::thread::sleep(IDLE_SLEEP);
@@ -469,7 +531,9 @@ fn run_worker(
 
 /// Header-only response classification: enough to account the query without
 /// decoding names. Bytes 0-1 are the ID, byte 3's low nibble the RCODE,
-/// bytes 6-7 ANCOUNT.
+/// bytes 6-7 ANCOUNT. Runs once per received datagram, so it shares the
+/// hot-path contract of [`dispatch_loop`]: malformed or unmatchable input
+/// increments `unmatched` and returns — it never panics.
 fn classify(
     buf: &[u8],
     shard: &mut ShardState,
@@ -481,24 +545,113 @@ fn classify(
         stats.unmatched.inc();
         return;
     }
-    let id = u16::from_be_bytes([buf[0], buf[1]]) as usize;
-    let sent_at = shard.slots[id];
+    let &[id_hi, id_lo, _, flags_lo, _, _, an_hi, an_lo, ..] = buf else {
+        stats.unmatched.inc();
+        return;
+    };
+    let id = u16::from_be_bytes([id_hi, id_lo]) as usize;
+    let Some(slot) = shard.slots.get_mut(id) else {
+        stats.unmatched.inc();
+        return;
+    };
+    let sent_at = *slot;
     if sent_at == VACANT {
         stats.unmatched.inc();
         return;
     }
-    shard.slots[id] = VACANT;
+    *slot = VACANT;
     shard.in_flight -= 1;
     stats.in_flight.sub(1);
     let latency_ns = (start.elapsed().as_nanos() as u64).saturating_sub(sent_at);
-    stats.latency_us[shard_idx].observe(latency_ns / 1_000);
-    let rcode = buf[3] & 0x0F;
-    let ancount = u16::from_be_bytes([buf[6], buf[7]]);
+    if let Some(latency) = stats.latency_us.get(shard_idx) {
+        latency.observe(latency_ns / 1_000);
+    }
+    let rcode = flags_lo & 0x0F;
+    let ancount = u16::from_be_bytes([an_hi, an_lo]);
     match (rcode, ancount) {
         (0, 0) => stats.nodata.inc(),
         (0, _) => stats.answered.inc(),
         (3, _) => stats.nxdomain.inc(),
         (2, _) => stats.servfail.inc(),
         _ => stats.unmatched.inc(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_shard() -> ShardState {
+        ShardState {
+            sock: UdpSocket::bind("127.0.0.1:0").expect("bind test socket"),
+            slots: vec![VACANT; 1 << 16],
+            in_flight: 0,
+        }
+    }
+
+    /// A minimal DNS response header: `id`, RD|RA flags with `rcode`, and
+    /// `ancount` answers.
+    fn response(id: u16, rcode: u8, ancount: u16) -> [u8; 12] {
+        let [id_hi, id_lo] = id.to_be_bytes();
+        let [an_hi, an_lo] = ancount.to_be_bytes();
+        [id_hi, id_lo, 0x81, 0x80 | rcode, 0, 0, an_hi, an_lo, 0, 0, 0, 0]
+    }
+
+    #[test]
+    fn classify_counts_short_datagram_as_unmatched() {
+        let stats = LoadStats::unregistered(1);
+        let mut shard = test_shard();
+        for len in 0..12 {
+            classify(&vec![0u8; len], &mut shard, 0, &stats, Instant::now());
+        }
+        assert_eq!(stats.unmatched.get(), 12);
+        assert_eq!(shard.in_flight, 0);
+    }
+
+    #[test]
+    fn classify_counts_unknown_id_as_unmatched() {
+        let stats = LoadStats::unregistered(1);
+        let mut shard = test_shard();
+        // No query with ID 7 is in flight: the slot is VACANT.
+        classify(&response(7, 0, 1), &mut shard, 0, &stats, Instant::now());
+        assert_eq!(stats.unmatched.get(), 1);
+        assert_eq!(stats.answered.get(), 0);
+        assert_eq!(shard.in_flight, 0);
+    }
+
+    #[test]
+    fn classify_matches_in_flight_response_and_vacates_slot() {
+        let stats = LoadStats::unregistered(1);
+        let mut shard = test_shard();
+        shard.slots[7] = 0; // sent at t=0
+        shard.in_flight = 1;
+        stats.in_flight.add(1);
+        classify(&response(7, 0, 1), &mut shard, 0, &stats, Instant::now());
+        assert_eq!(stats.answered.get(), 1);
+        assert_eq!(shard.in_flight, 0);
+        assert_eq!(stats.in_flight.get(), 0);
+        assert_eq!(shard.slots[7], VACANT);
+        assert_eq!(stats.latency_us[0].count(), 1);
+        // A duplicate of the same response no longer matches anything.
+        classify(&response(7, 0, 1), &mut shard, 0, &stats, Instant::now());
+        assert_eq!(stats.unmatched.get(), 1);
+        assert_eq!(stats.answered.get(), 1);
+    }
+
+    #[test]
+    fn classify_buckets_rcodes() {
+        let stats = LoadStats::unregistered(1);
+        let mut shard = test_shard();
+        for (id, rcode) in [(1u16, 3u8), (2, 2), (3, 9)] {
+            shard.slots[id as usize] = 0;
+            shard.in_flight += 1;
+            stats.in_flight.add(1);
+            classify(&response(id, rcode, 0), &mut shard, 0, &stats, Instant::now());
+        }
+        assert_eq!(stats.nxdomain.get(), 1);
+        assert_eq!(stats.servfail.get(), 1);
+        // Reserved rcode 9: matched (slot vacated) but counted unmatched.
+        assert_eq!(stats.unmatched.get(), 1);
+        assert_eq!(shard.in_flight, 0);
     }
 }

@@ -36,7 +36,11 @@ impl Hostname {
         Hostname(joined)
     }
 
-    /// The normalized text form (no trailing dot).
+    /// The normalized text form (no trailing dot). A hostname may embed a
+    /// device-owner's name; `rdns-lint` tracks taint through the
+    /// distinctively named accessors ([`Self::host_label`] and the scan/sim
+    /// sources) because a bare `as_str` mark would also match every
+    /// `String::as_str` call in the workspace.
     pub fn as_str(&self) -> &str {
         &self.0
     }
@@ -51,7 +55,9 @@ impl Hostname {
         self.labels().count()
     }
 
-    /// The leftmost (host-specific) label, if any.
+    /// The leftmost (host-specific) label, if any. This is where owner names
+    /// live (`brians-iphone`), so it is a PII source for `rdns-lint`.
+    // lint:taint(source)
     pub fn host_label(&self) -> Option<&str> {
         self.labels().next()
     }

@@ -172,9 +172,7 @@ impl DeviceKind {
             }
             DeviceKind::Roku => format!("roku-{:04x}", rng.gen::<u16>()),
             DeviceKind::WindowsDesktop => format!("DESKTOP-{:07X}", rng.gen::<u32>() & 0xFFFFFFF),
-            // lint:allow(pii-display) -- hostname synthesis: the simulator is *creating* the leak under study (§3); display sites downstream must redact via Pii
             DeviceKind::GenericLaptop => format!("{}s-laptop", owner.to_ascii_lowercase()),
-            // lint:allow(pii-display) -- hostname synthesis, as above
             DeviceKind::GenericPhone => format!("{}s-phone", owner.to_ascii_lowercase()),
         }
     }

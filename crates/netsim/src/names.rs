@@ -53,7 +53,9 @@ impl Default for GivenNamePool {
 }
 
 impl GivenNamePool {
-    /// Sample one given name.
+    /// Sample one given name. The returned text is a synthetic person name —
+    /// a PII source for `rdns-lint` even though it is fabricated.
+    // lint:taint(source)
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
         if rng.gen::<f64>() < self.top50_weight {
             TOP50_GIVEN_NAMES[rng.gen_range(0..TOP50_GIVEN_NAMES.len())]

@@ -836,7 +836,6 @@ fn install_static_named<S: DnsStore>(
     for addr in addrs.iter().take(hosts) {
         let owner = name_pool.sample(rng);
         let kind = ["pc", "ws", "lab", "desktop"][rng.gen_range(0..4usize)];
-        // lint:allow(pii-display) -- hostname synthesis: building the PTR target that *is* the studied leak; consumers redact at display time
         let name = format!("{owner}s-{kind}.{}.{}", sub.label, spec.suffix);
         let target = DnsName::parse(&name).expect("static named records are valid");
         store.set_ptr(*addr, target, 3600);

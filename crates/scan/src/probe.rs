@@ -52,7 +52,9 @@ impl RdnsOutcome {
         !matches!(self, RdnsOutcome::Ptr(_))
     }
 
-    /// The hostname, if any.
+    /// The hostname, if any. PTR targets embed owner names, so this is a
+    /// PII source for `rdns-lint`.
+    // lint:taint(source)
     pub fn hostname(&self) -> Option<&Hostname> {
         match self {
             RdnsOutcome::Ptr(h) => Some(h),

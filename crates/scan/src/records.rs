@@ -98,7 +98,6 @@ impl ScanLog {
                 RdnsOutcome::NameserverFailure => ("servfail", ""),
                 RdnsOutcome::Timeout => ("timeout", ""),
             };
-            // lint:allow(pii-display) -- raw-dataset export: this CSV *is* the collected rDNS data; redaction applies at the reporting layer (rdns_core::redact::Pii), not in the archive
             let _ = writeln!(out, "{},{},{},{}", r.ts.as_secs(), r.addr, kind, host);
         }
         out

@@ -210,7 +210,7 @@ impl WireSweeper {
     pub async fn sweep(&self, targets: &[Ipv4Addr], date: Date) -> SweepReport {
         let order: Vec<Ipv4Addr> = match self.config.permute_seed {
             Some(seed) => Permutation::new(targets.len() as u64, seed)
-                .map(|i| targets[i as usize])
+                .filter_map(|i| targets.get(i as usize).copied())
                 .collect(),
             None => targets.to_vec(),
         };
@@ -260,7 +260,12 @@ impl WireSweeper {
             .collect();
         drive_all(worker_futs).await;
         // Attempts beyond one-per-target are retries (timeout re-sends).
-        let attempts = self.resolver.stats().snapshot().queries_sent - attempts_before;
+        let attempts = self
+            .resolver
+            .stats()
+            .snapshot()
+            .queries_sent
+            .saturating_sub(attempts_before);
         self.metrics
             .retries
             .add(attempts.saturating_sub(order.len() as u64));

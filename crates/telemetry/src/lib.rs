@@ -258,9 +258,12 @@ impl Histogram {
                 let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
                 let hi = le_bound(i);
                 // 0-based position of the rank inside this bucket's n
-                // observations, spread evenly across the bucket's range.
+                // observations, spread evenly across the bucket's range. A
+                // lone observation sits at the bucket midpoint: returning
+                // the upper bound would bias single-sample quantiles a full
+                // bucket width high.
                 let pos = (rank - cumulative - 1) as f64;
-                let frac = if n > 1 { pos / (n - 1) as f64 } else { 1.0 };
+                let frac = if n > 1 { pos / (n - 1) as f64 } else { 0.5 };
                 return Some(lo + ((hi - lo) as f64 * frac).round() as u64);
             }
             cumulative += n;
@@ -698,6 +701,19 @@ mod tests {
         h.observe(0);
         assert_eq!(h.quantile(0.5), Some(0));
         assert_eq!(h.quantile(1.0), Some(0));
+    }
+
+    #[test]
+    fn quantile_of_single_sample_interpolates_to_bucket_midpoint() {
+        // Regression: a lone observation used to report the bucket *upper
+        // bound* (frac 1.0), so one 100 µs sample read as 127 µs — a full
+        // bucket width of bias. A single sample carries no rank information,
+        // so the estimate must sit at the bucket midpoint.
+        let h = Histogram::default();
+        h.observe(100); // bucket [64, 127]
+        assert_eq!(h.quantile(0.5), Some(96), "64 + round(63 · 0.5) = 96");
+        assert_eq!(h.quantile(0.99), Some(96));
+        assert_eq!(h.quantile(1.0), Some(96));
     }
 
     #[test]
