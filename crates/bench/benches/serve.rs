@@ -11,7 +11,9 @@
 //! * **saturation** — a windowed closed loop drives each shard count
 //!   flat-out; completions per second is the capacity of that
 //!   configuration. The headline point gates the SLO regression test in
-//!   `rdns-bench` (≥45k qps at ≥4 shards, 2x the pipelined sweep).
+//!   `rdns-bench` (≥110k qps at ≥4 shards out of the pre-rendered
+//!   response cache; the report also records cache hit/miss and drain
+//!   batch-size counters for that run).
 //!
 //! Run modes follow the criterion shim's convention: with `--bench` in the
 //! args (as `cargo bench` passes) the full universe is measured and the
@@ -19,12 +21,15 @@
 //! (`cargo test` executing the bench target) a small smoke run happens and
 //! nothing is written.
 
-use rdns_bench::{ServeBenchReport, ServeLatencyLane, ServeSaturationLane};
-use rdns_dns::{FaultConfig, ShardedShutdownHandle, ShardedUdpServer, ZoneStore};
+use rdns_bench::{
+    ServeBatchLane, ServeBenchReport, ServeCacheLane, ServeLatencyLane, ServeSaturationLane,
+};
+use rdns_dns::{FaultConfig, ServerStats, ShardedShutdownHandle, ShardedUdpServer, ZoneStore};
 use rdns_loadgen::{
     measure_saturation, ArrivalProcess, LoadConfig, LoadGenerator, SaturationConfig,
 };
 use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::Arc;
 use std::time::Duration;
 
 const WORKERS_PER_SHARD: usize = 1;
@@ -57,7 +62,7 @@ fn spawn_shards(
     rt: &tokio::runtime::Runtime,
     store: ZoneStore,
     shards: usize,
-) -> (Vec<SocketAddr>, ShardedShutdownHandle) {
+) -> (Vec<SocketAddr>, ShardedShutdownHandle, Vec<Arc<ServerStats>>) {
     rt.block_on(async {
         let server = ShardedUdpServer::bind(
             "127.0.0.1:0".parse().unwrap(),
@@ -70,8 +75,9 @@ fn spawn_shards(
         .with_workers(WORKERS_PER_SHARD);
         let addrs = server.addrs().expect("shard addrs");
         let shutdown = server.shutdown_handle();
+        let stats = server.stats();
         tokio::spawn(server.run());
-        (addrs, shutdown)
+        (addrs, shutdown, stats)
     })
 }
 
@@ -92,7 +98,7 @@ fn run_latency_lane(
     targets: &[Ipv4Addr],
     spec: &LatencyLaneSpec,
 ) -> ServeLatencyLane {
-    let (addrs, shutdown) = spawn_shards(rt, store.clone(), spec.shards);
+    let (addrs, shutdown, _stats) = spawn_shards(rt, store.clone(), spec.shards);
     let report = LoadGenerator::new(LoadConfig {
         seed: 0x5E27E,
         rate_qps: spec.offered_qps,
@@ -131,8 +137,8 @@ fn run_saturation_lane(
     targets: &[Ipv4Addr],
     shards: usize,
     total: u64,
-) -> ServeSaturationLane {
-    let (addrs, shutdown) = spawn_shards(rt, store.clone(), shards);
+) -> (ServeSaturationLane, ServeCacheLane, ServeBatchLane) {
+    let (addrs, shutdown, stats) = spawn_shards(rt, store.clone(), shards);
     let report = measure_saturation(
         &addrs,
         targets,
@@ -149,12 +155,35 @@ fn run_saturation_lane(
         !report.timed_out,
         "saturation lane must finish its quota: {report:?}"
     );
-    ServeSaturationLane {
+    let lane = ServeSaturationLane {
         socket_shards: shards as u64,
         completed: report.completed,
         elapsed_ms: report.elapsed.as_secs_f64() * 1e3,
         qps: report.qps,
+    };
+    let (mut hits, mut misses, mut invalidations) = (0u64, 0u64, 0u64);
+    let (mut wakeups, mut datagrams) = (0u64, 0u64);
+    for shard in &stats {
+        let snap = shard.snapshot();
+        hits += snap.cache_hits;
+        misses += snap.cache_misses;
+        invalidations += snap.cache_invalidations;
+        wakeups += shard.batch_size.count();
+        datagrams += shard.batch_size.sum();
     }
+    let probes = hits + misses;
+    let cache = ServeCacheLane {
+        hits,
+        misses,
+        invalidations,
+        hit_rate: if probes == 0 { 0.0 } else { hits as f64 / probes as f64 },
+    };
+    let batch = ServeBatchLane {
+        wakeups,
+        datagrams,
+        mean_batch: if wakeups == 0 { 0.0 } else { datagrams as f64 / wakeups as f64 },
+    };
+    (lane, cache, batch)
 }
 
 fn main() {
@@ -191,12 +220,18 @@ fn main() {
     );
 
     let mut saturation = Vec::new();
+    let mut headline_counters = None;
     for &shards in &shard_counts {
-        let lane = run_saturation_lane(&rt, &store, &targets, shards, total);
+        let (lane, cache, batch) = run_saturation_lane(&rt, &store, &targets, shards, total);
         println!(
-            "bench serve_path/saturation: shards={} {:.0} q/s ({} completed in {:.0} ms)",
-            lane.socket_shards, lane.qps, lane.completed, lane.elapsed_ms
+            "bench serve_path/saturation: shards={} {:.0} q/s ({} completed in {:.0} ms, \
+             cache hit rate {:.2}, mean batch {:.1})",
+            lane.socket_shards, lane.qps, lane.completed, lane.elapsed_ms,
+            cache.hit_rate, batch.mean_batch
         );
+        if lane.socket_shards == HEADLINE_SHARDS as u64 {
+            headline_counters = Some((cache, batch));
+        }
         saturation.push(lane);
     }
 
@@ -210,8 +245,9 @@ fn main() {
         .find(|l| l.socket_shards == HEADLINE_SHARDS as u64)
         .map(|l| l.qps)
         .expect("headline shard count measured");
+    let (response_cache, batch) = headline_counters.expect("headline shard count measured");
     let report = ServeBenchReport {
-        schema_version: 1,
+        schema_version: 2,
         bench: "serve_path".into(),
         addresses: targets.len() as u64,
         ptr_records: ptrs,
@@ -220,6 +256,8 @@ fn main() {
         latency,
         saturation,
         saturation_qps,
+        response_cache,
+        batch,
     };
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
     std::fs::write(path, report.to_json().expect("serialize report") + "\n")

@@ -24,7 +24,10 @@
 //!   socket, demultiplexed by message ID, with bounded concurrency — the
 //!   client half of the ZMap-scale daily-snapshot wire path,
 //! * [`cache`] — the TTL cache a recursive vantage point would impose,
-//!   quantifying why the paper queries authoritative servers directly.
+//!   quantifying why the paper queries authoritative servers directly,
+//! * [`response_cache`] — pre-rendered wire responses for the serve hot
+//!   path, invalidated by zone generation stamps so live churn stays
+//!   correct.
 
 pub mod cache;
 pub mod client;
@@ -32,6 +35,7 @@ pub mod message;
 pub mod name;
 pub mod pipeline;
 pub mod ptr_table;
+pub mod response_cache;
 pub mod server;
 pub mod wire;
 pub mod zone;
@@ -42,6 +46,7 @@ pub use message::{Message, Opcode, Question, Rcode, RecordClass, RecordData, Rec
 pub use name::{DnsName, NameError};
 pub use pipeline::{PipelinedConfig, PipelinedResolver, PipelinedStats, PipelinedStatsSnapshot};
 pub use ptr_table::PtrTable;
+pub use response_cache::{CacheOutcome, ResponseCache, ResponseClass};
 pub use server::{
     answer_from_store, FaultConfig, ServerStats, ShardedShutdownHandle, ShardedUdpServer,
     TcpServer, UdpServer, DEFAULT_SERVER_WORKERS,

@@ -1,0 +1,282 @@
+//! Pre-rendered PTR response cache for the UDP serve hot path.
+//!
+//! The paper's measurement presumes authoritative servers that absorb
+//! full-zone sweeps (§6.1: fresh answers for 6.15M /24s); at that load the
+//! per-query cost of building a [`crate::message::Message`] and encoding it
+//! dominates. This cache stores the *fully wire-encoded* response for each
+//! `(reverse /24, host octet)` pair — header, echoed question, answer or
+//! SOA authority — so a hit is a memcpy plus two header patches (the
+//! message ID and the echoed RD bit), the same template trick the load
+//! generator uses on the query side.
+//!
+//! # Coherence contract
+//!
+//! Entries are only valid for one **generation stamp**: the pair of the
+//! store-wide structural generation (bumped when zones are added or
+//! replaced) and the owning zone's SOA serial (bumped on every record
+//! mutation), as returned by [`crate::zone::ZoneStore::rev24_generation`].
+//! The serving worker reads the current stamp *before* probing the cache
+//! and a hit requires exact stamp equality, so live churn from a stepping
+//! world can never serve a stale answer: any mutation bumps the serial,
+//! the stamps stop matching, and the slab is rebuilt lazily on the next
+//! miss. Inserts label rendered bytes with a stamp read *before* the
+//! render, which makes the bytes at least as fresh as their label — a
+//! racing mutation makes the label stale (entry never served), never the
+//! bytes. The SOA serial embedded in cached negative responses is kept
+//! truthful by the same serial-equality check.
+//!
+//! # Why ID patching is byte-exact
+//!
+//! Only canonically-shaped queries reach the cache (see the server's fast
+//! parse): opcode QUERY, one question, already-lowercase `in-addr.arpa`
+//! labels, no truncation bit. For such queries the authoritative response
+//! depends on the query bytes only through the 16-bit message ID and the
+//! echoed recursion-desired flag — everything else (QR/AA set, RA/Z/rcode
+//! overwritten, question echoed verbatim) is fixed by the responder. Both
+//! variable fields live at fixed offsets in the first three octets, so
+//! patching them reproduces `Message::response_to(..).encode()` exactly.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Host-octet space of a /24 reverse zone: one slot per final label value.
+const SLAB_SLOTS: usize = 256;
+
+/// Which server counter a cached response bumps when served, mirroring the
+/// rcode bucketing of the uncached answer path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseClass {
+    /// NoError with at least one answer record (a PTR was present).
+    Answered,
+    /// NoError with an empty answer section (SOA in the authority section).
+    NoData,
+    /// NXDOMAIN (SOA in the authority section).
+    NxDomain,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The output buffer holds a complete response, ID and RD patched.
+    Hit(ResponseClass),
+    /// No entry for this octet at the current generation.
+    MissCold,
+    /// The slab was rendered at a different generation; the next insert
+    /// resets it. Counts as an invalidation.
+    MissStale,
+}
+
+#[derive(Debug)]
+struct Entry {
+    class: ResponseClass,
+    bytes: Box<[u8]>,
+}
+
+/// All cached responses for one /24 reverse zone, valid at one stamp.
+#[derive(Debug)]
+struct Slab {
+    /// `(structural generation, zone serial)` the entries were rendered at.
+    stamp: (u64, u32),
+    entries: Vec<Option<Entry>>,
+}
+
+impl Slab {
+    fn empty(stamp: (u64, u32)) -> Slab {
+        let mut entries = Vec::with_capacity(SLAB_SLOTS);
+        entries.resize_with(SLAB_SLOTS, || None);
+        Slab { stamp, entries }
+    }
+}
+
+/// Per-stripe cache of fully rendered PTR responses, keyed by /24 network
+/// prefix (`u32::from(addr) >> 8`) and final host octet.
+///
+/// Lock layout mirrors the striped [`crate::zone::ZoneStore`]: a read-mostly
+/// outer map from prefix to slab, one inner `RwLock` per slab, so serving
+/// workers on different /24s never contend. See the module docs for the
+/// coherence contract.
+#[derive(Debug, Default)]
+pub struct ResponseCache {
+    slabs: RwLock<HashMap<u32, Arc<RwLock<Slab>>>>,
+}
+
+impl ResponseCache {
+    /// An empty cache.
+    pub fn new() -> ResponseCache {
+        ResponseCache::default()
+    }
+
+    /// Probe for the response to the PTR query for host `octet` in the /24
+    /// with network `prefix`, valid at generation `stamp`. On a hit the
+    /// cached bytes are copied into `out` with the message ID and the
+    /// echoed RD bit patched to this query's values.
+    pub fn lookup(
+        &self,
+        prefix: u32,
+        octet: u8,
+        stamp: (u64, u32),
+        id: u16,
+        rd: u8,
+        out: &mut Vec<u8>,
+    ) -> CacheOutcome {
+        let slabs = self.slabs.read();
+        let Some(slab) = slabs.get(&prefix) else {
+            return CacheOutcome::MissCold;
+        };
+        let slab = slab.read();
+        if slab.stamp != stamp {
+            return CacheOutcome::MissStale;
+        }
+        let Some(Some(entry)) = slab.entries.get(octet as usize) else {
+            return CacheOutcome::MissCold;
+        };
+        out.clear();
+        out.extend_from_slice(&entry.bytes);
+        if let Some(b) = out.get_mut(..2) {
+            b.copy_from_slice(&id.to_be_bytes());
+        }
+        if let Some(b) = out.get_mut(2) {
+            *b = (*b & 0xFE) | (rd & 1);
+        }
+        CacheOutcome::Hit(entry.class)
+    }
+
+    /// Install the rendered response `bytes` for `(prefix, octet)` under
+    /// `stamp`. A slab rendered at a different stamp is reset first.
+    ///
+    /// `stamp` must have been read *before* `bytes` were rendered from the
+    /// store. A concurrent insert racing with a mutation can at worst label
+    /// fresh bytes with an old stamp (the entry then never serves, because
+    /// lookups compare against the generation current at serve time) — it
+    /// can never label stale bytes with the current stamp, because zone
+    /// serials only move forward.
+    pub fn insert(
+        &self,
+        prefix: u32,
+        octet: u8,
+        stamp: (u64, u32),
+        class: ResponseClass,
+        bytes: &[u8],
+    ) {
+        let slab = {
+            let mut slabs = self.slabs.write();
+            Arc::clone(
+                slabs
+                    .entry(prefix)
+                    .or_insert_with(|| Arc::new(RwLock::new(Slab::empty(stamp)))),
+            )
+        };
+        let mut slab = slab.write();
+        if slab.stamp != stamp {
+            for slot in slab.entries.iter_mut() {
+                *slot = None;
+            }
+            slab.stamp = stamp;
+        }
+        if let Some(slot) = slab.entries.get_mut(octet as usize) {
+            *slot = Some(Entry {
+                class,
+                bytes: Box::from(bytes),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_response(id: u16, rd: bool) -> Vec<u8> {
+        let mut bytes = vec![0u8; 20];
+        bytes[0] = (id >> 8) as u8;
+        bytes[1] = id as u8;
+        // QR|AA plus the echoed RD bit, as the responder would set them.
+        bytes[2] = 0x84 | u8::from(rd);
+        bytes[19] = 0xEE;
+        bytes
+    }
+
+    #[test]
+    fn miss_then_hit_with_patched_id_and_rd() {
+        let cache = ResponseCache::new();
+        let stamp = (1, 7);
+        let mut out = Vec::new();
+        assert_eq!(
+            cache.lookup(0xC00002, 34, stamp, 0x1111, 0, &mut out),
+            CacheOutcome::MissCold
+        );
+        cache.insert(
+            0xC00002,
+            34,
+            stamp,
+            ResponseClass::Answered,
+            &sample_response(0xAAAA, false),
+        );
+        let outcome = cache.lookup(0xC00002, 34, stamp, 0xBEEF, 1, &mut out);
+        assert_eq!(outcome, CacheOutcome::Hit(ResponseClass::Answered));
+        let mut expected = sample_response(0xBEEF, true);
+        expected[2] |= 0x84;
+        assert_eq!(out, expected);
+        // Other octets in the same slab are still cold.
+        assert_eq!(
+            cache.lookup(0xC00002, 35, stamp, 1, 0, &mut out),
+            CacheOutcome::MissCold
+        );
+    }
+
+    #[test]
+    fn stale_stamp_invalidates_whole_slab() {
+        let cache = ResponseCache::new();
+        cache.insert(9, 1, (1, 1), ResponseClass::NxDomain, &sample_response(1, false));
+        cache.insert(9, 2, (1, 1), ResponseClass::Answered, &sample_response(2, false));
+        let mut out = Vec::new();
+        // Serial moved: both entries are stale.
+        assert_eq!(
+            cache.lookup(9, 1, (1, 2), 5, 0, &mut out),
+            CacheOutcome::MissStale
+        );
+        // Re-inserting octet 1 at the new stamp drops octet 2 as well.
+        cache.insert(9, 1, (1, 2), ResponseClass::Answered, &sample_response(3, false));
+        assert_eq!(
+            cache.lookup(9, 2, (1, 2), 5, 0, &mut out),
+            CacheOutcome::MissCold
+        );
+        assert!(matches!(
+            cache.lookup(9, 1, (1, 2), 5, 0, &mut out),
+            CacheOutcome::Hit(ResponseClass::Answered)
+        ));
+    }
+
+    #[test]
+    fn structural_generation_participates_in_the_stamp() {
+        // Same serial, different structural generation — e.g. a zone
+        // replaced wholesale by `add_zone` with a coincidentally equal
+        // serial — must not hit.
+        let cache = ResponseCache::new();
+        cache.insert(9, 1, (1, 5), ResponseClass::Answered, &sample_response(1, false));
+        let mut out = Vec::new();
+        assert_eq!(
+            cache.lookup(9, 1, (2, 5), 5, 0, &mut out),
+            CacheOutcome::MissStale
+        );
+    }
+
+    #[test]
+    fn old_stamp_insert_can_never_serve_at_the_current_stamp() {
+        // The ABA guard: a laggard worker inserting under an old stamp may
+        // reset a fresher slab, but lookups at the current stamp miss.
+        let cache = ResponseCache::new();
+        cache.insert(9, 1, (1, 9), ResponseClass::Answered, &sample_response(1, false));
+        cache.insert(9, 2, (1, 8), ResponseClass::Answered, &sample_response(2, false));
+        let mut out = Vec::new();
+        assert_eq!(
+            cache.lookup(9, 2, (1, 9), 5, 0, &mut out),
+            CacheOutcome::MissStale
+        );
+        assert_eq!(
+            cache.lookup(9, 1, (1, 9), 5, 0, &mut out),
+            CacheOutcome::MissStale
+        );
+    }
+}

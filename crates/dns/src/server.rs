@@ -7,10 +7,11 @@
 //! *name-server failures*, and missing names are genuine *NXDOMAIN*s.
 
 use crate::message::{Message, Opcode, Rcode};
+use crate::response_cache::{CacheOutcome, ResponseCache, ResponseClass};
 use crate::zone::{LookupResult, ZoneStore};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rdns_telemetry::{Counter, Determinism, Registry};
+use rdns_telemetry::{Counter, Determinism, Histogram, Registry};
 use std::io;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -19,6 +20,11 @@ use tokio::sync::watch;
 
 /// Maximum UDP payload we accept (we are tolerant on receive).
 const MAX_DATAGRAM: usize = 1500;
+
+/// Upper bound on datagrams drained per batch pass. Bounds the worker's
+/// scratch memory; the drain loop keeps re-filling until the receive queue
+/// is empty, so this is a buffer size, not a throughput cap.
+const MAX_BATCH: usize = 32;
 
 /// Classic DNS-over-UDP response limit without EDNS (RFC 1035 §4.2.1):
 /// larger responses are truncated with TC set, prompting TCP retry.
@@ -67,6 +73,14 @@ pub struct ServerStats {
     pub refused: Counter,
     /// Queries dropped by fault injection.
     pub dropped: Counter,
+    /// Queries answered from the pre-rendered response cache.
+    pub cache_hits: Counter,
+    /// Cacheable queries that fell through to the full answer path.
+    pub cache_misses: Counter,
+    /// Cache misses caused by a generation-stamp mismatch (zone churn).
+    pub cache_invalidations: Counter,
+    /// Datagrams drained per socket wakeup (log2 buckets).
+    pub batch_size: Histogram,
 }
 
 impl ServerStats {
@@ -119,6 +133,23 @@ impl ServerStats {
                 "rdns_dns_server_dropped_total",
                 "Queries dropped by fault injection.",
             ),
+            cache_hits: c(
+                "rdns_dns_response_cache_hits_total",
+                "Queries answered from the pre-rendered response cache.",
+            ),
+            cache_misses: c(
+                "rdns_dns_response_cache_misses_total",
+                "Cacheable queries that fell through to the full answer path.",
+            ),
+            cache_invalidations: c(
+                "rdns_dns_response_cache_invalidations_total",
+                "Cache misses caused by a generation-stamp mismatch (zone churn).",
+            ),
+            batch_size: registry.histogram(
+                &format!("rdns_dns_server_batch_size{suffix}"),
+                "Datagrams drained per socket wakeup (log2 buckets).",
+                Determinism::WallClock,
+            ),
         }
     }
 
@@ -132,6 +163,10 @@ impl ServerStats {
         self.servfail.absorb(&old.servfail);
         self.refused.absorb(&old.refused);
         self.dropped.absorb(&old.dropped);
+        self.cache_hits.absorb(&old.cache_hits);
+        self.cache_misses.absorb(&old.cache_misses);
+        self.cache_invalidations.absorb(&old.cache_invalidations);
+        self.batch_size.absorb(&old.batch_size);
     }
 
     /// Snapshot all counters as plain values.
@@ -145,6 +180,9 @@ impl ServerStats {
             servfail: self.servfail.get(),
             refused: self.refused.get(),
             dropped: self.dropped.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_invalidations: self.cache_invalidations.get(),
         }
     }
 }
@@ -168,6 +206,12 @@ pub struct ServerStatsSnapshot {
     pub refused: u64,
     /// Fault-dropped queries.
     pub dropped: u64,
+    /// Response-cache hits.
+    pub cache_hits: u64,
+    /// Response-cache misses.
+    pub cache_misses: u64,
+    /// Response-cache generation invalidations.
+    pub cache_invalidations: u64,
 }
 
 /// Per-worker seed spacing for the fault RNG (golden-ratio increment). With
@@ -182,41 +226,248 @@ struct ServerCore {
     store: ZoneStore,
     faults: FaultConfig,
     stats: Arc<ServerStats>,
+    /// Pre-rendered response cache; `None` disables it (the differential
+    /// tests run a cache-less oracle server over the same live store).
+    cache: Option<ResponseCache>,
+}
+
+/// The fields of a canonically-shaped PTR query that the cached fast path
+/// needs: everything else about such a query is fixed by its shape.
+struct FastQuery {
+    id: u16,
+    /// The recursion-desired bit (0 or 1), echoed into the response.
+    rd: u8,
+    /// /24 network prefix of the queried address (`u32::from(addr) >> 8`).
+    prefix: u32,
+    /// Final host octet of the queried address.
+    octet: u8,
+}
+
+/// Shallow, allocation-free parse of a cacheable PTR query.
+///
+/// Accepts exactly the canonical wire shape the load generator and stub
+/// resolvers emit: opcode QUERY, QR/TC clear, counts 1/0/0/0, an
+/// uncompressed all-lowercase `d.c.b.a.in-addr.arpa.` qname with canonical
+/// decimal octet labels, QTYPE PTR, QCLASS IN, nothing trailing. Anything
+/// else returns `None` and takes the general decode path — strictness here
+/// is what makes serving a patched cached response byte-identical to the
+/// full `decode`→`response_to`→`encode` pipeline (which lowercases names
+/// and re-encodes them without compression in the question section).
+fn parse_cacheable_ptr_query(d: &[u8]) -> Option<FastQuery> {
+    let id = u16::from_be_bytes([*d.first()?, *d.get(1)?]);
+    let flags_hi = *d.get(2)?;
+    // QR (0x80), opcode (0x78) and TC (0x02) must be zero; AA is ignored by
+    // the responder and RD (0x01) is echoed. The low flags byte (RA/Z/rcode)
+    // is entirely overwritten in responses, so it can hold anything.
+    if flags_hi & 0xFA != 0 {
+        return None;
+    }
+    if d.get(4..12)? != [0u8, 1, 0, 0, 0, 0, 0, 0].as_slice() {
+        return None;
+    }
+    let mut pos = 12usize;
+    let mut octets = [0u8; 4];
+    for slot in octets.iter_mut() {
+        let len = *d.get(pos)? as usize;
+        if len == 0 || len > 3 {
+            return None;
+        }
+        let label = d.get(pos + 1..pos + 1 + len)?;
+        if len > 1 && label.first() == Some(&b'0') {
+            return None;
+        }
+        let mut value = 0u32;
+        for &c in label {
+            if !c.is_ascii_digit() {
+                return None;
+            }
+            value = value * 10 + u32::from(c.wrapping_sub(b'0'));
+        }
+        if value > 255 {
+            return None;
+        }
+        *slot = value as u8;
+        pos += 1 + len;
+    }
+    let suffix = [
+        7u8, b'i', b'n', b'-', b'a', b'd', b'd', b'r', 4, b'a', b'r', b'p', b'a', 0,
+    ];
+    if d.get(pos..pos + 14)? != suffix.as_slice() {
+        return None;
+    }
+    pos += 14;
+    // QTYPE PTR, QCLASS IN, and the datagram must end with the question.
+    if d.get(pos..pos + 4)? != [0u8, 12, 0, 1].as_slice() || pos + 4 != d.len() {
+        return None;
+    }
+    // Labels run last-octet-first: `34.216.184.93.in-addr.arpa` is 93.184.216.34.
+    let [last, c, b, a] = octets;
+    Some(FastQuery {
+        id,
+        rd: flags_hi & 0x01,
+        prefix: (u32::from(a) << 16) | (u32::from(b) << 8) | u32::from(c),
+        octet: last,
+    })
+}
+
+/// Encode `response` into `out` (reusing its allocation), truncating per
+/// RFC 1035 §4.2.1 when it exceeds the UDP payload limit. Returns whether
+/// truncation happened (a truncated rendering must not be cached).
+fn encode_bounded(mut response: Message, out: &mut Vec<u8>) -> bool {
+    response.encode_into(out);
+    if out.len() <= UDP_PAYLOAD_LIMIT {
+        return false;
+    }
+    response.answers.clear();
+    response.authorities.clear();
+    response.additionals.clear();
+    response.header.truncated = true;
+    response.encode_into(out);
+    true
 }
 
 impl ServerCore {
-    fn handle_datagram(&self, datagram: &[u8], rng: &mut SmallRng) -> Option<Vec<u8>> {
+    /// Serve one datagram, writing the reply into `out` (reusing its
+    /// allocation). Returns `false` when there is nothing to send
+    /// (malformed input or a fault-injected drop).
+    fn handle_datagram_into(&self, datagram: &[u8], rng: &mut SmallRng, out: &mut Vec<u8>) -> bool {
+        if let Some(cache) = self.cache.as_ref() {
+            if let Some(fq) = parse_cacheable_ptr_query(datagram) {
+                return self.serve_cacheable(cache, datagram, &fq, rng, out);
+            }
+        }
         let query = match Message::decode(datagram) {
             Ok(m) => m,
             Err(_) => {
                 self.stats.malformed.inc();
-                return None;
+                return false;
             }
         };
         if query.header.response {
             // Not a query at all; ignore silently like BIND does.
             self.stats.malformed.inc();
-            return None;
+            return false;
         }
-
         if self.faults.drop_probability > 0.0 && rng.gen::<f64>() < self.faults.drop_probability {
             self.stats.dropped.inc();
+            return false;
+        }
+        encode_bounded(self.answer(&query, rng), out);
+        true
+    }
+
+    /// The cached fast path for a canonically-shaped PTR query.
+    ///
+    /// Observable behaviour is identical to the general path: the fault
+    /// draws happen in the same order (drop, then SERVFAIL) under the same
+    /// `> 0.0` guards, so cached and uncached servers consume identical RNG
+    /// streams; counters bump the same cells; and the bytes sent are
+    /// byte-for-byte what `decode`→`answer`→`encode` would have produced
+    /// (see [`ResponseCache`] for why ID/RD patching is exact).
+    fn serve_cacheable(
+        &self,
+        cache: &ResponseCache,
+        datagram: &[u8],
+        fq: &FastQuery,
+        rng: &mut SmallRng,
+        out: &mut Vec<u8>,
+    ) -> bool {
+        if self.faults.drop_probability > 0.0 && rng.gen::<f64>() < self.faults.drop_probability {
+            self.stats.dropped.inc();
+            return false;
+        }
+        if self.faults.servfail_probability > 0.0
+            && rng.gen::<f64>() < self.faults.servfail_probability
+        {
+            self.stats.servfail.inc();
+            return self.render_forced(datagram, Rcode::ServFail, out);
+        }
+        // The stamp is read before the cache probe (and before any miss
+        // render), which is what makes generation-checked hits safe: see
+        // the coherence contract in [`crate::response_cache`].
+        let Some(stamp) = self.store.rev24_generation(fq.prefix) else {
+            // No /24 stripe, or deep reverse zones could shadow it — the
+            // stamp can't vouch for freshness, so serve uncached.
+            self.stats.cache_misses.inc();
+            return self.render_uncached(datagram, out).is_some() || !out.is_empty();
+        };
+        match cache.lookup(fq.prefix, fq.octet, stamp, fq.id, fq.rd, out) {
+            CacheOutcome::Hit(class) => {
+                self.stats.cache_hits.inc();
+                self.class_counter(class).inc();
+                return true;
+            }
+            CacheOutcome::MissStale => {
+                self.stats.cache_invalidations.inc();
+                self.stats.cache_misses.inc();
+            }
+            CacheOutcome::MissCold => self.stats.cache_misses.inc(),
+        }
+        match self.render_uncached(datagram, out) {
+            Some(class) => {
+                cache.insert(fq.prefix, fq.octet, stamp, class, out);
+                true
+            }
+            None => !out.is_empty(),
+        }
+    }
+
+    /// Decode + answer from the store + encode, bumping the same counters
+    /// as [`ServerCore::answer`]. Returns the response class when the
+    /// rendering is cacheable (NoError/NXDOMAIN, untruncated), `None`
+    /// otherwise. `out` is left empty only if the datagram fails to decode
+    /// (impossible after the fast parse accepted it, but accounted anyway).
+    fn render_uncached(&self, datagram: &[u8], out: &mut Vec<u8>) -> Option<ResponseClass> {
+        let Ok(query) = Message::decode(datagram) else {
+            self.stats.malformed.inc();
+            out.clear();
+            return None;
+        };
+        let resp = answer_from_store(&self.store, &query);
+        let class = match (resp.header.rcode, resp.answers.is_empty()) {
+            (Rcode::NoError, false) => {
+                self.stats.answered.inc();
+                Some(ResponseClass::Answered)
+            }
+            (Rcode::NoError, true) => {
+                self.stats.nodata.inc();
+                Some(ResponseClass::NoData)
+            }
+            (Rcode::NxDomain, _) => {
+                self.stats.nxdomain.inc();
+                Some(ResponseClass::NxDomain)
+            }
+            (Rcode::Refused, _) => {
+                self.stats.refused.inc();
+                None
+            }
+            _ => {
+                self.stats.malformed.inc();
+                None
+            }
+        };
+        if encode_bounded(resp, out) {
             return None;
         }
+        class
+    }
 
-        let response = self.answer(&query, rng);
-        let bytes = response.encode();
-        if bytes.len() <= UDP_PAYLOAD_LIMIT {
-            return Some(bytes);
+    /// Decode and answer with a fixed rcode (the injected-SERVFAIL path).
+    fn render_forced(&self, datagram: &[u8], rcode: Rcode, out: &mut Vec<u8>) -> bool {
+        let Ok(query) = Message::decode(datagram) else {
+            self.stats.malformed.inc();
+            return false;
+        };
+        encode_bounded(Message::response_to(&query, rcode), out);
+        true
+    }
+
+    fn class_counter(&self, class: ResponseClass) -> &Counter {
+        match class {
+            ResponseClass::Answered => &self.stats.answered,
+            ResponseClass::NoData => &self.stats.nodata,
+            ResponseClass::NxDomain => &self.stats.nxdomain,
         }
-        // RFC 1035 §4.2.1: truncate over-limit responses and set TC so the
-        // client retries over TCP.
-        let mut truncated = response;
-        truncated.answers.clear();
-        truncated.authorities.clear();
-        truncated.additionals.clear();
-        truncated.header.truncated = true;
-        Some(truncated.encode())
     }
 
     fn answer(&self, query: &Message, rng: &mut SmallRng) -> Message {
@@ -244,15 +495,19 @@ impl ServerCore {
 
     /// One serve loop. Multiple workers run this concurrently over the same
     /// socket; the kernel delivers each datagram to exactly one of them.
+    /// Each wakeup drains every queued datagram in batches of up to
+    /// [`MAX_BATCH`], answering them back-to-back before re-arming, so the
+    /// executor's poll cadence is amortized over N queries instead of 1.
     async fn worker_loop(
         self: Arc<Self>,
         worker: u64,
         socket: Arc<UdpSocket>,
         mut shutdown_rx: watch::Receiver<bool>,
     ) -> io::Result<()> {
-        let mut buf = vec![0u8; MAX_DATAGRAM];
         let mut rng =
             SmallRng::seed_from_u64(self.faults.seed ^ worker.wrapping_mul(WORKER_SEED_STRIDE));
+        let mut batch = RecvBatch::new();
+        let mut reply = Vec::with_capacity(MAX_DATAGRAM);
         loop {
             tokio::select! {
                 _ = shutdown_rx.changed() => {
@@ -260,23 +515,77 @@ impl ServerCore {
                         return Ok(());
                     }
                 }
-                recv = socket.recv_from(&mut buf) => {
-                    let (len, peer) = recv?;
-                    self.stats.received.inc();
-                    // `recv_from` can't report more than the buffer holds,
-                    // but the serve loop must not be one kernel quirk away
-                    // from a panic: an impossible length counts as malformed.
-                    let Some(datagram) = buf.get(..len) else {
-                        self.stats.malformed.inc();
-                        continue;
-                    };
-                    if let Some(reply) = self.handle_datagram(datagram, &mut rng) {
-                        // Best-effort send; a full socket buffer is the
-                        // client's timeout problem, mirroring real servers.
-                        let _ = socket.send_to(&reply, peer).await;
+                ready = socket.readable() => {
+                    ready?;
+                    self.drain_ready(&socket, &mut batch, &mut reply, &mut rng).await?;
+                }
+            }
+        }
+    }
+
+    /// Drain and answer every datagram queued on `socket`. Receives up to
+    /// [`MAX_BATCH`] datagrams into the reusable batch buffers, answers
+    /// them back-to-back, and repeats until the queue is empty.
+    async fn drain_ready(
+        &self,
+        socket: &UdpSocket,
+        batch: &mut RecvBatch,
+        reply: &mut Vec<u8>,
+        rng: &mut SmallRng,
+    ) -> io::Result<()> {
+        loop {
+            batch.meta.clear();
+            for buf in batch.bufs.iter_mut() {
+                match socket.try_recv_from(buf) {
+                    Ok((len, peer)) => batch.meta.push((len, peer)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            if batch.meta.is_empty() {
+                return Ok(());
+            }
+            self.stats.batch_size.observe(batch.meta.len() as u64);
+            for (i, &(len, peer)) in batch.meta.iter().enumerate() {
+                self.stats.received.inc();
+                // `try_recv_from` can't report more than the buffer holds,
+                // but the serve loop must not be one kernel quirk away from
+                // a panic: an impossible slot or length counts as malformed.
+                let Some(buf) = batch.bufs.get(i) else {
+                    self.stats.malformed.inc();
+                    continue;
+                };
+                let Some(datagram) = buf.get(..len) else {
+                    self.stats.malformed.inc();
+                    continue;
+                };
+                if self.handle_datagram_into(datagram, rng, reply) {
+                    // Best-effort send; a full socket buffer is the
+                    // client's timeout problem, mirroring real servers.
+                    match socket.try_send_to(reply, peer) {
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            let _ = socket.send_to(reply, peer).await;
+                        }
+                        _ => {}
                     }
                 }
             }
+        }
+    }
+}
+
+/// Reusable receive-side scratch for one serve worker: [`MAX_BATCH`]
+/// datagram buffers plus the `(length, peer)` metadata of the filled ones.
+struct RecvBatch {
+    bufs: Vec<Vec<u8>>,
+    meta: Vec<(usize, SocketAddr)>,
+}
+
+impl RecvBatch {
+    fn new() -> RecvBatch {
+        RecvBatch {
+            bufs: (0..MAX_BATCH).map(|_| vec![0u8; MAX_DATAGRAM]).collect(),
+            meta: Vec::with_capacity(MAX_BATCH),
         }
     }
 }
@@ -314,6 +623,7 @@ impl UdpServer {
                 store,
                 faults,
                 stats: Arc::new(ServerStats::default()),
+                cache: Some(ResponseCache::new()),
             }),
             workers: DEFAULT_SERVER_WORKERS,
             shutdown_tx,
@@ -324,6 +634,22 @@ impl UdpServer {
     /// Serve with `n` concurrent worker tasks (clamped to at least 1).
     pub fn with_workers(mut self, n: usize) -> UdpServer {
         self.workers = n.max(1);
+        self
+    }
+
+    /// Enable or disable the pre-rendered response cache (default: on).
+    /// Disabling it forces every query through the full
+    /// decode→answer→encode path — the differential tests use this to run
+    /// a cache-less oracle over the same live store. Must be called before
+    /// [`UdpServer::run`].
+    pub fn with_response_cache(mut self, enabled: bool) -> UdpServer {
+        let core = Arc::get_mut(&mut self.core)
+            .expect("with_response_cache must be called before the server starts");
+        core.cache = if enabled {
+            Some(ResponseCache::new())
+        } else {
+            None
+        };
         self
     }
 
@@ -450,6 +776,17 @@ impl ShardedUdpServer {
             .shards
             .into_iter()
             .map(|s| s.with_workers(n))
+            .collect();
+        self
+    }
+
+    /// Enable or disable the pre-rendered response cache on every shard
+    /// (default: on). Must precede [`ShardedUdpServer::run`].
+    pub fn with_response_cache(mut self, enabled: bool) -> ShardedUdpServer {
+        self.shards = self
+            .shards
+            .into_iter()
+            .map(|s| s.with_response_cache(enabled))
             .collect();
         self
     }
@@ -945,6 +1282,124 @@ mod tests {
             text.contains("rdns_dns_server_answered_total{shard=\"0\"} 0"),
             "idle shard must render zero: {text}"
         );
+        shutdown.shutdown();
+    }
+
+    #[test]
+    fn fast_parse_accepts_canonical_ptr_queries_only() {
+        let mut q = Message::query(0xBEEF, Question::ptr_for("93.184.216.34".parse().unwrap()));
+        q.header.recursion_desired = true;
+        let bytes = q.encode();
+        let fq = parse_cacheable_ptr_query(&bytes).expect("canonical query must fast-parse");
+        assert_eq!(fq.id, 0xBEEF);
+        assert_eq!(fq.rd, 1);
+        assert_eq!(fq.prefix, u32::from(Ipv4Addr::new(93, 184, 216, 34)) >> 8);
+        assert_eq!(fq.octet, 34);
+
+        // Anything off-shape must fall through to the general decode path.
+        let mut tc = bytes.clone();
+        tc[2] |= 0x02; // TC set: the response echoes it, so no fast path
+        assert!(parse_cacheable_ptr_query(&tc).is_none());
+        let mut resp_bit = bytes.clone();
+        resp_bit[2] |= 0x80;
+        assert!(parse_cacheable_ptr_query(&resp_bit).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(parse_cacheable_ptr_query(&trailing).is_none());
+        let mut truncated_dgram = bytes.clone();
+        truncated_dgram.pop();
+        assert!(parse_cacheable_ptr_query(&truncated_dgram).is_none());
+        let a_query = Message::query(
+            1,
+            Question::new("34.216.184.93.in-addr.arpa".parse().unwrap(), RecordType::A),
+        );
+        assert!(parse_cacheable_ptr_query(&a_query.encode()).is_none());
+        let forward = Message::query(
+            1,
+            Question::new("www.example.com".parse().unwrap(), RecordType::PTR),
+        );
+        assert!(parse_cacheable_ptr_query(&forward.encode()).is_none());
+        // Non-canonical decimal ("034") decodes to the same name but is not
+        // byte-identical after re-encoding, so it must not fast-parse.
+        let mut padded = bytes.clone();
+        padded[12] = 3; // first label "34" becomes "034"
+        padded.insert(13, b'0');
+        assert!(parse_cacheable_ptr_query(&padded).is_none());
+        assert!(parse_cacheable_ptr_query(&[]).is_none());
+    }
+
+    #[tokio::test]
+    async fn response_cache_serves_hits_and_invalidates_on_churn() {
+        let store = test_store();
+        let server = UdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            store.clone(),
+            FaultConfig::default(),
+        )
+        .await
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        let stats = server.stats();
+        tokio::spawn(server.run());
+
+        let target: Ipv4Addr = "192.0.2.34".parse().unwrap();
+        let first = raw_query(addr, &Message::query(1, Question::ptr_for(target))).await;
+        let second = raw_query(addr, &Message::query(2, Question::ptr_for(target))).await;
+        assert_eq!(first.first_ptr(), second.first_ptr());
+        assert_eq!(second.header.id, 2, "cached reply must carry the new ID");
+        let snap = stats.snapshot();
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_invalidations, 0);
+        assert_eq!(snap.answered, 2);
+
+        // A zone mutation bumps the serial: the cached entry must die.
+        store.set_ptr(target, "renamed-device.example.edu".parse().unwrap(), 300);
+        let third = raw_query(addr, &Message::query(3, Question::ptr_for(target))).await;
+        assert_eq!(
+            third.first_ptr().unwrap().to_string(),
+            "renamed-device.example.edu."
+        );
+        let snap = stats.snapshot();
+        assert_eq!(snap.cache_invalidations, 1);
+        assert_eq!(snap.cache_misses, 2);
+
+        // And the refreshed entry serves again.
+        let fourth = raw_query(addr, &Message::query(4, Question::ptr_for(target))).await;
+        assert_eq!(fourth.first_ptr(), third.first_ptr());
+        assert_eq!(stats.snapshot().cache_hits, 2);
+        shutdown.shutdown();
+    }
+
+    #[tokio::test]
+    async fn cache_disabled_server_answers_identically() {
+        let store = test_store();
+        let server = UdpServer::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            store.clone(),
+            FaultConfig::default(),
+        )
+        .await
+        .unwrap()
+        .with_response_cache(false);
+        let addr = server.local_addr().unwrap();
+        let shutdown = server.shutdown_handle();
+        let stats = server.stats();
+        tokio::spawn(server.run());
+
+        let q = Message::query(7, Question::ptr_for("192.0.2.34".parse().unwrap()));
+        let resp = raw_query(addr, &q).await;
+        assert_eq!(
+            resp.first_ptr().unwrap().to_string(),
+            "brians-iphone.example.edu."
+        );
+        let again = raw_query(addr, &q).await;
+        assert_eq!(again, resp);
+        let snap = stats.snapshot();
+        assert_eq!(snap.cache_hits, 0, "disabled cache must never hit");
+        assert_eq!(snap.cache_misses, 0);
+        assert_eq!(snap.answered, 2);
         shutdown.shutdown();
     }
 

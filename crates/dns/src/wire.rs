@@ -201,6 +201,17 @@ impl WireWriter {
         Self::default()
     }
 
+    /// A writer that reuses `buf`'s allocation. The buffer is cleared (its
+    /// capacity is retained) and the compression table starts empty, so the
+    /// output is byte-identical to a fresh writer's.
+    pub fn reusing(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        WireWriter {
+            buf,
+            name_offsets: HashMap::new(),
+        }
+    }
+
     /// The serialized bytes so far.
     pub fn as_bytes(&self) -> &[u8] {
         &self.buf

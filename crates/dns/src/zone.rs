@@ -22,7 +22,8 @@ use crate::ptr_table::{self, PtrTable};
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicUsize, Ordering};
+// lint:allow(raw-atomic-stats) -- AtomicU64 here is the structural generation sequence number (cache-coherence stamp), not a statistic; it is never rendered or aggregated
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Result of an authoritative lookup.
@@ -581,6 +582,12 @@ pub struct ZoneStore {
     /// `in-addr.arpa`). Nonzero disables the `rev24` shortcut, because a
     /// deeper zone could win longest-match routing over the /24.
     deep_reverse: Arc<AtomicUsize>,
+    /// Store-wide structural generation, bumped whenever a zone is added or
+    /// replaced. Paired with the per-zone serial it forms the response
+    /// cache's generation stamp: the serial alone could repeat if a zone is
+    /// swapped out for a fresh one whose serial happens to match.
+    // lint:allow(raw-atomic-stats) -- sequence number feeding the response-cache stamp, not a counter; telemetry cells cannot be read back into coherence decisions
+    structural_gen: Arc<AtomicU64>,
 }
 
 impl ZoneStore {
@@ -649,6 +656,7 @@ impl ZoneStore {
         let stripe = Arc::new(RwLock::new(zone));
         self.index_zone(&apex, &stripe);
         self.directory.write().insert(apex, stripe);
+        self.structural_gen.fetch_add(1, Ordering::Release);
     }
 
     /// Ensure a reverse zone exists for the /24 containing `addr`.
@@ -673,7 +681,23 @@ impl ZoneStore {
             let stripe = Arc::new(RwLock::new(Zone::new_interned(apex)));
             slot.insert(Arc::clone(&stripe));
             self.index_zone(stripe.read().apex(), &stripe);
+            self.structural_gen.fetch_add(1, Ordering::Release);
         }
+    }
+
+    /// The response cache's generation stamp for the /24 with the given
+    /// network prefix (`u32::from(addr) >> 8`): the store-wide structural
+    /// generation plus the owning zone's serial. `None` when the shortcut is
+    /// invalid — no such /24 zone, or a deeper reverse zone exists that
+    /// could shadow it — in which case cached responses must not be served.
+    pub fn rev24_generation(&self, prefix: u32) -> Option<(u64, u32)> {
+        if self.deep_reverse.load(Ordering::Relaxed) != 0 {
+            return None;
+        }
+        let structural = self.structural_gen.load(Ordering::Acquire);
+        let stripe = self.rev24.read().get(&prefix).cloned()?;
+        let serial = stripe.read().serial();
+        Some((structural, serial))
     }
 
     /// All zone apexes, in order (for zone-at-a-time iteration).

@@ -40,6 +40,12 @@ const IDLE_SLEEP: Duration = Duration::from_micros(200);
 /// Slot sentinel: no query in flight under this message ID.
 const VACANT: u64 = u64::MAX;
 
+/// Upper bound on datagrams classified per shard per drain pass, mirroring
+/// the server's drain batching: responses are pulled and accounted
+/// back-to-back, but the loop surfaces between batches so dispatch
+/// deadlines are still checked under response floods.
+const RECV_BATCH: usize = 64;
+
 /// Wall-clock telemetry cells for the generator, one set per run. All
 /// metrics are [`Determinism::WallClock`]: offered load replays a seeded
 /// schedule, but completions, latencies, and drops depend on real kernel
@@ -447,7 +453,10 @@ fn dispatch_loop(
                     config.seed ^ CLIENT_STREAM ^ client.wrapping_mul(CLIENT_STRIDE),
                 )
             });
-            let id = (rng.next_u32() & 0xFFFF) as u16;
+            // Claim the in-flight slot *before* the packet is rendered and
+            // sent, so the ID on the wire is always the ID being tracked
+            // (collisions probe to a different ID — see `claim_slot`).
+            let id = claim_slot(shard, (rng.next_u32() & 0xFFFF) as u16, now_nanos, stats);
             state.scratch.clear();
             state.scratch.extend_from_slice(template);
             if let [hi, lo, ..] = state.scratch.as_mut_slice() {
@@ -456,42 +465,26 @@ fn dispatch_loop(
             }
             match shard.sock.send(&state.scratch) {
                 Ok(_) => {
-                    let Some(slot) = shard.slots.get_mut(id as usize) else {
-                        stats.send_failed.inc();
-                        continue;
-                    };
-                    if *slot != VACANT {
-                        // ID collision: the older query can no longer be
-                        // matched; account it as a timeout now.
-                        stats.timeout.inc();
-                        stats.in_flight.sub(1);
-                        shard.in_flight -= 1;
-                    }
-                    *slot = now_nanos;
-                    shard.in_flight += 1;
                     stats.sent.inc();
                     stats.in_flight.add(1);
                     max_in_flight = max_in_flight.max(stats.in_flight.get());
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    // Nothing went out: release the claimed slot.
+                    if let Some(slot) = shard.slots.get_mut(id as usize) {
+                        *slot = VACANT;
+                    }
+                    shard.in_flight -= 1;
                     stats.send_failed.inc();
                 }
                 Err(e) => return Err(e),
             }
         }
-        // Drain responses on every shard socket.
+        // Drain responses on every shard socket, in bounded batches.
         let mut received_any = false;
         for (k, shard) in state.shards.iter_mut().enumerate() {
-            loop {
-                match shard.sock.recv(&mut buf) {
-                    Ok(n) => {
-                        received_any = true;
-                        let datagram = buf.get(..n).unwrap_or_default();
-                        classify(datagram, shard, k, stats, start);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(e) => return Err(e),
-                }
+            if drain_shard(shard, k, stats, start, &mut buf)? > 0 {
+                received_any = true;
             }
         }
         let in_flight: i64 = state.shards.iter().map(|s| s.in_flight).sum();
@@ -527,6 +520,72 @@ fn dispatch_loop(
             std::thread::yield_now();
         }
     }
+}
+
+/// Claim an in-flight slot for a dispatch whose RNG drew `id`.
+///
+/// The drawn ID is the preferred slot; when it is occupied the table is
+/// probed linearly (wrapping) for a vacant ID. With 65536 slots and
+/// bounded in-flight windows a vacancy always exists, so the older query
+/// keeps its slot and both queries remain matchable — the historical
+/// overwrite-on-collision raced the older query's late response against
+/// the new query's slot, double-counting one collision as a timeout *and*
+/// an unmatched response. Only when every slot is occupied is the older
+/// query at the drawn ID retired deterministically as `unmatched` (its
+/// response can no longer be attributed) and its slot taken over.
+///
+/// Returns the ID actually claimed; `shard.in_flight` is incremented. Runs
+/// per dispatch, so it shares [`dispatch_loop`]'s panic- and alloc-free
+/// hot-path contract.
+fn claim_slot(shard: &mut ShardState, id: u16, now_nanos: u64, stats: &LoadStats) -> u16 {
+    let mut candidate = id;
+    loop {
+        if let Some(slot) = shard.slots.get_mut(candidate as usize) {
+            if *slot == VACANT {
+                *slot = now_nanos;
+                shard.in_flight += 1;
+                return candidate;
+            }
+        }
+        candidate = candidate.wrapping_add(1);
+        if candidate == id {
+            break;
+        }
+    }
+    // Full table: 65536 queries in flight on this shard. Retire the older
+    // query under the drawn ID deterministically and take the slot.
+    stats.unmatched.inc();
+    stats.in_flight.sub(1);
+    if let Some(slot) = shard.slots.get_mut(id as usize) {
+        *slot = now_nanos;
+    }
+    id
+}
+
+/// Drain up to [`RECV_BATCH`] queued responses from one shard socket,
+/// classifying them back-to-back. Returns how many were received; the
+/// caller loops its dispatch/drain cycle, so a flood is consumed across
+/// passes without starving dispatch deadlines.
+fn drain_shard(
+    shard: &mut ShardState,
+    shard_idx: usize,
+    stats: &LoadStats,
+    start: Instant,
+    buf: &mut [u8],
+) -> io::Result<usize> {
+    let mut received = 0usize;
+    while received < RECV_BATCH {
+        match shard.sock.recv(buf) {
+            Ok(n) => {
+                received += 1;
+                let datagram = buf.get(..n).unwrap_or_default();
+                classify(datagram, shard, shard_idx, stats, start);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(received)
 }
 
 /// Header-only response classification: enough to account the query without
@@ -636,6 +695,61 @@ mod tests {
         classify(&response(7, 0, 1), &mut shard, 0, &stats, Instant::now());
         assert_eq!(stats.unmatched.get(), 1);
         assert_eq!(stats.answered.get(), 1);
+    }
+
+    #[test]
+    fn claim_slot_probes_past_collisions_without_losing_either_query() {
+        // Regression for the latency-lane flake: an ID collision used to
+        // overwrite the older query's slot, racing its late response into
+        // the new slot — one collision became a timeout *and* an unmatched
+        // response. Probing keeps both queries matchable with no failures.
+        let stats = LoadStats::unregistered(1);
+        let mut shard = test_shard();
+        assert_eq!(claim_slot(&mut shard, 7, 100, &stats), 7);
+        assert_eq!(claim_slot(&mut shard, 7, 200, &stats), 8, "collision must probe");
+        assert_eq!(shard.slots[7], 100, "older query keeps its slot");
+        assert_eq!(shard.slots[8], 200);
+        assert_eq!(shard.in_flight, 2);
+        assert_eq!(stats.timeout.get(), 0);
+        assert_eq!(stats.unmatched.get(), 0);
+
+        // Both responses now match their own queries, in either order.
+        stats.in_flight.add(2);
+        classify(&response(7, 0, 1), &mut shard, 0, &stats, Instant::now());
+        classify(&response(8, 3, 0), &mut shard, 0, &stats, Instant::now());
+        assert_eq!(stats.answered.get(), 1);
+        assert_eq!(stats.nxdomain.get(), 1);
+        assert_eq!(stats.unmatched.get(), 0);
+        assert_eq!(shard.in_flight, 0);
+    }
+
+    #[test]
+    fn claim_slot_wraps_around_the_table() {
+        let stats = LoadStats::unregistered(1);
+        let mut shard = test_shard();
+        shard.slots[0xFFFF] = 1;
+        shard.slots[0] = 2;
+        shard.in_flight = 2;
+        assert_eq!(claim_slot(&mut shard, 0xFFFF, 300, &stats), 1);
+        assert_eq!(shard.slots[1], 300);
+        assert_eq!(shard.in_flight, 3);
+    }
+
+    #[test]
+    fn claim_slot_retires_oldest_deterministically_when_table_is_full() {
+        let stats = LoadStats::unregistered(1);
+        let mut shard = test_shard();
+        for slot in shard.slots.iter_mut() {
+            *slot = 5;
+        }
+        shard.in_flight = 1 << 16;
+        stats.in_flight.add(1 << 16);
+        assert_eq!(claim_slot(&mut shard, 42, 400, &stats), 42);
+        assert_eq!(shard.slots[42], 400, "slot taken over by the new query");
+        assert_eq!(stats.unmatched.get(), 1, "older query retired as unmatched");
+        assert_eq!(stats.timeout.get(), 0);
+        assert_eq!(shard.in_flight, 1 << 16, "retire + claim is in-flight neutral");
+        assert_eq!(stats.in_flight.get(), (1 << 16) - 1);
     }
 
     #[test]

@@ -82,6 +82,9 @@ pub fn measure_saturation(
     let mut sent = vec![0u64; shards];
     let mut recvd = vec![0u64; shards];
     let mut buf = [0u8; 1500];
+    // Reusable send scratch: the deck entry is copied in (no per-send heap
+    // allocation) and only the ID bytes are patched.
+    let mut pkt: Vec<u8> = Vec::with_capacity(64);
     let mut next_pkt = 0usize;
     let mut seq: u16 = rng.gen();
     let mut total_sent = 0u64;
@@ -92,7 +95,8 @@ pub fn measure_saturation(
         for k in 0..shards {
             while total_sent < config.total_queries && sent[k] - recvd[k] < config.window_per_shard
             {
-                let mut pkt = deck[next_pkt].clone();
+                pkt.clear();
+                pkt.extend_from_slice(&deck[next_pkt]);
                 next_pkt = (next_pkt + 1) % deck.len();
                 seq = seq.wrapping_add(1);
                 pkt[0] = (seq >> 8) as u8;

@@ -45,6 +45,32 @@ impl UdpSocket {
             }
         }
     }
+
+    /// Nonblocking receive: surfaces `WouldBlock` instead of yielding, so a
+    /// drain loop can pull every queued datagram per wakeup syscall-for-
+    /// syscall, without constructing a future per datagram.
+    pub fn try_recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        self.inner.recv_from(buf)
+    }
+
+    /// Nonblocking send: surfaces `WouldBlock` instead of yielding.
+    pub fn try_send_to(&self, buf: &[u8], target: SocketAddr) -> io::Result<usize> {
+        self.inner.send_to(buf, target)
+    }
+
+    /// Resolve once at least one datagram is queued for receive. Mirrors
+    /// tokio's readiness API closely enough for drain-batch loops:
+    /// `readable().await` then `try_recv_from` until `WouldBlock`.
+    pub async fn readable(&self) -> io::Result<()> {
+        let mut probe = [0u8; 1];
+        loop {
+            match self.inner.peek_from(&mut probe) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => pending_once().await,
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 /// Async TCP stream. `read`/`write` primitives live here; the `read_exact` /

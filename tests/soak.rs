@@ -145,3 +145,135 @@ fn serve_soak_three_days_of_churn_under_fixed_rate() {
         assert!(count > 0, "socket shard {shard} saw no completed queries");
     }
 }
+
+/// The pre-rendered response cache must be invisible on the wire: a cached
+/// server and a cache-disabled server over the *same live store* must
+/// return byte-identical responses for every query — at 1, 2 and 8 socket
+/// shards, on cold and warm passes, and again after a simulated day of
+/// DHCP churn mutates the zones underneath the warmed cache.
+#[test]
+fn cached_serve_path_is_byte_identical_to_uncached_under_churn() {
+    use rdns_dns::{FaultConfig, Message, Question, ShardedUdpServer};
+    use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+    use std::time::Duration;
+
+    /// Lock-step sweep: each query goes to the same shard index on both
+    /// servers; the pair of responses must match byte for byte.
+    fn differential_sweep(
+        probe: &UdpSocket,
+        cached: &[SocketAddr],
+        uncached: &[SocketAddr],
+        targets: &[Ipv4Addr],
+        phase: &str,
+    ) {
+        let mut buf_a = [0u8; 1500];
+        let mut buf_b = [0u8; 1500];
+        for (i, &target) in targets.iter().enumerate() {
+            let mut query = Message::query(i as u16, Question::ptr_for(target));
+            // Exercise both RD values: the cached path patches the echoed
+            // RD bit rather than re-rendering.
+            query.header.recursion_desired = i % 2 == 1;
+            let pkt = query.encode();
+            let shard = i % cached.len();
+            probe.send_to(&pkt, cached[shard]).expect("send cached");
+            let (n_a, _) = probe.recv_from(&mut buf_a).expect("recv cached");
+            probe.send_to(&pkt, uncached[shard]).expect("send uncached");
+            let (n_b, _) = probe.recv_from(&mut buf_b).expect("recv uncached");
+            assert_eq!(
+                &buf_a[..n_a],
+                &buf_b[..n_b],
+                "{phase}: response for {target} (id {i}) diverged between \
+                 cached and uncached serve paths"
+            );
+        }
+    }
+
+    const SWEEP_CAP: usize = 1024;
+
+    let start = Date::from_ymd(2021, 11, 1);
+    let mut world = World::new(WorldConfig {
+        seed: 0xCAC4ED,
+        shards: 2,
+        start,
+        networks: vec![presets::academic_a(0.08)],
+    });
+    world.run_days(start, |_, _| {});
+    let mut day = start;
+
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .build()
+        .expect("runtime");
+
+    for shards in [1usize, 2, 8] {
+        // Fresh targets per shard count: the world churns inside the loop,
+        // so each round sweeps the store as it currently stands. Absent
+        // hosts ride along (the /24 neighbour of every present target) to
+        // cover NXDOMAIN/NoData rendering as well as answers.
+        let mut targets: Vec<Ipv4Addr> = Vec::new();
+        for addr in world.all_scan_targets().into_iter().take(SWEEP_CAP / 2) {
+            targets.push(addr);
+            targets.push(Ipv4Addr::from(u32::from(addr) ^ 0x3F));
+        }
+        assert!(targets.len() > 100, "world too small for a differential");
+
+        let (cached_addrs, uncached_addrs, stats, shutdowns) = rt.block_on(async {
+            let cached = ShardedUdpServer::bind(
+                "127.0.0.1:0".parse().unwrap(),
+                world.store().clone(),
+                FaultConfig::default(),
+                shards,
+            )
+            .await
+            .expect("bind cached server")
+            .with_workers(1);
+            let uncached = ShardedUdpServer::bind(
+                "127.0.0.1:0".parse().unwrap(),
+                world.store().clone(),
+                FaultConfig::default(),
+                shards,
+            )
+            .await
+            .expect("bind uncached server")
+            .with_workers(1)
+            .with_response_cache(false);
+            let cached_addrs = cached.addrs().expect("cached addrs");
+            let uncached_addrs = uncached.addrs().expect("uncached addrs");
+            let stats = cached.stats();
+            let shutdowns = (cached.shutdown_handle(), uncached.shutdown_handle());
+            tokio::spawn(cached.run());
+            tokio::spawn(uncached.run());
+            (cached_addrs, uncached_addrs, stats, shutdowns)
+        });
+
+        let probe = UdpSocket::bind("127.0.0.1:0").expect("probe socket");
+        probe
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("probe timeout");
+
+        // Cold pass populates the cache; warm pass must serve hits.
+        differential_sweep(&probe, &cached_addrs, &uncached_addrs, &targets, "cold");
+        differential_sweep(&probe, &cached_addrs, &uncached_addrs, &targets, "warm");
+        let warm: u64 = stats.iter().map(|s| s.snapshot().cache_hits).sum();
+        assert!(
+            warm > 0,
+            "shards={shards}: warm sweep never hit the response cache"
+        );
+
+        // A day of lease churn mutates zones under the warmed cache; the
+        // differential must still hold and staleness must be observable.
+        day = day.plus_days(1);
+        world.run_days(day, |w, _| w.check_invariants());
+        differential_sweep(&probe, &cached_addrs, &uncached_addrs, &targets, "churned");
+        let invalidated: u64 = stats
+            .iter()
+            .map(|s| s.snapshot().cache_invalidations)
+            .sum();
+        assert!(
+            invalidated > 0,
+            "shards={shards}: churn never invalidated a warmed slab"
+        );
+
+        shutdowns.0.shutdown();
+        shutdowns.1.shutdown();
+    }
+}
