@@ -737,4 +737,52 @@ mod tests {
             report.speedup
         );
     }
+
+    /// The committed `BENCH_matrix.json` at the repository root must parse
+    /// against the current lab schema and clear the tracking-resistance
+    /// gates: the full 16-cell grid, with verbatim naming trivially
+    /// trackable (recall ≥ 0.8) and suppressed updates untrackable
+    /// (recall ≤ 0.2). See `MITIGATIONS.md` for how to read the matrix.
+    #[test]
+    fn committed_matrix_report_satisfies_schema() {
+        use rdns_lab::MatrixReport;
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matrix.json");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("BENCH_matrix.json missing at repo root ({e}); regenerate with `cargo run --release --example mitigation_matrix`"));
+        let report = MatrixReport::from_json(&text).expect("schema violation");
+        assert_eq!(report.schema_version, 1);
+        assert_eq!(report.bench, "matrix");
+        assert!(
+            report.cells.len() >= 16,
+            "grid too small: {} cells",
+            report.cells.len()
+        );
+        assert!(report.days >= 14, "window too short: {} days", report.days);
+        assert!(report.split_day > 0 && report.split_day < report.days);
+        assert!(report.devices > 0);
+        for cell in &report.cells {
+            for v in [cell.precision, cell.recall, cell.coverage, cell.freshness, cell.specificity, cell.utility] {
+                assert!((0.0..=1.0).contains(&v), "score out of range in {cell:?}");
+            }
+            assert!(cell.correct_links <= cell.links, "{cell:?}");
+            assert!(cell.reidentified_devices <= cell.linkable_devices, "{cell:?}");
+        }
+        let verbatim: Vec<_> = report.cells_named("verbatim").collect();
+        let none: Vec<_> = report.cells_named("none").collect();
+        assert!(!verbatim.is_empty() && !none.is_empty());
+        for cell in verbatim {
+            assert!(
+                cell.recall >= 0.8,
+                "verbatim naming must be trackable (recall ≥ 0.8), got {:.3} in {cell:?}",
+                cell.recall
+            );
+        }
+        for cell in none {
+            assert!(
+                cell.recall <= 0.2,
+                "suppressed updates must defeat the tracker (recall ≤ 0.2), got {:.3} in {cell:?}",
+                cell.recall
+            );
+        }
+    }
 }

@@ -96,6 +96,7 @@ fn large_carriers(config: &PopulationConfig) -> Vec<NetworkSpec> {
                 subnets,
                 icmp: IcmpPolicy::Open,
                 lease_time: SimDuration::hours(1),
+                ptr_ttl: 300,
                 clean_release_prob: 0.4,
                 anonymity_fraction: 0.05,
                 device_ping_rate: rng.gen_range(0.1..0.6),
@@ -216,6 +217,7 @@ pub fn generate_population(config: &PopulationConfig) -> Vec<NetworkSpec> {
                 IcmpPolicy::Blocked
             },
             lease_time: SimDuration::hours(*[1u64, 1, 2, 4].get(rng.gen_range(0..4usize)).expect("in range")),
+            ptr_ttl: 300,
             clean_release_prob: rng.gen_range(0.2..0.5),
             anonymity_fraction: 0.05,
             device_ping_rate: rng.gen_range(0.1..0.9),

@@ -109,7 +109,10 @@ pub fn validation(scale: &Scale) -> Validation {
             universe.insert(block);
             match &sn.role {
                 SubnetRole::DynamicClients {
-                    dns: DynDnsMode::CarryOver | DynDnsMode::Hashed,
+                    dns:
+                        DynDnsMode::CarryOver
+                        | DynDnsMode::Hashed
+                        | DynDnsMode::HashedRotating { .. },
                     ..
                 } => {
                     truth_dynamic.insert(block);

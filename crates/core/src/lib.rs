@@ -15,6 +15,8 @@
 //! * §5.2 network-type classification → [`classify`]
 //! * §6.1–6.2 activity groups and PTR-removal timing → [`timing`]
 //! * §7 case studies → [`casestudies`]
+//! * §8 mitigation analysis: the content-blind cross-epoch tracker the
+//!   policy lab scores against → [`tracker`]
 //! * every table & figure of the evaluation → [`experiments`]
 
 pub mod casestudies;
@@ -27,6 +29,7 @@ pub mod report;
 pub mod suffix;
 pub mod terms;
 pub mod timing;
+pub mod tracker;
 
 pub use classify::{classify_suffix, NetworkClass, TypeBreakdown};
 pub use dynamicity::{
@@ -39,3 +42,4 @@ pub use terms::{extract_terms, is_router_level, TermCounts, DEVICE_TERMS, GENERI
 pub use timing::{
     build_groups, build_groups_metered, par_build_groups, ActivityGroup, GroupFunnel, RemovalDelays,
 };
+pub use tracker::{link_epochs, TrackerConfig, TrackerReport};

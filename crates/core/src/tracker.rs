@@ -1,0 +1,425 @@
+//! A sequence-based tracker: re-identify devices across an epoch boundary
+//! from PTR churn patterns alone.
+//!
+//! This is the adversary the mitigation lab (`rdns-lab`) evaluates policies
+//! against. It is deliberately *content-blind*: it never parses what a
+//! hostname says, only whether the opaque token at an address stayed equal
+//! ([`rdns_data::NameId`] comparison) and how records appeared and
+//! disappeared —
+//! appearance/disappearance weekday profile, lease-renewal cadence, and
+//! `/24` adjacency. That framing makes the lab's central result meaningful:
+//! a policy that merely *obscures* names (static salted hashes) leaves the
+//! token-equality channel wide open, while rotating the salt pushes the
+//! tracker down to behavioural features only.
+//!
+//! The window is split into two epochs at `split_day`. Track fragments from
+//! epoch A are greedily matched to fragments from epoch B by an
+//! integer-valued score (floats never enter the matching, so results are
+//! byte-stable across platforms and thread counts), and the matching is
+//! scored against simulator ground truth (`address → device` per day).
+
+use rdns_data::features::{PresenceTrack, TrackSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Score for two fragments carrying the same hostname token. Dominates all
+/// behavioural evidence: a persistent token is a perfect cookie.
+pub const SCORE_TOKEN: u32 = 1000;
+/// Score for fragments in the same `/24`.
+pub const SCORE_SAME_SLASH24: u32 = 40;
+/// Score for fragments in adjacent `/24`s (same pool spilling over).
+pub const SCORE_ADJACENT_SLASH24: u32 = 16;
+/// Maximum score from the weekday-presence profile.
+pub const SCORE_WEEKDAY_MAX: u32 = 32;
+/// Maximum score from lease-renewal cadence similarity.
+pub const SCORE_CADENCE_MAX: u32 = 16;
+
+/// Tracker parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackerConfig {
+    /// First day (0-based) of epoch B; epoch A is `[0, split_day)`.
+    pub split_day: u16,
+    /// Minimum score for a candidate link. The default (48) requires either
+    /// a token match or same-`/24` co-location plus behavioural agreement —
+    /// behavioural evidence alone, across unrelated `/24`s, maxes out at
+    /// `SCORE_WEEKDAY_MAX + SCORE_CADENCE_MAX = 48`.
+    pub min_score: u32,
+}
+
+impl TrackerConfig {
+    /// Default thresholds with the given epoch boundary.
+    pub fn at_split(split_day: u16) -> TrackerConfig {
+        TrackerConfig {
+            split_day,
+            min_score: 48,
+        }
+    }
+}
+
+/// One epoch-restricted view of a track.
+#[derive(Debug, Clone, Copy)]
+struct Fragment {
+    addr: u32,
+    token: rdns_data::NameId,
+    /// Weekday-presence bitmask (bit `w` = present on ≥1 ISO weekday `w`).
+    weekdays: u8,
+    /// Days present within the epoch.
+    days_present: u32,
+    /// Majority ground-truth device over present days, if any.
+    label: Option<u64>,
+}
+
+/// The tracker's verdict over one window.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TrackerReport {
+    /// Fragments observed in epoch A (after the static filter).
+    pub fragments_a: usize,
+    /// Fragments observed in epoch B.
+    pub fragments_b: usize,
+    /// Cross-epoch links the tracker asserted.
+    pub links: usize,
+    /// Links whose two fragments belong to the same ground-truth device.
+    pub correct_links: usize,
+    /// Devices visible (labelling ≥1 fragment) in *both* epochs — the
+    /// recall denominator.
+    pub linkable_devices: usize,
+    /// Distinct devices correctly re-identified across the boundary.
+    pub reidentified_devices: usize,
+}
+
+impl TrackerReport {
+    /// Fraction of asserted links that were correct (vacuously 1 when the
+    /// tracker asserted nothing).
+    pub fn precision(&self) -> f64 {
+        if self.links == 0 {
+            1.0
+        } else {
+            self.correct_links as f64 / self.links as f64
+        }
+    }
+
+    /// Fraction of linkable devices re-identified (0 when no device was
+    /// observable in both epochs).
+    pub fn recall(&self) -> f64 {
+        if self.linkable_devices == 0 {
+            0.0
+        } else {
+            self.reidentified_devices as f64 / self.linkable_devices as f64
+        }
+    }
+}
+
+/// Pairwise fragment score — integers only.
+fn score(a: &Fragment, b: &Fragment) -> u32 {
+    let mut s = 0u32;
+    if a.token == b.token {
+        s += SCORE_TOKEN;
+    }
+    let (p24a, p24b) = (a.addr >> 8, b.addr >> 8);
+    if p24a == p24b {
+        s += SCORE_SAME_SLASH24;
+    } else if p24a.abs_diff(p24b) == 1 {
+        s += SCORE_ADJACENT_SLASH24;
+    }
+    let weekday_matches = 7u32.saturating_sub((a.weekdays ^ b.weekdays).count_ones());
+    s += weekday_matches * SCORE_WEEKDAY_MAX / 7;
+    let cadence_gap = a.days_present.abs_diff(b.days_present);
+    s += SCORE_CADENCE_MAX.saturating_sub(2 * cadence_gap);
+    s
+}
+
+/// Majority ground-truth device over a fragment's present days; ties break
+/// to the lowest device id.
+fn majority_label(
+    addr: u32,
+    presence: u64,
+    truth: &[BTreeMap<u32, u64>],
+) -> Option<u64> {
+    let mut votes: BTreeMap<u64, u32> = BTreeMap::new();
+    for (d, day) in truth.iter().enumerate() {
+        if d < 64 && presence & (1u64 << d) != 0 {
+            if let Some(dev) = day.get(&addr) {
+                *votes.entry(*dev).or_default() += 1;
+            }
+        }
+    }
+    // BTreeMap iteration is ascending by id, and `>` keeps the first
+    // (lowest-id) device on equal votes.
+    let mut best: Option<(u64, u32)> = None;
+    for (dev, n) in votes {
+        if best.is_none_or(|(_, bn)| n > bn) {
+            best = Some((dev, n));
+        }
+    }
+    best.map(|(dev, _)| dev)
+}
+
+fn fragment(
+    track: &PresenceTrack,
+    set: &TrackSet,
+    from: u16,
+    to: u16,
+    truth: &[BTreeMap<u32, u64>],
+) -> Option<Fragment> {
+    let lo = from.min(64) as u32;
+    let hi = to.min(64) as u32;
+    if hi <= lo {
+        return None;
+    }
+    let span_mask = if hi - lo >= 64 {
+        u64::MAX
+    } else {
+        ((1u64 << (hi - lo)) - 1) << lo
+    };
+    let presence = track.presence & span_mask;
+    if presence == 0 {
+        return None;
+    }
+    let mut weekdays = 0u8;
+    for d in from..to.min(set.days) {
+        if presence & (1u64 << d) != 0 {
+            weekdays |= 1 << set.weekday_index(d);
+        }
+    }
+    Some(Fragment {
+        addr: track.addr,
+        token: track.token,
+        weekdays,
+        days_present: presence.count_ones(),
+        label: majority_label(track.addr, presence, truth),
+    })
+}
+
+/// Addresses whose single track is present on every day of the window:
+/// static records (infrastructure, fixed-form DHCP pools) that carry no
+/// churn signal. The tracker excludes them — and so does the paper's §4
+/// dynamicity filter, which is the same observation from the other side.
+fn static_addrs(set: &TrackSet) -> BTreeSet<u32> {
+    if set.days == 0 {
+        return BTreeSet::new();
+    }
+    let full = if set.days >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << set.days) - 1
+    };
+    let mut tracks_per_addr: BTreeMap<u32, u32> = BTreeMap::new();
+    for t in &set.tracks {
+        *tracks_per_addr.entry(t.addr).or_default() += 1;
+    }
+    set.tracks
+        .iter()
+        .filter(|t| t.presence == full && tracks_per_addr.get(&t.addr) == Some(&1))
+        .map(|t| t.addr)
+        .collect()
+}
+
+/// Run the tracker over one window and score it against ground truth.
+///
+/// `truth` holds one `address → device` map per window day, captured at the
+/// same instants as the observed snapshots.
+pub fn link_epochs(
+    set: &TrackSet,
+    truth: &[BTreeMap<u32, u64>],
+    cfg: &TrackerConfig,
+) -> TrackerReport {
+    let statics = static_addrs(set);
+    let mut frags_a = Vec::new();
+    let mut frags_b = Vec::new();
+    for t in &set.tracks {
+        if statics.contains(&t.addr) {
+            continue;
+        }
+        if let Some(f) = fragment(t, set, 0, cfg.split_day, truth) {
+            frags_a.push(f);
+        }
+        if let Some(f) = fragment(t, set, cfg.split_day, set.days, truth) {
+            frags_b.push(f);
+        }
+    }
+
+    // All candidate pairs above threshold, then greedy one-to-one matching
+    // in (score desc, a, b) order — fully deterministic.
+    let mut candidates: Vec<(u32, usize, usize)> = Vec::new();
+    for (i, a) in frags_a.iter().enumerate() {
+        for (j, b) in frags_b.iter().enumerate() {
+            let s = score(a, b);
+            if s >= cfg.min_score {
+                candidates.push((s, i, j));
+            }
+        }
+    }
+    candidates.sort_unstable_by(|x, y| y.0.cmp(&x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
+
+    let mut used_a = vec![false; frags_a.len()];
+    let mut used_b = vec![false; frags_b.len()];
+    let mut links = 0usize;
+    let mut correct = 0usize;
+    let mut reidentified: BTreeSet<u64> = BTreeSet::new();
+    for (_, i, j) in candidates {
+        if used_a[i] || used_b[j] {
+            continue;
+        }
+        used_a[i] = true;
+        used_b[j] = true;
+        links += 1;
+        if let (Some(da), Some(db)) = (frags_a[i].label, frags_b[j].label) {
+            if da == db {
+                correct += 1;
+                reidentified.insert(da);
+            }
+        }
+    }
+
+    let devices_a: BTreeSet<u64> = frags_a.iter().filter_map(|f| f.label).collect();
+    let devices_b: BTreeSet<u64> = frags_b.iter().filter_map(|f| f.label).collect();
+    TrackerReport {
+        fragments_a: frags_a.len(),
+        fragments_b: frags_b.len(),
+        links,
+        correct_links: correct,
+        linkable_devices: devices_a.intersection(&devices_b).count(),
+        reidentified_devices: reidentified.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_data::features::TrackExtractor;
+    use rdns_model::{Date, Hostname};
+    use std::net::Ipv4Addr;
+
+    const START: (i32, u8, u8) = (2021, 11, 1); // a Monday
+
+    /// Build a TrackSet + truth from per-day `(addr, name, device)` rows.
+    fn window(days: &[&[(&str, &str, u64)]]) -> (TrackSet, Vec<BTreeMap<u32, u64>>) {
+        let start = Date::from_ymd(START.0, START.1, START.2);
+        let mut ex = TrackExtractor::new();
+        let mut truth = Vec::new();
+        for (i, rows) in days.iter().enumerate() {
+            let mut records = BTreeMap::new();
+            let mut t = BTreeMap::new();
+            for (addr, name, dev) in rows.iter() {
+                let a: Ipv4Addr = addr.parse().unwrap();
+                records.insert(a, Hostname::new(name));
+                t.insert(u32::from(a), *dev);
+            }
+            ex.push_day(start.plus_days(i as i64), &records);
+            truth.push(t);
+        }
+        (ex.finish(), truth)
+    }
+
+    #[test]
+    fn persistent_token_links_across_epochs() {
+        // Device 1 keeps its name across the boundary but moves address.
+        let (set, truth) = window(&[
+            &[("10.0.1.5", "brians-mbp.resnet.example.edu", 1)],
+            &[("10.0.1.5", "brians-mbp.resnet.example.edu", 1)],
+            &[("10.0.1.9", "brians-mbp.resnet.example.edu", 1)],
+            &[("10.0.1.9", "brians-mbp.resnet.example.edu", 1)],
+        ]);
+        let r = link_epochs(&set, &truth, &TrackerConfig::at_split(2));
+        assert_eq!(r.links, 1);
+        assert_eq!(r.correct_links, 1);
+        assert_eq!(r.linkable_devices, 1);
+        assert_eq!(r.reidentified_devices, 1);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 1.0);
+    }
+
+    #[test]
+    fn rotated_token_still_links_behaviourally_in_same_pool() {
+        // Token changes at the boundary (salt rotation) but the device keeps
+        // its /24 and its every-day cadence.
+        let (set, truth) = window(&[
+            &[("10.0.1.5", "h-aaaaaaaaaaaa.pool.example.net", 1)],
+            &[("10.0.1.5", "h-aaaaaaaaaaaa.pool.example.net", 1)],
+            &[("10.0.1.7", "h-bbbbbbbbbbbb.pool.example.net", 1)],
+            &[("10.0.1.7", "h-bbbbbbbbbbbb.pool.example.net", 1)],
+        ]);
+        let r = link_epochs(&set, &truth, &TrackerConfig::at_split(2));
+        assert_eq!(r.links, 1, "{r:?}");
+        assert_eq!(r.reidentified_devices, 1);
+    }
+
+    #[test]
+    fn empty_window_is_vacuous() {
+        let (set, truth) = window(&[&[], &[], &[], &[]]);
+        let r = link_epochs(&set, &truth, &TrackerConfig::at_split(2));
+        assert_eq!(r.links, 0);
+        assert_eq!(r.precision(), 1.0);
+        assert_eq!(r.recall(), 0.0);
+        assert_eq!(r.linkable_devices, 0);
+    }
+
+    #[test]
+    fn static_records_are_filtered() {
+        // A record present every single day with one token (fixed-form or
+        // infrastructure) must not produce fragments at all.
+        let (set, truth) = window(&[
+            &[("10.0.9.1", "host-10-0-9-1.dynamic.example.edu", 1)],
+            &[("10.0.9.1", "host-10-0-9-1.dynamic.example.edu", 2)],
+            &[("10.0.9.1", "host-10-0-9-1.dynamic.example.edu", 1)],
+            &[("10.0.9.1", "host-10-0-9-1.dynamic.example.edu", 3)],
+        ]);
+        let r = link_epochs(&set, &truth, &TrackerConfig::at_split(2));
+        assert_eq!(r.fragments_a + r.fragments_b, 0);
+        assert_eq!(r.links, 0);
+        assert_eq!(r.recall(), 0.0);
+    }
+
+    #[test]
+    fn wrong_link_hurts_precision() {
+        // Two devices swap names across the boundary: the token channel
+        // links them crosswise, so both links exist but both are wrong.
+        let (set, truth) = window(&[
+            &[("10.0.1.5", "x.example.edu", 1), ("10.0.2.5", "y.example.edu", 2)],
+            &[("10.0.1.5", "x.example.edu", 1), ("10.0.2.5", "y.example.edu", 2)],
+            &[("10.0.1.6", "y.example.edu", 1), ("10.0.2.6", "x.example.edu", 2)],
+            &[("10.0.1.6", "y.example.edu", 1), ("10.0.2.6", "x.example.edu", 2)],
+        ]);
+        let r = link_epochs(&set, &truth, &TrackerConfig::at_split(2));
+        assert_eq!(r.links, 2);
+        assert_eq!(r.correct_links, 0);
+        assert_eq!(r.precision(), 0.0);
+        assert_eq!(r.reidentified_devices, 0);
+        assert_eq!(r.linkable_devices, 2);
+    }
+
+    #[test]
+    fn greedy_matching_is_one_to_one() {
+        // One epoch-A fragment, two token-identical epoch-B fragments: only
+        // one link may be asserted.
+        let (set, truth) = window(&[
+            &[("10.0.1.5", "x.example.edu", 1)],
+            &[],
+            &[("10.0.1.6", "x.example.edu", 1), ("10.0.1.7", "x.example.edu", 2)],
+            &[],
+        ]);
+        let r = link_epochs(&set, &truth, &TrackerConfig::at_split(2));
+        assert_eq!(r.links, 1);
+    }
+
+    #[test]
+    fn scores_are_integers_and_bounded() {
+        let f = |addr: u32, token: u32, weekdays: u8, days: u32| Fragment {
+            addr,
+            token: rdns_data::NameId(token),
+            weekdays,
+            days_present: days,
+            label: None,
+        };
+        let a = f(0x0A000105, 0, 0b0011111, 5);
+        let same = score(&a, &f(0x0A000107, 0, 0b0011111, 5));
+        assert_eq!(
+            same,
+            SCORE_TOKEN + SCORE_SAME_SLASH24 + SCORE_WEEKDAY_MAX + SCORE_CADENCE_MAX
+        );
+        let adjacent = score(&a, &f(0x0A000207, 1, 0b1100000, 0));
+        // Adjacent /24; weekday masks fully disjoint (0b0011111 ^ 0b1100000
+        // = 0b1111111, all 7 bits differ → weekday score 0); cadence gap 5
+        // → 16 − 2·5 = 6.
+        assert_eq!(adjacent, SCORE_ADJACENT_SLASH24 + 6);
+    }
+}

@@ -1,0 +1,297 @@
+//! Windowed behavioural feature extraction over a snapshot series.
+//!
+//! The tracking-resistance lab (`rdns-lab`) pits mitigation policies against
+//! a *content-blind* tracker: one that never reads what a PTR name says,
+//! only whether the opaque token at an address stayed the same and how the
+//! record appeared and disappeared over time. This module turns a day
+//! stream (a [`DeltaSeries`] or any per-day `address → hostname` maps, e.g.
+//! after a resolver-cache overlay) into [`PresenceTrack`]s: maximal spans
+//! during which one address published one hostname token, with a per-day
+//! presence bitmask.
+//!
+//! Hostnames are interned into a [`NamePool`] and only ever compared by
+//! [`NameId`] equality downstream — the tracker never inspects name
+//! *content*, which is what makes the lab's "hashing alone does not stop
+//! tracking" result meaningful.
+//!
+//! Extraction is streaming (one materialised day at a time) and
+//! deterministic: the produced tracks are a pure function of the day
+//! stream, independent of how the world that produced it was sharded.
+
+use crate::columnar::{NameId, NamePool};
+use crate::delta::DeltaSeries;
+use rdns_model::{Date, Hostname};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Maximum window length: presence is a `u64` day bitmask.
+pub const MAX_WINDOW_DAYS: u16 = 64;
+
+/// One maximal span of a single hostname token at a single address.
+///
+/// A track opens the first day `addr` publishes `token` and is broken only
+/// when `addr` reappears with a *different* token; days where the address
+/// has no record at all are gaps (zero bits in `presence`), not breaks —
+/// an expired lease followed by the same device re-acquiring the same
+/// address continues the same track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PresenceTrack {
+    /// The address, as a big-endian `u32` (sorts like `Ipv4Addr`).
+    pub addr: u32,
+    /// Interned hostname token — compared only for equality.
+    pub token: NameId,
+    /// First window day (0-based) the token was present.
+    pub first_day: u16,
+    /// Last window day the token was present.
+    pub last_day: u16,
+    /// Bit `d` set iff the token was present on window day `d`.
+    pub presence: u64,
+}
+
+impl PresenceTrack {
+    /// Number of days the token was actually present.
+    pub fn days_present(&self) -> u32 {
+        self.presence.count_ones()
+    }
+
+    /// Whether the track was present on window day `d`.
+    pub fn present_on(&self, d: u16) -> bool {
+        d < MAX_WINDOW_DAYS && self.presence & (1u64 << d) != 0
+    }
+
+    /// Presence restricted to days `[from, to)`.
+    pub fn presence_in(&self, from: u16, to: u16) -> u64 {
+        let lo = from.min(MAX_WINDOW_DAYS) as u32;
+        let hi = to.min(MAX_WINDOW_DAYS) as u32;
+        if hi <= lo {
+            return 0;
+        }
+        let span = hi - lo;
+        let mask = if span >= 64 { u64::MAX } else { (1u64 << span) - 1 };
+        (self.presence >> lo) & mask
+    }
+
+    /// The `/24` the address lives in (upper 24 bits).
+    pub fn slash24(&self) -> u32 {
+        self.addr >> 8
+    }
+}
+
+/// The extracted feature set for one observation window.
+#[derive(Debug, Clone)]
+pub struct TrackSet {
+    /// First day of the window.
+    pub start: Date,
+    /// Days in the window (≤ [`MAX_WINDOW_DAYS`]).
+    pub days: u16,
+    /// The token pool the tracks index into.
+    pub pool: NamePool,
+    /// All tracks, sorted by `(addr, first_day)`.
+    pub tracks: Vec<PresenceTrack>,
+}
+
+impl TrackSet {
+    /// Extract tracks from a delta series (the raw, no-overlay path).
+    pub fn from_delta_series(series: &DeltaSeries) -> TrackSet {
+        let mut ex = TrackExtractor::new();
+        series.for_each_day(|day| ex.push_day(day.date, &day.records));
+        ex.finish()
+    }
+
+    /// ISO weekday index (0 = Monday) of window day `d`.
+    pub fn weekday_index(&self, d: u16) -> u8 {
+        ((self.start.plus_days(d as i64).weekday() as u8) - 1) % 7
+    }
+}
+
+/// Streaming track extractor: feed days in order, then [`finish`].
+///
+/// [`finish`]: TrackExtractor::finish
+#[derive(Debug, Default)]
+pub struct TrackExtractor {
+    start: Option<Date>,
+    day: u16,
+    pool: NamePool,
+    /// Open track per address: index into `tracks`.
+    open: BTreeMap<u32, usize>,
+    tracks: Vec<PresenceTrack>,
+}
+
+impl TrackExtractor {
+    /// An empty extractor.
+    pub fn new() -> TrackExtractor {
+        TrackExtractor::default()
+    }
+
+    /// Ingest one day's `address → hostname` map. Days must be pushed in
+    /// date order; at most [`MAX_WINDOW_DAYS`] days fit one window.
+    pub fn push_day(&mut self, date: Date, records: &BTreeMap<Ipv4Addr, Hostname>) {
+        assert!(
+            self.day < MAX_WINDOW_DAYS,
+            "window exceeds {MAX_WINDOW_DAYS} days"
+        );
+        if self.start.is_none() {
+            self.start = Some(date);
+        }
+        let d = self.day;
+        let bit = 1u64 << d;
+        for (addr, host) in records {
+            let addr = u32::from(*addr);
+            let token = self.pool.intern(host.as_str());
+            match self.open.get(&addr) {
+                Some(&i) if self.tracks[i].token == token => {
+                    self.tracks[i].last_day = d;
+                    self.tracks[i].presence |= bit;
+                }
+                _ => {
+                    let i = self.tracks.len();
+                    self.tracks.push(PresenceTrack {
+                        addr,
+                        token,
+                        first_day: d,
+                        last_day: d,
+                        presence: bit,
+                    });
+                    self.open.insert(addr, i);
+                }
+            }
+        }
+        self.day += 1;
+    }
+
+    /// Close the window and return the track set, sorted by
+    /// `(addr, first_day)`.
+    pub fn finish(self) -> TrackSet {
+        let mut tracks = self.tracks;
+        tracks.sort_unstable_by_key(|t| (t.addr, t.first_day));
+        TrackSet {
+            start: self.start.unwrap_or_else(|| Date::from_ymd(1970, 1, 1)),
+            days: self.day,
+            pool: self.pool,
+            tracks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Cadence, DailySnapshot};
+
+    fn records(pairs: &[(&str, &str)]) -> BTreeMap<Ipv4Addr, Hostname> {
+        pairs
+            .iter()
+            .map(|(a, h)| (a.parse().unwrap(), Hostname::new(h)))
+            .collect()
+    }
+
+    fn extract(days: &[&[(&str, &str)]]) -> TrackSet {
+        let start = Date::from_ymd(2021, 11, 1);
+        let mut ex = TrackExtractor::new();
+        for (i, day) in days.iter().enumerate() {
+            ex.push_day(start.plus_days(i as i64), &records(day));
+        }
+        ex.finish()
+    }
+
+    #[test]
+    fn stable_record_is_one_track() {
+        let ts = extract(&[
+            &[("10.0.1.5", "a.example.edu")],
+            &[("10.0.1.5", "a.example.edu")],
+            &[("10.0.1.5", "a.example.edu")],
+        ]);
+        assert_eq!(ts.days, 3);
+        assert_eq!(ts.tracks.len(), 1);
+        let t = ts.tracks[0];
+        assert_eq!(t.presence, 0b111);
+        assert_eq!((t.first_day, t.last_day), (0, 2));
+        assert_eq!(t.days_present(), 3);
+    }
+
+    #[test]
+    fn rename_splits_tracks_gap_does_not() {
+        let ts = extract(&[
+            &[("10.0.1.5", "a.example.edu")],
+            &[], // gap: lease expired
+            &[("10.0.1.5", "a.example.edu")], // same token resumes the track
+            &[("10.0.1.5", "b.example.edu")], // new token breaks it
+        ]);
+        assert_eq!(ts.tracks.len(), 2);
+        assert_eq!(ts.tracks[0].presence, 0b0101);
+        assert_eq!(ts.tracks[0].last_day, 2);
+        assert_eq!(ts.tracks[1].presence, 0b1000);
+        assert_ne!(ts.tracks[0].token, ts.tracks[1].token);
+    }
+
+    #[test]
+    fn tokens_are_shared_across_addresses() {
+        // The same name at two addresses interns to one token — token
+        // equality is how the content-blind tracker follows a device that
+        // moved addresses.
+        let ts = extract(&[
+            &[("10.0.1.5", "x.example.edu")],
+            &[("10.0.1.9", "x.example.edu")],
+        ]);
+        assert_eq!(ts.tracks.len(), 2);
+        assert_eq!(ts.tracks[0].token, ts.tracks[1].token);
+    }
+
+    #[test]
+    fn matches_delta_series_path() {
+        let start = Date::from_ymd(2021, 11, 1);
+        let days: Vec<Vec<(&str, &str)>> = vec![
+            vec![("10.0.1.5", "a.edu"), ("10.0.1.9", "b.edu")],
+            vec![("10.0.1.5", "a.edu")],
+            vec![("10.0.1.5", "c.edu"), ("10.0.1.9", "b.edu")],
+        ];
+        let mut series = DeltaSeries::new(Cadence::Daily);
+        let mut ex = TrackExtractor::new();
+        for (i, day) in days.iter().enumerate() {
+            let date = start.plus_days(i as i64);
+            series.push(DailySnapshot {
+                date,
+                records: records(day),
+            });
+            ex.push_day(date, &records(day));
+        }
+        let a = TrackSet::from_delta_series(&series);
+        let b = ex.finish();
+        assert_eq!(a.tracks, b.tracks);
+        assert_eq!(a.days, b.days);
+        assert_eq!(a.start, b.start);
+    }
+
+    #[test]
+    fn presence_window_helpers() {
+        let t = PresenceTrack {
+            addr: u32::from(Ipv4Addr::new(10, 0, 1, 5)),
+            token: NameId(0),
+            first_day: 0,
+            last_day: 5,
+            presence: 0b101101,
+        };
+        assert_eq!(t.presence_in(0, 3), 0b101);
+        assert_eq!(t.presence_in(3, 6), 0b101);
+        assert_eq!(t.presence_in(6, 6), 0);
+        assert_eq!(t.slash24(), u32::from(Ipv4Addr::new(10, 0, 1, 5)) >> 8);
+        assert!(t.present_on(0));
+        assert!(!t.present_on(1));
+    }
+
+    #[test]
+    fn weekday_index_follows_calendar() {
+        let ts = extract(&[&[("10.0.1.5", "a.edu")]]);
+        // 2021-11-01 is a Monday.
+        assert_eq!(ts.weekday_index(0), 0);
+        assert_eq!(ts.weekday_index(5), 5);
+        assert_eq!(ts.weekday_index(7), 0);
+    }
+
+    #[test]
+    fn empty_window() {
+        let ts = TrackExtractor::new().finish();
+        assert_eq!(ts.days, 0);
+        assert!(ts.tracks.is_empty());
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`delta`] — the storage-side layout: day 0 in full plus per-day
 //!   adds/renames/removes, with lazy materialization and a bounded-memory
 //!   streaming walk, so a long window costs churn, not days × records.
+//! * [`features`] — windowed behavioural features: per-address hostname
+//!   [`PresenceTrack`]s with day-presence bitmasks, the content-blind input
+//!   the `rdns-lab` tracker consumes.
 //! * [`stats`] — summary statistics in the shape of Table 1 and Table 3.
 //! * [`persist`] — on-disk storage: series as JSON, scan logs as CSV pairs.
 //!
@@ -20,12 +23,14 @@
 
 pub mod columnar;
 pub mod delta;
+pub mod features;
 pub mod persist;
 pub mod snapshot;
 pub mod stats;
 
 pub use columnar::{ColumnarDay, ColumnarSeries, NameId, NamePool};
 pub use delta::{DeltaSeries, DeltaSnapshot};
+pub use features::{PresenceTrack, TrackExtractor, TrackSet};
 pub use persist::{load_scan_log, load_series, save_scan_log, save_series, PersistError};
 pub use snapshot::{Cadence, DailySnapshot, Snapshotter, SnapshotSeries};
 pub use stats::{ScanDatasetStats, SnapshotDatasetStats};

@@ -12,6 +12,9 @@
 //! * [`PtrPolicy::Hashed`] — the mitigation sketched in §8: a salted hash of
 //!   the client identity replaces the name; presence remains visible but the
 //!   identity does not,
+//! * [`PtrPolicy::HashedRotating`] — the same hash with its salt rotated on
+//!   a fixed simulated-time period, unlinking hash tokens across rotation
+//!   boundaries (the variant `rdns-lab`'s mitigation grid exercises),
 //! * [`PtrPolicy::FixedForm`] — static, IP-derived names for dynamic pools
 //!   (`host-10-1-2-3.dynamic.example.edu`), as the 83 validated campus
 //!   prefixes in §4.1: DHCP-dynamic but rDNS-static,
@@ -55,4 +58,4 @@ mod naming;
 mod policy;
 
 pub use naming::{hashed_label, sanitize_label};
-pub use policy::{DnsChange, Ipam, IpamConfig, IpamStats, PtrPolicy};
+pub use policy::{rotated_salt, DnsChange, Ipam, IpamConfig, IpamStats, PtrPolicy};

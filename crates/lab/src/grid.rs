@@ -1,0 +1,84 @@
+//! The mitigation-policy grid: which cells the lab sweeps.
+
+use rdns_model::SimDuration;
+use rdns_netsim::{MitigationPolicy, NamingPolicy};
+
+/// Salt-rotation period used for the `hashed` naming cells. Eight days
+/// guarantees exactly one rotation boundary inside the standard 16-day
+/// window, so hash tokens never survive the epoch split.
+pub const HASH_ROTATION_DAYS: u16 = 8;
+
+/// The default 16-cell grid: 4 naming policies × 2 PTR TTLs × 2 lease
+/// times, in a fixed deterministic order (naming-major).
+///
+/// * naming: `verbatim`, `hashed` (rotating salt), `fixed-form`, `none`
+/// * PTR TTL: 300 s (live view) vs 86 400 s (a day of resolver staleness)
+/// * lease: 1 h (campus-style churn) vs 12 h (access-network-style)
+pub fn default_grid() -> Vec<MitigationPolicy> {
+    let namings = [
+        NamingPolicy::Verbatim,
+        NamingPolicy::Hashed {
+            period_days: HASH_ROTATION_DAYS,
+        },
+        NamingPolicy::FixedForm,
+        NamingPolicy::None,
+    ];
+    let ttls = [300u32, 86_400];
+    let leases = [SimDuration::hours(1), SimDuration::hours(12)];
+    let mut grid = Vec::with_capacity(namings.len() * ttls.len() * leases.len());
+    for naming in namings {
+        for ptr_ttl in ttls {
+            for lease_time in leases {
+                grid.push(MitigationPolicy {
+                    naming,
+                    ptr_ttl,
+                    lease_time,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// The rotation period (days) a policy's naming axis carries, for reports.
+pub fn rotation_days(policy: &MitigationPolicy) -> u16 {
+    match policy.naming {
+        NamingPolicy::Hashed { period_days } => period_days,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_16_cells_naming_major() {
+        let grid = default_grid();
+        assert_eq!(grid.len(), 16);
+        let labels: Vec<&str> = grid.iter().map(|p| p.naming.label()).collect();
+        assert_eq!(&labels[0..4], &["verbatim"; 4]);
+        assert_eq!(&labels[4..8], &["hashed"; 4]);
+        assert_eq!(&labels[8..12], &["fixed-form"; 4]);
+        assert_eq!(&labels[12..16], &["none"; 4]);
+        // Every (naming, ttl, lease) combination appears exactly once.
+        let mut seen = std::collections::BTreeSet::new();
+        for p in &grid {
+            assert!(seen.insert((
+                p.naming.label(),
+                rotation_days(p),
+                p.ptr_ttl,
+                p.lease_time.as_secs()
+            )));
+        }
+    }
+
+    #[test]
+    fn hashed_cells_rotate_inside_the_window() {
+        for p in default_grid() {
+            if p.naming.label() == "hashed" {
+                assert_eq!(rotation_days(&p), HASH_ROTATION_DAYS);
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # rdns-lab
+//!
+//! The tracking-resistance lab: §8's mitigation advice, measured instead of
+//! asserted.
+//!
+//! The paper closes by recommending operators hash or drop dynamic PTR
+//! content. This crate asks the follow-up question: *which policy actually
+//! stops a longitudinal tracker, and what does it cost the operator?* It
+//! replays one seeded simulated world through a grid of IPAM/naming
+//! policies ([`grid`]) — verbatim carry-over, salted hashes with a rotating
+//! salt, fixed-form names, and no updates at all, crossed with PTR-TTL and
+//! DHCP-lease-time variants — and runs a *content-blind* sequence tracker
+//! ([`rdns_core::tracker`]) over each cell's observed snapshot window. The
+//! tracker never reads name content: it re-identifies devices across an
+//! epoch boundary purely from PTR churn patterns (opaque-token equality,
+//! appearance/disappearance weekday profile, lease-renewal cadence, `/24`
+//! adjacency).
+//!
+//! Each cell is scored twice:
+//!
+//! * **privacy** — tracker precision/recall against simulator ground truth
+//!   (`address → device` per day, captured at the same instants as the
+//!   snapshots);
+//! * **operator utility** — coverage × freshness × specificity: what
+//!   fraction of device-days remain observable, current and attributable.
+//!
+//! The result is a privacy–utility matrix ([`MatrixReport`]), committed as
+//! `BENCH_matrix.json` and rendered as markdown. `MITIGATIONS.md` at the
+//! repository root documents how to read it.
+//!
+//! ## Determinism contract
+//!
+//! The matrix is a pure function of `(seed, window, grid)`: byte-identical
+//! across runs, `RAYON_NUM_THREADS` values and world shard counts. Tracker
+//! scores are integers; every `f64` in the report is a ratio of integers;
+//! no wall-clock value enters the artifact (per-cell timings go to the
+//! `rdns_lab_cell_wall_us` telemetry histogram instead, which is classed
+//! `WallClock` and excluded from deterministic exports).
+//!
+//! ## Example
+//!
+//! ```
+//! use rdns_lab::{engine, LabConfig};
+//! use rdns_netsim::NamingPolicy;
+//! use rdns_telemetry::Registry;
+//!
+//! let mut cfg = LabConfig::standard(7);
+//! cfg.days = 6; // keep the doctest quick
+//! cfg.split_day = 3;
+//! cfg.scale = 0.05;
+//! cfg.grid.truncate(1); // verbatim, live TTL, 1-hour leases
+//! let report = engine::run(&cfg, &Registry::new());
+//! assert_eq!(report.cells.len(), 1);
+//! assert_eq!(report.cells[0].naming, "verbatim");
+//! assert!(report.cells[0].tracks > 0);
+//! ```
+
+pub mod engine;
+pub mod grid;
+pub mod observe;
+pub mod report;
+
+pub use engine::{base_specs, run_cell, LabConfig};
+pub use grid::{default_grid, rotation_days, HASH_ROTATION_DAYS};
+pub use observe::overlay_ttl;
+pub use report::{MatrixCell, MatrixReport};

@@ -1,0 +1,112 @@
+//! Observer-side resolver-cache model: what a tracker actually sees under a
+//! given PTR TTL.
+//!
+//! Snapshots out of the simulator are the *authoritative* zone content. A
+//! real longitudinal observer reads through resolver caches, so a record
+//! with TTL `t` that changed underneath keeps serving its old value for up
+//! to `t` seconds. The lab models this at day granularity: with
+//! `ttl = 86 400 s` a record observed yesterday is still served today even
+//! if the zone dropped it, which *blurs* churn — long TTLs are a mitigation
+//! against sequence tracking precisely because they hide the
+//! appearance/disappearance edges the tracker feeds on, at the price of
+//! staleness (scored as `freshness` in the utility column).
+
+use rdns_data::DailySnapshot;
+use rdns_model::Hostname;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// One observed day: `address → hostname` as seen through the cache.
+pub type ObservedDay = BTreeMap<Ipv4Addr, Hostname>;
+
+/// Apply a TTL overlay to a window of authoritative snapshots.
+///
+/// `observed[d]` is day `d`'s zone content plus every record from the
+/// previous `ttl_secs / 86 400` days that day `d` did not overwrite —
+/// most-recent value wins among stale days, and the authoritative day
+/// always wins over any cached value. Sub-day TTLs return the exact
+/// authoritative view.
+///
+/// This is a lab hot loop (every grid cell runs it over the full window):
+/// it is written panic-free — no indexing, no unwraps, no unchecked
+/// subtraction — and `lint.toml` pins it that way.
+pub fn overlay_ttl(days: &[DailySnapshot], ttl_secs: u32) -> Vec<ObservedDay> {
+    let ttl_days = (ttl_secs / 86_400) as usize;
+    let mut out = Vec::with_capacity(days.len());
+    for (d, day) in days.iter().enumerate() {
+        let mut merged = day.records.clone();
+        if ttl_days > 0 {
+            let lo = d.saturating_sub(ttl_days);
+            for prior in days.get(lo..d).into_iter().flatten().rev() {
+                for (addr, host) in &prior.records {
+                    merged.entry(*addr).or_insert_with(|| host.clone());
+                }
+            }
+        }
+        out.push(merged);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdns_model::Date;
+
+    fn day(offset: i64, records: &[(&str, &str)]) -> DailySnapshot {
+        DailySnapshot {
+            date: Date::from_ymd(2021, 11, 1).plus_days(offset),
+            records: records
+                .iter()
+                .map(|(a, h)| (a.parse().unwrap(), Hostname::new(h)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn short_ttl_is_the_exact_view() {
+        let days = vec![day(0, &[("10.0.1.5", "a.edu")]), day(1, &[])];
+        let observed = overlay_ttl(&days, 300);
+        assert_eq!(observed[0], days[0].records);
+        assert!(observed[1].is_empty(), "no cache at sub-day TTL");
+    }
+
+    #[test]
+    fn day_ttl_keeps_removed_records_alive_one_day() {
+        let days = vec![
+            day(0, &[("10.0.1.5", "a.edu")]),
+            day(1, &[]),
+            day(2, &[]),
+        ];
+        let observed = overlay_ttl(&days, 86_400);
+        assert_eq!(observed[1].len(), 1, "record served stale on day 1");
+        assert!(observed[2].is_empty(), "expired from the cache by day 2");
+    }
+
+    #[test]
+    fn authoritative_day_wins_over_cache() {
+        let days = vec![
+            day(0, &[("10.0.1.5", "old.edu")]),
+            day(1, &[("10.0.1.5", "new.edu")]),
+        ];
+        let observed = overlay_ttl(&days, 86_400);
+        assert_eq!(
+            observed[1].get(&"10.0.1.5".parse().unwrap()),
+            Some(&Hostname::new("new.edu"))
+        );
+    }
+
+    #[test]
+    fn most_recent_stale_day_wins() {
+        let days = vec![
+            day(0, &[("10.0.1.5", "oldest.edu")]),
+            day(1, &[("10.0.1.5", "newer.edu")]),
+            day(2, &[]),
+        ];
+        let observed = overlay_ttl(&days, 2 * 86_400);
+        assert_eq!(
+            observed[2].get(&"10.0.1.5".parse().unwrap()),
+            Some(&Hostname::new("newer.edu"))
+        );
+    }
+}

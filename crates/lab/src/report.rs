@@ -1,0 +1,181 @@
+//! The privacy–utility matrix artifact (`BENCH_matrix.json`).
+//!
+//! The report is the lab's determinism contract: a pure function of
+//! `(seed, window, grid)` with **no wall-clock fields**, so the serialized
+//! bytes are identical across runs, rayon thread counts and world shard
+//! counts. All scores are ratios of integers, so even the `f64` columns
+//! are bit-exact.
+
+use serde::{Deserialize, Serialize};
+
+/// One grid cell's outcome: the policy knobs, the tracker's performance
+/// against ground truth, and the operator-utility components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixCell {
+    /// Naming policy label: `verbatim`, `hashed`, `fixed-form` or `none`.
+    pub naming: String,
+    /// Hash-salt rotation period in days (0 when not hashing).
+    pub rotation_days: u16,
+    /// PTR TTL in seconds.
+    pub ptr_ttl_secs: u32,
+    /// DHCP lease time in seconds.
+    pub lease_secs: u64,
+    /// Presence tracks extracted from the observed window.
+    pub tracks: u64,
+    /// Epoch-A fragments after the static filter.
+    pub fragments_a: u64,
+    /// Epoch-B fragments after the static filter.
+    pub fragments_b: u64,
+    /// Cross-epoch links the tracker asserted.
+    pub links: u64,
+    /// Links that connected the same ground-truth device.
+    pub correct_links: u64,
+    /// Devices observable in both epochs (recall denominator).
+    pub linkable_devices: u64,
+    /// Devices correctly re-identified.
+    pub reidentified_devices: u64,
+    /// `correct_links / links` (1.0 when no links asserted).
+    pub precision: f64,
+    /// `reidentified_devices / linkable_devices` (0.0 when none linkable).
+    pub recall: f64,
+    /// Operator utility: fraction of device-days with an observable PTR.
+    pub coverage: f64,
+    /// Operator utility: fraction of observed records that are current.
+    pub freshness: f64,
+    /// Operator utility: fraction of devices a PTR name can single out.
+    pub specificity: f64,
+    /// `coverage × freshness × specificity`.
+    pub utility: f64,
+}
+
+/// The full matrix: window parameters plus one [`MatrixCell`] per policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixReport {
+    /// Schema version; bump on any field change.
+    pub schema_version: u32,
+    /// Artifact discriminator, always `"matrix"`.
+    pub bench: String,
+    /// World seed.
+    pub seed: u64,
+    /// First window day, `YYYY-MM-DD`.
+    pub start: String,
+    /// Window length in days.
+    pub days: u16,
+    /// First day of epoch B.
+    pub split_day: u16,
+    /// Distinct ground-truth devices observed in the window.
+    pub devices: u64,
+    /// One row per grid cell, grid order.
+    pub cells: Vec<MatrixCell>,
+}
+
+impl MatrixReport {
+    /// Serialize for `BENCH_matrix.json` (single line + trailing newline;
+    /// byte-stable).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self).map(|mut s| {
+            s.push('\n');
+            s
+        })
+    }
+
+    /// Parse `BENCH_matrix.json`; errors double as schema violations.
+    pub fn from_json(text: &str) -> serde_json::Result<MatrixReport> {
+        serde_json::from_str(text.trim_end())
+    }
+
+    /// Cells with the given naming label, grid order.
+    pub fn cells_named<'a>(&'a self, naming: &'a str) -> impl Iterator<Item = &'a MatrixCell> {
+        self.cells.iter().filter(move |c| c.naming == naming)
+    }
+
+    /// Render the privacy–utility matrix as a GitHub-flavoured markdown
+    /// table (what `MITIGATIONS.md` documents how to read).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Mitigation matrix — seed {}, {} days from {}, epoch split at day {}, {} devices\n\n",
+            self.seed, self.days, self.start, self.split_day, self.devices
+        ));
+        out.push_str(
+            "| naming | ttl (s) | lease (h) | precision | recall | coverage | freshness | specificity | utility |\n",
+        );
+        out.push_str(
+            "|--------|---------|-----------|-----------|--------|----------|-----------|-------------|--------|\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} |\n",
+                c.naming,
+                c.ptr_ttl_secs,
+                c.lease_secs / 3600,
+                c.precision,
+                c.recall,
+                c.coverage,
+                c.freshness,
+                c.specificity,
+                c.utility,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MatrixReport {
+        MatrixReport {
+            schema_version: 1,
+            bench: "matrix".into(),
+            seed: 7,
+            start: "2021-11-01".into(),
+            days: 16,
+            split_day: 8,
+            devices: 120,
+            cells: vec![MatrixCell {
+                naming: "verbatim".into(),
+                rotation_days: 0,
+                ptr_ttl_secs: 300,
+                lease_secs: 3600,
+                tracks: 400,
+                fragments_a: 150,
+                fragments_b: 140,
+                links: 100,
+                correct_links: 90,
+                linkable_devices: 100,
+                reidentified_devices: 85,
+                precision: 0.9,
+                recall: 0.85,
+                coverage: 0.8,
+                freshness: 1.0,
+                specificity: 0.95,
+                utility: 0.76,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = sample();
+        let text = r.to_json().unwrap();
+        assert!(text.ends_with('\n'));
+        let back = MatrixReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn markdown_has_a_row_per_cell() {
+        let md = sample().render_markdown();
+        assert!(md.contains("| verbatim | 300 | 1 |"));
+        assert!(md.contains("| naming |"));
+        assert_eq!(md.matches("| verbatim").count(), 1);
+    }
+
+    #[test]
+    fn missing_field_is_a_schema_violation() {
+        let text = sample().to_json().unwrap().replace("\"recall\"", "\"recal\"");
+        assert!(MatrixReport::from_json(&text).is_err());
+    }
+}

@@ -55,11 +55,11 @@ pub const ALL_RULES: &[&str] = &[
 /// simulation and analysis layers. The wire crates (`dns`, `dhcp`, `scan`,
 /// `bench`) may seed from entropy *by default* as real resolvers do, but
 /// must remain seedable.
-const SIM_CRATES: &[&str] = &["model", "netsim", "data", "core", "ipam"];
+const SIM_CRATES: &[&str] = &["model", "netsim", "data", "core", "ipam", "lab"];
 
 /// Crates whose snapshot/report output must not depend on hash iteration
 /// order.
-const ORDERED_OUTPUT_CRATES: &[&str] = &["data", "core"];
+const ORDERED_OUTPUT_CRATES: &[&str] = &["data", "core", "lab"];
 
 /// Macros whose arguments end up as formatted text (stdout, strings, panics).
 pub(crate) const FORMAT_SINKS: &[&str] = &[

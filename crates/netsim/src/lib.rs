@@ -38,6 +38,7 @@
 pub mod calendar;
 pub mod covid;
 pub mod device;
+pub mod mitigate;
 pub mod monolith;
 pub mod names;
 pub mod schedule;
@@ -49,6 +50,7 @@ pub use calendar::HolidayCalendar;
 pub use covid::OccupancyTimeline;
 pub use device::{Device, DeviceKind, Person, PersonKind};
 pub use names::{GivenNamePool, TOP50_GIVEN_NAMES};
+pub use mitigate::{MitigationPolicy, NamingPolicy};
 pub use schedule::{DailyPlan, WeeklySchedule};
 pub use spec::{BuildingTag, IcmpPolicy, NetworkSpec, NetworkType, SeedDevice, SeedPerson, SubnetRole, SubnetSpec};
 pub use monolith::MonolithWorld;

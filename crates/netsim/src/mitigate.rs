@@ -1,0 +1,186 @@
+//! Mitigation-policy hooks: rewrite a [`NetworkSpec`] under one cell of the
+//! §8 policy grid.
+//!
+//! The paper's mitigation discussion names three knobs an operator controls:
+//! the *naming* policy (what, if anything, a dynamic PTR says), the *PTR
+//! TTL* (how long resolvers may cache a record that has since changed
+//! underneath) and the *DHCP lease time* (how fast address churn rotates
+//! devices through the pool). [`MitigationPolicy::apply_to`] takes an
+//! arbitrary world spec and rewrites every dynamic client pool to one
+//! combination of those knobs, leaving the rest of the numbering plan —
+//! static infrastructure, dark space, announced prefixes, population,
+//! calendars — untouched, so the *same seeded world* replays under every
+//! cell and differences in what an observer learns are attributable to the
+//! policy alone. `rdns-lab` sweeps the full grid.
+
+use crate::spec::{DynDnsMode, NetworkSpec, SubnetRole};
+use rdns_model::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The naming axis of the mitigation grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NamingPolicy {
+    /// Carry the client Host Name into the PTR verbatim — the observed
+    /// default and the leak (§3).
+    Verbatim,
+    /// Salted-hash labels with the salt rotated every `period_days` —
+    /// §8's hashing advice, operationalised so longitudinal hash tokens
+    /// expire. `period_days == 0` never rotates (a static salt).
+    Hashed {
+        /// Salt rotation period in simulated days.
+        period_days: u16,
+    },
+    /// Fixed-form `host-a-b-c-d.dynamic.<zone>` names: the pool becomes
+    /// [`SubnetRole::FixedFormDhcp`] — dynamic addressing, static rDNS.
+    FixedForm,
+    /// No dynamic DNS updates at all: dynamic pools publish nothing.
+    None,
+}
+
+impl NamingPolicy {
+    /// Short stable identifier used in reports and JSON artifacts.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NamingPolicy::Verbatim => "verbatim",
+            NamingPolicy::Hashed { .. } => "hashed",
+            NamingPolicy::FixedForm => "fixed-form",
+            NamingPolicy::None => "none",
+        }
+    }
+}
+
+/// One cell of the policy grid: naming × PTR TTL × DHCP lease time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MitigationPolicy {
+    /// What a dynamic PTR says.
+    pub naming: NamingPolicy,
+    /// TTL (seconds) on dynamically maintained PTR records.
+    pub ptr_ttl: u32,
+    /// DHCP lease duration.
+    pub lease_time: SimDuration,
+}
+
+impl MitigationPolicy {
+    /// Rewrite `spec` in place to this policy: every
+    /// [`SubnetRole::DynamicClients`] pool gets the naming mode (or is
+    /// converted to [`SubnetRole::FixedFormDhcp`]), and the network-wide
+    /// lease time and PTR TTL are set. Populations, prefixes and schedules
+    /// are untouched, so worlds stay seed-comparable across policies.
+    pub fn apply_to(&self, spec: &mut NetworkSpec) {
+        spec.lease_time = self.lease_time;
+        spec.ptr_ttl = self.ptr_ttl;
+        for subnet in &mut spec.subnets {
+            let SubnetRole::DynamicClients {
+                persons,
+                person_kind,
+                dns,
+            } = &mut subnet.role
+            else {
+                continue;
+            };
+            match self.naming {
+                NamingPolicy::Verbatim => *dns = DynDnsMode::CarryOver,
+                NamingPolicy::Hashed { period_days } => {
+                    *dns = DynDnsMode::HashedRotating { period_days }
+                }
+                NamingPolicy::None => *dns = DynDnsMode::NoUpdate,
+                NamingPolicy::FixedForm => {
+                    subnet.role = SubnetRole::FixedFormDhcp {
+                        persons: *persons,
+                        person_kind: *person_kind,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::presets;
+
+    fn dynamic_modes(spec: &NetworkSpec) -> Vec<DynDnsMode> {
+        spec.subnets
+            .iter()
+            .filter_map(|s| match &s.role {
+                SubnetRole::DynamicClients { dns, .. } => Some(*dns),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn verbatim_restores_carry_over_everywhere() {
+        let mut spec = presets::academic_a(0.1);
+        MitigationPolicy {
+            naming: NamingPolicy::Verbatim,
+            ptr_ttl: 300,
+            lease_time: SimDuration::hours(1),
+        }
+        .apply_to(&mut spec);
+        assert!(dynamic_modes(&spec)
+            .iter()
+            .all(|m| *m == DynDnsMode::CarryOver));
+        assert_eq!(spec.ptr_ttl, 300);
+    }
+
+    #[test]
+    fn hashed_sets_rotation_and_knobs() {
+        let mut spec = presets::academic_a(0.1);
+        let before_population = spec.population();
+        MitigationPolicy {
+            naming: NamingPolicy::Hashed { period_days: 7 },
+            ptr_ttl: 86_400,
+            lease_time: SimDuration::hours(8),
+        }
+        .apply_to(&mut spec);
+        assert!(dynamic_modes(&spec)
+            .iter()
+            .all(|m| *m == DynDnsMode::HashedRotating { period_days: 7 }));
+        assert_eq!(spec.lease_time, SimDuration::hours(8));
+        assert_eq!(spec.ptr_ttl, 86_400);
+        assert_eq!(spec.population(), before_population, "population preserved");
+    }
+
+    #[test]
+    fn fixed_form_swaps_roles_preserving_population() {
+        let mut spec = presets::academic_a(0.1);
+        let before_population = spec.population();
+        let static_subnets = spec
+            .subnets
+            .iter()
+            .filter(|s| matches!(s.role, SubnetRole::StaticInfra { .. }))
+            .count();
+        MitigationPolicy {
+            naming: NamingPolicy::FixedForm,
+            ptr_ttl: 300,
+            lease_time: SimDuration::hours(1),
+        }
+        .apply_to(&mut spec);
+        assert!(dynamic_modes(&spec).is_empty(), "no dynamic pools remain");
+        assert_eq!(spec.population(), before_population);
+        assert_eq!(
+            spec.subnets
+                .iter()
+                .filter(|s| matches!(s.role, SubnetRole::StaticInfra { .. }))
+                .count(),
+            static_subnets,
+            "static infrastructure untouched"
+        );
+    }
+
+    #[test]
+    fn none_silences_dynamic_pools_only() {
+        let mut spec = presets::academic_a(0.1);
+        MitigationPolicy {
+            naming: NamingPolicy::None,
+            ptr_ttl: 300,
+            lease_time: SimDuration::hours(1),
+        }
+        .apply_to(&mut spec);
+        assert!(dynamic_modes(&spec)
+            .iter()
+            .all(|m| *m == DynDnsMode::NoUpdate));
+    }
+}

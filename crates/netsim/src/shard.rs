@@ -187,6 +187,13 @@ impl<S: DnsStore> Shard<S> {
                             suffix: format!("{}.{}", sub.label, spec.suffix),
                             salt: world_seed,
                         },
+                        DynDnsMode::HashedRotating { period_days } => {
+                            PtrPolicy::HashedRotating {
+                                suffix: format!("{}.{}", sub.label, spec.suffix),
+                                salt: world_seed,
+                                period_secs: u64::from(*period_days) * 86_400,
+                            }
+                        }
                         DynDnsMode::NoUpdate => PtrPolicy::NoUpdate,
                     };
                     build_population(
@@ -211,7 +218,7 @@ impl<S: DnsStore> Shard<S> {
                                 policy,
                                 honor_no_update_flag: false,
                                 update_delay: SimDuration::secs(0),
-                                ttl: 300,
+                                ttl: spec.ptr_ttl,
                                 maintain_forward: false,
                             },
                             store.clone(),

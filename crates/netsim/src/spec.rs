@@ -56,6 +56,14 @@ pub enum DynDnsMode {
     CarryOver,
     /// Publish salted hashes instead of names.
     Hashed,
+    /// Publish salted hashes whose salt rotates every `period_days` of
+    /// simulated time — §8's "rotate the salt" advice made operational.
+    /// Hash tokens stop matching across a rotation boundary, so a
+    /// longitudinal observer is pushed down to behavioural features only.
+    HashedRotating {
+        /// Salt rotation period in simulated days (0 = never rotate).
+        period_days: u16,
+    },
     /// No DNS updates for this pool.
     NoUpdate,
 }
@@ -149,6 +157,11 @@ pub struct NetworkSpec {
     pub icmp: IcmpPolicy,
     /// DHCP lease duration.
     pub lease_time: SimDuration,
+    /// TTL (seconds) of dynamically maintained PTR records — the knob §8
+    /// pairs with naming policy: long TTLs keep stale names alive in
+    /// resolver caches after the record changed underneath. Fixed-form and
+    /// static records keep their own (hour-scale) TTLs regardless.
+    pub ptr_ttl: u32,
     /// Probability that a departing device sends RELEASE.
     pub clean_release_prob: f64,
     /// Fraction of devices configured with the RFC 7844 anonymity profile.
@@ -264,6 +277,7 @@ pub mod presets {
             subnets,
             icmp: IcmpPolicy::Open,
             lease_time: SimDuration::hours(1),
+            ptr_ttl: 300,
             clean_release_prob: 0.35,
             anonymity_fraction: 0.05,
             device_ping_rate: 0.85,
@@ -337,6 +351,7 @@ pub mod presets {
             subnets,
             icmp: IcmpPolicy::Blocked,
             lease_time: SimDuration::hours(4),
+            ptr_ttl: 300,
             clean_release_prob: 0.15,
             anonymity_fraction: 0.05,
             device_ping_rate: 0.80,
@@ -394,6 +409,7 @@ pub mod presets {
             subnets,
             icmp: IcmpPolicy::Open,
             lease_time: SimDuration::hours(1),
+            ptr_ttl: 300,
             clean_release_prob: 0.35,
             anonymity_fraction: 0.05,
             device_ping_rate: 0.75,
@@ -454,6 +470,7 @@ pub mod presets {
             subnets,
             icmp,
             lease_time: SimDuration::hours(1),
+            ptr_ttl: 300,
             clean_release_prob: 0.30,
             anonymity_fraction: 0.05,
             device_ping_rate: 0.90,
@@ -513,6 +530,7 @@ pub mod presets {
             subnets,
             icmp: IcmpPolicy::Open,
             lease_time: SimDuration::hours(1),
+            ptr_ttl: 300,
             clean_release_prob: 0.40,
             anonymity_fraction: 0.05,
             device_ping_rate: ping_rate,
@@ -564,6 +582,7 @@ pub mod presets {
                     subnets,
                     icmp: IcmpPolicy::Open,
                     lease_time: SimDuration::hours(12),
+                    ptr_ttl: 300,
                     clean_release_prob: 0.4,
                     anonymity_fraction: 0.05,
                     device_ping_rate: 0.3,

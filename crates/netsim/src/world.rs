@@ -210,6 +210,22 @@ impl World {
         self.shards.iter().any(|s| s.online.contains_key(&addr))
     }
 
+    /// Ground-truth identity export: which device (by [`rdns_model::DeviceId`]
+    /// value) is online at every occupied address right now. This is what a
+    /// tracking evaluation scores against — the simulator's omniscient view,
+    /// never available to the observer. Sorted by address, so the export is
+    /// deterministic regardless of shard count or hash-map iteration order.
+    pub fn truth_identities(&self) -> std::collections::BTreeMap<Ipv4Addr, u64> {
+        self.shards
+            .iter()
+            .flat_map(|s| {
+                s.online
+                    .iter()
+                    .map(|(addr, &d_idx)| (*addr, s.devices[d_idx].device.id.0))
+            })
+            .collect()
+    }
+
     /// Ground-truth online device count for one network.
     pub fn online_in_network(&self, network: &str) -> usize {
         self.shards

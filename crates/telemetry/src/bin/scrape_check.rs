@@ -1,33 +1,33 @@
-//! CI scrape check: validate the Prometheus exposition printed by
-//! `examples/wire_sweep.rs` and cross-check it against the metric catalogue
+//! CI scrape check: validate the Prometheus expositions printed by the
+//! worked examples and cross-check their union against the metric catalogue
 //! in `OBSERVABILITY.md`.
 //!
 //! ```text
 //! cargo run --release --example wire_sweep > sweep.out
-//! cargo run -p rdns-telemetry --bin scrape_check -- sweep.out OBSERVABILITY.md
+//! cargo run --release --example mitigation_matrix > matrix.out
+//! cargo run -p rdns-telemetry --bin scrape_check -- sweep.out matrix.out OBSERVABILITY.md
 //! ```
 //!
-//! The example wraps its exposition in `=== BEGIN PROMETHEUS ===` /
+//! Each example wraps its exposition in `=== BEGIN PROMETHEUS ===` /
 //! `=== END PROMETHEUS ===` markers; `OBSERVABILITY.md` lists the metric
-//! families the worked example must expose between
-//! `<!-- scrape-expect:begin -->` and `<!-- scrape-expect:end -->`.
+//! families the worked examples together must expose between
+//! `<!-- scrape-expect:begin -->` and `<!-- scrape-expect:end -->`. Every
+//! output file must parse as a well-formed exposition on its own; the
+//! expectation check runs over the union of their families.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let [sweep_path, catalogue_path] = args.as_slice() else {
-        eprintln!("usage: scrape_check <example-output> <OBSERVABILITY.md>");
+    let [output_paths @ .., catalogue_path] = args.as_slice() else {
+        eprintln!("usage: scrape_check <example-output>... <OBSERVABILITY.md>");
         return ExitCode::from(2);
     };
-    let output = match std::fs::read_to_string(sweep_path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("scrape_check: cannot read {sweep_path}: {e}");
-            return ExitCode::from(2);
-        }
-    };
+    if output_paths.is_empty() {
+        eprintln!("usage: scrape_check <example-output>... <OBSERVABILITY.md>");
+        return ExitCode::from(2);
+    }
     let catalogue = match std::fs::read_to_string(catalogue_path) {
         Ok(s) => s,
         Err(e) => {
@@ -36,21 +36,31 @@ fn main() -> ExitCode {
         }
     };
 
-    let exposition = match extract(&output, "=== BEGIN PROMETHEUS ===", "=== END PROMETHEUS ===") {
-        Some(text) => text,
-        None => {
-            eprintln!("scrape_check: no PROMETHEUS marker block in {sweep_path}");
-            return ExitCode::FAILURE;
+    let mut families: BTreeSet<String> = BTreeSet::new();
+    for path in output_paths {
+        let output = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("scrape_check: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let exposition =
+            match extract(&output, "=== BEGIN PROMETHEUS ===", "=== END PROMETHEUS ===") {
+                Some(text) => text,
+                None => {
+                    eprintln!("scrape_check: no PROMETHEUS marker block in {path}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        match parse_exposition(exposition) {
+            Ok(f) => families.extend(f),
+            Err(e) => {
+                eprintln!("scrape_check: exposition in {path} does not parse: {e}");
+                return ExitCode::FAILURE;
+            }
         }
-    };
-
-    let families = match parse_exposition(exposition) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("scrape_check: exposition does not parse: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    }
 
     let expected = expected_families(&catalogue);
     if expected.is_empty() {

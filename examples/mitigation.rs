@@ -11,9 +11,18 @@
 //! ```text
 //! cargo run --release --example mitigation
 //! ```
+//!
+//! This is the single-policy ablation; the quantitative version — the full
+//! naming × TTL × lease grid scored against the sequence tracker — is
+//! `cargo run --release --example mitigation_matrix` (see `MITIGATIONS.md`).
+//!
+//! Sample leaked records are printed through the [`Pii`] redaction boundary:
+//! the owner-derived name never reaches stdout, only its stable
+//! `[pii:xxxxxxxx]` fingerprint, which stays joinable across policies.
 
 use rdns_core::dynamicity::{identify_dynamic, DynamicityParams};
 use rdns_core::names::match_given_names;
+use rdns_core::redact::Pii;
 use rdns_data::{Cadence, Snapshotter, SnapshotSeries};
 use rdns_model::{Date, SimTime};
 use rdns_netsim::spec::{DynDnsMode, SubnetRole};
@@ -66,12 +75,15 @@ fn run_policy(label: &str, dns_mode: Option<DynDnsMode>) {
     let dynamicity = identify_dynamic(&series.counts_matrix(), &params);
     let mut named_records = 0usize;
     let mut total_records = std::collections::HashSet::new();
+    // BTreeSet so the redacted sample below is deterministic.
+    let mut named_hosts = std::collections::BTreeSet::new();
     for snap in &series.snapshots {
         for (addr, host) in &snap.records {
             if total_records.insert((*addr, host.clone()))
                 && !match_given_names(host).is_empty()
             {
                 named_records += 1;
+                named_hosts.insert(host.to_string());
             }
         }
     }
@@ -81,6 +93,16 @@ fn run_policy(label: &str, dns_mode: Option<DynDnsMode>) {
         named_records,
         total_records.len()
     );
+    // Never print the names themselves: route every owner-derived string
+    // through the Pii boundary and show only the joinable fingerprints.
+    if !named_hosts.is_empty() {
+        let sample: Vec<String> = named_hosts
+            .iter()
+            .take(3)
+            .map(|h| Pii::new(h).to_string())
+            .collect();
+        println!("{:<34} sample (redacted): {}", "", sample.join(" "));
+    }
 }
 
 fn main() {

@@ -1,0 +1,54 @@
+//! Mitigation matrix (§8): sweep the full policy grid against the
+//! sequence-fingerprinting tracker and print the privacy–utility matrix.
+//!
+//! Runs the standard lab — 16 days over a seeded campus + ISP world, epoch
+//! split at day 8 — across all 16 cells of the default grid (4 naming
+//! policies × 2 PTR TTLs × 2 lease times), then writes the deterministic
+//! artifact and renders the markdown table `MITIGATIONS.md` explains how
+//! to read.
+//!
+//! ```text
+//! cargo run --release --example mitigation_matrix            # write BENCH_matrix.json
+//! cargo run --release --example mitigation_matrix -- --check # gate against the committed file
+//! ```
+//!
+//! `--check` asserts the freshly computed matrix is byte-identical to the
+//! committed `BENCH_matrix.json` — CI runs it under several
+//! `RAYON_NUM_THREADS` values, which is the determinism contract
+//! (`MITIGATIONS.md`) enforced end to end. Telemetry is printed between
+//! `=== BEGIN PROMETHEUS ===` markers (see OBSERVABILITY.md).
+
+use rdns_lab::{engine, LabConfig};
+use rdns_telemetry::Registry;
+use std::fs;
+
+/// Pinned world seed of the committed artifact.
+const SEED: u64 = 0x90D5;
+const OUT: &str = "BENCH_matrix.json";
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let registry = Registry::new();
+    let cfg = LabConfig::standard(SEED);
+    let report = engine::run(&cfg, &registry);
+    let json = report.to_json().expect("matrix serializes");
+
+    println!("{}", report.render_markdown());
+
+    if check {
+        let committed = fs::read_to_string(OUT)
+            .unwrap_or_else(|e| panic!("read committed {OUT}: {e}"));
+        assert_eq!(
+            json, committed,
+            "matrix drifted from the committed {OUT}; rerun without --check to regenerate"
+        );
+        println!("--check: byte-identical to committed {OUT}");
+    } else {
+        fs::write(OUT, &json).unwrap_or_else(|e| panic!("write {OUT}: {e}"));
+        println!("wrote {OUT} ({} cells)", report.cells.len());
+    }
+
+    println!("\n=== BEGIN PROMETHEUS ===");
+    print!("{}", registry.render_prometheus());
+    println!("=== END PROMETHEUS ===");
+}

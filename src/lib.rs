@@ -28,6 +28,10 @@
 //! * [`analysis`] (the `rdns-core` crate) — the paper's methodology:
 //!   dynamicity detection, leak identification, timing analysis, and the
 //!   three case studies,
+//! * [`lab`] — the tracking-resistance lab: the §8 mitigation-policy grid
+//!   (naming × PTR TTL × lease time) scored against a content-blind
+//!   sequence tracker, producing the `BENCH_matrix.json` privacy–utility
+//!   matrix (see `MITIGATIONS.md`),
 //! * [`telemetry`] — the metrics registry every layer reports into, with
 //!   Prometheus-style exposition and a per-metric determinism contract
 //!   (see `OBSERVABILITY.md`).
@@ -63,6 +67,7 @@ pub use rdns_data as data;
 pub use rdns_dhcp as dhcp;
 pub use rdns_dns as dns;
 pub use rdns_ipam as ipam;
+pub use rdns_lab as lab;
 pub use rdns_loadgen as loadgen;
 pub use rdns_model as model;
 pub use rdns_netsim as netsim;
